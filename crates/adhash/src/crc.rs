@@ -1,0 +1,136 @@
+//! A CRC-64 location hasher — the paper's suggested `h` ("e.g., computed
+//! by CRC"), provided alongside the default multiplicative mixer.
+//!
+//! CRC is attractive in hardware (a small LFSR-style circuit); its
+//! weakness as a state hash is linearity: `crc(a ⊻ b) = crc(a) ⊻ crc(b)
+//! ⊻ crc(0)`, so an adversarial pair of states could collide. For
+//! *testing* (the paper's setting) the statistical behaviour is what
+//! matters, and the modular-addition combination breaks plain XOR
+//! cancellation anyway. [`Crc64Hasher`] uses CRC-64/ECMA-182 over the 16
+//! address+value bytes, with the address additionally folded into the
+//! initial value so that `h(a, v)` is not linear in `(a, v)` as a pair.
+
+use crate::group::HashSum;
+use crate::hasher::LocationHasher;
+
+/// CRC-64/ECMA-182 polynomial (normal form).
+const POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+
+/// Builds the 256-entry CRC table at compile time.
+const fn build_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = (i as u64) << 56;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & (1 << 63) != 0 { (crc << 1) ^ POLY } else { crc << 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u64; 256] = build_table();
+
+/// A CRC-64 based [`LocationHasher`].
+///
+/// # Example
+///
+/// ```
+/// use adhash::{Crc64Hasher, IncHasher, hash_full_state};
+///
+/// // The incremental/traversal equivalence holds for any hasher.
+/// let h = Crc64Hasher::new();
+/// let mut inc = IncHasher::new(h);
+/// inc.add_location(0x10, 0);
+/// inc.on_write(0x10, 0, 7);
+/// assert_eq!(inc.sum(), hash_full_state(&h, [(0x10u64, 7u64)]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Crc64Hasher;
+
+impl Crc64Hasher {
+    /// Creates the hasher.
+    pub const fn new() -> Self {
+        Crc64Hasher
+    }
+
+    fn crc64(init: u64, bytes: &[u8]) -> u64 {
+        let mut crc = init;
+        for &b in bytes {
+            let idx = ((crc >> 56) as u8 ^ b) as usize;
+            crc = (crc << 8) ^ TABLE[idx];
+        }
+        crc
+    }
+}
+
+impl LocationHasher for Crc64Hasher {
+    fn hash_location(&self, addr: u64, value: u64) -> HashSum {
+        // Fold the address into the init value (breaks pairwise
+        // linearity), then CRC the 16 bytes.
+        let init = addr.rotate_left(17) ^ 0xFFFF_FFFF_FFFF_FFFF;
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&addr.to_le_bytes());
+        bytes[8..].copy_from_slice(&value.to_le_bytes());
+        HashSum::from_raw(Self::crc64(init, &bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        let h = Crc64Hasher::new();
+        assert_eq!(h.hash_location(1, 2), h.hash_location(1, 2));
+        assert_ne!(h.hash_location(1, 2), h.hash_location(1, 3));
+        assert_ne!(h.hash_location(1, 2), h.hash_location(2, 2));
+    }
+
+    #[test]
+    fn known_crc_vector() {
+        // CRC-64/ECMA-182 of "123456789" with init 0 is 0x6C40DF5F0B497347.
+        assert_eq!(Crc64Hasher::crc64(0, b"123456789"), 0x6C40_DF5F_0B49_7347);
+    }
+
+    #[test]
+    fn no_collisions_in_small_dense_grid() {
+        let h = Crc64Hasher::new();
+        let mut seen = HashSet::new();
+        for addr in 0..48u64 {
+            for value in 0..48u64 {
+                assert!(
+                    seen.insert(h.hash_location(addr, value)),
+                    "collision at ({addr}, {value})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn value_permutations_across_addresses_differ() {
+        let h = Crc64Hasher::new();
+        let s1 = h.hash_location(0x10, 7) + h.hash_location(0x18, 3);
+        let s2 = h.hash_location(0x10, 3) + h.hash_location(0x18, 7);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn single_bit_flips_change_many_output_bits() {
+        let h = Crc64Hasher::new();
+        let base = h.hash_location(0x1000, 42).as_raw();
+        let mut total = 0u32;
+        for bit in 0..64 {
+            let flipped = h.hash_location(0x1000, 42 ^ (1u64 << bit)).as_raw();
+            total += (base ^ flipped).count_ones();
+        }
+        let avg = total / 64;
+        assert!((20..=44).contains(&avg), "average flip weight {avg}");
+    }
+}

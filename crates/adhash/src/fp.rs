@@ -1,0 +1,244 @@
+//! Floating-point round-off before hashing.
+//!
+//! Parallel reductions execute non-associative FP operations in different
+//! orders in different runs, so bit-exact comparison of FP results reports
+//! nondeterminism even for algorithmically deterministic code. InstantCheck
+//! therefore optionally *rounds off* FP values before hashing them
+//! (Sections 3.1 and 5 of the paper). Two rounding families are offered to
+//! programmers:
+//!
+//! * **mantissa masking** — zero the least-significant `M` mantissa bits;
+//!   discards small *relative* differences;
+//! * **decimal rounding** — floor (or round) to `N` decimal digits;
+//!   discards small *absolute* differences (the paper's default rounds to
+//!   the closest 0.001).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of explicit mantissa bits in an IEEE-754 `f64`.
+const MANTISSA_BITS: u32 = 52;
+
+/// A floating-point round-off policy applied to FP values before hashing.
+///
+/// # Example
+///
+/// ```
+/// use adhash::FpRound;
+///
+/// // Two runs of a parallel sum differ only in the last ulps:
+/// let run_a: f64 = 0.1 + 0.2 + 0.3;
+/// let run_b: f64 = 0.3 + 0.2 + 0.1;
+/// assert_ne!(run_a.to_bits(), run_b.to_bits()); // bit-exactly different
+///
+/// let round = FpRound::default(); // nearest 0.001, the paper's default
+/// assert_eq!(round.apply(run_a).to_bits(), round.apply(run_b).to_bits());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpRound {
+    /// No rounding: compare FP values bit by bit.
+    BitExact,
+    /// Zero out the `bits` least-significant mantissa bits (relative
+    /// tolerance of roughly `2^(bits-52)`).
+    MaskMantissa {
+        /// How many low mantissa bits to clear (0..=52).
+        bits: u32,
+    },
+    /// Take the floor to a number with only `digits` decimal digits
+    /// (absolute tolerance of `10^-digits`); the x86-rounding-style
+    /// alternative of Section 3.1.
+    FloorDecimal {
+        /// How many decimal digits to keep.
+        digits: u32,
+    },
+    /// Round to the *closest* multiple of `10^-digits` — the paper's
+    /// default behaviour ("rounds to the closest 0.001").
+    NearestDecimal {
+        /// How many decimal digits to keep.
+        digits: u32,
+    },
+}
+
+impl Default for FpRound {
+    /// The paper's default: round to the closest `0.001`.
+    fn default() -> Self {
+        FpRound::NearestDecimal { digits: 3 }
+    }
+}
+
+impl FpRound {
+    /// Returns `true` if this policy leaves values untouched.
+    pub fn is_bit_exact(self) -> bool {
+        matches!(self, FpRound::BitExact)
+            || matches!(self, FpRound::MaskMantissa { bits: 0 })
+    }
+
+    /// Applies the round-off to one `f64` value.
+    ///
+    /// Non-finite values (NaN, ±∞) are returned unchanged: rounding exists
+    /// to absorb last-ulp noise in ordinary arithmetic, and masking the
+    /// mantissa of a NaN could silently turn it into an infinity.
+    /// Decimal rounding also leaves values whose magnitude is too large to
+    /// scale without overflow (≥ 2⁵³ · 10ᵈⁱᵍⁱᵗˢ) unchanged — such values
+    /// have no fractional digits to round anyway.
+    pub fn apply(self, x: f64) -> f64 {
+        if !x.is_finite() {
+            return x;
+        }
+        match self {
+            FpRound::BitExact => x,
+            FpRound::MaskMantissa { bits } => {
+                let bits = bits.min(MANTISSA_BITS);
+                if bits == 0 {
+                    return x;
+                }
+                let mask = !((1u64 << bits) - 1);
+                f64::from_bits(x.to_bits() & mask)
+            }
+            FpRound::FloorDecimal { digits } => Self::decimal(x, digits, f64::floor),
+            FpRound::NearestDecimal { digits } => Self::decimal(x, digits, f64::round),
+        }
+    }
+
+    fn decimal(x: f64, digits: u32, op: fn(f64) -> f64) -> f64 {
+        let scale = 10f64.powi(digits.min(18) as i32);
+        let scaled = x * scale;
+        // Values this large have integral ulps already; rounding is a no-op
+        // and the scaled arithmetic would lose precision, so skip it.
+        if scaled.abs() >= 2f64.powi(53) {
+            return x;
+        }
+        // If `x` is already exactly on the decimal grid (it is some `q /
+        // scale`), leave it alone. Without this, re-applying floor-rounding
+        // to its own output could step down one more grid cell whenever
+        // `(q / scale) * scale` lands just below `q`.
+        if scaled.round() / scale == x {
+            return x;
+        }
+        op(scaled) / scale
+    }
+
+    /// Applies the round-off to a value stored as raw `f64` bits, returning
+    /// raw bits — the form used when hashing memory words.
+    ///
+    /// Canonicalizes `-0.0` to `+0.0` after rounding so that sums that
+    /// differ only in the sign of a zero compare equal.
+    pub fn apply_bits(self, bits: u64) -> u64 {
+        if self.is_bit_exact() {
+            return bits;
+        }
+        let rounded = self.apply(f64::from_bits(bits));
+        if rounded == 0.0 {
+            return 0f64.to_bits();
+        }
+        rounded.to_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_exact_is_identity() {
+        for v in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY] {
+            let b = v.to_bits();
+            assert_eq!(FpRound::BitExact.apply_bits(b), b);
+        }
+        assert!(FpRound::BitExact.is_bit_exact());
+        assert!(FpRound::MaskMantissa { bits: 0 }.is_bit_exact());
+        assert!(!FpRound::default().is_bit_exact());
+    }
+
+    #[test]
+    fn default_absorbs_reduction_noise() {
+        let round = FpRound::default();
+        let a: f64 = 0.1 + 0.2 + 0.3;
+        let b: f64 = 0.3 + 0.2 + 0.1;
+        assert_ne!(a.to_bits(), b.to_bits());
+        assert_eq!(round.apply_bits(a.to_bits()), round.apply_bits(b.to_bits()));
+    }
+
+    #[test]
+    fn mask_mantissa_absorbs_relative_noise() {
+        let round = FpRound::MaskMantissa { bits: 16 };
+        let a: f64 = 1.0e9 + 0.0001;
+        let b: f64 = 1.0e9 + 0.0002;
+        assert_ne!(a.to_bits(), b.to_bits());
+        assert_eq!(round.apply(a).to_bits(), round.apply(b).to_bits());
+        // …but keeps large relative differences apart.
+        assert_ne!(round.apply(1.0e9).to_bits(), round.apply(2.0e9).to_bits());
+    }
+
+    #[test]
+    fn mask_mantissa_clamps_width() {
+        let round = FpRound::MaskMantissa { bits: 99 };
+        // Clamped to the full 52-bit mantissa: only sign+exponent survive.
+        assert_eq!(round.apply(1.999), 1.0);
+        assert_eq!(round.apply(-1.999), -1.0);
+    }
+
+    #[test]
+    fn floor_decimal_keeps_digits() {
+        let round = FpRound::FloorDecimal { digits: 3 };
+        assert_eq!(round.apply(1.23456), 1.234);
+        assert_eq!(round.apply(-1.23456), -1.235); // floor, not truncation
+        assert_eq!(round.apply(2.0), 2.0);
+    }
+
+    #[test]
+    fn nearest_decimal_rounds_both_ways() {
+        let round = FpRound::NearestDecimal { digits: 3 };
+        assert_eq!(round.apply(1.2344), 1.234);
+        assert_eq!(round.apply(1.2346), 1.235);
+    }
+
+    #[test]
+    fn non_finite_untouched() {
+        for round in [
+            FpRound::MaskMantissa { bits: 8 },
+            FpRound::FloorDecimal { digits: 3 },
+            FpRound::NearestDecimal { digits: 3 },
+        ] {
+            assert!(round.apply(f64::NAN).is_nan());
+            assert_eq!(round.apply(f64::INFINITY), f64::INFINITY);
+            assert_eq!(round.apply(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    fn huge_magnitudes_untouched_by_decimal_rounding() {
+        let round = FpRound::NearestDecimal { digits: 3 };
+        let huge = 1.0e300;
+        assert_eq!(round.apply(huge), huge);
+        assert_eq!(round.apply(-huge), -huge);
+    }
+
+    #[test]
+    fn negative_zero_canonicalized() {
+        let round = FpRound::NearestDecimal { digits: 3 };
+        assert_eq!(
+            round.apply_bits((-0.0f64).to_bits()),
+            round.apply_bits(0.0f64.to_bits())
+        );
+        // Small negatives that round to zero also canonicalize.
+        assert_eq!(
+            round.apply_bits((-1.0e-9f64).to_bits()),
+            0.0f64.to_bits()
+        );
+    }
+
+    #[test]
+    fn rounding_is_idempotent() {
+        for round in [
+            FpRound::MaskMantissa { bits: 12 },
+            FpRound::FloorDecimal { digits: 3 },
+            FpRound::NearestDecimal { digits: 3 },
+        ] {
+            for v in [0.0, 1.23456789, -987.654321, 1e-8, 12345.678] {
+                let once = round.apply(v);
+                let twice = round.apply(once);
+                assert_eq!(once.to_bits(), twice.to_bits(), "{round:?} on {v}");
+            }
+        }
+    }
+}

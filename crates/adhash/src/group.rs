@@ -1,0 +1,217 @@
+//! The commutative group `(u64, +ᵐᵒᵈ)` underlying the incremental hash.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An element of the additive group used to combine per-location hashes.
+///
+/// `HashSum` wraps a `u64` and uses *wrapping* (modular) addition as the
+/// group operation `⊕` of the paper, with wrapping subtraction as its
+/// inverse `⊖`. The group laws (commutativity, associativity, inverses)
+/// are what make the state hash order-independent and incrementally
+/// maintainable.
+///
+/// # Example
+///
+/// ```
+/// use adhash::HashSum;
+///
+/// let a = HashSum::from_raw(u64::MAX);
+/// let b = HashSum::from_raw(5);
+/// assert_eq!(a + b, b + a);          // commutative
+/// assert_eq!((a + b) - b, a);        // invertible
+/// assert_eq!(a + HashSum::ZERO, a);  // identity
+/// ```
+#[derive(
+    Copy, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct HashSum(u64);
+
+impl HashSum {
+    /// The group identity (the hash of the empty state).
+    pub const ZERO: HashSum = HashSum(0);
+
+    /// Wraps a raw 64-bit value as a group element.
+    ///
+    /// ```
+    /// use adhash::HashSum;
+    /// assert_eq!(HashSum::from_raw(7).as_raw(), 7);
+    /// ```
+    #[inline]
+    pub const fn from_raw(raw: u64) -> Self {
+        HashSum(raw)
+    }
+
+    /// Returns the raw 64-bit value of this group element.
+    #[inline]
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// The group operation `⊕` (64-bit modular addition).
+    #[inline]
+    #[must_use]
+    pub const fn combine(self, other: HashSum) -> HashSum {
+        HashSum(self.0.wrapping_add(other.0))
+    }
+
+    /// The inverse operation `⊖` (64-bit modular subtraction).
+    #[inline]
+    #[must_use]
+    pub const fn cancel(self, other: HashSum) -> HashSum {
+        HashSum(self.0.wrapping_sub(other.0))
+    }
+
+    /// Returns `true` if this is the identity element.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for HashSum {
+    type Output = HashSum;
+    #[inline]
+    fn add(self, rhs: HashSum) -> HashSum {
+        self.combine(rhs)
+    }
+}
+
+impl AddAssign for HashSum {
+    #[inline]
+    fn add_assign(&mut self, rhs: HashSum) {
+        *self = self.combine(rhs);
+    }
+}
+
+impl Sub for HashSum {
+    type Output = HashSum;
+    #[inline]
+    fn sub(self, rhs: HashSum) -> HashSum {
+        self.cancel(rhs)
+    }
+}
+
+impl SubAssign for HashSum {
+    #[inline]
+    fn sub_assign(&mut self, rhs: HashSum) {
+        *self = self.cancel(rhs);
+    }
+}
+
+impl Neg for HashSum {
+    type Output = HashSum;
+    #[inline]
+    fn neg(self) -> HashSum {
+        HashSum(0u64.wrapping_sub(self.0))
+    }
+}
+
+impl Sum for HashSum {
+    fn sum<I: Iterator<Item = HashSum>>(iter: I) -> HashSum {
+        iter.fold(HashSum::ZERO, HashSum::combine)
+    }
+}
+
+impl<'a> Sum<&'a HashSum> for HashSum {
+    fn sum<I: Iterator<Item = &'a HashSum>>(iter: I) -> HashSum {
+        iter.copied().sum()
+    }
+}
+
+impl fmt::Debug for HashSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HashSum({:#018x})", self.0)
+    }
+}
+
+impl fmt::Display for HashSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for HashSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for HashSum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for HashSum {
+    fn from(raw: u64) -> Self {
+        HashSum(raw)
+    }
+}
+
+impl From<HashSum> for u64 {
+    fn from(sum: HashSum) -> u64 {
+        sum.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_laws() {
+        let a = HashSum::from_raw(0xdead_beef_cafe_f00d);
+        assert_eq!(a + HashSum::ZERO, a);
+        assert_eq!(HashSum::ZERO + a, a);
+        assert_eq!(a - a, HashSum::ZERO);
+        assert_eq!(a + (-a), HashSum::ZERO);
+        assert!(HashSum::ZERO.is_zero());
+        assert!(!a.is_zero());
+    }
+
+    #[test]
+    fn wrapping_behaviour() {
+        let a = HashSum::from_raw(u64::MAX);
+        let b = HashSum::from_raw(2);
+        assert_eq!((a + b).as_raw(), 1);
+        assert_eq!((HashSum::ZERO - b).as_raw(), u64::MAX - 1);
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let mut acc = HashSum::from_raw(10);
+        acc += HashSum::from_raw(32);
+        assert_eq!(acc, HashSum::from_raw(42));
+        acc -= HashSum::from_raw(2);
+        assert_eq!(acc, HashSum::from_raw(40));
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let parts = [HashSum::from_raw(1), HashSum::from_raw(2), HashSum::from_raw(3)];
+        let total: HashSum = parts.iter().sum();
+        assert_eq!(total, HashSum::from_raw(6));
+        let total2: HashSum = parts.into_iter().sum();
+        assert_eq!(total2, HashSum::from_raw(6));
+    }
+
+    #[test]
+    fn debug_and_display_are_nonempty() {
+        let z = HashSum::ZERO;
+        assert!(!format!("{z:?}").is_empty());
+        assert_eq!(format!("{z}"), "0000000000000000");
+        assert_eq!(format!("{:x}", HashSum::from_raw(255)), "ff");
+        assert_eq!(format!("{:X}", HashSum::from_raw(255)), "FF");
+    }
+
+    #[test]
+    fn from_into_roundtrip() {
+        let s: HashSum = 99u64.into();
+        let raw: u64 = s.into();
+        assert_eq!(raw, 99);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the incremental-hash algebra.
+//!
+//! These encode the invariants that make InstantCheck sound (DESIGN.md §6):
+//! incremental == from-scratch, permutation invariance, per-thread
+//! decomposition, exact exclusion, and FP-rounding idempotence.
+
+use std::collections::BTreeMap;
+
+use adhash::{hash_full_state, FpRound, HashSum, IncHasher, LocationHasher, Mix64Hasher};
+use proptest::prelude::*;
+
+/// A bounded write: a small address space keeps overwrites frequent.
+fn write_strategy() -> impl Strategy<Value = (u64, u64)> {
+    (0u64..32, any::<u64>())
+}
+
+/// Applies a write sequence to a model memory (all words start at 0) and
+/// returns the final state.
+fn replay(writes: &[(u64, u64)]) -> BTreeMap<u64, u64> {
+    let mut mem: BTreeMap<u64, u64> = (0..32).map(|a| (a, 0)).collect();
+    for &(addr, value) in writes {
+        mem.insert(addr, value);
+    }
+    mem
+}
+
+fn state_hash(mem: &BTreeMap<u64, u64>) -> HashSum {
+    hash_full_state(&Mix64Hasher::default(), mem.iter().map(|(&a, &v)| (a, v)))
+}
+
+proptest! {
+    /// Incrementally maintained hash equals the from-scratch traversal
+    /// hash for any write sequence.
+    #[test]
+    fn incremental_equals_traversal(writes in prop::collection::vec(write_strategy(), 0..200)) {
+        let mut mem: BTreeMap<u64, u64> = (0..32).map(|a| (a, 0)).collect();
+        let mut inc = IncHasher::new(Mix64Hasher::default());
+        for (&a, &v) in &mem {
+            inc.add_location(a, v);
+        }
+        for &(addr, value) in &writes {
+            let old = mem.insert(addr, value).expect("address in range");
+            inc.on_write(addr, old, value);
+        }
+        prop_assert_eq!(inc.sum(), state_hash(&mem));
+    }
+
+    /// Splitting the write stream across any number of "threads" (each with
+    /// its own partial hash) and merging yields the same state hash, for
+    /// any assignment of writes to threads — the Figure 2 property.
+    #[allow(clippy::useless_vec)]
+    #[test]
+    fn thread_decomposition(
+        writes in prop::collection::vec(write_strategy(), 1..200),
+        assignment in prop::collection::vec(0usize..8, 1..200),
+    ) {
+        let mut mem: BTreeMap<u64, u64> = (0..32).map(|a| (a, 0)).collect();
+        let mut threads = vec![IncHasher::new(Mix64Hasher::default()); 8];
+        let mut reference = IncHasher::new(Mix64Hasher::default());
+        for (&a, &v) in &mem {
+            reference.add_location(a, v);
+        }
+        for (i, &(addr, value)) in writes.iter().enumerate() {
+            let tid = assignment[i % assignment.len()];
+            let old = mem.insert(addr, value).expect("address in range");
+            threads[tid].on_write(addr, old, value);
+            reference.on_write(addr, old, value);
+        }
+        let merged: HashSum = threads.iter().map(|t| t.sum()).sum::<HashSum>()
+            + {
+                // seed contribution lives in `reference` only; rebuild it
+                let mut seed = IncHasher::new(Mix64Hasher::default());
+                for a in 0..32u64 {
+                    seed.add_location(a, 0);
+                }
+                seed.sum()
+            };
+        prop_assert_eq!(merged, reference.sum());
+    }
+
+    /// Two different interleavings that reach the same final memory state
+    /// produce the same merged hash (external determinism is detected as
+    /// such), even though per-thread hashes may differ.
+    #[test]
+    fn permutation_of_updates_is_invisible(mut writes in prop::collection::vec(write_strategy(), 1..50)) {
+        // Run A applies writes in order; run B applies a rotation of the
+        // *per-address last* writes — same final state, different history.
+        let final_state = replay(&writes);
+
+        let mut inc_a = IncHasher::new(Mix64Hasher::default());
+        let mut mem_a: BTreeMap<u64, u64> = (0..32).map(|a| (a, 0)).collect();
+        for (&a, &v) in &mem_a.clone() {
+            inc_a.add_location(a, v);
+        }
+        for &(addr, value) in &writes {
+            let old = mem_a.insert(addr, value).unwrap();
+            inc_a.on_write(addr, old, value);
+        }
+
+        let mid = writes.len() / 2;
+        writes.rotate_left(mid);
+        let mut inc_b = IncHasher::new(Mix64Hasher::default());
+        let mut mem_b: BTreeMap<u64, u64> = (0..32).map(|a| (a, 0)).collect();
+        for (&a, &v) in &mem_b.clone() {
+            inc_b.add_location(a, v);
+        }
+        for &(addr, value) in &writes {
+            let old = mem_b.insert(addr, value).unwrap();
+            inc_b.on_write(addr, old, value);
+        }
+
+        if mem_b == final_state {
+            prop_assert_eq!(inc_a.sum(), inc_b.sum());
+        } else {
+            prop_assert_ne!(&mem_a, &mem_b);
+        }
+    }
+
+    /// Excluding a location (plus_hash initial / minus_hash current) yields
+    /// exactly the hash of the state with that location reset to its
+    /// initial value.
+    #[test]
+    fn exclusion_is_exact(
+        writes in prop::collection::vec(write_strategy(), 1..100),
+        victim in 0u64..32,
+    ) {
+        let mut mem: BTreeMap<u64, u64> = (0..32).map(|a| (a, 0)).collect();
+        let mut inc = IncHasher::new(Mix64Hasher::default());
+        for (&a, &v) in &mem {
+            inc.add_location(a, v);
+        }
+        for &(addr, value) in &writes {
+            let old = mem.insert(addr, value).unwrap();
+            inc.on_write(addr, old, value);
+        }
+        // Delete `victim` from the hash.
+        inc.add_location(victim, 0); // initial value
+        inc.remove_location(victim, mem[&victim]); // current value
+
+        let mut censored = mem.clone();
+        censored.insert(victim, 0);
+        prop_assert_eq!(inc.sum(), state_hash(&censored));
+    }
+
+    /// Every rounding mode is idempotent on arbitrary finite doubles.
+    #[test]
+    fn fp_rounding_idempotent(x in prop::num::f64::NORMAL | prop::num::f64::SUBNORMAL | prop::num::f64::ZERO, bits in 0u32..53, digits in 0u32..10) {
+        for round in [
+            FpRound::MaskMantissa { bits },
+            FpRound::FloorDecimal { digits },
+            FpRound::NearestDecimal { digits },
+        ] {
+            let once = round.apply_bits(x.to_bits());
+            let twice = round.apply_bits(once);
+            prop_assert_eq!(once, twice, "{:?} on {}", round, x);
+        }
+    }
+
+    /// `apply_bits` never produces a distinction that `apply` would not:
+    /// equal rounded values imply equal hashed bits.
+    #[test]
+    fn apply_bits_consistent_with_apply(x in prop::num::f64::NORMAL, y in prop::num::f64::NORMAL) {
+        let round = FpRound::default();
+        if round.apply(x) == round.apply(y) {
+            prop_assert_eq!(round.apply_bits(x.to_bits()), round.apply_bits(y.to_bits()));
+        }
+    }
+
+    /// Group laws for HashSum under arbitrary raw values.
+    #[test]
+    fn group_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (HashSum::from_raw(a), HashSum::from_raw(b), HashSum::from_raw(c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!((a + b) - b, a);
+        prop_assert_eq!(a + (-a), HashSum::ZERO);
+    }
+
+    /// Distinct single-location states virtually never collide.
+    #[test]
+    fn single_location_injective_in_practice(
+        a1 in any::<u64>(), v1 in any::<u64>(),
+        a2 in any::<u64>(), v2 in any::<u64>(),
+    ) {
+        prop_assume!((a1, v1) != (a2, v2));
+        let h = Mix64Hasher::default();
+        prop_assert_ne!(h.hash_location(a1, v1), h.hash_location(a2, v2));
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 5: distributions of nondeterminism points for
+//! representative applications (how many of the 30 runs produced each
+//! distinct state at each checking point).
+
+use instantcheck_bench::{distributions, render_distributions, write_json, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut reports = Vec::new();
+    // (a) an inherently nondeterministic app; (b) an FP-precision app
+    // checked bit-exactly (the "highly nondeterministic without
+    // rounding" panel); (c) a small-struct app checked bit-exactly.
+    for name in ["canneal", "fluidanimate", "sphinx3"] {
+        eprintln!("  measuring distributions for {name}…");
+        let app = instantcheck_workloads::by_name(name, opts.scaled).expect("registered");
+        reports.push(distributions(&app, &opts, None));
+    }
+    println!("{}", render_distributions(&reports));
+    write_json("fig5", &reports);
+}

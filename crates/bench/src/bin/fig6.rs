@@ -1,0 +1,14 @@
+//! Regenerates Figure 6: instructions executed under the four
+//! configurations (Native, HW-InstantCheck_Inc, SW-InstantCheck_Inc-
+//! Ideal, SW-InstantCheck_Tr-Ideal), normalized to Native, including the
+//! GEOM bars and the sphinx3 delete-4% case.
+
+use instantcheck_bench::{fig6, render_fig6, write_json, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    eprintln!("Figure 6: measuring the four configurations per app…");
+    let (rows, geom, deletion) = fig6(&opts);
+    println!("{}", render_fig6(&rows, &geom, &deletion));
+    write_json("fig6", &(rows, geom, deletion));
+}

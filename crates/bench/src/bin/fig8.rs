@@ -1,0 +1,18 @@
+//! Regenerates Figure 8: distributions of nondeterminism points for the
+//! seeded bugs of Figure 7 (checked with FP rounding, so all observed
+//! nondeterminism is the bug's).
+
+use adhash::FpRound;
+use instantcheck_bench::{distributions, render_distributions, write_json, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut reports = Vec::new();
+    for app in opts.seeded() {
+        eprintln!("  measuring distributions for {}…", app.name);
+        let rounding = app.uses_fp.then(FpRound::default);
+        reports.push(distributions(&app, &opts, rounding));
+    }
+    println!("{}", render_distributions(&reports));
+    write_json("fig8", &reports);
+}

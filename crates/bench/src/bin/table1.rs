@@ -1,0 +1,22 @@
+//! Regenerates Table 1: determinism characteristics of the 17
+//! applications. `--scaled` for miniatures, `--runs N` (default 30).
+
+use instantcheck_bench::{render_table1, table1_row, write_json, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    eprintln!(
+        "Table 1: {} runs per campaign, {} workloads…",
+        opts.runs,
+        if opts.scaled { "scaled" } else { "paper-scale" }
+    );
+    let mut rows = Vec::new();
+    for app in opts.apps() {
+        eprintln!("  characterizing {}…", app.name);
+        rows.push(table1_row(&app, &opts));
+    }
+    println!("{}", render_table1(&rows));
+    println!("* streamcluster: nondeterministic barriers caused by the PARSEC 2.1");
+    println!("  order-violation bug; with the bug fixed they become deterministic.");
+    write_json("table1", &rows);
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table 2: detection of the three seeded bugs (Figure 7).
+
+use instantcheck_bench::{render_table2, table2_row, write_json, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    eprintln!("Table 2: {} runs per campaign…", opts.runs);
+    let mut rows = Vec::new();
+    for app in opts.seeded() {
+        eprintln!("  checking {}…", app.name);
+        rows.push(table2_row(&app, &opts));
+    }
+    println!("{}", render_table2(&rows));
+    write_json("table2", &rows);
+}

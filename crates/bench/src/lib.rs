@@ -1,0 +1,475 @@
+//! Shared machinery for the experiment harness binaries.
+//!
+//! One binary per paper table/figure (see `src/bin/`): `table1`,
+//! `table2`, `fig5`, `fig6`, `fig8`, `race_filter`, `pruning`,
+//! `replay_assist`. Each accepts `--scaled` (miniature workloads for a
+//! quick pass) and `--runs N`, prints a human-readable table to stdout,
+//! and writes a JSON artifact under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use adhash::FpRound;
+use instantcheck::{
+    characterize, geometric_mean, measure_overhead, CheckerConfig, Characterization,
+    IgnoreSpec, Scheme,
+};
+use instantcheck_workloads::AppSpec;
+use serde::Serialize;
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOpts {
+    /// Use miniature workloads.
+    pub scaled: bool,
+    /// Runs per campaign (the paper uses 30).
+    pub runs: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts { scaled: false, runs: 30, seed: 1 }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `--scaled`, `--runs N`, `--seed N` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOpts::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scaled" => opts.scaled = true,
+                "--runs" => {
+                    i += 1;
+                    opts.runs = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(opts.runs);
+                }
+                "--seed" => {
+                    i += 1;
+                    opts.seed = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(opts.seed);
+                }
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The workload registry for the chosen scale.
+    pub fn apps(&self) -> Vec<AppSpec> {
+        if self.scaled {
+            instantcheck_workloads::all_scaled()
+        } else {
+            instantcheck_workloads::all()
+        }
+    }
+
+    /// The seeded-bug registry for the chosen scale.
+    pub fn seeded(&self) -> Vec<AppSpec> {
+        if self.scaled {
+            instantcheck_workloads::seeded_bugs_scaled()
+        } else {
+            instantcheck_workloads::seeded_bugs()
+        }
+    }
+
+    /// The checker template (scheme fixed to HW-InstantCheck, as in the
+    /// paper's determinism experiments; the software schemes agree on
+    /// all verdicts).
+    pub fn template(&self) -> CheckerConfig {
+        CheckerConfig::new(Scheme::HwInc)
+            .with_runs(self.runs)
+            .with_base_seed(self.seed)
+    }
+}
+
+/// One Table 1 row, measured.
+#[derive(Debug, Serialize)]
+pub struct Table1Row {
+    /// Application name.
+    pub name: String,
+    /// Suite.
+    pub suite: String,
+    /// FP operations present?
+    pub fp: bool,
+    /// Deterministic as is (bit by bit)?
+    pub det_as_is: bool,
+    /// First run detecting bit-exact nondeterminism.
+    pub first_ndet_run: Option<usize>,
+    /// "Det → Det" / "NDet → Det" / "NDet → NDet" / "-" for FP rounding.
+    pub fp_impact: String,
+    /// First nondeterministic run after FP rounding.
+    pub first_ndet_after_fp: Option<usize>,
+    /// "NDet → Det" when isolating small structures settled it.
+    pub isolating: String,
+    /// Deterministic dynamic checking points (final configuration).
+    pub det_points: usize,
+    /// Nondeterministic dynamic checking points.
+    pub ndet_points: usize,
+    /// Deterministic at the end of the program?
+    pub det_at_end: bool,
+    /// Final class.
+    pub class: String,
+}
+
+/// Runs the Table 1 pipeline for one registered application.
+pub fn table1_row(app: &AppSpec, opts: &HarnessOpts) -> Table1Row {
+    let subject = app.subject();
+    let c: Characterization =
+        characterize(&subject, &opts.template()).expect("runs complete");
+    characterization_to_row(app, &c)
+}
+
+fn characterization_to_row(app: &AppSpec, c: &Characterization) -> Table1Row {
+    let fp_impact = if c.det_as_is() {
+        // Bit-identical runs stay identical after any deterministic
+        // rounding, FP app or not.
+        "Det→Det".to_owned()
+    } else if let Some(r) = &c.fp_rounded {
+        if r.is_deterministic() { "NDet→Det".to_owned() } else { "NDet→NDet".to_owned() }
+    } else {
+        "NDet→NDet".to_owned() // non-FP app: rounding changes nothing
+    };
+    let isolating = match &c.isolated {
+        Some(r) if r.is_deterministic() => "NDet→Det".to_owned(),
+        Some(_) => "NDet→NDet".to_owned(),
+        None => "-".to_owned(),
+    };
+    let report = c.final_report();
+    Table1Row {
+        name: app.name.to_owned(),
+        suite: app.suite.to_owned(),
+        fp: app.uses_fp,
+        det_as_is: c.det_as_is(),
+        first_ndet_run: c.first_ndet_run(),
+        fp_impact,
+        first_ndet_after_fp: c.first_ndet_run_after_fp(),
+        isolating,
+        det_points: report.det_points,
+        ndet_points: report.ndet_points,
+        det_at_end: report.det_at_end,
+        class: c.class.to_string(),
+    }
+}
+
+/// Renders Table 1.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<24} {:<9} {:>3} {:>7} {:>6} {:>10} {:>7} {:>10} {:>8} {:>6} {:>4}  Class",
+        "Application", "Source", "FP?", "Det as", "First", "FP round", "First", "Isolating",
+        "#Det", "#NDet", "End"
+    );
+    let _ = writeln!(
+        s,
+        "{:<24} {:<9} {:>3} {:>7} {:>6} {:>10} {:>7} {:>10} {:>8} {:>6} {:>4}",
+        "", "", "", "is?", "NDet", "impact", "NDet", "structs", "points", "points", "Det"
+    );
+    let _ = writeln!(s, "{:-<118}", "");
+    for r in rows {
+        let star = if r.name == "streamcluster" && r.ndet_points > 0 { "*" } else { "" };
+        let _ = writeln!(
+            s,
+            "{:<24} {:<9} {:>3} {:>7} {:>6} {:>10} {:>7} {:>10} {:>8} {:>5}{} {:>4}  {}",
+            r.name,
+            r.suite,
+            if r.fp { "Y" } else { "N" },
+            if r.det_as_is { "Y" } else { "N" },
+            r.first_ndet_run.map_or("-".into(), |v| v.to_string()),
+            r.fp_impact,
+            r.first_ndet_after_fp.map_or("-".into(), |v| v.to_string()),
+            r.isolating,
+            r.det_points,
+            r.ndet_points,
+            star,
+            if r.det_at_end { "Y" } else { "N" },
+            r.class,
+        );
+    }
+    s
+}
+
+/// One Figure 6 bar group.
+#[derive(Debug, Serialize)]
+pub struct Fig6Row {
+    /// Application.
+    pub name: String,
+    /// `HW-InstantCheck_Inc` / Native.
+    pub hw: f64,
+    /// `SW-InstantCheck_Inc-Ideal` / Native.
+    pub sw_inc: f64,
+    /// `SW-InstantCheck_Tr-Ideal` / Native.
+    pub sw_tr: f64,
+}
+
+/// Measures Figure 6 for every registered app, plus the GEOM row and the
+/// sphinx3 delete-4% special case.
+pub fn fig6(opts: &HarnessOpts) -> (Vec<Fig6Row>, Fig6Row, Fig6Row) {
+    let mut rows = Vec::new();
+    for app in opts.apps() {
+        let build = std::sync::Arc::clone(&app.build);
+        let report =
+            measure_overhead(move || build(), opts.seed, None, &IgnoreSpec::new())
+                .expect("overhead run completes");
+        rows.push(Fig6Row {
+            name: app.name.to_owned(),
+            hw: report.hw_ratio(),
+            sw_inc: report.sw_inc_ratio(),
+            sw_tr: report.sw_tr_ratio(),
+        });
+    }
+    let geom = Fig6Row {
+        name: "GEOM".to_owned(),
+        hw: geometric_mean(rows.iter().map(|r| r.hw)),
+        sw_inc: geometric_mean(rows.iter().map(|r| r.sw_inc)),
+        sw_tr: geometric_mean(rows.iter().map(|r| r.sw_tr)),
+    };
+    // The sphinx3 "delete 4% of the state at every checkpoint" case.
+    let sphinx = instantcheck_workloads::by_name("sphinx3", opts.scaled)
+        .expect("sphinx3 registered");
+    let build = std::sync::Arc::clone(&sphinx.build);
+    let del = measure_overhead(
+        move || build(),
+        opts.seed,
+        Some(FpRound::default()),
+        &sphinx.ignore,
+    )
+    .expect("overhead run completes");
+    let deletion = Fig6Row {
+        name: "sphinx3+delete4%".to_owned(),
+        hw: del.hw_ratio(),
+        sw_inc: del.sw_inc_ratio(),
+        sw_tr: del.sw_tr_ratio(),
+    };
+    (rows, geom, deletion)
+}
+
+/// Renders Figure 6 as a table.
+pub fn render_fig6(rows: &[Fig6Row], geom: &Fig6Row, deletion: &Fig6Row) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<24} {:>12} {:>16} {:>16}",
+        "Application", "HW-Inc", "SW-Inc-Ideal", "SW-Tr-Ideal"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(72));
+    for r in rows.iter().chain([geom, deletion]) {
+        let _ = writeln!(
+            s,
+            "{:<24} {:>11.3}x {:>15.2}x {:>15.2}x",
+            r.name, r.hw, r.sw_inc, r.sw_tr
+        );
+    }
+    s
+}
+
+/// One Table 2 row (seeded-bug detection).
+#[derive(Debug, Serialize)]
+pub struct Table2Row {
+    /// Application + bug type.
+    pub name: String,
+    /// Deterministic dynamic checking points.
+    pub det_points: usize,
+    /// Nondeterministic dynamic checking points.
+    pub ndet_points: usize,
+    /// First run detecting the bug's nondeterminism.
+    pub first_ndet_run: Option<usize>,
+    /// The nondeterminism distributions (Figure 8), rendered.
+    pub distributions: Vec<String>,
+}
+
+/// Runs the Table 2 campaign for one seeded-bug variant. The seeded
+/// water bugs are checked with FP rounding enabled (the unseeded apps
+/// are deterministic under that configuration, so any nondeterminism is
+/// the bug's).
+pub fn table2_row(app: &AppSpec, opts: &HarnessOpts) -> Table2Row {
+    let build = std::sync::Arc::clone(&app.build);
+    let mut cfg = opts.template();
+    if app.uses_fp {
+        cfg = cfg.with_rounding(FpRound::default());
+    }
+    let report = instantcheck::Checker::new(cfg)
+        .check(move || build())
+        .expect("runs complete");
+    Table2Row {
+        name: app.name.to_owned(),
+        det_points: report.det_points,
+        ndet_points: report.ndet_points,
+        first_ndet_run: report.first_ndet_run,
+        distributions: report
+            .ndet_distributions()
+            .into_iter()
+            .map(|(d, count)| format!("{count} points: {d}"))
+            .collect(),
+    }
+}
+
+/// Renders Table 2.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<24} {:>10} {:>11} {:>10}",
+        "Application+bug", "#Det", "#NDet", "First NDet"
+    );
+    let _ = writeln!(s, "{}", "-".repeat(60));
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<24} {:>10} {:>11} {:>10}",
+            r.name,
+            r.det_points,
+            r.ndet_points,
+            r.first_ndet_run.map_or("-".into(), |v| v.to_string()),
+        );
+    }
+    s
+}
+
+/// Distribution report for Figures 5/8: for each named app, the grouped
+/// per-checkpoint distributions.
+#[derive(Debug, Serialize)]
+pub struct DistributionReport {
+    /// Application name.
+    pub name: String,
+    /// `(distribution, number of checkpoints behaving that way)`,
+    /// deterministic groups included.
+    pub groups: Vec<(String, usize)>,
+}
+
+/// Measures the nondeterminism distributions of one app under the given
+/// config (Figure 5 uses bit-exact configs for FP-noise apps and default
+/// configs for others; Figure 8 uses the seeded bugs with rounding).
+pub fn distributions(
+    app: &AppSpec,
+    opts: &HarnessOpts,
+    rounding: Option<FpRound>,
+) -> DistributionReport {
+    let build = std::sync::Arc::clone(&app.build);
+    let mut cfg = opts.template();
+    if let Some(r) = rounding {
+        cfg = cfg.with_rounding(r);
+    }
+    let report = instantcheck::Checker::new(cfg)
+        .check(move || build())
+        .expect("runs complete");
+    DistributionReport {
+        name: app.name.to_owned(),
+        groups: report
+            .grouped_distributions()
+            .into_iter()
+            .map(|(d, count)| (d.to_string(), count))
+            .collect(),
+    }
+}
+
+/// Renders a distribution report.
+pub fn render_distributions(reports: &[DistributionReport]) -> String {
+    let mut s = String::new();
+    for r in reports {
+        let _ = writeln!(s, "{}:", r.name);
+        for (dist, count) in &r.groups {
+            let label = if dist.contains('-') { "NDet" } else { "Det " };
+            let _ = writeln!(s, "  [{label}] {count:>6} checking points behave {dist}");
+        }
+    }
+    s
+}
+
+/// Writes a JSON artifact under `results/`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(value) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("could not write {}: {e}", path.display());
+                } else {
+                    eprintln!("wrote {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("could not serialize {name}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> HarnessOpts {
+        HarnessOpts { scaled: true, runs: 5, seed: 1 }
+    }
+
+    #[test]
+    fn table1_row_for_a_bit_exact_app() {
+        let app = instantcheck_workloads::by_name("fft", true).unwrap();
+        let row = table1_row(&app, &quick_opts());
+        assert!(row.det_as_is);
+        assert_eq!(row.fp_impact, "Det→Det");
+        assert_eq!(row.ndet_points, 0);
+        assert!(row.det_at_end);
+        assert_eq!(row.class, "bit-by-bit");
+    }
+
+    #[test]
+    fn table2_row_for_a_seeded_bug() {
+        let app = instantcheck_workloads::seeded_bugs_scaled()
+            .into_iter()
+            .find(|a| a.name.contains("atomicity"))
+            .unwrap();
+        let row = table2_row(&app, &HarnessOpts { scaled: true, runs: 10, seed: 1 });
+        assert!(row.ndet_points > 0);
+        assert!(row.det_points > 0);
+        assert!(row.first_ndet_run.is_some());
+    }
+
+    #[test]
+    fn render_functions_produce_tables() {
+        let rows = vec![Table1Row {
+            name: "x".into(),
+            suite: "s".into(),
+            fp: true,
+            det_as_is: true,
+            first_ndet_run: None,
+            fp_impact: "Det→Det".into(),
+            first_ndet_after_fp: None,
+            isolating: "-".into(),
+            det_points: 5,
+            ndet_points: 0,
+            det_at_end: true,
+            class: "bit-by-bit".into(),
+        }];
+        let t = render_table1(&rows);
+        assert!(t.contains("Application"));
+        assert!(t.contains('x'));
+
+        let f = Fig6Row { name: "x".into(), hw: 1.0, sw_inc: 3.0, sw_tr: 5.0 };
+        let g = Fig6Row { name: "GEOM".into(), hw: 1.0, sw_inc: 3.0, sw_tr: 5.0 };
+        let d = Fig6Row { name: "del".into(), hw: 4.5, sw_inc: 55.0, sw_tr: 438.0 };
+        let s = render_fig6(&[f], &g, &d);
+        assert!(s.contains("GEOM"));
+        assert!(s.contains("438.00x"));
+    }
+
+    #[test]
+    fn opts_defaults() {
+        let o = HarnessOpts::default();
+        assert_eq!(o.runs, 30);
+        assert!(!o.scaled);
+        assert_eq!(o.apps().len(), 17);
+    }
+}

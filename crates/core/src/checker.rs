@@ -1,0 +1,341 @@
+//! The multi-run determinism-checking harness.
+
+use adhash::FpRound;
+use tsim::{Program, RunConfig, SchedulerKind, SimError, SwitchPolicy};
+
+use crate::ignore::IgnoreSpec;
+use crate::report::CheckReport;
+use crate::scheme::{CheckMonitor, CheckpointRecord, Scheme};
+
+/// The hash sequence one run produced: one state hash per checkpoint,
+/// plus the output-stream digest.
+#[derive(Debug, Clone)]
+pub struct RunHashes {
+    /// Per-checkpoint records, in firing order.
+    pub checkpoints: Vec<CheckpointRecord>,
+    /// Digest of the program's output stream.
+    pub output_digest: u64,
+    /// Extra instructions the scheme would execute (cost model).
+    pub extra_instr: u64,
+    /// Stores observed during the run.
+    pub stores: u64,
+}
+
+/// Configuration of a determinism-checking campaign.
+#[derive(Debug, Clone)]
+pub struct CheckerConfig {
+    /// Which scheme computes the hashes.
+    pub scheme: Scheme,
+    /// How many runs to compare (the paper uses 30).
+    pub runs: usize,
+    /// Scheduler seed of the first run; run `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// FP round-off before hashing (`None` = bit-exact comparison).
+    pub rounding: Option<FpRound>,
+    /// Structures excluded from the hash.
+    pub ignore: IgnoreSpec,
+    /// Preemption policy for all runs.
+    pub switch: SwitchPolicy,
+    /// Library-call seed: fixed across the campaign's runs (the calls
+    /// are *input*), but can be varied between campaigns for coverage.
+    pub lib_seed: u64,
+    /// Step limit per run.
+    pub max_steps: u64,
+}
+
+impl CheckerConfig {
+    /// A default campaign: 30 runs, sync-only switching, bit-exact
+    /// hashing, nothing ignored.
+    pub fn new(scheme: Scheme) -> Self {
+        CheckerConfig {
+            scheme,
+            runs: 30,
+            base_seed: 1,
+            rounding: None,
+            ignore: IgnoreSpec::new(),
+            switch: SwitchPolicy::SyncOnly,
+            lib_seed: 0xfeed,
+            max_steps: 20_000_000,
+        }
+    }
+
+    /// Sets the number of runs.
+    #[must_use]
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the first run's scheduler seed.
+    #[must_use]
+    pub fn with_base_seed(mut self, seed: u64) -> Self {
+        self.base_seed = seed;
+        self
+    }
+
+    /// Enables FP round-off before hashing.
+    #[must_use]
+    pub fn with_rounding(mut self, rounding: FpRound) -> Self {
+        self.rounding = Some(rounding);
+        self
+    }
+
+    /// Sets the ignore spec.
+    #[must_use]
+    pub fn with_ignore(mut self, ignore: IgnoreSpec) -> Self {
+        self.ignore = ignore;
+        self
+    }
+
+    /// Sets the preemption policy.
+    #[must_use]
+    pub fn with_switch(mut self, switch: SwitchPolicy) -> Self {
+        self.switch = switch;
+        self
+    }
+
+    /// Sets the library-call input seed.
+    #[must_use]
+    pub fn with_lib_seed(mut self, seed: u64) -> Self {
+        self.lib_seed = seed;
+        self
+    }
+}
+
+/// The determinism checker: runs a program many times under different
+/// schedules (controlling the other nondeterminism sources) and compares
+/// the per-checkpoint state hashes.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    config: CheckerConfig,
+}
+
+impl Checker {
+    /// Creates a checker.
+    pub fn new(config: CheckerConfig) -> Self {
+        Checker { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CheckerConfig {
+        &self.config
+    }
+
+    /// Runs the campaign: `source` must build a fresh copy of the same
+    /// program for each run (same input — the checker controls allocator
+    /// addresses and library calls so that only the interleaving varies).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] any run produces (deadlock, step
+    /// limit, machine misuse, workload panic).
+    pub fn check<F: Fn() -> Program>(&self, source: F) -> Result<CheckReport, SimError> {
+        let hashes = self.collect_runs(&source)?;
+        Ok(CheckReport::from_runs(&hashes))
+    }
+
+    /// Like [`check`], but stops as soon as a run's hashes differ from
+    /// the first run's — the paper's point that "in real usage of
+    /// InstantCheck, the programmer can stop as soon as nondeterminism
+    /// is detected". Returns the report over the runs actually performed
+    /// and how many that was.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] any run produces.
+    pub fn check_stopping_early<F: Fn() -> Program>(
+        &self,
+        source: F,
+    ) -> Result<(CheckReport, usize), SimError> {
+        let cfg = &self.config;
+        let mut runs: Vec<RunHashes> = Vec::new();
+        let mut alloc_log = None;
+        for i in 0..cfg.runs {
+            let mut rc = RunConfig::random(cfg.base_seed + i as u64)
+                .with_switch(cfg.switch)
+                .with_lib_seed(cfg.lib_seed)
+                .with_max_steps(cfg.max_steps);
+            if cfg.scheme.is_checking() {
+                rc = rc.with_zero_fill_charged();
+            }
+            if let Some(log) = &alloc_log {
+                rc = rc.with_alloc_replay(std::sync::Arc::clone(log));
+            }
+            let monitor =
+                CheckMonitor::new(cfg.scheme, cfg.rounding, cfg.ignore.clone());
+            let out = source().run_with(&rc, monitor)?;
+            if alloc_log.is_none() {
+                alloc_log = Some(out.alloc_log.clone());
+            }
+            runs.push(out.monitor.into_hashes());
+            let differs = {
+                let (a, b) = (&runs[runs.len() - 1], &runs[0]);
+                a.output_digest != b.output_digest
+                    || a.checkpoints.len() != b.checkpoints.len()
+                    || a.checkpoints
+                        .iter()
+                        .zip(&b.checkpoints)
+                        .any(|(x, y)| x.kind != y.kind || x.hash != y.hash)
+            };
+            if differs {
+                break;
+            }
+        }
+        let n = runs.len();
+        Ok((CheckReport::from_runs(&runs), n))
+    }
+
+    /// Like [`check`], but returns the raw per-run hash sequences
+    /// (useful for custom analyses).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SimError`] any run produces.
+    ///
+    /// [`check`]: Checker::check
+    pub fn collect_runs<F: Fn() -> Program>(
+        &self,
+        source: &F,
+    ) -> Result<Vec<RunHashes>, SimError> {
+        let cfg = &self.config;
+        let mut runs = Vec::with_capacity(cfg.runs);
+        let mut alloc_log = None;
+        for i in 0..cfg.runs {
+            let mut rc = RunConfig::random(cfg.base_seed + i as u64)
+                .with_switch(cfg.switch)
+                .with_lib_seed(cfg.lib_seed)
+                .with_max_steps(cfg.max_steps);
+            rc.scheduler = SchedulerKind::Random { seed: cfg.base_seed + i as u64 };
+            if cfg.scheme.is_checking() {
+                rc = rc.with_zero_fill_charged();
+            }
+            // Allocator addresses are input: log them on the first run,
+            // replay them afterwards (§5).
+            if let Some(log) = &alloc_log {
+                rc = rc.with_alloc_replay(std::sync::Arc::clone(log));
+            }
+            let monitor =
+                CheckMonitor::new(cfg.scheme, cfg.rounding, cfg.ignore.clone());
+            let out = source().run_with(&rc, monitor)?;
+            if alloc_log.is_none() {
+                alloc_log = Some(out.alloc_log.clone());
+            }
+            runs.push(out.monitor.into_hashes());
+        }
+        Ok(runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsim::{ProgramBuilder, ValKind};
+
+    fn racy_unordered_sum() -> Program {
+        // Deterministic: commutative sum under a lock.
+        let mut b = ProgramBuilder::new(4);
+        let g = b.global("G", ValKind::U64, 1);
+        let lock = b.mutex();
+        for t in 0..4u64 {
+            b.thread(move |ctx| {
+                ctx.lock(lock);
+                let v = ctx.load(g.at(0));
+                ctx.store(g.at(0), v + (t + 1) * 10);
+                ctx.unlock(lock);
+            });
+        }
+        b.build()
+    }
+
+    fn order_dependent() -> Program {
+        // Nondeterministic: last writer wins.
+        let mut b = ProgramBuilder::new(3);
+        let g = b.global("G", ValKind::U64, 1);
+        let lock = b.mutex();
+        for t in 0..3u64 {
+            b.thread(move |ctx| {
+                ctx.lock(lock);
+                ctx.store(g.at(0), t + 1);
+                ctx.unlock(lock);
+            });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn commutative_sum_is_deterministic_under_all_schemes() {
+        for scheme in [Scheme::HwInc, Scheme::SwInc, Scheme::SwTr] {
+            let report = Checker::new(CheckerConfig::new(scheme).with_runs(10))
+                .check(racy_unordered_sum)
+                .unwrap();
+            assert!(report.is_deterministic(), "{scheme:?}");
+            assert!(report.det_at_end);
+            assert_eq!(report.ndet_points, 0);
+        }
+    }
+
+    #[test]
+    fn last_writer_wins_is_nondeterministic_under_all_schemes() {
+        for scheme in [Scheme::HwInc, Scheme::SwInc, Scheme::SwTr] {
+            let report = Checker::new(CheckerConfig::new(scheme).with_runs(10))
+                .check(order_dependent)
+                .unwrap();
+            assert!(!report.is_deterministic(), "{scheme:?}");
+            assert!(!report.det_at_end);
+            // Detected quickly, as in the paper (run 2 or 3).
+            assert!(report.first_ndet_run.unwrap() <= 5, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn schemes_agree_on_the_verdict_per_checkpoint() {
+        let verdicts = |scheme| {
+            let report = Checker::new(CheckerConfig::new(scheme).with_runs(8))
+                .check(order_dependent)
+                .unwrap();
+            (0..report.aligned_checkpoints)
+                .map(|i| report.distributions[i].counts().to_vec())
+                .collect::<Vec<_>>()
+        };
+        let hw = verdicts(Scheme::HwInc);
+        let sw = verdicts(Scheme::SwInc);
+        let tr = verdicts(Scheme::SwTr);
+        assert_eq!(hw, sw);
+        assert_eq!(hw, tr);
+    }
+
+    #[test]
+    fn early_stop_halts_at_first_difference() {
+        let checker = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(30));
+        let (report, used) = checker.check_stopping_early(order_dependent).unwrap();
+        assert!(!report.is_deterministic());
+        assert!(used < 30, "should stop well before 30 runs (used {used})");
+        assert_eq!(report.first_ndet_run, Some(used));
+    }
+
+    #[test]
+    fn early_stop_runs_everything_when_deterministic() {
+        let checker = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(6));
+        let (report, used) = checker.check_stopping_early(racy_unordered_sum).unwrap();
+        assert!(report.is_deterministic());
+        assert_eq!(used, 6);
+    }
+
+    #[test]
+    fn config_builder_chains() {
+        let cfg = CheckerConfig::new(Scheme::SwTr)
+            .with_runs(5)
+            .with_base_seed(9)
+            .with_lib_seed(3)
+            .with_switch(SwitchPolicy::EveryAccess)
+            .with_rounding(FpRound::default())
+            .with_ignore(IgnoreSpec::new().ignore_global("x"));
+        assert_eq!(cfg.runs, 5);
+        assert_eq!(cfg.base_seed, 9);
+        assert_eq!(cfg.lib_seed, 3);
+        assert!(cfg.rounding.is_some());
+        assert!(!cfg.ignore.is_empty());
+        let checker = Checker::new(cfg);
+        assert_eq!(checker.config().runs, 5);
+    }
+}

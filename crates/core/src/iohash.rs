@@ -1,0 +1,125 @@
+//! Hashing of the program's output stream (Section 4.3).
+//!
+//! Memory-state hashing covers the state left in memory; for programs
+//! whose result is what they *write out* (pbzip2's compressed stream),
+//! InstantCheck additionally hashes the output bytes at the `write()`
+//! boundary. Unlike the memory-state hash, the stream hash is
+//! **order-sensitive**: reordered output is different output.
+
+use std::fmt;
+
+/// An incremental, order-sensitive hash over an output byte stream.
+///
+/// # Example
+///
+/// ```
+/// use instantcheck::OutputHasher;
+///
+/// let mut a = OutputHasher::new();
+/// a.update(b"hello ");
+/// a.update(b"world");
+/// let mut b = OutputHasher::new();
+/// b.update(b"hello world");
+/// assert_eq!(a.digest(), b.digest()); // chunking is irrelevant…
+///
+/// let mut c = OutputHasher::new();
+/// c.update(b"world hello ");
+/// assert_ne!(a.digest(), c.digest()); // …but order matters
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OutputHasher {
+    state: u64,
+    len: u64,
+}
+
+impl Default for OutputHasher {
+    fn default() -> Self {
+        OutputHasher::new()
+    }
+}
+
+impl OutputHasher {
+    /// Creates a hasher for an empty stream.
+    pub fn new() -> Self {
+        OutputHasher { state: 0x6a09_e667_f3bc_c908, len: 0 }
+    }
+
+    /// Absorbs the next chunk of the stream.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let mut x = self.state ^ (u64::from(b).wrapping_add(0x9e37_79b9));
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            self.state = x ^ (x >> 31);
+            self.len += 1;
+        }
+    }
+
+    /// Total bytes absorbed.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if no bytes were absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The 64-bit digest of the stream so far (includes the length).
+    pub fn digest(&self) -> u64 {
+        let mut x = self.state ^ self.len.rotate_left(32);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^ (x >> 31)
+    }
+}
+
+impl fmt::Display for OutputHasher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.digest())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_streams_agree() {
+        assert_eq!(OutputHasher::new().digest(), OutputHasher::default().digest());
+        assert!(OutputHasher::new().is_empty());
+    }
+
+    #[test]
+    fn chunking_is_invisible() {
+        let mut a = OutputHasher::new();
+        for b in b"determinism" {
+            a.update(&[*b]);
+        }
+        let mut b = OutputHasher::new();
+        b.update(b"determinism");
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.len(), 11);
+    }
+
+    #[test]
+    fn order_and_content_matter() {
+        let digest = |s: &[u8]| {
+            let mut h = OutputHasher::new();
+            h.update(s);
+            h.digest()
+        };
+        assert_ne!(digest(b"ab"), digest(b"ba"));
+        assert_ne!(digest(b"ab"), digest(b"abc"));
+        assert_ne!(digest(b"a"), digest(b"a\0"));
+        // Length is part of the digest: a stream of N zeros differs from
+        // a stream of N+1 zeros even though each zero hashes alike.
+        assert_ne!(digest(&[0; 4]), digest(&[0; 5]));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let mut h = OutputHasher::new();
+        h.update(b"x");
+        assert_eq!(format!("{h}").len(), 16);
+    }
+}

@@ -1,0 +1,351 @@
+//! The three checking schemes and the monitor that implements them.
+
+use std::collections::HashSet;
+
+use adhash::{hash_full_state, FpRound, HashSum, LocationHasher, Mix64Hasher};
+use mhm::MhmCore;
+use tsim::{
+    Addr, BlockInfo, CheckpointInfo, CheckpointKind, Monitor, StateView, ThreadId, ValKind,
+};
+
+use crate::checker::RunHashes;
+use crate::ignore::IgnoreSpec;
+use crate::iohash::OutputHasher;
+
+/// Software hashing cost: 5 instructions per hashed byte (the paper's
+/// Jenkins-derived figure), and one location hash covers 16 bytes
+/// (8-byte address + 8-byte value).
+const SW_INSTR_PER_BYTE: u64 = 5;
+const SW_INSTR_PER_LOCATION_HASH: u64 = 16 * SW_INSTR_PER_BYTE;
+/// SW incremental instrumentation hashes (addr, old) and (addr, new) per
+/// store.
+const SW_INC_INSTR_PER_STORE: u64 = 2 * SW_INSTR_PER_LOCATION_HASH;
+/// SW traversal hashes each live 8-byte word.
+const SW_TR_INSTR_PER_WORD: u64 = 8 * SW_INSTR_PER_BYTE;
+/// HW exclusion loop: load the word and issue `minus_hash`/`plus_hash`.
+const HW_INSTR_PER_EXCLUDED_WORD: u64 = 3;
+/// SW exclusion loop: load the word and hash two locations.
+const SW_INSTR_PER_EXCLUDED_WORD: u64 = 1 + 2 * SW_INSTR_PER_LOCATION_HASH;
+
+/// Which InstantCheck scheme computes the state hashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// No checking at all (the paper's *Native* baseline).
+    Native,
+    /// `HW-InstantCheck_Inc`: per-core MHM hardware maintains the
+    /// per-thread hashes on the fly; software sums them at checkpoints.
+    HwInc,
+    /// `SW-InstantCheck_Inc`: the same incremental hash maintained by
+    /// software instrumentation of every store.
+    ///
+    /// Our implementation — like the paper's own prototype — obtains the
+    /// old/new value pair atomically because the test driver serializes
+    /// execution; a non-serialized implementation would either pay for
+    /// atomicity or risk hashing a stale old value under write-write
+    /// races (see `stale_old_value_corrupts_the_hash` in this module's
+    /// tests for the failure mode).
+    SwInc,
+    /// `SW-InstantCheck_Tr`: traverse the entire live state (static data
+    /// + allocation table) at every checkpoint.
+    SwTr,
+}
+
+impl Scheme {
+    /// Returns `true` if the scheme computes hashes incrementally as the
+    /// program writes.
+    pub fn is_incremental(self) -> bool {
+        matches!(self, Scheme::HwInc | Scheme::SwInc)
+    }
+
+    /// Returns `true` if the scheme performs any checking.
+    pub fn is_checking(self) -> bool {
+        !matches!(self, Scheme::Native)
+    }
+}
+
+/// One checkpoint's recorded state hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// Why the checkpoint fired.
+    pub kind: CheckpointKind,
+    /// The state hash at the checkpoint.
+    pub hash: HashSum,
+}
+
+/// The [`Monitor`] that implements the checking schemes.
+///
+/// One instance observes one run; [`CheckMonitor::into_hashes`] then
+/// yields the run's checkpoint hash sequence for cross-run comparison.
+/// The monitor also tracks the extra instructions its scheme would
+/// execute on a real machine (the Figure 6 cost model).
+#[derive(Debug)]
+pub struct CheckMonitor {
+    scheme: Scheme,
+    rounding: Option<FpRound>,
+    ignore: IgnoreSpec,
+    /// Per-thread MHM units (HwInc), or the software emulation of the
+    /// same per-thread incremental hashes (SwInc).
+    cores: Vec<MhmCore>,
+    hasher: Mix64Hasher,
+    output: OutputHasher,
+    records: Vec<CheckpointRecord>,
+    extra_instr: u64,
+    stores_seen: u64,
+}
+
+impl CheckMonitor {
+    /// Creates a monitor for `scheme`.
+    ///
+    /// `rounding` of `None` compares FP values bit by bit; `Some(r)`
+    /// rounds FP stores (incremental schemes) or FP-typed words
+    /// (traversal) with `r` before hashing.
+    pub fn new(scheme: Scheme, rounding: Option<FpRound>, ignore: IgnoreSpec) -> Self {
+        CheckMonitor {
+            scheme,
+            rounding,
+            ignore,
+            cores: Vec::new(),
+            hasher: Mix64Hasher::default(),
+            output: OutputHasher::new(),
+            records: Vec::new(),
+            extra_instr: 0,
+            stores_seen: 0,
+        }
+    }
+
+    /// The scheme this monitor implements.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Number of stores observed so far.
+    pub fn stores_seen(&self) -> u64 {
+        self.stores_seen
+    }
+
+    /// The checkpoint records so far.
+    pub fn records(&self) -> &[CheckpointRecord] {
+        &self.records
+    }
+
+    fn core(&mut self, tid: ThreadId) -> &mut MhmCore {
+        if self.cores.len() <= tid {
+            let mut fresh = MhmCore::new();
+            if let Some(r) = self.rounding {
+                fresh.set_rounding(r);
+                fresh.start_fp_rounding();
+            }
+            self.cores.resize(tid + 1, fresh);
+        }
+        &mut self.cores[tid]
+    }
+
+    fn round(&self, value: u64, kind: ValKind) -> u64 {
+        match (kind, self.rounding) {
+            (ValKind::F64, Some(r)) => r.apply_bits(value),
+            _ => value,
+        }
+    }
+
+    /// The incremental schemes' checkpoint hash: the modular sum of the
+    /// per-thread hashes, with the ignore-set's current contributions
+    /// cancelled (computed fresh per checkpoint, without mutating the
+    /// thread hashes).
+    fn incremental_hash(&mut self, view: &StateView<'_>) -> HashSum {
+        let mut sum: HashSum = self.cores.iter().map(MhmCore::th).sum();
+        // Combining the THs is a rare software loop.
+        self.extra_instr += self.cores.len() as u64;
+        if !self.ignore.is_empty() {
+            let ignored = self.ignore.resolve(view);
+            let per_word = match self.scheme {
+                Scheme::HwInc => HW_INSTR_PER_EXCLUDED_WORD,
+                _ => SW_INSTR_PER_EXCLUDED_WORD,
+            };
+            self.extra_instr += per_word * ignored.len() as u64;
+            for (addr, kind) in ignored {
+                let cur = self.round(view.read(addr).unwrap_or(0), kind);
+                // SH ⊕ h(a, initial) ⊖ h(a, current); allocations are
+                // zero-filled, so the initial value is always 0.
+                sum = sum
+                    .combine(self.hasher.hash_location(addr.raw(), 0))
+                    .cancel(self.hasher.hash_location(addr.raw(), cur));
+            }
+        }
+        sum
+    }
+
+    /// The traversal scheme's checkpoint hash: hash every live word
+    /// (globals + allocation table), rounding FP-typed words, skipping
+    /// the ignore set.
+    fn traversal_hash(&mut self, view: &StateView<'_>) -> HashSum {
+        let ignored: HashSet<Addr> =
+            self.ignore.resolve(view).into_iter().map(|(a, _)| a).collect();
+        let mut words = 0u64;
+        let rounding = self.rounding;
+        let hash = hash_full_state(
+            &self.hasher,
+            view.live_words().filter(|(a, _, _)| !ignored.contains(a)).map(
+                |(a, v, kind)| {
+                    words += 1;
+                    let v = match (kind, rounding) {
+                        (ValKind::F64, Some(r)) => r.apply_bits(v),
+                        _ => v,
+                    };
+                    (a.raw(), v)
+                },
+            ),
+        );
+        self.extra_instr += words * SW_TR_INSTR_PER_WORD;
+        hash
+    }
+
+    /// Consumes the monitor, yielding the run's hash sequence.
+    pub fn into_hashes(self) -> RunHashes {
+        RunHashes {
+            checkpoints: self.records,
+            output_digest: self.output.digest(),
+            extra_instr: self.extra_instr,
+            stores: self.stores_seen,
+        }
+    }
+}
+
+impl Monitor for CheckMonitor {
+    fn on_store(&mut self, tid: ThreadId, addr: Addr, old: u64, new: u64, kind: ValKind) {
+        match self.scheme {
+            Scheme::Native | Scheme::SwTr => {}
+            Scheme::HwInc | Scheme::SwInc => {
+                if self.scheme == Scheme::SwInc {
+                    self.extra_instr += SW_INC_INSTR_PER_STORE;
+                }
+                self.core(tid).on_store(addr.raw(), old, new, kind == ValKind::F64);
+            }
+        }
+        self.stores_seen += 1;
+    }
+
+    fn on_free(&mut self, tid: ThreadId, block: &BlockInfo, contents: &[u64]) {
+        // Freed memory leaves the program state: cancel each word's
+        // contribution back to the zero baseline so the incremental hash
+        // matches the live state. (The traversal scheme simply stops
+        // seeing the block.)
+        if !self.scheme.is_incremental() {
+            return;
+        }
+        let per_word = match self.scheme {
+            Scheme::HwInc => HW_INSTR_PER_EXCLUDED_WORD,
+            _ => SW_INSTR_PER_EXCLUDED_WORD,
+        };
+        self.extra_instr += per_word * contents.len() as u64;
+        let rounding = self.rounding;
+        let core = self.core(tid);
+        for (i, &value) in contents.iter().enumerate() {
+            let kind = block.kind_at(i);
+            let is_fp = kind == ValKind::F64 && rounding.is_some();
+            let addr = block.base.offset(i as u64).raw();
+            core.minus_hash(addr, value, is_fp);
+            core.plus_hash(addr, 0, is_fp);
+        }
+    }
+
+    fn on_output(&mut self, _tid: ThreadId, bytes: &[u8]) {
+        if self.scheme.is_checking() {
+            // Hashing the written bytes before `write()` returns (§4.3).
+            self.extra_instr += bytes.len() as u64 * SW_INSTR_PER_BYTE;
+            self.output.update(bytes);
+        }
+    }
+
+    fn on_checkpoint(&mut self, info: &CheckpointInfo, view: &StateView<'_>) {
+        let hash = match self.scheme {
+            Scheme::Native => HashSum::ZERO,
+            Scheme::HwInc | Scheme::SwInc => self.incremental_hash(view),
+            Scheme::SwTr => self.traversal_hash(view),
+        };
+        self.records.push(CheckpointRecord { kind: info.kind, hash });
+    }
+
+    fn extra_instructions(&self) -> u64 {
+        self.extra_instr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhash::IncHasher;
+
+    #[test]
+    fn scheme_predicates() {
+        assert!(Scheme::HwInc.is_incremental());
+        assert!(Scheme::SwInc.is_incremental());
+        assert!(!Scheme::SwTr.is_incremental());
+        assert!(!Scheme::Native.is_incremental());
+        assert!(Scheme::SwTr.is_checking());
+        assert!(!Scheme::Native.is_checking());
+    }
+
+    #[test]
+    fn native_records_zero_hashes_and_no_extra_cost() {
+        let mut m = CheckMonitor::new(Scheme::Native, None, IgnoreSpec::new());
+        m.on_store(0, Addr(0x1000), 0, 5, ValKind::U64);
+        assert_eq!(m.extra_instructions(), 0);
+        assert_eq!(m.stores_seen(), 1);
+    }
+
+    #[test]
+    fn sw_inc_charges_per_store_and_hw_does_not() {
+        let mut hw = CheckMonitor::new(Scheme::HwInc, None, IgnoreSpec::new());
+        let mut sw = CheckMonitor::new(Scheme::SwInc, None, IgnoreSpec::new());
+        for i in 0..10 {
+            hw.on_store(0, Addr(0x1000 + i), 0, i, ValKind::U64);
+            sw.on_store(0, Addr(0x1000 + i), 0, i, ValKind::U64);
+        }
+        assert_eq!(hw.extra_instructions(), 0);
+        assert_eq!(sw.extra_instructions(), 10 * SW_INC_INSTR_PER_STORE);
+    }
+
+    /// The Section 4.1 caveat, demonstrated at the hash level: if the
+    /// instrumentation reads a stale old value (a write-write race slips
+    /// a store between the instrumented read and the store), the
+    /// telescoping breaks and the hash no longer matches the state.
+    #[test]
+    fn stale_old_value_corrupts_the_hash() {
+        let a = 0x10u64;
+        // True history: 0 → 5 (thread 1) → 9 (thread 2).
+        let mut correct = IncHasher::new(Mix64Hasher::default());
+        correct.on_write(a, 0, 5);
+        correct.on_write(a, 5, 9);
+
+        // Racy instrumentation: thread 2 read "0" as the old value
+        // (before thread 1's store landed) but its store still wrote 9
+        // over 5.
+        let mut stale = IncHasher::new(Mix64Hasher::default());
+        stale.on_write(a, 0, 5);
+        stale.on_write(a, 0, 9); // stale old!
+
+        assert_ne!(correct.sum(), stale.sum());
+    }
+
+    #[test]
+    fn rounding_configures_cores_lazily() {
+        let mut m =
+            CheckMonitor::new(Scheme::HwInc, Some(FpRound::default()), IgnoreSpec::new());
+        let noisy: f64 = 0.1 + 0.2 + 0.3;
+        let clean: f64 = 0.6;
+        m.on_store(3, Addr(0x8), 0, noisy.to_bits(), ValKind::F64);
+        let mut n =
+            CheckMonitor::new(Scheme::HwInc, Some(FpRound::default()), IgnoreSpec::new());
+        n.on_store(3, Addr(0x8), 0, clean.to_bits(), ValKind::F64);
+        assert_eq!(m.cores[3].th(), n.cores[3].th());
+        // Cores 0..2 exist but are untouched.
+        assert_eq!(m.cores.len(), 4);
+    }
+
+    #[test]
+    fn records_accessor() {
+        let m = CheckMonitor::new(Scheme::SwTr, None, IgnoreSpec::new());
+        assert!(m.records().is_empty());
+        assert_eq!(m.scheme(), Scheme::SwTr);
+    }
+}

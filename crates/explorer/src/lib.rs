@@ -1,0 +1,33 @@
+//! `instantcheck-explorer` — the Section-6 applications of fast
+//! memory-state hashing.
+//!
+//! Fast comparison of memory states is a powerful primitive beyond
+//! determinism checking. This crate implements the three uses the paper
+//! outlines:
+//!
+//! * [`races`] — **filtering out benign data races** (§6.1): detect races
+//!   with vector clocks on recorded traces, then compare the state hashes
+//!   of runs in which the race resolved in each order; races whose both
+//!   orders reach the same state are benign (Narayanasamy et al. report
+//!   ~90% of races are).
+//! * [`systematic`] — **speeding up systematic testing** (§6.2): a
+//!   CHESS-style stateless explorer that enumerates interleavings and
+//!   shows how many executions a happens-before-equivalence prune keeps
+//!   versus a state-hash-equivalence prune (hashes prune strictly more,
+//!   because runs with different synchronization orders can still reach
+//!   identical states — the paper's Figure 1).
+//! * [`replay`] — **assisting deterministic replay** (§6.3): given only a
+//!   partial decision log of an original run, search completions and use
+//!   the state hash to detect when a completion reproduces the *entire*
+//!   original state, not just the bug.
+//!
+//! The [`hb`] module provides the vector-clock substrate shared by the
+//! three.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hb;
+pub mod races;
+pub mod replay;
+pub mod systematic;

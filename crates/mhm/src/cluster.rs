@@ -1,0 +1,184 @@
+//! The highly-parallel MHM design of Figure 3(b).
+//!
+//! Because the hash combination is modular addition — commutative and
+//! associative, with subtraction as inverse — the two hash operations of
+//! one store (subtract `h(addr, old)`, add `h(addr, new)`) can be sent to
+//! *any* cluster, in *any* order, even interleaved arbitrarily with other
+//! stores' operations. Each cluster keeps a partial sum; the partial sums
+//! are merged into the TH register whenever it is read.
+
+use adhash::{FpRound, HashSum, IncHasher, Mix64Hasher};
+
+/// One of the two hash operations a store generates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterOp {
+    /// Subtract `h(addr, value)` (the `Data_old` side).
+    MinusOld {
+        /// Virtual address of the store.
+        addr: u64,
+        /// The value being overwritten.
+        value: u64,
+    },
+    /// Add `h(addr, value)` (the `Data_new` side).
+    PlusNew {
+        /// Virtual address of the store.
+        addr: u64,
+        /// The value being written.
+        value: u64,
+    },
+}
+
+/// A clustered MHM: `k` parallel hash clusters, each accumulating a
+/// partial sum, merged on demand.
+///
+/// # Example
+///
+/// Dispatching the two halves of one store to *different* clusters, in
+/// the "wrong" order, still produces the same TH as the basic design:
+///
+/// ```
+/// use mhm::{ClusteredMhm, ClusterOp, MhmCore};
+///
+/// let mut clustered = ClusteredMhm::new(4);
+/// clustered.dispatch(3, ClusterOp::PlusNew { addr: 0x10, value: 9 });
+/// clustered.dispatch(0, ClusterOp::MinusOld { addr: 0x10, value: 2 });
+///
+/// let mut basic = MhmCore::new();
+/// basic.on_store(0x10, 2, 9, false);
+///
+/// assert_eq!(clustered.th(), basic.th());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusteredMhm {
+    clusters: Vec<IncHasher<Mix64Hasher>>,
+    rounding: Option<FpRound>,
+}
+
+impl ClusteredMhm {
+    /// Creates a clustered design with `k` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one cluster");
+        ClusteredMhm {
+            clusters: vec![IncHasher::new(Mix64Hasher::default()); k],
+            rounding: None,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Enables FP rounding in front of the clusters (the round-off unit
+    /// sits on the `Data` wires before dispatch).
+    pub fn set_rounding(&mut self, rounding: Option<FpRound>) {
+        self.rounding = rounding;
+    }
+
+    /// Sends one hash operation to cluster `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster >= self.clusters()`.
+    pub fn dispatch(&mut self, cluster: usize, op: ClusterOp) {
+        self.dispatch_kind(cluster, op, false)
+    }
+
+    /// Sends one hash operation with an FP flag (rounded if rounding is
+    /// enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster >= self.clusters()`.
+    pub fn dispatch_kind(&mut self, cluster: usize, op: ClusterOp, is_fp: bool) {
+        let round = |v: u64| match (is_fp, self.rounding) {
+            (true, Some(r)) => r.apply_bits(v),
+            _ => v,
+        };
+        let c = &mut self.clusters[cluster];
+        match op {
+            ClusterOp::MinusOld { addr, value } => c.remove_location(addr, round(value)),
+            ClusterOp::PlusNew { addr, value } => c.add_location(addr, round(value)),
+        }
+    }
+
+    /// The partial sum held by one cluster.
+    pub fn partial(&self, cluster: usize) -> HashSum {
+        self.clusters[cluster].sum()
+    }
+
+    /// Merges all cluster partial sums into the TH value.
+    pub fn th(&self) -> HashSum {
+        self.clusters.iter().map(|c| c.sum()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MhmCore;
+
+    #[test]
+    fn one_cluster_equals_basic_design() {
+        let stores = [(0x10u64, 0u64, 5u64), (0x18, 0, 6), (0x10, 5, 7)];
+        let mut clustered = ClusteredMhm::new(1);
+        let mut basic = MhmCore::new();
+        for (a, old, new) in stores {
+            clustered.dispatch(0, ClusterOp::MinusOld { addr: a, value: old });
+            clustered.dispatch(0, ClusterOp::PlusNew { addr: a, value: new });
+            basic.on_store(a, old, new, false);
+        }
+        assert_eq!(clustered.th(), basic.th());
+    }
+
+    #[test]
+    fn old_after_new_is_fine() {
+        // "Data_old could be sent much earlier than Data_new, or even
+        // after it."
+        let mut m = ClusteredMhm::new(2);
+        m.dispatch(0, ClusterOp::PlusNew { addr: 1, value: 9 });
+        m.dispatch(1, ClusterOp::PlusNew { addr: 2, value: 3 });
+        m.dispatch(1, ClusterOp::MinusOld { addr: 1, value: 0 });
+        m.dispatch(0, ClusterOp::MinusOld { addr: 2, value: 0 });
+
+        let mut basic = MhmCore::new();
+        basic.on_store(1, 0, 9, false);
+        basic.on_store(2, 0, 3, false);
+        assert_eq!(m.th(), basic.th());
+    }
+
+    #[test]
+    fn partials_differ_but_merge_equal() {
+        let mut a = ClusteredMhm::new(2);
+        a.dispatch(0, ClusterOp::PlusNew { addr: 1, value: 1 });
+        a.dispatch(1, ClusterOp::PlusNew { addr: 2, value: 2 });
+        let mut b = ClusteredMhm::new(2);
+        b.dispatch(1, ClusterOp::PlusNew { addr: 1, value: 1 });
+        b.dispatch(0, ClusterOp::PlusNew { addr: 2, value: 2 });
+        assert_ne!(a.partial(0), b.partial(0));
+        assert_eq!(a.th(), b.th());
+        assert_eq!(a.clusters(), 2);
+    }
+
+    #[test]
+    fn rounding_in_front_of_clusters() {
+        let mut m = ClusteredMhm::new(2);
+        m.set_rounding(Some(FpRound::default()));
+        let a: f64 = 0.1 + 0.2 + 0.3;
+        let b: f64 = 0.3 + 0.2 + 0.1;
+        m.dispatch_kind(0, ClusterOp::PlusNew { addr: 1, value: a.to_bits() }, true);
+        m.dispatch_kind(1, ClusterOp::MinusOld { addr: 1, value: b.to_bits() }, true);
+        // a and b round to the same value, so the contributions cancel.
+        assert_eq!(m.th(), HashSum::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        let _ = ClusteredMhm::new(0);
+    }
+}

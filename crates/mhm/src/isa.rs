@@ -1,0 +1,201 @@
+//! The MHM software interface (Figure 4): eight instructions executed by
+//! a core against its MHM unit and memory.
+//!
+//! This module gives the ISA an executable semantics: an [`Instruction`]
+//! stream mutates an [`MhmCore`](crate::MhmCore) plus a memory bus. The
+//! determinism checker in the `instantcheck` crate uses the same unit
+//! through its direct methods; this module exists so the ISA itself is a
+//! tested, documented artifact (and is what a kernel/VMM would emit for
+//! context switches).
+
+use adhash::HashSum;
+
+use crate::MhmCore;
+
+/// A memory the ISA's `save_hash` / `restore_hash` / `minus_hash`
+/// instructions can address.
+pub trait MhmBus {
+    /// Reads the 64-bit word at `addr`.
+    fn read(&self, addr: u64) -> u64;
+    /// Writes the 64-bit word at `addr`.
+    fn write(&mut self, addr: u64, value: u64);
+}
+
+impl MhmBus for std::collections::HashMap<u64, u64> {
+    fn read(&self, addr: u64) -> u64 {
+        *self.get(&addr).unwrap_or(&0)
+    }
+    fn write(&mut self, addr: u64, value: u64) {
+        self.insert(addr, value);
+    }
+}
+
+/// The MHM instruction set (Figure 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instruction {
+    /// Start hashing the values of memory writes.
+    StartHashing,
+    /// Stop hashing the values of memory writes.
+    StopHashing,
+    /// Save the TH register to memory location `addr`.
+    SaveHash {
+        /// Destination address.
+        addr: u64,
+    },
+    /// Restore the TH register from memory location `addr`.
+    RestoreHash {
+        /// Source address.
+        addr: u64,
+    },
+    /// Subtract the hash of the current value of the memory at `addr`
+    /// from TH.
+    MinusHash {
+        /// Target address.
+        addr: u64,
+        /// Whether the location holds an FP value (routes through the
+        /// round-off unit when rounding is enabled).
+        is_fp: bool,
+    },
+    /// Add to TH the hash of `val` as if `val` were the current value at
+    /// memory location `addr`.
+    PlusHash {
+        /// Target address.
+        addr: u64,
+        /// The value to hash in.
+        val: u64,
+        /// Whether the value is FP.
+        is_fp: bool,
+    },
+    /// Start rounding-off FP values before hashing.
+    StartFpRounding,
+    /// Stop rounding-off FP values before hashing.
+    StopFpRounding,
+}
+
+/// Executes one instruction against a core and its memory.
+pub fn execute<B: MhmBus>(core: &mut MhmCore, bus: &mut B, instr: Instruction) {
+    match instr {
+        Instruction::StartHashing => core.start_hashing(),
+        Instruction::StopHashing => core.stop_hashing(),
+        Instruction::SaveHash { addr } => bus.write(addr, core.save_hash().as_raw()),
+        Instruction::RestoreHash { addr } => {
+            core.restore_hash(HashSum::from_raw(bus.read(addr)))
+        }
+        Instruction::MinusHash { addr, is_fp } => {
+            let current = bus.read(addr);
+            core.minus_hash(addr, current, is_fp);
+        }
+        Instruction::PlusHash { addr, val, is_fp } => core.plus_hash(addr, val, is_fp),
+        Instruction::StartFpRounding => core.start_fp_rounding(),
+        Instruction::StopFpRounding => core.stop_fp_rounding(),
+    }
+}
+
+/// Executes a straight-line instruction sequence.
+pub fn execute_all<B: MhmBus>(
+    core: &mut MhmCore,
+    bus: &mut B,
+    program: &[Instruction],
+) {
+    for &instr in program {
+        execute(core, bus, instr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn context_switch_sequence() {
+        // OS saves thread A's TH, runs thread B, restores A — exactly the
+        // virtualization story of Section 3.3.
+        let mut core = MhmCore::new();
+        let mut mem: HashMap<u64, u64> = HashMap::new();
+
+        core.on_store(0x10, 0, 7, false); // thread A runs
+        let a_th = core.th();
+
+        execute(&mut core, &mut mem, Instruction::SaveHash { addr: 0x900 });
+        core.reset(); // thread B gets a fresh TH
+        core.on_store(0x20, 0, 9, false); // thread B runs
+
+        execute(&mut core, &mut mem, Instruction::RestoreHash { addr: 0x900 });
+        assert_eq!(core.th(), a_th);
+    }
+
+    #[test]
+    fn stop_start_hashing_brackets_tool_code() {
+        let mut core = MhmCore::new();
+        let mut mem: HashMap<u64, u64> = HashMap::new();
+        core.on_store(1, 0, 1, false);
+        let before = core.th();
+        execute_all(
+            &mut core,
+            &mut mem,
+            &[Instruction::StopHashing],
+        );
+        core.on_store(2, 0, 99, false); // analysis-tool write: invisible
+        execute(&mut core, &mut mem, Instruction::StartHashing);
+        assert_eq!(core.th(), before);
+    }
+
+    #[test]
+    fn minus_plus_pair_deletes_a_variable() {
+        // The Section 2.2 example: ignore G by
+        // SH = SH ⊕ h(G, initial) ⊖ h(G, current).
+        let g = 0x40u64;
+        let mut core = MhmCore::new();
+        let mut mem: HashMap<u64, u64> = HashMap::new();
+        mem.write(g, 2); // initial value 2
+        core.on_store(g, 2, 12, false);
+        mem.write(g, 12);
+
+        execute_all(
+            &mut core,
+            &mut mem,
+            &[
+                Instruction::MinusHash { addr: g, is_fp: false },
+                Instruction::PlusHash { addr: g, val: 2, is_fp: false },
+            ],
+        );
+        // Equivalent to never having changed G.
+        assert_eq!(core.th(), HashSum::ZERO);
+    }
+
+    #[test]
+    fn fp_rounding_toggles() {
+        let mut core = MhmCore::new();
+        let mut mem: HashMap<u64, u64> = HashMap::new();
+        execute(&mut core, &mut mem, Instruction::StartFpRounding);
+        assert!(core.fp_rounding_enabled());
+        execute(&mut core, &mut mem, Instruction::StopFpRounding);
+        assert!(!core.fp_rounding_enabled());
+    }
+
+    #[test]
+    fn minus_hash_respects_fp_rounding() {
+        let g = 0x50u64;
+        let noisy: f64 = 0.1 + 0.2 + 0.3;
+        let clean: f64 = 0.6;
+        let mut core = MhmCore::new();
+        let mut mem: HashMap<u64, u64> = HashMap::new();
+        core.start_fp_rounding();
+        core.on_store(g, 0, noisy.to_bits(), true);
+        mem.write(g, noisy.to_bits());
+        // Remove via minus_hash with the *clean* expectation: rounding
+        // makes them match, so the contribution of the write cancels
+        // against plus_hash of the rounded zero-state.
+        execute_all(
+            &mut core,
+            &mut mem,
+            &[
+                Instruction::MinusHash { addr: g, is_fp: true },
+                Instruction::PlusHash { addr: g, val: 0, is_fp: true },
+            ],
+        );
+        let _ = clean;
+        assert_eq!(core.th(), HashSum::ZERO);
+    }
+}

@@ -1,0 +1,57 @@
+//! `mhm` — a functional model of InstantCheck's *Memory-State Hashing
+//! Module* (Section 3 of the paper).
+//!
+//! The MHM is a small unit in each core's L1 cache controller: a hash
+//! unit, a modulo add/subtract unit, an FP round-off unit, and a 64-bit
+//! *Thread Hash* (TH) register. Whenever the write buffer pushes a store
+//! into the L1, the MHM reads the old value from the cache line (already
+//! present — write-allocate caches fill the line to service the write
+//! anyway) and updates `TH = TH ⊖ hash(V_addr, Data_old) ⊕
+//! hash(V_addr, Data_new)`, entirely core-locally.
+//!
+//! This crate models:
+//!
+//! * [`MhmCore`] — the per-core unit and its store-observation datapath,
+//!   including the FP round-off unit;
+//! * [`isa`] — the eight instructions of the software interface
+//!   (Figure 4) executed against a memory bus;
+//! * [`ClusteredMhm`] — the highly-parallel design of Figure 3(b), whose
+//!   equivalence with the basic design follows from the commutativity of
+//!   the hash combination (and is property-tested here);
+//! * [`L1Cache`] — a write-allocate cache model used to validate the
+//!   paper's claim that obtaining `Data_old` incurs no additional cache
+//!   misses.
+//!
+//! # Example
+//!
+//! ```
+//! use mhm::MhmCore;
+//!
+//! let mut core0 = MhmCore::new();
+//! let mut core1 = MhmCore::new();
+//! // Figure 2(a): thread 0 writes G: 2 → 9; thread 1 writes G: 9 → 12.
+//! core0.on_store(0x1000, 2, 9, false);
+//! core1.on_store(0x1000, 9, 12, false);
+//! let sh_a = core0.th() + core1.th();
+//!
+//! // Figure 2(b): thread 1 writes G: 2 → 5; thread 0 writes G: 5 → 12.
+//! let mut core0 = MhmCore::new();
+//! let mut core1 = MhmCore::new();
+//! core1.on_store(0x1000, 2, 5, false);
+//! core0.on_store(0x1000, 5, 12, false);
+//! let sh_b = core0.th() + core1.th();
+//!
+//! assert_eq!(sh_a, sh_b); // same final state, same State Hash
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod cluster;
+mod mhm_core;
+pub mod isa;
+
+pub use cache::{CacheStats, L1Cache};
+pub use cluster::{ClusterOp, ClusteredMhm};
+pub use mhm_core::MhmCore;

@@ -1,0 +1,87 @@
+//! Property tests: the clustered design of Figure 3(b) is equivalent to
+//! the basic design for every dispatch assignment and operation order,
+//! and per-core decomposition commutes with migration.
+
+use adhash::HashSum;
+use mhm::{ClusterOp, ClusteredMhm, MhmCore};
+use proptest::prelude::*;
+
+fn stores() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    // (addr, new value); old values derived by replay over a small space.
+    prop::collection::vec((0u64..16, any::<u64>()), 1..100)
+}
+
+proptest! {
+    /// Any per-operation cluster assignment gives the same merged TH as
+    /// the basic single-register design.
+    #[test]
+    fn clustered_equals_basic(
+        writes in stores(),
+        clusters in 1usize..6,
+        assignment in prop::collection::vec((0usize..6, 0usize..6), 1..100),
+    ) {
+        let mut mem = std::collections::HashMap::<u64, u64>::new();
+        let mut basic = MhmCore::new();
+        let mut clustered = ClusteredMhm::new(clusters);
+        for (i, &(addr, new)) in writes.iter().enumerate() {
+            let old = *mem.get(&addr).unwrap_or(&0);
+            mem.insert(addr, new);
+            basic.on_store(addr, old, new, false);
+            let (c_old, c_new) = assignment[i % assignment.len()];
+            clustered.dispatch(c_old % clusters, ClusterOp::MinusOld { addr, value: old });
+            clustered.dispatch(c_new % clusters, ClusterOp::PlusNew { addr, value: new });
+        }
+        prop_assert_eq!(clustered.th(), basic.th());
+    }
+
+    /// Reversing the order in which operations reach the clusters does
+    /// not change the merged TH (operations commute).
+    #[test]
+    fn dispatch_order_is_irrelevant(writes in stores(), clusters in 1usize..5) {
+        let mut mem = std::collections::HashMap::<u64, u64>::new();
+        let mut ops = Vec::new();
+        for &(addr, new) in &writes {
+            let old = *mem.get(&addr).unwrap_or(&0);
+            mem.insert(addr, new);
+            ops.push(ClusterOp::MinusOld { addr, value: old });
+            ops.push(ClusterOp::PlusNew { addr, value: new });
+        }
+        let mut fwd = ClusteredMhm::new(clusters);
+        for (i, &op) in ops.iter().enumerate() {
+            fwd.dispatch(i % clusters, op);
+        }
+        let mut rev = ClusteredMhm::new(clusters);
+        for (i, &op) in ops.iter().rev().enumerate() {
+            rev.dispatch((i * 7 + 3) % clusters, op);
+        }
+        prop_assert_eq!(fwd.th(), rev.th());
+    }
+
+    /// Migrating a thread between cores (save/restore of TH) never
+    /// changes the combined state hash.
+    #[test]
+    fn migration_is_transparent(
+        writes in stores(),
+        migrate_at in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        // One logical thread, two physical cores.
+        let mut mem = std::collections::HashMap::<u64, u64>::new();
+        let mut cores = [MhmCore::new(), MhmCore::new()];
+        let mut current = 0usize;
+        let mut reference = MhmCore::new();
+        for (i, &(addr, new)) in writes.iter().enumerate() {
+            if migrate_at[i % migrate_at.len()] {
+                // OS migrates the thread: move TH to the other core.
+                let th = cores[current].save_hash();
+                cores[current].restore_hash(HashSum::ZERO);
+                current ^= 1;
+                cores[current].restore_hash(th);
+            }
+            let old = *mem.get(&addr).unwrap_or(&0);
+            mem.insert(addr, new);
+            cores[current].on_store(addr, old, new, false);
+            reference.on_store(addr, old, new, false);
+        }
+        prop_assert_eq!(MhmCore::combine(cores.iter()), reference.th());
+    }
+}

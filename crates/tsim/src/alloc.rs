@@ -1,0 +1,363 @@
+//! The simulated heap allocator and its record/replay machinery.
+//!
+//! In "natural" mode the allocator behaves like a real `malloc`: a bump
+//! pointer plus size-classed LIFO free lists, so the address returned for
+//! an allocation depends on the global order in which *all* threads
+//! allocate and free — i.e. on the schedule. This is precisely the
+//! nondeterminism source the paper controls by logging the addresses
+//! returned in one run and replaying them in subsequent runs (Section 5).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use crate::mem::HEAP_BASE;
+use crate::types::{Addr, ThreadId, TypeTag, ValKind};
+
+/// Metadata of one live heap allocation (an entry in the paper's "table of
+/// allocated blocks with their type information").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    /// First word of the block.
+    pub base: Addr,
+    /// Length in words.
+    pub len: usize,
+    /// The allocation site label (the paper maps addresses back to the
+    /// source line of the allocation; sites are how ignore-specs select
+    /// "small nondeterministic structures").
+    pub site: &'static str,
+    /// Per-word type layout, for FP round-off during traversal.
+    pub tag: TypeTag,
+    /// The thread that performed the allocation.
+    pub tid: ThreadId,
+    /// Per-thread allocation sequence number (the replay key is
+    /// `(tid, seq)`).
+    pub seq: u64,
+}
+
+impl BlockInfo {
+    /// The declared kind of the `i`-th word of the block.
+    pub fn kind_at(&self, i: usize) -> ValKind {
+        self.tag.kind_at(i)
+    }
+
+    /// Iterates over all word addresses of the block.
+    pub fn iter(&self) -> impl Iterator<Item = Addr> + '_ {
+        (0..self.len as u64).map(move |i| self.base.offset(i))
+    }
+
+    /// Returns `true` if `addr` falls inside the block.
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr.0 >= self.base.0 && addr.0 < self.base.0 + self.len as u64
+    }
+}
+
+/// A log of the addresses returned by the allocator, keyed by
+/// `(thread, per-thread allocation index)`.
+///
+/// Produced by every run; feed it back through
+/// [`RunConfig::alloc_replay`](crate::RunConfig) to make later runs
+/// allocate at the same addresses (the paper treats allocator results as
+/// program *input* that must be fixed across the compared runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocLog {
+    entries: HashMap<(ThreadId, u64), u64>,
+}
+
+impl AllocLog {
+    /// Number of logged allocations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the logged base address for `(tid, seq)`.
+    pub fn lookup(&self, tid: ThreadId, seq: u64) -> Option<Addr> {
+        self.entries.get(&(tid, seq)).map(|&b| Addr(b))
+    }
+
+    fn record(&mut self, tid: ThreadId, seq: u64, base: u64) {
+        self.entries.insert((tid, seq), base);
+    }
+}
+
+/// The heap allocator state for one run.
+#[derive(Debug)]
+pub(crate) struct Allocator {
+    /// Next unused word offset from `HEAP_BASE`.
+    next: u64,
+    /// Size-classed LIFO free lists (exact-size reuse, like a fast-bin).
+    free_lists: BTreeMap<usize, Vec<u64>>,
+    /// Live blocks by base address.
+    table: BTreeMap<u64, BlockInfo>,
+    /// Per-thread allocation counters.
+    counters: Vec<u64>,
+    /// Log of this run's allocations.
+    log: AllocLog,
+    /// Addresses to replay, if any.
+    replay: Option<Arc<AllocLog>>,
+    /// How many replayed allocations had to fall back to fresh memory
+    /// (missing key or overlap with a live block).
+    replay_misses: u64,
+}
+
+impl Allocator {
+    pub(crate) fn new(nthreads: usize, replay: Option<Arc<AllocLog>>) -> Self {
+        Allocator {
+            next: 0,
+            free_lists: BTreeMap::new(),
+            table: BTreeMap::new(),
+            counters: vec![0; nthreads],
+            log: AllocLog::default(),
+            replay,
+            replay_misses: 0,
+        }
+    }
+
+    pub(crate) fn table(&self) -> &BTreeMap<u64, BlockInfo> {
+        &self.table
+    }
+
+    pub(crate) fn into_parts(self) -> (AllocLog, BTreeMap<u64, BlockInfo>, u64) {
+        (self.log, self.table, self.replay_misses)
+    }
+
+    /// Returns `true` if `[base, base+len)` overlaps any live block.
+    fn overlaps_live(&self, base: u64, len: usize) -> bool {
+        // The previous block (by base) could extend into us; any block
+        // starting inside us also overlaps.
+        if let Some((_, prev)) = self.table.range(..=base).next_back() {
+            if prev.base.0 + prev.len as u64 > base {
+                return true;
+            }
+        }
+        self.table.range(base..base + len as u64).next().is_some()
+    }
+
+    /// Allocates `len` words for `tid` at `site`, returning the block's
+    /// base address. Never fails (the heap grows on demand).
+    pub(crate) fn alloc(
+        &mut self,
+        tid: ThreadId,
+        site: &'static str,
+        tag: TypeTag,
+        len: usize,
+    ) -> Addr {
+        let len = len.max(1);
+        let seq = self.counters[tid];
+        self.counters[tid] += 1;
+
+        let base = self
+            .replayed_base(tid, seq, len)
+            .unwrap_or_else(|| self.natural_base(len));
+
+        self.log.record(tid, seq, base);
+        self.table.insert(
+            base,
+            BlockInfo { base: Addr(base), len, site, tag, tid, seq },
+        );
+        Addr(base)
+    }
+
+    fn replayed_base(&mut self, tid: ThreadId, seq: u64, len: usize) -> Option<u64> {
+        let replay = self.replay.as_ref()?;
+        match replay.lookup(tid, seq) {
+            Some(addr) if !self.overlaps_live(addr.0, len) => {
+                // Keep the bump pointer past every replayed block so a
+                // later fallback allocation cannot collide with one.
+                self.next = self.next.max(addr.0 - HEAP_BASE + len as u64);
+                Some(addr.0)
+            }
+            _ => {
+                // Key missing (the runs diverged structurally) or the
+                // logged block overlaps a live one (lifetimes shifted
+                // under this schedule): fall back to fresh memory.
+                self.replay_misses += 1;
+                None
+            }
+        }
+    }
+
+    fn natural_base(&mut self, len: usize) -> u64 {
+        if self.replay.is_none() {
+            if let Some(list) = self.free_lists.get_mut(&len) {
+                if let Some(base) = list.pop() {
+                    return base;
+                }
+            }
+        }
+        let base = HEAP_BASE + self.next;
+        self.next += len as u64;
+        base
+    }
+
+    /// Frees the block at `addr`, returning its metadata, or `None` if
+    /// `addr` is not the base of a live block.
+    pub(crate) fn free(&mut self, addr: Addr) -> Option<BlockInfo> {
+        let block = self.table.remove(&addr.0)?;
+        if self.replay.is_none() {
+            self.free_lists.entry(block.len).or_default().push(addr.0);
+        }
+        Some(block)
+    }
+
+    /// Total words the heap must be grown to.
+    pub(crate) fn high_water(&self) -> usize {
+        self.next as usize
+    }
+
+    /// The log of this run's allocations so far.
+    #[cfg(test)]
+    pub(crate) fn log(&self) -> &AllocLog {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(alloc: &mut Allocator, tid: ThreadId, len: usize) -> Addr {
+        alloc.alloc(tid, "test", TypeTag::u64s(), len)
+    }
+
+    #[test]
+    fn bump_allocation_is_contiguous() {
+        let mut al = Allocator::new(2, None);
+        let x = a(&mut al, 0, 4);
+        let y = a(&mut al, 1, 2);
+        assert_eq!(x, Addr(HEAP_BASE));
+        assert_eq!(y, Addr(HEAP_BASE + 4));
+        assert_eq!(al.high_water(), 6);
+        assert_eq!(al.table().len(), 2);
+    }
+
+    #[test]
+    fn free_list_reuse_is_lifo_and_size_classed() {
+        let mut al = Allocator::new(1, None);
+        let x = a(&mut al, 0, 4);
+        let y = a(&mut al, 0, 4);
+        al.free(x).unwrap();
+        al.free(y).unwrap();
+        // Same-size allocation reuses the most recently freed block.
+        assert_eq!(a(&mut al, 0, 4), y);
+        assert_eq!(a(&mut al, 0, 4), x);
+        // A different size does not reuse.
+        let z = a(&mut al, 0, 2);
+        assert_eq!(z, Addr(HEAP_BASE + 8));
+    }
+
+    #[test]
+    fn alloc_order_changes_addresses() {
+        // The schedule-dependence the paper controls: the same per-thread
+        // allocation sequence gets different addresses if the interleaving
+        // differs.
+        let mut run1 = Allocator::new(2, None);
+        let t0_first = run1.alloc(0, "s", TypeTag::u64s(), 3);
+        let _ = run1.alloc(1, "s", TypeTag::u64s(), 3);
+
+        let mut run2 = Allocator::new(2, None);
+        let _ = run2.alloc(1, "s", TypeTag::u64s(), 3);
+        let t0_second = run2.alloc(0, "s", TypeTag::u64s(), 3);
+
+        assert_ne!(t0_first, t0_second);
+    }
+
+    #[test]
+    fn replay_restores_addresses() {
+        let mut run1 = Allocator::new(2, None);
+        let x1 = run1.alloc(0, "s", TypeTag::u64s(), 3);
+        let y1 = run1.alloc(1, "s", TypeTag::u64s(), 5);
+        let (log, _, _) = run1.into_parts();
+
+        // Replay with the *opposite* interleaving: addresses still match.
+        let mut run2 = Allocator::new(2, Some(Arc::new(log)));
+        let y2 = run2.alloc(1, "s", TypeTag::u64s(), 5);
+        let x2 = run2.alloc(0, "s", TypeTag::u64s(), 3);
+        assert_eq!(x1, x2);
+        assert_eq!(y1, y2);
+        let (_, _, misses) = run2.into_parts();
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn replay_overlap_falls_back() {
+        // Run 1: t0 allocates A, frees it, t1 reuses the space for B.
+        let mut run1 = Allocator::new(2, None);
+        let a1 = run1.alloc(0, "s", TypeTag::u64s(), 4);
+        run1.free(a1).unwrap();
+        let b1 = run1.alloc(1, "s", TypeTag::u64s(), 4);
+        assert_eq!(a1, b1); // reuse happened
+        let (log, _, _) = run1.into_parts();
+
+        // Run 2 (different schedule): t1 allocates B *before* t0 frees A;
+        // the replayed address would overlap the still-live A, so the
+        // allocator must fall back rather than corrupt memory.
+        let mut run2 = Allocator::new(2, Some(Arc::new(log)));
+        let a2 = run2.alloc(0, "s", TypeTag::u64s(), 4);
+        let b2 = run2.alloc(1, "s", TypeTag::u64s(), 4);
+        assert_eq!(a2, a1);
+        assert_ne!(b2, a2, "live blocks must never overlap");
+        let (_, table, misses) = run2.into_parts();
+        assert_eq!(misses, 1);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn replay_missing_key_falls_back() {
+        let run1 = Allocator::new(1, None);
+        let (log, _, _) = run1.into_parts(); // empty log
+        let mut run2 = Allocator::new(1, Some(Arc::new(log)));
+        let x = a(&mut run2, 0, 2);
+        assert_eq!(x, Addr(HEAP_BASE));
+        let (_, _, misses) = run2.into_parts();
+        assert_eq!(misses, 1);
+    }
+
+    #[test]
+    fn free_of_unknown_address_is_none() {
+        let mut al = Allocator::new(1, None);
+        assert!(al.free(Addr(HEAP_BASE + 123)).is_none());
+        let x = a(&mut al, 0, 2);
+        // Freeing an interior pointer is also invalid.
+        assert!(al.free(x.offset(1)).is_none());
+        assert!(al.free(x).is_some());
+        assert!(al.free(x).is_none(), "double free rejected");
+    }
+
+    #[test]
+    fn block_info_helpers() {
+        let mut al = Allocator::new(1, None);
+        let x = al.alloc(0, "site", TypeTag::f64s(), 3);
+        let block = al.table()[&x.0].clone();
+        assert_eq!(block.kind_at(2), ValKind::F64);
+        assert_eq!(block.iter().count(), 3);
+        assert!(block.contains(x.offset(2)));
+        assert!(!block.contains(x.offset(3)));
+        assert_eq!(block.site, "site");
+        assert_eq!(block.seq, 0);
+    }
+
+    #[test]
+    fn log_records_every_alloc() {
+        let mut al = Allocator::new(2, None);
+        a(&mut al, 0, 1);
+        a(&mut al, 0, 1);
+        a(&mut al, 1, 1);
+        assert_eq!(al.log().len(), 3);
+        assert!(al.log().lookup(0, 1).is_some());
+        assert!(al.log().lookup(1, 1).is_none());
+        assert!(!al.log().is_empty());
+    }
+
+    #[test]
+    fn zero_len_alloc_rounds_up() {
+        let mut al = Allocator::new(1, None);
+        let x = a(&mut al, 0, 0);
+        let y = a(&mut al, 0, 1);
+        assert_ne!(x, y);
+    }
+}

@@ -1,0 +1,1108 @@
+//! The execution engine: serialized cooperative scheduling of simulated
+//! threads over the shared machine state.
+//!
+//! Each simulated thread is an OS thread, but exactly one of them owns the
+//! *token* (`Central::active`) at any time, so execution is serialized and
+//! fully determined by the scheduler's decisions. Threads hand the token
+//! over at scheduling points (synchronization operations, and data
+//! accesses when the [`SwitchPolicy`](crate::SwitchPolicy) says so).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread;
+
+use crate::alloc::{AllocLog, Allocator, BlockInfo};
+use crate::error::SimError;
+use crate::libcalls::{LibCalls, LibLog};
+use crate::mem::Memory;
+use crate::monitor::{CheckpointInfo, CheckpointKind, Monitor, StateView};
+use crate::program::{GlobalDecl, Program, RunConfig};
+use crate::sched::{Scheduler, SwitchPolicy};
+use crate::trace::{Trace, TraceOp};
+use crate::types::{Addr, BarrierId, CondId, LockId, RwLockId, SemId, ThreadId, TypeTag, ValKind};
+
+/// Instruction-cost model (in simulated instructions).
+const COST_ACCESS: u64 = 1;
+const COST_SYNC: u64 = 1;
+const COST_MALLOC: u64 = 10;
+const COST_FREE: u64 = 10;
+const COST_LIB: u64 = 5;
+
+/// Even under `SwitchPolicy::SyncOnly`, force a scheduling point every
+/// this many consecutive data accesses by one thread, so spin loops over
+/// plain loads cannot monopolize the token forever.
+const FORCED_PREEMPT_EVERY: u64 = 4096;
+
+/// Panic payload used to silently unwind simulated threads when the run
+/// aborts (deadlock, step limit, machine misuse).
+struct SimAbort;
+
+/// Installs (once per process) a panic hook that suppresses the default
+/// message for [`SimAbort`] unwinds while delegating everything else.
+fn install_quiet_abort_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<SimAbort>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Object-safe wrapper that lets the engine hold any monitor type and
+/// still return the concrete value to the caller.
+trait AnyMonitor: Monitor {
+    fn as_monitor(&mut self) -> &mut dyn Monitor;
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<M: Monitor + 'static> AnyMonitor for M {
+    fn as_monitor(&mut self) -> &mut dyn Monitor {
+        self
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Ready,
+    BlockedLock(LockId),
+    BlockedBarrier(BarrierId),
+    BlockedCond(CondId),
+    BlockedRwRead(RwLockId),
+    BlockedRwWrite(RwLockId),
+    BlockedSem(SemId),
+    Finished,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    held_by: Option<ThreadId>,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    parties: usize,
+    arrived: Vec<ThreadId>,
+}
+
+#[derive(Debug, Default)]
+struct RwState {
+    writer: Option<ThreadId>,
+    readers: Vec<ThreadId>,
+}
+
+#[derive(Debug)]
+struct SemState {
+    count: u64,
+}
+
+/// All mutable machine state, protected by one mutex.
+struct Central {
+    mem: Memory,
+    globals: Vec<GlobalDecl>,
+    alloc: Allocator,
+    locks: Vec<LockState>,
+    rwlocks: Vec<RwState>,
+    sems: Vec<SemState>,
+    barriers: Vec<BarrierState>,
+    states: Vec<TState>,
+    active: Option<ThreadId>,
+    scheduler: Box<dyn Scheduler + Send>,
+    switch: SwitchPolicy,
+    monitor: Box<dyn AnyMonitor + Send>,
+    instr: Vec<u64>,
+    zero_fill_instr: u64,
+    charge_zero_fill: bool,
+    lib: LibCalls,
+    output: Vec<u8>,
+    trace: Option<Trace>,
+    decisions: Vec<u32>,
+    decision_options: Option<Vec<Vec<u32>>>,
+    step: u64,
+    max_steps: u64,
+    access_count: Vec<u64>,
+    cp_seq: u64,
+    cp_decision_index: Vec<usize>,
+    error: Option<SimError>,
+    finished: usize,
+    nthreads: usize,
+}
+
+impl Central {
+    fn trace_push(&mut self, tid: ThreadId, op: TraceOp) {
+        if let Some(t) = &mut self.trace {
+            t.push(tid, op);
+        }
+    }
+
+    fn fire_checkpoint(&mut self, tid: ThreadId, kind: CheckpointKind) {
+        let seq = self.cp_seq;
+        self.cp_seq += 1;
+        self.cp_decision_index.push(self.decisions.len());
+        self.trace_push(tid, TraceOp::Checkpoint { seq });
+        let Central { mem, globals, alloc, monitor, .. } = self;
+        let view = StateView::new(mem, globals, alloc.table());
+        monitor.as_monitor().on_checkpoint(&CheckpointInfo { seq, kind }, &view);
+    }
+
+    fn runnable(&self) -> Vec<ThreadId> {
+        (0..self.nthreads).filter(|&t| self.states[t] == TState::Ready).collect()
+    }
+
+    fn deadlock_detail(&self) -> String {
+        let mut parts = Vec::new();
+        for (t, s) in self.states.iter().enumerate() {
+            let what = match s {
+                TState::Ready => continue,
+                TState::BlockedLock(l) => format!("thread {t} waits on lock {}", l.index()),
+                TState::BlockedBarrier(b) => {
+                    format!("thread {t} waits at barrier {}", b.index())
+                }
+                TState::BlockedCond(c) => {
+                    format!("thread {t} waits on condvar {}", c.0)
+                }
+                TState::BlockedRwRead(l) => {
+                    format!("thread {t} waits to read-lock rwlock {}", l.index())
+                }
+                TState::BlockedRwWrite(l) => {
+                    format!("thread {t} waits to write-lock rwlock {}", l.index())
+                }
+                TState::BlockedSem(sem) => {
+                    format!("thread {t} waits on semaphore {}", sem.index())
+                }
+                TState::Finished => continue,
+            };
+            parts.push(what);
+        }
+        if parts.is_empty() {
+            "no runnable threads".to_owned()
+        } else {
+            parts.join("; ")
+        }
+    }
+}
+
+struct Shared {
+    mu: Mutex<Central>,
+    cv: Condvar,
+}
+
+fn lock_central(shared: &Shared) -> MutexGuard<'_, Central> {
+    shared.mu.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Picks the next thread to run (or detects completion/deadlock).
+/// Expects `central.active == None`.
+///
+/// `avoid` excludes a thread from consideration when at least one other
+/// thread is runnable — used by the forced-preemption backstop so that a
+/// thread spinning on plain loads cannot be handed the token straight
+/// back regardless of the scheduler policy.
+fn schedule_next_avoiding(c: &mut Central, cv: &Condvar, avoid: Option<ThreadId>) {
+    let mut runnable = c.runnable();
+    if let Some(avoid) = avoid {
+        if runnable.len() > 1 {
+            runnable.retain(|&t| t != avoid);
+        }
+    }
+    if runnable.is_empty() {
+        if c.finished < c.nthreads && c.error.is_none() {
+            c.error = Some(SimError::Deadlock { detail: c.deadlock_detail() });
+        }
+    } else {
+        let idx = c.scheduler.pick(&runnable, c.step).min(runnable.len() - 1);
+        let next = runnable[idx];
+        c.decisions.push(next as u32);
+        if let Some(opts) = &mut c.decision_options {
+            opts.push(runnable.iter().map(|&t| t as u32).collect());
+        }
+        c.active = Some(next);
+    }
+    cv.notify_all();
+}
+
+fn schedule_next(c: &mut Central, cv: &Condvar) {
+    schedule_next_avoiding(c, cv, None)
+}
+
+/// The per-thread instrumented API that workload bodies are written
+/// against — the simulator's equivalent of the instruction stream Pin
+/// instruments in the paper.
+///
+/// All shared-memory traffic, synchronization, allocation, library calls
+/// and output of the program under test must go through this context; the
+/// run's [`Monitor`] observes it and the scheduler interleaves it.
+///
+/// Methods abort the whole run (by unwinding this thread) on machine
+/// misuse; the run then returns the corresponding [`SimError`].
+pub struct ThreadCtx {
+    tid: ThreadId,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for ThreadCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx").field("tid", &self.tid).finish()
+    }
+}
+
+impl ThreadCtx {
+    /// This thread's id (0-based, dense).
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// Number of threads in the program.
+    pub fn nthreads(&self) -> usize {
+        lock_central(&self.shared).nthreads
+    }
+
+    fn guard(&self) -> MutexGuard<'_, Central> {
+        let c = lock_central(&self.shared);
+        if c.error.is_some() {
+            drop(c);
+            panic::panic_any(SimAbort);
+        }
+        debug_assert_eq!(c.active, Some(self.tid), "token protocol violated");
+        c
+    }
+
+    fn fail(&self, mut c: MutexGuard<'_, Central>, err: SimError) -> ! {
+        if c.error.is_none() {
+            c.error = Some(err);
+        }
+        self.shared.cv.notify_all();
+        drop(c);
+        panic::panic_any(SimAbort)
+    }
+
+    /// Blocks until this thread is scheduled again (or the run aborts).
+    fn wait_for_turn<'a>(
+        &self,
+        mut c: MutexGuard<'a, Central>,
+    ) -> MutexGuard<'a, Central> {
+        loop {
+            if c.error.is_some() {
+                drop(c);
+                panic::panic_any(SimAbort);
+            }
+            if c.active == Some(self.tid) && c.states[self.tid] == TState::Ready {
+                return c;
+            }
+            c = self
+                .shared
+                .cv
+                .wait(c)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A scheduling point: record our new state, give up the token, let
+    /// the scheduler pick, and wait until it is our turn again.
+    fn reschedule<'a>(
+        &self,
+        c: MutexGuard<'a, Central>,
+        new_state: TState,
+    ) -> MutexGuard<'a, Central> {
+        self.reschedule_avoiding(c, new_state, false)
+    }
+
+    fn reschedule_avoiding<'a>(
+        &self,
+        mut c: MutexGuard<'a, Central>,
+        new_state: TState,
+        avoid_self: bool,
+    ) -> MutexGuard<'a, Central> {
+        c.step += 1;
+        if c.step > c.max_steps && c.error.is_none() {
+            let limit = c.max_steps;
+            self.fail(c, SimError::StepLimit { limit });
+        }
+        c.states[self.tid] = new_state;
+        c.active = None;
+        let avoid = avoid_self.then_some(self.tid);
+        schedule_next_avoiding(&mut c, &self.shared.cv, avoid);
+        self.wait_for_turn(c)
+    }
+
+    fn access_preempt(&self, mut c: MutexGuard<'_, Central>) {
+        let tid = self.tid;
+        c.access_count[tid] += 1;
+        let count = c.access_count[tid];
+        let forced = count.is_multiple_of(FORCED_PREEMPT_EVERY);
+        if forced {
+            let c = self.reschedule_avoiding(c, TState::Ready, true);
+            drop(c);
+        } else if c.switch.preempt_on_access(count) {
+            let c = self.reschedule(c, TState::Ready);
+            drop(c);
+        }
+    }
+
+    // ---- data accesses -------------------------------------------------
+
+    fn load_kind(&mut self, addr: Addr, kind: ValKind) -> u64 {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_ACCESS;
+        let Some(value) = c.mem.read(addr) else {
+            self.fail(c, SimError::BadAddress { tid, addr });
+        };
+        c.monitor.as_monitor().on_load(tid, addr, value, kind);
+        c.trace_push(tid, TraceOp::Load(addr));
+        self.access_preempt(c);
+        value
+    }
+
+    fn store_kind(&mut self, addr: Addr, value: u64, kind: ValKind) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_ACCESS;
+        let Some(old) = c.mem.write(addr, value) else {
+            self.fail(c, SimError::BadAddress { tid, addr });
+        };
+        c.monitor.as_monitor().on_store(tid, addr, old, value, kind);
+        c.trace_push(tid, TraceOp::Store(addr));
+        self.access_preempt(c);
+    }
+
+    /// Loads an integer/pointer word.
+    pub fn load(&mut self, addr: Addr) -> u64 {
+        self.load_kind(addr, ValKind::U64)
+    }
+
+    /// Stores an integer/pointer word.
+    pub fn store(&mut self, addr: Addr, value: u64) {
+        self.store_kind(addr, value, ValKind::U64)
+    }
+
+    /// Loads an `f64` (stored as its bit pattern).
+    pub fn load_f64(&mut self, addr: Addr) -> f64 {
+        f64::from_bits(self.load_kind(addr, ValKind::F64))
+    }
+
+    /// Stores an `f64` — an *FP store*, which the checker may round off
+    /// before hashing.
+    pub fn store_f64(&mut self, addr: Addr, value: f64) {
+        self.store_kind(addr, value.to_bits(), ValKind::F64)
+    }
+
+    /// Atomic fetch-add on an integer word; returns the previous value.
+    /// A synchronization (scheduling) point.
+    pub fn fetch_add(&mut self, addr: Addr, delta: u64) -> u64 {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += 2 * COST_ACCESS;
+        let Some(old) = c.mem.read(addr) else {
+            self.fail(c, SimError::BadAddress { tid, addr });
+        };
+        let new = old.wrapping_add(delta);
+        c.mem.write(addr, new);
+        c.monitor.as_monitor().on_store(tid, addr, old, new, ValKind::U64);
+        c.trace_push(tid, TraceOp::Rmw(addr));
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+        old
+    }
+
+    /// Atomic compare-and-swap; returns the previous value (the swap
+    /// happened iff it equals `expected`). A scheduling point.
+    pub fn compare_and_swap(&mut self, addr: Addr, expected: u64, new: u64) -> u64 {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += 2 * COST_ACCESS;
+        let Some(old) = c.mem.read(addr) else {
+            self.fail(c, SimError::BadAddress { tid, addr });
+        };
+        if old == expected {
+            c.mem.write(addr, new);
+            c.monitor.as_monitor().on_store(tid, addr, old, new, ValKind::U64);
+        }
+        c.trace_push(tid, TraceOp::Rmw(addr));
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+        old
+    }
+
+    // ---- synchronization -----------------------------------------------
+
+    /// Acquires a mutex, blocking while it is held by another thread.
+    ///
+    /// The simulated mutexes are non-reentrant; re-acquiring aborts the
+    /// run with [`SimError::RelockHeld`].
+    pub fn lock(&mut self, l: LockId) {
+        loop {
+            let mut c = self.guard();
+            let tid = self.tid;
+            c.instr[tid] += COST_SYNC;
+            match c.locks[l.0].held_by {
+                None => {
+                    c.locks[l.0].held_by = Some(tid);
+                    c.trace_push(tid, TraceOp::Lock(l));
+                    let c = self.reschedule(c, TState::Ready);
+                    drop(c);
+                    return;
+                }
+                Some(holder) if holder == tid => {
+                    self.fail(c, SimError::RelockHeld { tid, lock: l });
+                }
+                Some(_) => {
+                    let c = self.reschedule(c, TState::BlockedLock(l));
+                    drop(c);
+                }
+            }
+        }
+    }
+
+    /// Releases a mutex this thread holds.
+    pub fn unlock(&mut self, l: LockId) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_SYNC;
+        if c.locks[l.0].held_by != Some(tid) {
+            self.fail(c, SimError::UnlockNotHeld { tid, lock: l });
+        }
+        c.locks[l.0].held_by = None;
+        for t in 0..c.nthreads {
+            if c.states[t] == TState::BlockedLock(l) {
+                c.states[t] = TState::Ready;
+            }
+        }
+        c.trace_push(tid, TraceOp::Unlock(l));
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+    }
+
+    /// Arrives at a pthread-style barrier; blocks until all parties have
+    /// arrived. The last arrival fires a determinism checkpoint — the
+    /// paper checks at every dynamic `pthread_barrier_wait`.
+    pub fn barrier(&mut self, b: BarrierId) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_SYNC;
+        c.trace_push(tid, TraceOp::BarrierArrive(b));
+        c.barriers[b.0].arrived.push(tid);
+        if c.barriers[b.0].arrived.len() == c.barriers[b.0].parties {
+            let arrived = std::mem::take(&mut c.barriers[b.0].arrived);
+            for &t in &arrived {
+                c.states[t] = TState::Ready;
+            }
+            c.trace_push(tid, TraceOp::BarrierRelease(b));
+            c.fire_checkpoint(tid, CheckpointKind::Barrier(b));
+            let c = self.reschedule(c, TState::Ready);
+            drop(c);
+        } else {
+            let c = self.reschedule(c, TState::BlockedBarrier(b));
+            drop(c);
+        }
+    }
+
+    /// Waits on a condition variable, releasing `l` while waiting and
+    /// re-acquiring it before returning.
+    ///
+    /// Spurious wakeups are possible (as with pthreads): always call in a
+    /// predicate loop.
+    pub fn cond_wait(&mut self, cond: CondId, l: LockId) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_SYNC;
+        if c.locks[l.0].held_by != Some(tid) {
+            self.fail(c, SimError::UnlockNotHeld { tid, lock: l });
+        }
+        c.locks[l.0].held_by = None;
+        for t in 0..c.nthreads {
+            if c.states[t] == TState::BlockedLock(l) {
+                c.states[t] = TState::Ready;
+            }
+        }
+        c.trace_push(tid, TraceOp::CondWait(cond, l));
+        let c = self.reschedule(c, TState::BlockedCond(cond));
+        drop(c);
+        self.lock(l);
+    }
+
+    /// Wakes one thread waiting on `cond` (the lowest-id waiter).
+    pub fn cond_signal(&mut self, cond: CondId) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_SYNC;
+        if let Some(t) =
+            (0..c.nthreads).find(|&t| c.states[t] == TState::BlockedCond(cond))
+        {
+            c.states[t] = TState::Ready;
+        }
+        c.trace_push(tid, TraceOp::CondSignal(cond));
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+    }
+
+    /// Wakes every thread waiting on `cond`.
+    pub fn cond_broadcast(&mut self, cond: CondId) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_SYNC;
+        for t in 0..c.nthreads {
+            if c.states[t] == TState::BlockedCond(cond) {
+                c.states[t] = TState::Ready;
+            }
+        }
+        c.trace_push(tid, TraceOp::CondBroadcast(cond));
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+    }
+
+    /// Voluntarily yields the token (a scheduling point with no effect).
+    pub fn sched_yield(&mut self) {
+        let c = self.guard();
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+    }
+
+
+    // ---- reader-writer locks and semaphores ------------------------------
+
+    /// Acquires a reader-writer lock in shared (read) mode; blocks while
+    /// a writer holds it.
+    pub fn read_lock(&mut self, l: RwLockId) {
+        loop {
+            let mut c = self.guard();
+            let tid = self.tid;
+            c.instr[tid] += COST_SYNC;
+            if c.rwlocks[l.0].writer.is_none() {
+                c.rwlocks[l.0].readers.push(tid);
+                c.trace_push(tid, TraceOp::RwReadLock(l));
+                let c = self.reschedule(c, TState::Ready);
+                drop(c);
+                return;
+            }
+            let c = self.reschedule(c, TState::BlockedRwRead(l));
+            drop(c);
+        }
+    }
+
+    /// Releases a shared (read) hold.
+    pub fn read_unlock(&mut self, l: RwLockId) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_SYNC;
+        let Some(pos) = c.rwlocks[l.0].readers.iter().position(|&t| t == tid) else {
+            self.fail(c, SimError::RwUnlockNotHeld { tid, rwlock: l.0, write: false });
+        };
+        c.rwlocks[l.0].readers.swap_remove(pos);
+        if c.rwlocks[l.0].readers.is_empty() {
+            // A waiting writer may proceed.
+            for t in 0..c.nthreads {
+                if c.states[t] == TState::BlockedRwWrite(l) {
+                    c.states[t] = TState::Ready;
+                }
+            }
+        }
+        c.trace_push(tid, TraceOp::RwReadUnlock(l));
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+    }
+
+    /// Acquires a reader-writer lock in exclusive (write) mode; blocks
+    /// while any reader or another writer holds it.
+    pub fn write_lock(&mut self, l: RwLockId) {
+        loop {
+            let mut c = self.guard();
+            let tid = self.tid;
+            c.instr[tid] += COST_SYNC;
+            let st = &mut c.rwlocks[l.0];
+            if st.writer.is_none() && st.readers.is_empty() {
+                st.writer = Some(tid);
+                c.trace_push(tid, TraceOp::RwWriteLock(l));
+                let c = self.reschedule(c, TState::Ready);
+                drop(c);
+                return;
+            }
+            let c = self.reschedule(c, TState::BlockedRwWrite(l));
+            drop(c);
+        }
+    }
+
+    /// Releases an exclusive (write) hold.
+    pub fn write_unlock(&mut self, l: RwLockId) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_SYNC;
+        if c.rwlocks[l.0].writer != Some(tid) {
+            self.fail(c, SimError::RwUnlockNotHeld { tid, rwlock: l.0, write: true });
+        }
+        c.rwlocks[l.0].writer = None;
+        for t in 0..c.nthreads {
+            if c.states[t] == TState::BlockedRwRead(l)
+                || c.states[t] == TState::BlockedRwWrite(l)
+            {
+                c.states[t] = TState::Ready;
+            }
+        }
+        c.trace_push(tid, TraceOp::RwWriteUnlock(l));
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+    }
+
+    /// Semaphore wait (P): blocks until the count is positive, then
+    /// decrements it.
+    pub fn sem_wait(&mut self, sem: SemId) {
+        loop {
+            let mut c = self.guard();
+            let tid = self.tid;
+            c.instr[tid] += COST_SYNC;
+            if c.sems[sem.0].count > 0 {
+                c.sems[sem.0].count -= 1;
+                c.trace_push(tid, TraceOp::SemWait(sem));
+                let c = self.reschedule(c, TState::Ready);
+                drop(c);
+                return;
+            }
+            let c = self.reschedule(c, TState::BlockedSem(sem));
+            drop(c);
+        }
+    }
+
+    /// Semaphore post (V): increments the count and wakes waiters.
+    pub fn sem_post(&mut self, sem: SemId) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_SYNC;
+        c.sems[sem.0].count += 1;
+        for t in 0..c.nthreads {
+            if c.states[t] == TState::BlockedSem(sem) {
+                c.states[t] = TState::Ready;
+            }
+        }
+        c.trace_push(tid, TraceOp::SemPost(sem));
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+    }
+
+    // ---- heap ------------------------------------------------------------
+
+    /// Allocates `len` zero-filled words at allocation site `site` with
+    /// per-word type layout `tag`. A scheduling point (the allocator is
+    /// shared state).
+    pub fn malloc(&mut self, site: &'static str, tag: TypeTag, len: usize) -> Addr {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_MALLOC;
+        let base = c.alloc.alloc(tid, site, tag, len);
+        let high = c.alloc.high_water();
+        c.mem.grow_heap(high);
+        let len = c.alloc.table()[&base.0].len;
+        for i in 0..len {
+            c.mem.write(base.offset(i as u64), 0);
+        }
+        if c.charge_zero_fill {
+            c.zero_fill_instr += len as u64;
+        }
+        let block = c.alloc.table()[&base.0].clone();
+        c.monitor.as_monitor().on_alloc(tid, &block);
+        c.trace_push(tid, TraceOp::Alloc { base, len });
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+        base
+    }
+
+    /// Frees the block at `addr`. Aborts the run with
+    /// [`SimError::BadFree`] if `addr` is not the base of a live block.
+    /// A scheduling point.
+    pub fn free(&mut self, addr: Addr) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_FREE;
+        let Some(block) = c.alloc.free(addr) else {
+            self.fail(c, SimError::BadFree { tid, addr });
+        };
+        let contents: Vec<u64> =
+            block.iter().map(|a| c.mem.read(a).unwrap_or(0)).collect();
+        c.monitor.as_monitor().on_free(tid, &block, &contents);
+        c.trace_push(tid, TraceOp::Free { base: addr });
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+    }
+
+    // ---- library calls, output, accounting -------------------------------
+
+    /// Simulated nondeterministic `rand()` (controlled by the run's
+    /// library seed / replay log).
+    pub fn rand_u64(&mut self) -> u64 {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_LIB;
+        c.lib.rand_u64(tid)
+    }
+
+    /// Simulated `gettimeofday()` (controlled like [`rand_u64`]).
+    ///
+    /// [`rand_u64`]: ThreadCtx::rand_u64
+    pub fn gettimeofday(&mut self) -> u64 {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_LIB;
+        c.lib.gettimeofday(tid)
+    }
+
+    /// Appends bytes to the program's output stream (the simulated
+    /// `write()`); a scheduling point.
+    pub fn write_output(&mut self, bytes: &[u8]) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_SYNC + bytes.len() as u64 / 8;
+        c.output.extend_from_slice(bytes);
+        c.monitor.as_monitor().on_output(tid, bytes);
+        c.trace_push(tid, TraceOp::Output { len: bytes.len() });
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+    }
+
+    /// Accounts `n` instructions of thread-local computation (work that
+    /// does not touch shared memory).
+    pub fn work(&mut self, n: u64) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += n;
+    }
+
+    /// Fires a manual determinism checkpoint (the paper's
+    /// programmer-specified checking points). A scheduling point.
+    pub fn checkpoint(&mut self, label: &'static str) {
+        let mut c = self.guard();
+        let tid = self.tid;
+        c.instr[tid] += COST_SYNC;
+        c.fire_checkpoint(tid, CheckpointKind::Manual(label));
+        let c = self.reschedule(c, TState::Ready);
+        drop(c);
+    }
+
+    fn wait_first_turn(&self) {
+        let c = lock_central(&self.shared);
+        let c = self.wait_for_turn(c);
+        drop(c);
+    }
+}
+
+/// Single-threaded setup context: establishes the program's fixed input
+/// state before the threads start. No scheduling is involved; effects are
+/// still visible to the [`Monitor`] (attributed to thread 0) so that the
+/// identical input contributes identically to every run.
+pub struct SetupCtx<'a> {
+    c: &'a mut Central,
+}
+
+impl std::fmt::Debug for SetupCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetupCtx").finish_non_exhaustive()
+    }
+}
+
+impl SetupCtx<'_> {
+    /// Stores an integer word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unmapped (setup bugs are programming errors).
+    pub fn store(&mut self, addr: Addr, value: u64) {
+        self.c.instr[0] += COST_ACCESS;
+        let old = self.c.mem.write(addr, value).expect("setup store to unmapped address");
+        self.c.monitor.as_monitor().on_store(0, addr, old, value, ValKind::U64);
+    }
+
+    /// Stores an `f64` word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unmapped.
+    pub fn store_f64(&mut self, addr: Addr, value: f64) {
+        self.c.instr[0] += COST_ACCESS;
+        let old = self
+            .c
+            .mem
+            .write(addr, value.to_bits())
+            .expect("setup store to unmapped address");
+        self.c.monitor.as_monitor().on_store(0, addr, old, value.to_bits(), ValKind::F64);
+    }
+
+    /// Loads a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is unmapped.
+    pub fn load(&mut self, addr: Addr) -> u64 {
+        self.c.mem.read(addr).expect("setup load from unmapped address")
+    }
+
+    /// Allocates `len` zero-filled words (setup allocations model the
+    /// input data of the program).
+    pub fn malloc(&mut self, site: &'static str, tag: TypeTag, len: usize) -> Addr {
+        self.c.instr[0] += COST_MALLOC;
+        let base = self.c.alloc.alloc(0, site, tag, len);
+        let high = self.c.alloc.high_water();
+        self.c.mem.grow_heap(high);
+        let len = self.c.alloc.table()[&base.0].len;
+        for i in 0..len {
+            self.c.mem.write(base.offset(i as u64), 0);
+        }
+        if self.c.charge_zero_fill {
+            self.c.zero_fill_instr += len as u64;
+        }
+        let block = self.c.alloc.table()[&base.0].clone();
+        self.c.monitor.as_monitor().on_alloc(0, &block);
+        base
+    }
+
+    /// A deterministic pseudo-random stream for building input data
+    /// (fixed across runs; not a simulated nondeterministic library call).
+    pub fn input_rand(&mut self, key: u64) -> u64 {
+        let mut x = key ^ 0x5bf0_3635_16f5_0e5b;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
+
+/// The result of one simulated run.
+///
+/// Carries the monitor back to the caller together with the run's
+/// accounting, logs, optional trace, and a view of the final state.
+pub struct RunOutcome<M> {
+    /// The monitor that observed the run.
+    pub monitor: M,
+    /// Native instructions executed, per thread (the Figure 6 baseline).
+    pub instr: Vec<u64>,
+    /// Instructions spent zero-filling allocations, charged only when
+    /// [`RunConfig::charge_zero_fill`](crate::RunConfig) is set — the
+    /// paper's HW-InstantCheck overhead.
+    pub zero_fill_instr: u64,
+    /// The program's output stream.
+    pub output: Vec<u8>,
+    /// The scheduler decisions taken (thread id per scheduling point);
+    /// feed into a [`ScriptedScheduler`](crate::ScriptedScheduler) to
+    /// replay the interleaving.
+    pub decisions: Vec<u32>,
+    /// The runnable set at every decision (recorded only when
+    /// [`RunConfig::record_options`](crate::RunConfig) is set; empty
+    /// otherwise).
+    pub decision_options: Vec<Vec<u32>>,
+    /// Total scheduling steps.
+    pub steps: u64,
+    /// Number of checkpoints fired (including the final `End`).
+    pub checkpoints: u64,
+    /// For each checkpoint (in firing order), how many scheduler
+    /// decisions had been taken when it fired — lets systematic
+    /// exploration align decision prefixes with checkpoint boundaries.
+    pub checkpoint_decision_index: Vec<usize>,
+    /// Allocator address log (for cross-run replay).
+    pub alloc_log: Arc<AllocLog>,
+    /// Library-call log (for cross-run replay).
+    pub lib_log: Arc<LibLog>,
+    /// Replayed allocations that fell back to fresh memory.
+    pub replay_misses: u64,
+    /// The recorded trace, if requested.
+    pub trace: Option<Trace>,
+    mem: Memory,
+    globals: Vec<GlobalDecl>,
+    blocks: BTreeMap<u64, BlockInfo>,
+}
+
+impl<M> std::fmt::Debug for RunOutcome<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOutcome")
+            .field("steps", &self.steps)
+            .field("checkpoints", &self.checkpoints)
+            .field("instructions", &self.total_instructions())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> RunOutcome<M> {
+    /// Reads one word of the final memory, or `None` if unmapped.
+    pub fn final_word(&self, addr: Addr) -> Option<u64> {
+        self.mem.read(addr)
+    }
+
+    /// Reads one `f64` of the final memory.
+    pub fn final_f64(&self, addr: Addr) -> Option<f64> {
+        self.mem.read(addr).map(f64::from_bits)
+    }
+
+    /// A view of the final live state (globals + live heap blocks).
+    pub fn final_state(&self) -> StateView<'_> {
+        StateView::new(&self.mem, &self.globals, &self.blocks)
+    }
+
+    /// Total native instructions across all threads (excluding monitor
+    /// overhead and zero-fill).
+    pub fn total_instructions(&self) -> u64 {
+        self.instr.iter().sum()
+    }
+}
+
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn thread_main(
+    shared: Arc<Shared>,
+    tid: ThreadId,
+    body: Box<dyn FnOnce(&mut ThreadCtx) + Send>,
+) {
+    let ctx_shared = shared.clone();
+    let result = panic::catch_unwind(AssertUnwindSafe(move || {
+        let mut ctx = ThreadCtx { tid, shared: ctx_shared };
+        ctx.wait_first_turn();
+        body(&mut ctx);
+    }));
+    let mut c = lock_central(&shared);
+    if let Err(payload) = result {
+        if !payload.is::<SimAbort>() && c.error.is_none() {
+            c.error = Some(SimError::ThreadPanic {
+                tid,
+                message: payload_message(payload.as_ref()),
+            });
+        }
+    }
+    if c.states[tid] != TState::Finished {
+        c.states[tid] = TState::Finished;
+        c.finished += 1;
+    }
+    if c.active == Some(tid) {
+        c.active = None;
+    }
+    if c.error.is_none() && c.active.is_none() {
+        schedule_next(&mut c, &shared.cv);
+    } else {
+        shared.cv.notify_all();
+    }
+}
+
+/// Runs `prog` under `config` with `monitor` observing.
+pub(crate) fn run<M: Monitor + 'static>(
+    prog: Program,
+    config: &RunConfig,
+    monitor: M,
+) -> Result<RunOutcome<M>, SimError> {
+    install_quiet_abort_hook();
+    let nthreads = prog.nthreads;
+    let mut scheduler = config.scheduler.build();
+    scheduler.init(nthreads);
+
+    let mut central = Central {
+        mem: Memory::new(prog.global_words),
+        globals: prog.globals,
+        alloc: Allocator::new(nthreads, config.alloc_replay.clone()),
+        locks: (0..prog.locks).map(|_| LockState::default()).collect(),
+        rwlocks: (0..prog.rwlocks).map(|_| RwState::default()).collect(),
+        sems: prog.sems.iter().map(|&count| SemState { count }).collect(),
+        barriers: prog
+            .barriers
+            .iter()
+            .map(|&parties| BarrierState { parties, arrived: Vec::new() })
+            .collect(),
+        states: vec![TState::Ready; nthreads],
+        active: None,
+        scheduler,
+        switch: config.switch,
+        monitor: Box::new(monitor),
+        instr: vec![0; nthreads],
+        zero_fill_instr: 0,
+        charge_zero_fill: config.charge_zero_fill,
+        lib: LibCalls::new(nthreads, config.lib_seed, config.lib_replay.clone()),
+        output: Vec::new(),
+        trace: config.record_trace.then(Trace::default),
+        decisions: Vec::new(),
+        decision_options: config.record_options.then(Vec::new),
+        step: 0,
+        max_steps: config.max_steps,
+        access_count: vec![0; nthreads],
+        cp_seq: 0,
+        cp_decision_index: Vec::new(),
+        error: None,
+        finished: 0,
+        nthreads,
+    };
+
+    if let Some(setup) = prog.setup {
+        let mut sctx = SetupCtx { c: &mut central };
+        setup(&mut sctx);
+    }
+
+    let shared = Arc::new(Shared { mu: Mutex::new(central), cv: Condvar::new() });
+
+    let handles: Vec<_> = prog
+        .threads
+        .into_iter()
+        .enumerate()
+        .map(|(tid, body)| {
+            let sh = shared.clone();
+            thread::Builder::new()
+                .name(format!("tsim-{tid}"))
+                .spawn(move || thread_main(sh, tid, body))
+                .expect("spawning a simulated thread")
+        })
+        .collect();
+
+    {
+        let mut c = lock_central(&shared);
+        schedule_next(&mut c, &shared.cv);
+        while c.finished < nthreads && c.error.is_none() {
+            c = shared.cv.wait(c).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| unreachable!("all simulated threads joined"));
+    let mut central = shared.mu.into_inner().unwrap_or_else(PoisonError::into_inner);
+
+    if let Some(err) = central.error.take() {
+        return Err(err);
+    }
+
+    // End-of-run determinism checkpoint (the paper always checks at the
+    // end of the program).
+    central.fire_checkpoint(0, CheckpointKind::End);
+
+    let (alloc_log, blocks, replay_misses) = central.alloc.into_parts();
+    let monitor = central
+        .monitor
+        .into_any()
+        .downcast::<M>()
+        .unwrap_or_else(|_| unreachable!("monitor type preserved"));
+
+    Ok(RunOutcome {
+        monitor: *monitor,
+        instr: central.instr,
+        zero_fill_instr: central.zero_fill_instr,
+        output: central.output,
+        decisions: central.decisions,
+        decision_options: central.decision_options.unwrap_or_default(),
+        steps: central.step,
+        checkpoints: central.cp_seq,
+        checkpoint_decision_index: central.cp_decision_index,
+        alloc_log: Arc::new(alloc_log),
+        lib_log: Arc::new(central.lib.into_log()),
+        replay_misses,
+        trace: central.trace,
+        mem: central.mem,
+        globals: central.globals,
+        blocks,
+    })
+}

@@ -1,0 +1,124 @@
+//! Simulation errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::{Addr, LockId, ThreadId};
+
+/// An error that aborts a simulated run.
+///
+/// These correspond to misuses of the simulated machine (bad address,
+/// unlocking a lock one does not hold, …) or to whole-run failures
+/// (deadlock, step-limit livelock, a workload thread panicking).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A thread accessed an address outside any mapped segment or live
+    /// allocation.
+    BadAddress {
+        /// Thread performing the access.
+        tid: ThreadId,
+        /// The offending address.
+        addr: Addr,
+    },
+    /// A thread released a lock it does not hold.
+    UnlockNotHeld {
+        /// Thread performing the unlock.
+        tid: ThreadId,
+        /// The lock in question.
+        lock: LockId,
+    },
+    /// A thread acquired a lock it already holds (the simulated mutexes
+    /// are non-reentrant, like `pthread_mutex_t` in default mode).
+    RelockHeld {
+        /// Thread performing the lock.
+        tid: ThreadId,
+        /// The lock in question.
+        lock: LockId,
+    },
+    /// `free` was called on an address that is not the base of a live
+    /// allocation.
+    BadFree {
+        /// Thread performing the free.
+        tid: ThreadId,
+        /// The offending address.
+        addr: Addr,
+    },
+    /// No thread can make progress.
+    Deadlock {
+        /// Human-readable description of each blocked thread.
+        detail: String,
+    },
+    /// The run exceeded the configured maximum number of scheduling steps.
+    StepLimit {
+        /// The limit that was exceeded.
+        limit: u64,
+    },
+    /// A reader-writer lock was released in a mode the thread does not
+    /// hold it in.
+    RwUnlockNotHeld {
+        /// Thread performing the release.
+        tid: ThreadId,
+        /// The lock index.
+        rwlock: usize,
+        /// `true` if the bad release was an exclusive (write) release.
+        write: bool,
+    },
+    /// A workload thread panicked (e.g. a failed assertion in the
+    /// program under test).
+    ThreadPanic {
+        /// The panicking thread.
+        tid: ThreadId,
+        /// The panic message, if it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadAddress { tid, addr } => {
+                write!(f, "thread {tid} accessed unmapped address {addr}")
+            }
+            SimError::UnlockNotHeld { tid, lock } => {
+                write!(f, "thread {tid} released lock {lock:?} it does not hold")
+            }
+            SimError::RelockHeld { tid, lock } => {
+                write!(f, "thread {tid} re-acquired lock {lock:?} it already holds")
+            }
+            SimError::BadFree { tid, addr } => {
+                write!(f, "thread {tid} freed invalid address {addr}")
+            }
+            SimError::RwUnlockNotHeld { tid, rwlock, write } => write!(
+                f,
+                "thread {tid} released rwlock {rwlock} ({} mode) it does not hold",
+                if *write { "write" } else { "read" }
+            ),
+            SimError::Deadlock { detail } => write!(f, "deadlock: {detail}"),
+            SimError::StepLimit { limit } => {
+                write!(f, "run exceeded the step limit of {limit} scheduling steps")
+            }
+            SimError::ThreadPanic { tid, message } => {
+                write!(f, "thread {tid} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::BadAddress { tid: 3, addr: Addr(0x99) };
+        assert!(e.to_string().contains("thread 3"));
+        assert!(e.to_string().contains("0x99"));
+        let e = SimError::Deadlock { detail: "t0 waits on lock 1".into() };
+        assert!(e.to_string().contains("deadlock"));
+        let e = SimError::StepLimit { limit: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Record/replay of nondeterministic library calls.
+//!
+//! `rand` and `gettimeofday` return different values in different runs.
+//! InstantCheck, like deterministic-replay systems, treats their results
+//! as *input*: it records the values returned in one run and makes the
+//! same calls return the same values in subsequent runs (Section 5). As
+//! with any input, varying them across test campaigns increases coverage
+//! — hence the per-run `lib_seed`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::types::ThreadId;
+
+/// A log of library-call results keyed by `(thread, per-thread call index)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LibLog {
+    rand: HashMap<(ThreadId, u64), u64>,
+    time: HashMap<(ThreadId, u64), u64>,
+}
+
+impl LibLog {
+    /// Number of logged calls (both kinds).
+    pub fn len(&self) -> usize {
+        self.rand.len() + self.time.len()
+    }
+
+    /// Returns `true` if nothing was logged.
+    pub fn is_empty(&self) -> bool {
+        self.rand.is_empty() && self.time.is_empty()
+    }
+}
+
+/// Per-run library-call state.
+#[derive(Debug)]
+pub(crate) struct LibCalls {
+    seed: u64,
+    rand_seq: Vec<u64>,
+    time_seq: Vec<u64>,
+    clock: u64,
+    log: LibLog,
+    replay: Option<Arc<LibLog>>,
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl LibCalls {
+    pub(crate) fn new(nthreads: usize, seed: u64, replay: Option<Arc<LibLog>>) -> Self {
+        LibCalls {
+            seed,
+            rand_seq: vec![0; nthreads],
+            time_seq: vec![0; nthreads],
+            clock: 0,
+            log: LibLog::default(),
+            replay,
+        }
+    }
+
+    /// Simulated `rand()`: seed- and history-dependent, replayable.
+    pub(crate) fn rand_u64(&mut self, tid: ThreadId) -> u64 {
+        let seq = self.rand_seq[tid];
+        self.rand_seq[tid] += 1;
+        let value = match self.replay.as_ref().and_then(|r| r.rand.get(&(tid, seq))) {
+            Some(&v) => v,
+            None => mix(self.seed ^ mix(tid as u64 + 1) ^ mix(seq.wrapping_add(0x51ed))),
+        };
+        self.log.rand.insert((tid, seq), value);
+        value
+    }
+
+    /// Simulated `gettimeofday()`: a monotonic clock with seed-dependent
+    /// jitter, replayable.
+    pub(crate) fn gettimeofday(&mut self, tid: ThreadId) -> u64 {
+        let seq = self.time_seq[tid];
+        self.time_seq[tid] += 1;
+        self.clock += 1;
+        let value = match self.replay.as_ref().and_then(|r| r.time.get(&(tid, seq))) {
+            Some(&v) => v,
+            None => {
+                let jitter = mix(self.seed ^ mix(tid as u64) ^ seq) % 997;
+                1_000_000_000 + self.clock * 1000 + jitter
+            }
+        };
+        self.log.time.insert((tid, seq), value);
+        value
+    }
+
+    pub(crate) fn into_log(self) -> LibLog {
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rand_varies_with_seed() {
+        let mut a = LibCalls::new(1, 1, None);
+        let mut b = LibCalls::new(1, 2, None);
+        assert_ne!(a.rand_u64(0), b.rand_u64(0));
+    }
+
+    #[test]
+    fn rand_deterministic_per_seed() {
+        let mut a = LibCalls::new(2, 7, None);
+        let mut b = LibCalls::new(2, 7, None);
+        for tid in [0, 1, 0] {
+            assert_eq!(a.rand_u64(tid), b.rand_u64(tid));
+        }
+    }
+
+    #[test]
+    fn replay_overrides_seed() {
+        let mut rec = LibCalls::new(1, 1, None);
+        let v0 = rec.rand_u64(0);
+        let v1 = rec.rand_u64(0);
+        let t0 = rec.gettimeofday(0);
+        let log = Arc::new(rec.into_log());
+
+        // Different seed, but replaying the log: identical results.
+        let mut rep = LibCalls::new(1, 999, Some(log));
+        assert_eq!(rep.rand_u64(0), v0);
+        assert_eq!(rep.rand_u64(0), v1);
+        assert_eq!(rep.gettimeofday(0), t0);
+        // Past the log: falls back to generation.
+        let _ = rep.rand_u64(0);
+        assert_eq!(rep.into_log().len(), 4);
+    }
+
+    #[test]
+    fn gettimeofday_is_monotonic_within_a_thread() {
+        let mut l = LibCalls::new(1, 3, None);
+        let a = l.gettimeofday(0);
+        let b = l.gettimeofday(0);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn log_len_and_empty() {
+        let log = LibLog::default();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        let mut l = LibCalls::new(1, 3, None);
+        l.rand_u64(0);
+        l.gettimeofday(0);
+        let log = l.into_log();
+        assert!(!log.is_empty());
+        assert_eq!(log.len(), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! The simulated flat memory: a globals segment and a heap segment.
+
+use crate::types::Addr;
+
+/// First word address of the globals (static data) segment.
+pub const GLOBALS_BASE: u64 = 0x1000;
+
+/// First word address of the heap segment.
+pub const HEAP_BASE: u64 = 0x1000_0000;
+
+/// The simulated word-addressed memory.
+///
+/// Two segments are mapped: static data (globals) starting at
+/// [`GLOBALS_BASE`] and the heap starting at [`HEAP_BASE`]. Reads and
+/// writes outside the mapped prefixes of either segment fail, which the
+/// engine converts into [`SimError::BadAddress`](crate::SimError).
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    globals: Vec<u64>,
+    heap: Vec<u64>,
+}
+
+impl Memory {
+    /// Creates a memory with `global_words` mapped in the globals segment
+    /// and an empty heap.
+    pub fn new(global_words: usize) -> Self {
+        Memory { globals: vec![0; global_words], heap: Vec::new() }
+    }
+
+    /// Ensures the heap segment covers at least `words` words.
+    pub(crate) fn grow_heap(&mut self, words: usize) {
+        if self.heap.len() < words {
+            self.heap.resize(words, 0);
+        }
+    }
+
+    /// Number of mapped heap words.
+    pub fn heap_words(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Number of mapped global words.
+    pub fn global_words(&self) -> usize {
+        self.globals.len()
+    }
+
+    fn slot(&self, addr: Addr) -> Option<usize> {
+        let a = addr.0;
+        if a >= HEAP_BASE {
+            let i = (a - HEAP_BASE) as usize;
+            (i < self.heap.len()).then_some(i)
+        } else if a >= GLOBALS_BASE {
+            let i = (a - GLOBALS_BASE) as usize;
+            (i < self.globals.len()).then_some(i)
+        } else {
+            None
+        }
+    }
+
+    /// Reads the word at `addr`, or `None` if unmapped.
+    pub fn read(&self, addr: Addr) -> Option<u64> {
+        self.slot(addr).map(|i| {
+            if addr.0 >= HEAP_BASE {
+                self.heap[i]
+            } else {
+                self.globals[i]
+            }
+        })
+    }
+
+    /// Writes `value` at `addr`, returning the previous value, or `None`
+    /// if unmapped (in which case nothing is written).
+    pub fn write(&mut self, addr: Addr, value: u64) -> Option<u64> {
+        let i = self.slot(addr)?;
+        let slot = if addr.0 >= HEAP_BASE { &mut self.heap[i] } else { &mut self.globals[i] };
+        Some(std::mem::replace(slot, value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_globals() {
+        let mut m = Memory::new(4);
+        let a = Addr(GLOBALS_BASE + 2);
+        assert_eq!(m.read(a), Some(0));
+        assert_eq!(m.write(a, 7), Some(0));
+        assert_eq!(m.read(a), Some(7));
+        assert_eq!(m.write(a, 9), Some(7));
+        assert_eq!(m.global_words(), 4);
+    }
+
+    #[test]
+    fn unmapped_addresses_fail() {
+        let mut m = Memory::new(4);
+        assert_eq!(m.read(Addr(0)), None); // below globals
+        assert_eq!(m.read(Addr(GLOBALS_BASE + 4)), None); // past globals
+        assert_eq!(m.read(Addr(HEAP_BASE)), None); // heap not grown
+        assert_eq!(m.write(Addr(0), 1), None);
+    }
+
+    #[test]
+    fn heap_growth() {
+        let mut m = Memory::new(0);
+        m.grow_heap(8);
+        assert_eq!(m.heap_words(), 8);
+        let a = Addr(HEAP_BASE + 7);
+        assert_eq!(m.write(a, 42), Some(0));
+        assert_eq!(m.read(a), Some(42));
+        // Growing never shrinks.
+        m.grow_heap(2);
+        assert_eq!(m.heap_words(), 8);
+        assert_eq!(m.read(a), Some(42));
+    }
+
+    #[test]
+    fn segments_do_not_alias() {
+        let mut m = Memory::new(1);
+        m.grow_heap(1);
+        m.write(Addr(GLOBALS_BASE), 1);
+        m.write(Addr(HEAP_BASE), 2);
+        assert_eq!(m.read(Addr(GLOBALS_BASE)), Some(1));
+        assert_eq!(m.read(Addr(HEAP_BASE)), Some(2));
+    }
+}

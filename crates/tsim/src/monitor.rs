@@ -1,0 +1,219 @@
+//! The instrumentation surface: what a checker can observe during a run.
+
+use std::collections::BTreeMap;
+
+use crate::alloc::BlockInfo;
+use crate::mem::Memory;
+use crate::program::GlobalDecl;
+use crate::types::{Addr, BarrierId, ThreadId, ValKind};
+
+/// Why a determinism checkpoint fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckpointKind {
+    /// A pthread-style barrier completed (all parties arrived).
+    Barrier(BarrierId),
+    /// A workload-inserted checkpoint (the paper's "additional program
+    /// points where she expects her program to be in a deterministic
+    /// state", e.g. the end of a loop iteration).
+    Manual(&'static str),
+    /// The program finished (all threads exited).
+    End,
+}
+
+/// Identification of one dynamic checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// Dense per-run sequence number (checkpoint alignment key across
+    /// runs).
+    pub seq: u64,
+    /// What triggered the checkpoint.
+    pub kind: CheckpointKind,
+}
+
+/// A read-only view of the machine state, passed to monitors at
+/// checkpoints.
+///
+/// The *live state* is exactly what the paper hashes: the static data
+/// (globals) plus the heap blocks currently allocated. Freed memory is
+/// not part of the state.
+#[derive(Debug)]
+pub struct StateView<'a> {
+    mem: &'a Memory,
+    globals: &'a [GlobalDecl],
+    blocks: &'a BTreeMap<u64, BlockInfo>,
+}
+
+impl<'a> StateView<'a> {
+    pub(crate) fn new(
+        mem: &'a Memory,
+        globals: &'a [GlobalDecl],
+        blocks: &'a BTreeMap<u64, BlockInfo>,
+    ) -> Self {
+        StateView { mem, globals, blocks }
+    }
+
+    /// Reads one word, or `None` if the address is unmapped.
+    pub fn read(&self, addr: Addr) -> Option<u64> {
+        self.mem.read(addr)
+    }
+
+    /// The declared global regions.
+    pub fn globals(&self) -> &[GlobalDecl] {
+        self.globals
+    }
+
+    /// Looks up a global region by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalDecl> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// The live heap blocks, in address order.
+    pub fn blocks(&self) -> impl Iterator<Item = &BlockInfo> + '_ {
+        self.blocks.values()
+    }
+
+    /// The live heap blocks allocated at `site`.
+    pub fn blocks_at_site(&self, site: &str) -> impl Iterator<Item = &BlockInfo> + '_ {
+        let site = site.to_owned();
+        self.blocks.values().filter(move |b| b.site == site)
+    }
+
+    /// Iterates over every live word as `(addr, value, kind)` — the
+    /// traversal of the paper's `SW-InstantCheck_Tr`.
+    pub fn live_words(&self) -> impl Iterator<Item = (Addr, u64, ValKind)> + '_ {
+        let globals = self.globals.iter().flat_map(move |g| {
+            g.region.iter().map(move |a| {
+                (a, self.mem.read(a).unwrap_or(0), g.region.kind)
+            })
+        });
+        let heap = self.blocks.values().flat_map(move |b| {
+            (0..b.len).map(move |i| {
+                let a = b.base.offset(i as u64);
+                (a, self.mem.read(a).unwrap_or(0), b.kind_at(i))
+            })
+        });
+        globals.chain(heap)
+    }
+
+    /// Number of live words (the paper's state size; ×8 for bytes).
+    pub fn live_word_count(&self) -> usize {
+        self.globals.iter().map(|g| g.region.len).sum::<usize>()
+            + self.blocks.values().map(|b| b.len).sum::<usize>()
+    }
+}
+
+/// Observer of a simulated run — the instrumentation hook surface.
+///
+/// This is the role Pin instrumentation (and the modeled MHM hardware)
+/// plays in the paper: it sees every store with its old and new value,
+/// every allocation and free, every output byte, and every checkpoint.
+/// All methods default to no-ops so a monitor implements only what it
+/// needs.
+///
+/// Methods are invoked with the machine lock held and execution
+/// serialized, so a monitor needs no internal synchronization.
+#[allow(unused_variables)]
+pub trait Monitor: Send {
+    /// A store of `new` over `old` at `addr` by `tid`.
+    ///
+    /// `kind` is [`ValKind::F64`] iff the program issued an FP store —
+    /// the information the paper's LLVM pass provides to the MHM.
+    fn on_store(&mut self, tid: ThreadId, addr: Addr, old: u64, new: u64, kind: ValKind) {}
+
+    /// A load of `value` from `addr` by `tid`.
+    fn on_load(&mut self, tid: ThreadId, addr: Addr, value: u64, kind: ValKind) {}
+
+    /// A new heap block was allocated (already zero-filled).
+    fn on_alloc(&mut self, tid: ThreadId, block: &BlockInfo) {}
+
+    /// A heap block was freed. `contents` holds the words of the block at
+    /// free time (an incremental checker uses them to cancel the block's
+    /// contribution out of the running hash).
+    fn on_free(&mut self, tid: ThreadId, block: &BlockInfo, contents: &[u64]) {}
+
+    /// Bytes appended to the program output stream.
+    fn on_output(&mut self, tid: ThreadId, bytes: &[u8]) {}
+
+    /// A determinism checkpoint: a completed barrier, a manual checkpoint,
+    /// or the end of the run.
+    fn on_checkpoint(&mut self, info: &CheckpointInfo, view: &StateView<'_>) {}
+
+    /// Extra instructions this monitor's checking scheme would execute on
+    /// a real machine (e.g. 5 instructions per byte hashed in software) —
+    /// the Figure 6 cost model.
+    fn extra_instructions(&self) -> u64 {
+        0
+    }
+}
+
+/// A monitor that observes nothing — the *Native* configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullMonitor;
+
+impl Monitor for NullMonitor {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::GLOBALS_BASE;
+    use crate::types::{Region, TypeTag};
+
+    fn fixture() -> (Memory, Vec<GlobalDecl>, BTreeMap<u64, BlockInfo>) {
+        let mut mem = Memory::new(3);
+        mem.write(Addr(GLOBALS_BASE), 10);
+        mem.write(Addr(GLOBALS_BASE + 2), 30);
+        let globals = vec![GlobalDecl {
+            name: "g",
+            region: Region { base: Addr(GLOBALS_BASE), len: 3, kind: ValKind::U64 },
+        }];
+        let mut blocks = BTreeMap::new();
+        blocks.insert(
+            crate::mem::HEAP_BASE,
+            BlockInfo {
+                base: Addr(crate::mem::HEAP_BASE),
+                len: 2,
+                site: "buf",
+                tag: TypeTag::f64s(),
+                tid: 0,
+                seq: 0,
+            },
+        );
+        mem.grow_heap(2);
+        mem.write(Addr(crate::mem::HEAP_BASE + 1), 7);
+        (mem, globals, blocks)
+    }
+
+    #[test]
+    fn live_words_covers_globals_and_heap() {
+        let (mem, globals, blocks) = fixture();
+        let view = StateView::new(&mem, &globals, &blocks);
+        let words: Vec<_> = view.live_words().collect();
+        assert_eq!(words.len(), 5);
+        assert_eq!(view.live_word_count(), 5);
+        assert_eq!(words[0], (Addr(GLOBALS_BASE), 10, ValKind::U64));
+        assert_eq!(words[4], (Addr(crate::mem::HEAP_BASE + 1), 7, ValKind::F64));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let (mem, globals, blocks) = fixture();
+        let view = StateView::new(&mem, &globals, &blocks);
+        assert!(view.global("g").is_some());
+        assert!(view.global("nope").is_none());
+        assert_eq!(view.blocks().count(), 1);
+        assert_eq!(view.blocks_at_site("buf").count(), 1);
+        assert_eq!(view.blocks_at_site("other").count(), 0);
+        assert_eq!(view.read(Addr(GLOBALS_BASE + 2)), Some(30));
+        assert_eq!(view.read(Addr(5)), None);
+    }
+
+    #[test]
+    fn null_monitor_is_free() {
+        let (mem, globals, blocks) = fixture();
+        let view = StateView::new(&mem, &globals, &blocks);
+        let mut m = NullMonitor;
+        m.on_store(0, Addr(GLOBALS_BASE), 0, 1, ValKind::U64);
+        m.on_checkpoint(&CheckpointInfo { seq: 0, kind: CheckpointKind::End }, &view);
+        assert_eq!(m.extra_instructions(), 0);
+    }
+}

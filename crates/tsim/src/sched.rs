@@ -1,0 +1,391 @@
+//! Thread schedulers and preemption policies.
+//!
+//! The engine serializes execution and asks a [`Scheduler`] which runnable
+//! thread goes next at each scheduling point. The random scheduler is the
+//! paper's evaluation setup; the scripted scheduler supports systematic
+//! exploration (CHESS-style) and replay; PCT is the randomized scheduler
+//! with probabilistic bug-finding guarantees that the paper cites as a
+//! drop-in testing driver.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::ThreadId;
+
+/// Chooses the next thread to run.
+///
+/// `runnable` is always non-empty and sorted by thread id; the return
+/// value is an *index into `runnable`*. `step` is the global scheduling
+/// step counter, usable for step-keyed policies such as PCT's priority
+/// change points.
+pub trait Scheduler: Send {
+    /// Called once before the run starts.
+    fn init(&mut self, nthreads: usize) {
+        let _ = nthreads;
+    }
+
+    /// Picks the index (into `runnable`) of the next thread to run.
+    fn pick(&mut self, runnable: &[ThreadId], step: u64) -> usize;
+}
+
+/// When, besides synchronization operations, the engine inserts
+/// scheduling points.
+///
+/// Synchronization operations (lock, unlock, barrier, condition variables,
+/// atomic RMW, allocation, output) are *always* scheduling points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwitchPolicy {
+    /// Switch only at synchronization operations — the paper's setup.
+    /// Plain data accesses run without preemption.
+    #[default]
+    SyncOnly,
+    /// Also switch at every data access (load/store). Exposes plain data
+    /// races at the cost of many more scheduling decisions.
+    EveryAccess,
+    /// Also switch at every `n`-th data access by the running thread.
+    EveryNth(u32),
+}
+
+impl SwitchPolicy {
+    /// Returns `true` if the `count`-th consecutive data access by one
+    /// thread should be a scheduling point.
+    pub fn preempt_on_access(self, count: u64) -> bool {
+        match self {
+            SwitchPolicy::SyncOnly => false,
+            SwitchPolicy::EveryAccess => true,
+            SwitchPolicy::EveryNth(n) => n != 0 && count.is_multiple_of(u64::from(n)),
+        }
+    }
+}
+
+/// A clonable scheduler specification; the engine instantiates a fresh
+/// [`Scheduler`] from it for every run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedulerKind {
+    /// Uniformly random choice among runnable threads (seeded).
+    Random {
+        /// RNG seed; different seeds explore different interleavings.
+        seed: u64,
+    },
+    /// Round-robin rotation over runnable threads.
+    RoundRobin,
+    /// Follow a recorded decision script (thread ids), falling back to
+    /// the lowest-id runnable thread when the script is exhausted or the
+    /// scripted thread is not runnable.
+    Scripted {
+        /// The decision script: preferred thread id per scheduling point.
+        script: std::sync::Arc<Vec<u32>>,
+    },
+    /// Follow a decision script, then continue with seeded random
+    /// choices once the script is exhausted (used by replay-assist
+    /// searches: "obey the partial log, vary the rest").
+    ScriptedThenRandom {
+        /// The decision prefix to obey.
+        script: std::sync::Arc<Vec<u32>>,
+        /// Seed for the free suffix.
+        seed: u64,
+    },
+    /// PCT (Burckhardt et al., ASPLOS 2010): random thread priorities
+    /// with `depth - 1` random priority-change points.
+    Pct {
+        /// RNG seed.
+        seed: u64,
+        /// Bug depth `d` (number of ordering constraints to target).
+        depth: u32,
+        /// A priori estimate of the run length in scheduling steps, used
+        /// to place the priority change points.
+        expected_steps: u64,
+    },
+}
+
+impl SchedulerKind {
+    /// Instantiates a fresh scheduler for one run.
+    pub fn build(&self) -> Box<dyn Scheduler + Send> {
+        match self {
+            SchedulerKind::Random { seed } => Box::new(RandomScheduler::new(*seed)),
+            SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
+            SchedulerKind::Scripted { script } => {
+                Box::new(ScriptedScheduler::new(script.clone()))
+            }
+            SchedulerKind::ScriptedThenRandom { script, seed } => {
+                Box::new(ScriptedThenRandomScheduler::new(script.clone(), *seed))
+            }
+            SchedulerKind::Pct { seed, depth, expected_steps } => {
+                Box::new(PctScheduler::new(*seed, *depth, *expected_steps))
+            }
+        }
+    }
+}
+
+/// Uniformly random scheduling — the paper's test driver.
+#[derive(Debug)]
+pub struct RandomScheduler {
+    rng: SmallRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler { rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, runnable: &[ThreadId], _step: u64) -> usize {
+        self.rng.gen_range(0..runnable.len())
+    }
+}
+
+/// Deterministic round-robin scheduling.
+#[derive(Debug, Default)]
+pub struct RoundRobinScheduler {
+    last: Option<ThreadId>,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler.
+    pub fn new() -> Self {
+        RoundRobinScheduler::default()
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn pick(&mut self, runnable: &[ThreadId], _step: u64) -> usize {
+        let idx = match self.last {
+            None => 0,
+            Some(prev) => runnable
+                .iter()
+                .position(|&t| t > prev)
+                .unwrap_or(0),
+        };
+        self.last = Some(runnable[idx]);
+        idx
+    }
+}
+
+/// Follows a recorded decision script; used for replay and for
+/// systematic (stateless model checking) exploration.
+#[derive(Debug)]
+pub struct ScriptedScheduler {
+    script: std::sync::Arc<Vec<u32>>,
+    pos: usize,
+}
+
+impl ScriptedScheduler {
+    /// Creates a scripted scheduler over a decision list (thread ids).
+    pub fn new(script: std::sync::Arc<Vec<u32>>) -> Self {
+        ScriptedScheduler { script, pos: 0 }
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn pick(&mut self, runnable: &[ThreadId], _step: u64) -> usize {
+        let want = self.script.get(self.pos).copied();
+        self.pos += 1;
+        match want {
+            Some(tid) => runnable
+                .iter()
+                .position(|&t| t as u32 == tid)
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+}
+
+/// Follows a decision script, then falls back to seeded random choices.
+#[derive(Debug)]
+pub struct ScriptedThenRandomScheduler {
+    script: std::sync::Arc<Vec<u32>>,
+    pos: usize,
+    rng: SmallRng,
+}
+
+impl ScriptedThenRandomScheduler {
+    /// Creates the scheduler.
+    pub fn new(script: std::sync::Arc<Vec<u32>>, seed: u64) -> Self {
+        ScriptedThenRandomScheduler { script, pos: 0, rng: SmallRng::seed_from_u64(seed) }
+    }
+}
+
+impl Scheduler for ScriptedThenRandomScheduler {
+    fn pick(&mut self, runnable: &[ThreadId], _step: u64) -> usize {
+        let want = self.script.get(self.pos).copied();
+        self.pos += 1;
+        match want {
+            Some(tid) => runnable
+                .iter()
+                .position(|&t| t as u32 == tid)
+                .unwrap_or(0),
+            None => self.rng.gen_range(0..runnable.len()),
+        }
+    }
+}
+
+/// PCT: randomized priority scheduling with `depth - 1` priority change
+/// points, giving probabilistic guarantees of hitting bugs of depth `d`.
+#[derive(Debug)]
+pub struct PctScheduler {
+    rng: SmallRng,
+    priorities: Vec<u64>,
+    change_points: Vec<u64>,
+    depth: u32,
+    expected_steps: u64,
+    low_counter: u64,
+}
+
+impl PctScheduler {
+    /// Creates a PCT scheduler.
+    pub fn new(seed: u64, depth: u32, expected_steps: u64) -> Self {
+        PctScheduler {
+            rng: SmallRng::seed_from_u64(seed),
+            priorities: Vec::new(),
+            change_points: Vec::new(),
+            depth,
+            expected_steps: expected_steps.max(1),
+            low_counter: 0,
+        }
+    }
+}
+
+impl Scheduler for PctScheduler {
+    fn init(&mut self, nthreads: usize) {
+        // Random distinct initial priorities: a random permutation offset
+        // by `depth` so change points can assign strictly lower ones.
+        let mut prio: Vec<u64> =
+            (0..nthreads as u64).map(|i| i + u64::from(self.depth) + 1).collect();
+        // Fisher–Yates.
+        for i in (1..prio.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            prio.swap(i, j);
+        }
+        self.priorities = prio;
+        self.change_points = (0..self.depth.saturating_sub(1))
+            .map(|_| self.rng.gen_range(0..self.expected_steps))
+            .collect();
+        self.change_points.sort_unstable();
+    }
+
+    fn pick(&mut self, runnable: &[ThreadId], step: u64) -> usize {
+        if self.priorities.is_empty() {
+            // init() was never called (defensive): behave like first-fit.
+            return 0;
+        }
+        let idx = runnable
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &t)| self.priorities[t])
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        // At a change point, drop the chosen thread to a fresh lowest
+        // priority.
+        if self.change_points.binary_search(&step).is_ok() {
+            self.low_counter += 1;
+            let t = runnable[idx];
+            self.priorities[t] = u64::from(self.depth).saturating_sub(self.low_counter);
+        }
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_reproducible() {
+        let mut a = RandomScheduler::new(5);
+        let mut b = RandomScheduler::new(5);
+        let runnable = [0usize, 1, 2, 3];
+        for step in 0..100 {
+            assert_eq!(a.pick(&runnable, step), b.pick(&runnable, step));
+        }
+    }
+
+    #[test]
+    fn random_covers_all_threads() {
+        let mut s = RandomScheduler::new(7);
+        let runnable = [0usize, 1, 2];
+        let mut seen = [false; 3];
+        for step in 0..100 {
+            seen[s.pick(&runnable, step)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = RoundRobinScheduler::new();
+        let runnable = [0usize, 1, 2];
+        let picks: Vec<_> = (0..6).map(|i| runnable[s.pick(&runnable, i)]).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_blocked() {
+        let mut s = RoundRobinScheduler::new();
+        assert_eq!(s.pick(&[0, 1, 2], 0), 0); // runs 0
+        assert_eq!(s.pick(&[0, 2], 1), 1); // 1 blocked: runs 2
+        assert_eq!(s.pick(&[0, 2], 2), 0); // wraps to 0
+    }
+
+    #[test]
+    fn scripted_follows_script_then_falls_back() {
+        let script = std::sync::Arc::new(vec![2u32, 0, 7]);
+        let mut s = ScriptedScheduler::new(script);
+        let runnable = [0usize, 1, 2];
+        assert_eq!(runnable[s.pick(&runnable, 0)], 2);
+        assert_eq!(runnable[s.pick(&runnable, 1)], 0);
+        assert_eq!(runnable[s.pick(&runnable, 2)], 0); // 7 not runnable
+        assert_eq!(runnable[s.pick(&runnable, 3)], 0); // script exhausted
+    }
+
+    #[test]
+    fn pct_is_deterministic_and_prioritized() {
+        let mut a = PctScheduler::new(3, 3, 1000);
+        let mut b = PctScheduler::new(3, 3, 1000);
+        a.init(4);
+        b.init(4);
+        let runnable = [0usize, 1, 2, 3];
+        for step in 0..200 {
+            assert_eq!(a.pick(&runnable, step), b.pick(&runnable, step));
+        }
+        // Without change points hit, the same thread keeps running.
+        let mut c = PctScheduler::new(9, 1, 1000);
+        c.init(3);
+        let first = c.pick(&[0, 1, 2], 0);
+        assert_eq!(c.pick(&[0, 1, 2], 1), first);
+    }
+
+    #[test]
+    fn pct_uninitialized_is_safe() {
+        let mut s = PctScheduler::new(1, 2, 10);
+        assert_eq!(s.pick(&[3, 4], 0), 0);
+    }
+
+    #[test]
+    fn switch_policy_preemption() {
+        assert!(!SwitchPolicy::SyncOnly.preempt_on_access(1));
+        assert!(SwitchPolicy::EveryAccess.preempt_on_access(1));
+        let every3 = SwitchPolicy::EveryNth(3);
+        assert!(!every3.preempt_on_access(1));
+        assert!(!every3.preempt_on_access(2));
+        assert!(every3.preempt_on_access(3));
+        assert!(every3.preempt_on_access(6));
+        assert!(!SwitchPolicy::EveryNth(0).preempt_on_access(5));
+    }
+
+    #[test]
+    fn kind_builds_all_variants() {
+        for kind in [
+            SchedulerKind::Random { seed: 1 },
+            SchedulerKind::RoundRobin,
+            SchedulerKind::Scripted { script: std::sync::Arc::new(vec![]) },
+            SchedulerKind::Pct { seed: 1, depth: 2, expected_steps: 100 },
+        ] {
+            let mut s = kind.build();
+            s.init(2);
+            let _ = s.pick(&[0, 1], 0);
+        }
+    }
+}

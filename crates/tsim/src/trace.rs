@@ -1,0 +1,163 @@
+//! Execution traces for offline analyses (race detection, systematic
+//! exploration, replay).
+
+use crate::types::{Addr, BarrierId, CondId, LockId, RwLockId, SemId, ThreadId};
+
+/// One operation in a recorded trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceOp {
+    /// A data load from an address.
+    Load(Addr),
+    /// A data store to an address.
+    Store(Addr),
+    /// An atomic read-modify-write on an address.
+    Rmw(Addr),
+    /// A lock acquisition.
+    Lock(LockId),
+    /// A lock release.
+    Unlock(LockId),
+    /// Arrival at a barrier.
+    BarrierArrive(BarrierId),
+    /// Release of a completed barrier (recorded once, by the last
+    /// arriving thread).
+    BarrierRelease(BarrierId),
+    /// Start of a condition-variable wait (the paired lock is released).
+    CondWait(CondId, LockId),
+    /// A condition-variable signal.
+    CondSignal(CondId),
+    /// A condition-variable broadcast.
+    CondBroadcast(CondId),
+    /// A heap allocation of `len` words at `base`.
+    Alloc {
+        /// First word of the new block.
+        base: Addr,
+        /// Block length in words.
+        len: usize,
+    },
+    /// A heap free of the block at `base`.
+    Free {
+        /// Base of the freed block.
+        base: Addr,
+    },
+    /// `len` bytes written to the output stream.
+    Output {
+        /// Number of bytes written.
+        len: usize,
+    },
+    /// A determinism checkpoint fired (sequence number `seq`).
+    Checkpoint {
+        /// Checkpoint sequence number within the run.
+        seq: u64,
+    },
+    /// A shared (read) acquisition of a reader-writer lock.
+    RwReadLock(RwLockId),
+    /// A shared (read) release.
+    RwReadUnlock(RwLockId),
+    /// An exclusive (write) acquisition.
+    RwWriteLock(RwLockId),
+    /// An exclusive (write) release.
+    RwWriteUnlock(RwLockId),
+    /// A semaphore wait (P) that succeeded.
+    SemWait(SemId),
+    /// A semaphore post (V).
+    SemPost(SemId),
+}
+
+/// One event in a recorded trace: which thread did what at which
+/// scheduling step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The global event index (dense, 0-based).
+    pub index: u64,
+    /// The thread that performed the operation.
+    pub tid: ThreadId,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+/// A full recorded trace of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub(crate) fn push(&mut self, tid: ThreadId, op: TraceOp) {
+        let index = self.events.len() as u64;
+        self.events.push(TraceEvent { index, tid, op });
+    }
+
+    /// All events in program order (the serialized execution order).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over all data accesses (loads, stores, RMWs) as
+    /// `(event, addr, is_write)`.
+    pub fn accesses(&self) -> impl Iterator<Item = (&TraceEvent, Addr, bool)> + '_ {
+        self.events.iter().filter_map(|e| match e.op {
+            TraceOp::Load(a) => Some((e, a, false)),
+            TraceOp::Store(a) => Some((e, a, true)),
+            TraceOp::Rmw(a) => Some((e, a, true)),
+            _ => None,
+        })
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_assigns_dense_indices() {
+        let mut t = Trace::default();
+        assert!(t.is_empty());
+        t.push(0, TraceOp::Load(Addr(1)));
+        t.push(1, TraceOp::Store(Addr(2)));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].index, 0);
+        assert_eq!(t.events()[1].index, 1);
+        assert_eq!(t.events()[1].tid, 1);
+    }
+
+    #[test]
+    fn accesses_filters_data_ops() {
+        let mut t = Trace::default();
+        t.push(0, TraceOp::Load(Addr(1)));
+        t.push(0, TraceOp::Lock(LockId(0)));
+        t.push(1, TraceOp::Store(Addr(2)));
+        t.push(1, TraceOp::Rmw(Addr(3)));
+        let acc: Vec<_> = t.accesses().collect();
+        assert_eq!(acc.len(), 3);
+        assert!(!acc[0].2); // load is not a write
+        assert!(acc[1].2);
+        assert!(acc[2].2);
+    }
+
+    #[test]
+    fn iterate_by_reference() {
+        let mut t = Trace::default();
+        t.push(0, TraceOp::Checkpoint { seq: 0 });
+        let tids: Vec<_> = (&t).into_iter().map(|e| e.tid).collect();
+        assert_eq!(tids, vec![0]);
+    }
+}

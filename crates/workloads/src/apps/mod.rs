@@ -1,0 +1,24 @@
+//! One module per simulated application kernel.
+//!
+//! Every module follows the same shape: a `Params` struct (thread count
+//! plus scale knobs), a `build(&Params) -> Program` constructor, and
+//! `spec()` / `spec_scaled()` registry entries (paper-scale and
+//! test-scale). Modules with seeded-bug variants (Figure 7) additionally
+//! expose `spec_*_bug` constructors.
+
+pub mod barnes;
+pub mod blackscholes;
+pub mod canneal;
+pub mod cholesky;
+pub mod fft;
+pub mod fluidanimate;
+pub mod lu;
+pub mod ocean;
+pub mod pbzip2;
+pub mod radiosity;
+pub mod radix;
+pub mod sphinx3;
+pub mod streamcluster;
+pub mod swaptions;
+pub mod volrend;
+pub mod water;

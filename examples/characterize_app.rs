@@ -1,0 +1,53 @@
+//! Characterize the determinism of an application the way Table 1 does:
+//! bit-exact check → FP round-off → small-structure isolation.
+//!
+//! ```sh
+//! cargo run --example characterize_app            # default: cholesky
+//! cargo run --example characterize_app -- pbzip2  # any registered app
+//! ```
+
+use instantcheck::{characterize, CheckerConfig, Scheme};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "cholesky".to_owned());
+    let app = instantcheck_workloads::by_name(&name, /* scaled: */ true)
+        .unwrap_or_else(|| {
+            eprintln!("unknown app {name}; known apps:");
+            for a in instantcheck_workloads::all_scaled() {
+                eprintln!("  {}", a.name);
+            }
+            std::process::exit(2);
+        });
+
+    let subject = app.subject();
+    let template = CheckerConfig::new(Scheme::HwInc).with_runs(10);
+    let c = characterize(&subject, &template).expect("runs complete");
+
+    println!("{} ({}, FP: {})", c.name, app.suite, if c.uses_fp { "yes" } else { "no" });
+    println!("  class                  : {}", c.class);
+    println!("  deterministic as is    : {}", c.det_as_is());
+    if let Some(run) = c.first_ndet_run() {
+        println!("  bit-exact nondet found : run {run}");
+    }
+    if let Some(r) = &c.fp_rounded {
+        println!(
+            "  after FP rounding      : {}",
+            if r.is_deterministic() { "deterministic" } else { "still nondeterministic" }
+        );
+    }
+    if let Some(r) = &c.isolated {
+        println!(
+            "  after isolating structs: {}",
+            if r.is_deterministic() { "deterministic" } else { "still nondeterministic" }
+        );
+    }
+    let (det, ndet) = c.dyn_points();
+    println!("  dynamic checking points: {det} deterministic / {ndet} nondeterministic");
+    println!("  deterministic at end   : {}", c.det_at_end());
+
+    let report = c.final_report();
+    println!("  distributions (final configuration):");
+    for (dist, count) in report.grouped_distributions().into_iter().take(6) {
+        println!("    {count:>5} points behave {dist}");
+    }
+}

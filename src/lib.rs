@@ -1,0 +1,19 @@
+//! Workspace umbrella crate for the InstantCheck reproduction.
+//!
+//! This crate exists to host the workspace-level runnable examples (in
+//! `examples/`) and the cross-crate integration tests (in `tests/`). The
+//! actual functionality lives in the member crates:
+//!
+//! * [`adhash`] — the incremental-hash substrate,
+//! * [`tsim`] — the multithreaded-program simulator,
+//! * [`mhm`] — the hardware Memory-State Hashing Module model,
+//! * [`instantcheck`] — the determinism checker itself,
+//! * [`instantcheck_workloads`] — the 17 application kernels,
+//! * [`instantcheck_explorer`] — Section-6 applications of the primitive.
+
+pub use adhash;
+pub use instantcheck;
+pub use instantcheck_explorer;
+pub use instantcheck_workloads;
+pub use mhm;
+pub use tsim;

@@ -1,0 +1,80 @@
+//! The three InstantCheck schemes must agree on every verdict: they are
+//! different implementations (hardware incremental, software
+//! incremental, software traversal) of the same check.
+
+use adhash::FpRound;
+use instantcheck::{Checker, CheckerConfig, Scheme};
+use instantcheck_workloads::by_name;
+
+fn verdict_profile(name: &str, scheme: Scheme, rounding: bool) -> (Vec<Vec<usize>>, bool) {
+    let app = by_name(name, true).unwrap();
+    let build = std::sync::Arc::clone(&app.build);
+    let mut cfg = CheckerConfig::new(scheme).with_runs(8);
+    if rounding {
+        cfg = cfg.with_rounding(FpRound::default());
+    }
+    cfg = cfg.with_ignore(app.ignore.clone());
+    let report = Checker::new(cfg).check(move || build()).unwrap();
+    (
+        report
+            .distributions
+            .iter()
+            .map(|d| d.counts().to_vec())
+            .collect(),
+        report.output_deterministic,
+    )
+}
+
+#[test]
+fn schemes_agree_on_deterministic_apps() {
+    for name in ["fft", "volrend", "radix"] {
+        let hw = verdict_profile(name, Scheme::HwInc, false);
+        let sw = verdict_profile(name, Scheme::SwInc, false);
+        let tr = verdict_profile(name, Scheme::SwTr, false);
+        assert_eq!(hw, sw, "{name}");
+        assert_eq!(hw, tr, "{name}");
+        assert!(hw.0.iter().all(|d| d.len() == 1), "{name}: all det");
+    }
+}
+
+#[test]
+fn schemes_agree_on_nondeterministic_apps() {
+    for name in ["canneal", "barnes"] {
+        let hw = verdict_profile(name, Scheme::HwInc, false);
+        let sw = verdict_profile(name, Scheme::SwInc, false);
+        let tr = verdict_profile(name, Scheme::SwTr, false);
+        assert_eq!(hw, sw, "{name}");
+        assert_eq!(hw, tr, "{name}");
+        assert!(hw.0.iter().any(|d| d.len() > 1), "{name}: some ndet");
+    }
+}
+
+#[test]
+fn schemes_agree_with_rounding_and_ignore_specs() {
+    // cholesky uses all the machinery at once: FP rounding, free-list
+    // exclusion, allocation replay, free-cancellation.
+    for name in ["cholesky", "pbzip2", "sphinx3"] {
+        let hw = verdict_profile(name, Scheme::HwInc, true);
+        let sw = verdict_profile(name, Scheme::SwInc, true);
+        let tr = verdict_profile(name, Scheme::SwTr, true);
+        assert_eq!(hw, sw, "{name}");
+        assert_eq!(hw, tr, "{name}");
+        assert!(hw.0.iter().all(|d| d.len() == 1), "{name}: isolated => det");
+        assert!(hw.1, "{name}: output deterministic");
+    }
+}
+
+#[test]
+fn traversal_confirms_incremental_on_the_fp_apps() {
+    // The paper used its SW-Tr prototype to confirm the HW results; do
+    // the same across the FP-precision group.
+    for name in ["fluidanimate", "ocean", "waterNS", "waterSP"] {
+        let hw_exact = verdict_profile(name, Scheme::HwInc, false);
+        let tr_exact = verdict_profile(name, Scheme::SwTr, false);
+        assert_eq!(hw_exact, tr_exact, "{name} (bit-exact)");
+        let hw_round = verdict_profile(name, Scheme::HwInc, true);
+        let tr_round = verdict_profile(name, Scheme::SwTr, true);
+        assert_eq!(hw_round, tr_round, "{name} (rounded)");
+        assert!(hw_round.0.iter().all(|d| d.len() == 1), "{name}: rounded => det");
+    }
+}

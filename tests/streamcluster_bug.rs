@@ -1,0 +1,75 @@
+//! The Section 7.2 anecdote, end to end: the streamcluster order
+//! violation is caught only because determinism is checked at every
+//! dynamic barrier; it is masked at the end of the run; localization
+//! points at the racy structures; and the fix makes everything
+//! deterministic.
+
+use instantcheck::{localize, Checker, CheckerConfig, Scheme};
+use instantcheck_workloads::apps::streamcluster;
+
+fn campaign(spec: &instantcheck_workloads::AppSpec, runs: usize) -> instantcheck::CheckReport {
+    let build = std::sync::Arc::clone(&spec.build);
+    Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(runs))
+        .check(move || build())
+        .unwrap()
+}
+
+#[test]
+fn bug_manifests_only_inside_the_window_and_is_masked_at_end() {
+    let report = campaign(&streamcluster::spec_buggy_scaled(), 12);
+    assert!(!report.is_deterministic());
+    assert!(report.det_at_end);
+    let ndet: Vec<usize> = (0..report.aligned_checkpoints)
+        .filter(|&i| !report.distributions[i].is_deterministic())
+        .collect();
+    // The scaled bug window is iterations [20, 26); its races surface at
+    // barriers 21..=26.
+    assert!(!ndet.is_empty());
+    assert!(ndet.iter().all(|&i| (21..=26).contains(&i)), "{ndet:?}");
+}
+
+#[test]
+fn fix_restores_full_determinism() {
+    let report = campaign(&streamcluster::spec_fixed_scaled(), 12);
+    assert!(report.is_deterministic());
+    assert_eq!(report.ndet_points, 0);
+}
+
+#[test]
+fn localization_names_the_racy_structures() {
+    // Find a checkpoint where two specific seeds differ, then diff.
+    let spec = streamcluster::spec_buggy_scaled();
+    let report = campaign(&spec, 12);
+    let bad = (0..report.aligned_checkpoints)
+        .find(|&i| !report.distributions[i].is_deterministic())
+        .expect("bug manifests") as u64;
+
+    let mut found = None;
+    for seed in 1..40 {
+        let build = std::sync::Arc::clone(&spec.build);
+        let loc = localize(move || build(), seed, seed + 1, bad, 0xfeed, None).unwrap();
+        if !loc.is_empty() {
+            found = Some(loc);
+            break;
+        }
+    }
+    let loc = found.expect("some seed pair differs at the bad checkpoint");
+    let sites: Vec<String> = loc.summary().into_iter().map(|(s, _)| s).collect();
+    assert!(
+        sites.iter().any(|s| s.contains("scratch") || s.contains("cost")),
+        "localization should name the racy scratch/cost structures: {sites:?}"
+    );
+    assert!(
+        !sites.iter().any(|s| s.contains("points")),
+        "the read-only point set must not be implicated: {sites:?}"
+    );
+}
+
+#[test]
+fn checking_only_the_end_misses_the_bug() {
+    let report = campaign(&streamcluster::spec_buggy_scaled(), 12);
+    assert!(
+        report.distributions.last().unwrap().is_deterministic(),
+        "an end-only checker would declare the buggy code deterministic"
+    );
+}

@@ -1,0 +1,85 @@
+//! Cross-crate validation of the Table 1 pipeline: every one of the 17
+//! registered applications (miniature scale) must land in its paper
+//! class, with the right checking-point counts and end-of-run verdicts.
+
+use instantcheck::{characterize, CheckerConfig, DetClass, Scheme};
+use instantcheck_workloads::all_scaled;
+
+#[test]
+fn every_app_lands_in_its_paper_class() {
+    let template = CheckerConfig::new(Scheme::HwInc).with_runs(8);
+    for app in all_scaled() {
+        let c = characterize(&app.subject(), &template)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+
+        // streamcluster ships buggy: the paper groups it as bit-by-bit
+        // (starred) even though a window of internal barriers is
+        // nondeterministic; assert its special shape separately.
+        if app.name == "streamcluster" {
+            assert!(!c.bit_exact.is_deterministic(), "the seeded bug manifests");
+            assert!(c.bit_exact.det_at_end, "masked by the end of the run");
+            assert!(c.bit_exact.ndet_points > 0);
+            assert!(c.bit_exact.det_points > c.bit_exact.ndet_points * 5);
+            continue;
+        }
+
+        assert_eq!(
+            c.class, app.expected_class,
+            "{}: expected {:?}",
+            app.name, app.expected_class
+        );
+
+        let report = c.final_report();
+        assert_eq!(
+            report.aligned_checkpoints, app.expected_points,
+            "{}: checking-point count",
+            app.name
+        );
+        match app.expected_class {
+            DetClass::Nondeterministic => {
+                assert!(!report.det_at_end, "{}: must not end deterministic", app.name);
+                assert!(report.ndet_points > 0, "{}", app.name);
+            }
+            _ => {
+                assert!(report.det_at_end, "{}: must end deterministic", app.name);
+                assert_eq!(report.ndet_points, 0, "{}", app.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn nondeterminism_is_found_within_a_few_runs() {
+    // Section 7.2.2: testers learn about nondeterminism in run 2 or 3.
+    let template = CheckerConfig::new(Scheme::HwInc).with_runs(8);
+    for app in all_scaled() {
+        let c = characterize(&app.subject(), &template).unwrap();
+        if !c.det_as_is() {
+            let first = c.first_ndet_run().unwrap();
+            assert!(
+                first <= 5,
+                "{}: bit-exact nondeterminism found only in run {first}",
+                app.name
+            );
+        }
+    }
+}
+
+#[test]
+fn class_specific_columns_match_table1() {
+    let template = CheckerConfig::new(Scheme::HwInc).with_runs(8);
+    // barnes: exactly the two pre-tree barriers are deterministic.
+    let barnes = instantcheck_workloads::by_name("barnes", true).unwrap();
+    let c = characterize(&barnes.subject(), &template).unwrap();
+    let (det, _ndet) = c.dyn_points();
+    assert_eq!(det, 2, "barnes keeps exactly 2 deterministic points");
+
+    // canneal and radiosity: zero deterministic points.
+    for name in ["canneal", "radiosity"] {
+        let app = instantcheck_workloads::by_name(name, true).unwrap();
+        let c = characterize(&app.subject(), &template).unwrap();
+        let (det, ndet) = c.dyn_points();
+        assert_eq!(det, 0, "{name}");
+        assert!(ndet > 0, "{name}");
+    }
+}
