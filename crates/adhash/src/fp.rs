@@ -13,8 +13,6 @@
 //!   discards small *absolute* differences (the paper's default rounds to
 //!   the closest 0.001).
 
-use serde::{Deserialize, Serialize};
-
 /// Number of explicit mantissa bits in an IEEE-754 `f64`.
 const MANTISSA_BITS: u32 = 52;
 
@@ -33,7 +31,7 @@ const MANTISSA_BITS: u32 = 52;
 /// let round = FpRound::default(); // nearest 0.001, the paper's default
 /// assert_eq!(round.apply(run_a).to_bits(), round.apply(run_b).to_bits());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FpRound {
     /// No rounding: compare FP values bit by bit.
     BitExact,
@@ -68,8 +66,7 @@ impl Default for FpRound {
 impl FpRound {
     /// Returns `true` if this policy leaves values untouched.
     pub fn is_bit_exact(self) -> bool {
-        matches!(self, FpRound::BitExact)
-            || matches!(self, FpRound::MaskMantissa { bits: 0 })
+        matches!(self, FpRound::BitExact) || matches!(self, FpRound::MaskMantissa { bits: 0 })
     }
 
     /// Applies the round-off to one `f64` value.
@@ -221,10 +218,7 @@ mod tests {
             round.apply_bits(0.0f64.to_bits())
         );
         // Small negatives that round to zero also canonicalize.
-        assert_eq!(
-            round.apply_bits((-1.0e-9f64).to_bits()),
-            0.0f64.to_bits()
-        );
+        assert_eq!(round.apply_bits((-1.0e-9f64).to_bits()), 0.0f64.to_bits());
     }
 
     #[test]

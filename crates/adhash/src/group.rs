@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An element of the additive group used to combine per-location hashes.
 ///
 /// `HashSum` wraps a `u64` and uses *wrapping* (modular) addition as the
@@ -25,9 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!((a + b) - b, a);        // invertible
 /// assert_eq!(a + HashSum::ZERO, a);  // identity
 /// ```
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct HashSum(u64);
 
 impl HashSum {
@@ -192,7 +188,11 @@ mod tests {
 
     #[test]
     fn sum_of_iterator() {
-        let parts = [HashSum::from_raw(1), HashSum::from_raw(2), HashSum::from_raw(3)];
+        let parts = [
+            HashSum::from_raw(1),
+            HashSum::from_raw(2),
+            HashSum::from_raw(3),
+        ];
         let total: HashSum = parts.iter().sum();
         assert_eq!(total, HashSum::from_raw(6));
         let total2: HashSum = parts.into_iter().sum();

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::group::HashSum;
 use crate::hasher::{LocationHasher, Mix64Hasher};
 
@@ -14,9 +12,7 @@ use crate::hasher::{LocationHasher, Mix64Hasher};
 /// whose final `StateHash`es differ are certainly in different states; two
 /// runs with equal hashes are in the same state except with probability
 /// `2^-64` per comparison.
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Debug, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Debug)]
 pub struct StateHash(pub HashSum);
 
 impl StateHash {
@@ -84,7 +80,10 @@ pub struct IncHasher<H = Mix64Hasher> {
 impl<H: LocationHasher> IncHasher<H> {
     /// Creates an incremental hasher with sum zero.
     pub fn new(hasher: H) -> Self {
-        IncHasher { sum: HashSum::ZERO, hasher }
+        IncHasher {
+            sum: HashSum::ZERO,
+            hasher,
+        }
     }
 
     /// Records a write of `new` over `old` at `addr`:

@@ -7,11 +7,11 @@
 use std::collections::BTreeMap;
 
 use adhash::{hash_full_state, FpRound, HashSum, IncHasher, LocationHasher, Mix64Hasher};
-use proptest::prelude::*;
+use minicheck::{check, Gen};
 
 /// A bounded write: a small address space keeps overwrites frequent.
-fn write_strategy() -> impl Strategy<Value = (u64, u64)> {
-    (0u64..32, any::<u64>())
+fn gen_write(g: &mut Gen) -> (u64, u64) {
+    (g.u64_in(0, 32), g.u64())
 }
 
 /// Applies a write sequence to a model memory (all words start at 0) and
@@ -28,11 +28,12 @@ fn state_hash(mem: &BTreeMap<u64, u64>) -> HashSum {
     hash_full_state(&Mix64Hasher::default(), mem.iter().map(|(&a, &v)| (a, v)))
 }
 
-proptest! {
-    /// Incrementally maintained hash equals the from-scratch traversal
-    /// hash for any write sequence.
-    #[test]
-    fn incremental_equals_traversal(writes in prop::collection::vec(write_strategy(), 0..200)) {
+/// Incrementally maintained hash equals the from-scratch traversal
+/// hash for any write sequence.
+#[test]
+fn incremental_equals_traversal() {
+    check("incremental_equals_traversal", 64, |g| {
+        let writes = g.vec_of(0, 200, gen_write);
         let mut mem: BTreeMap<u64, u64> = (0..32).map(|a| (a, 0)).collect();
         let mut inc = IncHasher::new(Mix64Hasher::default());
         for (&a, &v) in &mem {
@@ -42,20 +43,20 @@ proptest! {
             let old = mem.insert(addr, value).expect("address in range");
             inc.on_write(addr, old, value);
         }
-        prop_assert_eq!(inc.sum(), state_hash(&mem));
-    }
+        assert_eq!(inc.sum(), state_hash(&mem));
+    });
+}
 
-    /// Splitting the write stream across any number of "threads" (each with
-    /// its own partial hash) and merging yields the same state hash, for
-    /// any assignment of writes to threads — the Figure 2 property.
-    #[allow(clippy::useless_vec)]
-    #[test]
-    fn thread_decomposition(
-        writes in prop::collection::vec(write_strategy(), 1..200),
-        assignment in prop::collection::vec(0usize..8, 1..200),
-    ) {
+/// Splitting the write stream across any number of "threads" (each with
+/// its own partial hash) and merging yields the same state hash, for
+/// any assignment of writes to threads — the Figure 2 property.
+#[test]
+fn thread_decomposition() {
+    check("thread_decomposition", 64, |g| {
+        let writes = g.vec_of(1, 200, gen_write);
+        let assignment = g.vec_of(1, 200, |g| g.usize_in(0, 8));
         let mut mem: BTreeMap<u64, u64> = (0..32).map(|a| (a, 0)).collect();
-        let mut threads = vec![IncHasher::new(Mix64Hasher::default()); 8];
+        let mut threads = [IncHasher::new(Mix64Hasher::default()); 8];
         let mut reference = IncHasher::new(Mix64Hasher::default());
         for (&a, &v) in &mem {
             reference.add_location(a, v);
@@ -66,25 +67,27 @@ proptest! {
             threads[tid].on_write(addr, old, value);
             reference.on_write(addr, old, value);
         }
-        let merged: HashSum = threads.iter().map(|t| t.sum()).sum::<HashSum>()
-            + {
-                // seed contribution lives in `reference` only; rebuild it
-                let mut seed = IncHasher::new(Mix64Hasher::default());
-                for a in 0..32u64 {
-                    seed.add_location(a, 0);
-                }
-                seed.sum()
-            };
-        prop_assert_eq!(merged, reference.sum());
-    }
+        let merged: HashSum = threads.iter().map(|t| t.sum()).sum::<HashSum>() + {
+            // seed contribution lives in `reference` only; rebuild it
+            let mut seed = IncHasher::new(Mix64Hasher::default());
+            for a in 0..32u64 {
+                seed.add_location(a, 0);
+            }
+            seed.sum()
+        };
+        assert_eq!(merged, reference.sum());
+    });
+}
 
-    /// Two different interleavings that reach the same final memory state
-    /// produce the same merged hash (external determinism is detected as
-    /// such), even though per-thread hashes may differ.
-    #[test]
-    fn permutation_of_updates_is_invisible(mut writes in prop::collection::vec(write_strategy(), 1..50)) {
+/// Two different interleavings that reach the same final memory state
+/// produce the same merged hash (external determinism is detected as
+/// such), even though per-thread hashes may differ.
+#[test]
+fn permutation_of_updates_is_invisible() {
+    check("permutation_of_updates_is_invisible", 64, |g| {
         // Run A applies writes in order; run B applies a rotation of the
-        // *per-address last* writes — same final state, different history.
+        // writes — same multiset of per-address last writes or not.
+        let mut writes = g.vec_of(1, 50, gen_write);
         let final_state = replay(&writes);
 
         let mut inc_a = IncHasher::new(Mix64Hasher::default());
@@ -110,20 +113,21 @@ proptest! {
         }
 
         if mem_b == final_state {
-            prop_assert_eq!(inc_a.sum(), inc_b.sum());
+            assert_eq!(inc_a.sum(), inc_b.sum());
         } else {
-            prop_assert_ne!(&mem_a, &mem_b);
+            assert_ne!(&mem_a, &mem_b);
         }
-    }
+    });
+}
 
-    /// Excluding a location (plus_hash initial / minus_hash current) yields
-    /// exactly the hash of the state with that location reset to its
-    /// initial value.
-    #[test]
-    fn exclusion_is_exact(
-        writes in prop::collection::vec(write_strategy(), 1..100),
-        victim in 0u64..32,
-    ) {
+/// Excluding a location (plus_hash initial / minus_hash current) yields
+/// exactly the hash of the state with that location reset to its
+/// initial value.
+#[test]
+fn exclusion_is_exact() {
+    check("exclusion_is_exact", 64, |g| {
+        let writes = g.vec_of(1, 100, gen_write);
+        let victim = g.u64_in(0, 32);
         let mut mem: BTreeMap<u64, u64> = (0..32).map(|a| (a, 0)).collect();
         let mut inc = IncHasher::new(Mix64Hasher::default());
         for (&a, &v) in &mem {
@@ -139,12 +143,17 @@ proptest! {
 
         let mut censored = mem.clone();
         censored.insert(victim, 0);
-        prop_assert_eq!(inc.sum(), state_hash(&censored));
-    }
+        assert_eq!(inc.sum(), state_hash(&censored));
+    });
+}
 
-    /// Every rounding mode is idempotent on arbitrary finite doubles.
-    #[test]
-    fn fp_rounding_idempotent(x in prop::num::f64::NORMAL | prop::num::f64::SUBNORMAL | prop::num::f64::ZERO, bits in 0u32..53, digits in 0u32..10) {
+/// Every rounding mode is idempotent on arbitrary finite doubles.
+#[test]
+fn fp_rounding_idempotent() {
+    check("fp_rounding_idempotent", 128, |g| {
+        let x = g.finite_f64();
+        let bits = g.u64_in(0, 53) as u32;
+        let digits = g.u64_in(0, 10) as u32;
         for round in [
             FpRound::MaskMantissa { bits },
             FpRound::FloorDecimal { digits },
@@ -152,38 +161,49 @@ proptest! {
         ] {
             let once = round.apply_bits(x.to_bits());
             let twice = round.apply_bits(once);
-            prop_assert_eq!(once, twice, "{:?} on {}", round, x);
+            assert_eq!(once, twice, "{round:?} on {x}");
         }
-    }
+    });
+}
 
-    /// `apply_bits` never produces a distinction that `apply` would not:
-    /// equal rounded values imply equal hashed bits.
-    #[test]
-    fn apply_bits_consistent_with_apply(x in prop::num::f64::NORMAL, y in prop::num::f64::NORMAL) {
+/// `apply_bits` never produces a distinction that `apply` would not:
+/// equal rounded values imply equal hashed bits.
+#[test]
+fn apply_bits_consistent_with_apply() {
+    check("apply_bits_consistent_with_apply", 128, |g| {
+        let (x, y) = (g.finite_f64(), g.finite_f64());
         let round = FpRound::default();
         if round.apply(x) == round.apply(y) {
-            prop_assert_eq!(round.apply_bits(x.to_bits()), round.apply_bits(y.to_bits()));
+            assert_eq!(round.apply_bits(x.to_bits()), round.apply_bits(y.to_bits()));
         }
-    }
+    });
+}
 
-    /// Group laws for HashSum under arbitrary raw values.
-    #[test]
-    fn group_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
-        let (a, b, c) = (HashSum::from_raw(a), HashSum::from_raw(b), HashSum::from_raw(c));
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!((a + b) + c, a + (b + c));
-        prop_assert_eq!((a + b) - b, a);
-        prop_assert_eq!(a + (-a), HashSum::ZERO);
-    }
+/// Group laws for HashSum under arbitrary raw values.
+#[test]
+fn group_laws() {
+    check("group_laws", 128, |g| {
+        let (a, b, c) = (
+            HashSum::from_raw(g.u64()),
+            HashSum::from_raw(g.u64()),
+            HashSum::from_raw(g.u64()),
+        );
+        assert_eq!(a + b, b + a);
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!((a + b) - b, a);
+        assert_eq!(a + (-a), HashSum::ZERO);
+    });
+}
 
-    /// Distinct single-location states virtually never collide.
-    #[test]
-    fn single_location_injective_in_practice(
-        a1 in any::<u64>(), v1 in any::<u64>(),
-        a2 in any::<u64>(), v2 in any::<u64>(),
-    ) {
-        prop_assume!((a1, v1) != (a2, v2));
+/// Distinct single-location states virtually never collide.
+#[test]
+fn single_location_injective_in_practice() {
+    check("single_location_injective_in_practice", 128, |g| {
+        let (a1, v1, a2, v2) = (g.u64(), g.u64(), g.u64(), g.u64());
+        if (a1, v1) == (a2, v2) {
+            return;
+        }
         let h = Mix64Hasher::default();
-        prop_assert_ne!(h.hash_location(a1, v1), h.hash_location(a2, v2));
-    }
+        assert_ne!(h.hash_location(a1, v1), h.hash_location(a2, v2));
+    });
 }

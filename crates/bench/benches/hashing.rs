@@ -1,141 +1,108 @@
-//! Criterion micro-benchmarks of the hashing substrate: the per-store
-//! cost of the incremental hash (the operation HW-InstantCheck performs
-//! in hardware), the clustered MHM designs, full-state traversal
-//! hashing, FP round-off, and the write-allocate cache model.
+//! Micro-benchmarks of the hashing substrate: the per-store cost of the
+//! incremental hash (the operation HW-InstantCheck performs in
+//! hardware), the clustered MHM designs, full-state traversal hashing,
+//! FP round-off, and the write-allocate cache model.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
 
 use adhash::{hash_full_state, FpRound, IncHasher, LocationHasher, Mix64Hasher};
+use instantcheck_bench::timing::bench;
 use mhm::{ClusterOp, ClusteredMhm, L1Cache, MhmCore};
 
-fn bench_location_hash(c: &mut Criterion) {
+fn main() {
     let h = Mix64Hasher::default();
-    c.bench_function("location_hash", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            black_box(h.hash_location(black_box(0x1000 + i), black_box(i)))
-        })
-    });
-}
-
-fn bench_incremental_store(c: &mut Criterion) {
-    c.bench_function("inc_hasher_on_write", |b| {
-        let mut inc = IncHasher::new(Mix64Hasher::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            inc.on_write(black_box(0x1000 + (i % 64)), black_box(i), black_box(i + 1));
-            black_box(inc.sum())
-        })
+    let mut i = 0u64;
+    bench("location_hash", || {
+        i = i.wrapping_add(1);
+        black_box(h.hash_location(black_box(0x1000 + i), black_box(i)))
     });
 
-    c.bench_function("mhm_core_on_store", |b| {
-        let mut core = MhmCore::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            core.on_store(black_box(0x1000 + (i % 64)), black_box(i), black_box(i + 1), false);
-            black_box(core.th())
-        })
+    let mut inc = IncHasher::new(Mix64Hasher::default());
+    let mut i = 0u64;
+    bench("inc_hasher_on_write", || {
+        i = i.wrapping_add(1);
+        inc.on_write(black_box(0x1000 + (i % 64)), black_box(i), black_box(i + 1));
+        black_box(inc.sum())
     });
 
-    c.bench_function("mhm_core_on_store_fp_rounded", |b| {
-        let mut core = MhmCore::new();
-        core.start_fp_rounding();
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let v = (i as f64 * 0.001).to_bits();
-            core.on_store(black_box(0x1000), black_box(v), black_box(v ^ 1), true);
-            black_box(core.th())
-        })
+    let mut core = MhmCore::new();
+    let mut i = 0u64;
+    bench("mhm_core_on_store", || {
+        i = i.wrapping_add(1);
+        core.on_store(
+            black_box(0x1000 + (i % 64)),
+            black_box(i),
+            black_box(i + 1),
+            false,
+        );
+        black_box(core.th())
     });
-}
 
-fn bench_clustered_designs(c: &mut Criterion) {
+    let mut core = MhmCore::new();
+    core.start_fp_rounding();
+    let mut i = 0u64;
+    bench("mhm_core_on_store_fp_rounded", || {
+        i = i.wrapping_add(1);
+        let v = (i as f64 * 0.001).to_bits();
+        core.on_store(black_box(0x1000), black_box(v), black_box(v ^ 1), true);
+        black_box(core.th())
+    });
+
     // Ablation: throughput of the Figure 3(b) clustered design as the
     // cluster count grows (all functionally equivalent).
-    let mut group = c.benchmark_group("clustered_mhm");
     for clusters in [1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(clusters),
-            &clusters,
-            |b, &k| {
-                let mut m = ClusteredMhm::new(k);
-                let mut i = 0u64;
-                b.iter(|| {
-                    i = i.wrapping_add(1);
-                    m.dispatch(
-                        (i as usize) % k,
-                        ClusterOp::MinusOld { addr: i % 64, value: i },
-                    );
-                    m.dispatch(
-                        (i as usize + 1) % k,
-                        ClusterOp::PlusNew { addr: i % 64, value: i + 1 },
-                    );
-                    black_box(m.th())
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_traversal(c: &mut Criterion) {
-    // Traversal hashing cost per state size — the SW-InstantCheck_Tr
-    // per-checkpoint cost that Figure 6 charges at 5 instr/byte.
-    let mut group = c.benchmark_group("traversal_hash");
-    for words in [256usize, 4096, 65536] {
-        let state: Vec<(u64, u64)> =
-            (0..words as u64).map(|i| (0x1000 + i, i.wrapping_mul(31))).collect();
-        group.throughput(Throughput::Bytes(words as u64 * 8));
-        group.bench_with_input(BenchmarkId::from_parameter(words), &state, |b, s| {
-            let h = Mix64Hasher::default();
-            b.iter(|| black_box(hash_full_state(&h, s.iter().copied())))
+        let mut m = ClusteredMhm::new(clusters);
+        let mut i = 0u64;
+        bench(&format!("clustered_mhm/{clusters}"), || {
+            i = i.wrapping_add(1);
+            m.dispatch(
+                (i as usize) % clusters,
+                ClusterOp::MinusOld {
+                    addr: i % 64,
+                    value: i,
+                },
+            );
+            m.dispatch(
+                (i as usize + 1) % clusters,
+                ClusterOp::PlusNew {
+                    addr: i % 64,
+                    value: i + 1,
+                },
+            );
+            black_box(m.th())
         });
     }
-    group.finish();
-}
 
-fn bench_fp_rounding(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fp_round");
+    // Traversal hashing cost per state size — the SW-InstantCheck_Tr
+    // per-checkpoint cost that Figure 6 charges at 5 instr/byte.
+    for words in [256usize, 4096, 65536] {
+        let state: Vec<(u64, u64)> = (0..words as u64)
+            .map(|i| (0x1000 + i, i.wrapping_mul(31)))
+            .collect();
+        let h = Mix64Hasher::default();
+        bench(&format!("traversal_hash/{words}_words"), || {
+            black_box(hash_full_state(&h, state.iter().copied()))
+        });
+    }
+
     for (name, round) in [
         ("mask_mantissa", FpRound::MaskMantissa { bits: 16 }),
         ("floor_decimal", FpRound::FloorDecimal { digits: 3 }),
         ("nearest_decimal", FpRound::NearestDecimal { digits: 3 }),
     ] {
-        group.bench_function(name, |b| {
-            let mut i = 0u64;
-            b.iter(|| {
-                i = i.wrapping_add(1);
-                black_box(round.apply_bits(black_box((i as f64 * 0.1).to_bits())))
-            })
+        let mut i = 0u64;
+        bench(&format!("fp_round/{name}"), || {
+            i = i.wrapping_add(1);
+            black_box(round.apply_bits(black_box((i as f64 * 0.1).to_bits())))
         });
     }
-    group.finish();
-}
 
-fn bench_cache_model(c: &mut Criterion) {
-    c.bench_function("l1_store_plus_mhm_read", |b| {
-        let mut l1 = L1Cache::new(64, 4, 64);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            let addr = (i * 8) % (1 << 20);
-            l1.store(black_box(addr));
-            black_box(l1.mhm_read_old(addr))
-        })
+    let mut l1 = L1Cache::new(64, 4, 64);
+    let mut i = 0u64;
+    bench("l1_store_plus_mhm_read", || {
+        i = i.wrapping_add(1);
+        let addr = (i * 8) % (1 << 20);
+        l1.store(black_box(addr));
+        black_box(l1.mhm_read_old(addr))
     });
 }
-
-criterion_group!(
-    benches,
-    bench_location_hash,
-    bench_incremental_store,
-    bench_clustered_designs,
-    bench_traversal,
-    bench_fp_rounding,
-    bench_cache_model,
-);
-criterion_main!(benches);

@@ -13,7 +13,9 @@ fn main() {
     for name in ["canneal", "fluidanimate", "sphinx3"] {
         eprintln!("  measuring distributions for {name}…");
         let app = instantcheck_workloads::by_name(name, opts.scaled).expect("registered");
-        reports.push(distributions(&app, &opts, None));
+        if let Some(report) = distributions(&app, &opts, None) {
+            reports.push(report);
+        }
     }
     println!("{}", render_distributions(&reports));
     write_json("fig5", &reports);

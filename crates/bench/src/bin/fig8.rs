@@ -11,7 +11,9 @@ fn main() {
     for app in opts.seeded() {
         eprintln!("  measuring distributions for {}…", app.name);
         let rounding = app.uses_fp.then(FpRound::default);
-        reports.push(distributions(&app, &opts, rounding));
+        if let Some(report) = distributions(&app, &opts, rounding) {
+            reports.push(report);
+        }
     }
     println!("{}", render_distributions(&reports));
     write_json("fig8", &reports);

@@ -72,10 +72,22 @@ fn main() {
     println!("{}", "-".repeat(78));
     let mut rows = Vec::new();
     for (name, stats) in [
-        ("figure1 (2 commuting)", explore(commuting(2), 200_000).unwrap()),
-        ("3 commuting threads", explore(commuting(3), 200_000).unwrap()),
-        ("2 last-writer threads", explore(last_writer(2), 200_000).unwrap()),
-        ("3 last-writer threads", explore(last_writer(3), 200_000).unwrap()),
+        (
+            "figure1 (2 commuting)",
+            explore(commuting(2), 200_000).unwrap(),
+        ),
+        (
+            "3 commuting threads",
+            explore(commuting(3), 200_000).unwrap(),
+        ),
+        (
+            "2 last-writer threads",
+            explore(last_writer(2), 200_000).unwrap(),
+        ),
+        (
+            "3 last-writer threads",
+            explore(last_writer(3), 200_000).unwrap(),
+        ),
     ] {
         println!(
             "{:<28} {:>11} {:>12} {:>12} {:>10}{}",
@@ -113,7 +125,18 @@ fn main() {
     }
     println!("\nPruning at barrier checkpoints by state hash turns the multiplicative");
     println!("(phase1 x phase2) schedule tree into an additive search.");
-    write_json("pruning", &rows.iter().map(|(n, s)| (
-        n.clone(), s.executions, s.distinct_hb_classes, s.distinct_final_states
-    )).collect::<Vec<_>>());
+    write_json(
+        "pruning",
+        &rows
+            .iter()
+            .map(|(n, s)| {
+                (
+                    n.clone(),
+                    s.executions,
+                    s.distinct_hb_classes,
+                    s.distinct_final_states,
+                )
+            })
+            .collect::<Vec<_>>(),
+    );
 }

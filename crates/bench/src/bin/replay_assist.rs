@@ -29,7 +29,10 @@ fn program() -> Program {
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    println!("{:>12} {:>10} {:>12} {:>14}", "log kept", "attempts", "reproduced", "early rejects");
+    println!(
+        "{:>12} {:>10} {:>12} {:>14}",
+        "log kept", "attempts", "reproduced", "early rejects"
+    );
     println!("{}", "-".repeat(54));
     let mut rows = Vec::new();
     for fraction in [1.0, 0.75, 0.5, 0.25, 0.0] {

@@ -13,7 +13,9 @@ fn main() {
     let mut rows = Vec::new();
     for app in opts.apps() {
         eprintln!("  characterizing {}…", app.name);
-        rows.push(table1_row(&app, &opts));
+        if let Some(row) = table1_row(&app, &opts) {
+            rows.push(row);
+        }
     }
     println!("{}", render_table1(&rows));
     println!("* streamcluster: nondeterministic barriers caused by the PARSEC 2.1");

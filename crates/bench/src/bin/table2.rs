@@ -8,7 +8,9 @@ fn main() {
     let mut rows = Vec::new();
     for app in opts.seeded() {
         eprintln!("  checking {}…", app.name);
-        rows.push(table2_row(&app, &opts));
+        if let Some(row) = table2_row(&app, &opts) {
+            rows.push(row);
+        }
     }
     println!("{}", render_table2(&rows));
     write_json("table2", &rows);

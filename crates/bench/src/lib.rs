@@ -13,11 +13,15 @@ use std::fmt::Write as _;
 
 use adhash::FpRound;
 use instantcheck::{
-    characterize, geometric_mean, measure_overhead, CheckerConfig, Characterization,
+    characterize, geometric_mean, measure_overhead, Characterization, CheckerConfig, FailurePolicy,
     IgnoreSpec, Scheme,
 };
 use instantcheck_workloads::AppSpec;
-use serde::Serialize;
+
+pub mod json;
+pub mod timing;
+
+use json::{write_field, ToJson};
 
 /// Command-line options shared by the harness binaries.
 #[derive(Debug, Clone, Copy)]
@@ -28,19 +32,30 @@ pub struct HarnessOpts {
     pub runs: usize,
     /// Base seed.
     pub seed: u64,
+    /// What a campaign does when one of its runs fails.
+    pub policy: FailurePolicy,
 }
 
 impl Default for HarnessOpts {
     fn default() -> Self {
-        HarnessOpts { scaled: false, runs: 30, seed: 1 }
+        HarnessOpts {
+            scaled: false,
+            runs: 30,
+            seed: 1,
+            policy: FailurePolicy::Abort,
+        }
     }
 }
 
 impl HarnessOpts {
-    /// Parses `--scaled`, `--runs N`, `--seed N` from `std::env::args`.
+    /// Parses `--scaled`, `--runs N`, `--seed N`, `--policy P` from
+    /// `std::env::args`. Policies: `abort` (default), `skip` (skip
+    /// failed runs, up to half the campaign), `retry` (2 retries per
+    /// run, fresh seed each), `retry-same` (2 retries, same seed).
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts::default();
         let args: Vec<String> = std::env::args().collect();
+        let mut policy_arg: Option<String> = None;
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -59,9 +74,36 @@ impl HarnessOpts {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or(opts.seed);
                 }
+                "--policy" => {
+                    i += 1;
+                    policy_arg = args.get(i).cloned();
+                }
                 other => eprintln!("ignoring unknown argument {other}"),
             }
             i += 1;
+        }
+        // Resolved after the loop so `--policy skip --runs N` and
+        // `--runs N --policy skip` agree on the failure budget.
+        match policy_arg.as_deref() {
+            None | Some("abort") => opts.policy = FailurePolicy::Abort,
+            Some("skip") => {
+                opts.policy = FailurePolicy::Skip {
+                    max_failures: opts.runs.div_ceil(2),
+                };
+            }
+            Some("retry") => {
+                opts.policy = FailurePolicy::Retry {
+                    max_retries: 2,
+                    reseed: true,
+                };
+            }
+            Some("retry-same") => {
+                opts.policy = FailurePolicy::Retry {
+                    max_retries: 2,
+                    reseed: false,
+                };
+            }
+            Some(other) => eprintln!("ignoring unknown policy {other:?}"),
         }
         opts
     }
@@ -91,11 +133,12 @@ impl HarnessOpts {
         CheckerConfig::new(Scheme::HwInc)
             .with_runs(self.runs)
             .with_base_seed(self.seed)
+            .with_policy(self.policy)
     }
 }
 
 /// One Table 1 row, measured.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Table1Row {
     /// Application name.
     pub name: String,
@@ -121,14 +164,39 @@ pub struct Table1Row {
     pub det_at_end: bool,
     /// Final class.
     pub class: String,
+    /// Failed runs the campaign's failure policy absorbed.
+    pub failed_runs: usize,
 }
 
-/// Runs the Table 1 pipeline for one registered application.
-pub fn table1_row(app: &AppSpec, opts: &HarnessOpts) -> Table1Row {
+/// Logs a campaign failure and returns `None` so the caller can move on
+/// to the next application instead of aborting the whole table.
+fn log_and_skip<T>(app: &AppSpec, what: &str, err: &tsim::SimError) -> Option<T> {
+    eprintln!(
+        "  {}: {what} failed ({}: {err}) — skipping; rerun with --policy \
+         skip or retry to salvage the campaign",
+        app.name,
+        err.kind(),
+    );
+    None
+}
+
+/// Logs any failures a completed campaign absorbed.
+fn log_absorbed(app: &AppSpec, report: &instantcheck::CheckReport) {
+    for f in &report.failures {
+        eprintln!("  {}: absorbed failure: {f}", app.name);
+    }
+}
+
+/// Runs the Table 1 pipeline for one registered application. Returns
+/// `None` (after logging) if the campaign failed beyond what its
+/// failure policy absorbs.
+pub fn table1_row(app: &AppSpec, opts: &HarnessOpts) -> Option<Table1Row> {
     let subject = app.subject();
-    let c: Characterization =
-        characterize(&subject, &opts.template()).expect("runs complete");
-    characterization_to_row(app, &c)
+    let c: Characterization = match characterize(&subject, &opts.template()) {
+        Ok(c) => c,
+        Err(e) => return log_and_skip(app, "characterization", &e),
+    };
+    Some(characterization_to_row(app, &c))
 }
 
 fn characterization_to_row(app: &AppSpec, c: &Characterization) -> Table1Row {
@@ -137,7 +205,11 @@ fn characterization_to_row(app: &AppSpec, c: &Characterization) -> Table1Row {
         // rounding, FP app or not.
         "Det→Det".to_owned()
     } else if let Some(r) = &c.fp_rounded {
-        if r.is_deterministic() { "NDet→Det".to_owned() } else { "NDet→NDet".to_owned() }
+        if r.is_deterministic() {
+            "NDet→Det".to_owned()
+        } else {
+            "NDet→NDet".to_owned()
+        }
     } else {
         "NDet→NDet".to_owned() // non-FP app: rounding changes nothing
     };
@@ -160,6 +232,7 @@ fn characterization_to_row(app: &AppSpec, c: &Characterization) -> Table1Row {
         ndet_points: report.ndet_points,
         det_at_end: report.det_at_end,
         class: c.class.to_string(),
+        failed_runs: c.failures().len(),
     }
 }
 
@@ -169,8 +242,17 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     let _ = writeln!(
         s,
         "{:<24} {:<9} {:>3} {:>7} {:>6} {:>10} {:>7} {:>10} {:>8} {:>6} {:>4}  Class",
-        "Application", "Source", "FP?", "Det as", "First", "FP round", "First", "Isolating",
-        "#Det", "#NDet", "End"
+        "Application",
+        "Source",
+        "FP?",
+        "Det as",
+        "First",
+        "FP round",
+        "First",
+        "Isolating",
+        "#Det",
+        "#NDet",
+        "End"
     );
     let _ = writeln!(
         s,
@@ -179,7 +261,11 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     );
     let _ = writeln!(s, "{:-<118}", "");
     for r in rows {
-        let star = if r.name == "streamcluster" && r.ndet_points > 0 { "*" } else { "" };
+        let star = if r.name == "streamcluster" && r.ndet_points > 0 {
+            "*"
+        } else {
+            ""
+        };
         let _ = writeln!(
             s,
             "{:<24} {:<9} {:>3} {:>7} {:>6} {:>10} {:>7} {:>10} {:>8} {:>5}{} {:>4}  {}",
@@ -202,7 +288,7 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 }
 
 /// One Figure 6 bar group.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Fig6Row {
     /// Application.
     pub name: String,
@@ -220,9 +306,14 @@ pub fn fig6(opts: &HarnessOpts) -> (Vec<Fig6Row>, Fig6Row, Fig6Row) {
     let mut rows = Vec::new();
     for app in opts.apps() {
         let build = std::sync::Arc::clone(&app.build);
-        let report =
-            measure_overhead(move || build(), opts.seed, None, &IgnoreSpec::new())
-                .expect("overhead run completes");
+        let report = match measure_overhead(move || build(), opts.seed, None, &IgnoreSpec::new()) {
+            Ok(r) => r,
+            Err(e) => {
+                let skipped: Option<()> = log_and_skip(&app, "overhead run", &e);
+                let _ = skipped;
+                continue;
+            }
+        };
         rows.push(Fig6Row {
             name: app.name.to_owned(),
             hw: report.hw_ratio(),
@@ -237,8 +328,8 @@ pub fn fig6(opts: &HarnessOpts) -> (Vec<Fig6Row>, Fig6Row, Fig6Row) {
         sw_tr: geometric_mean(rows.iter().map(|r| r.sw_tr)),
     };
     // The sphinx3 "delete 4% of the state at every checkpoint" case.
-    let sphinx = instantcheck_workloads::by_name("sphinx3", opts.scaled)
-        .expect("sphinx3 registered");
+    let sphinx =
+        instantcheck_workloads::by_name("sphinx3", opts.scaled).expect("sphinx3 registered");
     let build = std::sync::Arc::clone(&sphinx.build);
     let del = measure_overhead(
         move || build(),
@@ -276,7 +367,7 @@ pub fn render_fig6(rows: &[Fig6Row], geom: &Fig6Row, deletion: &Fig6Row) -> Stri
 }
 
 /// One Table 2 row (seeded-bug detection).
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Table2Row {
     /// Application + bug type.
     pub name: String,
@@ -288,22 +379,27 @@ pub struct Table2Row {
     pub first_ndet_run: Option<usize>,
     /// The nondeterminism distributions (Figure 8), rendered.
     pub distributions: Vec<String>,
+    /// Failed runs the campaign's failure policy absorbed.
+    pub failed_runs: usize,
 }
 
 /// Runs the Table 2 campaign for one seeded-bug variant. The seeded
 /// water bugs are checked with FP rounding enabled (the unseeded apps
 /// are deterministic under that configuration, so any nondeterminism is
-/// the bug's).
-pub fn table2_row(app: &AppSpec, opts: &HarnessOpts) -> Table2Row {
+/// the bug's). Returns `None` (after logging) if the campaign failed
+/// beyond what its failure policy absorbs.
+pub fn table2_row(app: &AppSpec, opts: &HarnessOpts) -> Option<Table2Row> {
     let build = std::sync::Arc::clone(&app.build);
     let mut cfg = opts.template();
     if app.uses_fp {
         cfg = cfg.with_rounding(FpRound::default());
     }
-    let report = instantcheck::Checker::new(cfg)
-        .check(move || build())
-        .expect("runs complete");
-    Table2Row {
+    let report = match instantcheck::Checker::new(cfg).check(move || build()) {
+        Ok(r) => r,
+        Err(e) => return log_and_skip(app, "campaign", &e),
+    };
+    log_absorbed(app, &report);
+    Some(Table2Row {
         name: app.name.to_owned(),
         det_points: report.det_points,
         ndet_points: report.ndet_points,
@@ -313,7 +409,8 @@ pub fn table2_row(app: &AppSpec, opts: &HarnessOpts) -> Table2Row {
             .into_iter()
             .map(|(d, count)| format!("{count} points: {d}"))
             .collect(),
-    }
+        failed_runs: report.failures.len(),
+    })
 }
 
 /// Renders Table 2.
@@ -340,39 +437,46 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
 
 /// Distribution report for Figures 5/8: for each named app, the grouped
 /// per-checkpoint distributions.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct DistributionReport {
     /// Application name.
     pub name: String,
     /// `(distribution, number of checkpoints behaving that way)`,
     /// deterministic groups included.
     pub groups: Vec<(String, usize)>,
+    /// Failed runs the campaign's failure policy absorbed.
+    pub failed_runs: usize,
 }
 
 /// Measures the nondeterminism distributions of one app under the given
 /// config (Figure 5 uses bit-exact configs for FP-noise apps and default
 /// configs for others; Figure 8 uses the seeded bugs with rounding).
+/// Returns `None` (after logging) if the campaign failed beyond what
+/// its failure policy absorbs.
 pub fn distributions(
     app: &AppSpec,
     opts: &HarnessOpts,
     rounding: Option<FpRound>,
-) -> DistributionReport {
+) -> Option<DistributionReport> {
     let build = std::sync::Arc::clone(&app.build);
     let mut cfg = opts.template();
     if let Some(r) = rounding {
         cfg = cfg.with_rounding(r);
     }
-    let report = instantcheck::Checker::new(cfg)
-        .check(move || build())
-        .expect("runs complete");
-    DistributionReport {
+    let report = match instantcheck::Checker::new(cfg).check(move || build()) {
+        Ok(r) => r,
+        Err(e) => return log_and_skip(app, "campaign", &e),
+    };
+    log_absorbed(app, &report);
+    Some(DistributionReport {
         name: app.name.to_owned(),
         groups: report
             .grouped_distributions()
             .into_iter()
             .map(|(d, count)| (d.to_string(), count))
             .collect(),
-    }
+        failed_runs: report.failures.len(),
+    })
 }
 
 /// Renders a distribution report.
@@ -388,20 +492,78 @@ pub fn render_distributions(reports: &[DistributionReport]) -> String {
     s
 }
 
+impl ToJson for Table1Row {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        write_field(out, &mut first, "name", &self.name);
+        write_field(out, &mut first, "suite", &self.suite);
+        write_field(out, &mut first, "fp", &self.fp);
+        write_field(out, &mut first, "det_as_is", &self.det_as_is);
+        write_field(out, &mut first, "first_ndet_run", &self.first_ndet_run);
+        write_field(out, &mut first, "fp_impact", &self.fp_impact);
+        write_field(
+            out,
+            &mut first,
+            "first_ndet_after_fp",
+            &self.first_ndet_after_fp,
+        );
+        write_field(out, &mut first, "isolating", &self.isolating);
+        write_field(out, &mut first, "det_points", &self.det_points);
+        write_field(out, &mut first, "ndet_points", &self.ndet_points);
+        write_field(out, &mut first, "det_at_end", &self.det_at_end);
+        write_field(out, &mut first, "class", &self.class);
+        write_field(out, &mut first, "failed_runs", &self.failed_runs);
+        out.push('}');
+    }
+}
+
+impl ToJson for Fig6Row {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        write_field(out, &mut first, "name", &self.name);
+        write_field(out, &mut first, "hw", &self.hw);
+        write_field(out, &mut first, "sw_inc", &self.sw_inc);
+        write_field(out, &mut first, "sw_tr", &self.sw_tr);
+        out.push('}');
+    }
+}
+
+impl ToJson for Table2Row {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        write_field(out, &mut first, "name", &self.name);
+        write_field(out, &mut first, "det_points", &self.det_points);
+        write_field(out, &mut first, "ndet_points", &self.ndet_points);
+        write_field(out, &mut first, "first_ndet_run", &self.first_ndet_run);
+        write_field(out, &mut first, "distributions", &self.distributions);
+        write_field(out, &mut first, "failed_runs", &self.failed_runs);
+        out.push('}');
+    }
+}
+
+impl ToJson for DistributionReport {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        write_field(out, &mut first, "name", &self.name);
+        write_field(out, &mut first, "groups", &self.groups);
+        write_field(out, &mut first, "failed_runs", &self.failed_runs);
+        out.push('}');
+    }
+}
+
 /// Writes a JSON artifact under `results/`.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
     let dir = std::path::Path::new("results");
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join(format!("{name}.json"));
-        match serde_json::to_string_pretty(value) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("could not write {}: {e}", path.display());
-                } else {
-                    eprintln!("wrote {}", path.display());
-                }
-            }
-            Err(e) => eprintln!("could not serialize {name}: {e}"),
+        if let Err(e) = std::fs::write(&path, value.to_json()) {
+            eprintln!("could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
         }
     }
 }
@@ -411,18 +573,23 @@ mod tests {
     use super::*;
 
     fn quick_opts() -> HarnessOpts {
-        HarnessOpts { scaled: true, runs: 5, seed: 1 }
+        HarnessOpts {
+            scaled: true,
+            runs: 5,
+            ..HarnessOpts::default()
+        }
     }
 
     #[test]
     fn table1_row_for_a_bit_exact_app() {
         let app = instantcheck_workloads::by_name("fft", true).unwrap();
-        let row = table1_row(&app, &quick_opts());
+        let row = table1_row(&app, &quick_opts()).expect("campaign completes");
         assert!(row.det_as_is);
         assert_eq!(row.fp_impact, "Det→Det");
         assert_eq!(row.ndet_points, 0);
         assert!(row.det_at_end);
         assert_eq!(row.class, "bit-by-bit");
+        assert_eq!(row.failed_runs, 0);
     }
 
     #[test]
@@ -431,7 +598,12 @@ mod tests {
             .into_iter()
             .find(|a| a.name.contains("atomicity"))
             .unwrap();
-        let row = table2_row(&app, &HarnessOpts { scaled: true, runs: 10, seed: 1 });
+        let opts = HarnessOpts {
+            scaled: true,
+            runs: 10,
+            ..HarnessOpts::default()
+        };
+        let row = table2_row(&app, &opts).expect("campaign completes");
         assert!(row.ndet_points > 0);
         assert!(row.det_points > 0);
         assert!(row.first_ndet_run.is_some());
@@ -452,14 +624,30 @@ mod tests {
             ndet_points: 0,
             det_at_end: true,
             class: "bit-by-bit".into(),
+            failed_runs: 0,
         }];
         let t = render_table1(&rows);
         assert!(t.contains("Application"));
         assert!(t.contains('x'));
 
-        let f = Fig6Row { name: "x".into(), hw: 1.0, sw_inc: 3.0, sw_tr: 5.0 };
-        let g = Fig6Row { name: "GEOM".into(), hw: 1.0, sw_inc: 3.0, sw_tr: 5.0 };
-        let d = Fig6Row { name: "del".into(), hw: 4.5, sw_inc: 55.0, sw_tr: 438.0 };
+        let f = Fig6Row {
+            name: "x".into(),
+            hw: 1.0,
+            sw_inc: 3.0,
+            sw_tr: 5.0,
+        };
+        let g = Fig6Row {
+            name: "GEOM".into(),
+            hw: 1.0,
+            sw_inc: 3.0,
+            sw_tr: 5.0,
+        };
+        let d = Fig6Row {
+            name: "del".into(),
+            hw: 4.5,
+            sw_inc: 55.0,
+            sw_tr: 438.0,
+        };
         let s = render_fig6(&[f], &g, &d);
         assert!(s.contains("GEOM"));
         assert!(s.contains("438.00x"));

@@ -1,0 +1,77 @@
+//! A minimal wall-clock micro-benchmark runner for the `benches/`
+//! harnesses (`harness = false`).
+//!
+//! Each measurement runs a short calibration pass to pick an iteration
+//! count targeting ~100ms, then reports the best of several batches
+//! (the usual defense against scheduling noise). This is intentionally
+//! simple: the benches exist to spot order-of-magnitude regressions in
+//! the hashing substrate and the simulator, not to resolve 1% deltas.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const TARGET: Duration = Duration::from_millis(100);
+const BATCHES: usize = 5;
+
+/// Times `f` and prints one result row. The closure's return value is
+/// black-boxed so the work cannot be optimized away.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Calibrate: grow the iteration count until one batch is long
+    // enough to time reliably.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= TARGET / 4 || iters >= 1 << 30 {
+            // Scale to the target, then take the best of BATCHES.
+            if elapsed < TARGET {
+                let factor = TARGET.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64;
+                iters = ((iters as f64 * factor) as u64).max(1);
+            }
+            break;
+        }
+        iters *= 8;
+    }
+    let mut best = Duration::MAX;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(start.elapsed());
+    }
+    let per_iter = best.as_nanos() as f64 / iters as f64;
+    println!(
+        "{name:<44} {:>14} /iter  ({iters} iters/batch)",
+        format_ns(per_iter)
+    );
+}
+
+/// Formats a nanosecond quantity with a readable unit.
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_units() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(12_340.0), "12.34 µs");
+        assert_eq!(format_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+}

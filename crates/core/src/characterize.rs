@@ -35,11 +35,13 @@ impl fmt::Debug for Subject {
 
 impl Subject {
     /// Creates a subject with no FP and no ignore spec.
-    pub fn new(
-        name: &'static str,
-        source: impl Fn() -> Program + Send + Sync + 'static,
-    ) -> Self {
-        Subject { name, uses_fp: false, ignore: IgnoreSpec::new(), source: Box::new(source) }
+    pub fn new(name: &'static str, source: impl Fn() -> Program + Send + Sync + 'static) -> Self {
+        Subject {
+            name,
+            uses_fp: false,
+            ignore: IgnoreSpec::new(),
+            source: Box::new(source),
+        }
     }
 
     /// Marks the subject as using FP operations.
@@ -142,6 +144,13 @@ impl Characterization {
     pub fn det_at_end(&self) -> bool {
         self.final_report().det_at_end
     }
+
+    /// The failed runs the final stage's campaign absorbed (always
+    /// empty under the default [`FailurePolicy::Abort`](crate::FailurePolicy),
+    /// which surfaces the error from [`characterize`] instead).
+    pub fn failures(&self) -> &[crate::RunFailure] {
+        &self.final_report().failures
+    }
 }
 
 /// Runs the Table 1 pipeline for one subject: check bit-exact; if
@@ -149,12 +158,15 @@ impl Characterization {
 /// still nondeterministic and an ignore spec exists, re-check with the
 /// small structures isolated.
 ///
-/// `template` supplies the scheme, number of runs, seeds, and switch
-/// policy; its `rounding`/`ignore` fields are overridden per stage.
+/// `template` supplies the scheme, number of runs, seeds, switch
+/// policy, and [`FailurePolicy`](crate::FailurePolicy); its
+/// `rounding`/`ignore` fields are overridden per stage.
 ///
 /// # Errors
 ///
-/// Propagates any [`SimError`] from the underlying runs.
+/// Propagates any [`SimError`] from the underlying runs that the
+/// template's failure policy does not absorb (under the default abort
+/// policy, that is every error).
 pub fn characterize(
     subject: &Subject,
     template: &CheckerConfig,
@@ -293,6 +305,38 @@ mod tests {
         assert!(c.isolated.is_some());
         let (det, ndet) = c.dyn_points();
         assert!(ndet == 0 && det > 0);
+    }
+
+    #[test]
+    fn skip_policy_rides_through_the_pipeline() {
+        use crate::policy::FailurePolicy;
+        use tsim::{FaultKind, FaultPlan, Trigger};
+
+        let subject = Subject::new("faulty-sum", || {
+            let mut b = ProgramBuilder::new(2);
+            let g = b.global("G", ValKind::U64, 1);
+            let lock = b.mutex();
+            for t in 0..2u64 {
+                b.thread(move |ctx| {
+                    let p = ctx.malloc("tmp", tsim::TypeTag::u64s(), 1);
+                    ctx.store(p, t);
+                    ctx.lock(lock);
+                    let v = ctx.load(g.at(0));
+                    ctx.store(g.at(0), v + t + 1);
+                    ctx.unlock(lock);
+                    ctx.free(p);
+                });
+            }
+            b.build()
+        });
+        let plan = FaultPlan::new(11).with(FaultKind::AllocFail, Trigger::Nth(0));
+        let template = cfg()
+            .with_policy(FailurePolicy::Skip { max_failures: 2 })
+            .with_fault_in_run(3, plan);
+        let c = characterize(&subject, &template).unwrap();
+        assert_eq!(c.class, DetClass::BitExact);
+        assert_eq!(c.failures().len(), 1);
+        assert_eq!(c.failures()[0].run_index, 3);
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! The multi-run determinism-checking harness.
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use adhash::FpRound;
-use tsim::{Program, RunConfig, SchedulerKind, SimError, SwitchPolicy};
+use tsim::{AllocLog, FaultPlan, Program, RunConfig, SimError, SwitchPolicy};
 
 use crate::ignore::IgnoreSpec;
+use crate::policy::{retry_seed, FailurePolicy, RunFailure, RunOutcome};
 use crate::report::CheckReport;
 use crate::scheme::{CheckMonitor, CheckpointRecord, Scheme};
 
@@ -19,6 +23,20 @@ pub struct RunHashes {
     pub extra_instr: u64,
     /// Stores observed during the run.
     pub stores: u64,
+}
+
+impl RunHashes {
+    /// `true` if this run's observable behavior (output digest plus the
+    /// checkpoint sequence) differs from `other`'s.
+    pub(crate) fn differs_from(&self, other: &RunHashes) -> bool {
+        self.output_digest != other.output_digest
+            || self.checkpoints.len() != other.checkpoints.len()
+            || self
+                .checkpoints
+                .iter()
+                .zip(&other.checkpoints)
+                .any(|(x, y)| x.kind != y.kind || x.hash != y.hash)
+    }
 }
 
 /// Configuration of a determinism-checking campaign.
@@ -41,11 +59,20 @@ pub struct CheckerConfig {
     pub lib_seed: u64,
     /// Step limit per run.
     pub max_steps: u64,
+    /// What to do when a run fails (default: abort the campaign).
+    pub policy: FailurePolicy,
+    /// Wall-clock watchdog per run (`None` = no deadline). A run that
+    /// exceeds it fails with [`SimError::Deadline`](tsim::SimError).
+    pub deadline: Option<Duration>,
+    /// Fault-injection plans applied to specific run slots (every
+    /// attempt of that slot, including retries, gets the plan). Used to
+    /// exercise the failure policies deterministically.
+    pub fault_plans: Vec<(usize, FaultPlan)>,
 }
 
 impl CheckerConfig {
     /// A default campaign: 30 runs, sync-only switching, bit-exact
-    /// hashing, nothing ignored.
+    /// hashing, nothing ignored, abort on the first failed run.
     pub fn new(scheme: Scheme) -> Self {
         CheckerConfig {
             scheme,
@@ -56,6 +83,9 @@ impl CheckerConfig {
             switch: SwitchPolicy::SyncOnly,
             lib_seed: 0xfeed,
             max_steps: 20_000_000,
+            policy: FailurePolicy::Abort,
+            deadline: None,
+            fault_plans: Vec::new(),
         }
     }
 
@@ -100,6 +130,27 @@ impl CheckerConfig {
         self.lib_seed = seed;
         self
     }
+
+    /// Sets the failure policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the per-run wall-clock watchdog.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Injects a fault plan into one run slot of the campaign.
+    #[must_use]
+    pub fn with_fault_in_run(mut self, run_index: usize, plan: FaultPlan) -> Self {
+        self.fault_plans.push((run_index, plan));
+        self
+    }
 }
 
 /// The determinism checker: runs a program many times under different
@@ -121,17 +172,148 @@ impl Checker {
         &self.config
     }
 
+    /// The [`RunConfig`] for one attempt: the given scheduler seed, the
+    /// campaign-wide nondeterminism controls, and the slot's fault plan
+    /// if one is configured.
+    fn run_config(
+        &self,
+        seed: u64,
+        run_index: usize,
+        alloc_log: Option<&Arc<AllocLog>>,
+    ) -> RunConfig {
+        let cfg = &self.config;
+        let mut rc = RunConfig::random(seed)
+            .with_switch(cfg.switch)
+            .with_lib_seed(cfg.lib_seed)
+            .with_max_steps(cfg.max_steps);
+        if cfg.scheme.is_checking() {
+            rc = rc.with_zero_fill_charged();
+        }
+        // Allocator addresses are input: log them on the first
+        // successful run, replay them afterwards (§5).
+        if let Some(log) = alloc_log {
+            rc = rc.with_alloc_replay(Arc::clone(log));
+        }
+        if let Some(deadline) = cfg.deadline {
+            rc = rc.with_deadline(deadline);
+        }
+        if let Some((_, plan)) = cfg.fault_plans.iter().find(|(slot, _)| *slot == run_index) {
+            rc = rc.with_faults(plan.clone());
+        }
+        rc
+    }
+
+    /// The campaign supervisor: executes the run slots in order,
+    /// applying the configured [`FailurePolicy`] to failed attempts.
+    ///
+    /// With `stop_early`, the campaign halts as soon as a completed
+    /// run's hashes differ from the first completed run's.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when the policy gives up: immediately
+    /// under [`FailurePolicy::Abort`], after more than `max_failures`
+    /// failed slots under [`FailurePolicy::Skip`], and after a slot
+    /// exhausts `max_retries` under [`FailurePolicy::Retry`].
+    fn run_campaign<F: Fn() -> Program>(
+        &self,
+        source: &F,
+        stop_early: bool,
+    ) -> Result<Vec<RunOutcome>, SimError> {
+        let cfg = &self.config;
+        let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(cfg.runs);
+        let mut alloc_log: Option<Arc<AllocLog>> = None;
+        let mut first_hashes: Option<RunHashes> = None;
+        let mut failed_slots = 0usize;
+        'slots: for i in 0..cfg.runs {
+            let mut attempt = 0usize;
+            let slot_first_failure = outcomes.len();
+            let completed = loop {
+                let seed = match (attempt, cfg.policy) {
+                    (0, _) => cfg.base_seed + i as u64,
+                    (a, FailurePolicy::Retry { reseed: true, .. }) => {
+                        retry_seed(cfg.base_seed, i, a)
+                    }
+                    _ => cfg.base_seed + i as u64,
+                };
+                let rc = self.run_config(seed, i, alloc_log.as_ref());
+                let monitor = CheckMonitor::new(cfg.scheme, cfg.rounding, cfg.ignore.clone());
+                match source().run_with(&rc, monitor) {
+                    Ok(out) => {
+                        if alloc_log.is_none() {
+                            alloc_log = Some(out.alloc_log.clone());
+                        }
+                        break Some((seed, out.monitor.into_hashes()));
+                    }
+                    Err(error) => {
+                        outcomes.push(RunOutcome::Failed(RunFailure {
+                            run_index: i,
+                            seed,
+                            error: error.clone(),
+                            attempt,
+                            recovered: false,
+                        }));
+                        match cfg.policy {
+                            FailurePolicy::Abort => return Err(error),
+                            FailurePolicy::Skip { max_failures } => {
+                                failed_slots += 1;
+                                if failed_slots > max_failures {
+                                    return Err(error);
+                                }
+                                break None;
+                            }
+                            FailurePolicy::Retry { max_retries, .. } => {
+                                if attempt >= max_retries {
+                                    return Err(error);
+                                }
+                                attempt += 1;
+                            }
+                        }
+                    }
+                }
+            };
+            if let Some((seed, hashes)) = completed {
+                // Every earlier failed attempt of this slot was a
+                // transient the slot recovered from.
+                for o in &mut outcomes[slot_first_failure..] {
+                    if let RunOutcome::Failed(f) = o {
+                        f.recovered = true;
+                    }
+                }
+                let differs = first_hashes
+                    .as_ref()
+                    .is_some_and(|first| hashes.differs_from(first));
+                if first_hashes.is_none() {
+                    first_hashes = Some(hashes.clone());
+                }
+                outcomes.push(RunOutcome::Completed {
+                    seed,
+                    run_index: i,
+                    hashes,
+                });
+                if stop_early && differs {
+                    break 'slots;
+                }
+            }
+        }
+        Ok(outcomes)
+    }
+
     /// Runs the campaign: `source` must build a fresh copy of the same
     /// program for each run (same input — the checker controls allocator
     /// addresses and library calls so that only the interleaving varies).
     ///
     /// # Errors
     ///
-    /// Returns the first [`SimError`] any run produces (deadlock, step
-    /// limit, machine misuse, workload panic).
+    /// Under the default [`FailurePolicy::Abort`], returns the first
+    /// [`SimError`] any run produces (deadlock, step limit, machine
+    /// misuse, workload panic). Under [`FailurePolicy::Skip`] /
+    /// [`FailurePolicy::Retry`], failed runs are recorded in the
+    /// report's [`failures`](CheckReport::failures) section instead, and
+    /// an error is returned only once the policy's budget is exhausted.
     pub fn check<F: Fn() -> Program>(&self, source: F) -> Result<CheckReport, SimError> {
-        let hashes = self.collect_runs(&source)?;
-        Ok(CheckReport::from_runs(&hashes))
+        let outcomes = self.run_campaign(&source, false)?;
+        Ok(Self::report(&outcomes))
     }
 
     /// Like [`check`], but stops as soon as a run's hashes differ from
@@ -142,94 +324,70 @@ impl Checker {
     ///
     /// # Errors
     ///
-    /// Returns the first [`SimError`] any run produces.
+    /// As for [`check`].
+    ///
+    /// [`check`]: Checker::check
     pub fn check_stopping_early<F: Fn() -> Program>(
         &self,
         source: F,
     ) -> Result<(CheckReport, usize), SimError> {
-        let cfg = &self.config;
-        let mut runs: Vec<RunHashes> = Vec::new();
-        let mut alloc_log = None;
-        for i in 0..cfg.runs {
-            let mut rc = RunConfig::random(cfg.base_seed + i as u64)
-                .with_switch(cfg.switch)
-                .with_lib_seed(cfg.lib_seed)
-                .with_max_steps(cfg.max_steps);
-            if cfg.scheme.is_checking() {
-                rc = rc.with_zero_fill_charged();
-            }
-            if let Some(log) = &alloc_log {
-                rc = rc.with_alloc_replay(std::sync::Arc::clone(log));
-            }
-            let monitor =
-                CheckMonitor::new(cfg.scheme, cfg.rounding, cfg.ignore.clone());
-            let out = source().run_with(&rc, monitor)?;
-            if alloc_log.is_none() {
-                alloc_log = Some(out.alloc_log.clone());
-            }
-            runs.push(out.monitor.into_hashes());
-            let differs = {
-                let (a, b) = (&runs[runs.len() - 1], &runs[0]);
-                a.output_digest != b.output_digest
-                    || a.checkpoints.len() != b.checkpoints.len()
-                    || a.checkpoints
-                        .iter()
-                        .zip(&b.checkpoints)
-                        .any(|(x, y)| x.kind != y.kind || x.hash != y.hash)
-            };
-            if differs {
-                break;
-            }
-        }
-        let n = runs.len();
-        Ok((CheckReport::from_runs(&runs), n))
+        let outcomes = self.run_campaign(&source, true)?;
+        let n = outcomes.iter().filter(|o| o.hashes().is_some()).count();
+        Ok((Self::report(&outcomes), n))
     }
 
-    /// Like [`check`], but returns the raw per-run hash sequences
-    /// (useful for custom analyses).
+    /// Like [`check`], but returns the raw per-run hash sequences of
+    /// the completed runs (useful for custom analyses).
     ///
     /// # Errors
     ///
-    /// Returns the first [`SimError`] any run produces.
+    /// As for [`check`].
     ///
     /// [`check`]: Checker::check
-    pub fn collect_runs<F: Fn() -> Program>(
+    pub fn collect_runs<F: Fn() -> Program>(&self, source: &F) -> Result<Vec<RunHashes>, SimError> {
+        Ok(self
+            .collect_outcomes(source)?
+            .into_iter()
+            .filter_map(|o| match o {
+                RunOutcome::Completed { hashes, .. } => Some(hashes),
+                RunOutcome::Failed(_) => None,
+            })
+            .collect())
+    }
+
+    /// Runs the campaign and returns every attempt's [`RunOutcome`] in
+    /// execution order — completed hash sequences interleaved with the
+    /// structured failures the policy absorbed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`check`].
+    ///
+    /// [`check`]: Checker::check
+    pub fn collect_outcomes<F: Fn() -> Program>(
         &self,
         source: &F,
-    ) -> Result<Vec<RunHashes>, SimError> {
-        let cfg = &self.config;
-        let mut runs = Vec::with_capacity(cfg.runs);
-        let mut alloc_log = None;
-        for i in 0..cfg.runs {
-            let mut rc = RunConfig::random(cfg.base_seed + i as u64)
-                .with_switch(cfg.switch)
-                .with_lib_seed(cfg.lib_seed)
-                .with_max_steps(cfg.max_steps);
-            rc.scheduler = SchedulerKind::Random { seed: cfg.base_seed + i as u64 };
-            if cfg.scheme.is_checking() {
-                rc = rc.with_zero_fill_charged();
-            }
-            // Allocator addresses are input: log them on the first run,
-            // replay them afterwards (§5).
-            if let Some(log) = &alloc_log {
-                rc = rc.with_alloc_replay(std::sync::Arc::clone(log));
-            }
-            let monitor =
-                CheckMonitor::new(cfg.scheme, cfg.rounding, cfg.ignore.clone());
-            let out = source().run_with(&rc, monitor)?;
-            if alloc_log.is_none() {
-                alloc_log = Some(out.alloc_log.clone());
-            }
-            runs.push(out.monitor.into_hashes());
-        }
-        Ok(runs)
+    ) -> Result<Vec<RunOutcome>, SimError> {
+        self.run_campaign(source, false)
+    }
+
+    fn report(outcomes: &[RunOutcome]) -> CheckReport {
+        let hashes: Vec<RunHashes> = outcomes
+            .iter()
+            .filter_map(|o| o.hashes().cloned())
+            .collect();
+        let failures: Vec<RunFailure> = outcomes
+            .iter()
+            .filter_map(|o| o.failure().cloned())
+            .collect();
+        CheckReport::from_outcomes(&hashes, failures)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tsim::{ProgramBuilder, ValKind};
+    use tsim::{FaultKind, ProgramBuilder, Trigger, ValKind};
 
     fn racy_unordered_sum() -> Program {
         // Deterministic: commutative sum under a lock.
@@ -329,13 +487,101 @@ mod tests {
             .with_lib_seed(3)
             .with_switch(SwitchPolicy::EveryAccess)
             .with_rounding(FpRound::default())
-            .with_ignore(IgnoreSpec::new().ignore_global("x"));
+            .with_ignore(IgnoreSpec::new().ignore_global("x"))
+            .with_policy(FailurePolicy::Skip { max_failures: 2 })
+            .with_deadline(Duration::from_secs(5))
+            .with_fault_in_run(1, FaultPlan::new(7));
         assert_eq!(cfg.runs, 5);
         assert_eq!(cfg.base_seed, 9);
         assert_eq!(cfg.lib_seed, 3);
         assert!(cfg.rounding.is_some());
         assert!(!cfg.ignore.is_empty());
+        assert_eq!(cfg.policy, FailurePolicy::Skip { max_failures: 2 });
+        assert_eq!(cfg.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(cfg.fault_plans.len(), 1);
         let checker = Checker::new(cfg);
         assert_eq!(checker.config().runs, 5);
+    }
+
+    #[test]
+    fn abort_policy_keeps_the_historical_semantics() {
+        let plan = FaultPlan::new(3).with(FaultKind::AllocFail, Trigger::Nth(0));
+        let cfg = CheckerConfig::new(Scheme::HwInc)
+            .with_runs(6)
+            .with_fault_in_run(2, plan);
+        let err = Checker::new(cfg).check(alloc_heavy).unwrap_err();
+        assert_eq!(err.kind(), tsim::SimErrorKind::AllocFailed);
+    }
+
+    fn alloc_heavy() -> Program {
+        let mut b = ProgramBuilder::new(2);
+        let g = b.global("G", ValKind::U64, 1);
+        let lock = b.mutex();
+        for t in 0..2u64 {
+            b.thread(move |ctx| {
+                let p = ctx.malloc("scratch", tsim::TypeTag::u64s(), 2);
+                ctx.store(p, t);
+                ctx.lock(lock);
+                let v = ctx.load(g.at(0));
+                ctx.store(g.at(0), v + t + 1);
+                ctx.unlock(lock);
+                ctx.free(p);
+            });
+        }
+        b.build()
+    }
+
+    #[test]
+    fn skip_policy_completes_with_the_failure_recorded() {
+        let plan = FaultPlan::new(3).with(FaultKind::AllocFail, Trigger::Nth(0));
+        let cfg = CheckerConfig::new(Scheme::HwInc)
+            .with_runs(6)
+            .with_policy(FailurePolicy::Skip { max_failures: 3 })
+            .with_fault_in_run(2, plan);
+        let report = Checker::new(cfg).check(alloc_heavy).unwrap();
+        assert_eq!(report.runs, 5, "five of six runs completed");
+        assert_eq!(report.failures.len(), 1);
+        let f = &report.failures[0];
+        assert_eq!(f.run_index, 2);
+        assert_eq!(f.error.kind(), tsim::SimErrorKind::AllocFailed);
+        assert!(!f.recovered);
+        assert!(
+            report.is_deterministic(),
+            "alloc failure is not a det signal"
+        );
+    }
+
+    #[test]
+    fn skip_policy_aborts_past_its_failure_budget() {
+        let plan = |s| FaultPlan::new(s).with(FaultKind::AllocFail, Trigger::Nth(0));
+        let cfg = CheckerConfig::new(Scheme::HwInc)
+            .with_runs(6)
+            .with_policy(FailurePolicy::Skip { max_failures: 1 })
+            .with_fault_in_run(1, plan(1))
+            .with_fault_in_run(3, plan(2));
+        let err = Checker::new(cfg).check(alloc_heavy).unwrap_err();
+        assert_eq!(err.kind(), tsim::SimErrorKind::AllocFailed);
+    }
+
+    #[test]
+    fn retry_without_reseed_replays_the_same_seed_and_gives_up() {
+        // The fault plan is a pure function of the attempt's run config,
+        // so retrying the same seed deterministically fails again.
+        let plan = FaultPlan::new(3).with(FaultKind::AllocFail, Trigger::Nth(0));
+        let cfg = CheckerConfig::new(Scheme::HwInc)
+            .with_runs(4)
+            .with_policy(FailurePolicy::Retry {
+                max_retries: 2,
+                reseed: false,
+            })
+            .with_fault_in_run(1, plan);
+        let checker = Checker::new(cfg.clone());
+        let err = checker.check(alloc_heavy).unwrap_err();
+        assert_eq!(err.kind(), tsim::SimErrorKind::AllocFailed);
+        let outcomes = checker.collect_outcomes(&alloc_heavy);
+        assert!(
+            outcomes.is_err(),
+            "outcome collection honors the policy too"
+        );
     }
 }

@@ -75,7 +75,8 @@ impl IgnoreSpec {
         site: impl Into<String>,
         offsets: impl IntoIterator<Item = usize>,
     ) -> Self {
-        self.sites.push((site.into(), Some(offsets.into_iter().collect())));
+        self.sites
+            .push((site.into(), Some(offsets.into_iter().collect())));
         self
     }
 

@@ -41,7 +41,10 @@ impl Default for OutputHasher {
 impl OutputHasher {
     /// Creates a hasher for an empty stream.
     pub fn new() -> Self {
-        OutputHasher { state: 0x6a09_e667_f3bc_c908, len: 0 }
+        OutputHasher {
+            state: 0x6a09_e667_f3bc_c908,
+            len: 0,
+        }
     }
 
     /// Absorbs the next chunk of the stream.
@@ -85,7 +88,10 @@ mod tests {
 
     #[test]
     fn empty_streams_agree() {
-        assert_eq!(OutputHasher::new().digest(), OutputHasher::default().digest());
+        assert_eq!(
+            OutputHasher::new().digest(),
+            OutputHasher::default().digest()
+        );
         assert!(OutputHasher::new().is_empty());
     }
 

@@ -70,6 +70,7 @@ mod ignore;
 mod iohash;
 mod localize;
 mod overhead;
+mod policy;
 mod report;
 mod scheme;
 
@@ -79,5 +80,6 @@ pub use ignore::IgnoreSpec;
 pub use iohash::OutputHasher;
 pub use localize::{localize, DiffOrigin, DiffSite, Localization};
 pub use overhead::{geometric_mean, measure_overhead, OverheadReport};
+pub use policy::{retry_seed, FailurePolicy, RunFailure, RunOutcome};
 pub use report::{CheckReport, CheckpointVerdict, Distribution};
 pub use scheme::{CheckMonitor, Scheme};

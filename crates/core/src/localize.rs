@@ -10,9 +10,7 @@
 use std::collections::BTreeMap;
 
 use adhash::FpRound;
-use tsim::{
-    Addr, CheckpointInfo, Monitor, Program, RunConfig, SimError, StateView, ValKind,
-};
+use tsim::{Addr, CheckpointInfo, Monitor, Program, RunConfig, SimError, StateView, ValKind};
 
 /// Where a differing address came from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,8 +44,16 @@ impl std::fmt::Display for DiffOrigin {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DiffOrigin::Global { name, offset } => write!(f, "global {name}[{offset}]"),
-            DiffOrigin::Heap { site, offset, alloc_tid, alloc_seq } => {
-                write!(f, "heap {site}+{offset} (alloc #{alloc_seq} by t{alloc_tid})")
+            DiffOrigin::Heap {
+                site,
+                offset,
+                alloc_tid,
+                alloc_seq,
+            } => {
+                write!(
+                    f,
+                    "heap {site}+{offset} (alloc #{alloc_seq} by t{alloc_tid})"
+                )
             }
             DiffOrigin::OneSided => write!(f, "live in one run only"),
         }
@@ -133,7 +139,10 @@ impl Monitor for StateCapture {
                     CapturedWord {
                         value: view.read(a).unwrap_or(0),
                         kind: g.region.kind,
-                        origin: DiffOrigin::Global { name: g.name, offset: i },
+                        origin: DiffOrigin::Global {
+                            name: g.name,
+                            offset: i,
+                        },
                     },
                 );
             }
@@ -183,14 +192,20 @@ pub fn localize<F: Fn() -> Program>(
     let cfg_a = RunConfig::random(seed_a).with_lib_seed(lib_seed);
     let out_a = source().run_with(
         &cfg_a,
-        StateCapture { target_seq: checkpoint_seq, snapshot: None },
+        StateCapture {
+            target_seq: checkpoint_seq,
+            snapshot: None,
+        },
     )?;
     let cfg_b = RunConfig::random(seed_b)
         .with_lib_seed(lib_seed)
         .with_alloc_replay(out_a.alloc_log.clone());
     let out_b = source().run_with(
         &cfg_b,
-        StateCapture { target_seq: checkpoint_seq, snapshot: None },
+        StateCapture {
+            target_seq: checkpoint_seq,
+            snapshot: None,
+        },
     )?;
 
     let a = out_a.monitor.snapshot.unwrap_or_default();
@@ -202,8 +217,7 @@ pub fn localize<F: Fn() -> Program>(
     };
 
     let mut diffs = Vec::new();
-    let addrs: std::collections::BTreeSet<u64> =
-        a.keys().chain(b.keys()).copied().collect();
+    let addrs: std::collections::BTreeSet<u64> = a.keys().chain(b.keys()).copied().collect();
     for addr in addrs {
         match (a.get(&addr), b.get(&addr)) {
             (Some(wa), Some(wb)) => {
@@ -234,7 +248,10 @@ pub fn localize<F: Fn() -> Program>(
             (None, None) => unreachable!("address came from one of the maps"),
         }
     }
-    Ok(Localization { checkpoint_seq, diffs })
+    Ok(Localization {
+        checkpoint_seq,
+        diffs,
+    })
 }
 
 #[cfg(test)]
@@ -292,8 +309,7 @@ mod tests {
         assert!(!loc.is_empty());
         // The differing words: global `winner` and heap record offset 1.
         // `sum` must NOT be reported (commutative).
-        let origins: Vec<String> =
-            loc.diffs.iter().map(|d| d.origin.to_string()).collect();
+        let origins: Vec<String> = loc.diffs.iter().map(|d| d.origin.to_string()).collect();
         assert!(origins.iter().any(|o| o.contains("winner")), "{origins:?}");
         assert!(
             origins.iter().any(|o| o.contains("record+1")),

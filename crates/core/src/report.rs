@@ -5,9 +5,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use tsim::CheckpointKind;
+use tsim::{CheckpointKind, SimErrorKind};
 
 use crate::checker::RunHashes;
+use crate::policy::RunFailure;
 
 /// How many of the compared runs produced each distinct state at one
 /// checkpoint, sorted descending — the paper's "distribution of
@@ -88,6 +89,10 @@ pub struct CheckReport {
     pub distributions: Vec<Distribution>,
     /// Kind of each aligned checkpoint (from run 1).
     pub kinds: Vec<CheckpointKind>,
+    /// Failed run attempts the campaign's
+    /// [`FailurePolicy`](crate::FailurePolicy) absorbed (empty under
+    /// the default abort policy, which surfaces the error instead).
+    pub failures: Vec<RunFailure>,
 }
 
 impl CheckReport {
@@ -99,6 +104,17 @@ impl CheckReport {
     /// Panics if `runs` is empty.
     pub fn from_runs(runs: &[RunHashes]) -> Self {
         assert!(!runs.is_empty(), "need at least one run to report on");
+        Self::from_outcomes(runs, Vec::new())
+    }
+
+    /// Builds a report from the completed runs of a campaign plus the
+    /// failures its policy absorbed. Unlike [`from_runs`], tolerates an
+    /// empty `runs` slice (a campaign whose every run failed under a
+    /// generous skip budget): the comparison counters are all zero and
+    /// only the failure section carries information.
+    ///
+    /// [`from_runs`]: CheckReport::from_runs
+    pub fn from_outcomes(runs: &[RunHashes], failures: Vec<RunFailure>) -> Self {
         let n = runs.len();
         let min_cp = runs.iter().map(|r| r.checkpoints.len()).min().unwrap_or(0);
         let structural_divergence = runs.iter().any(|r| {
@@ -114,9 +130,8 @@ impl CheckReport {
         let mut distributions = Vec::with_capacity(min_cp);
         let mut kinds = Vec::with_capacity(min_cp);
         for cp in 0..min_cp {
-            let dist = Distribution::from_hashes(
-                runs.iter().map(|r| r.checkpoints[cp].hash.as_raw()),
-            );
+            let dist =
+                Distribution::from_hashes(runs.iter().map(|r| r.checkpoints[cp].hash.as_raw()));
             if dist.is_deterministic() {
                 det_points += 1;
             } else {
@@ -131,13 +146,16 @@ impl CheckReport {
 
         let det_at_end = !structural_divergence
             && min_cp > 0
-            && distributions.last().is_some_and(Distribution::is_deterministic);
+            && distributions
+                .last()
+                .is_some_and(Distribution::is_deterministic);
 
-        let output_deterministic =
-            runs.iter().all(|r| r.output_digest == runs[0].output_digest);
+        let output_deterministic = runs
+            .iter()
+            .all(|r| r.output_digest == runs[0].output_digest);
 
         let first_ndet_run = (1..n)
-            .find(|&r| Self::differs(&runs[r], &runs[0]))
+            .find(|&r| runs[r].differs_from(&runs[0]))
             .map(|r| r + 1); // 1-based run number
 
         CheckReport {
@@ -151,23 +169,54 @@ impl CheckReport {
             output_deterministic,
             distributions,
             kinds,
+            failures,
         }
-    }
-
-    fn differs(a: &RunHashes, b: &RunHashes) -> bool {
-        a.output_digest != b.output_digest
-            || a.checkpoints.len() != b.checkpoints.len()
-            || a.checkpoints
-                .iter()
-                .zip(&b.checkpoints)
-                .any(|(x, y)| x.kind != y.kind || x.hash != y.hash)
     }
 
     /// `true` if the program is externally deterministic within this
     /// test's coverage: every checkpoint, the end state, and the output
-    /// agree across all runs.
+    /// agree across all runs, and no run's very *completion* depended on
+    /// the schedule (see [`schedule_divergence`]).
+    ///
+    /// [`schedule_divergence`]: CheckReport::schedule_divergence
     pub fn is_deterministic(&self) -> bool {
-        self.ndet_points == 0 && !self.structural_divergence && self.output_deterministic
+        self.ndet_points == 0
+            && !self.structural_divergence
+            && self.output_deterministic
+            && !self.schedule_divergence()
+    }
+
+    /// `true` if some runs completed while others failed in a
+    /// schedule-dependent way (deadlock, livelock, watchdog timeout —
+    /// see [`SimError::is_schedule_dependent`](tsim::SimError)). Whether
+    /// the program *finishes* then depends on the interleaving, which is
+    /// an external-determinism finding in its own right, not
+    /// infrastructure noise.
+    pub fn schedule_divergence(&self) -> bool {
+        self.runs > 0
+            && self
+                .failures
+                .iter()
+                .any(|f| f.error.is_schedule_dependent())
+    }
+
+    /// The absorbed failures bucketed by [`SimErrorKind`], most common
+    /// kind first — the report's per-run failure section.
+    pub fn failure_buckets(&self) -> Vec<(SimErrorKind, usize)> {
+        let mut buckets: BTreeMap<SimErrorKind, usize> = BTreeMap::new();
+        for f in &self.failures {
+            *buckets.entry(f.error.kind()).or_insert(0) += 1;
+        }
+        let mut v: Vec<(SimErrorKind, usize)> = buckets.into_iter().collect();
+        v.sort_by_key(|&(kind, count)| (std::cmp::Reverse(count), kind));
+        v
+    }
+
+    /// The failures whose slots never completed (under
+    /// [`FailurePolicy::Retry`](crate::FailurePolicy) a slot can fail
+    /// and then recover; those attempts are excluded here).
+    pub fn unrecovered_failures(&self) -> impl Iterator<Item = &RunFailure> {
+        self.failures.iter().filter(|f| !f.recovered)
     }
 
     /// The verdict at one aligned checkpoint.
@@ -251,11 +300,7 @@ mod tests {
 
     #[test]
     fn nondeterminism_at_one_point() {
-        let runs = vec![
-            hashes(&[1, 2, 3]),
-            hashes(&[1, 9, 3]),
-            hashes(&[1, 2, 3]),
-        ];
+        let runs = vec![hashes(&[1, 2, 3]), hashes(&[1, 9, 3]), hashes(&[1, 2, 3])];
         let r = CheckReport::from_runs(&runs);
         assert!(!r.is_deterministic());
         assert_eq!(r.det_points, 2);
@@ -270,11 +315,7 @@ mod tests {
 
     #[test]
     fn first_ndet_run_counts_runs_not_indices() {
-        let runs = vec![
-            hashes(&[1]),
-            hashes(&[1]),
-            hashes(&[2]),
-        ];
+        let runs = vec![hashes(&[1]), hashes(&[1]), hashes(&[2])];
         let r = CheckReport::from_runs(&runs);
         assert_eq!(r.first_ndet_run, Some(3));
         assert!(!r.det_at_end);
@@ -306,10 +347,7 @@ mod tests {
 
     #[test]
     fn grouped_distributions_count_checkpoints() {
-        let runs = vec![
-            hashes(&[1, 2, 3, 4]),
-            hashes(&[1, 9, 3, 4]),
-        ];
+        let runs = vec![hashes(&[1, 2, 3, 4]), hashes(&[1, 9, 3, 4])];
         let r = CheckReport::from_runs(&runs);
         let groups = r.grouped_distributions();
         // Three checkpoints behaved "2", one behaved "1-1".
@@ -322,5 +360,82 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn empty_runs_rejected() {
         let _ = CheckReport::from_runs(&[]);
+    }
+
+    fn failure(error: SimError, recovered: bool) -> RunFailure {
+        RunFailure {
+            run_index: 0,
+            seed: 1,
+            error,
+            attempt: 0,
+            recovered,
+        }
+    }
+
+    use tsim::SimError;
+
+    #[test]
+    fn all_failed_campaign_reports_without_panicking() {
+        let r =
+            CheckReport::from_outcomes(&[], vec![failure(SimError::StepLimit { limit: 9 }, false)]);
+        assert_eq!(r.runs, 0);
+        assert_eq!(r.aligned_checkpoints, 0);
+        assert!(!r.det_at_end);
+        assert!(!r.schedule_divergence(), "no completed run to diverge from");
+        assert_eq!(r.failure_buckets(), vec![(SimErrorKind::StepLimit, 1)]);
+    }
+
+    #[test]
+    fn schedule_dependent_failure_is_a_determinism_signal() {
+        let runs = vec![hashes(&[1, 2]); 4];
+        let clean = CheckReport::from_outcomes(&runs, Vec::new());
+        assert!(clean.is_deterministic());
+        let with_deadlock = CheckReport::from_outcomes(
+            &runs,
+            vec![failure(
+                SimError::Deadlock {
+                    detail: "t0<->t1".into(),
+                },
+                false,
+            )],
+        );
+        assert!(with_deadlock.schedule_divergence());
+        assert!(!with_deadlock.is_deterministic());
+        // A non-schedule failure (resource exhaustion) is noise, not a
+        // verdict: determinism of the surviving runs stands.
+        let with_alloc = CheckReport::from_outcomes(
+            &runs,
+            vec![failure(SimError::AllocFailed { tid: 0, site: "s" }, false)],
+        );
+        assert!(!with_alloc.schedule_divergence());
+        assert!(with_alloc.is_deterministic());
+    }
+
+    #[test]
+    fn failure_buckets_sort_by_count_then_kind() {
+        let runs = vec![hashes(&[1]); 2];
+        let r = CheckReport::from_outcomes(
+            &runs,
+            vec![
+                failure(SimError::StepLimit { limit: 1 }, false),
+                failure(
+                    SimError::Deadlock {
+                        detail: String::new(),
+                    },
+                    true,
+                ),
+                failure(
+                    SimError::Deadlock {
+                        detail: String::new(),
+                    },
+                    false,
+                ),
+            ],
+        );
+        assert_eq!(
+            r.failure_buckets(),
+            vec![(SimErrorKind::Deadlock, 2), (SimErrorKind::StepLimit, 1)]
+        );
+        assert_eq!(r.unrecovered_failures().count(), 2);
     }
 }

@@ -178,22 +178,26 @@ impl CheckMonitor {
     /// (globals + allocation table), rounding FP-typed words, skipping
     /// the ignore set.
     fn traversal_hash(&mut self, view: &StateView<'_>) -> HashSum {
-        let ignored: HashSet<Addr> =
-            self.ignore.resolve(view).into_iter().map(|(a, _)| a).collect();
+        let ignored: HashSet<Addr> = self
+            .ignore
+            .resolve(view)
+            .into_iter()
+            .map(|(a, _)| a)
+            .collect();
         let mut words = 0u64;
         let rounding = self.rounding;
         let hash = hash_full_state(
             &self.hasher,
-            view.live_words().filter(|(a, _, _)| !ignored.contains(a)).map(
-                |(a, v, kind)| {
+            view.live_words()
+                .filter(|(a, _, _)| !ignored.contains(a))
+                .map(|(a, v, kind)| {
                     words += 1;
                     let v = match (kind, rounding) {
                         (ValKind::F64, Some(r)) => r.apply_bits(v),
                         _ => v,
                     };
                     (a.raw(), v)
-                },
-            ),
+                }),
         );
         self.extra_instr += words * SW_TR_INSTR_PER_WORD;
         hash
@@ -218,7 +222,8 @@ impl Monitor for CheckMonitor {
                 if self.scheme == Scheme::SwInc {
                     self.extra_instr += SW_INC_INSTR_PER_STORE;
                 }
-                self.core(tid).on_store(addr.raw(), old, new, kind == ValKind::F64);
+                self.core(tid)
+                    .on_store(addr.raw(), old, new, kind == ValKind::F64);
             }
         }
         self.stores_seen += 1;
@@ -262,7 +267,10 @@ impl Monitor for CheckMonitor {
             Scheme::HwInc | Scheme::SwInc => self.incremental_hash(view),
             Scheme::SwTr => self.traversal_hash(view),
         };
-        self.records.push(CheckpointRecord { kind: info.kind, hash });
+        self.records.push(CheckpointRecord {
+            kind: info.kind,
+            hash,
+        });
     }
 
     fn extra_instructions(&self) -> u64 {
@@ -329,13 +337,11 @@ mod tests {
 
     #[test]
     fn rounding_configures_cores_lazily() {
-        let mut m =
-            CheckMonitor::new(Scheme::HwInc, Some(FpRound::default()), IgnoreSpec::new());
+        let mut m = CheckMonitor::new(Scheme::HwInc, Some(FpRound::default()), IgnoreSpec::new());
         let noisy: f64 = 0.1 + 0.2 + 0.3;
         let clean: f64 = 0.6;
         m.on_store(3, Addr(0x8), 0, noisy.to_bits(), ValKind::F64);
-        let mut n =
-            CheckMonitor::new(Scheme::HwInc, Some(FpRound::default()), IgnoreSpec::new());
+        let mut n = CheckMonitor::new(Scheme::HwInc, Some(FpRound::default()), IgnoreSpec::new());
         n.on_store(3, Addr(0x8), 0, clean.to_bits(), ValKind::F64);
         assert_eq!(m.cores[3].th(), n.cores[3].th());
         // Cores 0..2 exist but are untouched.

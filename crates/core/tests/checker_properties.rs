@@ -5,7 +5,7 @@
 //! campaign's coverage) — under all three schemes.
 
 use instantcheck::{Checker, CheckerConfig, Scheme};
-use proptest::prelude::*;
+use minicheck::{check, Gen};
 use tsim::{Program, ProgramBuilder, ValKind};
 
 const CELLS: usize = 6;
@@ -20,16 +20,16 @@ enum CommutingOp {
     PrivateStore(u8),
 }
 
-fn commuting_op() -> impl Strategy<Value = CommutingOp> {
-    prop_oneof![
-        any::<u8>().prop_map(CommutingOp::LockedAdd),
-        any::<u8>().prop_map(CommutingOp::AtomicBump),
-        any::<u8>().prop_map(CommutingOp::PrivateStore),
-    ]
+fn gen_op(g: &mut Gen) -> CommutingOp {
+    match g.usize_in(0, 3) {
+        0 => CommutingOp::LockedAdd(g.u8()),
+        1 => CommutingOp::AtomicBump(g.u8()),
+        _ => CommutingOp::PrivateStore(g.u8()),
+    }
 }
 
-fn bodies_strategy() -> impl Strategy<Value = Vec<Vec<CommutingOp>>> {
-    prop::collection::vec(prop::collection::vec(commuting_op(), 1..12), 2..4)
+fn gen_bodies(g: &mut Gen) -> Vec<Vec<CommutingOp>> {
+    g.vec_of(2, 4, |g| g.vec_of(1, 12, gen_op))
 }
 
 /// When `poison` is set, thread 0's *first* operation snapshots cell 0
@@ -85,40 +85,45 @@ fn build(bodies: &[Vec<CommutingOp>], poison: bool) -> Program {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// No false positives: commuting-only programs are deterministic
-    /// under every scheme.
-    #[test]
-    fn commuting_programs_are_always_deterministic(bodies in bodies_strategy()) {
+/// No false positives: commuting-only programs are deterministic
+/// under every scheme.
+#[test]
+fn commuting_programs_are_always_deterministic() {
+    check("commuting_programs_are_always_deterministic", 12, |g| {
+        let bodies = gen_bodies(g);
         for scheme in [Scheme::HwInc, Scheme::SwInc, Scheme::SwTr] {
             let bodies = bodies.clone();
             let report = Checker::new(CheckerConfig::new(scheme).with_runs(6))
                 .check(move || build(&bodies, false))
                 .unwrap();
-            prop_assert!(report.is_deterministic(), "{:?}", scheme);
+            assert!(report.is_deterministic(), "{scheme:?}");
         }
-    }
+    });
+}
 
-    /// Sensitivity: snapshotting a mid-computation value (which depends
-    /// on how much the other threads have already added) is caught —
-    /// unless every schedule happens to order it identically, which the
-    /// campaign's randomization makes vanishingly rare for nonempty
-    /// bodies.
-    #[test]
-    fn order_sensitive_snapshot_is_caught(bodies in bodies_strategy()) {
+/// Sensitivity: snapshotting a mid-computation value (which depends
+/// on how much the other threads have already added) is caught —
+/// unless every schedule happens to order it identically, which the
+/// campaign's randomization makes vanishingly rare for nonempty
+/// bodies.
+#[test]
+fn order_sensitive_snapshot_is_caught() {
+    check("order_sensitive_snapshot_is_caught", 12, |g| {
+        let bodies = gen_bodies(g);
         let report = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(16))
             .check(move || build(&bodies, true))
             .unwrap();
-        prop_assert!(!report.is_deterministic());
-    }
+        assert!(!report.is_deterministic());
+    });
+}
 
-    /// Agreement: the three schemes produce identical per-checkpoint
-    /// verdict profiles on arbitrary commuting programs with a poisoned
-    /// thread.
-    #[test]
-    fn schemes_agree_on_arbitrary_programs(bodies in bodies_strategy()) {
+/// Agreement: the three schemes produce identical per-checkpoint
+/// verdict profiles on arbitrary commuting programs with a poisoned
+/// thread.
+#[test]
+fn schemes_agree_on_arbitrary_programs() {
+    check("schemes_agree_on_arbitrary_programs", 12, |g| {
+        let bodies = gen_bodies(g);
         let profile = |scheme| {
             let bodies = bodies.clone();
             let report = Checker::new(CheckerConfig::new(scheme).with_runs(6))
@@ -131,7 +136,7 @@ proptest! {
                 .collect::<Vec<_>>()
         };
         let hw = profile(Scheme::HwInc);
-        prop_assert_eq!(&hw, &profile(Scheme::SwInc));
-        prop_assert_eq!(&hw, &profile(Scheme::SwTr));
-    }
+        assert_eq!(&hw, &profile(Scheme::SwInc));
+        assert_eq!(&hw, &profile(Scheme::SwTr));
+    });
 }

@@ -1,0 +1,208 @@
+//! `detrand` — a small, dependency-free, deterministic PRNG.
+//!
+//! Everything in this workspace that needs randomness needs *seeded,
+//! bit-reproducible* randomness: the random scheduler, the PCT
+//! scheduler, fault-injection plans, and the property-test harness all
+//! promise that the same seed reproduces the same behavior on every
+//! platform. This crate provides exactly that and nothing else: a
+//! [`DetRng`] built on splitmix64 seeding and the xoshiro256\*\*
+//! generator, with the handful of derived draws the workspace uses.
+//!
+//! The stream produced by a given seed is part of the workspace's
+//! reproducibility contract (replay logs and regression seeds depend on
+//! it); do not change the algorithm without a migration plan.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// One step of the splitmix64 stream starting at `x`; also usable as a
+/// standalone mixing function for key derivation.
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded deterministic random number generator (xoshiro256\*\*).
+///
+/// Equal seeds produce equal streams, on every platform, forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed (splitmix64-expanded, as
+    /// recommended by the xoshiro authors).
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *slot = splitmix64(x.wrapping_sub(0x9e37_79b9_7f4a_7c15));
+        }
+        // A xoshiro state of all zeros is a fixed point; the splitmix
+        // expansion of any seed never produces one, but keep the guard
+        // explicit.
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        DetRng { s }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly distributed `u64` in `[0, bound)` (Lemire's unbiased
+    /// multiply-shift rejection method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let low = m as u64;
+            if low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// A uniformly distributed `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniformly distributed `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniformly distributed index into a collection of `len`
+    /// elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+
+    /// A bool that is `true` with probability `num / denom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is zero.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.below(denom) < num
+    }
+
+    /// A uniformly distributed bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniformly distributed `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        assert!((0..10).any(|_| a.next_u64() != b.next_u64()));
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = DetRng::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.below(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert_eq!(seen, [true; 5]);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = DetRng::new(9);
+        for _ in 0..200 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+            let u = rng.range_usize(3, 4);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn chance_frequency_is_plausible() {
+        let mut rng = DetRng::new(11);
+        let hits = (0..10_000).filter(|_| rng.chance(1, 4)).count();
+        assert!((2000..3000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn f64_unit_in_range() {
+        let mut rng = DetRng::new(13);
+        for _ in 0..100 {
+            let x = rng.f64_unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn splitmix_is_a_stable_mixer() {
+        // Pin a few values so an accidental algorithm change is caught.
+        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+        assert_eq!(splitmix64(1), 0x910a2dec89025cc1);
+        assert_ne!(splitmix64(2), splitmix64(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn below_zero_rejected() {
+        DetRng::new(0).below(0);
+    }
+}

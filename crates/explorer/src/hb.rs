@@ -96,8 +96,7 @@ fn mix(mut x: u64) -> u64 {
 /// stream lock). Condition variables synchronize through their paired
 /// lock (the wait's re-acquire appears as an ordinary `Lock` event).
 pub fn analyze(trace: &Trace, nthreads: usize) -> HbAnalysis {
-    let mut threads: Vec<VectorClock> =
-        (0..nthreads).map(|_| VectorClock::new(nthreads)).collect();
+    let mut threads: Vec<VectorClock> = (0..nthreads).map(|_| VectorClock::new(nthreads)).collect();
     // Give each thread a distinct starting tick so epochs are usable.
     for (t, vc) in threads.iter_mut().enumerate() {
         vc.tick(t);
@@ -106,8 +105,7 @@ pub fn analyze(trace: &Trace, nthreads: usize) -> HbAnalysis {
     let mut atomics: HashMap<u64, VectorClock> = HashMap::new();
     let mut allocator = VectorClock::new(nthreads);
     let mut output = VectorClock::new(nthreads);
-    let mut barrier_pending: HashMap<usize, (VectorClock, Vec<ThreadId>)> =
-        HashMap::new();
+    let mut barrier_pending: HashMap<usize, (VectorClock, Vec<ThreadId>)> = HashMap::new();
 
     // Race state per address.
     let mut last_write: HashMap<u64, Access> = HashMap::new();
@@ -137,7 +135,9 @@ pub fn analyze(trace: &Trace, nthreads: usize) -> HbAnalysis {
             }
             TraceOp::Unlock(l) => {
                 threads[t].tick(t);
-                locks.entry(l.index()).or_insert_with(|| VectorClock::new(nthreads))
+                locks
+                    .entry(l.index())
+                    .or_insert_with(|| VectorClock::new(nthreads))
                     .join(&threads[t]);
                 bump_obj(1 << 40 | l.index() as u64, t, 2);
             }
@@ -161,7 +161,8 @@ pub fn analyze(trace: &Trace, nthreads: usize) -> HbAnalysis {
                 // The lock release is implied here; the re-acquire shows
                 // up as a separate Lock event.
                 threads[t].tick(t);
-                locks.entry(usize::MAX - c.index())
+                locks
+                    .entry(usize::MAX - c.index())
                     .or_insert_with(|| VectorClock::new(nthreads))
                     .join(&threads[t]);
             }
@@ -251,7 +252,9 @@ pub fn analyze(trace: &Trace, nthreads: usize) -> HbAnalysis {
             TraceOp::RwReadUnlock(l) | TraceOp::RwWriteUnlock(l) => {
                 let key = usize::MAX / 2 - l.index();
                 threads[t].tick(t);
-                locks.entry(key).or_insert_with(|| VectorClock::new(nthreads))
+                locks
+                    .entry(key)
+                    .or_insert_with(|| VectorClock::new(nthreads))
                     .join(&threads[t]);
                 bump_obj(5 << 40 | l.index() as u64, t, 7);
             }
@@ -259,7 +262,9 @@ pub fn analyze(trace: &Trace, nthreads: usize) -> HbAnalysis {
             TraceOp::SemPost(sem) => {
                 let key = usize::MAX / 4 - sem.index();
                 threads[t].tick(t);
-                locks.entry(key).or_insert_with(|| VectorClock::new(nthreads))
+                locks
+                    .entry(key)
+                    .or_insert_with(|| VectorClock::new(nthreads))
                     .join(&threads[t]);
                 bump_obj(6 << 40 | sem.index() as u64, t, 8);
             }
@@ -285,12 +290,19 @@ pub fn analyze(trace: &Trace, nthreads: usize) -> HbAnalysis {
         signature = signature.wrapping_add(mix(k).wrapping_mul(h | 1));
     }
     for (&a, &(h, pending)) in &addr_seq {
-        signature = signature
-            .wrapping_add(mix(a ^ 0xabcd).wrapping_mul(mix(h ^ pending) | 1));
+        signature = signature.wrapping_add(mix(a ^ 0xabcd).wrapping_mul(mix(h ^ pending) | 1));
     }
 
     races.sort_by_key(|r| (r.addr, r.first_index, r.second_index));
-    races.dedup_by_key(|r| (r.addr, r.first_tid, r.second_tid, r.first_is_write, r.second_is_write));
+    races.dedup_by_key(|r| {
+        (
+            r.addr,
+            r.first_tid,
+            r.second_tid,
+            r.first_is_write,
+            r.second_is_write,
+        )
+    });
     HbAnalysis { races, signature }
 }
 
@@ -340,19 +352,18 @@ fn record_write(
     reads.remove(&a.raw());
     last_write.insert(
         a.raw(),
-        Access { tid: t, vc: threads[t].clone(), index },
+        Access {
+            tid: t,
+            vc: threads[t].clone(),
+            index,
+        },
     );
 }
 
 /// Per-address conflict sequence hashing: consecutive reads between two
 /// writes commute, so they are folded as an unordered set; writes are
 /// order-sensitive.
-fn bump_conflict(
-    addr_seq: &mut HashMap<u64, (u64, u64)>,
-    a: Addr,
-    tid: ThreadId,
-    is_write: bool,
-) {
+fn bump_conflict(addr_seq: &mut HashMap<u64, (u64, u64)>, a: Addr, tid: ThreadId, is_write: bool) {
     let entry = addr_seq.entry(a.raw()).or_insert((0x517c_c1b7, 0));
     if is_write {
         // Fold the pending read set, then the write, order-sensitively.

@@ -58,12 +58,16 @@ pub struct RaceReport {
 impl RaceReport {
     /// The benign races.
     pub fn benign(&self) -> impl Iterator<Item = &ClassifiedRace> {
-        self.races.iter().filter(|r| r.verdict == RaceVerdict::Benign)
+        self.races
+            .iter()
+            .filter(|r| r.verdict == RaceVerdict::Benign)
     }
 
     /// The harmful races.
     pub fn harmful(&self) -> impl Iterator<Item = &ClassifiedRace> {
-        self.races.iter().filter(|r| r.verdict == RaceVerdict::Harmful)
+        self.races
+            .iter()
+            .filter(|r| r.verdict == RaceVerdict::Harmful)
     }
 }
 
@@ -114,7 +118,9 @@ pub fn classify_races<F: Fn() -> Program>(
             };
             race_threads.entry(race.addr.raw()).or_insert(pair);
             // In this serialization, `first_index` executed first.
-            first_access.entry(race.addr.raw()).or_insert(race.first_tid);
+            first_access
+                .entry(race.addr.raw())
+                .or_insert(race.first_tid);
         }
 
         let hashes = out.monitor.into_hashes();
@@ -123,7 +129,10 @@ pub fn classify_races<F: Fn() -> Program>(
             .last()
             .map(|c| c.hash)
             .unwrap_or(HashSum::ZERO);
-        infos.push(RunInfo { final_hash, first_access });
+        infos.push(RunInfo {
+            final_hash,
+            first_access,
+        });
     }
 
     let mut races = Vec::new();
@@ -144,8 +153,7 @@ pub fn classify_races<F: Fn() -> Program>(
         let verdict = if order_a.is_empty() || order_b.is_empty() {
             RaceVerdict::OrderNotFlipped
         } else {
-            let all: Vec<HashSum> =
-                order_a.iter().chain(order_b.iter()).copied().collect();
+            let all: Vec<HashSum> = order_a.iter().chain(order_b.iter()).copied().collect();
             if all.iter().all(|&h| h == all[0]) {
                 RaceVerdict::Benign
             } else {

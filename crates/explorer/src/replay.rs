@@ -111,7 +111,11 @@ pub fn search_replay<F: Fn() -> Program>(
             early_rejects += 1;
         }
     }
-    Ok(ReplayResult { attempts: max_attempts, reproducing_seed: None, early_rejects })
+    Ok(ReplayResult {
+        attempts: max_attempts,
+        reproducing_seed: None,
+        early_rejects,
+    })
 }
 
 #[cfg(test)]

@@ -42,7 +42,8 @@ pub struct ExplorationStats {
 impl ExplorationStats {
     /// How many executions state pruning saves relative to HB pruning.
     pub fn hash_vs_hb_savings(&self) -> usize {
-        self.distinct_hb_classes.saturating_sub(self.distinct_final_states)
+        self.distinct_hb_classes
+            .saturating_sub(self.distinct_final_states)
     }
 }
 
@@ -55,10 +56,7 @@ impl ExplorationStats {
 /// # Errors
 ///
 /// Propagates any [`SimError`].
-pub fn explore<F: Fn() -> Program>(
-    source: F,
-    limit: usize,
-) -> Result<ExplorationStats, SimError> {
+pub fn explore<F: Fn() -> Program>(source: F, limit: usize) -> Result<ExplorationStats, SimError> {
     let mut pending: Vec<Vec<u32>> = vec![Vec::new()];
     let mut executions = 0usize;
     let mut hb_classes: HashSet<u64> = HashSet::new();
@@ -75,7 +73,9 @@ pub fn explore<F: Fn() -> Program>(
         let rc = RunConfig::random(0)
             .with_trace()
             .with_options_recorded()
-            .with_scheduler(SchedulerKind::Scripted { script: Arc::new(prefix) });
+            .with_scheduler(SchedulerKind::Scripted {
+                script: Arc::new(prefix),
+            });
         let monitor = CheckMonitor::new(Scheme::HwInc, None, IgnoreSpec::new());
         let out = source().run_with(&rc, monitor)?;
         executions += 1;
@@ -84,8 +84,7 @@ pub fn explore<F: Fn() -> Program>(
         let trace = out.trace.as_ref().expect("trace requested");
         hb_classes.insert(hb::hb_signature(trace, nthreads));
         let hashes = out.monitor.into_hashes();
-        let seq: Vec<u64> =
-            hashes.checkpoints.iter().map(|c| c.hash.as_raw()).collect();
+        let seq: Vec<u64> = hashes.checkpoints.iter().map(|c| c.hash.as_raw()).collect();
         final_states.insert(seq.last().copied().unwrap_or(0));
         state_sequences.insert(seq);
 
@@ -163,8 +162,7 @@ pub fn explore_with_state_pruning<F: Fn() -> Program>(
         // Enumerate all schedules of segment `segment` from every
         // representative; collect (hash at this segment's checkpoint →
         // prefix up to that checkpoint) and any finished runs.
-        let mut next: std::collections::HashMap<u64, Vec<u32>> =
-            std::collections::HashMap::new();
+        let mut next: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
         let mut any_continues = false;
 
         let mut pending: Vec<Vec<u32>> = frontier.clone();
@@ -175,11 +173,11 @@ pub fn explore_with_state_pruning<F: Fn() -> Program>(
                 break;
             }
             let forced = prefix.len();
-            let rc = RunConfig::random(0)
-                .with_options_recorded()
-                .with_scheduler(SchedulerKind::Scripted {
+            let rc = RunConfig::random(0).with_options_recorded().with_scheduler(
+                SchedulerKind::Scripted {
                     script: Arc::new(prefix),
-                });
+                },
+            );
             let monitor = CheckMonitor::new(Scheme::HwInc, None, IgnoreSpec::new());
             let out = source().run_with(&rc, monitor)?;
             executions += 1;
@@ -395,8 +393,7 @@ mod tests {
             b.build()
         }
         let full = explore(two_phase_last_writer, 2_000_000).unwrap();
-        let pruned =
-            explore_with_state_pruning(two_phase_last_writer, 2_000_000).unwrap();
+        let pruned = explore_with_state_pruning(two_phase_last_writer, 2_000_000).unwrap();
         assert_eq!(pruned.distinct_final_states, full.distinct_final_states);
         assert_eq!(pruned.distinct_final_states, 4, "2 × 2 outcomes");
     }

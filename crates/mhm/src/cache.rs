@@ -146,8 +146,7 @@ impl L1Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use detrand::DetRng;
 
     #[test]
     fn store_allocates_and_mhm_read_hits() {
@@ -167,11 +166,11 @@ mod tests {
     fn mhm_never_adds_misses_on_random_store_streams() {
         // The paper's claim, checked over a random address stream much
         // larger than the cache.
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = DetRng::new(42);
         let mut with_mhm = L1Cache::new(64, 4, 64);
         let mut without = L1Cache::new(64, 4, 64);
         for _ in 0..100_000 {
-            let addr = rng.gen_range(0u64..1 << 22);
+            let addr = rng.below(1 << 22);
             without.store(addr);
             with_mhm.store(addr);
             with_mhm.mhm_read_old(addr);

@@ -128,8 +128,20 @@ mod tests {
         let mut clustered = ClusteredMhm::new(1);
         let mut basic = MhmCore::new();
         for (a, old, new) in stores {
-            clustered.dispatch(0, ClusterOp::MinusOld { addr: a, value: old });
-            clustered.dispatch(0, ClusterOp::PlusNew { addr: a, value: new });
+            clustered.dispatch(
+                0,
+                ClusterOp::MinusOld {
+                    addr: a,
+                    value: old,
+                },
+            );
+            clustered.dispatch(
+                0,
+                ClusterOp::PlusNew {
+                    addr: a,
+                    value: new,
+                },
+            );
             basic.on_store(a, old, new, false);
         }
         assert_eq!(clustered.th(), basic.th());
@@ -170,8 +182,22 @@ mod tests {
         m.set_rounding(Some(FpRound::default()));
         let a: f64 = 0.1 + 0.2 + 0.3;
         let b: f64 = 0.3 + 0.2 + 0.1;
-        m.dispatch_kind(0, ClusterOp::PlusNew { addr: 1, value: a.to_bits() }, true);
-        m.dispatch_kind(1, ClusterOp::MinusOld { addr: 1, value: b.to_bits() }, true);
+        m.dispatch_kind(
+            0,
+            ClusterOp::PlusNew {
+                addr: 1,
+                value: a.to_bits(),
+            },
+            true,
+        );
+        m.dispatch_kind(
+            1,
+            ClusterOp::MinusOld {
+                addr: 1,
+                value: b.to_bits(),
+            },
+            true,
+        );
         // a and b round to the same value, so the contributions cancel.
         assert_eq!(m.th(), HashSum::ZERO);
     }

@@ -78,9 +78,7 @@ pub fn execute<B: MhmBus>(core: &mut MhmCore, bus: &mut B, instr: Instruction) {
         Instruction::StartHashing => core.start_hashing(),
         Instruction::StopHashing => core.stop_hashing(),
         Instruction::SaveHash { addr } => bus.write(addr, core.save_hash().as_raw()),
-        Instruction::RestoreHash { addr } => {
-            core.restore_hash(HashSum::from_raw(bus.read(addr)))
-        }
+        Instruction::RestoreHash { addr } => core.restore_hash(HashSum::from_raw(bus.read(addr))),
         Instruction::MinusHash { addr, is_fp } => {
             let current = bus.read(addr);
             core.minus_hash(addr, current, is_fp);
@@ -92,11 +90,7 @@ pub fn execute<B: MhmBus>(core: &mut MhmCore, bus: &mut B, instr: Instruction) {
 }
 
 /// Executes a straight-line instruction sequence.
-pub fn execute_all<B: MhmBus>(
-    core: &mut MhmCore,
-    bus: &mut B,
-    program: &[Instruction],
-) {
+pub fn execute_all<B: MhmBus>(core: &mut MhmCore, bus: &mut B, program: &[Instruction]) {
     for &instr in program {
         execute(core, bus, instr);
     }
@@ -121,7 +115,11 @@ mod tests {
         core.reset(); // thread B gets a fresh TH
         core.on_store(0x20, 0, 9, false); // thread B runs
 
-        execute(&mut core, &mut mem, Instruction::RestoreHash { addr: 0x900 });
+        execute(
+            &mut core,
+            &mut mem,
+            Instruction::RestoreHash { addr: 0x900 },
+        );
         assert_eq!(core.th(), a_th);
     }
 
@@ -131,11 +129,7 @@ mod tests {
         let mut mem: HashMap<u64, u64> = HashMap::new();
         core.on_store(1, 0, 1, false);
         let before = core.th();
-        execute_all(
-            &mut core,
-            &mut mem,
-            &[Instruction::StopHashing],
-        );
+        execute_all(&mut core, &mut mem, &[Instruction::StopHashing]);
         core.on_store(2, 0, 99, false); // analysis-tool write: invisible
         execute(&mut core, &mut mem, Instruction::StartHashing);
         assert_eq!(core.th(), before);
@@ -156,8 +150,15 @@ mod tests {
             &mut core,
             &mut mem,
             &[
-                Instruction::MinusHash { addr: g, is_fp: false },
-                Instruction::PlusHash { addr: g, val: 2, is_fp: false },
+                Instruction::MinusHash {
+                    addr: g,
+                    is_fp: false,
+                },
+                Instruction::PlusHash {
+                    addr: g,
+                    val: 2,
+                    is_fp: false,
+                },
             ],
         );
         // Equivalent to never having changed G.
@@ -191,8 +192,15 @@ mod tests {
             &mut core,
             &mut mem,
             &[
-                Instruction::MinusHash { addr: g, is_fp: true },
-                Instruction::PlusHash { addr: g, val: 0, is_fp: true },
+                Instruction::MinusHash {
+                    addr: g,
+                    is_fp: true,
+                },
+                Instruction::PlusHash {
+                    addr: g,
+                    val: 0,
+                    is_fp: true,
+                },
             ],
         );
         let _ = clean;

@@ -49,8 +49,8 @@
 
 mod cache;
 mod cluster;
-mod mhm_core;
 pub mod isa;
+mod mhm_core;
 
 pub use cache::{CacheStats, L1Cache};
 pub use cluster::{ClusterOp, ClusteredMhm};

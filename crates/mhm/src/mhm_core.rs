@@ -191,10 +191,7 @@ mod tests {
         // Thread hashes differ (internal nondeterminism is visible)…
         assert_ne!(a0.th(), b0.th());
         // …but the combined State Hash is identical.
-        assert_eq!(
-            MhmCore::combine([&a0, &a1]),
-            MhmCore::combine([&b0, &b1])
-        );
+        assert_eq!(MhmCore::combine([&a0, &a1]), MhmCore::combine([&b0, &b1]));
     }
 
     #[test]

@@ -4,22 +4,21 @@
 
 use adhash::HashSum;
 use mhm::{ClusterOp, ClusteredMhm, MhmCore};
-use proptest::prelude::*;
+use minicheck::{check, Gen};
 
-fn stores() -> impl Strategy<Value = Vec<(u64, u64)>> {
+fn gen_stores(g: &mut Gen) -> Vec<(u64, u64)> {
     // (addr, new value); old values derived by replay over a small space.
-    prop::collection::vec((0u64..16, any::<u64>()), 1..100)
+    g.vec_of(1, 100, |g| (g.u64_in(0, 16), g.u64()))
 }
 
-proptest! {
-    /// Any per-operation cluster assignment gives the same merged TH as
-    /// the basic single-register design.
-    #[test]
-    fn clustered_equals_basic(
-        writes in stores(),
-        clusters in 1usize..6,
-        assignment in prop::collection::vec((0usize..6, 0usize..6), 1..100),
-    ) {
+/// Any per-operation cluster assignment gives the same merged TH as
+/// the basic single-register design.
+#[test]
+fn clustered_equals_basic() {
+    check("clustered_equals_basic", 64, |g| {
+        let writes = gen_stores(g);
+        let clusters = g.usize_in(1, 6);
+        let assignment = g.vec_of(1, 100, |g| (g.usize_in(0, 6), g.usize_in(0, 6)));
         let mut mem = std::collections::HashMap::<u64, u64>::new();
         let mut basic = MhmCore::new();
         let mut clustered = ClusteredMhm::new(clusters);
@@ -31,13 +30,17 @@ proptest! {
             clustered.dispatch(c_old % clusters, ClusterOp::MinusOld { addr, value: old });
             clustered.dispatch(c_new % clusters, ClusterOp::PlusNew { addr, value: new });
         }
-        prop_assert_eq!(clustered.th(), basic.th());
-    }
+        assert_eq!(clustered.th(), basic.th());
+    });
+}
 
-    /// Reversing the order in which operations reach the clusters does
-    /// not change the merged TH (operations commute).
-    #[test]
-    fn dispatch_order_is_irrelevant(writes in stores(), clusters in 1usize..5) {
+/// Reversing the order in which operations reach the clusters does
+/// not change the merged TH (operations commute).
+#[test]
+fn dispatch_order_is_irrelevant() {
+    check("dispatch_order_is_irrelevant", 64, |g| {
+        let writes = gen_stores(g);
+        let clusters = g.usize_in(1, 5);
         let mut mem = std::collections::HashMap::<u64, u64>::new();
         let mut ops = Vec::new();
         for &(addr, new) in &writes {
@@ -54,16 +57,17 @@ proptest! {
         for (i, &op) in ops.iter().rev().enumerate() {
             rev.dispatch((i * 7 + 3) % clusters, op);
         }
-        prop_assert_eq!(fwd.th(), rev.th());
-    }
+        assert_eq!(fwd.th(), rev.th());
+    });
+}
 
-    /// Migrating a thread between cores (save/restore of TH) never
-    /// changes the combined state hash.
-    #[test]
-    fn migration_is_transparent(
-        writes in stores(),
-        migrate_at in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// Migrating a thread between cores (save/restore of TH) never
+/// changes the combined state hash.
+#[test]
+fn migration_is_transparent() {
+    check("migration_is_transparent", 64, |g| {
+        let writes = gen_stores(g);
+        let migrate_at = g.vec_of(1, 100, Gen::bool);
         // One logical thread, two physical cores.
         let mut mem = std::collections::HashMap::<u64, u64>::new();
         let mut cores = [MhmCore::new(), MhmCore::new()];
@@ -82,6 +86,6 @@ proptest! {
             cores[current].on_store(addr, old, new, false);
             reference.on_store(addr, old, new, false);
         }
-        prop_assert_eq!(MhmCore::combine(cores.iter()), reference.th());
-    }
+        assert_eq!(MhmCore::combine(cores.iter()), reference.th());
+    });
 }

@@ -1,0 +1,215 @@
+//! `minicheck` — a minimal seeded property-testing harness.
+//!
+//! The workspace's property suites (hash algebra laws, engine
+//! reproducibility, checker soundness, fault-plan determinism) need two
+//! things from a property-testing library: *seeded generation* of
+//! structured inputs and a *runner* that reports a reproducible failing
+//! case. `minicheck` provides exactly that with no external
+//! dependencies.
+//!
+//! # Usage
+//!
+//! ```
+//! use minicheck::{check, Gen};
+//!
+//! check("addition_commutes", 64, |g: &mut Gen| {
+//!     let (a, b) = (g.u64(), g.u64());
+//!     assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+//! });
+//! ```
+//!
+//! Each case draws its inputs from a [`Gen`] seeded by
+//! `splitmix64(name-hash ^ case-index)`, so a failure message's case
+//! seed pins the exact inputs: re-running the same test binary replays
+//! it. Set `MINICHECK_SEED=<n>` to re-run a single case seed under a
+//! test, or `MINICHECK_CASES=<n>` to globally override case counts
+//! (e.g. for a long nightly soak).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use detrand::{splitmix64, DetRng};
+
+/// A source of structured pseudo-random test inputs for one case.
+#[derive(Debug)]
+pub struct Gen {
+    rng: DetRng,
+    /// The seed this case was created from (for failure reports).
+    pub case_seed: u64,
+}
+
+impl Gen {
+    /// Creates a generator from a case seed.
+    #[must_use]
+    pub fn new(case_seed: u64) -> Self {
+        Gen {
+            rng: DetRng::new(case_seed),
+            case_seed,
+        }
+    }
+
+    /// An arbitrary `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// An arbitrary `u8`.
+    pub fn u8(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// An arbitrary `u32`.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u64() as u32
+    }
+
+    /// A `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.range_u64(lo, hi)
+    }
+
+    /// A `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.range_usize(lo, hi)
+    }
+
+    /// An arbitrary bool.
+    pub fn bool(&mut self) -> bool {
+        self.rng.bool()
+    }
+
+    /// `true` with probability `num / denom`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.rng.chance(num, denom)
+    }
+
+    /// An arbitrary finite `f64` spanning normals, subnormals, and
+    /// zeros (never NaN or infinity).
+    pub fn finite_f64(&mut self) -> f64 {
+        loop {
+            let bits = self.rng.next_u64();
+            let x = f64::from_bits(bits);
+            if x.is_finite() {
+                return x;
+            }
+        }
+    }
+
+    /// A vector of `len` in `[min, max)` built by calling `f`.
+    pub fn vec_of<T>(
+        &mut self,
+        min: usize,
+        max: usize,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let len = self.usize_in(min, max);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// Picks one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.rng.index(options.len())]
+    }
+}
+
+fn name_key(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `property` over `cases` generated inputs; panics (failing the
+/// enclosing `#[test]`) with the case seed on the first failure.
+///
+/// `MINICHECK_SEED=<n>` re-runs only the case with seed `n`;
+/// `MINICHECK_CASES=<n>` overrides the case count.
+///
+/// # Panics
+///
+/// Panics when the property fails for some case, with a message naming
+/// the reproducing case seed.
+pub fn check(name: &str, cases: u64, mut property: impl FnMut(&mut Gen)) {
+    if let Some(seed) = env_u64("MINICHECK_SEED") {
+        let mut g = Gen::new(seed);
+        property(&mut g);
+        return;
+    }
+    let cases = env_u64("MINICHECK_CASES").unwrap_or(cases);
+    let key = name_key(name);
+    for case in 0..cases {
+        let case_seed = splitmix64(key ^ case);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut g = Gen::new(case_seed);
+            property(&mut g);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "non-string panic".to_owned());
+            panic!(
+                "property `{name}` failed on case {case}/{cases} \
+                 (rerun with MINICHECK_SEED={case_seed}): {msg}"
+            );
+        }
+    }
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    std::env::var(var).ok()?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check("tautology", 32, |g| {
+            let v = g.vec_of(0, 10, Gen::u8);
+            assert!(v.len() < 10);
+        });
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let err = catch_unwind(|| {
+            check("always_fails", 8, |_g| panic!("nope"));
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("MINICHECK_SEED="), "{msg}");
+        assert!(msg.contains("nope"), "{msg}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let mut first = Vec::new();
+        check("record", 4, |g| first.push(g.u64()));
+        let mut second = Vec::new();
+        check("record", 4, |g| second.push(g.u64()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn pick_and_ranges() {
+        let mut g = Gen::new(5);
+        for _ in 0..50 {
+            assert!(*g.pick(&[1, 2, 3]) <= 3);
+            assert!((2..5).contains(&g.usize_in(2, 5)));
+            assert!((7..9).contains(&g.u64_in(7, 9)));
+            assert!(g.finite_f64().is_finite());
+            let _ = (g.bool(), g.chance(1, 2), g.u32());
+        }
+    }
+}

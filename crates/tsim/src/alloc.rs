@@ -157,7 +157,14 @@ impl Allocator {
         self.log.record(tid, seq, base);
         self.table.insert(
             base,
-            BlockInfo { base: Addr(base), len, site, tag, tid, seq },
+            BlockInfo {
+                base: Addr(base),
+                len,
+                site,
+                tag,
+                tid,
+                seq,
+            },
         );
         Addr(base)
     }

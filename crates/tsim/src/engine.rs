@@ -12,9 +12,11 @@ use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread;
+use std::time::Instant;
 
 use crate::alloc::{AllocLog, Allocator, BlockInfo};
 use crate::error::SimError;
+use crate::faults::{FaultKind, FaultPlan, FaultRecord, FaultState};
 use crate::libcalls::{LibCalls, LibLog};
 use crate::mem::Memory;
 use crate::monitor::{CheckpointInfo, CheckpointKind, Monitor, StateView};
@@ -128,6 +130,9 @@ struct Central {
     decision_options: Option<Vec<Vec<u32>>>,
     step: u64,
     max_steps: u64,
+    faults: Option<FaultState>,
+    deadline_at: Option<Instant>,
+    deadline_ms: u64,
     access_count: Vec<u64>,
     cp_seq: u64,
     cp_decision_index: Vec<usize>,
@@ -148,13 +153,23 @@ impl Central {
         self.cp_seq += 1;
         self.cp_decision_index.push(self.decisions.len());
         self.trace_push(tid, TraceOp::Checkpoint { seq });
-        let Central { mem, globals, alloc, monitor, .. } = self;
+        let Central {
+            mem,
+            globals,
+            alloc,
+            monitor,
+            ..
+        } = self;
         let view = StateView::new(mem, globals, alloc.table());
-        monitor.as_monitor().on_checkpoint(&CheckpointInfo { seq, kind }, &view);
+        monitor
+            .as_monitor()
+            .on_checkpoint(&CheckpointInfo { seq, kind }, &view);
     }
 
     fn runnable(&self) -> Vec<ThreadId> {
-        (0..self.nthreads).filter(|&t| self.states[t] == TState::Ready).collect()
+        (0..self.nthreads)
+            .filter(|&t| self.states[t] == TState::Ready)
+            .collect()
     }
 
     fn deadlock_detail(&self) -> String {
@@ -215,7 +230,9 @@ fn schedule_next_avoiding(c: &mut Central, cv: &Condvar, avoid: Option<ThreadId>
     }
     if runnable.is_empty() {
         if c.finished < c.nthreads && c.error.is_none() {
-            c.error = Some(SimError::Deadlock { detail: c.deadlock_detail() });
+            c.error = Some(SimError::Deadlock {
+                detail: c.deadlock_detail(),
+            });
         }
     } else {
         let idx = c.scheduler.pick(&runnable, c.step).min(runnable.len() - 1);
@@ -285,10 +302,7 @@ impl ThreadCtx {
     }
 
     /// Blocks until this thread is scheduled again (or the run aborts).
-    fn wait_for_turn<'a>(
-        &self,
-        mut c: MutexGuard<'a, Central>,
-    ) -> MutexGuard<'a, Central> {
+    fn wait_for_turn<'a>(&self, mut c: MutexGuard<'a, Central>) -> MutexGuard<'a, Central> {
         loop {
             if c.error.is_some() {
                 drop(c);
@@ -326,6 +340,16 @@ impl ThreadCtx {
             let limit = c.max_steps;
             self.fail(c, SimError::StepLimit { limit });
         }
+        if let Some(at) = c.deadline_at {
+            // The watchdog: every scheduling point checks the wall
+            // clock, so even a spin livelock over plain loads (which
+            // reaches here via the forced-preemption backstop) is
+            // caught without waiting for the much larger step limit.
+            if Instant::now() >= at && c.error.is_none() {
+                let limit_ms = c.deadline_ms;
+                self.fail(c, SimError::Deadline { limit_ms });
+            }
+        }
         c.states[self.tid] = new_state;
         c.active = None;
         let avoid = avoid_self.then_some(self.tid);
@@ -362,13 +386,29 @@ impl ThreadCtx {
         value
     }
 
-    fn store_kind(&mut self, addr: Addr, value: u64, kind: ValKind) {
+    fn store_kind(&mut self, addr: Addr, mut value: u64, kind: ValKind) {
         let mut c = self.guard();
         let tid = self.tid;
         c.instr[tid] += COST_ACCESS;
-        let Some(old) = c.mem.write(addr, value) else {
+        if let Some(f) = &mut c.faults {
+            // Data corruption: the value actually written (and seen by
+            // both memory and the monitor) has one bit flipped.
+            if let Some(e) = f.fire(FaultKind::BitFlip, tid) {
+                value ^= 1 << (e % 64);
+            }
+        }
+        let Some(mut old) = c.mem.write(addr, value) else {
             self.fail(c, SimError::BadAddress { tid, addr });
         };
+        if let Some(f) = &mut c.faults {
+            // The §4.1 SW-Inc hazard: the monitor's read of the old
+            // value races the store and observes a wrong (stale) word,
+            // so it subtracts the wrong term from the hash. Memory
+            // itself is untouched — only the monitor is lied to.
+            if let Some(e) = f.fire(FaultKind::StaleRead, tid) {
+                old ^= 1 << (e % 64);
+            }
+        }
         c.monitor.as_monitor().on_store(tid, addr, old, value, kind);
         c.trace_push(tid, TraceOp::Store(addr));
         self.access_preempt(c);
@@ -406,7 +446,9 @@ impl ThreadCtx {
         };
         let new = old.wrapping_add(delta);
         c.mem.write(addr, new);
-        c.monitor.as_monitor().on_store(tid, addr, old, new, ValKind::U64);
+        c.monitor
+            .as_monitor()
+            .on_store(tid, addr, old, new, ValKind::U64);
         c.trace_push(tid, TraceOp::Rmw(addr));
         let c = self.reschedule(c, TState::Ready);
         drop(c);
@@ -424,7 +466,9 @@ impl ThreadCtx {
         };
         if old == expected {
             c.mem.write(addr, new);
-            c.monitor.as_monitor().on_store(tid, addr, old, new, ValKind::U64);
+            c.monitor
+                .as_monitor()
+                .on_store(tid, addr, old, new, ValKind::U64);
         }
         c.trace_push(tid, TraceOp::Rmw(addr));
         let c = self.reschedule(c, TState::Ready);
@@ -471,14 +515,27 @@ impl ThreadCtx {
             self.fail(c, SimError::UnlockNotHeld { tid, lock: l });
         }
         c.locks[l.0].held_by = None;
-        for t in 0..c.nthreads {
-            if c.states[t] == TState::BlockedLock(l) {
-                c.states[t] = TState::Ready;
+        if !self.wake_dropped(&mut c) {
+            for t in 0..c.nthreads {
+                if c.states[t] == TState::BlockedLock(l) {
+                    c.states[t] = TState::Ready;
+                }
             }
         }
         c.trace_push(tid, TraceOp::Unlock(l));
         let c = self.reschedule(c, TState::Ready);
         drop(c);
+    }
+
+    /// Registers a wake operation with the fault plan; `true` means an
+    /// injected [`FaultKind::WakeDrop`] swallows this wake (the classic
+    /// lost-wakeup bug — the woken state change simply does not happen).
+    fn wake_dropped(&self, c: &mut Central) -> bool {
+        let tid = self.tid;
+        match &mut c.faults {
+            Some(f) => f.fire(FaultKind::WakeDrop, tid).is_some(),
+            None => false,
+        }
     }
 
     /// Arrives at a pthread-style barrier; blocks until all parties have
@@ -534,10 +591,10 @@ impl ThreadCtx {
         let mut c = self.guard();
         let tid = self.tid;
         c.instr[tid] += COST_SYNC;
-        if let Some(t) =
-            (0..c.nthreads).find(|&t| c.states[t] == TState::BlockedCond(cond))
-        {
-            c.states[t] = TState::Ready;
+        if !self.wake_dropped(&mut c) {
+            if let Some(t) = (0..c.nthreads).find(|&t| c.states[t] == TState::BlockedCond(cond)) {
+                c.states[t] = TState::Ready;
+            }
         }
         c.trace_push(tid, TraceOp::CondSignal(cond));
         let c = self.reschedule(c, TState::Ready);
@@ -549,9 +606,11 @@ impl ThreadCtx {
         let mut c = self.guard();
         let tid = self.tid;
         c.instr[tid] += COST_SYNC;
-        for t in 0..c.nthreads {
-            if c.states[t] == TState::BlockedCond(cond) {
-                c.states[t] = TState::Ready;
+        if !self.wake_dropped(&mut c) {
+            for t in 0..c.nthreads {
+                if c.states[t] == TState::BlockedCond(cond) {
+                    c.states[t] = TState::Ready;
+                }
             }
         }
         c.trace_push(tid, TraceOp::CondBroadcast(cond));
@@ -565,7 +624,6 @@ impl ThreadCtx {
         let c = self.reschedule(c, TState::Ready);
         drop(c);
     }
-
 
     // ---- reader-writer locks and semaphores ------------------------------
 
@@ -594,7 +652,14 @@ impl ThreadCtx {
         let tid = self.tid;
         c.instr[tid] += COST_SYNC;
         let Some(pos) = c.rwlocks[l.0].readers.iter().position(|&t| t == tid) else {
-            self.fail(c, SimError::RwUnlockNotHeld { tid, rwlock: l.0, write: false });
+            self.fail(
+                c,
+                SimError::RwUnlockNotHeld {
+                    tid,
+                    rwlock: l.0,
+                    write: false,
+                },
+            );
         };
         c.rwlocks[l.0].readers.swap_remove(pos);
         if c.rwlocks[l.0].readers.is_empty() {
@@ -636,13 +701,18 @@ impl ThreadCtx {
         let tid = self.tid;
         c.instr[tid] += COST_SYNC;
         if c.rwlocks[l.0].writer != Some(tid) {
-            self.fail(c, SimError::RwUnlockNotHeld { tid, rwlock: l.0, write: true });
+            self.fail(
+                c,
+                SimError::RwUnlockNotHeld {
+                    tid,
+                    rwlock: l.0,
+                    write: true,
+                },
+            );
         }
         c.rwlocks[l.0].writer = None;
         for t in 0..c.nthreads {
-            if c.states[t] == TState::BlockedRwRead(l)
-                || c.states[t] == TState::BlockedRwWrite(l)
-            {
+            if c.states[t] == TState::BlockedRwRead(l) || c.states[t] == TState::BlockedRwWrite(l) {
                 c.states[t] = TState::Ready;
             }
         }
@@ -676,9 +746,11 @@ impl ThreadCtx {
         let tid = self.tid;
         c.instr[tid] += COST_SYNC;
         c.sems[sem.0].count += 1;
-        for t in 0..c.nthreads {
-            if c.states[t] == TState::BlockedSem(sem) {
-                c.states[t] = TState::Ready;
+        if !self.wake_dropped(&mut c) {
+            for t in 0..c.nthreads {
+                if c.states[t] == TState::BlockedSem(sem) {
+                    c.states[t] = TState::Ready;
+                }
             }
         }
         c.trace_push(tid, TraceOp::SemPost(sem));
@@ -695,6 +767,11 @@ impl ThreadCtx {
         let mut c = self.guard();
         let tid = self.tid;
         c.instr[tid] += COST_MALLOC;
+        if let Some(f) = &mut c.faults {
+            if f.fire(FaultKind::AllocFail, tid).is_some() {
+                self.fail(c, SimError::AllocFailed { tid, site });
+            }
+        }
         let base = c.alloc.alloc(tid, site, tag, len);
         let high = c.alloc.high_water();
         c.mem.grow_heap(high);
@@ -723,8 +800,7 @@ impl ThreadCtx {
         let Some(block) = c.alloc.free(addr) else {
             self.fail(c, SimError::BadFree { tid, addr });
         };
-        let contents: Vec<u64> =
-            block.iter().map(|a| c.mem.read(a).unwrap_or(0)).collect();
+        let contents: Vec<u64> = block.iter().map(|a| c.mem.read(a).unwrap_or(0)).collect();
         c.monitor.as_monitor().on_free(tid, &block, &contents);
         c.trace_push(tid, TraceOp::Free { base: addr });
         let c = self.reschedule(c, TState::Ready);
@@ -739,7 +815,8 @@ impl ThreadCtx {
         let mut c = self.guard();
         let tid = self.tid;
         c.instr[tid] += COST_LIB;
-        c.lib.rand_u64(tid)
+        let v = c.lib.rand_u64(tid);
+        self.lib_perturb(&mut c, v)
     }
 
     /// Simulated `gettimeofday()` (controlled like [`rand_u64`]).
@@ -749,7 +826,22 @@ impl ThreadCtx {
         let mut c = self.guard();
         let tid = self.tid;
         c.instr[tid] += COST_LIB;
-        c.lib.gettimeofday(tid)
+        let v = c.lib.gettimeofday(tid);
+        self.lib_perturb(&mut c, v)
+    }
+
+    /// Applies an injected [`FaultKind::LibPerturb`] fault to a library
+    /// call's result (environment nondeterminism beyond the seeded
+    /// stream, e.g. an NTP step under `gettimeofday`).
+    fn lib_perturb(&self, c: &mut Central, v: u64) -> u64 {
+        let tid = self.tid;
+        match &mut c.faults {
+            Some(f) => match f.fire(FaultKind::LibPerturb, tid) {
+                Some(e) => v ^ e,
+                None => v,
+            },
+            None => v,
+        }
     }
 
     /// Appends bytes to the program's output stream (the simulated
@@ -813,8 +905,15 @@ impl SetupCtx<'_> {
     /// Panics if `addr` is unmapped (setup bugs are programming errors).
     pub fn store(&mut self, addr: Addr, value: u64) {
         self.c.instr[0] += COST_ACCESS;
-        let old = self.c.mem.write(addr, value).expect("setup store to unmapped address");
-        self.c.monitor.as_monitor().on_store(0, addr, old, value, ValKind::U64);
+        let old = self
+            .c
+            .mem
+            .write(addr, value)
+            .expect("setup store to unmapped address");
+        self.c
+            .monitor
+            .as_monitor()
+            .on_store(0, addr, old, value, ValKind::U64);
     }
 
     /// Stores an `f64` word.
@@ -829,7 +928,10 @@ impl SetupCtx<'_> {
             .mem
             .write(addr, value.to_bits())
             .expect("setup store to unmapped address");
-        self.c.monitor.as_monitor().on_store(0, addr, old, value.to_bits(), ValKind::F64);
+        self.c
+            .monitor
+            .as_monitor()
+            .on_store(0, addr, old, value.to_bits(), ValKind::F64);
     }
 
     /// Loads a word.
@@ -838,7 +940,10 @@ impl SetupCtx<'_> {
     ///
     /// Panics if `addr` is unmapped.
     pub fn load(&mut self, addr: Addr) -> u64 {
-        self.c.mem.read(addr).expect("setup load from unmapped address")
+        self.c
+            .mem
+            .read(addr)
+            .expect("setup load from unmapped address")
     }
 
     /// Allocates `len` zero-filled words (setup allocations model the
@@ -907,6 +1012,11 @@ pub struct RunOutcome<M> {
     pub lib_log: Arc<LibLog>,
     /// Replayed allocations that fell back to fresh memory.
     pub replay_misses: u64,
+    /// Every fault the run's [`FaultPlan`](crate::FaultPlan) injected,
+    /// in firing order. Empty when no plan was configured. Part of the
+    /// reproducibility contract: equal (fault seed, run config) pairs
+    /// produce equal logs.
+    pub faults: Vec<FaultRecord>,
     /// The recorded trace, if requested.
     pub trace: Option<Trace>,
     mem: Memory,
@@ -957,14 +1067,13 @@ fn payload_message(payload: &(dyn Any + Send)) -> String {
     }
 }
 
-fn thread_main(
-    shared: Arc<Shared>,
-    tid: ThreadId,
-    body: Box<dyn FnOnce(&mut ThreadCtx) + Send>,
-) {
+fn thread_main(shared: Arc<Shared>, tid: ThreadId, body: Box<dyn FnOnce(&mut ThreadCtx) + Send>) {
     let ctx_shared = shared.clone();
     let result = panic::catch_unwind(AssertUnwindSafe(move || {
-        let mut ctx = ThreadCtx { tid, shared: ctx_shared };
+        let mut ctx = ThreadCtx {
+            tid,
+            shared: ctx_shared,
+        };
         ctx.wait_first_turn();
         body(&mut ctx);
     }));
@@ -1012,7 +1121,10 @@ pub(crate) fn run<M: Monitor + 'static>(
         barriers: prog
             .barriers
             .iter()
-            .map(|&parties| BarrierState { parties, arrived: Vec::new() })
+            .map(|&parties| BarrierState {
+                parties,
+                arrived: Vec::new(),
+            })
             .collect(),
         states: vec![TState::Ready; nthreads],
         active: None,
@@ -1029,6 +1141,13 @@ pub(crate) fn run<M: Monitor + 'static>(
         decision_options: config.record_options.then(Vec::new),
         step: 0,
         max_steps: config.max_steps,
+        faults: config
+            .faults
+            .clone()
+            .filter(FaultPlan::is_active)
+            .map(FaultState::new),
+        deadline_at: config.deadline.map(|d| Instant::now() + d),
+        deadline_ms: config.deadline.map_or(0, |d| d.as_millis() as u64),
         access_count: vec![0; nthreads],
         cp_seq: 0,
         cp_decision_index: Vec::new(),
@@ -1042,7 +1161,10 @@ pub(crate) fn run<M: Monitor + 'static>(
         setup(&mut sctx);
     }
 
-    let shared = Arc::new(Shared { mu: Mutex::new(central), cv: Condvar::new() });
+    let shared = Arc::new(Shared {
+        mu: Mutex::new(central),
+        cv: Condvar::new(),
+    });
 
     let handles: Vec<_> = prog
         .threads
@@ -1061,16 +1183,43 @@ pub(crate) fn run<M: Monitor + 'static>(
         let mut c = lock_central(&shared);
         schedule_next(&mut c, &shared.cv);
         while c.finished < nthreads && c.error.is_none() {
-            c = shared.cv.wait(c).unwrap_or_else(PoisonError::into_inner);
+            match c.deadline_at {
+                // With a watchdog configured, the coordinator wakes at
+                // the deadline even if no simulated thread reaches a
+                // scheduling point (e.g. one thread stuck in a pure
+                // `work` loop): it posts the error, and the stuck
+                // thread unwinds at its next instrumented call.
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        c.error = Some(SimError::Deadline {
+                            limit_ms: c.deadline_ms,
+                        });
+                        shared.cv.notify_all();
+                        break;
+                    }
+                    c = shared
+                        .cv
+                        .wait_timeout(c, at - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+                None => {
+                    c = shared.cv.wait(c).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
         }
     }
     for h in handles {
         let _ = h.join();
     }
 
-    let shared = Arc::try_unwrap(shared)
-        .unwrap_or_else(|_| unreachable!("all simulated threads joined"));
-    let mut central = shared.mu.into_inner().unwrap_or_else(PoisonError::into_inner);
+    let shared =
+        Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("all simulated threads joined"));
+    let mut central = shared
+        .mu
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
 
     if let Some(err) = central.error.take() {
         return Err(err);
@@ -1100,6 +1249,7 @@ pub(crate) fn run<M: Monitor + 'static>(
         alloc_log: Arc::new(alloc_log),
         lib_log: Arc::new(central.lib.into_log()),
         replay_misses,
+        faults: central.faults.map_or_else(Vec::new, FaultState::into_log),
         trace: central.trace,
         mem: central.mem,
         globals: central.globals,

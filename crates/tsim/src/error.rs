@@ -72,6 +72,109 @@ pub enum SimError {
         /// The panic message, if it was a string.
         message: String,
     },
+    /// The run exceeded its wall-clock watchdog deadline
+    /// ([`RunConfig::deadline`](crate::RunConfig)).
+    Deadline {
+        /// The configured deadline, in milliseconds.
+        limit_ms: u64,
+    },
+    /// An allocation failed (today only via injected
+    /// [`FaultKind::AllocFail`](crate::FaultKind) faults; a real
+    /// out-of-memory condition would surface the same way).
+    AllocFailed {
+        /// Thread performing the allocation.
+        tid: ThreadId,
+        /// The allocation site.
+        site: &'static str,
+    },
+}
+
+/// The *kind* of a [`SimError`], with the per-error payload stripped —
+/// the unit failure campaigns bucket by.
+///
+/// [`SimError`] is `#[non_exhaustive]`, so downstream code cannot match
+/// it exhaustively; `kind()` plus this enum's `Display` give reports a
+/// stable, total classification anyway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum SimErrorKind {
+    /// See [`SimError::BadAddress`].
+    BadAddress,
+    /// See [`SimError::UnlockNotHeld`].
+    UnlockNotHeld,
+    /// See [`SimError::RelockHeld`].
+    RelockHeld,
+    /// See [`SimError::BadFree`].
+    BadFree,
+    /// See [`SimError::Deadlock`].
+    Deadlock,
+    /// See [`SimError::StepLimit`].
+    StepLimit,
+    /// See [`SimError::RwUnlockNotHeld`].
+    RwUnlockNotHeld,
+    /// See [`SimError::ThreadPanic`].
+    ThreadPanic,
+    /// See [`SimError::Deadline`].
+    Deadline,
+    /// See [`SimError::AllocFailed`].
+    AllocFailed,
+}
+
+impl SimErrorKind {
+    /// A stable, short, machine-friendly name for this kind.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SimErrorKind::BadAddress => "bad-address",
+            SimErrorKind::UnlockNotHeld => "unlock-not-held",
+            SimErrorKind::RelockHeld => "relock-held",
+            SimErrorKind::BadFree => "bad-free",
+            SimErrorKind::Deadlock => "deadlock",
+            SimErrorKind::StepLimit => "step-limit",
+            SimErrorKind::RwUnlockNotHeld => "rw-unlock-not-held",
+            SimErrorKind::ThreadPanic => "thread-panic",
+            SimErrorKind::Deadline => "deadline",
+            SimErrorKind::AllocFailed => "alloc-failed",
+        }
+    }
+}
+
+impl fmt::Display for SimErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl SimError {
+    /// This error's [`SimErrorKind`] (payload stripped).
+    #[must_use]
+    pub fn kind(&self) -> SimErrorKind {
+        match self {
+            SimError::BadAddress { .. } => SimErrorKind::BadAddress,
+            SimError::UnlockNotHeld { .. } => SimErrorKind::UnlockNotHeld,
+            SimError::RelockHeld { .. } => SimErrorKind::RelockHeld,
+            SimError::BadFree { .. } => SimErrorKind::BadFree,
+            SimError::Deadlock { .. } => SimErrorKind::Deadlock,
+            SimError::StepLimit { .. } => SimErrorKind::StepLimit,
+            SimError::RwUnlockNotHeld { .. } => SimErrorKind::RwUnlockNotHeld,
+            SimError::ThreadPanic { .. } => SimErrorKind::ThreadPanic,
+            SimError::Deadline { .. } => SimErrorKind::Deadline,
+            SimError::AllocFailed { .. } => SimErrorKind::AllocFailed,
+        }
+    }
+
+    /// Whether this failure can come and go with the schedule alone: a
+    /// deadlock, livelock (step limit), or watchdog timeout under one
+    /// scheduler seed, with clean completion under another, is itself a
+    /// determinism finding — the campaign reports it rather than writing
+    /// it off as infrastructure trouble.
+    #[must_use]
+    pub fn is_schedule_dependent(&self) -> bool {
+        matches!(
+            self.kind(),
+            SimErrorKind::Deadlock | SimErrorKind::StepLimit | SimErrorKind::Deadline
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -101,6 +204,12 @@ impl fmt::Display for SimError {
             SimError::ThreadPanic { tid, message } => {
                 write!(f, "thread {tid} panicked: {message}")
             }
+            SimError::Deadline { limit_ms } => {
+                write!(f, "run exceeded the wall-clock deadline of {limit_ms} ms")
+            }
+            SimError::AllocFailed { tid, site } => {
+                write!(f, "thread {tid} failed to allocate at site {site:?}")
+            }
         }
     }
 }
@@ -113,12 +222,81 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = SimError::BadAddress { tid: 3, addr: Addr(0x99) };
+        let e = SimError::BadAddress {
+            tid: 3,
+            addr: Addr(0x99),
+        };
         assert!(e.to_string().contains("thread 3"));
         assert!(e.to_string().contains("0x99"));
-        let e = SimError::Deadlock { detail: "t0 waits on lock 1".into() };
+        let e = SimError::Deadlock {
+            detail: "t0 waits on lock 1".into(),
+        };
         assert!(e.to_string().contains("deadlock"));
         let e = SimError::StepLimit { limit: 10 };
         assert!(e.to_string().contains("10"));
+        let e = SimError::Deadline { limit_ms: 250 };
+        assert!(e.to_string().contains("250 ms"));
+        let e = SimError::AllocFailed {
+            tid: 1,
+            site: "tree",
+        };
+        assert!(e.to_string().contains("tree"));
+    }
+
+    #[test]
+    fn kinds_are_total_and_stable() {
+        let cases: Vec<(SimError, SimErrorKind)> = vec![
+            (
+                SimError::BadAddress {
+                    tid: 0,
+                    addr: Addr(1),
+                },
+                SimErrorKind::BadAddress,
+            ),
+            (
+                SimError::Deadlock {
+                    detail: String::new(),
+                },
+                SimErrorKind::Deadlock,
+            ),
+            (SimError::StepLimit { limit: 1 }, SimErrorKind::StepLimit),
+            (SimError::Deadline { limit_ms: 1 }, SimErrorKind::Deadline),
+            (
+                SimError::AllocFailed { tid: 0, site: "s" },
+                SimErrorKind::AllocFailed,
+            ),
+            (
+                SimError::ThreadPanic {
+                    tid: 0,
+                    message: String::new(),
+                },
+                SimErrorKind::ThreadPanic,
+            ),
+        ];
+        for (err, kind) in cases {
+            assert_eq!(err.kind(), kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    fn schedule_dependence_flags_whole_run_timing_failures() {
+        assert!(SimError::Deadlock {
+            detail: String::new()
+        }
+        .is_schedule_dependent());
+        assert!(SimError::StepLimit { limit: 5 }.is_schedule_dependent());
+        assert!(SimError::Deadline { limit_ms: 5 }.is_schedule_dependent());
+        assert!(!SimError::BadFree {
+            tid: 0,
+            addr: Addr(8)
+        }
+        .is_schedule_dependent());
+        assert!(!SimError::AllocFailed { tid: 0, site: "s" }.is_schedule_dependent());
+        assert!(!SimError::ThreadPanic {
+            tid: 0,
+            message: String::new()
+        }
+        .is_schedule_dependent());
     }
 }

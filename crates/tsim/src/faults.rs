@@ -1,0 +1,290 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] attached to a [`RunConfig`](crate::RunConfig) makes
+//! the simulator misbehave in controlled, *fully deterministic* ways.
+//! Every fault decision is a pure function of the plan seed and a
+//! per-kind event counter — never of wall-clock time or OS scheduling —
+//! so a given (fault seed, scheduler seed) pair reproduces the same
+//! faults at the same events, bit for bit, forever. That determinism is
+//! what makes the harness usable for testing the checker's *own*
+//! failure handling: an injected deadlock or corruption is an ordinary
+//! regression-test input.
+//!
+//! The supported fault kinds target the failure modes a checking
+//! campaign has to survive:
+//!
+//! - [`FaultKind::StaleRead`] — the monitor is handed a stale old value
+//!   on a store, reproducing the §4.1 SW-Inc hazard (the software
+//!   scheme reads the old value non-atomically with the store; a racing
+//!   update makes the subtraction remove the wrong term and corrupts
+//!   the hash from then on).
+//! - [`FaultKind::BitFlip`] — the stored value itself has one bit
+//!   flipped (a data-corruption model; memory and monitor both see the
+//!   flipped value).
+//! - [`FaultKind::AllocFail`] — `malloc` fails, aborting the run with
+//!   [`SimError::AllocFailed`](crate::SimError) (resource exhaustion).
+//! - [`FaultKind::LibPerturb`] — a nondeterministic library call
+//!   (`rand`, `gettimeofday`) returns a perturbed value (environment
+//!   nondeterminism beyond the seeded stream).
+//! - [`FaultKind::WakeDrop`] — a wake operation (unlock, semaphore
+//!   post, condvar signal/broadcast) fails to wake the threads it
+//!   should, the classic lost-wakeup OS bug; with no other wake source
+//!   the victims deadlock, deterministically.
+
+use detrand::splitmix64;
+
+use crate::types::ThreadId;
+
+/// The kinds of injectable fault. See the [module docs](self) for what
+/// each one does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Monitor sees a stale old value on a store (§4.1 SW-Inc hazard).
+    StaleRead,
+    /// One bit of a stored value flips in memory.
+    BitFlip,
+    /// An allocation fails, aborting the run.
+    AllocFail,
+    /// A library call returns a perturbed value.
+    LibPerturb,
+    /// A wake operation loses its wakeups.
+    WakeDrop,
+}
+
+/// All fault kinds, for iteration.
+pub const FAULT_KINDS: [FaultKind; 5] = [
+    FaultKind::StaleRead,
+    FaultKind::BitFlip,
+    FaultKind::AllocFail,
+    FaultKind::LibPerturb,
+    FaultKind::WakeDrop,
+];
+
+/// Per-kind salts keep the five decision streams independent: enabling
+/// one kind never shifts another kind's decisions.
+const KIND_SALT: [u64; 5] = [
+    0x57a1_e4ea_d000_0001, // StaleRead
+    0xb17f_11b0_0000_0002, // BitFlip
+    0xa110_cfa1_1000_0003, // AllocFail
+    0x11bb_e47b_0000_0004, // LibPerturb
+    0xaa4e_d409_0000_0005, // WakeDrop
+];
+
+/// When a fault of some kind fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Never fires (the default for every kind).
+    Never,
+    /// Fires on exactly the `n`th eligible event (0-based) of the run —
+    /// targeted injection for regression tests.
+    Nth(u64),
+    /// Fires pseudo-randomly on roughly `num` in `denom` eligible
+    /// events, decided by the plan seed and the event index.
+    Rate {
+        /// Numerator of the firing probability.
+        num: u64,
+        /// Denominator of the firing probability (must be nonzero).
+        denom: u64,
+    },
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// ```
+/// use tsim::{FaultKind, FaultPlan, Trigger};
+///
+/// // Flip one bit in roughly 1 of every 1000 stores, and fail the
+/// // third allocation of the run outright.
+/// let plan = FaultPlan::new(42)
+///     .with(FaultKind::BitFlip, Trigger::Rate { num: 1, denom: 1000 })
+///     .with(FaultKind::AllocFail, Trigger::Nth(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The plan seed; equal seeds (with equal triggers) give equal
+    /// fault sequences.
+    pub seed: u64,
+    triggers: [Trigger; 5],
+}
+
+impl FaultPlan {
+    /// An empty plan (no kind fires) with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            triggers: [Trigger::Never; 5],
+        }
+    }
+
+    /// Sets the trigger for one fault kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Trigger::Rate`] has a zero denominator.
+    #[must_use]
+    pub fn with(mut self, kind: FaultKind, trigger: Trigger) -> Self {
+        if let Trigger::Rate { denom, .. } = trigger {
+            assert!(denom > 0, "fault rate denominator must be nonzero");
+        }
+        self.triggers[kind as usize] = trigger;
+        self
+    }
+
+    /// The trigger configured for `kind`.
+    #[must_use]
+    pub fn trigger(&self, kind: FaultKind) -> Trigger {
+        self.triggers[kind as usize]
+    }
+
+    /// Whether any kind can fire at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.triggers.iter().any(|t| *t != Trigger::Never)
+    }
+}
+
+/// One injected fault, as recorded in
+/// [`RunOutcome::faults`](crate::RunOutcome).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// Which eligible event of that kind it hit (0-based).
+    pub event_index: u64,
+    /// The thread executing the faulted operation.
+    pub tid: ThreadId,
+    /// The deterministic entropy that parameterized the fault (e.g.
+    /// which bit flipped); part of the reproducibility contract.
+    pub entropy: u64,
+}
+
+/// Mutable per-run injection state: the plan plus per-kind event
+/// counters and the log of fired faults.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    counters: [u64; 5],
+    log: Vec<FaultRecord>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            counters: [0; 5],
+            log: Vec::new(),
+        }
+    }
+
+    /// Registers one eligible event of `kind` by `tid`; returns the
+    /// fault's entropy word if the plan says it fires.
+    pub(crate) fn fire(&mut self, kind: FaultKind, tid: ThreadId) -> Option<u64> {
+        let i = kind as usize;
+        let n = self.counters[i];
+        self.counters[i] += 1;
+        let fires = match self.plan.triggers[i] {
+            Trigger::Never => false,
+            Trigger::Nth(k) => n == k,
+            Trigger::Rate { num, denom } => {
+                splitmix64(self.plan.seed ^ KIND_SALT[i] ^ n) % denom < num
+            }
+        };
+        if !fires {
+            return None;
+        }
+        let entropy = splitmix64(self.plan.seed ^ KIND_SALT[i].rotate_left(17) ^ n);
+        self.log.push(FaultRecord {
+            kind,
+            event_index: n,
+            tid,
+            entropy,
+        });
+        Some(entropy)
+    }
+
+    pub(crate) fn into_log(self) -> Vec<FaultRecord> {
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut s = FaultState::new(FaultPlan::new(7));
+        for kind in FAULT_KINDS {
+            for _ in 0..100 {
+                assert_eq!(s.fire(kind, 0), None);
+            }
+        }
+        assert!(s.into_log().is_empty());
+        assert!(!FaultPlan::new(7).is_active());
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once() {
+        let plan = FaultPlan::new(1).with(FaultKind::AllocFail, Trigger::Nth(3));
+        assert!(plan.is_active());
+        let mut s = FaultState::new(plan);
+        let fired: Vec<bool> = (0..10)
+            .map(|_| s.fire(FaultKind::AllocFail, 2).is_some())
+            .collect();
+        assert_eq!(fired.iter().filter(|&&f| f).count(), 1);
+        assert!(fired[3]);
+        let log = s.into_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].event_index, 3);
+        assert_eq!(log[0].tid, 2);
+    }
+
+    #[test]
+    fn rate_decisions_are_seed_deterministic_and_independent() {
+        let plan = FaultPlan::new(99)
+            .with(FaultKind::BitFlip, Trigger::Rate { num: 1, denom: 8 })
+            .with(FaultKind::StaleRead, Trigger::Rate { num: 1, denom: 8 });
+        let run = |plan: FaultPlan| {
+            let mut s = FaultState::new(plan);
+            for i in 0..1000u64 {
+                s.fire(FaultKind::BitFlip, (i % 3) as ThreadId);
+                s.fire(FaultKind::StaleRead, (i % 3) as ThreadId);
+            }
+            s.into_log()
+        };
+        let a = run(plan.clone());
+        let b = run(plan.clone());
+        assert_eq!(a, b, "same plan, same log");
+        assert!(!a.is_empty(), "a 1/8 rate over 1000 events fires");
+
+        // Disabling StaleRead must not move BitFlip's decisions.
+        let only_flip =
+            run(FaultPlan::new(99).with(FaultKind::BitFlip, Trigger::Rate { num: 1, denom: 8 }));
+        let flips_before: Vec<_> = a
+            .iter()
+            .filter(|r| r.kind == FaultKind::BitFlip)
+            .copied()
+            .collect();
+        assert_eq!(flips_before, only_flip);
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mk = |seed| {
+            let plan =
+                FaultPlan::new(seed).with(FaultKind::BitFlip, Trigger::Rate { num: 1, denom: 4 });
+            let mut s = FaultState::new(plan);
+            (0..200u64)
+                .map(|_| s.fire(FaultKind::BitFlip, 0).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_rejected() {
+        let _ = FaultPlan::new(0).with(FaultKind::BitFlip, Trigger::Rate { num: 1, denom: 0 });
+    }
+}

@@ -53,6 +53,7 @@
 mod alloc;
 mod engine;
 mod error;
+mod faults;
 mod libcalls;
 mod mem;
 mod monitor;
@@ -63,7 +64,8 @@ mod types;
 
 pub use alloc::{AllocLog, BlockInfo};
 pub use engine::{RunOutcome, SetupCtx, ThreadCtx};
-pub use error::SimError;
+pub use error::{SimError, SimErrorKind};
+pub use faults::{FaultKind, FaultPlan, FaultRecord, Trigger, FAULT_KINDS};
 pub use libcalls::LibLog;
 pub use mem::{Memory, GLOBALS_BASE, HEAP_BASE};
 pub use monitor::{CheckpointInfo, CheckpointKind, Monitor, NullMonitor, StateView};
@@ -73,4 +75,6 @@ pub use sched::{
     ScriptedScheduler, ScriptedThenRandomScheduler, SwitchPolicy,
 };
 pub use trace::{Trace, TraceEvent, TraceOp};
-pub use types::{Addr, BarrierId, CondId, LockId, Region, RwLockId, SemId, ThreadId, TypeTag, ValKind};
+pub use types::{
+    Addr, BarrierId, CondId, LockId, Region, RwLockId, SemId, ThreadId, TypeTag, ValKind,
+};

@@ -24,7 +24,10 @@ impl Memory {
     /// Creates a memory with `global_words` mapped in the globals segment
     /// and an empty heap.
     pub fn new(global_words: usize) -> Self {
-        Memory { globals: vec![0; global_words], heap: Vec::new() }
+        Memory {
+            globals: vec![0; global_words],
+            heap: Vec::new(),
+        }
     }
 
     /// Ensures the heap segment covers at least `words` words.
@@ -72,7 +75,11 @@ impl Memory {
     /// if unmapped (in which case nothing is written).
     pub fn write(&mut self, addr: Addr, value: u64) -> Option<u64> {
         let i = self.slot(addr)?;
-        let slot = if addr.0 >= HEAP_BASE { &mut self.heap[i] } else { &mut self.globals[i] };
+        let slot = if addr.0 >= HEAP_BASE {
+            &mut self.heap[i]
+        } else {
+            &mut self.globals[i]
+        };
         Some(std::mem::replace(slot, value))
     }
 }

@@ -49,7 +49,11 @@ impl<'a> StateView<'a> {
         globals: &'a [GlobalDecl],
         blocks: &'a BTreeMap<u64, BlockInfo>,
     ) -> Self {
-        StateView { mem, globals, blocks }
+        StateView {
+            mem,
+            globals,
+            blocks,
+        }
     }
 
     /// Reads one word, or `None` if the address is unmapped.
@@ -82,9 +86,9 @@ impl<'a> StateView<'a> {
     /// traversal of the paper's `SW-InstantCheck_Tr`.
     pub fn live_words(&self) -> impl Iterator<Item = (Addr, u64, ValKind)> + '_ {
         let globals = self.globals.iter().flat_map(move |g| {
-            g.region.iter().map(move |a| {
-                (a, self.mem.read(a).unwrap_or(0), g.region.kind)
-            })
+            g.region
+                .iter()
+                .map(move |a| (a, self.mem.read(a).unwrap_or(0), g.region.kind))
         });
         let heap = self.blocks.values().flat_map(move |b| {
             (0..b.len).map(move |i| {
@@ -164,7 +168,11 @@ mod tests {
         mem.write(Addr(GLOBALS_BASE + 2), 30);
         let globals = vec![GlobalDecl {
             name: "g",
-            region: Region { base: Addr(GLOBALS_BASE), len: 3, kind: ValKind::U64 },
+            region: Region {
+                base: Addr(GLOBALS_BASE),
+                len: 3,
+                kind: ValKind::U64,
+            },
         }];
         let mut blocks = BTreeMap::new();
         blocks.insert(
@@ -213,7 +221,13 @@ mod tests {
         let view = StateView::new(&mem, &globals, &blocks);
         let mut m = NullMonitor;
         m.on_store(0, Addr(GLOBALS_BASE), 0, 1, ValKind::U64);
-        m.on_checkpoint(&CheckpointInfo { seq: 0, kind: CheckpointKind::End }, &view);
+        m.on_checkpoint(
+            &CheckpointInfo {
+                seq: 0,
+                kind: CheckpointKind::End,
+            },
+            &view,
+        );
         assert_eq!(m.extra_instructions(), 0);
     }
 }

@@ -2,9 +2,12 @@
 
 use std::sync::Arc;
 
+use std::time::Duration;
+
 use crate::alloc::AllocLog;
 use crate::engine::{self, RunOutcome, SetupCtx, ThreadCtx};
 use crate::error::SimError;
+use crate::faults::FaultPlan;
 use crate::libcalls::LibLog;
 use crate::mem::GLOBALS_BASE;
 use crate::monitor::{Monitor, NullMonitor};
@@ -104,8 +107,11 @@ impl ProgramBuilder {
     /// its region. Layout is deterministic: regions are assigned
     /// consecutive addresses in declaration order.
     pub fn global(&mut self, name: &'static str, kind: ValKind, len: usize) -> Region {
-        let region =
-            Region { base: Addr(GLOBALS_BASE + self.next_global), len, kind };
+        let region = Region {
+            base: Addr(GLOBALS_BASE + self.next_global),
+            len,
+            kind,
+        };
         self.next_global += len as u64;
         self.globals.push(GlobalDecl { name, region });
         region
@@ -284,6 +290,14 @@ pub struct RunConfig {
     /// Record the runnable set offered to the scheduler at every
     /// decision (needed by systematic exploration; costly on long runs).
     pub record_options: bool,
+    /// Deterministic fault-injection plan (see [`FaultPlan`]); `None`
+    /// runs fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Wall-clock watchdog: abort the run with
+    /// [`SimError::Deadline`] if it is still going after this long.
+    /// Unlike [`max_steps`](RunConfig::max_steps) this also catches
+    /// runs that stop taking scheduling steps entirely.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for RunConfig {
@@ -306,6 +320,8 @@ impl RunConfig {
             lib_replay: None,
             record_trace: false,
             record_options: false,
+            faults: None,
+            deadline: None,
         }
     }
 
@@ -370,6 +386,20 @@ impl RunConfig {
     #[must_use]
     pub fn with_max_steps(mut self, max_steps: u64) -> Self {
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Injects faults according to `plan`.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the wall-clock watchdog deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -439,12 +469,19 @@ mod tests {
             .with_trace()
             .with_lib_seed(5)
             .with_zero_fill_charged()
-            .with_max_steps(100);
+            .with_max_steps(100)
+            .with_faults(FaultPlan::new(3))
+            .with_deadline(Duration::from_millis(50));
         assert_eq!(cfg.switch, SwitchPolicy::EveryAccess);
         assert!(cfg.record_trace);
         assert_eq!(cfg.lib_seed, 5);
         assert!(cfg.charge_zero_fill);
         assert_eq!(cfg.max_steps, 100);
-        assert_eq!(RunConfig::default().lib_seed, 0);
+        assert_eq!(cfg.faults, Some(FaultPlan::new(3)));
+        assert_eq!(cfg.deadline, Some(Duration::from_millis(50)));
+        let d = RunConfig::default();
+        assert_eq!(d.lib_seed, 0);
+        assert_eq!(d.faults, None);
+        assert_eq!(d.deadline, None);
     }
 }

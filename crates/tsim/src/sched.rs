@@ -7,8 +7,7 @@
 //! with probabilistic bug-finding guarantees that the paper cites as a
 //! drop-in testing driver.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use detrand::DetRng;
 
 use crate::types::ThreadId;
 
@@ -105,15 +104,15 @@ impl SchedulerKind {
         match self {
             SchedulerKind::Random { seed } => Box::new(RandomScheduler::new(*seed)),
             SchedulerKind::RoundRobin => Box::new(RoundRobinScheduler::new()),
-            SchedulerKind::Scripted { script } => {
-                Box::new(ScriptedScheduler::new(script.clone()))
-            }
+            SchedulerKind::Scripted { script } => Box::new(ScriptedScheduler::new(script.clone())),
             SchedulerKind::ScriptedThenRandom { script, seed } => {
                 Box::new(ScriptedThenRandomScheduler::new(script.clone(), *seed))
             }
-            SchedulerKind::Pct { seed, depth, expected_steps } => {
-                Box::new(PctScheduler::new(*seed, *depth, *expected_steps))
-            }
+            SchedulerKind::Pct {
+                seed,
+                depth,
+                expected_steps,
+            } => Box::new(PctScheduler::new(*seed, *depth, *expected_steps)),
         }
     }
 }
@@ -121,19 +120,21 @@ impl SchedulerKind {
 /// Uniformly random scheduling — the paper's test driver.
 #[derive(Debug)]
 pub struct RandomScheduler {
-    rng: SmallRng,
+    rng: DetRng,
 }
 
 impl RandomScheduler {
     /// Creates a random scheduler from a seed.
     pub fn new(seed: u64) -> Self {
-        RandomScheduler { rng: SmallRng::seed_from_u64(seed) }
+        RandomScheduler {
+            rng: DetRng::new(seed),
+        }
     }
 }
 
 impl Scheduler for RandomScheduler {
     fn pick(&mut self, runnable: &[ThreadId], _step: u64) -> usize {
-        self.rng.gen_range(0..runnable.len())
+        self.rng.index(runnable.len())
     }
 }
 
@@ -154,10 +155,7 @@ impl Scheduler for RoundRobinScheduler {
     fn pick(&mut self, runnable: &[ThreadId], _step: u64) -> usize {
         let idx = match self.last {
             None => 0,
-            Some(prev) => runnable
-                .iter()
-                .position(|&t| t > prev)
-                .unwrap_or(0),
+            Some(prev) => runnable.iter().position(|&t| t > prev).unwrap_or(0),
         };
         self.last = Some(runnable[idx]);
         idx
@@ -184,10 +182,7 @@ impl Scheduler for ScriptedScheduler {
         let want = self.script.get(self.pos).copied();
         self.pos += 1;
         match want {
-            Some(tid) => runnable
-                .iter()
-                .position(|&t| t as u32 == tid)
-                .unwrap_or(0),
+            Some(tid) => runnable.iter().position(|&t| t as u32 == tid).unwrap_or(0),
             None => 0,
         }
     }
@@ -198,13 +193,17 @@ impl Scheduler for ScriptedScheduler {
 pub struct ScriptedThenRandomScheduler {
     script: std::sync::Arc<Vec<u32>>,
     pos: usize,
-    rng: SmallRng,
+    rng: DetRng,
 }
 
 impl ScriptedThenRandomScheduler {
     /// Creates the scheduler.
     pub fn new(script: std::sync::Arc<Vec<u32>>, seed: u64) -> Self {
-        ScriptedThenRandomScheduler { script, pos: 0, rng: SmallRng::seed_from_u64(seed) }
+        ScriptedThenRandomScheduler {
+            script,
+            pos: 0,
+            rng: DetRng::new(seed),
+        }
     }
 }
 
@@ -213,11 +212,8 @@ impl Scheduler for ScriptedThenRandomScheduler {
         let want = self.script.get(self.pos).copied();
         self.pos += 1;
         match want {
-            Some(tid) => runnable
-                .iter()
-                .position(|&t| t as u32 == tid)
-                .unwrap_or(0),
-            None => self.rng.gen_range(0..runnable.len()),
+            Some(tid) => runnable.iter().position(|&t| t as u32 == tid).unwrap_or(0),
+            None => self.rng.index(runnable.len()),
         }
     }
 }
@@ -226,7 +222,7 @@ impl Scheduler for ScriptedThenRandomScheduler {
 /// points, giving probabilistic guarantees of hitting bugs of depth `d`.
 #[derive(Debug)]
 pub struct PctScheduler {
-    rng: SmallRng,
+    rng: DetRng,
     priorities: Vec<u64>,
     change_points: Vec<u64>,
     depth: u32,
@@ -238,7 +234,7 @@ impl PctScheduler {
     /// Creates a PCT scheduler.
     pub fn new(seed: u64, depth: u32, expected_steps: u64) -> Self {
         PctScheduler {
-            rng: SmallRng::seed_from_u64(seed),
+            rng: DetRng::new(seed),
             priorities: Vec::new(),
             change_points: Vec::new(),
             depth,
@@ -252,16 +248,17 @@ impl Scheduler for PctScheduler {
     fn init(&mut self, nthreads: usize) {
         // Random distinct initial priorities: a random permutation offset
         // by `depth` so change points can assign strictly lower ones.
-        let mut prio: Vec<u64> =
-            (0..nthreads as u64).map(|i| i + u64::from(self.depth) + 1).collect();
+        let mut prio: Vec<u64> = (0..nthreads as u64)
+            .map(|i| i + u64::from(self.depth) + 1)
+            .collect();
         // Fisher–Yates.
         for i in (1..prio.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.rng.index(i + 1);
             prio.swap(i, j);
         }
         self.priorities = prio;
         self.change_points = (0..self.depth.saturating_sub(1))
-            .map(|_| self.rng.gen_range(0..self.expected_steps))
+            .map(|_| self.rng.below(self.expected_steps))
             .collect();
         self.change_points.sort_unstable();
     }
@@ -380,8 +377,14 @@ mod tests {
         for kind in [
             SchedulerKind::Random { seed: 1 },
             SchedulerKind::RoundRobin,
-            SchedulerKind::Scripted { script: std::sync::Arc::new(vec![]) },
-            SchedulerKind::Pct { seed: 1, depth: 2, expected_steps: 100 },
+            SchedulerKind::Scripted {
+                script: std::sync::Arc::new(vec![]),
+            },
+            SchedulerKind::Pct {
+                seed: 1,
+                depth: 2,
+                expected_steps: 100,
+            },
         ] {
             let mut s = kind.build();
             s.init(2);

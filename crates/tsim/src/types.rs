@@ -3,16 +3,12 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// A word-granular simulated memory address.
 ///
 /// The simulator models memory as an array of 64-bit words; one `Addr`
 /// names one word (the paper's byte-addressed model maps onto this with an
 /// 8-byte word size, which is what the instruction-cost model assumes).
-#[derive(
-    Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -45,12 +41,12 @@ pub type ThreadId = usize;
 
 /// Handle to a simulated mutex, created by
 /// [`ProgramBuilder::mutex`](crate::ProgramBuilder::mutex).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct LockId(pub(crate) usize);
 
 /// Handle to a simulated pthread-style barrier, created by
 /// [`ProgramBuilder::barrier`](crate::ProgramBuilder::barrier).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct BarrierId(pub(crate) usize);
 
 impl BarrierId {
@@ -69,7 +65,7 @@ impl LockId {
 
 /// Handle to a simulated condition variable, created by
 /// [`ProgramBuilder::condvar`](crate::ProgramBuilder::condvar).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct CondId(pub(crate) usize);
 
 impl CondId {
@@ -81,7 +77,7 @@ impl CondId {
 
 /// Handle to a simulated reader-writer lock, created by
 /// [`ProgramBuilder::rwlock`](crate::ProgramBuilder::rwlock).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct RwLockId(pub(crate) usize);
 
 impl RwLockId {
@@ -93,7 +89,7 @@ impl RwLockId {
 
 /// Handle to a simulated counting semaphore, created by
 /// [`ProgramBuilder::semaphore`](crate::ProgramBuilder::semaphore).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct SemId(pub(crate) usize);
 
 impl SemId {
@@ -106,7 +102,7 @@ impl SemId {
 /// The declared interpretation of a memory word, used for floating-point
 /// round-off (the paper's LLVM pass marks FP stores; its traversal scheme
 /// learns types from annotated allocation sites).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum ValKind {
     /// An integer/pointer word; hashed bit-exactly.
     U64,
@@ -116,7 +112,7 @@ pub enum ValKind {
 
 /// A contiguous range of simulated memory with a uniform [`ValKind`]
 /// (a named global array, or a view of a heap block).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Region {
     /// First word of the region.
     pub base: Addr,
@@ -133,7 +129,11 @@ impl Region {
     ///
     /// Panics if `i >= self.len`.
     pub fn at(&self, i: usize) -> Addr {
-        assert!(i < self.len, "region index {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "region index {i} out of bounds (len {})",
+            self.len
+        );
         self.base.offset(i as u64)
     }
 
@@ -173,12 +173,16 @@ pub struct TypeTag {
 impl TypeTag {
     /// A tag for blocks of plain integer/pointer words.
     pub fn u64s() -> Self {
-        TypeTag { pattern: Arc::from([ValKind::U64].as_slice()) }
+        TypeTag {
+            pattern: Arc::from([ValKind::U64].as_slice()),
+        }
     }
 
     /// A tag for blocks of `f64` words.
     pub fn f64s() -> Self {
-        TypeTag { pattern: Arc::from([ValKind::F64].as_slice()) }
+        TypeTag {
+            pattern: Arc::from([ValKind::F64].as_slice()),
+        }
     }
 
     /// A tag with an explicit repeating word pattern.
@@ -188,7 +192,9 @@ impl TypeTag {
     /// Panics if `pattern` is empty.
     pub fn of(pattern: Vec<ValKind>) -> Self {
         assert!(!pattern.is_empty(), "type tag pattern must be non-empty");
-        TypeTag { pattern: Arc::from(pattern) }
+        TypeTag {
+            pattern: Arc::from(pattern),
+        }
     }
 
     /// The declared kind of the word at `offset` within a block.
@@ -223,7 +229,11 @@ mod tests {
 
     #[test]
     fn region_indexing() {
-        let r = Region { base: Addr(0x10), len: 4, kind: ValKind::U64 };
+        let r = Region {
+            base: Addr(0x10),
+            len: 4,
+            kind: ValKind::U64,
+        };
         assert_eq!(r.at(0), Addr(0x10));
         assert_eq!(r.at(3), Addr(0x13));
         assert!(r.contains(Addr(0x12)));
@@ -234,7 +244,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn region_at_panics_oob() {
-        let r = Region { base: Addr(0x10), len: 4, kind: ValKind::U64 };
+        let r = Region {
+            base: Addr(0x10),
+            len: 4,
+            kind: ValKind::U64,
+        };
         let _ = r.at(4);
     }
 

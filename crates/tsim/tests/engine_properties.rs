@@ -3,7 +3,7 @@
 //! decision replay reproduces the trace exactly, and locked commutative
 //! updates are conserved under every schedule.
 
-use proptest::prelude::*;
+use minicheck::{check, Gen};
 use tsim::{Program, ProgramBuilder, RunConfig, SchedulerKind, SwitchPolicy, ValKind};
 
 /// One straight-line operation of a generated thread body.
@@ -27,19 +27,19 @@ enum Op {
 const CELLS: usize = 8;
 const LOCKS: usize = 3;
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u8>().prop_map(Op::LockedAdd),
-        any::<u8>().prop_map(Op::PrivateStore),
-        any::<u8>().prop_map(Op::SharedLoad),
-        Just(Op::AtomicBump),
-        any::<u8>().prop_map(Op::Work),
-        Just(Op::Yield),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.usize_in(0, 6) {
+        0 => Op::LockedAdd(g.u8()),
+        1 => Op::PrivateStore(g.u8()),
+        2 => Op::SharedLoad(g.u8()),
+        3 => Op::AtomicBump,
+        4 => Op::Work(g.u8()),
+        _ => Op::Yield,
+    }
 }
 
-fn program_strategy() -> impl Strategy<Value = Vec<Vec<Op>>> {
-    prop::collection::vec(prop::collection::vec(op_strategy(), 0..25), 2..5)
+fn gen_bodies(g: &mut Gen) -> Vec<Vec<Op>> {
+    g.vec_of(2, 5, |g| g.vec_of(0, 25, gen_op))
 }
 
 /// Materializes the generated op lists as a tsim program.
@@ -98,31 +98,41 @@ fn expected_totals(bodies: &[Vec<Op>]) -> ([u64; CELLS], u64) {
     (cells, tally)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Same seed ⇒ bit-identical run (decisions, final memory,
-    /// instruction counts, trace).
-    #[test]
-    fn runs_are_reproducible_given_the_seed(bodies in program_strategy(), seed in 0u64..500) {
-        let a = build(&bodies).run(&RunConfig::random(seed).with_trace()).unwrap();
-        let b = build(&bodies).run(&RunConfig::random(seed).with_trace()).unwrap();
-        prop_assert_eq!(&a.decisions, &b.decisions);
-        prop_assert_eq!(&a.instr, &b.instr);
-        prop_assert_eq!(&a.trace, &b.trace);
+/// Same seed ⇒ bit-identical run (decisions, final memory,
+/// instruction counts, trace).
+#[test]
+fn runs_are_reproducible_given_the_seed() {
+    check("runs_are_reproducible_given_the_seed", 48, |g| {
+        let bodies = gen_bodies(g);
+        let seed = g.u64_in(0, 500);
+        let a = build(&bodies)
+            .run(&RunConfig::random(seed).with_trace())
+            .unwrap();
+        let b = build(&bodies)
+            .run(&RunConfig::random(seed).with_trace())
+            .unwrap();
+        assert_eq!(&a.decisions, &b.decisions);
+        assert_eq!(&a.instr, &b.instr);
+        assert_eq!(&a.trace, &b.trace);
         for i in 0..CELLS as u64 {
-            prop_assert_eq!(
+            assert_eq!(
                 a.final_word(tsim::Addr(tsim::GLOBALS_BASE + i)),
                 b.final_word(tsim::Addr(tsim::GLOBALS_BASE + i))
             );
         }
-    }
+    });
+}
 
-    /// Replaying a run's decision log through the scripted scheduler
-    /// reproduces its trace exactly.
-    #[test]
-    fn decision_replay_reproduces_the_trace(bodies in program_strategy(), seed in 0u64..500) {
-        let original = build(&bodies).run(&RunConfig::random(seed).with_trace()).unwrap();
+/// Replaying a run's decision log through the scripted scheduler
+/// reproduces its trace exactly.
+#[test]
+fn decision_replay_reproduces_the_trace() {
+    check("decision_replay_reproduces_the_trace", 48, |g| {
+        let bodies = gen_bodies(g);
+        let seed = g.u64_in(0, 500);
+        let original = build(&bodies)
+            .run(&RunConfig::random(seed).with_trace())
+            .unwrap();
         let script = std::sync::Arc::new(original.decisions.clone());
         let replayed = build(&bodies)
             .run(
@@ -131,18 +141,19 @@ proptest! {
                     .with_scheduler(SchedulerKind::Scripted { script }),
             )
             .unwrap();
-        prop_assert_eq!(original.trace, replayed.trace);
-        prop_assert_eq!(original.decisions, replayed.decisions);
-    }
+        assert_eq!(original.trace, replayed.trace);
+        assert_eq!(original.decisions, replayed.decisions);
+    });
+}
 
-    /// Locked commutative updates and atomic bumps are conserved under
-    /// every scheduler and switch policy.
-    #[test]
-    fn locked_updates_are_conserved(
-        bodies in program_strategy(),
-        seed in 0u64..500,
-        every_access in any::<bool>(),
-    ) {
+/// Locked commutative updates and atomic bumps are conserved under
+/// every scheduler and switch policy.
+#[test]
+fn locked_updates_are_conserved() {
+    check("locked_updates_are_conserved", 48, |g| {
+        let bodies = gen_bodies(g);
+        let seed = g.u64_in(0, 500);
+        let every_access = g.bool();
         let mut cfg = RunConfig::random(seed);
         if every_access {
             cfg = cfg.with_switch(SwitchPolicy::EveryAccess);
@@ -150,29 +161,32 @@ proptest! {
         let out = build(&bodies).run(&cfg).unwrap();
         let (cells, tally) = expected_totals(&bodies);
         for (i, &want) in cells.iter().enumerate() {
-            prop_assert_eq!(
+            assert_eq!(
                 out.final_word(tsim::Addr(tsim::GLOBALS_BASE + i as u64)),
                 Some(want),
-                "cell {}", i
+                "cell {i}"
             );
         }
         let tally_addr = tsim::Addr(tsim::GLOBALS_BASE + (CELLS + bodies.len()) as u64);
-        prop_assert_eq!(out.final_word(tally_addr), Some(tally));
-    }
+        assert_eq!(out.final_word(tally_addr), Some(tally));
+    });
+}
 
-    /// The total native instruction count varies across schedules only
-    /// through lock-contention retries, each of which also costs one
-    /// scheduling step — so runs with equal step counts have equal
-    /// instruction totals.
-    #[test]
-    fn instruction_totals_track_contention(
-        bodies in program_strategy(),
-        s1 in 0u64..200,
-        s2 in 200u64..400,
-    ) {
+/// The total native instruction count varies across schedules only
+/// through lock-contention retries, each of which also costs one
+/// scheduling step — so runs with equal step counts have equal
+/// instruction totals.
+#[test]
+fn instruction_totals_track_contention() {
+    check("instruction_totals_track_contention", 48, |g| {
+        let bodies = gen_bodies(g);
+        let s1 = g.u64_in(0, 200);
+        let s2 = g.u64_in(200, 400);
         let a = build(&bodies).run(&RunConfig::random(s1)).unwrap();
         let b = build(&bodies).run(&RunConfig::random(s2)).unwrap();
-        prop_assume!(a.steps == b.steps);
-        prop_assert_eq!(a.total_instructions(), b.total_instructions());
-    }
+        if a.steps != b.steps {
+            return;
+        }
+        assert_eq!(a.total_instructions(), b.total_instructions());
+    });
 }

@@ -23,7 +23,10 @@ struct Recorder {
 
 impl Monitor for Recorder {
     fn on_store(&mut self, tid: ThreadId, addr: Addr, old: u64, new: u64, kind: ValKind) {
-        self.stores.lock().unwrap().push((tid, addr, old, new, kind));
+        self.stores
+            .lock()
+            .unwrap()
+            .push((tid, addr, old, new, kind));
     }
     fn on_alloc(&mut self, _tid: ThreadId, block: &tsim::BlockInfo) {
         self.allocs.lock().unwrap().push((block.site, block.len));
@@ -227,7 +230,10 @@ fn racy_increments_lose_updates_under_access_preemption() {
             break;
         }
     }
-    assert!(lost, "expected at least one seed to exhibit the lost update");
+    assert!(
+        lost,
+        "expected at least one seed to exhibit the lost update"
+    );
 }
 
 #[test]
@@ -356,7 +362,10 @@ fn unlock_not_held_is_an_error() {
     let l = b.mutex();
     b.thread(move |ctx| ctx.unlock(l));
     let err = b.build().run(&RunConfig::random(0)).unwrap_err();
-    assert!(matches!(err, SimError::UnlockNotHeld { tid: 0, .. }), "{err}");
+    assert!(
+        matches!(err, SimError::UnlockNotHeld { tid: 0, .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -378,7 +387,16 @@ fn bad_address_is_an_error() {
         ctx.store(Addr(3), 1);
     });
     let err = b.build().run(&RunConfig::random(0)).unwrap_err();
-    assert!(matches!(err, SimError::BadAddress { tid: 0, addr: Addr(3) }), "{err}");
+    assert!(
+        matches!(
+            err,
+            SimError::BadAddress {
+                tid: 0,
+                addr: Addr(3)
+            }
+        ),
+        "{err}"
+    );
 }
 
 #[test]
@@ -437,10 +455,7 @@ fn spin_loop_on_plain_loads_cannot_hang_the_engine() {
     let script = Arc::new(vec![0u32; 3]);
     let out = b
         .build()
-        .run(
-            &RunConfig::random(0)
-                .with_scheduler(SchedulerKind::Scripted { script }),
-        )
+        .run(&RunConfig::random(0).with_scheduler(SchedulerKind::Scripted { script }))
         .unwrap();
     assert_eq!(out.final_word(flag.at(0)), Some(1));
 }
@@ -465,7 +480,11 @@ fn malloc_free_lifecycle_is_observed() {
         &[("nodes", 3), ("nodes", 3)]
     );
     let frees = out.monitor.frees.lock().unwrap().clone();
-    assert_eq!(frees, vec![vec![10, 0, 30]], "free sees contents at free time");
+    assert_eq!(
+        frees,
+        vec![vec![10, 0, 30]],
+        "free sees contents at free time"
+    );
 }
 
 #[test]
@@ -662,13 +681,11 @@ fn final_state_view_exposes_live_blocks_only() {
 fn pct_scheduler_runs_programs() {
     let (prog, g) = figure1_program();
     let out = prog
-        .run(
-            &RunConfig::random(0).with_scheduler(SchedulerKind::Pct {
-                seed: 4,
-                depth: 3,
-                expected_steps: 50,
-            }),
-        )
+        .run(&RunConfig::random(0).with_scheduler(SchedulerKind::Pct {
+            seed: 4,
+            depth: 3,
+            expected_steps: 50,
+        }))
         .unwrap();
     assert_eq!(out.final_word(g.at(0)), Some(12));
 }

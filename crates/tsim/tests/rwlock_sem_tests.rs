@@ -166,10 +166,9 @@ fn rwlock_deadlock_is_detected() {
         ctx.read_unlock(rw);
     });
     let script = std::sync::Arc::new(vec![0u32; 2]);
-    let result = b.build().run(
-        &RunConfig::random(0)
-            .with_scheduler(tsim::SchedulerKind::Scripted { script }),
-    );
+    let result = b
+        .build()
+        .run(&RunConfig::random(0).with_scheduler(tsim::SchedulerKind::Scripted { script }));
     match result {
         Err(SimError::Deadlock { detail }) => {
             assert!(detail.contains("rwlock"), "{detail}");

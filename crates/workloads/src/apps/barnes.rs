@@ -33,7 +33,11 @@ pub struct Params {
 impl Default for Params {
     fn default() -> Self {
         // 2 + 1 + 2*7 = 17 barriers + end = 18 points (2 det / 16 ndet).
-        Params { threads: THREADS, bodies_per_thread: 16, rounds: 7 }
+        Params {
+            threads: THREADS,
+            bodies_per_thread: 16,
+            rounds: 7,
+        }
     }
 }
 
@@ -100,8 +104,7 @@ pub fn build(p: &Params) -> Program {
                     let left = ctx.load(nodes.at(my_node.saturating_sub(1))) as usize;
                     let right = ctx.load(nodes.at((my_node + 1).min(n - 1))) as usize;
                     let xi = ctx.load_f64(pos.at(i));
-                    let f = ctx.load_f64(pos.at(left)) - 2.0 * xi
-                        + ctx.load_f64(pos.at(right));
+                    let f = ctx.load_f64(pos.at(left)) - 2.0 * xi + ctx.load_f64(pos.at(right));
                     ctx.store_f64(acc.at(i), f * 0.01);
                     ctx.store_f64(potential.at(i), f * f);
                     ctx.work(105);
@@ -140,7 +143,11 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, bodies_per_thread: 4, rounds: 2 })
+    make_spec(Params {
+        threads: 4,
+        bodies_per_thread: 4,
+        rounds: 2,
+    })
 }
 
 #[cfg(test)]

@@ -29,7 +29,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, options_per_thread: 16, iterations: 100 }
+        Params {
+            threads: THREADS,
+            options_per_thread: 16,
+            iterations: 100,
+        }
     }
 }
 
@@ -105,7 +109,11 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, options_per_thread: 4, iterations: 5 })
+    make_spec(Params {
+        threads: 4,
+        options_per_thread: 4,
+        iterations: 5,
+    })
 }
 
 #[cfg(test)]
@@ -115,7 +123,11 @@ mod tests {
 
     #[test]
     fn prices_are_schedule_independent() {
-        let p = Params { threads: 4, options_per_thread: 4, iterations: 3 };
+        let p = Params {
+            threads: 4,
+            options_per_thread: 4,
+            iterations: 3,
+        };
         let a = build(&p).run(&RunConfig::random(1)).unwrap();
         let b = build(&p).run(&RunConfig::random(99)).unwrap();
         let price_base = tsim::Addr(tsim::GLOBALS_BASE + 32); // after spot+strike
@@ -137,7 +149,11 @@ mod tests {
 
     #[test]
     fn prices_are_sane() {
-        let p = Params { threads: 2, options_per_thread: 2, iterations: 1 };
+        let p = Params {
+            threads: 2,
+            options_per_thread: 2,
+            iterations: 1,
+        };
         let out = build(&p).run(&RunConfig::random(0)).unwrap();
         let price_base = tsim::Addr(tsim::GLOBALS_BASE + 8);
         for i in 0..4 {

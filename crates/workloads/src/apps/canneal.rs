@@ -32,7 +32,12 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, elements: 64, steps: 63, swaps_per_step: 2 }
+        Params {
+            threads: THREADS,
+            elements: 64,
+            steps: 63,
+            swaps_per_step: 2,
+        }
     }
 }
 
@@ -114,7 +119,12 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, elements: 16, steps: 5, swaps_per_step: 2 })
+    make_spec(Params {
+        threads: 4,
+        elements: 16,
+        steps: 5,
+        swaps_per_step: 2,
+    })
 }
 
 #[cfg(test)]
@@ -137,7 +147,12 @@ mod tests {
 
     #[test]
     fn netlist_stays_a_permutation() {
-        let p = Params { threads: 4, elements: 16, steps: 3, swaps_per_step: 2 };
+        let p = Params {
+            threads: 4,
+            elements: 16,
+            steps: 3,
+            swaps_per_step: 2,
+        };
         let out = build(&p).run(&tsim::RunConfig::random(7)).unwrap();
         let mut seen: Vec<u64> = (0..16u64)
             .map(|i| out.final_word(tsim::Addr(tsim::GLOBALS_BASE + i)).unwrap())

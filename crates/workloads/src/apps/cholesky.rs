@@ -40,7 +40,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, tasks: 48, block: 8 }
+        Params {
+            threads: THREADS,
+            tasks: 48,
+            block: 8,
+        }
     }
 }
 
@@ -173,7 +177,11 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, tasks: 12, block: 4 })
+    make_spec(Params {
+        threads: 4,
+        tasks: 12,
+        block: 4,
+    })
 }
 
 #[cfg(test)]
@@ -207,7 +215,11 @@ mod tests {
 
     #[test]
     fn matrix_result_is_schedule_independent() {
-        let p = Params { threads: 4, tasks: 8, block: 4 };
+        let p = Params {
+            threads: 4,
+            tasks: 8,
+            block: 4,
+        };
         let a = build(&p).run(&tsim::RunConfig::random(2)).unwrap();
         let b = build(&p).run(&tsim::RunConfig::random(23)).unwrap();
         for i in 0..32u64 {

@@ -31,7 +31,10 @@ impl Default for Params {
     fn default() -> Self {
         // 2^11 = 2048 points → 11 stages + 1 bit-reverse barrier = 12
         // barriers, 13 checking points.
-        Params { threads: THREADS, log2_n: 11 }
+        Params {
+            threads: THREADS,
+            log2_n: 11,
+        }
     }
 }
 
@@ -60,7 +63,11 @@ pub fn build(p: &Params) -> Program {
         b.thread(move |ctx| {
             let chunk = n / ctx.nthreads();
             let lo = tid * chunk;
-            let hi = if tid == ctx.nthreads() - 1 { n } else { lo + chunk };
+            let hi = if tid == ctx.nthreads() - 1 {
+                n
+            } else {
+                lo + chunk
+            };
 
             // Phase 1: bit-reverse permutation (disjoint destination
             // slices).
@@ -86,12 +93,15 @@ pub fn build(p: &Params) -> Program {
                 let total = n / 2;
                 let per = total / ctx.nthreads();
                 let from = tid * per;
-                let to = if tid == ctx.nthreads() - 1 { total } else { from + per };
+                let to = if tid == ctx.nthreads() - 1 {
+                    total
+                } else {
+                    from + per
+                };
                 for k in from..to {
                     let block = (k / half) * step;
                     let j = k % half;
-                    let angle =
-                        -2.0 * std::f64::consts::PI * j as f64 / step as f64;
+                    let angle = -2.0 * std::f64::consts::PI * j as f64 / step as f64;
                     let (w_re, w_im) = (angle.cos(), angle.sin());
                     let a = block + j;
                     let c = a + half;
@@ -131,7 +141,10 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests (2^6 = 64 points).
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, log2_n: 6 })
+    make_spec(Params {
+        threads: 4,
+        log2_n: 6,
+    })
 }
 
 #[cfg(test)]
@@ -154,7 +167,10 @@ mod tests {
 
     #[test]
     fn fft_is_schedule_independent_bitwise() {
-        let p = Params { threads: 4, log2_n: 5 };
+        let p = Params {
+            threads: 4,
+            log2_n: 5,
+        };
         let a = build(&p).run(&RunConfig::random(1)).unwrap();
         let b = build(&p).run(&RunConfig::random(77)).unwrap();
         assert_eq!(read_spectrum(&a, 32), read_spectrum(&b, 32));
@@ -162,7 +178,10 @@ mod tests {
 
     #[test]
     fn fft_matches_reference_dft() {
-        let p = Params { threads: 2, log2_n: 4 };
+        let p = Params {
+            threads: 2,
+            log2_n: 4,
+        };
         let n = 16usize;
         let out = build(&p).run(&RunConfig::random(0)).unwrap();
         let got = read_spectrum(&out, n);

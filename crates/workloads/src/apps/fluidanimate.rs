@@ -29,7 +29,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, cells_per_thread: 16, timesteps: 8 }
+        Params {
+            threads: THREADS,
+            cells_per_thread: 16,
+            timesteps: 8,
+        }
     }
 }
 
@@ -171,7 +175,11 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, cells_per_thread: 4, timesteps: 2 })
+    make_spec(Params {
+        threads: 4,
+        cells_per_thread: 4,
+        timesteps: 2,
+    })
 }
 
 #[cfg(test)]

@@ -25,7 +25,10 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, n: 68 }
+        Params {
+            threads: THREADS,
+            n: 68,
+        }
     }
 }
 

@@ -33,7 +33,12 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, rows_per_thread: 4, cols: 24, iterations: 435 }
+        Params {
+            threads: THREADS,
+            rows_per_thread: 4,
+            cols: 24,
+            iterations: 435,
+        }
     }
 }
 
@@ -77,15 +82,26 @@ pub fn build(p: &Params) -> Program {
                             continue;
                         }
                         let i = r * cols + c;
-                        let up = if r > 0 { ctx.load_f64(grid.at(i - cols)) } else { 0.0 };
+                        let up = if r > 0 {
+                            ctx.load_f64(grid.at(i - cols))
+                        } else {
+                            0.0
+                        };
                         let down = if r + 1 < rows {
                             ctx.load_f64(grid.at(i + cols))
                         } else {
                             0.0
                         };
-                        let left = if c > 0 { ctx.load_f64(grid.at(i - 1)) } else { 0.0 };
-                        let right =
-                            if c + 1 < cols { ctx.load_f64(grid.at(i + 1)) } else { 0.0 };
+                        let left = if c > 0 {
+                            ctx.load_f64(grid.at(i - 1))
+                        } else {
+                            0.0
+                        };
+                        let right = if c + 1 < cols {
+                            ctx.load_f64(grid.at(i + 1))
+                        } else {
+                            0.0
+                        };
                         let old = ctx.load_f64(grid.at(i));
                         let new = 0.2 * (old + up + down + left + right);
                         ctx.store_f64(grid.at(i), new);
@@ -126,7 +142,12 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, rows_per_thread: 2, cols: 8, iterations: 4 })
+    make_spec(Params {
+        threads: 4,
+        rows_per_thread: 2,
+        cols: 8,
+        iterations: 4,
+    })
 }
 
 #[cfg(test)]
@@ -159,7 +180,12 @@ mod tests {
     fn grid_itself_is_bitwise_deterministic() {
         // Only the residual carries ulp noise; the grid cells must be
         // bitwise identical across schedules.
-        let p = Params { threads: 4, rows_per_thread: 2, cols: 8, iterations: 3 };
+        let p = Params {
+            threads: 4,
+            rows_per_thread: 2,
+            cols: 8,
+            iterations: 3,
+        };
         let a = build(&p).run(&tsim::RunConfig::random(3)).unwrap();
         let b = build(&p).run(&tsim::RunConfig::random(17)).unwrap();
         for i in 0..64u64 {

@@ -35,7 +35,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, jobs: 24, chunk: 16 }
+        Params {
+            threads: THREADS,
+            jobs: 24,
+            chunk: 16,
+        }
     }
 }
 
@@ -127,8 +131,7 @@ pub fn build(p: &Params) -> Program {
                         ctx.unlock(qlock);
                         // Compress job `c`.
                         let j = c as usize;
-                        let scratch =
-                            ctx.malloc("scratch_buf", TypeTag::u64s(), chunk);
+                        let scratch = ctx.malloc("scratch_buf", TypeTag::u64s(), chunk);
                         let mut digest = 0u64;
                         for i in 0..chunk {
                             let w = ctx.load(input.at(j * chunk + i));
@@ -184,7 +187,11 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, jobs: 8, chunk: 4 })
+    make_spec(Params {
+        threads: 4,
+        jobs: 8,
+        chunk: 4,
+    })
 }
 
 #[cfg(test)]
@@ -213,7 +220,11 @@ mod tests {
 
     #[test]
     fn output_is_the_compression_of_the_input_in_order() {
-        let p = Params { threads: 3, jobs: 4, chunk: 4 };
+        let p = Params {
+            threads: 3,
+            jobs: 4,
+            chunk: 4,
+        };
         let out = build(&p).run(&tsim::RunConfig::random(5)).unwrap();
         assert_eq!(out.output.len(), 4 * 8);
         // Recompute the expected digests.
@@ -223,16 +234,18 @@ mod tests {
                 let w = mix64((j * 4 + i) as u64);
                 digest = mix64(digest ^ mix64(w ^ i as u64));
             }
-            let got = u64::from_le_bytes(
-                out.output[j * 8..(j + 1) * 8].try_into().unwrap(),
-            );
+            let got = u64::from_le_bytes(out.output[j * 8..(j + 1) * 8].try_into().unwrap());
             assert_eq!(got, digest, "job {j}");
         }
     }
 
     #[test]
     fn scratch_buffers_are_freed() {
-        let p = Params { threads: 3, jobs: 4, chunk: 4 };
+        let p = Params {
+            threads: 3,
+            jobs: 4,
+            chunk: 4,
+        };
         let out = build(&p).run(&tsim::RunConfig::random(1)).unwrap();
         let view = out.final_state();
         assert_eq!(view.blocks_at_site("scratch_buf").count(), 0);

@@ -28,7 +28,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, patches: 32, rounds: 18 }
+        Params {
+            threads: THREADS,
+            patches: 32,
+            rounds: 18,
+        }
     }
 }
 
@@ -106,7 +110,11 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, patches: 12, rounds: 4 })
+    make_spec(Params {
+        threads: 4,
+        patches: 12,
+        rounds: 4,
+    })
 }
 
 #[cfg(test)]
@@ -128,7 +136,11 @@ mod tests {
 
     #[test]
     fn every_patch_is_processed_every_round() {
-        let p = Params { threads: 4, patches: 8, rounds: 2 };
+        let p = Params {
+            threads: 4,
+            patches: 8,
+            rounds: 2,
+        };
         let a = build(&p).run(&tsim::RunConfig::random(3)).unwrap();
         let b = build(&p).run(&tsim::RunConfig::random(4)).unwrap();
         // The energy values themselves are schedule-independent (the

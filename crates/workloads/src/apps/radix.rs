@@ -38,7 +38,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, keys_per_thread: 64, seed_order_violation: false }
+        Params {
+            threads: THREADS,
+            keys_per_thread: 64,
+            seed_order_violation: false,
+        }
     }
 }
 
@@ -102,7 +106,11 @@ pub fn build(p: &Params) -> Program {
 
     for tid in 0..threads {
         b.thread(move |ctx| {
-            let a = Arrays { bufs: [buf0, buf1], hist, offsets };
+            let a = Arrays {
+                bufs: [buf0, buf1],
+                hist,
+                offsets,
+            };
             let lo = tid * chunk;
             let hi = lo + chunk;
             let mut did_buggy_scatter = false;
@@ -177,7 +185,11 @@ pub fn spec() -> AppSpec {
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
     make_spec(
-        Params { threads: 4, keys_per_thread: 16, ..Params::default() },
+        Params {
+            threads: 4,
+            keys_per_thread: 16,
+            ..Params::default()
+        },
         "radix",
         DetClass::BitExact,
     )
@@ -186,7 +198,10 @@ pub fn spec_scaled() -> AppSpec {
 /// The Figure 7(c) seeded order violation (Table 2 row 3).
 pub fn spec_order_violation() -> AppSpec {
     make_spec(
-        Params { seed_order_violation: true, ..Params::default() },
+        Params {
+            seed_order_violation: true,
+            ..Params::default()
+        },
         "radix+order-violation",
         DetClass::Nondeterministic,
     )
@@ -195,7 +210,11 @@ pub fn spec_order_violation() -> AppSpec {
 /// Miniature of the seeded variant.
 pub fn spec_order_violation_scaled() -> AppSpec {
     make_spec(
-        Params { threads: 4, keys_per_thread: 16, seed_order_violation: true },
+        Params {
+            threads: 4,
+            keys_per_thread: 16,
+            seed_order_violation: true,
+        },
         "radix+order-violation",
         DetClass::Nondeterministic,
     )
@@ -215,7 +234,11 @@ mod tests {
 
     #[test]
     fn sorts_correctly_under_any_schedule() {
-        let p = Params { threads: 4, keys_per_thread: 16, ..Params::default() };
+        let p = Params {
+            threads: 4,
+            keys_per_thread: 16,
+            ..Params::default()
+        };
         let n = 64;
         for seed in [0, 9, 42] {
             let out = build(&p).run(&RunConfig::random(seed)).unwrap();
@@ -228,7 +251,11 @@ mod tests {
 
     #[test]
     fn order_violation_corrupts_some_runs() {
-        let p = Params { threads: 4, keys_per_thread: 16, seed_order_violation: true };
+        let p = Params {
+            threads: 4,
+            keys_per_thread: 16,
+            seed_order_violation: true,
+        };
         let n = 64;
         let mut expect: Vec<u64> = (0..n).map(|i| mix64(i as u64) & 0xFFFF).collect();
         expect.sort_unstable();
@@ -239,8 +266,14 @@ mod tests {
                 corrupted += 1;
             }
         }
-        assert!(corrupted > 0, "the race should corrupt at least one schedule");
-        assert!(corrupted < 12, "when thread 0 wins the race, output is correct");
+        assert!(
+            corrupted > 0,
+            "the race should corrupt at least one schedule"
+        );
+        assert!(
+            corrupted < 12,
+            "when thread 0 wins the race, output is correct"
+        );
     }
 
     #[test]

@@ -56,7 +56,12 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, frames: 533, model_block: 10, lattice_block: 6 }
+        Params {
+            threads: THREADS,
+            frames: 533,
+            model_block: 10,
+            lattice_block: 6,
+        }
     }
 }
 
@@ -80,15 +85,16 @@ pub fn build(p: &Params) -> Program {
         for (i, name) in names.iter().enumerate() {
             let ndet = i >= TOTAL_SITES - NDET_SITES;
             let words = if ndet { lattice_block } else { model_block };
-            let tag = if ndet { TypeTag::u64s() } else { TypeTag::f64s() };
+            let tag = if ndet {
+                TypeTag::u64s()
+            } else {
+                TypeTag::f64s()
+            };
             let addr = s.malloc(name, tag, words);
             s.store(blocks.at(i), addr.raw());
             if !ndet {
                 for w in 0..words {
-                    s.store_f64(
-                        addr.offset(w as u64),
-                        unit_f64((i * 31 + w) as u64),
-                    );
+                    s.store_f64(addr.offset(w as u64), unit_f64((i * 31 + w) as u64));
                 }
             }
         }
@@ -106,8 +112,7 @@ pub fn build(p: &Params) -> Program {
                             let mut site = tid;
                             while site < TOTAL_SITES - NDET_SITES {
                                 if site % 29 == (frame + phase) % 29 {
-                                    let base =
-                                        tsim::Addr(ctx.load(blocks.at(site)));
+                                    let base = tsim::Addr(ctx.load(blocks.at(site)));
                                     let w = (frame + site) % model_block;
                                     let v = ctx.load_f64(base.offset(w as u64));
                                     ctx.store_f64(
@@ -124,15 +129,11 @@ pub fn build(p: &Params) -> Program {
                             // frame's lattice slot under the lock — the
                             // last claimer wins, so the recorded value
                             // is schedule-dependent.
-                            let site =
-                                TOTAL_SITES - NDET_SITES + frame % NDET_SITES;
+                            let site = TOTAL_SITES - NDET_SITES + frame % NDET_SITES;
                             let base = tsim::Addr(ctx.load(blocks.at(site)));
                             let w = frame % lattice_block;
                             ctx.lock(llock);
-                            ctx.store(
-                                base.offset(w as u64),
-                                ((tid as u64) << 32) | frame as u64,
-                            );
+                            ctx.store(base.offset(w as u64), ((tid as u64) << 32) | frame as u64);
                             ctx.unlock(llock);
                             ctx.work(70);
                         }
@@ -186,7 +187,12 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, frames: 4, model_block: 10, lattice_block: 6 })
+    make_spec(Params {
+        threads: 4,
+        frames: 4,
+        model_block: 10,
+        lattice_block: 6,
+    })
 }
 
 #[cfg(test)]
@@ -223,10 +229,7 @@ mod tests {
         let spec = spec_scaled();
         let out = spec.build().run(&tsim::RunConfig::random(0)).unwrap();
         let view = out.final_state();
-        let ignored: usize = spec
-            .ignore
-            .resolve(&view)
-            .len();
+        let ignored: usize = spec.ignore.resolve(&view).len();
         let total = view.live_word_count();
         let frac = ignored as f64 / total as f64;
         assert!(

@@ -92,8 +92,7 @@ pub fn build(p: &Params) -> Program {
                 ctx.store_f64(cost.at(tid), local * 1.5);
                 ctx.work(175);
 
-                let in_bug_window =
-                    bug.is_some_and(|(lo, hi)| i >= lo && i < hi);
+                let in_bug_window = bug.is_some_and(|(lo, hi)| i >= lo && i < hi);
                 // The coordinator publishes the next center. Correct
                 // code publishes *before* the barrier so workers' reads
                 // in iteration i+1 are ordered after the write.
@@ -135,7 +134,10 @@ pub fn spec_buggy() -> AppSpec {
 /// Paper scale, with the bug fixed: fully bit-by-bit deterministic.
 pub fn spec_fixed() -> AppSpec {
     make_spec(
-        Params { buggy: false, ..Params::default() },
+        Params {
+            buggy: false,
+            ..Params::default()
+        },
         "streamcluster-fixed",
         DetClass::BitExact,
     )
@@ -144,7 +146,14 @@ pub fn spec_fixed() -> AppSpec {
 /// Miniature buggy variant for tests.
 pub fn spec_buggy_scaled() -> AppSpec {
     make_spec(
-        Params { threads: 4, iterations: 60, bug_start: 20, bug_len: 6, buggy: true, points: 64 },
+        Params {
+            threads: 4,
+            iterations: 60,
+            bug_start: 20,
+            bug_len: 6,
+            buggy: true,
+            points: 64,
+        },
         "streamcluster",
         DetClass::BitExact,
     )
@@ -200,7 +209,10 @@ mod tests {
             ndet.iter().all(|&i| (21..=26).contains(&i)),
             "nondet checkpoints {ndet:?} escape the bug window"
         );
-        assert!(ndet.len() >= 3, "most window barriers should catch it: {ndet:?}");
+        assert!(
+            ndet.len() >= 3,
+            "most window barriers should catch it: {ndet:?}"
+        );
     }
 
     #[test]

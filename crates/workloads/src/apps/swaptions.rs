@@ -27,7 +27,10 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, iterations: 2_500 }
+        Params {
+            threads: THREADS,
+            iterations: 2_500,
+        }
     }
 }
 
@@ -94,7 +97,10 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, iterations: 8 })
+    make_spec(Params {
+        threads: 4,
+        iterations: 8,
+    })
 }
 
 #[cfg(test)]
@@ -104,7 +110,10 @@ mod tests {
 
     #[test]
     fn monte_carlo_with_local_rngs_is_bitwise_deterministic() {
-        let p = Params { threads: 4, iterations: 6 };
+        let p = Params {
+            threads: 4,
+            iterations: 6,
+        };
         let a = build(&p).run(&RunConfig::random(2)).unwrap();
         let b = build(&p).run(&RunConfig::random(33)).unwrap();
         for i in 0..12u64 {
@@ -117,7 +126,10 @@ mod tests {
 
     #[test]
     fn prices_converge_to_something_positive() {
-        let p = Params { threads: 2, iterations: 50 };
+        let p = Params {
+            threads: 2,
+            iterations: 50,
+        };
         let out = build(&p).run(&RunConfig::random(0)).unwrap();
         // price region comes after sums (2) and trials (2).
         let price0 = out.final_f64(Addr(GLOBALS_BASE + 4)).unwrap();

@@ -29,7 +29,11 @@ pub struct Params {
 
 impl Default for Params {
     fn default() -> Self {
-        Params { threads: THREADS, frames: 5, pixels_per_thread: 32 }
+        Params {
+            threads: THREADS,
+            frames: 5,
+            pixels_per_thread: 32,
+        }
     }
 }
 
@@ -106,7 +110,11 @@ pub fn spec() -> AppSpec {
 
 /// Miniature for tests.
 pub fn spec_scaled() -> AppSpec {
-    make_spec(Params { threads: 4, frames: 3, pixels_per_thread: 8 })
+    make_spec(Params {
+        threads: 4,
+        frames: 3,
+        pixels_per_thread: 8,
+    })
 }
 
 #[cfg(test)]
@@ -117,7 +125,11 @@ mod tests {
 
     #[test]
     fn image_is_schedule_independent_despite_the_benign_race() {
-        let p = Params { threads: 4, frames: 2, pixels_per_thread: 4 };
+        let p = Params {
+            threads: 4,
+            frames: 2,
+            pixels_per_thread: 4,
+        };
         let a = build(&p).run(&RunConfig::random(1)).unwrap();
         let b = build(&p).run(&RunConfig::random(31337)).unwrap();
         for i in 0..16u64 {

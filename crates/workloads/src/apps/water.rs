@@ -235,23 +235,43 @@ fn make_spec(p: Params, name: &'static str, class: DetClass, suite: &'static str
 
 /// waterNS at paper scale: 21 points, deterministic after FP rounding.
 pub fn spec_ns() -> AppSpec {
-    make_spec(Params::paper(Variant::Nsquared), "waterNS", DetClass::FpRounded, "splash2")
+    make_spec(
+        Params::paper(Variant::Nsquared),
+        "waterNS",
+        DetClass::FpRounded,
+        "splash2",
+    )
 }
 
 /// waterSP at paper scale.
 pub fn spec_sp() -> AppSpec {
-    make_spec(Params::paper(Variant::Spatial), "waterSP", DetClass::FpRounded, "splash2")
+    make_spec(
+        Params::paper(Variant::Spatial),
+        "waterSP",
+        DetClass::FpRounded,
+        "splash2",
+    )
 }
 
 /// Miniature waterNS.
 pub fn spec_ns_scaled() -> AppSpec {
-    let p = Params { threads: 4, mols_per_thread: 6, timesteps: 4, ..Params::paper(Variant::Nsquared) };
+    let p = Params {
+        threads: 4,
+        mols_per_thread: 6,
+        timesteps: 4,
+        ..Params::paper(Variant::Nsquared)
+    };
     make_spec(p, "waterNS", DetClass::FpRounded, "splash2")
 }
 
 /// Miniature waterSP.
 pub fn spec_sp_scaled() -> AppSpec {
-    let p = Params { threads: 4, mols_per_thread: 6, timesteps: 4, ..Params::paper(Variant::Spatial) };
+    let p = Params {
+        threads: 4,
+        mols_per_thread: 6,
+        timesteps: 4,
+        ..Params::paper(Variant::Spatial)
+    };
     make_spec(p, "waterSP", DetClass::FpRounded, "splash2")
 }
 
@@ -259,7 +279,11 @@ pub fn spec_sp_scaled() -> AppSpec {
 /// timestep 6, so the first corrupted checkpoint is barrier 13 → 12
 /// deterministic / 9 nondeterministic points.
 pub fn spec_ns_semantic_bug() -> AppSpec {
-    let p = Params { bug: SeededBug::Semantic, bug_timestep: 6, ..Params::paper(Variant::Nsquared) };
+    let p = Params {
+        bug: SeededBug::Semantic,
+        bug_timestep: 6,
+        ..Params::paper(Variant::Nsquared)
+    };
     make_spec(p, "waterNS+semantic", DetClass::Nondeterministic, "splash2")
 }
 
@@ -267,8 +291,17 @@ pub fn spec_ns_semantic_bug() -> AppSpec {
 /// strikes in timestep 4, so the first corrupted checkpoint is barrier
 /// 10 → 9 deterministic / 12 nondeterministic points.
 pub fn spec_sp_atomicity_bug() -> AppSpec {
-    let p = Params { bug: SeededBug::Atomicity, bug_timestep: 4, ..Params::paper(Variant::Spatial) };
-    make_spec(p, "waterSP+atomicity", DetClass::Nondeterministic, "splash2")
+    let p = Params {
+        bug: SeededBug::Atomicity,
+        bug_timestep: 4,
+        ..Params::paper(Variant::Spatial)
+    };
+    make_spec(
+        p,
+        "waterSP+atomicity",
+        DetClass::Nondeterministic,
+        "splash2",
+    )
 }
 
 /// Miniature seeded-semantic waterNS (bug in timestep 1 of 4).
@@ -294,7 +327,12 @@ pub fn spec_sp_atomicity_bug_scaled() -> AppSpec {
         bug_timestep: 1,
         ..Params::paper(Variant::Spatial)
     };
-    make_spec(p, "waterSP+atomicity", DetClass::Nondeterministic, "splash2")
+    make_spec(
+        p,
+        "waterSP+atomicity",
+        DetClass::Nondeterministic,
+        "splash2",
+    )
 }
 
 #[cfg(test)]
@@ -316,7 +354,11 @@ mod tests {
     fn water_is_fp_prec_deterministic() {
         for spec in [spec_ns_scaled(), spec_sp_scaled()] {
             let exact = campaign(&spec, 8, false);
-            assert!(!exact.is_deterministic(), "{}: ulp noise expected", spec.name);
+            assert!(
+                !exact.is_deterministic(),
+                "{}: ulp noise expected",
+                spec.name
+            );
             let rounded = campaign(&spec, 8, true);
             assert!(rounded.is_deterministic(), "{}", spec.name);
         }
@@ -324,7 +366,10 @@ mod tests {
 
     #[test]
     fn seeded_bugs_survive_fp_rounding() {
-        for spec in [spec_ns_semantic_bug_scaled(), spec_sp_atomicity_bug_scaled()] {
+        for spec in [
+            spec_ns_semantic_bug_scaled(),
+            spec_sp_atomicity_bug_scaled(),
+        ] {
             let rounded = campaign(&spec, 10, true);
             assert!(
                 !rounded.is_deterministic(),

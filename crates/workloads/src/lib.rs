@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod stress;
 pub mod util;
 
 use std::sync::Arc;

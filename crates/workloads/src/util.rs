@@ -141,7 +141,9 @@ impl LocalRng {
     /// Seeds the stream (seed it from the thread id for per-thread
     /// streams).
     pub fn new(seed: u64) -> Self {
-        LocalRng { state: mix64(seed ^ 0xd1b5_4a32_d192_ed03) }
+        LocalRng {
+            state: mix64(seed ^ 0xd1b5_4a32_d192_ed03),
+        }
     }
 
     /// Next raw 64-bit value.

@@ -9,21 +9,27 @@
 use instantcheck::{characterize, CheckerConfig, Scheme};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "cholesky".to_owned());
-    let app = instantcheck_workloads::by_name(&name, /* scaled: */ true)
-        .unwrap_or_else(|| {
-            eprintln!("unknown app {name}; known apps:");
-            for a in instantcheck_workloads::all_scaled() {
-                eprintln!("  {}", a.name);
-            }
-            std::process::exit(2);
-        });
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cholesky".to_owned());
+    let app = instantcheck_workloads::by_name(&name, /* scaled: */ true).unwrap_or_else(|| {
+        eprintln!("unknown app {name}; known apps:");
+        for a in instantcheck_workloads::all_scaled() {
+            eprintln!("  {}", a.name);
+        }
+        std::process::exit(2);
+    });
 
     let subject = app.subject();
     let template = CheckerConfig::new(Scheme::HwInc).with_runs(10);
     let c = characterize(&subject, &template).expect("runs complete");
 
-    println!("{} ({}, FP: {})", c.name, app.suite, if c.uses_fp { "yes" } else { "no" });
+    println!(
+        "{} ({}, FP: {})",
+        c.name,
+        app.suite,
+        if c.uses_fp { "yes" } else { "no" }
+    );
     println!("  class                  : {}", c.class);
     println!("  deterministic as is    : {}", c.det_as_is());
     if let Some(run) = c.first_ndet_run() {
@@ -32,13 +38,21 @@ fn main() {
     if let Some(r) = &c.fp_rounded {
         println!(
             "  after FP rounding      : {}",
-            if r.is_deterministic() { "deterministic" } else { "still nondeterministic" }
+            if r.is_deterministic() {
+                "deterministic"
+            } else {
+                "still nondeterministic"
+            }
         );
     }
     if let Some(r) = &c.isolated {
         println!(
             "  after isolating structs: {}",
-            if r.is_deterministic() { "deterministic" } else { "still nondeterministic" }
+            if r.is_deterministic() {
+                "deterministic"
+            } else {
+                "still nondeterministic"
+            }
         );
     }
     let (det, ndet) = c.dyn_points();

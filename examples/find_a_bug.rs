@@ -25,9 +25,12 @@ fn main() {
     let report = checker.check(move || build()).expect("runs complete");
     println!("streamcluster (original v2.1-style code):");
     println!("  deterministic at end : {}", report.det_at_end);
-    println!("  nondet checkpoints   : {} of {}", report.ndet_points, report.aligned_checkpoints);
-    let first_bad = (0..report.aligned_checkpoints)
-        .find(|&i| !report.distributions[i].is_deterministic());
+    println!(
+        "  nondet checkpoints   : {} of {}",
+        report.ndet_points, report.aligned_checkpoints
+    );
+    let first_bad =
+        (0..report.aligned_checkpoints).find(|&i| !report.distributions[i].is_deterministic());
     println!("  first bad checkpoint : {first_bad:?}");
     println!("  => nondeterminism at internal barriers, masked by the end:");
     println!("     checking only final output would MISS this bug.\n");
@@ -39,7 +42,9 @@ fn main() {
     for s in 2..40 {
         let build = std::sync::Arc::clone(&buggy.build);
         let probe = Checker::new(
-            CheckerConfig::new(Scheme::HwInc).with_runs(2).with_base_seed(s),
+            CheckerConfig::new(Scheme::HwInc)
+                .with_runs(2)
+                .with_base_seed(s),
         )
         .check(move || build())
         .expect("runs complete");
@@ -64,5 +69,8 @@ fn main() {
     let report = checker.check(move || build()).expect("runs complete");
     println!("streamcluster (fixed):");
     println!("  deterministic        : {}", report.is_deterministic());
-    println!("  nondet checkpoints   : {} of {}", report.ndet_points, report.aligned_checkpoints);
+    println!(
+        "  nondet checkpoints   : {} of {}",
+        report.ndet_points, report.aligned_checkpoints
+    );
 }

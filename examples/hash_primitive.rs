@@ -35,9 +35,17 @@ fn main() {
     let mut mem = std::collections::HashMap::new();
     mem.insert(0x20u64, 7u64); // the store lands in memory…
     core.on_store(0x20, 0, 7, false); // …and the MHM hashes it
-    isa::execute(&mut core, &mut mem, isa::Instruction::SaveHash { addr: 0x900 });
+    isa::execute(
+        &mut core,
+        &mut mem,
+        isa::Instruction::SaveHash { addr: 0x900 },
+    );
     core.reset(); // another thread borrows the core…
-    isa::execute(&mut core, &mut mem, isa::Instruction::RestoreHash { addr: 0x900 });
+    isa::execute(
+        &mut core,
+        &mut mem,
+        isa::Instruction::RestoreHash { addr: 0x900 },
+    );
     println!("ISA: TH register survives a context switch: {}", core.th());
     // Delete the variable from the hash: subtract its current value,
     // add back its initial (zero) value — Section 2.2.
@@ -45,16 +53,35 @@ fn main() {
         &mut core,
         &mut mem,
         &[
-            isa::Instruction::MinusHash { addr: 0x20, is_fp: false },
-            isa::Instruction::PlusHash { addr: 0x20, val: 0, is_fp: false },
+            isa::Instruction::MinusHash {
+                addr: 0x20,
+                is_fp: false,
+            },
+            isa::Instruction::PlusHash {
+                addr: 0x20,
+                val: 0,
+                is_fp: false,
+            },
         ],
     );
     println!("ISA: after deleting the variable, TH == {}\n", core.th());
 
     // --- Figure 3(b): clustered design equivalence --------------------
     let mut clustered = ClusteredMhm::new(4);
-    clustered.dispatch(3, ClusterOp::PlusNew { addr: 0x40, value: 9 });
-    clustered.dispatch(0, ClusterOp::MinusOld { addr: 0x40, value: 2 });
+    clustered.dispatch(
+        3,
+        ClusterOp::PlusNew {
+            addr: 0x40,
+            value: 9,
+        },
+    );
+    clustered.dispatch(
+        0,
+        ClusterOp::MinusOld {
+            addr: 0x40,
+            value: 2,
+        },
+    );
     let mut basic = MhmCore::new();
     basic.on_store(0x40, 2, 9, false);
     println!(
@@ -82,6 +109,12 @@ fn main() {
     let stats = explore(commuting(3), 100_000).expect("exploration completes");
     println!("Systematic exploration of 3 commuting threads:");
     println!("  schedules executed    : {}", stats.executions);
-    println!("  happens-before classes: {} (CHESS must keep these)", stats.distinct_hb_classes);
-    println!("  distinct final states : {} (hash pruning keeps only this)", stats.distinct_final_states);
+    println!(
+        "  happens-before classes: {} (CHESS must keep these)",
+        stats.distinct_hb_classes
+    );
+    println!(
+        "  distinct final states : {} (hash pruning keeps only this)",
+        stats.distinct_final_states
+    );
 }

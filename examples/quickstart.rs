@@ -51,7 +51,10 @@ fn main() {
     println!("figure1 (G += L under a lock):");
     println!("  deterministic        : {}", report.is_deterministic());
     println!("  checking points      : {}", report.aligned_checkpoints);
-    println!("  det / nondet points  : {} / {}", report.det_points, report.ndet_points);
+    println!(
+        "  det / nondet points  : {} / {}",
+        report.det_points, report.ndet_points
+    );
 
     let report = checker.check(last_writer_wins).expect("runs complete");
     println!("last-writer-wins (racy, non-commutative):");

@@ -75,6 +75,9 @@ fn traversal_confirms_incremental_on_the_fp_apps() {
         let hw_round = verdict_profile(name, Scheme::HwInc, true);
         let tr_round = verdict_profile(name, Scheme::SwTr, true);
         assert_eq!(hw_round, tr_round, "{name} (rounded)");
-        assert!(hw_round.0.iter().all(|d| d.len() == 1), "{name}: rounded => det");
+        assert!(
+            hw_round.0.iter().all(|d| d.len() == 1),
+            "{name}: rounded => det"
+        );
     }
 }

@@ -23,7 +23,11 @@ fn all_three_bug_types_are_detected() {
         let report = campaign(&app, 12);
         assert!(!report.is_deterministic(), "{}", app.name);
         assert!(report.ndet_points > 0, "{}", app.name);
-        assert!(report.det_points > 0, "{}: the pre-bug phase is clean", app.name);
+        assert!(
+            report.det_points > 0,
+            "{}: the pre-bug phase is clean",
+            app.name
+        );
         assert!(
             report.first_ndet_run.unwrap() <= 10,
             "{}: detected quickly (paper: runs 3-6)",

@@ -56,7 +56,9 @@ fn localization_names_the_racy_structures() {
     let loc = found.expect("some seed pair differs at the bad checkpoint");
     let sites: Vec<String> = loc.summary().into_iter().map(|(s, _)| s).collect();
     assert!(
-        sites.iter().any(|s| s.contains("scratch") || s.contains("cost")),
+        sites
+            .iter()
+            .any(|s| s.contains("scratch") || s.contains("cost")),
         "localization should name the racy scratch/cost structures: {sites:?}"
     );
     assert!(
