@@ -3,12 +3,13 @@
 //! Ideal, SW-InstantCheck_Tr-Ideal), normalized to Native, including the
 //! GEOM bars and the sphinx3 delete-4% case.
 
-use instantcheck_bench::{fig6, render_fig6, write_json, HarnessOpts};
+use instantcheck_bench::{fig6, render_fig6, HarnessOpts, Reporter};
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    eprintln!("Figure 6: measuring the four configurations per app…");
+    let r = Reporter::new("fig6");
+    r.progress("Figure 6: measuring the four configurations per app…");
     let (rows, geom, deletion) = fig6(&opts);
-    println!("{}", render_fig6(&rows, &geom, &deletion));
-    write_json("fig6", &(rows, geom, deletion));
+    r.table(&render_fig6(&rows, &geom, &deletion));
+    r.artifact(&(rows, geom, deletion));
 }

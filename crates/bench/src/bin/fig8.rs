@@ -3,18 +3,19 @@
 //! nondeterminism is the bug's).
 
 use adhash::FpRound;
-use instantcheck_bench::{distributions, render_distributions, write_json, HarnessOpts};
+use instantcheck_bench::{distributions, render_distributions, HarnessOpts, Reporter};
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let r = Reporter::new("fig8");
     let mut reports = Vec::new();
     for app in opts.seeded() {
-        eprintln!("  measuring distributions for {}…", app.name);
+        r.progress(&format!("  measuring distributions for {}…", app.name));
         let rounding = app.uses_fp.then(FpRound::default);
-        if let Some(report) = distributions(&app, &opts, rounding) {
+        if let Some(report) = distributions(&app, &opts, rounding, &r) {
             reports.push(report);
         }
     }
-    println!("{}", render_distributions(&reports));
-    write_json("fig8", &reports);
+    r.table(&render_distributions(&reports));
+    r.artifact(&reports);
 }

@@ -1,0 +1,72 @@
+//! Campaign-trace profiler. Loads a JSONL event trace recorded by a
+//! traced campaign (pass `--trace` to the harness binaries), prints the
+//! per-run profile — steps, instruction attribution per scheme, MHM hit
+//! rates, the fault/failure timeline, divergences — and optionally
+//! exports Chrome trace-event JSON for `chrome://tracing` / Perfetto.
+//!
+//! Usage:
+//!
+//! ```text
+//! icprof results/fig5-canneal.trace.jsonl [--chrome out.json]
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let mut trace_path: Option<String> = None;
+    let mut chrome_out: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--chrome" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => chrome_out = Some(p.clone()),
+                    None => {
+                        eprintln!("--chrome requires an output path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: icprof <trace.jsonl> [--chrome out.json]");
+                return ExitCode::SUCCESS;
+            }
+            other if trace_path.is_none() => trace_path = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = trace_path else {
+        eprintln!("usage: icprof <trace.jsonl> [--chrome out.json]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match obs::parse_jsonl(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("could not parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let profile = obs::CampaignProfile::from_events(&events);
+    print!("{}", profile.render());
+    if let Some(out) = chrome_out {
+        if let Err(e) = std::fs::write(&out, obs::chrome_trace(&events)) {
+            eprintln!("could not write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {out}");
+    }
+    ExitCode::SUCCESS
+}

@@ -3,7 +3,7 @@
 //! happens-before prune (CHESS) keeps versus a state-hash prune
 //! (InstantCheck) — the hash partition is coarser, so it prunes more.
 
-use instantcheck_bench::{write_json, HarnessOpts};
+use instantcheck_bench::{HarnessOpts, Reporter};
 use instantcheck_explorer::systematic::{explore, explore_with_state_pruning};
 use tsim::{Program, ProgramBuilder, ValKind};
 
@@ -65,11 +65,12 @@ fn two_phase_commuting(n: usize) -> impl Fn() -> Program {
 
 fn main() {
     let _opts = HarnessOpts::from_args();
-    println!(
+    let r = Reporter::new("pruning");
+    r.line(format!(
         "{:<28} {:>11} {:>12} {:>12} {:>10}",
         "program", "executions", "HB classes", "state seqs", "states"
-    );
-    println!("{}", "-".repeat(78));
+    ));
+    r.line("-".repeat(78));
     let mut rows = Vec::new();
     for (name, stats) in [
         (
@@ -89,7 +90,7 @@ fn main() {
             explore(last_writer(3), 200_000).unwrap(),
         ),
     ] {
-        println!(
+        r.line(format!(
             "{:<28} {:>11} {:>12} {:>12} {:>10}{}",
             name,
             stats.executions,
@@ -97,36 +98,35 @@ fn main() {
             stats.distinct_state_sequences,
             stats.distinct_final_states,
             if stats.truncated { " (truncated)" } else { "" },
-        );
+        ));
         rows.push((name.to_owned(), stats));
     }
-    println!("\nState-hash pruning explores at most `states`; a happens-before");
-    println!("prune must still explore `HB classes` (CHESS); the gap is the");
-    println!("speedup InstantCheck enables (§6.2).\n");
+    r.line("\nState-hash pruning explores at most `states`; a happens-before");
+    r.line("prune must still explore `HB classes` (CHESS); the gap is the");
+    r.line("speedup InstantCheck enables (§6.2).\n");
 
     // Second panel: an actual state-pruned search on a barrier-structured
     // program, segment by segment, versus exhaustive enumeration.
-    println!(
+    r.line(format!(
         "{:<34} {:>16} {:>16} {:>8}",
         "two-phase commuting program", "runs (exhaustive)", "runs (pruned)", "states"
-    );
-    println!("{:-<78}", "");
+    ));
+    r.line(format!("{:-<78}", ""));
     for n in [2usize, 3] {
         let full = explore(two_phase_commuting(n), 4_000_000).unwrap();
         let pruned = explore_with_state_pruning(two_phase_commuting(n), 4_000_000).unwrap();
         assert_eq!(full.distinct_final_states, pruned.distinct_final_states);
-        println!(
+        r.line(format!(
             "{:<34} {:>17} {:>16} {:>8}",
             format!("{n} threads x 2 phases"),
             full.executions,
             pruned.executions,
             pruned.distinct_final_states,
-        );
+        ));
     }
-    println!("\nPruning at barrier checkpoints by state hash turns the multiplicative");
-    println!("(phase1 x phase2) schedule tree into an additive search.");
-    write_json(
-        "pruning",
+    r.line("\nPruning at barrier checkpoints by state hash turns the multiplicative");
+    r.line("(phase1 x phase2) schedule tree into an additive search.");
+    r.artifact(
         &rows
             .iter()
             .map(|(n, s)| {

@@ -7,7 +7,7 @@
 //! race: a harmful race elsewhere in the same program would dominate the
 //! whole-state comparison).
 
-use instantcheck_bench::{write_json, HarnessOpts};
+use instantcheck_bench::{HarnessOpts, Reporter};
 use instantcheck_explorer::races::{classify_races, RaceReport};
 use tsim::{Program, ProgramBuilder, ValKind};
 
@@ -66,16 +66,16 @@ fn harmful_lost_update() -> Program {
     b.build()
 }
 
-fn show(name: &str, report: &RaceReport) {
+fn show(r: &Reporter, name: &str, report: &RaceReport) {
     for race in &report.races {
-        println!(
+        r.line(format!(
             "{:<22} {:<12} {:>10} {:>16} {:>16}",
             name,
             race.addr.to_string(),
             format!("{}<->{}", race.threads.0, race.threads.1),
             format!("{}/{}", race.order_counts.0, race.order_counts.1),
             format!("{:?}", race.verdict),
-        );
+        ));
     }
 }
 
@@ -83,12 +83,13 @@ type Case = (&'static str, fn() -> Program);
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let r = Reporter::new("race_filter");
     let runs = opts.runs.max(20);
-    println!(
+    r.line(format!(
         "{:<22} {:<12} {:>10} {:>16} {:>16}",
         "program", "address", "threads", "orders seen", "verdict"
-    );
-    println!("{:-<82}", "");
+    ));
+    r.line(format!("{:-<82}", ""));
 
     let mut rows = Vec::new();
     let mut benign = 0usize;
@@ -101,16 +102,20 @@ fn main() {
     ];
     for (name, source) in cases {
         let report = classify_races(source, runs, opts.seed).expect("runs complete");
-        show(name, &report);
+        show(&r, name, &report);
         benign += report.benign().count();
         harmful += report.harmful().count();
-        for r in &report.races {
-            rows.push((name.to_owned(), r.addr.raw(), format!("{:?}", r.verdict)));
+        for race in &report.races {
+            rows.push((
+                name.to_owned(),
+                race.addr.raw(),
+                format!("{:?}", race.verdict),
+            ));
         }
     }
-    println!(
+    r.line(format!(
         "\n{benign} benign race(s) filtered out, {harmful} harmful race(s) kept \
          (the paper cites ~90% of real races as benign)"
-    );
-    write_json("race_filter", &rows);
+    ));
+    r.artifact(&rows);
 }

@@ -2,7 +2,7 @@
 //! partial decision log plus checkpoint hashes of an original run, then
 //! search completions until the hashes confirm full-state reproduction.
 
-use instantcheck_bench::{write_json, HarnessOpts};
+use instantcheck_bench::{HarnessOpts, Reporter};
 use instantcheck_explorer::replay::{record_partial_log, search_replay};
 use tsim::{Program, ProgramBuilder, ValKind};
 
@@ -29,27 +29,28 @@ fn program() -> Program {
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    println!(
+    let r = Reporter::new("replay_assist");
+    r.line(format!(
         "{:>12} {:>10} {:>12} {:>14}",
         "log kept", "attempts", "reproduced", "early rejects"
-    );
-    println!("{}", "-".repeat(54));
+    ));
+    r.line("-".repeat(54));
     let mut rows = Vec::new();
     for fraction in [1.0, 0.75, 0.5, 0.25, 0.0] {
         let log = record_partial_log(&program, opts.seed + 42, fraction)
             .expect("recording run completes");
         let result = search_replay(&program, &log, 2000).expect("search runs complete");
-        println!(
+        r.line(format!(
             "{:>11}% {:>10} {:>12} {:>14}",
             (fraction * 100.0) as u32,
             result.attempts,
             result.reproducing_seed.is_some(),
             result.early_rejects,
-        );
+        ));
         rows.push((fraction, result.attempts, result.reproducing_seed.is_some()));
     }
-    println!("\nShorter logs need longer searches; the checkpoint hashes both");
-    println!("confirm full-state reproduction and reject divergent candidates");
-    println!("at intermediate checkpoints (§6.3).");
-    write_json("replay_assist", &rows);
+    r.line("\nShorter logs need longer searches; the checkpoint hashes both");
+    r.line("confirm full-state reproduction and reject divergent candidates");
+    r.line("at intermediate checkpoints (§6.3).");
+    r.artifact(&rows);
 }

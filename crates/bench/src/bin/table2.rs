@@ -1,17 +1,18 @@
 //! Regenerates Table 2: detection of the three seeded bugs (Figure 7).
 
-use instantcheck_bench::{render_table2, table2_row, write_json, HarnessOpts};
+use instantcheck_bench::{render_table2, table2_row, HarnessOpts, Reporter};
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    eprintln!("Table 2: {} runs per campaign…", opts.runs);
+    let r = Reporter::new("table2");
+    r.progress(&format!("Table 2: {} runs per campaign…", opts.runs));
     let mut rows = Vec::new();
     for app in opts.seeded() {
-        eprintln!("  checking {}…", app.name);
-        if let Some(row) = table2_row(&app, &opts) {
+        r.progress(&format!("  checking {}…", app.name));
+        if let Some(row) = table2_row(&app, &opts, &r) {
             rows.push(row);
         }
     }
-    println!("{}", render_table2(&rows));
-    write_json("table2", &rows);
+    r.table(&render_table2(&rows));
+    r.artifact(&rows);
 }

@@ -2,9 +2,14 @@
 //!
 //! One binary per paper table/figure (see `src/bin/`): `table1`,
 //! `table2`, `fig5`, `fig6`, `fig8`, `race_filter`, `pruning`,
-//! `replay_assist`. Each accepts `--scaled` (miniature workloads for a
-//! quick pass) and `--runs N`, prints a human-readable table to stdout,
-//! and writes a JSON artifact under `results/`.
+//! `replay_assist`, plus the `icprof` trace profiler. Each accepts
+//! `--scaled` (miniature workloads for a quick pass) and `--runs N`,
+//! prints a human-readable table to stdout, and writes a JSON artifact
+//! under `results/`. With `--trace`, campaign binaries also write a
+//! deterministic event trace (`results/<app>.trace.jsonl`) that
+//! `icprof` can profile or convert for `chrome://tracing`; with
+//! `--cache-model`, L1/MHM hit rates are measured and included in the
+//! JSON artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +39,10 @@ pub struct HarnessOpts {
     pub seed: u64,
     /// What a campaign does when one of its runs fails.
     pub policy: FailurePolicy,
+    /// Record per-campaign event traces under `results/`.
+    pub trace: bool,
+    /// Model L1/MHM cache behavior during the campaigns.
+    pub cache_model: bool,
 }
 
 impl Default for HarnessOpts {
@@ -43,15 +52,18 @@ impl Default for HarnessOpts {
             runs: 30,
             seed: 1,
             policy: FailurePolicy::Abort,
+            trace: false,
+            cache_model: false,
         }
     }
 }
 
 impl HarnessOpts {
-    /// Parses `--scaled`, `--runs N`, `--seed N`, `--policy P` from
-    /// `std::env::args`. Policies: `abort` (default), `skip` (skip
-    /// failed runs, up to half the campaign), `retry` (2 retries per
-    /// run, fresh seed each), `retry-same` (2 retries, same seed).
+    /// Parses `--scaled`, `--runs N`, `--seed N`, `--policy P`,
+    /// `--trace`, and `--cache-model` from `std::env::args`. Policies:
+    /// `abort` (default), `skip` (skip failed runs, up to half the
+    /// campaign), `retry` (2 retries per run, fresh seed each),
+    /// `retry-same` (2 retries, same seed).
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -60,6 +72,8 @@ impl HarnessOpts {
         while i < args.len() {
             match args[i].as_str() {
                 "--scaled" => opts.scaled = true,
+                "--trace" => opts.trace = true,
+                "--cache-model" => opts.cache_model = true,
                 "--runs" => {
                     i += 1;
                     opts.runs = args
@@ -130,10 +144,21 @@ impl HarnessOpts {
     /// paper's determinism experiments; the software schemes agree on
     /// all verdicts).
     pub fn template(&self) -> CheckerConfig {
-        CheckerConfig::new(Scheme::HwInc)
+        let mut cfg = CheckerConfig::new(Scheme::HwInc)
             .with_runs(self.runs)
             .with_base_seed(self.seed)
-            .with_policy(self.policy)
+            .with_policy(self.policy);
+        if self.cache_model {
+            cfg = cfg.with_cache_model();
+        }
+        cfg
+    }
+
+    /// A fresh in-memory trace sink for one campaign, when `--trace`
+    /// was passed.
+    pub fn trace_sink(&self) -> Option<std::sync::Arc<obs::MemorySink>> {
+        self.trace
+            .then(|| std::sync::Arc::new(obs::MemorySink::new()))
     }
 }
 
@@ -166,6 +191,18 @@ pub struct Table1Row {
     pub class: String,
     /// Failed runs the campaign's failure policy absorbed.
     pub failed_runs: usize,
+    /// L1 demand hit rate in percent (`--cache-model`).
+    pub l1_hit_rate: Option<f64>,
+    /// MHM old-value read hit rate in percent (`--cache-model`).
+    pub mhm_hit_rate: Option<f64>,
+}
+
+/// The campaign-wide cache rates of a report, when the cache model ran.
+fn cache_rates(report: &instantcheck::CheckReport) -> (Option<f64>, Option<f64>) {
+    match &report.cache {
+        Some(c) => (Some(c.hit_rate()), Some(c.mhm_hit_rate())),
+        None => (None, None),
+    }
 }
 
 /// Logs a campaign failure and returns `None` so the caller can move on
@@ -190,12 +227,20 @@ fn log_absorbed(app: &AppSpec, report: &instantcheck::CheckReport) {
 /// Runs the Table 1 pipeline for one registered application. Returns
 /// `None` (after logging) if the campaign failed beyond what its
 /// failure policy absorbs.
-pub fn table1_row(app: &AppSpec, opts: &HarnessOpts) -> Option<Table1Row> {
+pub fn table1_row(app: &AppSpec, opts: &HarnessOpts, reporter: &Reporter) -> Option<Table1Row> {
     let subject = app.subject();
-    let c: Characterization = match characterize(&subject, &opts.template()) {
+    let sink = opts.trace_sink();
+    let mut cfg = opts.template();
+    if let Some(s) = &sink {
+        cfg = cfg.with_sink(std::sync::Arc::clone(s) as _);
+    }
+    let c: Characterization = match characterize(&subject, &cfg) {
         Ok(c) => c,
         Err(e) => return log_and_skip(app, "characterization", &e),
     };
+    if let Some(s) = &sink {
+        reporter.trace(app.name, s);
+    }
     Some(characterization_to_row(app, &c))
 }
 
@@ -219,6 +264,7 @@ fn characterization_to_row(app: &AppSpec, c: &Characterization) -> Table1Row {
         None => "-".to_owned(),
     };
     let report = c.final_report();
+    let (l1_hit_rate, mhm_hit_rate) = cache_rates(report);
     Table1Row {
         name: app.name.to_owned(),
         suite: app.suite.to_owned(),
@@ -233,6 +279,8 @@ fn characterization_to_row(app: &AppSpec, c: &Characterization) -> Table1Row {
         det_at_end: report.det_at_end,
         class: c.class.to_string(),
         failed_runs: c.failures().len(),
+        l1_hit_rate,
+        mhm_hit_rate,
     }
 }
 
@@ -381,6 +429,10 @@ pub struct Table2Row {
     pub distributions: Vec<String>,
     /// Failed runs the campaign's failure policy absorbed.
     pub failed_runs: usize,
+    /// L1 demand hit rate in percent (`--cache-model`).
+    pub l1_hit_rate: Option<f64>,
+    /// MHM old-value read hit rate in percent (`--cache-model`).
+    pub mhm_hit_rate: Option<f64>,
 }
 
 /// Runs the Table 2 campaign for one seeded-bug variant. The seeded
@@ -388,17 +440,25 @@ pub struct Table2Row {
 /// are deterministic under that configuration, so any nondeterminism is
 /// the bug's). Returns `None` (after logging) if the campaign failed
 /// beyond what its failure policy absorbs.
-pub fn table2_row(app: &AppSpec, opts: &HarnessOpts) -> Option<Table2Row> {
+pub fn table2_row(app: &AppSpec, opts: &HarnessOpts, reporter: &Reporter) -> Option<Table2Row> {
     let build = std::sync::Arc::clone(&app.build);
+    let sink = opts.trace_sink();
     let mut cfg = opts.template();
     if app.uses_fp {
         cfg = cfg.with_rounding(FpRound::default());
+    }
+    if let Some(s) = &sink {
+        cfg = cfg.with_sink(std::sync::Arc::clone(s) as _);
     }
     let report = match instantcheck::Checker::new(cfg).check(move || build()) {
         Ok(r) => r,
         Err(e) => return log_and_skip(app, "campaign", &e),
     };
+    if let Some(s) = &sink {
+        reporter.trace(app.name, s);
+    }
     log_absorbed(app, &report);
+    let (l1_hit_rate, mhm_hit_rate) = cache_rates(&report);
     Some(Table2Row {
         name: app.name.to_owned(),
         det_points: report.det_points,
@@ -410,6 +470,8 @@ pub fn table2_row(app: &AppSpec, opts: &HarnessOpts) -> Option<Table2Row> {
             .map(|(d, count)| format!("{count} points: {d}"))
             .collect(),
         failed_runs: report.failures.len(),
+        l1_hit_rate,
+        mhm_hit_rate,
     })
 }
 
@@ -446,6 +508,10 @@ pub struct DistributionReport {
     pub groups: Vec<(String, usize)>,
     /// Failed runs the campaign's failure policy absorbed.
     pub failed_runs: usize,
+    /// L1 demand hit rate in percent (`--cache-model`).
+    pub l1_hit_rate: Option<f64>,
+    /// MHM old-value read hit rate in percent (`--cache-model`).
+    pub mhm_hit_rate: Option<f64>,
 }
 
 /// Measures the nondeterminism distributions of one app under the given
@@ -457,17 +523,26 @@ pub fn distributions(
     app: &AppSpec,
     opts: &HarnessOpts,
     rounding: Option<FpRound>,
+    reporter: &Reporter,
 ) -> Option<DistributionReport> {
     let build = std::sync::Arc::clone(&app.build);
+    let sink = opts.trace_sink();
     let mut cfg = opts.template();
     if let Some(r) = rounding {
         cfg = cfg.with_rounding(r);
+    }
+    if let Some(s) = &sink {
+        cfg = cfg.with_sink(std::sync::Arc::clone(s) as _);
     }
     let report = match instantcheck::Checker::new(cfg).check(move || build()) {
         Ok(r) => r,
         Err(e) => return log_and_skip(app, "campaign", &e),
     };
+    if let Some(s) = &sink {
+        reporter.trace(app.name, s);
+    }
     log_absorbed(app, &report);
+    let (l1_hit_rate, mhm_hit_rate) = cache_rates(&report);
     Some(DistributionReport {
         name: app.name.to_owned(),
         groups: report
@@ -476,6 +551,8 @@ pub fn distributions(
             .map(|(d, count)| (d.to_string(), count))
             .collect(),
         failed_runs: report.failures.len(),
+        l1_hit_rate,
+        mhm_hit_rate,
     })
 }
 
@@ -514,6 +591,8 @@ impl ToJson for Table1Row {
         write_field(out, &mut first, "det_at_end", &self.det_at_end);
         write_field(out, &mut first, "class", &self.class);
         write_field(out, &mut first, "failed_runs", &self.failed_runs);
+        write_field(out, &mut first, "l1_hit_rate", &self.l1_hit_rate);
+        write_field(out, &mut first, "mhm_hit_rate", &self.mhm_hit_rate);
         out.push('}');
     }
 }
@@ -540,6 +619,8 @@ impl ToJson for Table2Row {
         write_field(out, &mut first, "first_ndet_run", &self.first_ndet_run);
         write_field(out, &mut first, "distributions", &self.distributions);
         write_field(out, &mut first, "failed_runs", &self.failed_runs);
+        write_field(out, &mut first, "l1_hit_rate", &self.l1_hit_rate);
+        write_field(out, &mut first, "mhm_hit_rate", &self.mhm_hit_rate);
         out.push('}');
     }
 }
@@ -551,6 +632,8 @@ impl ToJson for DistributionReport {
         write_field(out, &mut first, "name", &self.name);
         write_field(out, &mut first, "groups", &self.groups);
         write_field(out, &mut first, "failed_runs", &self.failed_runs);
+        write_field(out, &mut first, "l1_hit_rate", &self.l1_hit_rate);
+        write_field(out, &mut first, "mhm_hit_rate", &self.mhm_hit_rate);
         out.push('}');
     }
 }
@@ -565,6 +648,64 @@ pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) {
         } else {
             eprintln!("wrote {}", path.display());
         }
+    }
+}
+
+/// Writes a campaign event trace under `results/`, next to the JSON
+/// artifacts, as deterministic JSONL that `icprof` consumes.
+pub fn write_trace(name: &str, events: &[obs::Event]) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.trace.jsonl"));
+        if let Err(e) = std::fs::write(&path, obs::events_to_jsonl(events)) {
+            eprintln!("could not write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Uniform output channel for the harness binaries: progress notes on
+/// stderr, result rows/tables on stdout, JSON and trace artifacts under
+/// `results/` — so every binary reports the same way.
+#[derive(Debug)]
+pub struct Reporter {
+    tool: String,
+}
+
+impl Reporter {
+    /// Creates the reporter for one harness binary; `tool` names the
+    /// JSON artifact (`results/{tool}.json`).
+    pub fn new(tool: &str) -> Self {
+        Reporter {
+            tool: tool.to_owned(),
+        }
+    }
+
+    /// A progress note (stderr, so tables stay pipeable).
+    pub fn progress(&self, msg: &str) {
+        eprintln!("{msg}");
+    }
+
+    /// One result line (stdout).
+    pub fn line(&self, line: impl AsRef<str>) {
+        println!("{}", line.as_ref());
+    }
+
+    /// A pre-rendered multi-line table (stdout).
+    pub fn table(&self, text: &str) {
+        println!("{text}");
+    }
+
+    /// Writes the binary's JSON artifact (`results/{tool}.json`).
+    pub fn artifact<T: ToJson + ?Sized>(&self, value: &T) {
+        write_json(&self.tool, value);
+    }
+
+    /// Writes a recorded campaign trace
+    /// (`results/{tool}-{label}.trace.jsonl`).
+    pub fn trace(&self, label: &str, sink: &obs::MemorySink) {
+        write_trace(&format!("{}-{label}", self.tool), &sink.events());
     }
 }
 
@@ -583,7 +724,8 @@ mod tests {
     #[test]
     fn table1_row_for_a_bit_exact_app() {
         let app = instantcheck_workloads::by_name("fft", true).unwrap();
-        let row = table1_row(&app, &quick_opts()).expect("campaign completes");
+        let row =
+            table1_row(&app, &quick_opts(), &Reporter::new("test")).expect("campaign completes");
         assert!(row.det_as_is);
         assert_eq!(row.fp_impact, "Det→Det");
         assert_eq!(row.ndet_points, 0);
@@ -603,10 +745,27 @@ mod tests {
             runs: 10,
             ..HarnessOpts::default()
         };
-        let row = table2_row(&app, &opts).expect("campaign completes");
+        let row = table2_row(&app, &opts, &Reporter::new("test")).expect("campaign completes");
         assert!(row.ndet_points > 0);
         assert!(row.det_points > 0);
         assert!(row.first_ndet_run.is_some());
+        assert!(row.l1_hit_rate.is_none(), "cache model was off");
+    }
+
+    #[test]
+    fn cache_model_rates_reach_the_row_json() {
+        let app = instantcheck_workloads::by_name("fft", true).unwrap();
+        let opts = HarnessOpts {
+            cache_model: true,
+            ..quick_opts()
+        };
+        let row = table2_row(&app, &opts, &Reporter::new("test")).expect("campaign completes");
+        let mhm = row.mhm_hit_rate.expect("cache model was on");
+        assert!((mhm - 100.0).abs() < 1e-9, "§3.1: old-value reads all hit");
+        assert!(row.l1_hit_rate.is_some());
+        let json = row.to_json();
+        assert!(json.contains("\"l1_hit_rate\": "));
+        assert!(json.contains("\"mhm_hit_rate\": 100.0"));
     }
 
     #[test]
@@ -625,6 +784,8 @@ mod tests {
             det_at_end: true,
             class: "bit-by-bit".into(),
             failed_runs: 0,
+            l1_hit_rate: None,
+            mhm_hit_rate: None,
         }];
         let t = render_table1(&rows);
         assert!(t.contains("Application"));

@@ -3,9 +3,13 @@
 //!
 //! Each measurement runs a short calibration pass to pick an iteration
 //! count targeting ~100ms, then reports the best of several batches
-//! (the usual defense against scheduling noise). This is intentionally
-//! simple: the benches exist to spot order-of-magnitude regressions in
-//! the hashing substrate and the simulator, not to resolve 1% deltas.
+//! (the usual defense against scheduling noise) along with the batch
+//! mean ± standard deviation, so noisy environments are visible in the
+//! output. Setting the `BENCH_JSON` environment variable additionally
+//! emits one machine-readable JSON line per measurement. This is
+//! intentionally simple: the benches exist to spot order-of-magnitude
+//! regressions in the hashing substrate and the simulator, not to
+//! resolve 1% deltas.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -35,19 +39,42 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
         }
         iters *= 8;
     }
-    let mut best = Duration::MAX;
+    let mut per_iter_ns = Vec::with_capacity(BATCHES);
     for _ in 0..BATCHES {
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
         }
-        best = best.min(start.elapsed());
+        per_iter_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
     }
-    let per_iter = best.as_nanos() as f64 / iters as f64;
+    let best = per_iter_ns.iter().copied().fold(f64::MAX, f64::min);
+    let (mean, stddev) = mean_stddev(&per_iter_ns);
     println!(
-        "{name:<44} {:>14} /iter  ({iters} iters/batch)",
-        format_ns(per_iter)
+        "{name:<44} {:>12} /iter  (mean {} ± {}, {iters} iters/batch)",
+        format_ns(best),
+        format_ns(mean),
+        format_ns(stddev),
     );
+    if std::env::var_os("BENCH_JSON").is_some() {
+        let mut line = String::from("{\"name\": ");
+        crate::json::write_str(&mut line, name);
+        line.push_str(&format!(
+            ", \"best_ns\": {best:?}, \"mean_ns\": {mean:?}, \"stddev_ns\": {stddev:?}, \
+             \"iters\": {iters}}}"
+        ));
+        println!("{line}");
+    }
+}
+
+/// Mean and (population) standard deviation of a sample.
+fn mean_stddev(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
 }
 
 /// Formats a nanosecond quantity with a readable unit.
@@ -73,5 +100,16 @@ mod tests {
         assert_eq!(format_ns(12_340.0), "12.34 µs");
         assert_eq!(format_ns(12_340_000.0), "12.34 ms");
         assert_eq!(format_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn mean_and_stddev() {
+        let (m, s) = mean_stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_stddev(&[]), (0.0, 0.0));
+        let (m1, s1) = mean_stddev(&[3.5]);
+        assert!((m1 - 3.5).abs() < 1e-12);
+        assert_eq!(s1, 0.0);
     }
 }

@@ -4,6 +4,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use adhash::FpRound;
+use mhm::CacheStats;
+use obs::{Event, EventSink, Registry, CONTROL_TRACK};
 use tsim::{AllocLog, FaultPlan, Program, RunConfig, SimError, SwitchPolicy};
 
 use crate::ignore::IgnoreSpec;
@@ -23,6 +25,10 @@ pub struct RunHashes {
     pub extra_instr: u64,
     /// Stores observed during the run.
     pub stores: u64,
+    /// Location-hash operations the scheme performed.
+    pub hash_updates: u64,
+    /// L1/MHM cache counters, when the cache model was enabled.
+    pub cache: Option<CacheStats>,
 }
 
 impl RunHashes {
@@ -36,6 +42,25 @@ impl RunHashes {
                 .iter()
                 .zip(&other.checkpoints)
                 .any(|(x, y)| x.kind != y.kind || x.hash != y.hash)
+    }
+
+    /// The sequence number of the first checkpoint at which this run
+    /// diverges from `other` (differing kind or hash, or one sequence
+    /// ending before the other). `None` when the checkpoint sequences
+    /// agree — the runs may still differ in their output digests.
+    pub fn first_divergent_checkpoint(&self, other: &RunHashes) -> Option<u64> {
+        let n = self.checkpoints.len().min(other.checkpoints.len());
+        for i in 0..n {
+            let (x, y) = (&self.checkpoints[i], &other.checkpoints[i]);
+            if x.kind != y.kind || x.hash != y.hash {
+                return Some(i as u64);
+            }
+        }
+        if self.checkpoints.len() != other.checkpoints.len() {
+            Some(n as u64)
+        } else {
+            None
+        }
     }
 }
 
@@ -68,6 +93,17 @@ pub struct CheckerConfig {
     /// attempt of that slot, including retries, gets the plan). Used to
     /// exercise the failure policies deterministically.
     pub fault_plans: Vec<(usize, FaultPlan)>,
+    /// Event-trace sink for the campaign. The checker wraps each run in
+    /// a span on the control track and forwards the sink to the
+    /// simulator for scheduler/checkpoint/fault events. `None` (the
+    /// default) records nothing and costs nothing.
+    pub sink: Option<Arc<dyn EventSink>>,
+    /// Metrics registry the campaign accumulates counters into
+    /// (`checker.*`, `mhm.l1.*`). `None` records nothing.
+    pub registry: Option<Arc<Registry>>,
+    /// Enables the per-thread L1 cache model in the monitor, so runs
+    /// report demand and MHM old-value hit rates.
+    pub cache_model: bool,
 }
 
 impl CheckerConfig {
@@ -86,6 +122,9 @@ impl CheckerConfig {
             policy: FailurePolicy::Abort,
             deadline: None,
             fault_plans: Vec::new(),
+            sink: None,
+            registry: None,
+            cache_model: false,
         }
     }
 
@@ -151,6 +190,27 @@ impl CheckerConfig {
         self.fault_plans.push((run_index, plan));
         self
     }
+
+    /// Attaches an event-trace sink to the campaign.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a metrics registry to the campaign.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Enables the per-thread L1 cache model for all runs.
+    #[must_use]
+    pub fn with_cache_model(mut self) -> Self {
+        self.cache_model = true;
+        self
+    }
 }
 
 /// The determinism checker: runs a program many times under different
@@ -200,6 +260,9 @@ impl Checker {
         if let Some((_, plan)) = cfg.fault_plans.iter().find(|(slot, _)| *slot == run_index) {
             rc = rc.with_faults(plan.clone());
         }
+        if let Some(sink) = &cfg.sink {
+            rc = rc.with_sink(Arc::clone(sink));
+        }
         rc
     }
 
@@ -221,6 +284,16 @@ impl Checker {
         stop_early: bool,
     ) -> Result<Vec<RunOutcome>, SimError> {
         let cfg = &self.config;
+        let sink = cfg.sink.as_ref().filter(|s| s.enabled());
+        let registry = cfg.registry.as_deref();
+        if let Some(sink) = sink {
+            sink.record(
+                Event::instant(0, CONTROL_TRACK, "campaign")
+                    .with_arg("scheme", cfg.scheme.name())
+                    .with_arg("runs", cfg.runs)
+                    .with_arg("base_seed", cfg.base_seed),
+            );
+        }
         let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(cfg.runs);
         let mut alloc_log: Option<Arc<AllocLog>> = None;
         let mut first_hashes: Option<RunHashes> = None;
@@ -237,15 +310,73 @@ impl Checker {
                     _ => cfg.base_seed + i as u64,
                 };
                 let rc = self.run_config(seed, i, alloc_log.as_ref());
-                let monitor = CheckMonitor::new(cfg.scheme, cfg.rounding, cfg.ignore.clone());
+                let mut monitor = CheckMonitor::new(cfg.scheme, cfg.rounding, cfg.ignore.clone());
+                if cfg.cache_model {
+                    monitor = monitor.with_cache_model();
+                }
+                if let Some(sink) = sink {
+                    sink.record(
+                        Event::begin(0, CONTROL_TRACK, "run")
+                            .with_arg("run", i)
+                            .with_arg("seed", seed)
+                            .with_arg("attempt", attempt)
+                            .with_arg("scheme", cfg.scheme.name()),
+                    );
+                }
                 match source().run_with(&rc, monitor) {
                     Ok(out) => {
                         if alloc_log.is_none() {
                             alloc_log = Some(out.alloc_log.clone());
                         }
-                        break Some((seed, out.monitor.into_hashes()));
+                        let steps = out.steps;
+                        let native_instr = out.total_instructions();
+                        let zero_fill_instr = out.zero_fill_instr;
+                        let hashes = out.monitor.into_hashes();
+                        if let Some(sink) = sink {
+                            let mut ev = Event::end(steps, CONTROL_TRACK, "run")
+                                .with_arg("ok", true)
+                                .with_arg("steps", steps)
+                                .with_arg("native_instr", native_instr)
+                                .with_arg("hash_instr", hashes.extra_instr)
+                                .with_arg("zero_fill_instr", zero_fill_instr)
+                                .with_arg("stores", hashes.stores)
+                                .with_arg("hash_updates", hashes.hash_updates)
+                                .with_arg("checkpoints", hashes.checkpoints.len());
+                            if let Some(c) = hashes.cache {
+                                ev = ev
+                                    .with_arg("l1_hits", c.hits)
+                                    .with_arg("l1_misses", c.misses)
+                                    .with_arg("mhm_reads", c.mhm_reads)
+                                    .with_arg("mhm_read_misses", c.mhm_read_misses);
+                            }
+                            sink.record(ev);
+                        }
+                        if let Some(reg) = registry {
+                            reg.add("checker.runs_completed", 1);
+                            reg.add("checker.steps", steps);
+                            reg.add("checker.native_instr", native_instr);
+                            reg.add("checker.hash_instr", hashes.extra_instr);
+                            reg.add("checker.stores", hashes.stores);
+                            reg.add("checker.hash_updates", hashes.hash_updates);
+                            reg.add("checker.checkpoints", hashes.checkpoints.len() as u64);
+                            reg.histogram("checker.run_steps").record(steps);
+                            if let Some(c) = hashes.cache {
+                                c.export(reg, "mhm.l1");
+                            }
+                        }
+                        break Some((seed, hashes));
                     }
                     Err(error) => {
+                        if let Some(sink) = sink {
+                            sink.record(
+                                Event::end(0, CONTROL_TRACK, "run")
+                                    .with_arg("ok", false)
+                                    .with_arg("error", format!("{:?}", error.kind())),
+                            );
+                        }
+                        if let Some(reg) = registry {
+                            reg.add("checker.runs_failed", 1);
+                        }
                         outcomes.push(RunOutcome::Failed(RunFailure {
                             run_index: i,
                             seed,
@@ -283,6 +414,22 @@ impl Checker {
                 let differs = first_hashes
                     .as_ref()
                     .is_some_and(|first| hashes.differs_from(first));
+                if differs {
+                    if let Some(sink) = sink {
+                        // `differs` implies first_hashes is populated.
+                        let first = first_hashes.as_ref().unwrap();
+                        let mut ev =
+                            Event::instant(0, CONTROL_TRACK, "divergence").with_arg("run", i);
+                        match hashes.first_divergent_checkpoint(first) {
+                            Some(cp) => ev = ev.with_arg("checkpoint", cp),
+                            None => ev = ev.with_arg("output", true),
+                        }
+                        sink.record(ev);
+                    }
+                    if let Some(reg) = registry {
+                        reg.add("checker.divergences", 1);
+                    }
+                }
                 if first_hashes.is_none() {
                     first_hashes = Some(hashes.clone());
                 }
@@ -501,6 +648,89 @@ mod tests {
         assert_eq!(cfg.fault_plans.len(), 1);
         let checker = Checker::new(cfg);
         assert_eq!(checker.config().runs, 5);
+    }
+
+    #[test]
+    fn campaign_trace_and_metrics() {
+        let sink = Arc::new(obs::MemorySink::new());
+        let reg = Arc::new(Registry::new());
+        let cfg = CheckerConfig::new(Scheme::HwInc)
+            .with_runs(3)
+            .with_sink(sink.clone())
+            .with_registry(reg.clone())
+            .with_cache_model();
+        let report = Checker::new(cfg).check(racy_unordered_sum).unwrap();
+        let cache = report.cache.expect("cache model was on");
+        assert_eq!(cache.mhm_read_misses, 0, "write-allocate claim (§3.1)");
+        assert!(cache.hits + cache.misses > 0);
+
+        let events = sink.events();
+        assert_eq!(events.iter().filter(|e| e.name == "campaign").count(), 1);
+        let begins: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "run" && e.phase == obs::Phase::Begin)
+            .collect();
+        let ends: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "run" && e.phase == obs::Phase::End)
+            .collect();
+        assert_eq!(begins.len(), 3);
+        assert_eq!(ends.len(), 3);
+        assert!(ends.iter().all(|e| e.arg_u64("ok") == Some(1)));
+        assert!(ends[0].arg_u64("l1_hits").is_some());
+        assert!(ends[0].arg_u64("steps").is_some());
+        // The simulator's own events interleave with the run spans.
+        assert!(events.iter().any(|e| e.name == "sched"));
+        assert!(events.iter().any(|e| e.name == "checkpoint"));
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["checker.runs_completed"], 3);
+        assert_eq!(snap.counters["mhm.l1.mhm_read_misses"], 0);
+        assert!(snap.counters["checker.stores"] > 0);
+        assert!(snap.counters["checker.hash_updates"] > 0);
+    }
+
+    #[test]
+    fn divergence_event_records_first_divergent_checkpoint() {
+        let sink = Arc::new(obs::MemorySink::new());
+        let cfg = CheckerConfig::new(Scheme::HwInc)
+            .with_runs(10)
+            .with_sink(sink.clone());
+        let report = Checker::new(cfg).check(order_dependent).unwrap();
+        assert!(!report.is_deterministic());
+        let divs: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "divergence")
+            .collect();
+        assert!(!divs.is_empty());
+        // `order_dependent` has exactly one checkpoint (End), so the
+        // first divergent checkpoint is always seq 0.
+        assert_eq!(divs[0].arg_u64("checkpoint"), Some(0));
+    }
+
+    #[test]
+    fn first_divergent_checkpoint_helper() {
+        let rec = |h: u64| CheckpointRecord {
+            kind: tsim::CheckpointKind::End,
+            hash: adhash::HashSum::from_raw(h),
+        };
+        let mk = |hs: &[u64]| RunHashes {
+            checkpoints: hs.iter().map(|&h| rec(h)).collect(),
+            output_digest: 0,
+            extra_instr: 0,
+            stores: 0,
+            hash_updates: 0,
+            cache: None,
+        };
+        let a = mk(&[1, 2, 3]);
+        assert_eq!(a.first_divergent_checkpoint(&mk(&[1, 9, 3])), Some(1));
+        assert_eq!(a.first_divergent_checkpoint(&mk(&[1, 2])), Some(2));
+        assert_eq!(a.first_divergent_checkpoint(&mk(&[1, 2, 3])), None);
+        let mut out = mk(&[1, 2, 3]);
+        out.output_digest = 7;
+        assert!(a.differs_from(&out));
+        assert_eq!(a.first_divergent_checkpoint(&out), None);
     }
 
     #[test]

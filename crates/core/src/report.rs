@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use mhm::CacheStats;
 use tsim::{CheckpointKind, SimErrorKind};
 
 use crate::checker::RunHashes;
@@ -93,6 +94,9 @@ pub struct CheckReport {
     /// [`FailurePolicy`](crate::FailurePolicy) absorbed (empty under
     /// the default abort policy, which surfaces the error instead).
     pub failures: Vec<RunFailure>,
+    /// Campaign-wide L1/MHM cache counters (merged over the completed
+    /// runs), when the cache model was enabled.
+    pub cache: Option<CacheStats>,
 }
 
 impl CheckReport {
@@ -158,6 +162,13 @@ impl CheckReport {
             .find(|&r| runs[r].differs_from(&runs[0]))
             .map(|r| r + 1); // 1-based run number
 
+        let mut cache: Option<CacheStats> = None;
+        for r in runs {
+            if let Some(c) = r.cache {
+                cache.get_or_insert_with(CacheStats::default).merge(c);
+            }
+        }
+
         CheckReport {
             runs: n,
             aligned_checkpoints: min_cp,
@@ -170,6 +181,7 @@ impl CheckReport {
             distributions,
             kinds,
             failures,
+            cache,
         }
     }
 
@@ -269,6 +281,8 @@ mod tests {
             output_digest: 0,
             extra_instr: 0,
             stores: 0,
+            hash_updates: 0,
+            cache: None,
         }
     }
 

@@ -3,7 +3,7 @@
 use std::collections::HashSet;
 
 use adhash::{hash_full_state, FpRound, HashSum, LocationHasher, Mix64Hasher};
-use mhm::MhmCore;
+use mhm::{CacheStats, L1Cache, MhmCore};
 use tsim::{
     Addr, BlockInfo, CheckpointInfo, CheckpointKind, Monitor, StateView, ThreadId, ValKind,
 };
@@ -26,6 +26,13 @@ const SW_TR_INSTR_PER_WORD: u64 = 8 * SW_INSTR_PER_BYTE;
 const HW_INSTR_PER_EXCLUDED_WORD: u64 = 3;
 /// SW exclusion loop: load the word and hash two locations.
 const SW_INSTR_PER_EXCLUDED_WORD: u64 = 1 + 2 * SW_INSTR_PER_LOCATION_HASH;
+
+/// Modeled per-thread L1 geometry (32 KiB: 64 sets × 8 ways × 64 B),
+/// used when the optional cache model is enabled to check §3.1's
+/// write-allocate claim on real campaign store streams.
+const L1_SETS: usize = 64;
+const L1_ASSOC: usize = 8;
+const L1_LINE_BYTES: u64 = 64;
 
 /// Which InstantCheck scheme computes the state hashes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,6 +68,16 @@ impl Scheme {
     pub fn is_checking(self) -> bool {
         !matches!(self, Scheme::Native)
     }
+
+    /// Stable name used in trace events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Native => "Native",
+            Scheme::HwInc => "HwInc",
+            Scheme::SwInc => "SwInc",
+            Scheme::SwTr => "SwTr",
+        }
+    }
 }
 
 /// One checkpoint's recorded state hash.
@@ -91,6 +108,11 @@ pub struct CheckMonitor {
     records: Vec<CheckpointRecord>,
     extra_instr: u64,
     stores_seen: u64,
+    /// Location-hash operations performed (two per incremental store,
+    /// one per traversed word, two per freed/ignored word).
+    hash_updates: u64,
+    /// Per-thread L1 models, when the cache model is enabled.
+    caches: Option<Vec<L1Cache>>,
 }
 
 impl CheckMonitor {
@@ -110,7 +132,19 @@ impl CheckMonitor {
             records: Vec::new(),
             extra_instr: 0,
             stores_seen: 0,
+            hash_updates: 0,
+            caches: None,
         }
+    }
+
+    /// Enables the per-thread write-allocate L1 model, so the run's
+    /// [`RunHashes`] carry demand and MHM old-value hit/miss counters
+    /// (the §3.1 "old value is already in the cache" claim, measured on
+    /// the campaign's own store stream).
+    #[must_use]
+    pub fn with_cache_model(mut self) -> Self {
+        self.caches = Some(Vec::new());
+        self
     }
 
     /// The scheme this monitor implements.
@@ -126,6 +160,27 @@ impl CheckMonitor {
     /// The checkpoint records so far.
     pub fn records(&self) -> &[CheckpointRecord] {
         &self.records
+    }
+
+    /// The per-thread L1 model, if enabled (byte addressing: one
+    /// simulated word is 8 bytes).
+    fn l1(&mut self, tid: ThreadId) -> Option<&mut L1Cache> {
+        let caches = self.caches.as_mut()?;
+        if caches.len() <= tid {
+            caches.resize(tid + 1, L1Cache::new(L1_SETS, L1_ASSOC, L1_LINE_BYTES));
+        }
+        Some(&mut caches[tid])
+    }
+
+    /// The merged cache counters across threads, if the model is on.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.caches.as_ref().map(|caches| {
+            let mut total = CacheStats::default();
+            for c in caches {
+                total.merge(c.stats());
+            }
+            total
+        })
     }
 
     fn core(&mut self, tid: ThreadId) -> &mut MhmCore {
@@ -162,6 +217,7 @@ impl CheckMonitor {
                 _ => SW_INSTR_PER_EXCLUDED_WORD,
             };
             self.extra_instr += per_word * ignored.len() as u64;
+            self.hash_updates += 2 * ignored.len() as u64;
             for (addr, kind) in ignored {
                 let cur = self.round(view.read(addr).unwrap_or(0), kind);
                 // SH ⊕ h(a, initial) ⊖ h(a, current); allocations are
@@ -200,33 +256,52 @@ impl CheckMonitor {
                 }),
         );
         self.extra_instr += words * SW_TR_INSTR_PER_WORD;
+        self.hash_updates += words;
         hash
     }
 
     /// Consumes the monitor, yielding the run's hash sequence.
     pub fn into_hashes(self) -> RunHashes {
+        let cache = self.cache_stats();
         RunHashes {
             checkpoints: self.records,
             output_digest: self.output.digest(),
             extra_instr: self.extra_instr,
             stores: self.stores_seen,
+            hash_updates: self.hash_updates,
+            cache,
         }
     }
 }
 
 impl Monitor for CheckMonitor {
     fn on_store(&mut self, tid: ThreadId, addr: Addr, old: u64, new: u64, kind: ValKind) {
-        match self.scheme {
+        let scheme = self.scheme;
+        if let Some(l1) = self.l1(tid) {
+            // Word addresses are byte-scaled (8 B/word) for line mapping.
+            l1.store(addr.raw() * 8);
+            if scheme == Scheme::HwInc {
+                l1.mhm_read_old(addr.raw() * 8);
+            }
+        }
+        match scheme {
             Scheme::Native | Scheme::SwTr => {}
             Scheme::HwInc | Scheme::SwInc => {
-                if self.scheme == Scheme::SwInc {
+                if scheme == Scheme::SwInc {
                     self.extra_instr += SW_INC_INSTR_PER_STORE;
                 }
+                self.hash_updates += 2; // minus old, plus new
                 self.core(tid)
                     .on_store(addr.raw(), old, new, kind == ValKind::F64);
             }
         }
         self.stores_seen += 1;
+    }
+
+    fn on_load(&mut self, tid: ThreadId, addr: Addr, _value: u64, _kind: ValKind) {
+        if let Some(l1) = self.l1(tid) {
+            l1.load(addr.raw() * 8);
+        }
     }
 
     fn on_free(&mut self, tid: ThreadId, block: &BlockInfo, contents: &[u64]) {
@@ -242,6 +317,7 @@ impl Monitor for CheckMonitor {
             _ => SW_INSTR_PER_EXCLUDED_WORD,
         };
         self.extra_instr += per_word * contents.len() as u64;
+        self.hash_updates += 2 * contents.len() as u64;
         let rounding = self.rounding;
         let core = self.core(tid);
         for (i, &value) in contents.iter().enumerate() {

@@ -21,6 +21,46 @@ pub struct CacheStats {
     pub mhm_read_misses: u64,
 }
 
+impl CacheStats {
+    /// Accumulates another counter set into this one (for aggregating
+    /// per-thread caches or whole campaigns).
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.mhm_reads += other.mhm_reads;
+        self.mhm_read_misses += other.mhm_read_misses;
+    }
+
+    /// Demand (load/store) hit rate in percent; 100 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            100.0
+        } else {
+            100.0 * self.hits as f64 / total as f64
+        }
+    }
+
+    /// MHM old-value read hit rate in percent; 100 when idle.
+    pub fn mhm_hit_rate(&self) -> f64 {
+        if self.mhm_reads == 0 {
+            100.0
+        } else {
+            100.0 * (self.mhm_reads - self.mhm_read_misses) as f64 / self.mhm_reads as f64
+        }
+    }
+
+    /// Exports the counters into `registry` under `prefix` (e.g.
+    /// `prefix = "l1"` yields `l1.hits`, `l1.misses`, `l1.mhm_reads`,
+    /// `l1.mhm_read_misses`).
+    pub fn export(&self, registry: &obs::Registry, prefix: &str) {
+        registry.add(&format!("{prefix}.hits"), self.hits);
+        registry.add(&format!("{prefix}.misses"), self.misses);
+        registry.add(&format!("{prefix}.mhm_reads"), self.mhm_reads);
+        registry.add(&format!("{prefix}.mhm_read_misses"), self.mhm_read_misses);
+    }
+}
+
 /// A set-associative, write-allocate, LRU L1 data cache (tags only).
 ///
 /// # Example
@@ -209,6 +249,47 @@ mod tests {
             }
         }
         assert!(refetch_misses > 48);
+    }
+
+    #[test]
+    fn stats_merge_and_rates() {
+        let mut a = CacheStats {
+            hits: 3,
+            misses: 1,
+            mhm_reads: 10,
+            mhm_read_misses: 1,
+        };
+        let b = CacheStats {
+            hits: 1,
+            misses: 3,
+            mhm_reads: 10,
+            mhm_read_misses: 0,
+        };
+        a.merge(b);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 4);
+        assert!((a.hit_rate() - 50.0).abs() < 1e-9);
+        assert!((a.mhm_hit_rate() - 95.0).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 100.0);
+        assert_eq!(CacheStats::default().mhm_hit_rate(), 100.0);
+    }
+
+    #[test]
+    fn stats_export_into_registry() {
+        let reg = obs::Registry::new();
+        let s = CacheStats {
+            hits: 7,
+            misses: 2,
+            mhm_reads: 5,
+            mhm_read_misses: 0,
+        };
+        s.export(&reg, "l1");
+        s.export(&reg, "l1"); // accumulates
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["l1.hits"], 14);
+        assert_eq!(snap.counters["l1.misses"], 4);
+        assert_eq!(snap.counters["l1.mhm_reads"], 10);
+        assert_eq!(snap.counters["l1.mhm_read_misses"], 0);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Chrome trace-event export (`chrome://tracing` / Perfetto loadable).
+//!
+//! Mapping: `pid` is the campaign run index (taken from the enclosing
+//! `run` span), `tid` is the simulated thread (track), and `ts` is the
+//! simulated step count interpreted as microseconds. The output is
+//! deterministic for a deterministic input trace.
+
+use std::fmt::Write as _;
+
+use crate::json;
+use crate::trace::{ArgValue, Event, Phase, CONTROL_TRACK};
+
+/// `tid` used for campaign-level control events in the Chrome output
+/// (Chrome renders `u32::MAX` poorly, so control events get their own
+/// small lane).
+const CONTROL_TID: u32 = 0;
+
+/// Converts a trace to Chrome trace-event JSON (object form with a
+/// `traceEvents` array).
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut pid: u64 = 0;
+    let mut max_ts: u64 = 0;
+    for ev in events {
+        // Track the current run index so in-run events inherit it.
+        if ev.name == "run" && ev.phase == Phase::Begin {
+            if let Some(run) = ev.arg_u64("run") {
+                pid = run;
+                max_ts = 0;
+            }
+        }
+        max_ts = max_ts.max(ev.step);
+        // A failed run's `run`-End is emitted without a final step
+        // count; clamp so the span still closes after its children.
+        let ts = if ev.phase == Phase::End {
+            ev.step.max(max_ts)
+        } else {
+            ev.step
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ph = match ev.phase {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        };
+        let tid = if ev.track == CONTROL_TRACK {
+            CONTROL_TID
+        } else {
+            // Simulated threads start at lane 1; lane 0 is control.
+            ev.track + 1
+        };
+        out.push_str("{\"name\":");
+        json::write_str(&mut out, &ev.name);
+        let _ = write!(
+            out,
+            ",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{pid},\"tid\":{tid}"
+        );
+        if ev.phase == Phase::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"args\":{");
+        for (i, (k, v)) in ev.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, k);
+            out.push(':');
+            match v {
+                ArgValue::U64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                ArgValue::Str(s) => json::write_str(&mut out, s),
+            }
+        }
+        if let Some(ns) = ev.wall_ns {
+            if !ev.args.is_empty() {
+                out.push(',');
+            }
+            let _ = write!(out, "\"wall_ns\":{ns}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_valid_json() {
+        let events = vec![
+            Event::begin(0, CONTROL_TRACK, "run").with_arg("run", 2u64),
+            Event::instant(5, 1, "sched").with_arg("tid", 1u32),
+            Event::end(9, CONTROL_TRACK, "run").with_arg("ok", true),
+        ];
+        let text = chrome_trace(&events);
+        let v = json::parse(&text).unwrap();
+        let arr = match v.get("traceEvents").unwrap() {
+            json::Value::Arr(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(arr.len(), 3);
+        // All events inherit the run's pid.
+        for e in arr {
+            assert_eq!(e.get("pid").unwrap().as_u64(), Some(2));
+        }
+        assert_eq!(arr[1].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(arr[1].get("tid").unwrap().as_u64(), Some(2));
+        assert_eq!(arr[1].get("ts").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn failed_run_end_is_clamped_to_last_step() {
+        let events = vec![
+            Event::begin(0, CONTROL_TRACK, "run").with_arg("run", 0u64),
+            Event::instant(42, 0, "fault").with_arg("kind", "alloc-fail"),
+            // Failure: checker does not know the final step, emits 0.
+            Event::end(0, CONTROL_TRACK, "run").with_arg("ok", false),
+        ];
+        let text = chrome_trace(&events);
+        let v = json::parse(&text).unwrap();
+        let arr = match v.get("traceEvents").unwrap() {
+            json::Value::Arr(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        };
+        assert_eq!(arr[2].get("ts").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let events = vec![Event::instant(1, 0, "checkpoint").with_arg("seq", 0u64)];
+        assert_eq!(chrome_trace(&events), chrome_trace(&events));
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic observability for the InstantCheck reproduction.
+//!
+//! Two facilities, both dependency-free:
+//!
+//! * **Metrics** ([`Registry`]): named monotonic [`Counter`]s and
+//!   log2-bucket [`Histogram`]s with a [`Snapshot`]/delta API. Handles
+//!   are atomics behind `Arc`s, so incrementing is lock-free.
+//! * **Event traces** ([`EventSink`]): spans and instant events keyed
+//!   by *simulated step count*, not wall clock, so a trace is a pure
+//!   function of (workload, scheduler seed) and two identical campaigns
+//!   serialize to byte-identical files. Wall-clock stamps are opt-in
+//!   ([`MemorySink::with_wall_clock`]) and excluded from the
+//!   determinism contract.
+//!
+//! On top of the trace format sit [`profile::CampaignProfile`] (the
+//! analysis behind `icprof`) and [`chrome::chrome_trace`]
+//! (`chrome://tracing` export).
+//!
+//! The default sink is [`NoopSink`]; emitters check
+//! [`EventSink::enabled`] before building events, so observability off
+//! means near-zero overhead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use chrome::chrome_trace;
+pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry, Snapshot};
+pub use profile::{CacheCounters, CampaignProfile, Divergence, RunProfile};
+pub use trace::{
+    events_to_jsonl, parse_jsonl, ArgValue, Event, EventSink, MemorySink, Name, NoopSink, Phase,
+    CONTROL_TRACK,
+};

@@ -1,0 +1,398 @@
+//! A small metrics registry: named monotonic counters and log2-bucket
+//! histograms with a snapshot/delta API.
+//!
+//! Handles returned by [`Registry::counter`] / [`Registry::histogram`]
+//! are `Arc`s over atomics, so the hot path (incrementing) is lock-free;
+//! the registry lock is only taken to register or snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::json;
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket `i` holds values whose bit
+/// length is `i` (i.e. value 0 → bucket 0, values in `[2^(i-1), 2^i)` →
+/// bucket `i`).
+pub const BUCKETS: usize = 65;
+
+/// A histogram with power-of-two buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket counts ([`BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile
+    /// (`0.0 ..= 1.0`); 0 if empty.
+    pub fn quantile_bound(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let target = target.max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << (i - 1)).saturating_mul(2) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Bucket-wise difference vs an earlier snapshot (saturating).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+}
+
+/// A registry of named counters and histograms.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, creating it at zero if absent.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// The histogram named `name`, creating it empty if absent.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().unwrap().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Convenience: `counter(name).add(n)`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen registry state; keys are sorted (BTreeMap) so serialization
+/// is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Difference vs an earlier snapshot (saturating; metrics absent
+    /// from `earlier` are reported at full value).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let base = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(base))
+            })
+            .collect();
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; BUCKETS],
+        };
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, v)| {
+                let base = earlier.histograms.get(k).unwrap_or(&empty);
+                (k.clone(), v.delta(base))
+            })
+            .collect();
+        Snapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Serializes the snapshot as deterministic (sorted-key) JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_str(&mut out, k);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                h.count, h.sum
+            );
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = Registry::new();
+        reg.counter("a").inc();
+        reg.add("a", 4);
+        reg.add("b", 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a"], 5);
+        assert_eq!(snap.counters["b"], 2);
+    }
+
+    #[test]
+    fn counter_handles_are_shared() {
+        let reg = Registry::new();
+        let h1 = reg.counter("x");
+        let h2 = reg.counter("x");
+        h1.add(3);
+        h2.add(4);
+        assert_eq!(reg.counter("x").get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1030);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[11], 1);
+        assert!((s.mean() - 206.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_bound_is_monotone() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 4, 8, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.quantile_bound(0.2) <= s.quantile_bound(0.9));
+        assert!(s.quantile_bound(1.0) >= 1000);
+        let empty = Histogram::default().snapshot();
+        assert_eq!(empty.quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let reg = Registry::new();
+        reg.add("runs", 2);
+        reg.histogram("steps").record(10);
+        let before = reg.snapshot();
+        reg.add("runs", 3);
+        reg.add("new", 1);
+        reg.histogram("steps").record(20);
+        let after = reg.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.counters["runs"], 3);
+        assert_eq!(d.counters["new"], 1);
+        assert_eq!(d.histograms["steps"].count, 1);
+        assert_eq!(d.histograms["steps"].sum, 20);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_parses() {
+        let reg = Registry::new();
+        reg.add("b", 2);
+        reg.add("a", 1);
+        reg.histogram("h").record(5);
+        let a = reg.snapshot().to_json();
+        let b = reg.snapshot().to_json();
+        assert_eq!(a, b);
+        let v = crate::json::parse(&a).unwrap();
+        assert_eq!(
+            v.get("counters").unwrap().get("a").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            v.get("histograms")
+                .unwrap()
+                .get("h")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn registry_is_share_safe() {
+        let reg = Arc::new(Registry::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    r.counter("n").inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("n").get(), 4000);
+    }
+}

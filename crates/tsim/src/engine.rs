@@ -139,6 +139,7 @@ struct Central {
     error: Option<SimError>,
     finished: usize,
     nthreads: usize,
+    sink: Option<Arc<dyn obs::EventSink>>,
 }
 
 impl Central {
@@ -148,11 +149,42 @@ impl Central {
         }
     }
 
+    /// Emits one observability event, building it lazily so a run
+    /// without a sink pays only this `Option` check.
+    fn obs_emit(&self, make: impl FnOnce(u64) -> obs::Event) {
+        if let Some(sink) = &self.sink {
+            sink.record(make(self.step));
+        }
+    }
+
+    /// Emits a fault-injection event.
+    fn obs_fault(&self, tid: ThreadId, kind: FaultKind) {
+        self.obs_emit(|step| {
+            obs::Event::instant(step, tid as u32, "fault")
+                .with_arg("tid", tid as u32)
+                .with_arg("kind", kind.label())
+        });
+    }
+
     fn fire_checkpoint(&mut self, tid: ThreadId, kind: CheckpointKind) {
         let seq = self.cp_seq;
         self.cp_seq += 1;
         self.cp_decision_index.push(self.decisions.len());
         self.trace_push(tid, TraceOp::Checkpoint { seq });
+        self.obs_emit(|step| {
+            let (kind_str, label) = match kind {
+                CheckpointKind::Barrier(_) => ("barrier", None),
+                CheckpointKind::Manual(l) => ("manual", Some(l)),
+                CheckpointKind::End => ("end", None),
+            };
+            let ev = obs::Event::instant(step, tid as u32, "checkpoint")
+                .with_arg("seq", seq)
+                .with_arg("kind", kind_str);
+            match label {
+                Some(l) => ev.with_arg("label", l),
+                None => ev,
+            }
+        });
         let Central {
             mem,
             globals,
@@ -242,6 +274,11 @@ fn schedule_next_avoiding(c: &mut Central, cv: &Condvar, avoid: Option<ThreadId>
             opts.push(runnable.iter().map(|&t| t as u32).collect());
         }
         c.active = Some(next);
+        c.obs_emit(|step| {
+            obs::Event::instant(step, next as u32, "sched")
+                .with_arg("tid", next as u32)
+                .with_arg("runnable", runnable.len())
+        });
     }
     cv.notify_all();
 }
@@ -395,6 +432,7 @@ impl ThreadCtx {
             // both memory and the monitor) has one bit flipped.
             if let Some(e) = f.fire(FaultKind::BitFlip, tid) {
                 value ^= 1 << (e % 64);
+                c.obs_fault(tid, FaultKind::BitFlip);
             }
         }
         let Some(mut old) = c.mem.write(addr, value) else {
@@ -407,6 +445,7 @@ impl ThreadCtx {
             // itself is untouched — only the monitor is lied to.
             if let Some(e) = f.fire(FaultKind::StaleRead, tid) {
                 old ^= 1 << (e % 64);
+                c.obs_fault(tid, FaultKind::StaleRead);
             }
         }
         c.monitor.as_monitor().on_store(tid, addr, old, value, kind);
@@ -532,10 +571,14 @@ impl ThreadCtx {
     /// lost-wakeup bug — the woken state change simply does not happen).
     fn wake_dropped(&self, c: &mut Central) -> bool {
         let tid = self.tid;
-        match &mut c.faults {
+        let dropped = match &mut c.faults {
             Some(f) => f.fire(FaultKind::WakeDrop, tid).is_some(),
             None => false,
+        };
+        if dropped {
+            c.obs_fault(tid, FaultKind::WakeDrop);
         }
+        dropped
     }
 
     /// Arrives at a pthread-style barrier; blocks until all parties have
@@ -769,6 +812,7 @@ impl ThreadCtx {
         c.instr[tid] += COST_MALLOC;
         if let Some(f) = &mut c.faults {
             if f.fire(FaultKind::AllocFail, tid).is_some() {
+                c.obs_fault(tid, FaultKind::AllocFail);
                 self.fail(c, SimError::AllocFailed { tid, site });
             }
         }
@@ -785,6 +829,11 @@ impl ThreadCtx {
         let block = c.alloc.table()[&base.0].clone();
         c.monitor.as_monitor().on_alloc(tid, &block);
         c.trace_push(tid, TraceOp::Alloc { base, len });
+        c.obs_emit(|step| {
+            obs::Event::instant(step, tid as u32, "alloc")
+                .with_arg("base", base.0)
+                .with_arg("words", len)
+        });
         let c = self.reschedule(c, TState::Ready);
         drop(c);
         base
@@ -803,6 +852,7 @@ impl ThreadCtx {
         let contents: Vec<u64> = block.iter().map(|a| c.mem.read(a).unwrap_or(0)).collect();
         c.monitor.as_monitor().on_free(tid, &block, &contents);
         c.trace_push(tid, TraceOp::Free { base: addr });
+        c.obs_emit(|step| obs::Event::instant(step, tid as u32, "free").with_arg("base", addr.0));
         let c = self.reschedule(c, TState::Ready);
         drop(c);
     }
@@ -835,11 +885,15 @@ impl ThreadCtx {
     /// stream, e.g. an NTP step under `gettimeofday`).
     fn lib_perturb(&self, c: &mut Central, v: u64) -> u64 {
         let tid = self.tid;
-        match &mut c.faults {
-            Some(f) => match f.fire(FaultKind::LibPerturb, tid) {
-                Some(e) => v ^ e,
-                None => v,
-            },
+        let perturbed = match &mut c.faults {
+            Some(f) => f.fire(FaultKind::LibPerturb, tid),
+            None => None,
+        };
+        match perturbed {
+            Some(e) => {
+                c.obs_fault(tid, FaultKind::LibPerturb);
+                v ^ e
+            }
             None => v,
         }
     }
@@ -1154,6 +1208,9 @@ pub(crate) fn run<M: Monitor + 'static>(
         error: None,
         finished: 0,
         nthreads,
+        // Drop disabled sinks up front so every emission site reduces
+        // to a `None` check.
+        sink: config.sink.clone().filter(|s| s.enabled()),
     };
 
     if let Some(setup) = prog.setup {

@@ -51,6 +51,19 @@ pub enum FaultKind {
     WakeDrop,
 }
 
+impl FaultKind {
+    /// Stable kebab-case label used in trace events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::StaleRead => "stale-read",
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::AllocFail => "alloc-fail",
+            FaultKind::LibPerturb => "lib-perturb",
+            FaultKind::WakeDrop => "wake-drop",
+        }
+    }
+}
+
 /// All fault kinds, for iteration.
 pub const FAULT_KINDS: [FaultKind; 5] = [
     FaultKind::StaleRead,

@@ -298,6 +298,12 @@ pub struct RunConfig {
     /// Unlike [`max_steps`](RunConfig::max_steps) this also catches
     /// runs that stop taking scheduling steps entirely.
     pub deadline: Option<Duration>,
+    /// Observability sink for structured events (scheduler decisions,
+    /// checkpoints, faults, allocations), keyed by simulated step.
+    /// `None` (the default) emits nothing; a disabled sink (e.g.
+    /// [`obs::NoopSink`]) is dropped at run start so the hot path only
+    /// pays an `Option` check.
+    pub sink: Option<Arc<dyn obs::EventSink>>,
 }
 
 impl Default for RunConfig {
@@ -322,6 +328,7 @@ impl RunConfig {
             record_options: false,
             faults: None,
             deadline: None,
+            sink: None,
         }
     }
 
@@ -400,6 +407,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Streams structured run events into `sink`.
+    #[must_use]
+    pub fn with_sink(mut self, sink: Arc<dyn obs::EventSink>) -> Self {
+        self.sink = Some(sink);
         self
     }
 }
