@@ -14,11 +14,33 @@ use crate::group::HashSum;
 pub trait LocationHasher {
     /// Hashes one `(address, value)` pair into a group element.
     fn hash_location(&self, addr: u64, value: u64) -> HashSum;
+
+    /// The group delta a write of `new` over `old` at `addr` applies to
+    /// a state hash: `h(addr, new) ⊖ h(addr, old)`.
+    ///
+    /// This is the hot operation of the incremental schemes — every
+    /// monitored store performs exactly one of these. The provided
+    /// implementation calls [`hash_location`](LocationHasher::hash_location)
+    /// twice; hashers whose address mixing is independent of the value
+    /// (like [`Mix64Hasher`]) override it to share the address work
+    /// between the two terms. Overrides must return *bit-identical*
+    /// results to the default — the delta feeds cross-run hash
+    /// comparisons, so any deviation is a correctness bug, not a
+    /// quality-of-hash tradeoff.
+    #[inline]
+    fn hash_delta(&self, addr: u64, old: u64, new: u64) -> HashSum {
+        self.hash_location(addr, new)
+            .cancel(self.hash_location(addr, old))
+    }
 }
 
 impl<H: LocationHasher + ?Sized> LocationHasher for &H {
     fn hash_location(&self, addr: u64, value: u64) -> HashSum {
         (**self).hash_location(addr, value)
+    }
+
+    fn hash_delta(&self, addr: u64, old: u64, new: u64) -> HashSum {
+        (**self).hash_delta(addr, old, new)
     }
 }
 
@@ -80,12 +102,34 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The value-mixing constant of [`Mix64Hasher::hash_location`].
+const VALUE_SALT: u64 = 0x2545_f491_4f6c_dd1d;
+
+impl Mix64Hasher {
+    /// The value half of the hash, given the already-mixed address term
+    /// `a = mix64(addr ^ seed)`.
+    #[inline]
+    fn finish(a: u64, value: u64) -> u64 {
+        let v = mix64(value.wrapping_add(VALUE_SALT) ^ a.rotate_left(23));
+        mix64(a ^ v)
+    }
+}
+
 impl LocationHasher for Mix64Hasher {
     #[inline]
     fn hash_location(&self, addr: u64, value: u64) -> HashSum {
         let a = mix64(addr ^ self.seed);
-        let v = mix64(value.wrapping_add(0x2545_f491_4f6c_dd1d) ^ a.rotate_left(23));
-        HashSum::from_raw(mix64(a ^ v))
+        HashSum::from_raw(Self::finish(a, value))
+    }
+
+    // Fused write delta: the address term is a pure function of
+    // `(addr, seed)`, so one `mix64` round serves both the old- and
+    // new-value hashes — 5 avalanche rounds per monitored store instead
+    // of 6, with bit-identical output to the two-call default.
+    #[inline]
+    fn hash_delta(&self, addr: u64, old: u64, new: u64) -> HashSum {
+        let a = mix64(addr ^ self.seed);
+        HashSum::from_raw(Self::finish(a, new).wrapping_sub(Self::finish(a, old)))
     }
 }
 
@@ -151,7 +195,37 @@ mod tests {
         let h = Mix64Hasher::default();
         let dyn_h: &dyn LocationHasher = &h;
         assert_eq!(dyn_h.hash_location(1, 1), h.hash_location(1, 1));
+        assert_eq!(dyn_h.hash_delta(1, 1, 2), h.hash_delta(1, 1, 2));
         let by_ref = &h;
         assert_eq!(by_ref.hash_location(1, 1), h.hash_location(1, 1));
+        assert_eq!(by_ref.hash_delta(1, 1, 2), h.hash_delta(1, 1, 2));
+    }
+
+    #[test]
+    fn fused_delta_is_bit_identical_to_two_hashes() {
+        // The incremental schemes' correctness rests on the fused
+        // delta matching `h(addr, new) ⊖ h(addr, old)` exactly.
+        for seed in [1u64, 0x9e37_79b9_7f4a_7c15, u64::MAX] {
+            let h = Mix64Hasher::with_seed(seed);
+            for i in 0..512u64 {
+                let addr = 0x1000 + i.wrapping_mul(0x10001);
+                let old = i.wrapping_mul(0x9e37);
+                let new = old ^ (1 << (i % 64));
+                let expected = h
+                    .hash_location(addr, new)
+                    .cancel(h.hash_location(addr, old));
+                assert_eq!(
+                    h.hash_delta(addr, old, new),
+                    expected,
+                    "({addr}, {old}, {new})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_of_identical_values_is_zero() {
+        let h = Mix64Hasher::default();
+        assert!(h.hash_delta(0x40, 7, 7).is_zero());
     }
 }

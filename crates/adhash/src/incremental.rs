@@ -88,12 +88,15 @@ impl<H: LocationHasher> IncHasher<H> {
 
     /// Records a write of `new` over `old` at `addr`:
     /// `sum ⊖ h(addr, old) ⊕ h(addr, new)`.
+    ///
+    /// Applied as a single fused group delta
+    /// ([`LocationHasher::hash_delta`]), which lets hashers share the
+    /// address mixing between the two terms — the per-store hot path of
+    /// both incremental schemes. The commutative group guarantees the
+    /// fused form equals the two-operation form bit for bit.
     #[inline]
     pub fn on_write(&mut self, addr: u64, old: u64, new: u64) {
-        self.sum = self
-            .sum
-            .cancel(self.hasher.hash_location(addr, old))
-            .combine(self.hasher.hash_location(addr, new));
+        self.sum = self.sum.combine(self.hasher.hash_delta(addr, old, new));
     }
 
     /// Adds the contribution of a location holding `value` (the paper's
@@ -154,16 +157,31 @@ impl<H: LocationHasher> IncHasher<H> {
 /// let rev = hash_full_state(&h, [(2u64, 20u64), (1, 10)]);
 /// assert_eq!(fwd, rev); // traversal order is irrelevant
 /// ```
+/// Because the group is commutative, the traversal may be reassociated
+/// freely; the implementation folds locations four at a time into
+/// independent accumulators, so the per-location hash latencies overlap
+/// instead of serializing through one running sum. This matters for the
+/// `SW-InstantCheck_Tr` scheme, which pays this traversal at *every*
+/// checkpoint over the whole live state.
 pub fn hash_full_state<H, I>(hasher: &H, locations: I) -> HashSum
 where
     H: LocationHasher,
     I: IntoIterator<Item = (u64, u64)>,
 {
-    locations
-        .into_iter()
-        .fold(HashSum::ZERO, |acc, (addr, value)| {
-            acc.combine(hasher.hash_location(addr, value))
-        })
+    let mut iter = locations.into_iter();
+    let mut lanes = [HashSum::ZERO; 4];
+    loop {
+        // One chunk of four; partial trailing chunks fall out of the
+        // loop with the lanes they filled.
+        for lane in &mut lanes {
+            match iter.next() {
+                Some((addr, value)) => *lane = lane.combine(hasher.hash_location(addr, value)),
+                None => {
+                    return lanes.into_iter().sum();
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +241,23 @@ mod tests {
         // Equivalent to a state where `a` still holds its initial value.
         let expected = hash_full_state(&h(), [(a, 2u64), (b, 3)]);
         assert_eq!(inc.sum(), expected);
+    }
+
+    #[test]
+    fn chunked_traversal_matches_serial_fold_at_every_length() {
+        // The 4-lane chunking must be invisible: same sum as a strict
+        // left fold, for lengths covering every partial-chunk shape.
+        for len in 0..=17u64 {
+            let locs: Vec<(u64, u64)> = (0..len).map(|i| (0x1000 + i * 8, i * 31 + 7)).collect();
+            let serial = locs.iter().fold(HashSum::ZERO, |acc, &(a, v)| {
+                acc.combine(h().hash_location(a, v))
+            });
+            assert_eq!(
+                hash_full_state(&h(), locs.iter().copied()),
+                serial,
+                "len {len}"
+            );
+        }
     }
 
     #[test]

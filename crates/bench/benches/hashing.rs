@@ -17,6 +17,15 @@ fn main() {
         black_box(h.hash_location(black_box(0x1000 + i), black_box(i)))
     });
 
+    // The fused write delta (5 avalanche rounds) against the two-call
+    // path it replaces (6 rounds via two `location_hash` calls).
+    let h = Mix64Hasher::default();
+    let mut i = 0u64;
+    bench("hash_delta_fused", || {
+        i = i.wrapping_add(1);
+        black_box(h.hash_delta(black_box(0x1000 + i), black_box(i), black_box(i + 1)))
+    });
+
     let mut inc = IncHasher::new(Mix64Hasher::default());
     let mut i = 0u64;
     bench("inc_hasher_on_write", || {

@@ -43,6 +43,9 @@ pub struct HarnessOpts {
     pub trace: bool,
     /// Model L1/MHM cache behavior during the campaigns.
     pub cache_model: bool,
+    /// Worker threads per campaign (`None` = the machine's available
+    /// parallelism; the report is identical either way).
+    pub jobs: Option<usize>,
 }
 
 impl Default for HarnessOpts {
@@ -54,13 +57,15 @@ impl Default for HarnessOpts {
             policy: FailurePolicy::Abort,
             trace: false,
             cache_model: false,
+            jobs: None,
         }
     }
 }
 
 impl HarnessOpts {
-    /// Parses `--scaled`, `--runs N`, `--seed N`, `--policy P`,
-    /// `--trace`, and `--cache-model` from `std::env::args`. Policies:
+    /// Parses `--scaled`, `--runs N`, `--seed N`, `--jobs N`,
+    /// `--policy P`, `--trace`, and `--cache-model` from
+    /// `std::env::args`. Policies:
     /// `abort` (default), `skip` (skip failed runs, up to half the
     /// campaign), `retry` (2 retries per run, fresh seed each),
     /// `retry-same` (2 retries, same seed).
@@ -87,6 +92,10 @@ impl HarnessOpts {
                         .get(i)
                         .and_then(|s| s.parse().ok())
                         .unwrap_or(opts.seed);
+                }
+                "--jobs" => {
+                    i += 1;
+                    opts.jobs = args.get(i).and_then(|s| s.parse().ok()).or(opts.jobs);
                 }
                 "--policy" => {
                     i += 1;
@@ -150,6 +159,9 @@ impl HarnessOpts {
             .with_policy(self.policy);
         if self.cache_model {
             cfg = cfg.with_cache_model();
+        }
+        if let Some(jobs) = self.jobs {
+            cfg = cfg.with_jobs(jobs);
         }
         cfg
     }
@@ -569,6 +581,114 @@ pub fn render_distributions(reports: &[DistributionReport]) -> String {
     s
 }
 
+/// One wall-clock measurement of a full checking campaign at a fixed
+/// worker count — a row of `results/BENCH_campaign.json`.
+#[derive(Debug)]
+pub struct CampaignBenchRow {
+    /// Application name.
+    pub name: String,
+    /// Campaign length (runs compared).
+    pub runs: usize,
+    /// Worker threads (`--jobs`).
+    pub jobs: usize,
+    /// Repetitions measured.
+    pub reps: usize,
+    /// Mean campaign wall time in milliseconds.
+    pub mean_ms: f64,
+    /// Standard deviation across the repetitions, in milliseconds.
+    pub stddev_ms: f64,
+    /// Mean serial (jobs=1) wall time divided by this row's mean.
+    pub speedup: f64,
+}
+
+/// Times full checking campaigns for one app across worker counts and
+/// returns one row per `jobs` value, with speedups relative to the
+/// serial (jobs=1) row — or the first row when the axis omits 1.
+/// Returns `None` (after logging) if the campaign fails outright.
+///
+/// The checker's deterministic reduction makes the report identical at
+/// every worker count, so only the wall clock varies; each row's last
+/// repetition is still compared against the serial report as a cheap
+/// end-to-end cross-check.
+pub fn campaign_bench(
+    app: &AppSpec,
+    opts: &HarnessOpts,
+    jobs_axis: &[usize],
+    reps: usize,
+    reporter: &Reporter,
+) -> Option<Vec<CampaignBenchRow>> {
+    // One untimed serial campaign validates the workload (a campaign
+    // that aborts is not worth timing) and pins the reference report.
+    let build = std::sync::Arc::clone(&app.build);
+    let reference =
+        match instantcheck::Checker::new(opts.template().with_jobs(1)).check(move || build()) {
+            Ok(r) => r,
+            Err(e) => return log_and_skip(app, "campaign", &e),
+        };
+    let mut measured = Vec::new();
+    for &jobs in jobs_axis {
+        reporter.progress(&format!(
+            "  timing {} ({} runs, jobs={jobs}, {reps} reps)…",
+            app.name, opts.runs
+        ));
+        let cfg = opts.template().with_jobs(jobs);
+        let build = std::sync::Arc::clone(&app.build);
+        let mut last = None;
+        let samples = timing::time_reps(reps, || {
+            last = Some(
+                instantcheck::Checker::new(cfg.clone())
+                    .check(|| build())
+                    .expect("campaign validated above"),
+            );
+        });
+        assert_eq!(
+            last.as_ref(),
+            Some(&reference),
+            "{}: worker count changed the report (jobs={jobs})",
+            app.name
+        );
+        let (mean_ms, stddev_ms) = timing::mean_stddev(&samples);
+        measured.push((jobs, mean_ms, stddev_ms));
+    }
+    let serial_mean = measured
+        .iter()
+        .find(|(jobs, ..)| *jobs == 1)
+        .or_else(|| measured.first())
+        .map(|(_, mean, _)| *mean)?;
+    Some(
+        measured
+            .into_iter()
+            .map(|(jobs, mean_ms, stddev_ms)| CampaignBenchRow {
+                name: app.name.to_owned(),
+                runs: opts.runs,
+                jobs,
+                reps,
+                mean_ms,
+                stddev_ms,
+                speedup: serial_mean / mean_ms.max(f64::MIN_POSITIVE),
+            })
+            .collect(),
+    )
+}
+
+/// Renders campaign-bench rows as an aligned table.
+pub fn render_campaign_bench(rows: &[CampaignBenchRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<16} {:>5} {:>5} {:>12} {:>11} {:>8}",
+        "app", "runs", "jobs", "mean", "stddev", "speedup"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>5} {:>5} {:>9.2} ms {:>8.2} ms {:>7.2}x",
+            r.name, r.runs, r.jobs, r.mean_ms, r.stddev_ms, r.speedup
+        );
+    }
+    s
+}
+
 impl ToJson for Table1Row {
     fn write_json(&self, out: &mut String) {
         out.push('{');
@@ -621,6 +741,21 @@ impl ToJson for Table2Row {
         write_field(out, &mut first, "failed_runs", &self.failed_runs);
         write_field(out, &mut first, "l1_hit_rate", &self.l1_hit_rate);
         write_field(out, &mut first, "mhm_hit_rate", &self.mhm_hit_rate);
+        out.push('}');
+    }
+}
+
+impl ToJson for CampaignBenchRow {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        write_field(out, &mut first, "name", &self.name);
+        write_field(out, &mut first, "runs", &self.runs);
+        write_field(out, &mut first, "jobs", &self.jobs);
+        write_field(out, &mut first, "reps", &self.reps);
+        write_field(out, &mut first, "mean_ms", &self.mean_ms);
+        write_field(out, &mut first, "stddev_ms", &self.stddev_ms);
+        write_field(out, &mut first, "speedup", &self.speedup);
         out.push('}');
     }
 }

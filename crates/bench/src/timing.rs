@@ -66,8 +66,22 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     }
 }
 
+/// Times `reps` executions of `f` and returns each repetition's wall
+/// time in milliseconds — for macro measurements (whole checking
+/// campaigns) where [`bench`]'s calibrated nanosecond loop would be
+/// overkill.
+pub fn time_reps<T>(reps: usize, mut f: impl FnMut() -> T) -> Vec<f64> {
+    (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
 /// Mean and (population) standard deviation of a sample.
-fn mean_stddev(samples: &[f64]) -> (f64, f64) {
+pub fn mean_stddev(samples: &[f64]) -> (f64, f64) {
     if samples.is_empty() {
         return (0.0, 0.0);
     }

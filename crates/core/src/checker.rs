@@ -1,11 +1,13 @@
 //! The multi-run determinism-checking harness.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
 use std::time::Duration;
 
 use adhash::FpRound;
 use mhm::CacheStats;
-use obs::{Event, EventSink, Registry, CONTROL_TRACK};
+use obs::{BufferSink, Event, EventSink, Registry, CONTROL_TRACK};
 use tsim::{AllocLog, FaultPlan, Program, RunConfig, SimError, SwitchPolicy};
 
 use crate::ignore::IgnoreSpec;
@@ -104,6 +106,13 @@ pub struct CheckerConfig {
     /// Enables the per-thread L1 cache model in the monitor, so runs
     /// report demand and MHM old-value hit rates.
     pub cache_model: bool,
+    /// Worker threads for the campaign's run slots (`None` = the
+    /// machine's available parallelism). `1` executes the slots in
+    /// order on the calling thread, exactly as the checker always has;
+    /// higher values fan the slots out across a scoped worker pool and
+    /// reduce the results back in slot order, so the report, metrics,
+    /// and trace are byte-identical regardless of the worker count.
+    pub jobs: Option<usize>,
 }
 
 impl CheckerConfig {
@@ -125,6 +134,7 @@ impl CheckerConfig {
             sink: None,
             registry: None,
             cache_model: false,
+            jobs: None,
         }
     }
 
@@ -211,7 +221,194 @@ impl CheckerConfig {
         self.cache_model = true;
         self
     }
+
+    /// Sets the campaign's worker-thread count (`0` is treated as `1`).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs);
+        self
+    }
+
+    /// The worker count a campaign will actually use: the configured
+    /// [`jobs`](CheckerConfig::jobs), defaulting to the machine's
+    /// available parallelism, and never less than one.
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        self.jobs
+            .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+            .max(1)
+    }
 }
+
+/// One attempt's outcome plus the simulator counters the metrics
+/// registry folds in per completed run (zero for failed attempts).
+struct SlotAttempt {
+    outcome: RunOutcome,
+    steps: u64,
+    native_instr: u64,
+}
+
+/// Everything one run slot produced, in attempt order.
+struct SlotRun {
+    attempts: Vec<SlotAttempt>,
+    /// Allocator log of the completed attempt, if one completed.
+    alloc_log: Option<Arc<AllocLog>>,
+    /// Whether the completed attempt's hashes differ from the
+    /// reference run the slot was compared against.
+    diverged: bool,
+    /// `true` if the slot gave up between retry attempts because a
+    /// lower slot had already decided the campaign (parallel path
+    /// only). An abandoned slot is never part of the reduced result.
+    abandoned: bool,
+}
+
+impl SlotRun {
+    fn terminal_failure(&self) -> bool {
+        matches!(
+            self.attempts.last(),
+            Some(SlotAttempt {
+                outcome: RunOutcome::Failed(_),
+                ..
+            })
+        )
+    }
+}
+
+/// Cross-worker cancellation: a flag plus the lowest slot index whose
+/// result decides the campaign (a divergence under `stop_early`, or a
+/// failure the policy gives up on). Workers stop taking new slots once
+/// the flag is set, and abandon mid-slot retries only for slots
+/// *above* the decisive one — every slot at or below it always runs to
+/// completion, which is what lets the slot-order reduction reproduce
+/// the serial campaign exactly.
+struct CancelCtl {
+    cancelled: AtomicBool,
+    decisive: AtomicUsize,
+}
+
+impl CancelCtl {
+    fn new() -> Self {
+        CancelCtl {
+            cancelled: AtomicBool::new(false),
+            decisive: AtomicUsize::new(usize::MAX),
+        }
+    }
+
+    fn cancel_at(&self, slot: usize) {
+        self.decisive.fetch_min(slot, Ordering::SeqCst);
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Whether `slot` may stop retrying: only once it cannot be part
+    /// of the result because a lower slot already decided the campaign.
+    fn abandons(&self, slot: usize) -> bool {
+        slot > self.decisive.load(Ordering::SeqCst)
+    }
+}
+
+/// What absorbing one slot's results did to the campaign.
+enum SlotVerdict {
+    /// Keep going.
+    Continue,
+    /// A completed run diverged under `stop_early`.
+    Stop,
+    /// The failure policy gave up with this error.
+    Fail(SimError),
+}
+
+/// The serial view of a campaign: outcomes in slot order plus the
+/// accounting the failure policy and the metrics registry need. Both
+/// executors funnel every slot through [`CampaignState::absorb`] — the
+/// serial one as it runs them, the parallel one during the slot-order
+/// reduction — so they produce identical reports by construction.
+struct CampaignState<'a> {
+    policy: FailurePolicy,
+    registry: Option<&'a Registry>,
+    stop_early: bool,
+    outcomes: Vec<RunOutcome>,
+    first_hashes: Option<RunHashes>,
+    failed_slots: usize,
+}
+
+impl CampaignState<'_> {
+    fn absorb(&mut self, slot_run: SlotRun) -> SlotVerdict {
+        debug_assert!(!slot_run.abandoned, "abandoned slots are never absorbed");
+        for attempt in slot_run.attempts {
+            match attempt.outcome {
+                RunOutcome::Failed(f) => {
+                    if let Some(reg) = self.registry {
+                        reg.add("checker.runs_failed", 1);
+                    }
+                    let error = f.error.clone();
+                    let attempt_no = f.attempt;
+                    self.outcomes.push(RunOutcome::Failed(f));
+                    match self.policy {
+                        FailurePolicy::Abort => return SlotVerdict::Fail(error),
+                        FailurePolicy::Skip { max_failures } => {
+                            self.failed_slots += 1;
+                            if self.failed_slots > max_failures {
+                                return SlotVerdict::Fail(error);
+                            }
+                        }
+                        FailurePolicy::Retry { max_retries, .. } => {
+                            if attempt_no >= max_retries {
+                                return SlotVerdict::Fail(error);
+                            }
+                        }
+                    }
+                }
+                RunOutcome::Completed {
+                    seed,
+                    run_index,
+                    hashes,
+                } => {
+                    if let Some(reg) = self.registry {
+                        reg.add("checker.runs_completed", 1);
+                        reg.add("checker.steps", attempt.steps);
+                        reg.add("checker.native_instr", attempt.native_instr);
+                        reg.add("checker.hash_instr", hashes.extra_instr);
+                        reg.add("checker.stores", hashes.stores);
+                        reg.add("checker.hash_updates", hashes.hash_updates);
+                        reg.add("checker.checkpoints", hashes.checkpoints.len() as u64);
+                        reg.histogram("checker.run_steps").record(attempt.steps);
+                        if let Some(c) = hashes.cache {
+                            c.export(reg, "mhm.l1");
+                        }
+                    }
+                    let differs = self
+                        .first_hashes
+                        .as_ref()
+                        .is_some_and(|first| hashes.differs_from(first));
+                    if differs {
+                        if let Some(reg) = self.registry {
+                            reg.add("checker.divergences", 1);
+                        }
+                    }
+                    if self.first_hashes.is_none() {
+                        self.first_hashes = Some(hashes.clone());
+                    }
+                    self.outcomes.push(RunOutcome::Completed {
+                        seed,
+                        run_index,
+                        hashes,
+                    });
+                    if self.stop_early && differs {
+                        return SlotVerdict::Stop;
+                    }
+                }
+            }
+        }
+        SlotVerdict::Continue
+    }
+}
+
+/// A fanned-out slot's result cell: the slot run plus the events it
+/// buffered, filled in by whichever worker drew the slot.
+type SlotCell = Mutex<Option<(SlotRun, Option<Arc<BufferSink>>)>>;
 
 /// The determinism checker: runs a program many times under different
 /// schedules (controlling the other nondeterminism sources) and compares
@@ -240,6 +437,7 @@ impl Checker {
         seed: u64,
         run_index: usize,
         alloc_log: Option<&Arc<AllocLog>>,
+        sink: Option<&Arc<dyn EventSink>>,
     ) -> RunConfig {
         let cfg = &self.config;
         let mut rc = RunConfig::random(seed)
@@ -260,14 +458,202 @@ impl Checker {
         if let Some((_, plan)) = cfg.fault_plans.iter().find(|(slot, _)| *slot == run_index) {
             rc = rc.with_faults(plan.clone());
         }
-        if let Some(sink) = &cfg.sink {
+        if let Some(sink) = sink {
             rc = rc.with_sink(Arc::clone(sink));
         }
         rc
     }
 
-    /// The campaign supervisor: executes the run slots in order,
-    /// applying the configured [`FailurePolicy`] to failed attempts.
+    /// Runs one campaign slot to its conclusion: the first attempt plus
+    /// however many retries the [`FailurePolicy`] allows, recording
+    /// every attempt. Control-track events (run spans, the divergence
+    /// instant against `reference`) and simulator events go to `sink` —
+    /// the campaign's own sink on the serial path, a per-slot
+    /// [`BufferSink`] on the parallel one.
+    fn run_slot<F: Fn() -> Program>(
+        &self,
+        source: &F,
+        slot: usize,
+        alloc_log: Option<&Arc<AllocLog>>,
+        reference: Option<&RunHashes>,
+        sink: Option<&Arc<dyn EventSink>>,
+        cancel: Option<&CancelCtl>,
+    ) -> SlotRun {
+        let cfg = &self.config;
+        let mut attempts: Vec<SlotAttempt> = Vec::new();
+        let mut slot_alloc_log: Option<Arc<AllocLog>> = None;
+        let mut diverged = false;
+        let mut abandoned = false;
+        let mut attempt = 0usize;
+        loop {
+            let seed = match (attempt, cfg.policy) {
+                (0, _) => cfg.base_seed + slot as u64,
+                (a, FailurePolicy::Retry { reseed: true, .. }) => {
+                    retry_seed(cfg.base_seed, slot, a)
+                }
+                _ => cfg.base_seed + slot as u64,
+            };
+            let rc = self.run_config(seed, slot, alloc_log, sink);
+            let mut monitor = CheckMonitor::new(cfg.scheme, cfg.rounding, cfg.ignore.clone());
+            if cfg.cache_model {
+                monitor = monitor.with_cache_model();
+            }
+            if let Some(sink) = sink {
+                sink.record(
+                    Event::begin(0, CONTROL_TRACK, "run")
+                        .with_arg("run", slot)
+                        .with_arg("seed", seed)
+                        .with_arg("attempt", attempt)
+                        .with_arg("scheme", cfg.scheme.name()),
+                );
+            }
+            match source().run_with(&rc, monitor) {
+                Ok(out) => {
+                    let steps = out.steps;
+                    let native_instr = out.total_instructions();
+                    let zero_fill_instr = out.zero_fill_instr;
+                    slot_alloc_log = Some(out.alloc_log.clone());
+                    let hashes = out.monitor.into_hashes();
+                    if let Some(sink) = sink {
+                        let mut ev = Event::end(steps, CONTROL_TRACK, "run")
+                            .with_arg("ok", true)
+                            .with_arg("steps", steps)
+                            .with_arg("native_instr", native_instr)
+                            .with_arg("hash_instr", hashes.extra_instr)
+                            .with_arg("zero_fill_instr", zero_fill_instr)
+                            .with_arg("stores", hashes.stores)
+                            .with_arg("hash_updates", hashes.hash_updates)
+                            .with_arg("checkpoints", hashes.checkpoints.len());
+                        if let Some(c) = hashes.cache {
+                            ev = ev
+                                .with_arg("l1_hits", c.hits)
+                                .with_arg("l1_misses", c.misses)
+                                .with_arg("mhm_reads", c.mhm_reads)
+                                .with_arg("mhm_read_misses", c.mhm_read_misses);
+                        }
+                        sink.record(ev);
+                    }
+                    // Every earlier failed attempt of this slot was a
+                    // transient the slot recovered from. Bucketing the
+                    // attempts per slot makes it impossible for this
+                    // fixup to touch another slot's failures.
+                    for a in &mut attempts {
+                        if let RunOutcome::Failed(f) = &mut a.outcome {
+                            f.recovered = true;
+                        }
+                    }
+                    if let Some(first) = reference {
+                        if hashes.differs_from(first) {
+                            diverged = true;
+                            if let Some(sink) = sink {
+                                let mut ev = Event::instant(0, CONTROL_TRACK, "divergence")
+                                    .with_arg("run", slot);
+                                match hashes.first_divergent_checkpoint(first) {
+                                    Some(cp) => ev = ev.with_arg("checkpoint", cp),
+                                    None => ev = ev.with_arg("output", true),
+                                }
+                                sink.record(ev);
+                            }
+                        }
+                    }
+                    attempts.push(SlotAttempt {
+                        outcome: RunOutcome::Completed {
+                            seed,
+                            run_index: slot,
+                            hashes,
+                        },
+                        steps,
+                        native_instr,
+                    });
+                    break;
+                }
+                Err(error) => {
+                    if let Some(sink) = sink {
+                        sink.record(
+                            Event::end(0, CONTROL_TRACK, "run")
+                                .with_arg("ok", false)
+                                .with_arg("error", format!("{:?}", error.kind())),
+                        );
+                    }
+                    attempts.push(SlotAttempt {
+                        outcome: RunOutcome::Failed(RunFailure {
+                            run_index: slot,
+                            seed,
+                            error,
+                            attempt,
+                            recovered: false,
+                        }),
+                        steps: 0,
+                        native_instr: 0,
+                    });
+                    let give_up = match cfg.policy {
+                        FailurePolicy::Abort | FailurePolicy::Skip { .. } => true,
+                        FailurePolicy::Retry { max_retries, .. } => attempt >= max_retries,
+                    };
+                    if give_up {
+                        break;
+                    }
+                    attempt += 1;
+                    if let Some(ctl) = cancel {
+                        if ctl.abandons(slot) {
+                            abandoned = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        SlotRun {
+            attempts,
+            alloc_log: slot_alloc_log,
+            diverged,
+            abandoned,
+        }
+    }
+
+    /// Worker-side check of whether `slot`'s result decides the
+    /// campaign under the serial semantics — if so, higher slots are
+    /// wasted work and the pool is cancelled. Purely a shutdown signal:
+    /// the reduction re-derives the authoritative stop point in slot
+    /// order.
+    fn flag_decisive(
+        &self,
+        ctl: &CancelCtl,
+        failed_slots: &AtomicUsize,
+        slot: usize,
+        slot_run: &SlotRun,
+        stop_early: bool,
+    ) {
+        if slot_run.abandoned {
+            return;
+        }
+        if slot_run.terminal_failure() {
+            match self.config.policy {
+                // Abort gives up on any failure; a terminal Retry
+                // failure means the slot exhausted its attempts.
+                FailurePolicy::Abort | FailurePolicy::Retry { .. } => ctl.cancel_at(slot),
+                FailurePolicy::Skip { max_failures } => {
+                    if failed_slots.fetch_add(1, Ordering::SeqCst) + 1 > max_failures {
+                        ctl.cancel_at(slot);
+                    }
+                }
+            }
+        } else if stop_early && slot_run.diverged {
+            ctl.cancel_at(slot);
+        }
+    }
+
+    /// The campaign supervisor: executes the run slots, applying the
+    /// configured [`FailurePolicy`] to failed attempts.
+    ///
+    /// With one worker ([`CheckerConfig::effective_jobs`]) the slots
+    /// run in order on the calling thread. With more, a sequential
+    /// prefix runs until the first completed run has pinned the
+    /// allocator log and the reference hashes, the remaining slots fan
+    /// out across a scoped worker pool, and the per-slot results are
+    /// reduced back in slot order — outcomes, registry counters, trace
+    /// events, and the early-stop/abort point are identical to the
+    /// serial campaign's regardless of worker count.
     ///
     /// With `stop_early`, the campaign halts as soon as a completed
     /// run's hashes differ from the first completed run's.
@@ -278,14 +664,15 @@ impl Checker {
     /// under [`FailurePolicy::Abort`], after more than `max_failures`
     /// failed slots under [`FailurePolicy::Skip`], and after a slot
     /// exhausts `max_retries` under [`FailurePolicy::Retry`].
-    fn run_campaign<F: Fn() -> Program>(
+    fn run_campaign<F: Fn() -> Program + Sync>(
         &self,
         source: &F,
         stop_early: bool,
     ) -> Result<Vec<RunOutcome>, SimError> {
         let cfg = &self.config;
+        let runs = cfg.runs;
+        let jobs = cfg.effective_jobs();
         let sink = cfg.sink.as_ref().filter(|s| s.enabled());
-        let registry = cfg.registry.as_deref();
         if let Some(sink) = sink {
             sink.record(
                 Event::instant(0, CONTROL_TRACK, "campaign")
@@ -294,161 +681,117 @@ impl Checker {
                     .with_arg("base_seed", cfg.base_seed),
             );
         }
-        let mut outcomes: Vec<RunOutcome> = Vec::with_capacity(cfg.runs);
+        let mut state = CampaignState {
+            policy: cfg.policy,
+            registry: cfg.registry.as_deref(),
+            stop_early,
+            outcomes: Vec::with_capacity(runs),
+            first_hashes: None,
+            failed_slots: 0,
+        };
         let mut alloc_log: Option<Arc<AllocLog>> = None;
-        let mut first_hashes: Option<RunHashes> = None;
-        let mut failed_slots = 0usize;
-        'slots: for i in 0..cfg.runs {
-            let mut attempt = 0usize;
-            let slot_first_failure = outcomes.len();
-            let completed = loop {
-                let seed = match (attempt, cfg.policy) {
-                    (0, _) => cfg.base_seed + i as u64,
-                    (a, FailurePolicy::Retry { reseed: true, .. }) => {
-                        retry_seed(cfg.base_seed, i, a)
-                    }
-                    _ => cfg.base_seed + i as u64,
-                };
-                let rc = self.run_config(seed, i, alloc_log.as_ref());
-                let mut monitor = CheckMonitor::new(cfg.scheme, cfg.rounding, cfg.ignore.clone());
-                if cfg.cache_model {
-                    monitor = monitor.with_cache_model();
-                }
-                if let Some(sink) = sink {
-                    sink.record(
-                        Event::begin(0, CONTROL_TRACK, "run")
-                            .with_arg("run", i)
-                            .with_arg("seed", seed)
-                            .with_arg("attempt", attempt)
-                            .with_arg("scheme", cfg.scheme.name()),
-                    );
-                }
-                match source().run_with(&rc, monitor) {
-                    Ok(out) => {
-                        if alloc_log.is_none() {
-                            alloc_log = Some(out.alloc_log.clone());
-                        }
-                        let steps = out.steps;
-                        let native_instr = out.total_instructions();
-                        let zero_fill_instr = out.zero_fill_instr;
-                        let hashes = out.monitor.into_hashes();
-                        if let Some(sink) = sink {
-                            let mut ev = Event::end(steps, CONTROL_TRACK, "run")
-                                .with_arg("ok", true)
-                                .with_arg("steps", steps)
-                                .with_arg("native_instr", native_instr)
-                                .with_arg("hash_instr", hashes.extra_instr)
-                                .with_arg("zero_fill_instr", zero_fill_instr)
-                                .with_arg("stores", hashes.stores)
-                                .with_arg("hash_updates", hashes.hash_updates)
-                                .with_arg("checkpoints", hashes.checkpoints.len());
-                            if let Some(c) = hashes.cache {
-                                ev = ev
-                                    .with_arg("l1_hits", c.hits)
-                                    .with_arg("l1_misses", c.misses)
-                                    .with_arg("mhm_reads", c.mhm_reads)
-                                    .with_arg("mhm_read_misses", c.mhm_read_misses);
-                            }
-                            sink.record(ev);
-                        }
-                        if let Some(reg) = registry {
-                            reg.add("checker.runs_completed", 1);
-                            reg.add("checker.steps", steps);
-                            reg.add("checker.native_instr", native_instr);
-                            reg.add("checker.hash_instr", hashes.extra_instr);
-                            reg.add("checker.stores", hashes.stores);
-                            reg.add("checker.hash_updates", hashes.hash_updates);
-                            reg.add("checker.checkpoints", hashes.checkpoints.len() as u64);
-                            reg.histogram("checker.run_steps").record(steps);
-                            if let Some(c) = hashes.cache {
-                                c.export(reg, "mhm.l1");
-                            }
-                        }
-                        break Some((seed, hashes));
-                    }
-                    Err(error) => {
-                        if let Some(sink) = sink {
-                            sink.record(
-                                Event::end(0, CONTROL_TRACK, "run")
-                                    .with_arg("ok", false)
-                                    .with_arg("error", format!("{:?}", error.kind())),
-                            );
-                        }
-                        if let Some(reg) = registry {
-                            reg.add("checker.runs_failed", 1);
-                        }
-                        outcomes.push(RunOutcome::Failed(RunFailure {
-                            run_index: i,
-                            seed,
-                            error: error.clone(),
-                            attempt,
-                            recovered: false,
-                        }));
-                        match cfg.policy {
-                            FailurePolicy::Abort => return Err(error),
-                            FailurePolicy::Skip { max_failures } => {
-                                failed_slots += 1;
-                                if failed_slots > max_failures {
-                                    return Err(error);
-                                }
-                                break None;
-                            }
-                            FailurePolicy::Retry { max_retries, .. } => {
-                                if attempt >= max_retries {
-                                    return Err(error);
-                                }
-                                attempt += 1;
-                            }
-                        }
-                    }
-                }
-            };
-            if let Some((seed, hashes)) = completed {
-                // Every earlier failed attempt of this slot was a
-                // transient the slot recovered from.
-                for o in &mut outcomes[slot_first_failure..] {
-                    if let RunOutcome::Failed(f) = o {
-                        f.recovered = true;
-                    }
-                }
-                let differs = first_hashes
-                    .as_ref()
-                    .is_some_and(|first| hashes.differs_from(first));
-                if differs {
-                    if let Some(sink) = sink {
-                        // `differs` implies first_hashes is populated.
-                        let first = first_hashes.as_ref().unwrap();
-                        let mut ev =
-                            Event::instant(0, CONTROL_TRACK, "divergence").with_arg("run", i);
-                        match hashes.first_divergent_checkpoint(first) {
-                            Some(cp) => ev = ev.with_arg("checkpoint", cp),
-                            None => ev = ev.with_arg("output", true),
-                        }
-                        sink.record(ev);
-                    }
-                    if let Some(reg) = registry {
-                        reg.add("checker.divergences", 1);
-                    }
-                }
-                if first_hashes.is_none() {
-                    first_hashes = Some(hashes.clone());
-                }
-                outcomes.push(RunOutcome::Completed {
-                    seed,
-                    run_index: i,
-                    hashes,
-                });
-                if stop_early && differs {
-                    break 'slots;
-                }
+
+        // Sequential prefix: every slot when there is one worker; with
+        // more, just up to the first completed run, which pins the
+        // allocator log and the reference hashes the fanned-out slots
+        // compare against. Events stream straight to the sink here.
+        let mut next_slot = 0usize;
+        while next_slot < runs && (jobs == 1 || state.first_hashes.is_none()) {
+            let slot_run = self.run_slot(
+                source,
+                next_slot,
+                alloc_log.as_ref(),
+                state.first_hashes.as_ref(),
+                sink,
+                None,
+            );
+            if alloc_log.is_none() {
+                alloc_log = slot_run.alloc_log.clone();
+            }
+            next_slot += 1;
+            match state.absorb(slot_run) {
+                SlotVerdict::Continue => {}
+                SlotVerdict::Stop => return Ok(state.outcomes),
+                SlotVerdict::Fail(error) => return Err(error),
             }
         }
-        Ok(outcomes)
+        if next_slot >= runs {
+            return Ok(state.outcomes);
+        }
+
+        // Fan the remaining slots out across a scoped worker pool. The
+        // pool hands slot indices out in increasing order and every
+        // worker finishes the slot it holds (abandoning retries only
+        // above the decisive slot), so by join time every slot up to
+        // any decisive one has a result.
+        let reference = state
+            .first_hashes
+            .clone()
+            .expect("sequential prefix ends at a completed run");
+        let alloc = alloc_log
+            .as_ref()
+            .expect("a completed run recorded its alloc log");
+        let next = AtomicUsize::new(next_slot);
+        let failed = AtomicUsize::new(state.failed_slots);
+        let ctl = CancelCtl::new();
+        let results: Vec<SlotCell> = (0..runs).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..jobs.min(runs - next_slot) {
+                scope.spawn(|| loop {
+                    if ctl.cancelled() {
+                        break;
+                    }
+                    let slot = next.fetch_add(1, Ordering::SeqCst);
+                    if slot >= runs {
+                        break;
+                    }
+                    let buffer = sink.map(|_| Arc::new(BufferSink::new()));
+                    let slot_sink = buffer.clone().map(|b| b as Arc<dyn EventSink>);
+                    let slot_run = self.run_slot(
+                        source,
+                        slot,
+                        Some(alloc),
+                        Some(&reference),
+                        slot_sink.as_ref(),
+                        Some(&ctl),
+                    );
+                    self.flag_decisive(&ctl, &failed, slot, &slot_run, stop_early);
+                    *results[slot].lock().unwrap() = Some((slot_run, buffer));
+                });
+            }
+        });
+
+        // Deterministic reduction: re-absorb the slot results in slot
+        // order, replaying exactly the control flow the serial
+        // campaign would have taken — each kept slot's buffered events
+        // are flushed to the real sink as it is absorbed, and slots
+        // past the serial stop point are discarded.
+        for cell in results.iter().skip(next_slot) {
+            let Some((slot_run, buffer)) = cell.lock().unwrap().take() else {
+                break;
+            };
+            if slot_run.abandoned {
+                break;
+            }
+            if let (Some(buffer), Some(sink)) = (&buffer, sink) {
+                buffer.flush_into(&**sink);
+            }
+            match state.absorb(slot_run) {
+                SlotVerdict::Continue => {}
+                SlotVerdict::Stop => break,
+                SlotVerdict::Fail(error) => return Err(error),
+            }
+        }
+        Ok(state.outcomes)
     }
 
     /// Runs the campaign: `source` must build a fresh copy of the same
     /// program for each run (same input — the checker controls allocator
     /// addresses and library calls so that only the interleaving varies).
+    ///
+    /// Run slots execute on [`CheckerConfig::effective_jobs`] worker
+    /// threads; the report is identical regardless of the worker count
+    /// (see [`CheckerConfig::jobs`]).
     ///
     /// # Errors
     ///
@@ -458,7 +801,7 @@ impl Checker {
     /// [`FailurePolicy::Retry`], failed runs are recorded in the
     /// report's [`failures`](CheckReport::failures) section instead, and
     /// an error is returned only once the policy's budget is exhausted.
-    pub fn check<F: Fn() -> Program>(&self, source: F) -> Result<CheckReport, SimError> {
+    pub fn check<F: Fn() -> Program + Sync>(&self, source: F) -> Result<CheckReport, SimError> {
         let outcomes = self.run_campaign(&source, false)?;
         Ok(Self::report(&outcomes))
     }
@@ -474,7 +817,7 @@ impl Checker {
     /// As for [`check`].
     ///
     /// [`check`]: Checker::check
-    pub fn check_stopping_early<F: Fn() -> Program>(
+    pub fn check_stopping_early<F: Fn() -> Program + Sync>(
         &self,
         source: F,
     ) -> Result<(CheckReport, usize), SimError> {
@@ -491,7 +834,10 @@ impl Checker {
     /// As for [`check`].
     ///
     /// [`check`]: Checker::check
-    pub fn collect_runs<F: Fn() -> Program>(&self, source: &F) -> Result<Vec<RunHashes>, SimError> {
+    pub fn collect_runs<F: Fn() -> Program + Sync>(
+        &self,
+        source: &F,
+    ) -> Result<Vec<RunHashes>, SimError> {
         Ok(self
             .collect_outcomes(source)?
             .into_iter()
@@ -511,7 +857,7 @@ impl Checker {
     /// As for [`check`].
     ///
     /// [`check`]: Checker::check
-    pub fn collect_outcomes<F: Fn() -> Program>(
+    pub fn collect_outcomes<F: Fn() -> Program + Sync>(
         &self,
         source: &F,
     ) -> Result<Vec<RunOutcome>, SimError> {
@@ -637,7 +983,8 @@ mod tests {
             .with_ignore(IgnoreSpec::new().ignore_global("x"))
             .with_policy(FailurePolicy::Skip { max_failures: 2 })
             .with_deadline(Duration::from_secs(5))
-            .with_fault_in_run(1, FaultPlan::new(7));
+            .with_fault_in_run(1, FaultPlan::new(7))
+            .with_jobs(3);
         assert_eq!(cfg.runs, 5);
         assert_eq!(cfg.base_seed, 9);
         assert_eq!(cfg.lib_seed, 3);
@@ -646,8 +993,64 @@ mod tests {
         assert_eq!(cfg.policy, FailurePolicy::Skip { max_failures: 2 });
         assert_eq!(cfg.deadline, Some(Duration::from_secs(5)));
         assert_eq!(cfg.fault_plans.len(), 1);
+        assert_eq!(cfg.jobs, Some(3));
+        assert_eq!(cfg.effective_jobs(), 3);
         let checker = Checker::new(cfg);
         assert_eq!(checker.config().runs, 5);
+    }
+
+    #[test]
+    fn zero_jobs_is_clamped_to_one() {
+        let cfg = CheckerConfig::new(Scheme::HwInc).with_jobs(0);
+        assert_eq!(cfg.effective_jobs(), 1);
+        // And the campaign still runs (on the serial path).
+        let report = Checker::new(cfg.with_runs(3))
+            .check(racy_unordered_sum)
+            .unwrap();
+        assert!(report.is_deterministic());
+    }
+
+    #[test]
+    fn parallel_report_equals_serial_report() {
+        for source in [racy_unordered_sum as fn() -> Program, order_dependent] {
+            let report_at = |jobs: usize| {
+                let cfg = CheckerConfig::new(Scheme::HwInc)
+                    .with_runs(8)
+                    .with_jobs(jobs);
+                Checker::new(cfg).check(source).unwrap()
+            };
+            let serial = report_at(1);
+            assert_eq!(serial, report_at(4));
+        }
+    }
+
+    #[test]
+    fn parallel_early_stop_matches_serial() {
+        let at = |jobs: usize| {
+            let cfg = CheckerConfig::new(Scheme::HwInc)
+                .with_runs(30)
+                .with_jobs(jobs);
+            Checker::new(cfg)
+                .check_stopping_early(order_dependent)
+                .unwrap()
+        };
+        let (serial_report, serial_used) = at(1);
+        let (parallel_report, parallel_used) = at(6);
+        assert_eq!(serial_used, parallel_used);
+        assert_eq!(serial_report, parallel_report);
+    }
+
+    #[test]
+    fn parallel_abort_matches_serial_error() {
+        let plan = FaultPlan::new(3).with(FaultKind::AllocFail, Trigger::Nth(0));
+        let at = |jobs: usize| {
+            let cfg = CheckerConfig::new(Scheme::HwInc)
+                .with_runs(6)
+                .with_jobs(jobs)
+                .with_fault_in_run(2, plan.clone());
+            Checker::new(cfg).check(alloc_heavy).unwrap_err()
+        };
+        assert_eq!(at(1).kind(), at(4).kind());
     }
 
     #[test]

@@ -65,7 +65,12 @@ pub enum CheckpointVerdict {
 }
 
 /// The outcome of comparing `runs` executions of one program.
-#[derive(Debug, Clone)]
+///
+/// Reports compare equal field for field — two campaigns that differ
+/// only in how their runs were scheduled across worker threads (see
+/// [`CheckerConfig::jobs`](crate::CheckerConfig::jobs)) produce equal
+/// reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckReport {
     /// How many runs were compared.
     pub runs: usize,
@@ -222,6 +227,19 @@ impl CheckReport {
         let mut v: Vec<(SimErrorKind, usize)> = buckets.into_iter().collect();
         v.sort_by_key(|&(kind, count)| (std::cmp::Reverse(count), kind));
         v
+    }
+
+    /// The absorbed failures grouped by run slot, in slot order; each
+    /// bucket holds the slot's failed attempts in attempt order. A
+    /// slot recovering under [`FailurePolicy::Retry`](crate::FailurePolicy)
+    /// marks only its *own* bucket recovered — failures never move
+    /// between buckets, whatever order the campaign ran the slots in.
+    pub fn failures_by_slot(&self) -> Vec<(usize, Vec<&RunFailure>)> {
+        let mut buckets: BTreeMap<usize, Vec<&RunFailure>> = BTreeMap::new();
+        for f in &self.failures {
+            buckets.entry(f.run_index).or_default().push(f);
+        }
+        buckets.into_iter().collect()
     }
 
     /// The failures whose slots never completed (under

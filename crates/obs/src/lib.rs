@@ -33,6 +33,6 @@ pub use chrome::chrome_trace;
 pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use profile::{CacheCounters, CampaignProfile, Divergence, RunProfile};
 pub use trace::{
-    events_to_jsonl, parse_jsonl, ArgValue, Event, EventSink, MemorySink, Name, NoopSink, Phase,
-    CONTROL_TRACK,
+    events_to_jsonl, parse_jsonl, ArgValue, BufferSink, Event, EventSink, MemorySink, Name,
+    NoopSink, Phase, CONTROL_TRACK,
 };

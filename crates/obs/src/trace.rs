@@ -341,6 +341,62 @@ impl EventSink for MemorySink {
     }
 }
 
+/// A bounded-scope buffer sink: collects events exactly like
+/// [`MemorySink`], then replays them *in recorded order* into another
+/// sink via [`flush_into`](BufferSink::flush_into).
+///
+/// This is the building block of deterministic trace *merging*: a
+/// parallel campaign hands each run slot its own `BufferSink`, lets the
+/// slots execute concurrently (their events land in per-slot buffers,
+/// never interleaving), and afterwards flushes the buffers in slot
+/// order into the campaign's real sink. The merged stream is then
+/// byte-identical to what a serial execution of the same slots would
+/// have recorded, regardless of how many workers ran them.
+///
+/// Wall-clock stamping is intentionally unsupported here: buffered
+/// events are stamped (if at all) by the *destination* sink at flush
+/// time, which keeps the deterministic fields authoritative.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl BufferSink {
+    /// An empty buffer.
+    pub fn new() -> BufferSink {
+        BufferSink::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether no events have been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the buffer into `sink`, preserving recorded order.
+    pub fn flush_into(&self, sink: &dyn EventSink) {
+        for event in self.events.lock().unwrap().drain(..) {
+            sink.record(event);
+        }
+    }
+
+    /// Discards the buffered events without forwarding them (a slot the
+    /// campaign decided not to keep, e.g. past a `stop_early` cut).
+    pub fn discard(&self) {
+        self.events.lock().unwrap().clear();
+    }
+}
+
+impl EventSink for BufferSink {
+    fn record(&self, event: Event) {
+        self.events.lock().unwrap().push(event);
+    }
+}
+
 /// Serializes events as JSON lines (one event per line, trailing
 /// newline after each).
 pub fn events_to_jsonl(events: &[Event]) -> String {
@@ -431,6 +487,71 @@ mod tests {
         sink.record(Event::instant(0, 0, "dropped"));
         let mem = MemorySink::new();
         assert!(EventSink::enabled(&mem));
+    }
+
+    #[test]
+    fn buffer_sink_flushes_in_recorded_order() {
+        let buffer = BufferSink::new();
+        assert!(buffer.is_empty());
+        for ev in sample() {
+            buffer.record(ev);
+        }
+        assert_eq!(buffer.len(), 4);
+        let dest = MemorySink::new();
+        buffer.flush_into(&dest);
+        assert!(buffer.is_empty(), "flush drains the buffer");
+        assert_eq!(dest.events(), sample());
+    }
+
+    #[test]
+    fn per_slot_buffers_merge_to_the_serial_order() {
+        // Two "slots" record concurrently into separate buffers; the
+        // coordinator flushes them in slot order, reproducing exactly
+        // the stream a serial execution would have produced.
+        let serial = MemorySink::new();
+        let merged = MemorySink::new();
+        let slots: Vec<Vec<Event>> = vec![
+            vec![
+                Event::begin(0, CONTROL_TRACK, "run").with_arg("run", 0u64),
+                Event::instant(5, 0, "sched"),
+                Event::end(9, CONTROL_TRACK, "run"),
+            ],
+            vec![
+                Event::begin(0, CONTROL_TRACK, "run").with_arg("run", 1u64),
+                Event::end(4, CONTROL_TRACK, "run"),
+            ],
+        ];
+        for events in &slots {
+            for ev in events {
+                serial.record(ev.clone());
+            }
+        }
+        let buffers: Vec<BufferSink> = slots
+            .iter()
+            .map(|events| {
+                let b = BufferSink::new();
+                // Reverse-order slot completion must not matter.
+                for ev in events {
+                    b.record(ev.clone());
+                }
+                b
+            })
+            .collect();
+        for b in &buffers {
+            b.flush_into(&merged);
+        }
+        assert_eq!(events_to_jsonl(&merged.events()), serial.to_jsonl());
+    }
+
+    #[test]
+    fn buffer_sink_discard_drops_everything() {
+        let buffer = BufferSink::new();
+        buffer.record(Event::instant(0, 0, "x"));
+        buffer.discard();
+        assert!(buffer.is_empty());
+        let dest = MemorySink::new();
+        buffer.flush_into(&dest);
+        assert!(dest.is_empty());
     }
 
     #[test]

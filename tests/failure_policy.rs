@@ -110,6 +110,53 @@ fn retry_policy_fills_every_slot_and_remembers_the_failure() {
 }
 
 #[test]
+fn recovery_marks_only_its_own_slots_failures() {
+    // Regression: a recovering slot must rewrite the recovered flag of
+    // its *own* failed attempts only. Two different slots deadlock and
+    // recover in one Retry campaign; each failure has to stay in its
+    // slot's bucket with its own attempt numbering.
+    let bad = stress::failing_seeds(PREAMBLE, BASE_SEED..BASE_SEED + 120);
+    assert!(
+        bad.len() >= 2,
+        "calibration: need two deadlocking seeds in the scan window"
+    );
+    let base = bad[0] - 1;
+    let runs = (bad[1] - base) as usize + 2;
+    let report = Checker::new(
+        CheckerConfig::new(Scheme::HwInc)
+            .with_runs(runs)
+            .with_base_seed(base)
+            .with_policy(FailurePolicy::Retry {
+                max_retries: 3,
+                reseed: true,
+            }),
+    )
+    .check(kernel)
+    .expect("reseeded retries recover both slots");
+    assert_eq!(report.runs, runs, "both deadlocked slots were refilled");
+
+    let buckets = report.failures_by_slot();
+    let slots: Vec<usize> = buckets.iter().map(|(slot, _)| *slot).collect();
+    assert_eq!(
+        slots,
+        vec![(bad[0] - base) as usize, (bad[1] - base) as usize],
+        "exactly the two deadlocking slots failed"
+    );
+    for (slot, fails) in &buckets {
+        assert!(
+            fails.iter().all(|f| f.run_index == *slot),
+            "failures never migrate between slots"
+        );
+        assert_eq!(fails[0].attempt, 0, "first failure is the original attempt");
+        assert_eq!(fails[0].seed, base + *slot as u64);
+        assert!(
+            fails.iter().all(|f| f.recovered),
+            "recovery marks all of the slot's own attempts"
+        );
+    }
+}
+
+#[test]
 fn retry_reseeds_deterministically() {
     let run = || {
         campaign(FailurePolicy::Retry {

@@ -45,15 +45,34 @@ fn commuting_sum() -> Program {
     b.build()
 }
 
-fn traced_campaign(source: fn() -> Program, base_seed: u64) -> Vec<Event> {
+fn traced_campaign_jobs(source: fn() -> Program, base_seed: u64, jobs: usize) -> Vec<Event> {
     let sink = Arc::new(MemorySink::new());
     let cfg = CheckerConfig::new(Scheme::HwInc)
         .with_runs(6)
         .with_base_seed(base_seed)
         .with_cache_model()
+        .with_jobs(jobs)
         .with_sink(sink.clone());
     Checker::new(cfg).check(source).expect("campaign completes");
     sink.events()
+}
+
+fn traced_campaign(source: fn() -> Program, base_seed: u64) -> Vec<Event> {
+    traced_campaign_jobs(source, base_seed, 1)
+}
+
+#[test]
+fn parallel_campaign_trace_is_byte_identical_to_serial() {
+    // The parallel executor buffers each fanned-out slot's events and
+    // flushes them in slot order, so the worker count must be invisible
+    // in the serialized trace.
+    for source in [commuting_sum as fn() -> Program, last_writer] {
+        let serial = events_to_jsonl(&traced_campaign_jobs(source, 7, 1));
+        for jobs in [2, 8] {
+            let parallel = events_to_jsonl(&traced_campaign_jobs(source, 7, jobs));
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
 }
 
 #[test]
