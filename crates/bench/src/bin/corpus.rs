@@ -1,0 +1,234 @@
+//! Corpus maintenance: records campaign baselines into a persistent
+//! run corpus and checks fresh campaigns against them.
+//!
+//! ```text
+//! corpus record --app canneal [--scaled] [--runs N] [--seed N] [--dir DIR]
+//! corpus check  --app canneal [--scaled] [--runs N] [--seed N] [--dir DIR] [--require-hits]
+//! ```
+//!
+//! `record` runs one checking campaign, stores every completed run in
+//! the content-addressed corpus, and freezes the campaign's reference
+//! hashes and summary verdicts as a named baseline under
+//! `<dir>/baselines/`. `check` reruns the campaign (replaying run
+//! outcomes from the corpus where possible), compares it against the
+//! stored baseline, and exits nonzero on drift — printing the first
+//! divergent checkpoint, and, when the fresh campaign disagrees with
+//! *itself*, the state-diff localization (`instantcheck::localize`)
+//! that maps the divergence back to globals and allocation sites.
+//! `--require-hits` additionally fails the check if nothing was
+//! replayed from the corpus (the CI smoke leg uses this to prove the
+//! warm path actually engaged).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use corpus::{CampaignBaseline, CorpusStore};
+use instantcheck::{CheckReport, Checker, CheckerConfig, Scheme};
+use instantcheck_workloads::AppSpec;
+
+struct Cli {
+    command: String,
+    app: String,
+    scaled: bool,
+    runs: usize,
+    seed: u64,
+    jobs: Option<usize>,
+    dir: String,
+    require_hits: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: corpus <record|check> --app NAME [--scaled] [--runs N] \
+         [--seed N] [--jobs N] [--dir DIR] [--require-hits]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(command) = args.get(1).cloned() else {
+        usage();
+    };
+    if command != "record" && command != "check" {
+        usage();
+    }
+    let mut cli = Cli {
+        command,
+        app: String::new(),
+        scaled: false,
+        runs: 30,
+        seed: 1,
+        jobs: None,
+        dir: "results/corpus".to_owned(),
+        require_hits: false,
+    };
+    let mut i = 2;
+    let value = |args: &[String], i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--app" => cli.app = value(&args, &mut i),
+            "--scaled" => cli.scaled = true,
+            "--runs" => cli.runs = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => cli.seed = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
+            "--jobs" => cli.jobs = Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage())),
+            "--dir" => cli.dir = value(&args, &mut i),
+            "--require-hits" => cli.require_hits = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    if cli.app.is_empty() {
+        usage();
+    }
+    cli
+}
+
+/// The baseline name: one per `(app, scale, runs, seed)` campaign
+/// shape, so differently-shaped campaigns never compare against each
+/// other's baselines.
+fn baseline_name(cli: &Cli) -> String {
+    format!(
+        "{}-{}-r{}-s{}",
+        cli.app,
+        if cli.scaled { "scaled" } else { "full" },
+        cli.runs,
+        cli.seed
+    )
+}
+
+fn config(cli: &Cli, store: &Arc<CorpusStore>, workload: &str) -> CheckerConfig {
+    let mut cfg = CheckerConfig::new(Scheme::HwInc)
+        .with_runs(cli.runs)
+        .with_base_seed(cli.seed)
+        .with_run_cache(Arc::clone(store) as _, workload);
+    if let Some(jobs) = cli.jobs {
+        cfg = cfg.with_jobs(jobs);
+    }
+    cfg
+}
+
+fn campaign(
+    cli: &Cli,
+    app: &AppSpec,
+    store: &Arc<CorpusStore>,
+    workload: &str,
+) -> (Vec<instantcheck::RunHashes>, CheckReport) {
+    let build = Arc::clone(&app.build);
+    let runs = Checker::new(config(cli, store, workload))
+        .collect_runs(&move || build())
+        .unwrap_or_else(|e| {
+            eprintln!("{}: campaign failed: {e}", cli.app);
+            std::process::exit(2);
+        });
+    let report = CheckReport::from_runs(&runs);
+    (runs, report)
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let Some(app) = instantcheck_workloads::by_name(&cli.app, cli.scaled) else {
+        eprintln!("unknown app {:?} at this scale", cli.app);
+        return ExitCode::from(2);
+    };
+    let store = match CorpusStore::open(&cli.dir) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("cannot open corpus at {}: {e}", cli.dir);
+            return ExitCode::from(2);
+        }
+    };
+    let workload = format!("{}:{}", cli.app, if cli.scaled { "scaled" } else { "full" });
+    let name = baseline_name(&cli);
+    let (runs, report) = campaign(&cli, &app, &store, &workload);
+    eprintln!(
+        "{}: {} runs, corpus {} hits / {} misses / {} stores / {} quarantined",
+        cli.app,
+        report.runs,
+        store.hits(),
+        store.misses(),
+        store.stores(),
+        store.quarantined(),
+    );
+
+    if cli.command == "record" {
+        let baseline =
+            CampaignBaseline::capture(&name, &workload, Scheme::HwInc, cli.seed, &runs[0], &report);
+        if let Err(e) = baseline.save(store.baselines_dir()) {
+            eprintln!("cannot save baseline {name}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "recorded baseline {name}: {} checkpoints, {} ndet points, det_at_end={}",
+            baseline.reference.len(),
+            baseline.ndet_points,
+            baseline.det_at_end
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // check
+    let baseline = match CampaignBaseline::load(store.baselines_dir(), &name) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "no baseline {name} in {}: {e} (run `corpus record` first)",
+                cli.dir
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let drifts = baseline.compare(&runs[0], &report);
+    let mut failed = false;
+    if drifts.is_empty() {
+        println!(
+            "{name}: no drift ({} checkpoints match)",
+            baseline.reference.len()
+        );
+    } else {
+        failed = true;
+        println!("{name}: DRIFT detected ({} finding(s))", drifts.len());
+        for d in &drifts {
+            println!("  {d}");
+        }
+        // When the fresh campaign disagrees with itself, the full
+        // state-diff localization names the structures responsible.
+        if let Some(ndet_run) = report.first_ndet_run {
+            let diverging = &runs[ndet_run - 1];
+            if let Some(seq) = runs[0].first_divergent_checkpoint(diverging) {
+                let build = Arc::clone(&app.build);
+                match instantcheck::localize(
+                    move || build(),
+                    cli.seed,
+                    cli.seed + (ndet_run as u64 - 1),
+                    seq,
+                    0xfeed,
+                    None,
+                ) {
+                    Ok(loc) => {
+                        println!("  localization at checkpoint {seq} (run 1 vs run {ndet_run}):");
+                        for (origin, count) in loc.summary() {
+                            println!("    {count:>6} differing word(s): {origin}");
+                        }
+                    }
+                    Err(e) => eprintln!("  localization failed: {e}"),
+                }
+            }
+        }
+    }
+    if cli.require_hits && store.hits() == 0 {
+        eprintln!("{name}: --require-hits set but no run was replayed from the corpus");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

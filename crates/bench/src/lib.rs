@@ -9,7 +9,10 @@
 //! deterministic event trace (`results/<app>.trace.jsonl`) that
 //! `icprof` can profile or convert for `chrome://tracing`; with
 //! `--cache-model`, L1/MHM hit rates are measured and included in the
-//! JSON artifacts.
+//! JSON artifacts; with `--corpus DIR`, completed runs are recorded
+//! to (and replayed from) a persistent content-addressed store — see
+//! the `corpus` crate and the `corpus` binary, which records and
+//! drift-checks campaign baselines against that store.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,7 +32,7 @@ pub mod timing;
 use json::{write_field, ToJson};
 
 /// Command-line options shared by the harness binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessOpts {
     /// Use miniature workloads.
     pub scaled: bool,
@@ -46,6 +49,12 @@ pub struct HarnessOpts {
     /// Worker threads per campaign (`None` = the machine's available
     /// parallelism; the report is identical either way).
     pub jobs: Option<usize>,
+    /// Persistent run corpus (`--corpus DIR`): completed runs are
+    /// looked up in, and recorded to, the store, so repeated harness
+    /// invocations replay instead of re-simulating. Warm campaigns
+    /// produce byte-identical reports (the determinism verdicts cannot
+    /// drift with cache state), so tables and figures are unaffected.
+    pub corpus: Option<std::sync::Arc<corpus::CorpusStore>>,
 }
 
 impl Default for HarnessOpts {
@@ -58,14 +67,15 @@ impl Default for HarnessOpts {
             trace: false,
             cache_model: false,
             jobs: None,
+            corpus: None,
         }
     }
 }
 
 impl HarnessOpts {
     /// Parses `--scaled`, `--runs N`, `--seed N`, `--jobs N`,
-    /// `--policy P`, `--trace`, and `--cache-model` from
-    /// `std::env::args`. Policies:
+    /// `--policy P`, `--trace`, `--cache-model`, and `--corpus DIR`
+    /// from `std::env::args`. Policies:
     /// `abort` (default), `skip` (skip failed runs, up to half the
     /// campaign), `retry` (2 retries per run, fresh seed each),
     /// `retry-same` (2 retries, same seed).
@@ -100,6 +110,20 @@ impl HarnessOpts {
                 "--policy" => {
                     i += 1;
                     policy_arg = args.get(i).cloned();
+                }
+                "--corpus" => {
+                    i += 1;
+                    let dir = args.get(i).cloned().unwrap_or_else(|| {
+                        eprintln!("--corpus needs a directory argument");
+                        std::process::exit(2);
+                    });
+                    match corpus::CorpusStore::open(&dir) {
+                        Ok(store) => opts.corpus = Some(std::sync::Arc::new(store)),
+                        Err(e) => {
+                            eprintln!("cannot open corpus at {dir}: {e}");
+                            std::process::exit(2);
+                        }
+                    }
                 }
                 other => eprintln!("ignoring unknown argument {other}"),
             }
@@ -172,6 +196,26 @@ impl HarnessOpts {
         self.trace
             .then(|| std::sync::Arc::new(obs::MemorySink::new()))
     }
+
+    /// The corpus workload id of one registered app at the chosen
+    /// scale. The registry guarantees `(name, scale)` pins the built
+    /// program exactly, which is the
+    /// [`RunKey::workload`](instantcheck::RunKey) contract.
+    pub fn workload_id(&self, app_name: &str) -> String {
+        format!("{app_name}:{}", if self.scaled { "scaled" } else { "full" })
+    }
+
+    /// Attaches the `--corpus` store (when present) to a campaign
+    /// config, keyed by the app's [`workload_id`](Self::workload_id).
+    pub fn with_corpus(&self, cfg: CheckerConfig, app_name: &str) -> CheckerConfig {
+        match &self.corpus {
+            Some(store) => cfg.with_run_cache(
+                std::sync::Arc::clone(store) as _,
+                self.workload_id(app_name),
+            ),
+            None => cfg,
+        }
+    }
 }
 
 /// One Table 1 row, measured.
@@ -242,7 +286,7 @@ fn log_absorbed(app: &AppSpec, report: &instantcheck::CheckReport) {
 pub fn table1_row(app: &AppSpec, opts: &HarnessOpts, reporter: &Reporter) -> Option<Table1Row> {
     let subject = app.subject();
     let sink = opts.trace_sink();
-    let mut cfg = opts.template();
+    let mut cfg = opts.with_corpus(opts.template(), app.name);
     if let Some(s) = &sink {
         cfg = cfg.with_sink(std::sync::Arc::clone(s) as _);
     }
@@ -455,7 +499,7 @@ pub struct Table2Row {
 pub fn table2_row(app: &AppSpec, opts: &HarnessOpts, reporter: &Reporter) -> Option<Table2Row> {
     let build = std::sync::Arc::clone(&app.build);
     let sink = opts.trace_sink();
-    let mut cfg = opts.template();
+    let mut cfg = opts.with_corpus(opts.template(), app.name);
     if app.uses_fp {
         cfg = cfg.with_rounding(FpRound::default());
     }
@@ -539,7 +583,7 @@ pub fn distributions(
 ) -> Option<DistributionReport> {
     let build = std::sync::Arc::clone(&app.build);
     let sink = opts.trace_sink();
-    let mut cfg = opts.template();
+    let mut cfg = opts.with_corpus(opts.template(), app.name);
     if let Some(r) = rounding {
         cfg = cfg.with_rounding(r);
     }
@@ -609,7 +653,9 @@ pub struct CampaignBenchRow {
 /// The checker's deterministic reduction makes the report identical at
 /// every worker count, so only the wall clock varies; each row's last
 /// repetition is still compared against the serial report as a cheap
-/// end-to-end cross-check.
+/// end-to-end cross-check. The `--corpus` store is deliberately *not*
+/// attached here: a timing sweep satisfied from cache would measure
+/// file reads, not the campaign executor.
 pub fn campaign_bench(
     app: &AppSpec,
     opts: &HarnessOpts,

@@ -1,0 +1,442 @@
+//! Run-result caching: satisfy a campaign's run slots from previously
+//! recorded outcomes instead of re-simulating them.
+//!
+//! The paper's whole premise is that a 64-bit State Hash is a cheap,
+//! durable witness of a run's memory state — yet a naive harness throws
+//! every witness away and recomputes all 30 runs of every campaign from
+//! scratch. This module makes the witnesses reusable. A [`RunCache`]
+//! keys *everything that determines a run's hash sequence* — workload
+//! identity, scheme, scheduler seed, library seed, preemption policy,
+//! FP-rounding config, ignore spec, fault plan, allocator-replay
+//! provenance — into a [`RunKey`], and maps it to the [`CachedRun`] the
+//! simulator produced last time. On a hit the checker skips the
+//! simulation entirely and replays the recorded outcome through exactly
+//! the same reduction path a cold run takes, so the campaign's
+//! [`CheckReport`](crate::CheckReport), metrics, and event trace are
+//! byte-identical to a cold campaign's.
+//!
+//! Two implementations exist:
+//!
+//! * [`MemoryRunCache`] (here) — a process-local warm cache, useful for
+//!   repeated campaigns over the same workload within one process and
+//!   as the reference implementation for tests.
+//! * `corpus::CorpusStore` (the `corpus` crate) — a versioned,
+//!   content-addressed on-disk store with corruption quarantine, the
+//!   persistent cross-process/cross-PR corpus.
+//!
+//! # What is cached
+//!
+//! Only *completed* runs. A failed attempt is never satisfied from a
+//! cache: failures can be wall-clock-dependent ([`tsim::SimError`]
+//! carries non-serializable context), and recomputing them keeps the
+//! failure-policy machinery honest. A cached run carries the full
+//! [`RunHashes`], the simulator accounting the metrics registry folds
+//! in, the allocator log (when the run was the campaign's
+//! address-logging run), and — when the run was recorded under an event
+//! sink — its simulator event trace, so warm campaigns reproduce cold
+//! traces byte for byte. A cache entry without a stored trace is
+//! treated as a miss by a campaign that records traces.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use adhash::FpRound;
+use detrand::splitmix64;
+use obs::Event;
+use tsim::{AllocLog, FaultPlan, SwitchPolicy, FAULT_KINDS};
+
+use crate::checker::RunHashes;
+use crate::scheme::Scheme;
+
+/// Version of the run-key encoding. Bumped whenever the meaning of a
+/// cached outcome changes (new nondeterminism control, changed hash
+/// algebra), so stale entries key-miss instead of being trusted.
+pub const RUN_KEY_VERSION: u32 = 1;
+
+/// Mixes a byte string into a 64-bit token (splitmix64-chained,
+/// length-prefixed so `("ab","c")` and `("a","bc")` differ).
+pub(crate) fn mix_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = splitmix64(seed ^ bytes.len() as u64);
+    for &b in bytes {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    h
+}
+
+/// Mixes one `u64` into a token.
+pub(crate) fn mix_u64(seed: u64, value: u64) -> u64 {
+    splitmix64(seed ^ value)
+}
+
+/// A stable 64-bit token for a [`FaultPlan`]: the plan seed plus every
+/// kind's trigger. Equal plans (same seed, same triggers) produce equal
+/// tokens; `None` plans are conventionally token `0`.
+pub fn fault_plan_token(plan: &FaultPlan) -> u64 {
+    let mut h = mix_u64(0xfa17_07a9_0000_0001, plan.seed);
+    for kind in FAULT_KINDS {
+        let t = match plan.trigger(kind) {
+            tsim::Trigger::Never => 0u64,
+            tsim::Trigger::Nth(n) => 1 << 62 | n,
+            tsim::Trigger::Rate { num, denom } => 2 << 62 | num << 31 | denom,
+        };
+        h = mix_u64(h, mix_bytes(t, kind.label().as_bytes()));
+    }
+    // A token of 0 is reserved for "no plan"; remap the (cosmically
+    // unlikely) collision.
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// Everything that determines one run attempt's [`RunHashes`].
+///
+/// Two attempts with equal keys simulate identically, so one's recorded
+/// outcome can satisfy the other. The key deliberately excludes
+/// anything that does *not* affect the hashes: the failure policy (it
+/// decides which attempts run, not what an attempt computes), the
+/// wall-clock deadline, worker count, and observability sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunKey {
+    /// Caller-supplied workload identity: program name plus every
+    /// construction parameter (scale, input size). The checker cannot
+    /// see inside the `Fn() -> Program` closure, so this is the
+    /// caller's contract: equal ids must build equal programs.
+    pub workload: String,
+    /// The checking scheme (affects hashes *and* cost counters).
+    pub scheme: Scheme,
+    /// Scheduler seed of the attempt.
+    pub seed: u64,
+    /// Library-call seed.
+    pub lib_seed: u64,
+    /// Preemption policy.
+    pub switch: SwitchPolicy,
+    /// Per-run step limit (a run near the limit could complete under
+    /// one limit and fail under another).
+    pub max_steps: u64,
+    /// FP round-off applied before hashing.
+    pub rounding: Option<FpRound>,
+    /// Token of the ignore spec ([`IgnoreSpec::cache_token`](crate::IgnoreSpec::cache_token)).
+    pub ignore_token: u64,
+    /// Token of the slot's fault plan ([`fault_plan_token`]; `0` = none).
+    pub fault_token: u64,
+    /// Whether the L1/MHM cache model ran (it adds counters to the
+    /// outcome).
+    pub cache_model: bool,
+    /// Allocator-replay provenance: `None` when this run logs its own
+    /// allocator addresses, `Some(seed)` when it replays the log of the
+    /// completed run with that scheduler seed. Addresses feed the
+    /// location hash, so provenance is part of the key.
+    pub alloc_seed: Option<u64>,
+}
+
+impl RunKey {
+    /// The key as canonical `(label, value)` fields.
+    ///
+    /// This is the serialization contract for fingerprinting: every
+    /// field is rendered to a stable string, labels are unique, and a
+    /// fingerprint built from these fields must not depend on their
+    /// order (see the corpus crate's order-independent fingerprint).
+    /// The encoding version rides along as its own field, so bumping
+    /// [`RUN_KEY_VERSION`] invalidates old entries by key mismatch.
+    pub fn tokens(&self) -> Vec<(&'static str, String)> {
+        let switch = match self.switch {
+            SwitchPolicy::SyncOnly => "sync-only".to_owned(),
+            SwitchPolicy::EveryAccess => "every-access".to_owned(),
+            SwitchPolicy::EveryNth(n) => format!("every-nth:{n}"),
+        };
+        let rounding = match self.rounding {
+            None => "none".to_owned(),
+            Some(FpRound::BitExact) => "bit-exact".to_owned(),
+            Some(FpRound::MaskMantissa { bits }) => format!("mask-mantissa:{bits}"),
+            Some(FpRound::FloorDecimal { digits }) => format!("floor-decimal:{digits}"),
+            Some(FpRound::NearestDecimal { digits }) => format!("nearest-decimal:{digits}"),
+        };
+        vec![
+            ("version", RUN_KEY_VERSION.to_string()),
+            ("workload", self.workload.clone()),
+            ("scheme", self.scheme.name().to_owned()),
+            ("seed", self.seed.to_string()),
+            ("lib_seed", self.lib_seed.to_string()),
+            ("switch", switch),
+            ("max_steps", self.max_steps.to_string()),
+            ("rounding", rounding),
+            ("ignore", format!("{:016x}", self.ignore_token)),
+            ("faults", format!("{:016x}", self.fault_token)),
+            ("cache_model", u64::from(self.cache_model).to_string()),
+            (
+                "alloc_seed",
+                match self.alloc_seed {
+                    None => "log".to_owned(),
+                    Some(s) => s.to_string(),
+                },
+            ),
+        ]
+    }
+
+    /// A canonical single-string rendering of [`tokens`](RunKey::tokens)
+    /// (fields joined in label order) — the map key of
+    /// [`MemoryRunCache`] and a convenient debugging handle.
+    pub fn canonical(&self) -> String {
+        let mut fields = self.tokens();
+        fields.sort_by_key(|(label, _)| *label);
+        let mut s = String::new();
+        for (label, value) in fields {
+            s.push_str(label);
+            s.push('=');
+            s.push_str(&value);
+            s.push(';');
+        }
+        s
+    }
+}
+
+/// One completed run, as a cache can reproduce it: the hash sequence
+/// plus the accounting and logs the checker needs to make a warm
+/// campaign indistinguishable from a cold one.
+#[derive(Debug, Clone)]
+pub struct CachedRun {
+    /// The run's hash sequence (checkpoints, output digest, cost and
+    /// cache counters).
+    pub hashes: RunHashes,
+    /// Scheduler steps the run took (metrics + trace).
+    pub steps: u64,
+    /// Native instructions the run executed (metrics + trace).
+    pub native_instr: u64,
+    /// Zero-fill instructions charged to the run (trace).
+    pub zero_fill_instr: u64,
+    /// The allocator log the run recorded, present exactly when the run
+    /// logged its own addresses (`RunKey::alloc_seed == None`); later
+    /// slots of a warm campaign replay it just as they would a cold
+    /// log.
+    pub alloc_log: Option<Arc<AllocLog>>,
+    /// The simulator events the run emitted under its sink, in order —
+    /// present only when the run was recorded by a tracing campaign.
+    /// Campaigns that trace treat an entry without one as a miss.
+    pub sim_trace: Option<Vec<Event>>,
+}
+
+/// A store of completed run outcomes keyed by [`RunKey`].
+///
+/// Implementations must be infallible at the API level: corruption or
+/// I/O trouble is an implementation concern (quarantine, recompute) and
+/// surfaces as a `None` lookup, never as a trusted-but-wrong hit.
+pub trait RunCache: fmt::Debug + Send + Sync {
+    /// Returns the recorded outcome for `key`, if one is stored and
+    /// trustworthy.
+    fn lookup(&self, key: &RunKey) -> Option<CachedRun>;
+
+    /// Records the outcome of a completed run under `key`.
+    fn store(&self, key: &RunKey, run: &CachedRun);
+}
+
+/// A process-local, in-memory [`RunCache`].
+///
+/// # Example
+///
+/// Two campaigns over the same workload share the run results — the
+/// second is satisfied entirely from memory and produces the identical
+/// report:
+///
+/// ```
+/// use std::sync::Arc;
+/// use instantcheck::{Checker, CheckerConfig, MemoryRunCache, Scheme};
+/// use tsim::{ProgramBuilder, ValKind};
+///
+/// let source = || {
+///     let mut b = ProgramBuilder::new(2);
+///     let g = b.global("G", ValKind::U64, 1);
+///     let lock = b.mutex();
+///     for t in 0..2u64 {
+///         b.thread(move |ctx| {
+///             ctx.lock(lock);
+///             let v = ctx.load(g.at(0));
+///             ctx.store(g.at(0), v + t + 1);
+///             ctx.unlock(lock);
+///         });
+///     }
+///     b.build()
+/// };
+///
+/// let cache = Arc::new(MemoryRunCache::new());
+/// let cfg = CheckerConfig::new(Scheme::HwInc)
+///     .with_runs(4)
+///     .with_run_cache(cache.clone(), "g-plus-t");
+/// let cold = Checker::new(cfg.clone()).check(source).unwrap();
+/// let warm = Checker::new(cfg).check(source).unwrap();
+/// assert_eq!(cold, warm);
+/// assert_eq!(cache.hits(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryRunCache {
+    entries: Mutex<HashMap<String, CachedRun>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl MemoryRunCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoryRunCache::default()
+    }
+
+    /// Number of stored runs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups satisfied from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl RunCache for MemoryRunCache {
+    fn lookup(&self, key: &RunKey) -> Option<CachedRun> {
+        let hit = self.entries.lock().unwrap().get(&key.canonical()).cloned();
+        let counter = if hit.is_some() {
+            &self.hits
+        } else {
+            &self.misses
+        };
+        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        hit
+    }
+
+    fn store(&self, key: &RunKey, run: &CachedRun) {
+        self.entries
+            .lock()
+            .unwrap()
+            .insert(key.canonical(), run.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_key() -> RunKey {
+        RunKey {
+            workload: "w:scaled".into(),
+            scheme: Scheme::HwInc,
+            seed: 7,
+            lib_seed: 0xfeed,
+            switch: SwitchPolicy::SyncOnly,
+            max_steps: 1000,
+            rounding: None,
+            ignore_token: 0,
+            fault_token: 0,
+            cache_model: false,
+            alloc_seed: None,
+        }
+    }
+
+    fn sample_run() -> CachedRun {
+        CachedRun {
+            hashes: RunHashes {
+                checkpoints: Vec::new(),
+                output_digest: 5,
+                extra_instr: 1,
+                stores: 2,
+                hash_updates: 3,
+                cache: None,
+            },
+            steps: 10,
+            native_instr: 20,
+            zero_fill_instr: 0,
+            alloc_log: None,
+            sim_trace: None,
+        }
+    }
+
+    #[test]
+    fn canonical_distinguishes_every_field() {
+        let base = sample_key();
+        let mut variants = vec![base.clone()];
+        let mut k = base.clone();
+        k.workload = "other".into();
+        variants.push(k.clone());
+        k = base.clone();
+        k.scheme = Scheme::SwTr;
+        variants.push(k.clone());
+        k = base.clone();
+        k.seed = 8;
+        variants.push(k.clone());
+        k = base.clone();
+        k.lib_seed = 1;
+        variants.push(k.clone());
+        k = base.clone();
+        k.switch = SwitchPolicy::EveryNth(3);
+        variants.push(k.clone());
+        k = base.clone();
+        k.max_steps = 999;
+        variants.push(k.clone());
+        k = base.clone();
+        k.rounding = Some(FpRound::default());
+        variants.push(k.clone());
+        k = base.clone();
+        k.ignore_token = 9;
+        variants.push(k.clone());
+        k = base.clone();
+        k.fault_token = 9;
+        variants.push(k.clone());
+        k = base.clone();
+        k.cache_model = true;
+        variants.push(k.clone());
+        k = base.clone();
+        k.alloc_seed = Some(1);
+        variants.push(k);
+        let canon: Vec<String> = variants.iter().map(RunKey::canonical).collect();
+        for i in 0..canon.len() {
+            for j in (i + 1)..canon.len() {
+                assert_ne!(canon[i], canon[j], "fields {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_cache_round_trips() {
+        let cache = MemoryRunCache::new();
+        let key = sample_key();
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!(cache.misses(), 1);
+        cache.store(&key, &sample_run());
+        let hit = cache.lookup(&key).expect("stored");
+        assert_eq!(hit.hashes.output_digest, 5);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn fault_plan_tokens_depend_on_seed_and_triggers() {
+        use tsim::{FaultKind, Trigger};
+        let a = fault_plan_token(&FaultPlan::new(1));
+        let b = fault_plan_token(&FaultPlan::new(2));
+        assert_ne!(a, b);
+        let c = fault_plan_token(&FaultPlan::new(1).with(FaultKind::BitFlip, Trigger::Nth(0)));
+        assert_ne!(a, c);
+        let d = fault_plan_token(&FaultPlan::new(1).with(
+            FaultKind::BitFlip,
+            Trigger::Rate {
+                num: 1,
+                denom: 1000,
+            },
+        ));
+        assert_ne!(c, d);
+        assert_eq!(a, fault_plan_token(&FaultPlan::new(1)), "pure function");
+        assert_ne!(a, 0, "0 is reserved for no-plan");
+    }
+}

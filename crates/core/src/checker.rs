@@ -7,9 +7,10 @@ use std::time::Duration;
 
 use adhash::FpRound;
 use mhm::CacheStats;
-use obs::{BufferSink, Event, EventSink, Registry, CONTROL_TRACK};
+use obs::{BufferSink, Event, EventSink, MemorySink, Registry, CONTROL_TRACK};
 use tsim::{AllocLog, FaultPlan, Program, RunConfig, SimError, SwitchPolicy};
 
+use crate::cache::{fault_plan_token, CachedRun, RunCache, RunKey};
 use crate::ignore::IgnoreSpec;
 use crate::policy::{retry_seed, FailurePolicy, RunFailure, RunOutcome};
 use crate::report::CheckReport;
@@ -113,6 +114,20 @@ pub struct CheckerConfig {
     /// reduce the results back in slot order, so the report, metrics,
     /// and trace are byte-identical regardless of the worker count.
     pub jobs: Option<usize>,
+    /// Optional run-result cache: completed runs are looked up in, and
+    /// stored to, the cache keyed by everything that determines their
+    /// hashes (see [`RunKey`]). Only consulted when
+    /// [`workload`](CheckerConfig::workload) is also set — the key
+    /// needs a workload identity the checker cannot derive from the
+    /// program closure. A warm campaign replays cached outcomes through
+    /// the same reduction path a cold one takes, so its report, trace,
+    /// and metrics are byte-identical to the cold campaign's.
+    pub cache: Option<Arc<dyn RunCache>>,
+    /// Caller-declared workload identity for cache keys. The contract:
+    /// equal strings must mean the `source` closure builds equal
+    /// programs (same structure *and* parameters); the checker trusts
+    /// the caller on this.
+    pub workload: Option<String>,
 }
 
 impl CheckerConfig {
@@ -135,6 +150,8 @@ impl CheckerConfig {
             registry: None,
             cache_model: false,
             jobs: None,
+            cache: None,
+            workload: None,
         }
     }
 
@@ -229,6 +246,15 @@ impl CheckerConfig {
         self
     }
 
+    /// Attaches a run-result cache, with the workload identity used in
+    /// its keys (see [`CheckerConfig::workload`] for the contract).
+    #[must_use]
+    pub fn with_run_cache(mut self, cache: Arc<dyn RunCache>, workload: impl Into<String>) -> Self {
+        self.cache = Some(cache);
+        self.workload = Some(workload.into());
+        self
+    }
+
     /// The worker count a campaign will actually use: the configured
     /// [`jobs`](CheckerConfig::jobs), defaulting to the machine's
     /// available parallelism, and never less than one.
@@ -263,6 +289,16 @@ struct SlotRun {
 }
 
 impl SlotRun {
+    /// Scheduler seed of the slot's completed attempt, if one completed
+    /// — the provenance recorded in cache keys for runs that replay
+    /// this slot's allocator log.
+    fn completed_seed(&self) -> Option<u64> {
+        self.attempts.iter().find_map(|a| match &a.outcome {
+            RunOutcome::Completed { seed, .. } => Some(*seed),
+            RunOutcome::Failed(_) => None,
+        })
+    }
+
     fn terminal_failure(&self) -> bool {
         matches!(
             self.attempts.last(),
@@ -413,6 +449,32 @@ type SlotCell = Mutex<Option<(SlotRun, Option<Arc<BufferSink>>)>>;
 /// The determinism checker: runs a program many times under different
 /// schedules (controlling the other nondeterminism sources) and compares
 /// the per-checkpoint state hashes.
+///
+/// ```
+/// use instantcheck::{Checker, CheckerConfig, Scheme};
+/// use tsim::{ProgramBuilder, ValKind};
+///
+/// // Two threads add disjoint amounts under a lock: the sum commutes,
+/// // so every schedule reaches the same final state.
+/// let source = || {
+///     let mut b = ProgramBuilder::new(2);
+///     let g = b.global("sum", ValKind::U64, 1);
+///     let lock = b.mutex();
+///     for t in 0..2u64 {
+///         b.thread(move |ctx| {
+///             ctx.lock(lock);
+///             let v = ctx.load(g.at(0));
+///             ctx.store(g.at(0), v + t + 1);
+///             ctx.unlock(lock);
+///         });
+///     }
+///     b.build()
+/// };
+/// let cfg = CheckerConfig::new(Scheme::HwInc).with_runs(4);
+/// let report = Checker::new(cfg).check(source).unwrap();
+/// assert!(report.is_deterministic());
+/// assert_eq!(report.runs, 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Checker {
     config: CheckerConfig,
@@ -464,6 +526,104 @@ impl Checker {
         rc
     }
 
+    /// The cache key for one attempt, when a cache is configured (both
+    /// [`CheckerConfig::cache`] and [`CheckerConfig::workload`] set).
+    fn run_key(&self, slot: usize, seed: u64, alloc_seed: Option<u64>) -> Option<RunKey> {
+        let cfg = &self.config;
+        cfg.cache.as_ref()?;
+        let workload = cfg.workload.clone()?;
+        let fault_token = cfg
+            .fault_plans
+            .iter()
+            .find(|(s, _)| *s == slot)
+            .map_or(0, |(_, plan)| fault_plan_token(plan));
+        Some(RunKey {
+            workload,
+            scheme: cfg.scheme,
+            seed,
+            lib_seed: cfg.lib_seed,
+            switch: cfg.switch,
+            max_steps: cfg.max_steps,
+            rounding: cfg.rounding,
+            ignore_token: cfg.ignore.cache_token(),
+            fault_token,
+            cache_model: cfg.cache_model,
+            alloc_seed,
+        })
+    }
+
+    /// Shared tail of a completed attempt, live or cache-satisfied:
+    /// emits the run-end event (and the divergence instant when the
+    /// hashes differ from `reference`), marks the slot's earlier failed
+    /// attempts as recovered transients, and records the attempt. Both
+    /// paths funnel through here, which is what makes a warm campaign's
+    /// control events and outcomes identical to a cold one's.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_attempt(
+        &self,
+        slot: usize,
+        seed: u64,
+        hashes: RunHashes,
+        steps: u64,
+        native_instr: u64,
+        zero_fill_instr: u64,
+        reference: Option<&RunHashes>,
+        sink: Option<&Arc<dyn EventSink>>,
+        attempts: &mut Vec<SlotAttempt>,
+        diverged: &mut bool,
+    ) {
+        if let Some(sink) = sink {
+            let mut ev = Event::end(steps, CONTROL_TRACK, "run")
+                .with_arg("ok", true)
+                .with_arg("steps", steps)
+                .with_arg("native_instr", native_instr)
+                .with_arg("hash_instr", hashes.extra_instr)
+                .with_arg("zero_fill_instr", zero_fill_instr)
+                .with_arg("stores", hashes.stores)
+                .with_arg("hash_updates", hashes.hash_updates)
+                .with_arg("checkpoints", hashes.checkpoints.len());
+            if let Some(c) = hashes.cache {
+                ev = ev
+                    .with_arg("l1_hits", c.hits)
+                    .with_arg("l1_misses", c.misses)
+                    .with_arg("mhm_reads", c.mhm_reads)
+                    .with_arg("mhm_read_misses", c.mhm_read_misses);
+            }
+            sink.record(ev);
+        }
+        // Every earlier failed attempt of this slot was a transient the
+        // slot recovered from. Bucketing the attempts per slot makes it
+        // impossible for this fixup to touch another slot's failures.
+        for a in attempts.iter_mut() {
+            if let RunOutcome::Failed(f) = &mut a.outcome {
+                f.recovered = true;
+            }
+        }
+        if let Some(first) = reference {
+            if hashes.differs_from(first) {
+                *diverged = true;
+                if let Some(sink) = sink {
+                    let mut ev =
+                        Event::instant(0, CONTROL_TRACK, "divergence").with_arg("run", slot);
+                    match hashes.first_divergent_checkpoint(first) {
+                        Some(cp) => ev = ev.with_arg("checkpoint", cp),
+                        None => ev = ev.with_arg("output", true),
+                    }
+                    sink.record(ev);
+                }
+            }
+        }
+        attempts.push(SlotAttempt {
+            outcome: RunOutcome::Completed {
+                seed,
+                run_index: slot,
+                hashes,
+            },
+            steps,
+            native_instr,
+        });
+    }
+
     /// Runs one campaign slot to its conclusion: the first attempt plus
     /// however many retries the [`FailurePolicy`] allows, recording
     /// every attempt. Control-track events (run spans, the divergence
@@ -474,12 +634,16 @@ impl Checker {
         &self,
         source: &F,
         slot: usize,
-        alloc_log: Option<&Arc<AllocLog>>,
+        alloc: Option<(&Arc<AllocLog>, u64)>,
         reference: Option<&RunHashes>,
         sink: Option<&Arc<dyn EventSink>>,
         cancel: Option<&CancelCtl>,
     ) -> SlotRun {
         let cfg = &self.config;
+        let (alloc_log, alloc_seed) = match alloc {
+            Some((log, seed)) => (Some(log), Some(seed)),
+            None => (None, None),
+        };
         let mut attempts: Vec<SlotAttempt> = Vec::new();
         let mut slot_alloc_log: Option<Arc<AllocLog>> = None;
         let mut diverged = false;
@@ -493,7 +657,58 @@ impl Checker {
                 }
                 _ => cfg.base_seed + slot as u64,
             };
-            let rc = self.run_config(seed, slot, alloc_log, sink);
+            let key = self.run_key(slot, seed, alloc_seed);
+            if let (Some(k), Some(cache)) = (&key, cfg.cache.as_deref()) {
+                if let Some(hit) = cache.lookup(k) {
+                    // A tracing campaign can only use an entry that
+                    // recorded its simulator events — replaying a
+                    // traceless entry would drop part of the trace, so
+                    // such an entry counts as a miss and the attempt
+                    // recomputes (and re-stores, now with its trace).
+                    if sink.is_none() || hit.sim_trace.is_some() {
+                        if let Some(sink) = sink {
+                            sink.record(
+                                Event::begin(0, CONTROL_TRACK, "run")
+                                    .with_arg("run", slot)
+                                    .with_arg("seed", seed)
+                                    .with_arg("attempt", attempt)
+                                    .with_arg("scheme", cfg.scheme.name()),
+                            );
+                            for ev in hit.sim_trace.iter().flatten() {
+                                sink.record(ev.clone());
+                            }
+                        }
+                        slot_alloc_log = hit.alloc_log.clone();
+                        self.complete_attempt(
+                            slot,
+                            seed,
+                            hit.hashes,
+                            hit.steps,
+                            hit.native_instr,
+                            hit.zero_fill_instr,
+                            reference,
+                            sink,
+                            &mut attempts,
+                            &mut diverged,
+                        );
+                        break;
+                    }
+                }
+            }
+            // Cold attempt. When both a cache and a sink are active,
+            // the simulator's events are captured so the stored entry
+            // can replay them later; they are forwarded to the real
+            // sink after the run, which preserves the live ordering
+            // (the run span brackets them either way).
+            let capture = match (&key, sink) {
+                (Some(_), Some(_)) => Some(Arc::new(MemorySink::new())),
+                _ => None,
+            };
+            let sim_sink: Option<Arc<dyn EventSink>> = match &capture {
+                Some(c) => Some(Arc::clone(c) as Arc<dyn EventSink>),
+                None => sink.cloned(),
+            };
+            let rc = self.run_config(seed, slot, alloc_log, sim_sink.as_ref());
             let mut monitor = CheckMonitor::new(cfg.scheme, cfg.rounding, cfg.ignore.clone());
             if cfg.cache_model {
                 monitor = monitor.with_cache_model();
@@ -514,60 +729,56 @@ impl Checker {
                     let zero_fill_instr = out.zero_fill_instr;
                     slot_alloc_log = Some(out.alloc_log.clone());
                     let hashes = out.monitor.into_hashes();
-                    if let Some(sink) = sink {
-                        let mut ev = Event::end(steps, CONTROL_TRACK, "run")
-                            .with_arg("ok", true)
-                            .with_arg("steps", steps)
-                            .with_arg("native_instr", native_instr)
-                            .with_arg("hash_instr", hashes.extra_instr)
-                            .with_arg("zero_fill_instr", zero_fill_instr)
-                            .with_arg("stores", hashes.stores)
-                            .with_arg("hash_updates", hashes.hash_updates)
-                            .with_arg("checkpoints", hashes.checkpoints.len());
-                        if let Some(c) = hashes.cache {
-                            ev = ev
-                                .with_arg("l1_hits", c.hits)
-                                .with_arg("l1_misses", c.misses)
-                                .with_arg("mhm_reads", c.mhm_reads)
-                                .with_arg("mhm_read_misses", c.mhm_read_misses);
-                        }
-                        sink.record(ev);
-                    }
-                    // Every earlier failed attempt of this slot was a
-                    // transient the slot recovered from. Bucketing the
-                    // attempts per slot makes it impossible for this
-                    // fixup to touch another slot's failures.
-                    for a in &mut attempts {
-                        if let RunOutcome::Failed(f) = &mut a.outcome {
-                            f.recovered = true;
-                        }
-                    }
-                    if let Some(first) = reference {
-                        if hashes.differs_from(first) {
-                            diverged = true;
-                            if let Some(sink) = sink {
-                                let mut ev = Event::instant(0, CONTROL_TRACK, "divergence")
-                                    .with_arg("run", slot);
-                                match hashes.first_divergent_checkpoint(first) {
-                                    Some(cp) => ev = ev.with_arg("checkpoint", cp),
-                                    None => ev = ev.with_arg("output", true),
-                                }
-                                sink.record(ev);
+                    let sim_trace = capture.map(|c| {
+                        let events = c.events();
+                        if let Some(sink) = sink {
+                            for ev in &events {
+                                sink.record(ev.clone());
                             }
                         }
+                        events
+                    });
+                    if let (Some(k), Some(cache)) = (&key, cfg.cache.as_deref()) {
+                        cache.store(
+                            k,
+                            &CachedRun {
+                                hashes: hashes.clone(),
+                                steps,
+                                native_instr,
+                                zero_fill_instr,
+                                // Only the run that logged its own
+                                // allocator addresses carries the log;
+                                // replay runs are reproducible from the
+                                // producer's entry.
+                                alloc_log: if k.alloc_seed.is_none() {
+                                    Some(out.alloc_log.clone())
+                                } else {
+                                    None
+                                },
+                                sim_trace,
+                            },
+                        );
                     }
-                    attempts.push(SlotAttempt {
-                        outcome: RunOutcome::Completed {
-                            seed,
-                            run_index: slot,
-                            hashes,
-                        },
+                    self.complete_attempt(
+                        slot,
+                        seed,
+                        hashes,
                         steps,
                         native_instr,
-                    });
+                        zero_fill_instr,
+                        reference,
+                        sink,
+                        &mut attempts,
+                        &mut diverged,
+                    );
                     break;
                 }
                 Err(error) => {
+                    if let (Some(c), Some(sink)) = (&capture, sink) {
+                        for ev in c.events() {
+                            sink.record(ev);
+                        }
+                    }
                     if let Some(sink) = sink {
                         sink.record(
                             Event::end(0, CONTROL_TRACK, "run")
@@ -689,7 +900,10 @@ impl Checker {
             first_hashes: None,
             failed_slots: 0,
         };
-        let mut alloc_log: Option<Arc<AllocLog>> = None;
+        // The pinned allocator log plus its provenance: the scheduler
+        // seed of the completed run that recorded it (part of the cache
+        // key of every run that replays the log).
+        let mut alloc: Option<(Arc<AllocLog>, u64)> = None;
 
         // Sequential prefix: every slot when there is one worker; with
         // more, just up to the first completed run, which pins the
@@ -700,13 +914,17 @@ impl Checker {
             let slot_run = self.run_slot(
                 source,
                 next_slot,
-                alloc_log.as_ref(),
+                alloc.as_ref().map(|(log, seed)| (log, *seed)),
                 state.first_hashes.as_ref(),
                 sink,
                 None,
             );
-            if alloc_log.is_none() {
-                alloc_log = slot_run.alloc_log.clone();
+            if alloc.is_none() {
+                if let (Some(log), Some(seed)) =
+                    (slot_run.alloc_log.clone(), slot_run.completed_seed())
+                {
+                    alloc = Some((log, seed));
+                }
             }
             next_slot += 1;
             match state.absorb(slot_run) {
@@ -728,8 +946,9 @@ impl Checker {
             .first_hashes
             .clone()
             .expect("sequential prefix ends at a completed run");
-        let alloc = alloc_log
+        let (alloc_log, alloc_seed) = alloc
             .as_ref()
+            .map(|(log, seed)| (log, *seed))
             .expect("a completed run recorded its alloc log");
         let next = AtomicUsize::new(next_slot);
         let failed = AtomicUsize::new(state.failed_slots);
@@ -750,7 +969,7 @@ impl Checker {
                     let slot_run = self.run_slot(
                         source,
                         slot,
-                        Some(alloc),
+                        Some((alloc_log, alloc_seed)),
                         Some(&reference),
                         slot_sink.as_ref(),
                         Some(&ctl),
@@ -1194,6 +1413,130 @@ mod tests {
             .with_fault_in_run(3, plan(2));
         let err = Checker::new(cfg).check(alloc_heavy).unwrap_err();
         assert_eq!(err.kind(), tsim::SimErrorKind::AllocFailed);
+    }
+
+    #[test]
+    fn warm_cache_reproduces_cold_campaign_exactly() {
+        use crate::cache::MemoryRunCache;
+        for jobs in [1usize, 8] {
+            let cache = Arc::new(MemoryRunCache::new());
+            let campaign = || {
+                let sink = Arc::new(obs::MemorySink::new());
+                let reg = Arc::new(Registry::new());
+                let cfg = CheckerConfig::new(Scheme::HwInc)
+                    .with_runs(6)
+                    .with_jobs(jobs)
+                    .with_sink(sink.clone())
+                    .with_registry(reg.clone())
+                    .with_cache_model()
+                    .with_run_cache(cache.clone(), "racy_unordered_sum");
+                let report = Checker::new(cfg).check(racy_unordered_sum).unwrap();
+                (report, sink.to_jsonl(), reg.snapshot())
+            };
+            let cold = campaign();
+            assert_eq!(cache.hits(), 0, "jobs={jobs}: first campaign is cold");
+            assert_eq!(cache.len(), 6);
+            let warm = campaign();
+            assert_eq!(cold.0, warm.0, "jobs={jobs}: report");
+            assert_eq!(cold.1, warm.1, "jobs={jobs}: trace bytes");
+            assert_eq!(cold.2, warm.2, "jobs={jobs}: metrics snapshot");
+            assert_eq!(cache.hits(), 6, "jobs={jobs}: every slot hit");
+        }
+    }
+
+    #[test]
+    fn cache_keys_are_worker_count_invariant() {
+        use crate::cache::MemoryRunCache;
+        let cache = Arc::new(MemoryRunCache::new());
+        let at = |jobs: usize| {
+            let cfg = CheckerConfig::new(Scheme::SwInc)
+                .with_runs(8)
+                .with_jobs(jobs)
+                .with_run_cache(cache.clone(), "order_dependent");
+            Checker::new(cfg).check(order_dependent).unwrap()
+        };
+        let cold = at(1);
+        let stored = cache.len();
+        let warm = at(8);
+        assert_eq!(cold, warm);
+        assert_eq!(cache.hits(), 8, "serial entries satisfy a parallel rerun");
+        assert_eq!(cache.len(), stored, "no re-store on a pure-hit rerun");
+    }
+
+    #[test]
+    fn traceless_cache_entry_is_recomputed_by_a_tracing_campaign() {
+        use crate::cache::MemoryRunCache;
+        let cache = Arc::new(MemoryRunCache::new());
+        let base = || {
+            CheckerConfig::new(Scheme::HwInc)
+                .with_runs(3)
+                .with_jobs(1)
+                .with_run_cache(cache.clone(), "racy_unordered_sum")
+        };
+        // Populate without a sink: entries have no stored trace.
+        let untraced = Checker::new(base()).check(racy_unordered_sum).unwrap();
+        // A tracing campaign must not replay those entries.
+        let sink = Arc::new(obs::MemorySink::new());
+        let traced = Checker::new(base().with_sink(sink.clone()))
+            .check(racy_unordered_sum)
+            .unwrap();
+        assert_eq!(untraced, traced);
+        let events = sink.events();
+        assert!(
+            events.iter().any(|e| e.name == "sched"),
+            "trace has live simulator events"
+        );
+        // The recompute re-stored the entries with traces; a second
+        // tracing campaign replays them byte-identically.
+        let reference = sink.to_jsonl();
+        let sink2 = Arc::new(obs::MemorySink::new());
+        let replayed = Checker::new(base().with_sink(sink2.clone()))
+            .check(racy_unordered_sum)
+            .unwrap();
+        assert_eq!(traced, replayed);
+        assert_eq!(reference, sink2.to_jsonl());
+    }
+
+    #[test]
+    fn cache_preserves_failure_policy_behavior() {
+        use crate::cache::MemoryRunCache;
+        // A slot that deterministically fails must fail again on a warm
+        // rerun: failures are never cached.
+        let cache = Arc::new(MemoryRunCache::new());
+        let plan = FaultPlan::new(3).with(FaultKind::AllocFail, Trigger::Nth(0));
+        let cfg = CheckerConfig::new(Scheme::HwInc)
+            .with_runs(6)
+            .with_jobs(1)
+            .with_policy(FailurePolicy::Skip { max_failures: 3 })
+            .with_fault_in_run(2, plan)
+            .with_run_cache(cache.clone(), "alloc_heavy");
+        let cold = Checker::new(cfg.clone()).check(alloc_heavy).unwrap();
+        assert_eq!(cache.len(), 5, "only completed runs are stored");
+        let warm = Checker::new(cfg).check(alloc_heavy).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(warm.failures.len(), 1, "the failure recomputed");
+        assert_eq!(cache.hits(), 5);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_scheme_and_seed() {
+        use crate::cache::MemoryRunCache;
+        let cache = Arc::new(MemoryRunCache::new());
+        let run = |scheme, base_seed| {
+            let cfg = CheckerConfig::new(scheme)
+                .with_runs(2)
+                .with_jobs(1)
+                .with_base_seed(base_seed)
+                .with_run_cache(cache.clone(), "racy_unordered_sum");
+            Checker::new(cfg).check(racy_unordered_sum).unwrap()
+        };
+        run(Scheme::HwInc, 1);
+        let after_first = cache.len();
+        run(Scheme::SwTr, 1);
+        assert!(cache.len() > after_first, "different scheme, new entries");
+        let after_second = cache.len();
+        run(Scheme::HwInc, 100);
+        assert!(cache.len() > after_second, "different seeds, new entries");
     }
 
     #[test]

@@ -80,6 +80,42 @@ impl IgnoreSpec {
         self
     }
 
+    /// A stable 64-bit token of the spec's contents, for run-cache keys
+    /// ([`RunKey::ignore_token`](crate::RunKey)). Equal specs produce
+    /// equal tokens; the token covers every name, range, and offset
+    /// list, in insertion order (the order [`PartialEq`] compares by).
+    pub fn cache_token(&self) -> u64 {
+        use crate::cache::{mix_bytes, mix_u64};
+        let mut h = 0x19_6e_04_e5u64;
+        for (name, range) in &self.globals {
+            h = mix_bytes(h, name.as_bytes());
+            match range {
+                None => h = mix_u64(h, 0),
+                Some((start, end)) => {
+                    h = mix_u64(h, 1);
+                    h = mix_u64(h, *start as u64);
+                    h = mix_u64(h, *end as u64);
+                }
+            }
+        }
+        // Section separator: a global named "x" and a site named "x"
+        // must not produce the same token.
+        h = mix_u64(h, 0x5e_c7_10_4e);
+        for (site, offsets) in &self.sites {
+            h = mix_bytes(h, site.as_bytes());
+            match offsets {
+                None => h = mix_u64(h, 0),
+                Some(offs) => {
+                    h = mix_u64(h, 1 + offs.len() as u64);
+                    for &o in offs {
+                        h = mix_u64(h, o as u64);
+                    }
+                }
+            }
+        }
+        h
+    }
+
     /// Resolves the spec against a live state: every excluded word, with
     /// its declared kind.
     pub fn resolve(&self, view: &StateView<'_>) -> Vec<(Addr, ValKind)> {

@@ -64,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod characterize;
 mod checker;
 mod ignore;
@@ -74,6 +75,7 @@ mod policy;
 mod report;
 mod scheme;
 
+pub use cache::{fault_plan_token, CachedRun, MemoryRunCache, RunCache, RunKey, RUN_KEY_VERSION};
 pub use characterize::{characterize, Characterization, DetClass, Subject};
 pub use checker::{Checker, CheckerConfig, RunHashes};
 pub use ignore::IgnoreSpec;
@@ -82,4 +84,4 @@ pub use localize::{localize, DiffOrigin, DiffSite, Localization};
 pub use overhead::{geometric_mean, measure_overhead, OverheadReport};
 pub use policy::{retry_seed, FailurePolicy, RunFailure, RunOutcome};
 pub use report::{CheckReport, CheckpointVerdict, Distribution};
-pub use scheme::{CheckMonitor, Scheme};
+pub use scheme::{CheckMonitor, CheckpointRecord, Scheme};

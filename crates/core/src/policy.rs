@@ -33,6 +33,40 @@ use tsim::SimError;
 use crate::checker::RunHashes;
 
 /// What a checking campaign does when one of its runs fails.
+///
+/// ```
+/// use instantcheck::{Checker, CheckerConfig, FailurePolicy, Scheme};
+/// use tsim::{FaultKind, FaultPlan, ProgramBuilder, TypeTag, Trigger, ValKind};
+///
+/// let source = || {
+///     let mut b = ProgramBuilder::new(2);
+///     let g = b.global("sum", ValKind::U64, 1);
+///     let lock = b.mutex();
+///     for t in 0..2u64 {
+///         b.thread(move |ctx| {
+///             let p = ctx.malloc("scratch", TypeTag::u64s(), 1);
+///             ctx.store(p, t);
+///             ctx.lock(lock);
+///             let v = ctx.load(g.at(0));
+///             ctx.store(g.at(0), v + t + 1);
+///             ctx.unlock(lock);
+///             ctx.free(p);
+///         });
+///     }
+///     b.build()
+/// };
+/// // Inject an allocation failure into run slot 2; under `Skip` the
+/// // campaign still completes, with the failure on the record.
+/// let plan = FaultPlan::new(7).with(FaultKind::AllocFail, Trigger::Nth(0));
+/// let cfg = CheckerConfig::new(Scheme::HwInc)
+///     .with_runs(6)
+///     .with_policy(FailurePolicy::Skip { max_failures: 2 })
+///     .with_fault_in_run(2, plan);
+/// let report = Checker::new(cfg).check(source).unwrap();
+/// assert_eq!(report.runs, 5, "five of six runs completed");
+/// assert_eq!(report.failures.len(), 1);
+/// assert!(report.is_deterministic(), "an alloc fault is not a determinism bug");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FailurePolicy {
     /// Abort the whole campaign on the first failed run (the historical

@@ -78,6 +78,18 @@ impl Scheme {
             Scheme::SwTr => "SwTr",
         }
     }
+
+    /// The inverse of [`name`](Scheme::name), for deserializing persisted
+    /// records.
+    pub fn from_name(name: &str) -> Option<Scheme> {
+        match name {
+            "Native" => Some(Scheme::Native),
+            "HwInc" => Some(Scheme::HwInc),
+            "SwInc" => Some(Scheme::SwInc),
+            "SwTr" => Some(Scheme::SwTr),
+            _ => None,
+        }
+    }
 }
 
 /// One checkpoint's recorded state hash.

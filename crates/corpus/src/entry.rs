@@ -1,0 +1,508 @@
+//! The versioned on-disk entry format.
+//!
+//! One entry file stores one completed run — the
+//! [`CachedRun`](instantcheck::CachedRun) plus the canonical tokens of
+//! the [`RunKey`](instantcheck::RunKey) it was recorded under — in a
+//! line-oriented text format with a self-describing header:
+//!
+//! ```text
+//! icorpus 1                  magic + format version
+//! fp <32 hex>                fingerprint the entry is addressed by
+//! len <decimal>              body length in bytes (truncation check)
+//! sum <16 hex>               FNV-1a checksum of the body
+//! key <label>=<value>        one line per key token
+//! run steps=… native=… zerofill=…
+//! hashes output=… extra=… stores=… hashup=…
+//! l1 hits=… misses=… …       (only when the cache model ran)
+//! cp <kind> <16 hex>         one line per checkpoint
+//! alloclog <count>           (only for the address-logging run)
+//! a <tid> <seq> <base>       one line per logged allocation
+//! trace <count>              (only when recorded under a sink)
+//! {…}                        one JSONL event per line
+//! ```
+//!
+//! Decoding never trusts a damaged file: the magic, version, length,
+//! and checksum are verified before any field is parsed, and every
+//! parse error is classified as a [`Corruption`] so the store can
+//! quarantine the file and recompute the run.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use adhash::HashSum;
+use instantcheck::{CachedRun, CheckpointRecord, RunHashes, RunKey};
+use obs::json;
+use tsim::{AllocLog, BarrierId, CheckpointKind};
+
+use crate::fingerprint::{fingerprint_key, fnv64};
+
+/// Version of the on-disk entry format. Entries written by any other
+/// version are quarantined, never reinterpreted.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The file magic (shared by entry files and the store's format
+/// marker).
+pub const MAGIC: &str = "icorpus";
+
+/// Why a stored entry could not be trusted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Corruption {
+    /// The file does not start with the `icorpus` magic.
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    VersionMismatch {
+        /// The version the file declared.
+        found: u32,
+    },
+    /// The body is shorter or longer than the declared length.
+    Truncated {
+        /// Bytes the header declared.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The body checksum does not match the header.
+    BadChecksum,
+    /// The header or body failed to parse.
+    Malformed(String),
+}
+
+impl Corruption {
+    /// Stable kebab-case label, used as a quarantine-counter suffix.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Corruption::BadMagic => "bad-magic",
+            Corruption::VersionMismatch { .. } => "version-mismatch",
+            Corruption::Truncated { .. } => "truncated",
+            Corruption::BadChecksum => "bad-checksum",
+            Corruption::Malformed(_) => "malformed",
+        }
+    }
+}
+
+impl fmt::Display for Corruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Corruption::BadMagic => write!(f, "bad magic"),
+            Corruption::VersionMismatch { found } => {
+                write!(f, "format version {found} (expected {FORMAT_VERSION})")
+            }
+            Corruption::Truncated { expected, found } => {
+                write!(f, "body is {found} bytes, header declared {expected}")
+            }
+            Corruption::BadChecksum => write!(f, "body checksum mismatch"),
+            Corruption::Malformed(detail) => write!(f, "malformed entry: {detail}"),
+        }
+    }
+}
+
+fn malformed(detail: impl Into<String>) -> Corruption {
+    Corruption::Malformed(detail.into())
+}
+
+/// Escapes a value for a space/line-delimited field: `%`, space, and
+/// control characters become `%xx`.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\n' => out.push_str("%0a"),
+            '\r' => out.push_str("%0d"),
+            '\t' => out.push_str("%09"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`esc`].
+fn unesc(s: &str) -> Result<String, Corruption> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hex: String = chars.by_ref().take(2).collect();
+        if hex.len() != 2 {
+            return Err(malformed(format!("truncated escape %{hex}")));
+        }
+        let code =
+            u8::from_str_radix(&hex, 16).map_err(|_| malformed(format!("bad escape %{hex}")))?;
+        out.push(char::from(code));
+    }
+    Ok(out)
+}
+
+/// Interns a string, yielding the `&'static str` that
+/// [`CheckpointKind::Manual`] requires. Labels are deduplicated, so
+/// decoding the same trace repeatedly does not grow memory.
+fn intern(label: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .unwrap();
+    if let Some(&existing) = set.get(label) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(label.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// The stable token of a checkpoint kind: `b:<index>` for barriers,
+/// `m:<label>` for manual checkpoints, `e` for end-of-program.
+pub fn kind_token(kind: CheckpointKind) -> String {
+    match kind {
+        CheckpointKind::Barrier(id) => format!("b:{}", id.index()),
+        CheckpointKind::Manual(label) => format!("m:{}", esc(label)),
+        CheckpointKind::End => "e".to_owned(),
+    }
+}
+
+/// Inverse of [`kind_token`].
+pub fn parse_kind(token: &str) -> Result<CheckpointKind, Corruption> {
+    if token == "e" {
+        return Ok(CheckpointKind::End);
+    }
+    if let Some(idx) = token.strip_prefix("b:") {
+        let idx: usize = idx
+            .parse()
+            .map_err(|_| malformed(format!("bad barrier index in {token:?}")))?;
+        return Ok(CheckpointKind::Barrier(BarrierId::from_index(idx)));
+    }
+    if let Some(label) = token.strip_prefix("m:") {
+        return Ok(CheckpointKind::Manual(intern(&unesc(label)?)));
+    }
+    Err(malformed(format!("unknown checkpoint kind {token:?}")))
+}
+
+/// Serializes one completed run under its key. The output is a pure
+/// function of `(key, run)` — equal inputs give byte-identical files,
+/// which is what makes re-stores idempotent.
+pub fn encode_entry(key: &RunKey, run: &CachedRun) -> String {
+    let mut body = String::new();
+    for (label, value) in key.tokens() {
+        let _ = writeln!(body, "key {label}={}", esc(&value));
+    }
+    let _ = writeln!(
+        body,
+        "run steps={} native={} zerofill={}",
+        run.steps, run.native_instr, run.zero_fill_instr
+    );
+    let h = &run.hashes;
+    let _ = writeln!(
+        body,
+        "hashes output={} extra={} stores={} hashup={}",
+        h.output_digest, h.extra_instr, h.stores, h.hash_updates
+    );
+    if let Some(c) = h.cache {
+        let _ = writeln!(
+            body,
+            "l1 hits={} misses={} mhm_reads={} mhm_read_misses={}",
+            c.hits, c.misses, c.mhm_reads, c.mhm_read_misses
+        );
+    }
+    for cp in &h.checkpoints {
+        let _ = writeln!(body, "cp {} {:016x}", kind_token(cp.kind), cp.hash.as_raw());
+    }
+    if let Some(log) = &run.alloc_log {
+        let entries = log.entries();
+        let _ = writeln!(body, "alloclog {}", entries.len());
+        for ((tid, seq), base) in entries {
+            let _ = writeln!(body, "a {tid} {seq} {base}");
+        }
+    }
+    if let Some(events) = &run.sim_trace {
+        let _ = writeln!(body, "trace {}", events.len());
+        for ev in events {
+            ev.write_json_line(&mut body);
+            body.push('\n');
+        }
+    }
+    format!(
+        "{MAGIC} {FORMAT_VERSION}\nfp {:032x}\nlen {}\nsum {:016x}\n{body}",
+        fingerprint_key(key),
+        body.len(),
+        fnv64(body.as_bytes()),
+    )
+}
+
+fn header_u64(line: Option<&str>, prefix: &str) -> Result<u64, Corruption> {
+    let line = line.ok_or_else(|| malformed(format!("missing {prefix} header line")))?;
+    let value = line
+        .strip_prefix(prefix)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .ok_or_else(|| malformed(format!("expected {prefix:?} line, found {line:?}")))?;
+    u64::from_str_radix(value, if prefix == "len" { 10 } else { 16 })
+        .map_err(|_| malformed(format!("bad {prefix} value {value:?}")))
+}
+
+/// A parsed field like `steps=4` out of a space-separated record line.
+fn field_u64(parts: &mut std::str::SplitWhitespace<'_>, name: &str) -> Result<u64, Corruption> {
+    let part = parts
+        .next()
+        .ok_or_else(|| malformed(format!("missing field {name}")))?;
+    let value = part
+        .strip_prefix(name)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| malformed(format!("expected {name}=…, found {part:?}")))?;
+    value
+        .parse()
+        .map_err(|_| malformed(format!("bad {name} value {value:?}")))
+}
+
+/// Deserializes one entry, verifying magic, version, length, and
+/// checksum before touching any field. Returns the stored key tokens
+/// (for the caller to match against the key it looked up) and the run.
+///
+/// # Errors
+///
+/// A [`Corruption`] describing the first problem found; the caller
+/// quarantines the file and recomputes the run.
+pub fn decode_entry(text: &str) -> Result<(Vec<(String, String)>, CachedRun), Corruption> {
+    // Header: four lines, verified strictly before the body is parsed.
+    let mut header_end = 0usize;
+    for _ in 0..4 {
+        match text[header_end..].find('\n') {
+            Some(i) => header_end += i + 1,
+            None => return Err(malformed("missing header lines")),
+        }
+    }
+    let mut header = text[..header_end].lines();
+    let magic_line = header.next().unwrap_or_default();
+    let version = match magic_line
+        .strip_prefix(MAGIC)
+        .and_then(|r| r.strip_prefix(' '))
+    {
+        None => return Err(Corruption::BadMagic),
+        Some(v) => v
+            .parse::<u32>()
+            .map_err(|_| malformed(format!("bad version {v:?}")))?,
+    };
+    if version != FORMAT_VERSION {
+        return Err(Corruption::VersionMismatch { found: version });
+    }
+    let fp_declared = {
+        let line = header.next();
+        let line = line.ok_or_else(|| malformed("missing fp header line"))?;
+        let value = line
+            .strip_prefix("fp ")
+            .ok_or_else(|| malformed(format!("expected fp line, found {line:?}")))?;
+        u128::from_str_radix(value, 16).map_err(|_| malformed(format!("bad fp {value:?}")))?
+    };
+    let len = header_u64(header.next(), "len")? as usize;
+    let sum = header_u64(header.next(), "sum")?;
+
+    let body = &text[header_end..];
+    if body.len() != len {
+        return Err(Corruption::Truncated {
+            expected: len,
+            found: body.len(),
+        });
+    }
+    if fnv64(body.as_bytes()) != sum {
+        return Err(Corruption::BadChecksum);
+    }
+
+    // Body: key tokens, run record, hashes, then the optional sections.
+    let mut lines = body.lines();
+    let mut tokens: Vec<(String, String)> = Vec::new();
+    let mut pending: Option<&str> = None;
+    for line in lines.by_ref() {
+        match line.strip_prefix("key ") {
+            Some(rest) => {
+                let (label, value) = rest
+                    .split_once('=')
+                    .ok_or_else(|| malformed(format!("bad key line {line:?}")))?;
+                tokens.push((label.to_owned(), unesc(value)?));
+            }
+            None => {
+                pending = Some(line);
+                break;
+            }
+        }
+    }
+    if tokens.is_empty() {
+        return Err(malformed("entry has no key tokens"));
+    }
+
+    let run_line = pending.ok_or_else(|| malformed("missing run line"))?;
+    let mut parts = run_line
+        .strip_prefix("run ")
+        .ok_or_else(|| malformed(format!("expected run line, found {run_line:?}")))?
+        .split_whitespace();
+    let steps = field_u64(&mut parts, "steps")?;
+    let native_instr = field_u64(&mut parts, "native")?;
+    let zero_fill_instr = field_u64(&mut parts, "zerofill")?;
+
+    let hashes_line = lines
+        .next()
+        .ok_or_else(|| malformed("missing hashes line"))?;
+    let mut parts = hashes_line
+        .strip_prefix("hashes ")
+        .ok_or_else(|| malformed(format!("expected hashes line, found {hashes_line:?}")))?
+        .split_whitespace();
+    let output_digest = field_u64(&mut parts, "output")?;
+    let extra_instr = field_u64(&mut parts, "extra")?;
+    let stores = field_u64(&mut parts, "stores")?;
+    let hash_updates = field_u64(&mut parts, "hashup")?;
+
+    let mut cache = None;
+    let mut checkpoints: Vec<CheckpointRecord> = Vec::new();
+    let mut alloc_log: Option<Arc<AllocLog>> = None;
+    let mut sim_trace = None;
+    let mut next = lines.next();
+    if let Some(line) = next.filter(|l| l.starts_with("l1 ")) {
+        let mut parts = line["l1 ".len()..].split_whitespace();
+        cache = Some(mhm_stats(
+            field_u64(&mut parts, "hits")?,
+            field_u64(&mut parts, "misses")?,
+            field_u64(&mut parts, "mhm_reads")?,
+            field_u64(&mut parts, "mhm_read_misses")?,
+        ));
+        next = lines.next();
+    }
+    while let Some(line) = next.filter(|l| l.starts_with("cp ")) {
+        let rest = &line["cp ".len()..];
+        let (kind, hash) = rest
+            .rsplit_once(' ')
+            .ok_or_else(|| malformed(format!("bad cp line {line:?}")))?;
+        let hash = u64::from_str_radix(hash, 16)
+            .map_err(|_| malformed(format!("bad cp hash {hash:?}")))?;
+        checkpoints.push(CheckpointRecord {
+            kind: parse_kind(kind)?,
+            hash: HashSum::from_raw(hash),
+        });
+        next = lines.next();
+    }
+    if let Some(line) = next.filter(|l| l.starts_with("alloclog ")) {
+        let count: usize = line["alloclog ".len()..]
+            .parse()
+            .map_err(|_| malformed(format!("bad alloclog count in {line:?}")))?;
+        let mut log = AllocLog::default();
+        for _ in 0..count {
+            let line = lines
+                .next()
+                .ok_or_else(|| malformed("alloclog shorter than declared"))?;
+            let mut parts = line
+                .strip_prefix("a ")
+                .ok_or_else(|| malformed(format!("expected alloc line, found {line:?}")))?
+                .split_whitespace();
+            let mut num = |name: &str| -> Result<u64, Corruption> {
+                parts
+                    .next()
+                    .ok_or_else(|| malformed(format!("missing alloc {name}")))?
+                    .parse()
+                    .map_err(|_| malformed(format!("bad alloc {name}")))
+            };
+            let tid = num("tid")? as usize;
+            let seq = num("seq")?;
+            let base = num("base")?;
+            log.insert(tid, seq, base);
+        }
+        alloc_log = Some(Arc::new(log));
+        next = lines.next();
+    }
+    if let Some(line) = next.filter(|l| l.starts_with("trace ")) {
+        let count: usize = line["trace ".len()..]
+            .parse()
+            .map_err(|_| malformed(format!("bad trace count in {line:?}")))?;
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let line = lines
+                .next()
+                .ok_or_else(|| malformed("trace shorter than declared"))?;
+            let v = json::parse(line).map_err(|e| malformed(format!("trace line: {e}")))?;
+            events.push(
+                obs::Event::from_json(&v).map_err(|e| malformed(format!("trace line: {e}")))?,
+            );
+        }
+        sim_trace = Some(events);
+        next = lines.next();
+    }
+    if let Some(line) = next {
+        return Err(malformed(format!("unexpected trailing line {line:?}")));
+    }
+
+    // The declared fingerprint must match the stored tokens — a file
+    // renamed over another entry's address is corruption, not a hit.
+    let fields: Vec<(&str, &str)> = tokens
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.as_str()))
+        .collect();
+    if crate::fingerprint::fingerprint_fields(&fields) != fp_declared {
+        return Err(malformed("declared fingerprint does not match key tokens"));
+    }
+
+    Ok((
+        tokens,
+        CachedRun {
+            hashes: RunHashes {
+                checkpoints,
+                output_digest,
+                extra_instr,
+                stores,
+                hash_updates,
+                cache,
+            },
+            steps,
+            native_instr,
+            zero_fill_instr,
+            alloc_log,
+            sim_trace,
+        },
+    ))
+}
+
+/// Builds the `mhm` counter struct without naming its crate in our
+/// dependency list twice (the fields are all public).
+fn mhm_stats(hits: u64, misses: u64, mhm_reads: u64, mhm_read_misses: u64) -> mhm::CacheStats {
+    mhm::CacheStats {
+        hits,
+        misses,
+        mhm_reads,
+        mhm_read_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in ["plain", "with space", "pct%20", "tab\tnl\n", "%%", ""] {
+            assert_eq!(unesc(&esc(s)).unwrap(), s);
+        }
+        assert!(unesc("%zz").is_err());
+        assert!(unesc("%2").is_err());
+    }
+
+    #[test]
+    fn kind_tokens_round_trip() {
+        for kind in [
+            CheckpointKind::End,
+            CheckpointKind::Barrier(BarrierId::from_index(3)),
+            CheckpointKind::Manual("iter end"),
+        ] {
+            assert_eq!(parse_kind(&kind_token(kind)).unwrap(), kind);
+        }
+        assert!(parse_kind("x:1").is_err());
+        assert!(parse_kind("b:notanum").is_err());
+    }
+
+    #[test]
+    fn interning_deduplicates() {
+        let a = intern("label-a");
+        let b = intern("label-a");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "label-a");
+    }
+}

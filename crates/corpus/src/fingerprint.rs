@@ -1,0 +1,113 @@
+//! Order-independent fingerprints of labeled key fields.
+//!
+//! A corpus entry is addressed by a 128-bit fingerprint of its
+//! [`RunKey`](instantcheck::RunKey)'s fields. Each `(label, value)`
+//! field is hashed independently and the per-field hashes are combined
+//! with a commutative operation (wrapping addition, twice with
+//! independent seeds), so the fingerprint is a function of the *set* of
+//! fields, not the order they were listed in. That makes the on-disk
+//! addressing stable under refactors that reorder the key encoding — a
+//! property the format's round-trip tests pin down.
+
+use instantcheck::RunKey;
+
+/// Seed of the low 64 fingerprint bits.
+const LO_SEED: u64 = 0xc0f_9a5e_0000_0001;
+/// Seed of the high 64 fingerprint bits (independent of [`LO_SEED`], so
+/// the two halves never cancel together).
+const HI_SEED: u64 = 0x5ee_dbee_f000_0002;
+
+/// Plain FNV-1a — the entry body checksum.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    fnv64_seeded(0, bytes)
+}
+
+/// FNV-1a over `bytes`, folded into `seed`.
+fn fnv64_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hash of one labeled field. The label and value are length-prefixed
+/// by the `=` separator plus the seeded initial state, so `("ab", "c")`
+/// and `("a", "bc")` hash differently.
+fn field_hash(seed: u64, label: &str, value: &str) -> u64 {
+    let mut h = fnv64_seeded(seed, label.as_bytes());
+    h = fnv64_seeded(h, b"=");
+    fnv64_seeded(h, value.as_bytes())
+}
+
+/// The order-independent 128-bit fingerprint of a set of labeled
+/// fields.
+///
+/// # Example
+///
+/// ```
+/// let a = corpus::fingerprint_fields(&[("x", "1"), ("y", "2")]);
+/// let b = corpus::fingerprint_fields(&[("y", "2"), ("x", "1")]);
+/// assert_eq!(a, b, "field order does not matter");
+/// let c = corpus::fingerprint_fields(&[("x", "2"), ("y", "1")]);
+/// assert_ne!(a, c, "values bind to their labels");
+/// ```
+pub fn fingerprint_fields(fields: &[(&str, &str)]) -> u128 {
+    let mut lo = 0u64;
+    let mut hi = 0u64;
+    for (label, value) in fields {
+        lo = lo.wrapping_add(field_hash(LO_SEED, label, value));
+        hi = hi.wrapping_add(field_hash(HI_SEED, label, value));
+    }
+    (u128::from(hi)) << 64 | u128::from(lo)
+}
+
+/// The fingerprint a [`RunKey`] is stored under: its canonical
+/// [`tokens`](RunKey::tokens) (which include the key-encoding version),
+/// fingerprinted order-independently.
+pub fn fingerprint_key(key: &RunKey) -> u128 {
+    let tokens = key.tokens();
+    let fields: Vec<(&str, &str)> = tokens
+        .iter()
+        .map(|(label, value)| (*label, value.as_str()))
+        .collect();
+    fingerprint_fields(&fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reordering_fields_preserves_the_fingerprint() {
+        let fields = [("a", "1"), ("b", "2"), ("c", "3"), ("d", "4")];
+        let base = fingerprint_fields(&fields);
+        let mut rotated = fields;
+        rotated.rotate_left(1);
+        assert_eq!(base, fingerprint_fields(&rotated));
+        let mut reversed = fields;
+        reversed.reverse();
+        assert_eq!(base, fingerprint_fields(&reversed));
+    }
+
+    #[test]
+    fn any_field_change_moves_the_fingerprint() {
+        let base = fingerprint_fields(&[("a", "1"), ("b", "2")]);
+        assert_ne!(base, fingerprint_fields(&[("a", "1"), ("b", "3")]));
+        assert_ne!(base, fingerprint_fields(&[("a", "1"), ("c", "2")]));
+        assert_ne!(base, fingerprint_fields(&[("a", "1")]));
+        assert_ne!(
+            base,
+            fingerprint_fields(&[("a", "1"), ("b", "2"), ("b", "2")])
+        );
+    }
+
+    #[test]
+    fn label_value_boundary_matters() {
+        assert_ne!(
+            fingerprint_fields(&[("ab", "c")]),
+            fingerprint_fields(&[("a", "bc")])
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! `corpus` — a persistent campaign corpus for InstantCheck.
+//!
+//! The checker distills every run of a determinism campaign into a
+//! small, durable witness: its per-checkpoint State Hashes plus a
+//! handful of counters. This crate makes those witnesses *persistent*:
+//!
+//! * [`CorpusStore`] is a versioned, content-addressed on-disk
+//!   [`RunCache`](instantcheck::RunCache). Each completed run is filed
+//!   under the 128-bit fingerprint of its
+//!   [`RunKey`](instantcheck::RunKey) — everything that determines the
+//!   run's hashes — so a warm campaign replays recorded outcomes
+//!   through the checker's normal reduction path and produces reports,
+//!   traces, and metrics byte-identical to a cold one. Damaged entries
+//!   (bad magic, wrong version, truncation, checksum mismatch,
+//!   malformed fields) are quarantined and recomputed, never trusted.
+//! * [`CampaignBaseline`] freezes a known-good campaign's reference
+//!   hashes and summary verdicts as a JSON artifact; a later campaign
+//!   is compared against it and any change surfaces as a [`Drift`],
+//!   localized to the first divergent checkpoint.
+//! * [`fingerprint_fields`] is the order-independent fingerprint both
+//!   of the above are addressed by.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use corpus::CorpusStore;
+//! use instantcheck::{Checker, CheckerConfig, Scheme};
+//! use tsim::{ProgramBuilder, ValKind};
+//!
+//! let dir = std::env::temp_dir().join(format!("corpus-lib-doc-{}", std::process::id()));
+//! let source = || {
+//!     let mut b = ProgramBuilder::new(2);
+//!     let g = b.global("G", ValKind::U64, 1);
+//!     let lock = b.mutex();
+//!     for t in 0..2u64 {
+//!         b.thread(move |ctx| {
+//!             ctx.lock(lock);
+//!             let v = ctx.load(g.at(0));
+//!             ctx.store(g.at(0), v + t + 1);
+//!             ctx.unlock(lock);
+//!         });
+//!     }
+//!     b.build()
+//! };
+//!
+//! // Cold campaign: every run simulates, outcomes land on disk.
+//! let store = Arc::new(CorpusStore::open(&dir).unwrap());
+//! let cfg = CheckerConfig::new(Scheme::HwInc)
+//!     .with_runs(4)
+//!     .with_run_cache(store.clone(), "g-plus-t:full");
+//! let cold = Checker::new(cfg.clone()).check(source).unwrap();
+//! assert_eq!(store.run_count(), 4);
+//!
+//! // Warm campaign — even in a fresh process — replays from disk.
+//! let warm = Checker::new(cfg).check(source).unwrap();
+//! assert_eq!(cold, warm);
+//! assert_eq!(store.hits(), 4);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod baseline;
+mod entry;
+mod fingerprint;
+mod store;
+
+pub use baseline::{CampaignBaseline, Drift};
+pub use entry::{
+    decode_entry, encode_entry, kind_token, parse_kind, Corruption, FORMAT_VERSION, MAGIC,
+};
+pub use fingerprint::{fingerprint_fields, fingerprint_key};
+pub use store::CorpusStore;

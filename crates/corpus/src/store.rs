@@ -1,0 +1,374 @@
+//! The on-disk, content-addressed run store.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use instantcheck::{CachedRun, RunCache, RunKey};
+use obs::{Registry, Snapshot};
+
+use crate::entry::{decode_entry, encode_entry, Corruption, FORMAT_VERSION, MAGIC};
+use crate::fingerprint::fingerprint_key;
+
+/// Distinguishes concurrently written temp files within one process.
+static TMP_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+/// A persistent, versioned, content-addressed store of run outcomes.
+///
+/// The layout under the root directory:
+///
+/// ```text
+/// <root>/format            "icorpus 1" — the store's format marker
+/// <root>/runs/<fp>.run     one entry per recorded run, addressed by
+///                          the 128-bit key fingerprint (32 hex digits)
+/// <root>/quarantine/       corrupt entries, moved aside with a .bad
+///                          suffix so they can be inspected
+/// <root>/baselines/        named campaign baselines (JSON)
+/// ```
+///
+/// The store implements [`RunCache`], so it plugs straight into
+/// [`CheckerConfig::with_run_cache`](instantcheck::CheckerConfig::with_run_cache).
+/// It never trusts a damaged file: any entry that fails the magic,
+/// version, length, checksum, or key check is quarantined and the
+/// lookup reports a miss, which makes the checker recompute (and
+/// re-store) the run.
+///
+/// # Example
+///
+/// ```
+/// use corpus::CorpusStore;
+///
+/// let dir = std::env::temp_dir().join(format!("corpus-doc-{}", std::process::id()));
+/// let store = CorpusStore::open(&dir).unwrap();
+/// assert_eq!(store.run_count(), 0);
+/// assert_eq!(store.hits(), 0);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct CorpusStore {
+    root: PathBuf,
+    registry: Arc<Registry>,
+}
+
+impl CorpusStore {
+    /// Opens (creating if needed) a corpus rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// An [`io::Error`] if the directories cannot be created, or one of
+    /// kind [`InvalidData`](io::ErrorKind::InvalidData) if the root
+    /// holds a corpus of a different format version — an incompatible
+    /// store is refused outright rather than silently misread.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<CorpusStore> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(root.join("runs"))?;
+        fs::create_dir_all(root.join("quarantine"))?;
+        fs::create_dir_all(root.join("baselines"))?;
+        let marker = root.join("format");
+        let expected = format!("{MAGIC} {FORMAT_VERSION}\n");
+        match fs::read_to_string(&marker) {
+            Ok(found) if found == expected => {}
+            Ok(found) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "corpus at {} has format {:?}, this build reads {:?}",
+                        root.display(),
+                        found.trim_end(),
+                        expected.trim_end()
+                    ),
+                ));
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                fs::write(&marker, &expected)?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(CorpusStore {
+            root,
+            registry: Arc::new(Registry::new()),
+        })
+    }
+
+    /// The root directory this store reads and writes.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The store's private metrics registry. Counters:
+    /// `corpus.hits`, `corpus.misses`, `corpus.stores`,
+    /// `corpus.quarantined`, and `corpus.quarantined.<class>` per
+    /// [`Corruption::label`]. Kept separate from any campaign registry
+    /// so warm and cold campaigns report identical campaign metrics.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A snapshot of the store's counters.
+    pub fn metrics(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Lookups satisfied from disk so far (this store instance).
+    pub fn hits(&self) -> u64 {
+        self.registry.counter("corpus.hits").get()
+    }
+
+    /// Lookups that found no trustworthy entry.
+    pub fn misses(&self) -> u64 {
+        self.registry.counter("corpus.misses").get()
+    }
+
+    /// Entries written by this store instance.
+    pub fn stores(&self) -> u64 {
+        self.registry.counter("corpus.stores").get()
+    }
+
+    /// Entries quarantined by this store instance.
+    pub fn quarantined(&self) -> u64 {
+        self.registry.counter("corpus.quarantined").get()
+    }
+
+    /// Number of run entries currently on disk.
+    pub fn run_count(&self) -> usize {
+        match fs::read_dir(self.root.join("runs")) {
+            Ok(dir) => dir
+                .flatten()
+                .filter(|e| e.path().extension().is_some_and(|x| x == "run"))
+                .count(),
+            Err(_) => 0,
+        }
+    }
+
+    /// The path a run with this key is stored at.
+    pub fn run_path(&self, key: &RunKey) -> PathBuf {
+        self.root
+            .join("runs")
+            .join(format!("{:032x}.run", fingerprint_key(key)))
+    }
+
+    /// The baselines directory (see
+    /// [`CampaignBaseline`](crate::CampaignBaseline)).
+    pub fn baselines_dir(&self) -> PathBuf {
+        self.root.join("baselines")
+    }
+
+    /// Moves a corrupt entry into `quarantine/` under a unique `.bad`
+    /// name and bumps the per-class counter.
+    fn quarantine(&self, path: &Path, why: &Corruption) {
+        self.registry.add("corpus.quarantined", 1);
+        self.registry
+            .add(&format!("corpus.quarantined.{}", why.label()), 1);
+        let stem = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "entry".to_owned());
+        for attempt in 0u32.. {
+            let dest = self
+                .root
+                .join("quarantine")
+                .join(format!("{stem}.{attempt}.bad"));
+            if dest.exists() {
+                continue;
+            }
+            if fs::rename(path, &dest).is_ok() {
+                return;
+            }
+            break;
+        }
+        // Rename failed (cross-device or racing deletion): just remove
+        // the bad file so it cannot be trusted on the next lookup.
+        let _ = fs::remove_file(path);
+    }
+}
+
+impl RunCache for CorpusStore {
+    fn lookup(&self, key: &RunKey) -> Option<CachedRun> {
+        let path = self.run_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(_) => {
+                self.registry.add("corpus.misses", 1);
+                return None;
+            }
+        };
+        match decode_entry(&text) {
+            Ok((tokens, run)) => {
+                // The stored key must equal the requested one field for
+                // field — a fingerprint collision (or a file copied to
+                // the wrong address) must never read as a hit. The file
+                // can also never hit at this address, so it is
+                // quarantined like any other untrustworthy entry.
+                let expected: Vec<(String, String)> = key
+                    .tokens()
+                    .into_iter()
+                    .map(|(l, v)| (l.to_owned(), v))
+                    .collect();
+                if tokens == expected {
+                    self.registry.add("corpus.hits", 1);
+                    Some(run)
+                } else {
+                    self.quarantine(
+                        &path,
+                        &Corruption::Malformed("stored key does not match its address".into()),
+                    );
+                    self.registry.add("corpus.misses", 1);
+                    None
+                }
+            }
+            Err(why) => {
+                self.quarantine(&path, &why);
+                self.registry.add("corpus.misses", 1);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: &RunKey, run: &CachedRun) {
+        let text = encode_entry(key, run);
+        let path = self.run_path(key);
+        let tmp = self.root.join("runs").join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            TMP_SERIAL.fetch_add(1, Ordering::Relaxed)
+        ));
+        // Write-then-rename so a crashed writer leaves either the old
+        // entry or a stray temp file, never a truncated entry at the
+        // live address. The API is infallible: a failed store is just a
+        // future miss.
+        if fs::write(&tmp, &text).is_ok() {
+            if fs::rename(&tmp, &path).is_ok() {
+                self.registry.add("corpus.stores", 1);
+            } else {
+                let _ = fs::remove_file(&tmp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhash::HashSum;
+    use instantcheck::{CheckpointRecord, RunHashes, Scheme};
+    use tsim::{CheckpointKind, SwitchPolicy};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "corpus-store-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SERIAL.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_key(seed: u64) -> RunKey {
+        RunKey {
+            workload: "store-test".into(),
+            scheme: Scheme::HwInc,
+            seed,
+            lib_seed: 42,
+            switch: SwitchPolicy::SyncOnly,
+            max_steps: 1_000,
+            rounding: None,
+            ignore_token: 0,
+            fault_token: 0,
+            cache_model: false,
+            alloc_seed: None,
+        }
+    }
+
+    fn sample_run() -> CachedRun {
+        CachedRun {
+            hashes: RunHashes {
+                checkpoints: vec![CheckpointRecord {
+                    kind: CheckpointKind::End,
+                    hash: HashSum::from_raw(0xdead_beef),
+                }],
+                output_digest: 99,
+                extra_instr: 1,
+                stores: 2,
+                hash_updates: 3,
+                cache: None,
+            },
+            steps: 10,
+            native_instr: 20,
+            zero_fill_instr: 5,
+            alloc_log: None,
+            sim_trace: None,
+        }
+    }
+
+    #[test]
+    fn store_round_trips_and_counts() {
+        let dir = tempdir("roundtrip");
+        let store = CorpusStore::open(&dir).unwrap();
+        let key = sample_key(1);
+        assert!(store.lookup(&key).is_none());
+        assert_eq!(store.misses(), 1);
+        store.store(&key, &sample_run());
+        assert_eq!(store.stores(), 1);
+        assert_eq!(store.run_count(), 1);
+        let hit = store.lookup(&key).expect("stored entry readable");
+        assert_eq!(hit.hashes.output_digest, 99);
+        assert_eq!(store.hits(), 1);
+        // A second instance over the same directory sees the entry.
+        let reopened = CorpusStore::open(&dir).unwrap();
+        assert!(reopened.lookup(&key).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_not_trusted() {
+        let dir = tempdir("quarantine");
+        let store = CorpusStore::open(&dir).unwrap();
+        let key = sample_key(2);
+        store.store(&key, &sample_run());
+        let path = store.run_path(&key);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one body byte: checksum failure.
+        let flip = bytes.len() - 2;
+        bytes[flip] ^= 1;
+        fs::write(&path, &bytes).unwrap();
+        assert!(store.lookup(&key).is_none());
+        assert_eq!(store.quarantined(), 1);
+        assert!(!path.exists(), "corrupt file moved aside");
+        assert_eq!(
+            fs::read_dir(dir.join("quarantine")).unwrap().count(),
+            1,
+            "quarantine holds the bad file"
+        );
+        // The address is free again: a re-store works and reads back.
+        store.store(&key, &sample_run());
+        assert!(store.lookup(&key).is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn incompatible_format_marker_is_refused() {
+        let dir = tempdir("format");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("format"), "icorpus 999\n").unwrap();
+        let err = CorpusStore::open(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_key_at_an_address_is_a_miss() {
+        let dir = tempdir("keycheck");
+        let store = CorpusStore::open(&dir).unwrap();
+        let a = sample_key(3);
+        let b = sample_key(4);
+        store.store(&a, &sample_run());
+        // Copy a's (internally consistent) entry to b's address; the
+        // fingerprint check inside decode flags it as corruption.
+        fs::copy(store.run_path(&a), store.run_path(&b)).unwrap();
+        assert!(store.lookup(&b).is_none());
+        assert_eq!(store.quarantined(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

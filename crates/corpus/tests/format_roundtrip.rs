@@ -1,0 +1,238 @@
+//! Property tests of the corpus entry format: encode/decode identity,
+//! fingerprint stability under field reordering, and a quarantine
+//! classification per corruption class.
+
+use std::sync::Arc;
+
+use adhash::{FpRound, HashSum};
+use corpus::{decode_entry, encode_entry, fingerprint_fields, Corruption};
+use instantcheck::{CachedRun, CheckpointRecord, RunHashes, RunKey, Scheme};
+use minicheck::{check, Gen};
+use obs::Event;
+use tsim::{AllocLog, BarrierId, CheckpointKind, SwitchPolicy};
+
+/// A workload id exercising the escaper: spaces, percent signs, tabs,
+/// and plain alphanumerics.
+fn gen_workload(g: &mut Gen) -> String {
+    let alphabet = [
+        "app", " ", "%", "%25", "\t", "x1", ":scaled", "_", "=", ";", "b",
+    ];
+    let parts = g.vec_of(1, 6, |g| *g.pick(&alphabet));
+    parts.concat()
+}
+
+fn gen_key(g: &mut Gen) -> RunKey {
+    RunKey {
+        workload: gen_workload(g),
+        scheme: *g.pick(&[Scheme::Native, Scheme::HwInc, Scheme::SwInc, Scheme::SwTr]),
+        seed: g.u64(),
+        lib_seed: g.u64(),
+        switch: *g.pick(&[
+            SwitchPolicy::SyncOnly,
+            SwitchPolicy::EveryAccess,
+            SwitchPolicy::EveryNth(3),
+        ]),
+        max_steps: g.u64_in(1, 1 << 40),
+        rounding: match g.usize_in(0, 3) {
+            0 => None,
+            1 => Some(FpRound::BitExact),
+            _ => Some(FpRound::MaskMantissa {
+                bits: g.u64_in(1, 52) as u32,
+            }),
+        },
+        ignore_token: g.u64(),
+        fault_token: g.u64(),
+        cache_model: g.bool(),
+        alloc_seed: g.bool().then(|| g.u64()),
+    }
+}
+
+fn gen_run(g: &mut Gen) -> CachedRun {
+    let checkpoints = g.vec_of(0, 8, |g| CheckpointRecord {
+        kind: match g.usize_in(0, 3) {
+            0 => CheckpointKind::Barrier(BarrierId::from_index(g.usize_in(0, 16))),
+            1 => {
+                const LABELS: [&str; 3] = ["iter end", "phase 2", "a%b"];
+                CheckpointKind::Manual(LABELS[g.usize_in(0, LABELS.len())])
+            }
+            _ => CheckpointKind::End,
+        },
+        hash: HashSum::from_raw(g.u64()),
+    });
+    let cache = g.bool().then(|| mhm::CacheStats {
+        hits: g.u64(),
+        misses: g.u64(),
+        mhm_reads: g.u64(),
+        mhm_read_misses: g.u64(),
+    });
+    let alloc_log = g.bool().then(|| {
+        let mut log = AllocLog::default();
+        for _ in 0..g.usize_in(0, 10) {
+            log.insert(g.usize_in(0, 8), g.u64_in(0, 64), g.u64());
+        }
+        Arc::new(log)
+    });
+    let sim_trace = g.bool().then(|| {
+        g.vec_of(0, 6, |g| {
+            let mut ev = Event::instant(g.u64(), g.u32(), "sched");
+            if g.bool() {
+                ev = ev.with_arg("tid", g.u64()).with_arg("why", "preempt");
+            }
+            ev
+        })
+    });
+    CachedRun {
+        hashes: RunHashes {
+            checkpoints,
+            output_digest: g.u64(),
+            extra_instr: g.u64(),
+            stores: g.u64(),
+            hash_updates: g.u64(),
+            cache,
+        },
+        steps: g.u64(),
+        native_instr: g.u64(),
+        zero_fill_instr: g.u64(),
+        alloc_log,
+        sim_trace,
+    }
+}
+
+#[test]
+fn encode_decode_is_the_identity() {
+    check("corpus_encode_decode_identity", 128, |g: &mut Gen| {
+        let key = gen_key(g);
+        let run = gen_run(g);
+        let text = encode_entry(&key, &run);
+        let (tokens, decoded) = decode_entry(&text).unwrap_or_else(|why| {
+            panic!("fresh entry failed to decode: {why}\n{text}");
+        });
+        let expected: Vec<(String, String)> = key
+            .tokens()
+            .into_iter()
+            .map(|(l, v)| (l.to_owned(), v))
+            .collect();
+        assert_eq!(tokens, expected, "key tokens round-trip");
+        // Encoding is a pure function of (key, run), so decode is the
+        // identity exactly when re-encoding reproduces the bytes.
+        assert_eq!(
+            encode_entry(&key, &decoded),
+            text,
+            "decoded run re-encodes identically"
+        );
+    });
+}
+
+#[test]
+fn fingerprints_are_order_independent_and_value_sensitive() {
+    check("corpus_fingerprint_stability", 128, |g: &mut Gen| {
+        let key = gen_key(g);
+        let tokens = key.tokens();
+        let fields: Vec<(&str, &str)> = tokens.iter().map(|(l, v)| (*l, v.as_str())).collect();
+        let base = fingerprint_fields(&fields);
+
+        // Any rotation of the fields fingerprints identically.
+        let mut rotated = fields.clone();
+        rotated.rotate_left(g.usize_in(1, fields.len()));
+        assert_eq!(base, fingerprint_fields(&rotated), "order-independent");
+
+        // Changing any one field's value moves the fingerprint.
+        let victim = g.usize_in(0, fields.len());
+        let mut changed: Vec<(&str, String)> =
+            tokens.iter().map(|(l, v)| (*l, v.clone())).collect();
+        changed[victim].1.push('!');
+        let changed_fields: Vec<(&str, &str)> =
+            changed.iter().map(|(l, v)| (*l, v.as_str())).collect();
+        assert_ne!(
+            base,
+            fingerprint_fields(&changed_fields),
+            "value-sensitive in field {}",
+            fields[victim].0
+        );
+    });
+}
+
+#[test]
+fn every_corruption_class_is_detected_and_classified() {
+    check("corpus_corruption_classes", 96, |g: &mut Gen| {
+        let key = gen_key(g);
+        let run = gen_run(g);
+        let text = encode_entry(&key, &run);
+        let header_end = {
+            let mut pos = 0;
+            for _ in 0..4 {
+                pos += text[pos..].find('\n').unwrap() + 1;
+            }
+            pos
+        };
+        match g.usize_in(0, 5) {
+            0 => {
+                // Bad magic.
+                let bad = text.replacen("icorpus", "zcorpus", 1);
+                assert!(matches!(decode_entry(&bad), Err(Corruption::BadMagic)));
+            }
+            1 => {
+                // A future format version.
+                let bad = text.replacen("icorpus 1", "icorpus 2", 1);
+                assert!(matches!(
+                    decode_entry(&bad),
+                    Err(Corruption::VersionMismatch { found: 2 })
+                ));
+            }
+            2 => {
+                // Truncation: drop bytes off the end of the body.
+                let body_len = text.len() - header_end;
+                let keep = g.usize_in(0, body_len);
+                let bad = &text[..header_end + keep];
+                match decode_entry(bad) {
+                    Err(Corruption::Truncated { expected, found }) => {
+                        assert_eq!(expected, body_len);
+                        assert_eq!(found, keep);
+                    }
+                    other => panic!("expected Truncated, got {other:?}"),
+                }
+            }
+            3 => {
+                // Flip one body byte (same length): the checksum rejects
+                // it before any field parse could misread it.
+                let body_len = text.len() - header_end;
+                if body_len == 0 {
+                    return; // no body byte to flip for this case
+                }
+                let at = header_end + g.usize_in(0, body_len);
+                let mut bytes = text.clone().into_bytes();
+                bytes[at] ^= 0x01;
+                let Ok(bad) = String::from_utf8(bytes) else {
+                    return; // flip broke UTF-8; fs::read_to_string would too
+                };
+                assert!(matches!(decode_entry(&bad), Err(Corruption::BadChecksum)));
+            }
+            _ => {
+                // Internally consistent header over a junk body: only
+                // the field parser can catch it.
+                let body = "key a=1\nnot a valid line\n";
+                let bad = format!(
+                    "icorpus 1\nfp {:032x}\nlen {}\nsum {:016x}\n{body}",
+                    0u128,
+                    body.len(),
+                    corpus_checksum(body),
+                );
+                assert!(
+                    matches!(decode_entry(&bad), Err(Corruption::Malformed(_))),
+                    "junk body classified as malformed"
+                );
+            }
+        }
+    });
+}
+
+/// FNV-1a, duplicated here so the test can forge a "valid" checksum
+/// without reaching into the crate's private helper.
+fn corpus_checksum(body: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in body.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}

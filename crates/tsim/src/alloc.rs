@@ -79,6 +79,22 @@ impl AllocLog {
         self.entries.get(&(tid, seq)).map(|&b| Addr(b))
     }
 
+    /// The logged allocations as `((tid, seq), base)` triples, sorted by
+    /// key — a canonical order, so two equal logs always enumerate
+    /// identically (the corpus serializer relies on this).
+    pub fn entries(&self) -> Vec<((ThreadId, u64), u64)> {
+        let mut v: Vec<((ThreadId, u64), u64)> =
+            self.entries.iter().map(|(&k, &base)| (k, base)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Inserts one logged allocation — the inverse of
+    /// [`entries`](AllocLog::entries), for deserializing a persisted log.
+    pub fn insert(&mut self, tid: ThreadId, seq: u64, base: u64) {
+        self.record(tid, seq, base);
+    }
+
     fn record(&mut self, tid: ThreadId, seq: u64, base: u64) {
         self.entries.insert((tid, seq), base);
     }

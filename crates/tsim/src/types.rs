@@ -54,6 +54,13 @@ impl BarrierId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds a barrier id from its dense [`index`](BarrierId::index) —
+    /// for deserializing persisted checkpoint records; the index is only
+    /// meaningful for the program it was recorded from.
+    pub fn from_index(index: usize) -> Self {
+        BarrierId(index)
+    }
 }
 
 impl LockId {

@@ -9,9 +9,11 @@
 //! * [`mhm`] — the hardware Memory-State Hashing Module model,
 //! * [`instantcheck`] — the determinism checker itself,
 //! * [`instantcheck_workloads`] — the 17 application kernels,
-//! * [`instantcheck_explorer`] — Section-6 applications of the primitive.
+//! * [`instantcheck_explorer`] — Section-6 applications of the primitive,
+//! * [`corpus`] — the persistent campaign corpus and baseline store.
 
 pub use adhash;
+pub use corpus;
 pub use instantcheck;
 pub use instantcheck_explorer;
 pub use instantcheck_workloads;

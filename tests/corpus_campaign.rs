@@ -1,0 +1,265 @@
+//! The persistent corpus, checked end to end through the checker: warm
+//! campaigns replayed from disk are byte-identical to cold ones at any
+//! worker count, corrupt entries are quarantined and recomputed (never
+//! trusted), and recorded baselines flag perturbation as drift.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use corpus::{CampaignBaseline, CorpusStore, Drift};
+use instantcheck::{CheckReport, Checker, CheckerConfig, RunCache, Scheme};
+use obs::{MemorySink, Registry};
+use tsim::{Program, ProgramBuilder, ValKind};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("corpus-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic, with a barrier checkpoint, heap traffic (exercising
+/// the allocator-replay provenance in cache keys), and output.
+fn commuting_sum() -> Program {
+    let mut b = ProgramBuilder::new(4);
+    let g = b.global("G", ValKind::U64, 1);
+    let bar = b.barrier();
+    let lock = b.mutex();
+    for t in 0..4u64 {
+        b.thread(move |ctx| {
+            let p = ctx.malloc("scratch", tsim::TypeTag::u64s(), 2);
+            ctx.store(p, t);
+            ctx.barrier(bar);
+            ctx.lock(lock);
+            let v = ctx.load(g.at(0));
+            ctx.store(g.at(0), v + (t + 1) * 10);
+            ctx.unlock(lock);
+            ctx.free(p);
+        });
+    }
+    b.build()
+}
+
+/// Nondeterministic: last writer wins at the End checkpoint.
+fn last_writer() -> Program {
+    let mut b = ProgramBuilder::new(3);
+    let g = b.global("G", ValKind::U64, 1);
+    let lock = b.mutex();
+    for t in 0..3u64 {
+        b.thread(move |ctx| {
+            ctx.lock(lock);
+            ctx.store(g.at(0), t + 1);
+            ctx.unlock(lock);
+        });
+    }
+    b.build()
+}
+
+fn config(store: &Arc<CorpusStore>, jobs: usize) -> CheckerConfig {
+    CheckerConfig::new(Scheme::HwInc)
+        .with_runs(6)
+        .with_jobs(jobs)
+        .with_cache_model()
+        .with_run_cache(Arc::clone(store) as _, "commuting_sum")
+}
+
+/// Runs one fully-instrumented campaign and returns every observable
+/// surface: report, serialized trace, and metrics snapshot.
+fn observed_campaign(
+    store: &Arc<CorpusStore>,
+    jobs: usize,
+) -> (CheckReport, String, obs::Snapshot) {
+    let sink = Arc::new(MemorySink::new());
+    let reg = Arc::new(Registry::new());
+    let cfg = config(store, jobs)
+        .with_sink(sink.clone())
+        .with_registry(reg.clone());
+    let report = Checker::new(cfg).check(commuting_sum).expect("completes");
+    (report, sink.to_jsonl(), reg.snapshot())
+}
+
+#[test]
+fn warm_disk_campaign_is_byte_identical_to_cold() {
+    for jobs in [1usize, 8] {
+        let dir = tempdir(&format!("warmcold-{jobs}"));
+        let cold_store = Arc::new(CorpusStore::open(&dir).unwrap());
+        let cold = observed_campaign(&cold_store, jobs);
+        assert_eq!(cold_store.hits(), 0, "jobs={jobs}: first campaign is cold");
+        assert_eq!(cold_store.run_count(), 6, "jobs={jobs}: all runs stored");
+
+        // A fresh store instance over the same directory models a fresh
+        // process: everything must replay from disk.
+        let warm_store = Arc::new(CorpusStore::open(&dir).unwrap());
+        let warm = observed_campaign(&warm_store, jobs);
+        assert_eq!(cold.0, warm.0, "jobs={jobs}: report");
+        assert_eq!(cold.1, warm.1, "jobs={jobs}: trace bytes");
+        assert_eq!(cold.2, warm.2, "jobs={jobs}: campaign metrics");
+        assert_eq!(warm_store.hits(), 6, "jobs={jobs}: every slot hit");
+        assert_eq!(warm_store.stores(), 0, "jobs={jobs}: nothing re-stored");
+        // The hit counters live in the store's own registry, visible
+        // without perturbing the campaign metrics compared above.
+        assert_eq!(
+            warm_store.metrics().counters.get("corpus.hits"),
+            Some(&6),
+            "jobs={jobs}: hits visible in the store snapshot"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn corrupt_entries_are_quarantined_and_recomputed() {
+    let dir = tempdir("corrupt");
+    let store = Arc::new(CorpusStore::open(&dir).unwrap());
+    let cold = observed_campaign(&store, 1);
+
+    // Corrupt one stored entry per class: truncate one file, flip a
+    // byte of another, and stamp a third with a future version.
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir.join("runs"))
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 6);
+    let text = fs::read_to_string(&entries[0]).unwrap();
+    fs::write(&entries[0], &text[..text.len() / 2]).unwrap();
+    let mut bytes = fs::read(&entries[1]).unwrap();
+    let last = bytes.len() - 2;
+    bytes[last] ^= 0x40;
+    fs::write(&entries[1], &bytes).unwrap();
+    let text = fs::read_to_string(&entries[2]).unwrap();
+    fs::write(&entries[2], text.replacen("icorpus 1", "icorpus 7", 1)).unwrap();
+
+    let warm_store = Arc::new(CorpusStore::open(&dir).unwrap());
+    let warm = observed_campaign(&warm_store, 1);
+    assert_eq!(cold.0, warm.0, "report survives corruption");
+    assert_eq!(cold.1, warm.1, "trace survives corruption");
+    assert_eq!(cold.2, warm.2, "metrics survive corruption");
+    assert_eq!(warm_store.hits(), 3, "intact entries replay");
+    assert_eq!(warm_store.quarantined(), 3, "corrupt entries quarantined");
+    assert_eq!(
+        warm_store.stores(),
+        3,
+        "corrupt entries recomputed and re-stored"
+    );
+    assert_eq!(
+        fs::read_dir(dir.join("quarantine")).unwrap().count(),
+        3,
+        "quarantine keeps the evidence"
+    );
+    let m = warm_store.metrics();
+    for class in ["truncated", "bad-checksum", "version-mismatch"] {
+        assert_eq!(
+            m.counters.get(&format!("corpus.quarantined.{class}")),
+            Some(&1),
+            "one {class} quarantine"
+        );
+    }
+
+    // The repaired corpus is fully warm again.
+    let healed = Arc::new(CorpusStore::open(&dir).unwrap());
+    let again = observed_campaign(&healed, 1);
+    assert_eq!(cold.0, again.0);
+    assert_eq!(healed.hits(), 6);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn a_cached_lookup_never_trusts_a_tampered_hash() {
+    // Flip a checkpoint-hash *and* fix nothing else: the checksum
+    // rejects the file, so the campaign verdict cannot be poisoned.
+    let dir = tempdir("tamper");
+    let store = Arc::new(CorpusStore::open(&dir).unwrap());
+    let cold = Checker::new(config(&store, 1))
+        .check(commuting_sum)
+        .unwrap();
+    assert!(cold.is_deterministic());
+
+    for entry in fs::read_dir(dir.join("runs")).unwrap().flatten() {
+        let text = fs::read_to_string(entry.path()).unwrap();
+        let tampered = text.replacen("cp b:0 ", "cp b:0 f", 1);
+        fs::write(entry.path(), tampered).unwrap();
+    }
+    let warm_store = Arc::new(CorpusStore::open(&dir).unwrap());
+    let warm = Checker::new(config(&warm_store, 1))
+        .check(commuting_sum)
+        .unwrap();
+    assert_eq!(cold, warm, "tampered entries recompute to the truth");
+    assert!(warm.is_deterministic(), "no forged nondeterminism verdict");
+    assert_eq!(warm_store.quarantined(), 6);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn perturbed_baseline_is_flagged_as_drift() {
+    let dir = tempdir("baseline");
+    let store = Arc::new(CorpusStore::open(&dir).unwrap());
+    let runs = Checker::new(config(&store, 1))
+        .collect_runs(&commuting_sum)
+        .unwrap();
+    let report = CheckReport::from_runs(&runs);
+    let baseline = CampaignBaseline::capture(
+        "commuting-sum",
+        "commuting_sum",
+        Scheme::HwInc,
+        1,
+        &runs[0],
+        &report,
+    );
+    baseline.save(store.baselines_dir()).unwrap();
+
+    // Round-tripped and compared against the same campaign: no drift.
+    let loaded = CampaignBaseline::load(store.baselines_dir(), "commuting-sum").unwrap();
+    assert_eq!(loaded, baseline);
+    assert!(loaded.compare(&runs[0], &report).is_empty());
+
+    // A perturbed copy — one reference hash nudged — must be flagged,
+    // localized to that checkpoint.
+    let mut perturbed = loaded.clone();
+    let idx = perturbed.reference.len() / 2;
+    perturbed.reference[idx].1 ^= 1;
+    let drifts = perturbed.compare(&runs[0], &report);
+    assert!(!drifts.is_empty(), "perturbation detected");
+    match &drifts[0] {
+        Drift::ReferenceHash { checkpoint, .. } => assert_eq!(*checkpoint, idx),
+        other => panic!("expected ReferenceHash, got {other:?}"),
+    }
+
+    // A genuinely different campaign (nondeterministic workload) drifts
+    // on the summary verdicts too.
+    let ndet_runs = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(6))
+        .collect_runs(&last_writer)
+        .unwrap();
+    let ndet_report = CheckReport::from_runs(&ndet_runs);
+    let drifts = baseline.compare(&ndet_runs[0], &ndet_report);
+    assert!(drifts
+        .iter()
+        .any(|d| matches!(d, Drift::Summary { field, .. } if *field == "ndet_points")));
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corpus_store_and_memory_cache_agree() {
+    // The on-disk store and the in-memory reference implementation are
+    // interchangeable RunCache impls: same campaign, same results.
+    let dir = tempdir("parity");
+    let disk = Arc::new(CorpusStore::open(&dir).unwrap());
+    let memory = Arc::new(instantcheck::MemoryRunCache::new());
+    let run = |cache: Arc<dyn RunCache>| {
+        let cfg = CheckerConfig::new(Scheme::HwInc)
+            .with_runs(4)
+            .with_run_cache(cache, "commuting_sum");
+        Checker::new(cfg).check(commuting_sum).unwrap()
+    };
+    let a = run(disk.clone());
+    let b = run(memory.clone());
+    assert_eq!(a, b);
+    // Warm reruns on both also agree.
+    let a2 = run(disk);
+    let b2 = run(memory.clone());
+    assert_eq!(a2, b2);
+    assert_eq!(a, a2);
+    assert_eq!(memory.hits(), 4);
+    fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,81 @@
+//! Pins the committed corpus baseline to the code: a fresh campaign must
+//! reproduce `results/corpus/baselines/canneal-scaled-r8-s1.json` with no
+//! drift, and the drift checker must flag a perturbed copy of it.
+
+use std::path::PathBuf;
+
+use corpus::{CampaignBaseline, Drift};
+use instantcheck::{CheckReport, Checker, CheckerConfig, Scheme};
+
+fn baselines_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("corpus")
+        .join("baselines")
+}
+
+/// The exact campaign the committed baseline was recorded from:
+/// `corpus record --app canneal --scaled --runs 8 --seed 1`.
+fn campaign() -> (Vec<instantcheck::RunHashes>, CheckReport) {
+    let app = instantcheck_workloads::by_name("canneal", true).expect("canneal is a workload");
+    let build = std::sync::Arc::clone(&app.build);
+    let cfg = CheckerConfig::new(Scheme::HwInc)
+        .with_runs(8)
+        .with_base_seed(1);
+    let runs = Checker::new(cfg)
+        .collect_runs(&move || build())
+        .expect("campaign completes");
+    let report = CheckReport::from_runs(&runs);
+    (runs, report)
+}
+
+#[test]
+fn committed_baseline_matches_a_fresh_campaign() {
+    let baseline = CampaignBaseline::load(baselines_dir(), "canneal-scaled-r8-s1")
+        .expect("committed baseline loads");
+    let (runs, report) = campaign();
+    let drifts = baseline.compare(&runs[0], &report);
+    assert!(
+        drifts.is_empty(),
+        "the committed baseline drifted from the code:\n{}",
+        drifts
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn drift_check_flags_a_perturbed_baseline() {
+    let baseline = CampaignBaseline::load(baselines_dir(), "canneal-scaled-r8-s1")
+        .expect("committed baseline loads");
+    let (runs, report) = campaign();
+
+    // One flipped bit in one reference hash must surface as drift at
+    // exactly that checkpoint.
+    let mut perturbed = baseline.clone();
+    perturbed.reference[2].1 ^= 1 << 17;
+    let drifts = perturbed.compare(&runs[0], &report);
+    assert!(!drifts.is_empty(), "perturbed hash not flagged");
+    match &drifts[0] {
+        Drift::ReferenceHash { checkpoint, .. } => assert_eq!(*checkpoint, 2),
+        other => panic!("expected a ReferenceHash drift, got {other:?}"),
+    }
+
+    // A perturbed summary verdict is flagged too.
+    let mut perturbed = baseline.clone();
+    perturbed.ndet_points += 1;
+    let drifts = perturbed.compare(&runs[0], &report);
+    assert!(drifts
+        .iter()
+        .any(|d| matches!(d, Drift::Summary { field, .. } if *field == "ndet_points")));
+
+    // And a perturbed output digest.
+    let mut perturbed = baseline;
+    perturbed.output_digest ^= 0xdead_beef;
+    let drifts = perturbed.compare(&runs[0], &report);
+    assert!(drifts
+        .iter()
+        .any(|d| matches!(d, Drift::OutputDigest { .. })));
+}
