@@ -1,0 +1,20 @@
+//! Prints the canonical single-line JSON for a campaign spec assembled
+//! from the shared harness flags — the format `--spec FILE` and the
+//! `icd` orchestrator's batch lines consume.
+//!
+//! ```text
+//! cargo run -p instantcheck-bench --example make_spec -- \
+//!     --workload canneal:scaled --runs 8 --seed 1 > canneal.spec.json
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sa = instantcheck_bench::cli::parse_spec(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if sa.spec.workload.is_empty() {
+        eprintln!("note: no --workload set; the spec is a template");
+    }
+    println!("{}", sa.spec.to_json());
+}

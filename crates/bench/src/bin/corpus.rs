@@ -18,65 +18,57 @@
 //! `--require-hits` additionally fails the check if nothing was
 //! replayed from the corpus (the CI smoke leg uses this to prove the
 //! warm path actually engaged).
+//!
+//! Campaign shape comes from the shared spec flags (`bench::cli`), so
+//! `--runs`/`--seed`/`--jobs`/`--scheme`/`--spec FILE` mean exactly
+//! what they mean to every other harness binary and to `icd`.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use corpus::{CampaignBaseline, CorpusStore};
-use instantcheck::{CheckReport, Checker, CheckerConfig, Scheme};
+use instantcheck::{CampaignSpec, CheckReport, Checker, CheckerConfig};
+use instantcheck_bench::cli;
 use instantcheck_workloads::AppSpec;
 
 struct Cli {
     command: String,
     app: String,
     scaled: bool,
-    runs: usize,
-    seed: u64,
-    jobs: Option<usize>,
     dir: String,
     require_hits: bool,
+    spec: CampaignSpec,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: corpus <record|check> --app NAME [--scaled] [--runs N] \
-         [--seed N] [--jobs N] [--dir DIR] [--require-hits]"
+         [--seed N] [--jobs N] [--dir DIR] [--require-hits] [shared spec flags]"
     );
     std::process::exit(2);
 }
 
 fn parse_cli() -> Cli {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(command) = args.get(1).cloned() else {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sa = cli::parse_spec(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
         usage();
-    };
-    if command != "record" && command != "check" {
-        usage();
-    }
-    let mut cli = Cli {
-        command,
-        app: String::new(),
-        scaled: false,
-        runs: 30,
-        seed: 1,
-        jobs: None,
-        dir: "results/corpus".to_owned(),
-        require_hits: false,
-    };
-    let mut i = 2;
-    let value = |args: &[String], i: &mut usize| -> String {
-        *i += 1;
-        args.get(*i).cloned().unwrap_or_else(|| usage())
-    };
-    while i < args.len() {
-        match args[i].as_str() {
-            "--app" => cli.app = value(&args, &mut i),
-            "--scaled" => cli.scaled = true,
-            "--runs" => cli.runs = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
-            "--seed" => cli.seed = value(&args, &mut i).parse().unwrap_or_else(|_| usage()),
-            "--jobs" => cli.jobs = Some(value(&args, &mut i).parse().unwrap_or_else(|_| usage())),
-            "--dir" => cli.dir = value(&args, &mut i),
-            "--require-hits" => cli.require_hits = true,
+    });
+    let mut command = String::new();
+    let mut app = String::new();
+    let mut dir = "results/corpus".to_owned();
+    let mut require_hits = false;
+    let mut i = 0;
+    while i < sa.rest.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            sa.rest.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match sa.rest[i].as_str() {
+            "record" | "check" if command.is_empty() => command = sa.rest[i].clone(),
+            "--app" => app = value(&mut i),
+            "--dir" => dir = value(&mut i),
+            "--require-hits" => require_hits = true,
             other => {
                 eprintln!("unknown argument {other}");
                 usage();
@@ -84,10 +76,19 @@ fn parse_cli() -> Cli {
         }
         i += 1;
     }
-    if cli.app.is_empty() {
+    if command.is_empty() || app.is_empty() {
         usage();
     }
-    cli
+    let mut spec = sa.spec;
+    spec.workload = format!("{app}:{}", if sa.scaled { "scaled" } else { "full" });
+    Cli {
+        command,
+        app,
+        scaled: sa.scaled,
+        dir,
+        require_hits,
+        spec,
+    }
 }
 
 /// The baseline name: one per `(app, scale, runs, seed)` campaign
@@ -98,30 +99,24 @@ fn baseline_name(cli: &Cli) -> String {
         "{}-{}-r{}-s{}",
         cli.app,
         if cli.scaled { "scaled" } else { "full" },
-        cli.runs,
-        cli.seed
+        cli.spec.runs,
+        cli.spec.base_seed
     )
-}
-
-fn config(cli: &Cli, store: &Arc<CorpusStore>, workload: &str) -> CheckerConfig {
-    let mut cfg = CheckerConfig::new(Scheme::HwInc)
-        .with_runs(cli.runs)
-        .with_base_seed(cli.seed)
-        .with_run_cache(Arc::clone(store) as _, workload);
-    if let Some(jobs) = cli.jobs {
-        cfg = cfg.with_jobs(jobs);
-    }
-    cfg
 }
 
 fn campaign(
     cli: &Cli,
     app: &AppSpec,
     store: &Arc<CorpusStore>,
-    workload: &str,
 ) -> (Vec<instantcheck::RunHashes>, CheckReport) {
+    let cfg = CheckerConfig::from_spec(&cli.spec)
+        .with_run_cache(Arc::clone(store) as _, &cli.spec.workload);
     let build = Arc::clone(&app.build);
-    let runs = Checker::new(config(cli, store, workload))
+    let runs = Checker::new(cfg)
+        .unwrap_or_else(|e| {
+            eprintln!("{}: invalid campaign: {e}", cli.app);
+            std::process::exit(2);
+        })
         .collect_runs(&move || build())
         .unwrap_or_else(|e| {
             eprintln!("{}: campaign failed: {e}", cli.app);
@@ -144,9 +139,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let workload = format!("{}:{}", cli.app, if cli.scaled { "scaled" } else { "full" });
     let name = baseline_name(&cli);
-    let (runs, report) = campaign(&cli, &app, &store, &workload);
+    let (runs, report) = campaign(&cli, &app, &store);
     eprintln!(
         "{}: {} runs, corpus {} hits / {} misses / {} stores / {} quarantined",
         cli.app,
@@ -158,8 +152,14 @@ fn main() -> ExitCode {
     );
 
     if cli.command == "record" {
-        let baseline =
-            CampaignBaseline::capture(&name, &workload, Scheme::HwInc, cli.seed, &runs[0], &report);
+        let baseline = CampaignBaseline::capture(
+            &name,
+            &cli.spec.workload,
+            cli.spec.scheme,
+            cli.spec.base_seed,
+            &runs[0],
+            &report,
+        );
         if let Err(e) = baseline.save(store.baselines_dir()) {
             eprintln!("cannot save baseline {name}: {e}");
             return ExitCode::from(2);
@@ -205,10 +205,10 @@ fn main() -> ExitCode {
                 let build = Arc::clone(&app.build);
                 match instantcheck::localize(
                     move || build(),
-                    cli.seed,
-                    cli.seed + (ndet_run as u64 - 1),
+                    cli.spec.base_seed,
+                    cli.spec.base_seed + (ndet_run as u64 - 1),
                     seq,
-                    0xfeed,
+                    cli.spec.lib_seed,
                     None,
                 ) {
                     Ok(loc) => {

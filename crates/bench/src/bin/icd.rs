@@ -1,0 +1,361 @@
+//! `icd` — the InstantCheck campaign daemon.
+//!
+//! A long-running front end for the `sched` orchestrator: it accepts
+//! batches of campaign submissions as JSON lines, runs them on a
+//! bounded worker pool over the registered workloads, multiplexes an
+//! optional shared run corpus behind striped locking, and writes one
+//! deterministic artifact per campaign. Under load it degrades
+//! gracefully — submissions past the queue bound are *shed* with an
+//! explicit outcome instead of blocking or dying — and on end of input
+//! it drains: every accepted campaign finishes before the process
+//! exits.
+//!
+//! ```text
+//! icd [--width N] [--queue-cap N] [--budget N] [--retries N]
+//!     [--backoff-ms N] [--deadline-ms N] [--stripes N] [--trace]
+//!     [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH]
+//! ```
+//!
+//! Submissions are read, in order, from `--batch FILE` (`-` for
+//! stdin), then from `--socket PATH` (a unix listener; clients get a
+//! one-line disposition reply per submission, and a literal `drain`
+//! line shuts intake down), then — when neither was given — from
+//! stdin. Each line is either a bare `CampaignSpec` (the exact JSON
+//! `--spec` files use; the id defaults to `c<seq>`) or a wrapper
+//! `{"id": "...", "priority": N, "spec": {...}}`. Blank lines and
+//! `#` comments are skipped.
+//!
+//! Artifacts land under `--out` (default `results/icd`): per-campaign
+//! `<id>.report.json` (byte-identical to the same spec run alone, at
+//! any `--width`) and optional `<id>.trace.jsonl`, plus the batch
+//! summary `batch.jsonl` (one result line per submission, in
+//! submission order), the deterministic batch span trace
+//! `batch.trace.jsonl`, and the wall-clock side of the story in
+//! `metrics.json` (queue depth, wait times, shed counts, corpus
+//! stripe contention — everything that is *allowed* to vary run to
+//! run).
+//!
+//! Exit status: 0 when every submission completed, 1 when any
+//! campaign failed, was invalid, was shed, or a submission line did
+//! not parse, 2 on usage or I/O errors.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use instantcheck::{CampaignSpec, RunCache};
+use obs::json::{parse, Value};
+use sched::{
+    CampaignStatus, Disposition, Orchestrator, OrchestratorConfig, ProgramSource, Resolver,
+    Submission,
+};
+
+struct IcdCli {
+    config: OrchestratorConfig,
+    corpus: Option<Arc<corpus::CorpusStore>>,
+    out: String,
+    batch: Option<String>,
+    socket: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: icd [--width N] [--queue-cap N] [--budget N] [--retries N] \
+         [--backoff-ms N] [--deadline-ms N] [--stripes N] [--trace] \
+         [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> IcdCli {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = IcdCli {
+        config: OrchestratorConfig::default(),
+        corpus: None,
+        out: "results/icd".to_owned(),
+        batch: None,
+        socket: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        let num = |i: &mut usize| -> u64 { value(i).parse().unwrap_or_else(|_| usage()) };
+        match args[i].as_str() {
+            "--width" => cli.config.width = num(&mut i) as usize,
+            "--queue-cap" => cli.config.queue_capacity = num(&mut i) as usize,
+            "--budget" => cli.config.job_budget = num(&mut i) as usize,
+            "--retries" => cli.config.retries = num(&mut i) as u32,
+            "--backoff-ms" => cli.config.backoff = Duration::from_millis(num(&mut i)),
+            "--deadline-ms" => cli.config.default_deadline_ms = Some(num(&mut i)),
+            "--stripes" => cli.config.stripes = num(&mut i) as usize,
+            "--trace" => cli.config.trace = true,
+            "--corpus" => {
+                let dir = value(&mut i);
+                match corpus::CorpusStore::open(&dir) {
+                    Ok(store) => cli.corpus = Some(Arc::new(store)),
+                    Err(e) => {
+                        eprintln!("cannot open corpus at {dir}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => cli.out = value(&mut i),
+            "--batch" => cli.batch = Some(value(&mut i)),
+            "--socket" => cli.socket = Some(value(&mut i)),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    cli
+}
+
+/// Maps `app:scaled` / `app:full` workload ids onto the registered
+/// workload programs — the same ids the `--corpus` store keys runs by.
+fn resolver() -> Resolver {
+    Arc::new(|workload: &str| -> Option<ProgramSource> {
+        let (app, scale) = workload.split_once(':')?;
+        let scaled = match scale {
+            "scaled" => true,
+            "full" => false,
+            _ => return None,
+        };
+        instantcheck_workloads::by_name(app, scaled).map(|a| a.build)
+    })
+}
+
+/// One submission line: a bare spec, or `{"id", "priority", "spec"}`.
+fn parse_submission(line: &str, seq: usize) -> Result<Submission, String> {
+    let v = parse(line)?;
+    let (spec_value, id, priority) = match v.get("spec") {
+        Some(spec) => {
+            let id = v
+                .get("id")
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("c{seq}"));
+            let priority = match v.get("priority") {
+                None | Some(Value::Null) => 0,
+                Some(Value::Num(raw)) => {
+                    raw.parse().map_err(|_| format!("bad priority {raw:?}"))?
+                }
+                Some(_) => return Err("priority must be a number".to_owned()),
+            };
+            (spec, id, priority)
+        }
+        None => (&v, format!("c{seq}"), 0),
+    };
+    let spec = CampaignSpec::from_value(spec_value)?;
+    Ok(Submission::new(id, spec).with_priority(priority))
+}
+
+fn disposition_json(id: &str, d: Disposition) -> String {
+    let mut out = String::from("{\"id\":");
+    obs::json::write_str(&mut out, id);
+    match d {
+        Disposition::Enqueued => out.push_str(",\"disposition\":\"enqueued\"}"),
+        Disposition::Shed(reason) => {
+            out.push_str(",\"disposition\":\"shed\",\"reason\":");
+            obs::json::write_str(&mut out, reason.label());
+            out.push('}');
+        }
+    }
+    out
+}
+
+/// Submits every submission line of one reader; returns the number of
+/// lines that failed to parse.
+fn intake(
+    reader: impl BufRead,
+    icd: &mut Orchestrator,
+    mut reply: Option<&mut dyn std::io::Write>,
+) -> std::io::Result<usize> {
+    let mut bad = 0;
+    for line in reader.lines() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        match parse_submission(text, icd.submitted()) {
+            Ok(sub) => {
+                let id = sub.id.clone();
+                let d = icd.submit(sub);
+                if let Disposition::Shed(reason) = d {
+                    eprintln!("icd: shed {id:?} ({})", reason.label());
+                }
+                if let Some(out) = reply.as_deref_mut() {
+                    writeln!(out, "{}", disposition_json(&id, d))?;
+                }
+            }
+            Err(e) => {
+                bad += 1;
+                eprintln!("icd: bad submission line: {e}");
+                if let Some(out) = reply.as_deref_mut() {
+                    writeln!(out, "{{\"error\":{}}}", {
+                        let mut s = String::new();
+                        obs::json::write_str(&mut s, &e);
+                        s
+                    })?;
+                }
+            }
+        }
+    }
+    Ok(bad)
+}
+
+/// Serves the unix socket until a client sends a literal `drain` line.
+fn serve_socket(path: &str, icd: &mut Orchestrator) -> std::io::Result<usize> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    eprintln!("icd: listening on {path} (send `drain` to shut down)");
+    let mut bad = 0;
+    'accept: for stream in listener.incoming() {
+        let stream = stream?;
+        let mut writer = stream.try_clone()?;
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let line = line?;
+            let text = line.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            if text == "drain" {
+                writeln!(writer, "{{\"draining\":true}}")?;
+                break 'accept;
+            }
+            match parse_submission(text, icd.submitted()) {
+                Ok(sub) => {
+                    let id = sub.id.clone();
+                    let d = icd.submit(sub);
+                    writeln!(writer, "{}", disposition_json(&id, d))?;
+                }
+                Err(e) => {
+                    bad += 1;
+                    let mut s = String::new();
+                    obs::json::write_str(&mut s, &e);
+                    writeln!(writer, "{{\"error\":{s}}}")?;
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(bad)
+}
+
+/// A campaign id as a safe artifact file stem.
+fn file_stem(id: &str) -> String {
+    id.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let out_dir = std::path::PathBuf::from(&cli.out);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        return ExitCode::from(2);
+    }
+
+    let cache = cli.corpus.clone().map(|s| s as Arc<dyn RunCache>);
+    let mut icd = Orchestrator::new(cli.config.clone(), resolver(), cache);
+    icd.start();
+
+    let mut bad_lines = 0;
+    let io_result: std::io::Result<()> = (|| {
+        if let Some(batch) = &cli.batch {
+            if batch == "-" {
+                bad_lines += intake(std::io::stdin().lock(), &mut icd, None)?;
+            } else {
+                let file = std::fs::File::open(batch)?;
+                bad_lines += intake(BufReader::new(file), &mut icd, None)?;
+            }
+        }
+        if let Some(path) = &cli.socket {
+            bad_lines += serve_socket(path, &mut icd)?;
+        } else if cli.batch.is_none() {
+            bad_lines += intake(std::io::stdin().lock(), &mut icd, None)?;
+        }
+        Ok(())
+    })();
+    if let Err(e) = io_result {
+        eprintln!("icd: intake failed: {e}");
+        return ExitCode::from(2);
+    }
+
+    eprintln!("icd: draining {} submission(s)…", icd.submitted());
+    let registry = Arc::clone(icd.registry());
+    let results = icd.drain();
+
+    let mut failed = bad_lines > 0;
+    let mut summary = String::new();
+    for r in &results {
+        if r.status != CampaignStatus::Completed {
+            failed = true;
+        }
+        let line = r.summary_json();
+        println!("{line}");
+        summary.push_str(&line);
+        summary.push('\n');
+        let stem = file_stem(&r.id);
+        if let Some(report) = &r.report_json {
+            write_artifact(&out_dir.join(format!("{stem}.report.json")), report);
+        }
+        if let Some(trace) = &r.trace_jsonl {
+            write_artifact(&out_dir.join(format!("{stem}.trace.jsonl")), trace);
+        }
+    }
+    write_artifact(&out_dir.join("batch.jsonl"), &summary);
+    write_artifact(
+        &out_dir.join("batch.trace.jsonl"),
+        &obs::events_to_jsonl(&Orchestrator::batch_trace(&results)),
+    );
+    write_artifact(
+        &out_dir.join("metrics.json"),
+        &registry.snapshot().to_json(),
+    );
+
+    let completed = results
+        .iter()
+        .filter(|r| r.status == CampaignStatus::Completed)
+        .count();
+    eprintln!(
+        "icd: {} submitted / {completed} completed / {} shed / {bad_lines} bad line(s)",
+        results.len(),
+        results.iter().filter(|r| r.shed.is_some()).count(),
+    );
+    if let Some(store) = &cli.corpus {
+        eprintln!(
+            "icd: corpus {} hits / {} misses / {} stores",
+            store.hits(),
+            store.misses(),
+            store.stores()
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn write_artifact(path: &std::path::Path, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,303 @@
+//! Spec-driven command-line parsing shared by the harness binaries.
+//!
+//! Every campaign binary used to plumb its own scheme/seed/policy flags
+//! into a [`CheckerConfig`](instantcheck::CheckerConfig); now they all
+//! parse into one
+//! [`CampaignSpec`] via [`parse_spec`] and build configs with
+//! `CheckerConfig::from_spec`. The historical flags (`--runs`,
+//! `--seed`, `--policy`, …) remain as aliases for the corresponding
+//! spec fields, and `--spec FILE` loads a full serialized spec — the
+//! same JSON the `icd` orchestrator accepts — which individual flags
+//! may then override.
+
+use std::sync::Arc;
+
+use corpus::CorpusStore;
+use instantcheck::{parse_rounding, parse_switch, CampaignSpec, FailurePolicy, Scheme};
+
+/// The parsed spec-level command line of a harness binary.
+#[derive(Debug, Clone)]
+pub struct SpecArgs {
+    /// The campaign template. Its `workload` is empty unless `--spec`
+    /// supplied one — the table/figure binaries stamp the per-app
+    /// workload id themselves.
+    pub spec: CampaignSpec,
+    /// `--scaled`: use miniature workloads.
+    pub scaled: bool,
+    /// `--trace`: record per-campaign event traces.
+    pub trace: bool,
+    /// `--corpus DIR`, already opened.
+    pub corpus: Option<Arc<CorpusStore>>,
+    /// Arguments this parser did not recognize, in order — binaries
+    /// with extra flags (subcommands, `--dir`, …) consume these.
+    pub rest: Vec<String>,
+}
+
+/// Parses the shared spec flags out of `args` (exclusive of `argv[0]`).
+///
+/// Recognized: `--spec FILE`, `--workload ID`, `--scheme S` (lenient:
+/// `hw-inc`, `SwTr`, …), `--scaled`, `--runs N`, `--seed N`,
+/// `--lib-seed N`, `--switch TOKEN`, `--rounding TOKEN`, `--policy P`
+/// (`abort`/`skip`/`retry`/`retry-same`), `--deadline-ms N`,
+/// `--max-steps N`, `--jobs N`, `--cache-model`, `--trace`,
+/// `--corpus DIR`. Anything else lands in [`SpecArgs::rest`].
+/// (`--workload` matters for spec authoring; the table/figure binaries
+/// overwrite it per app.)
+///
+/// Flag order is immaterial: the skip policy's failure budget is
+/// resolved against the *final* run count, so `--policy skip --runs 8`
+/// and `--runs 8 --policy skip` agree.
+///
+/// # Errors
+///
+/// A usage message naming the offending flag (missing value, malformed
+/// number, unknown token, unreadable spec file or corpus directory).
+pub fn parse_spec(args: &[String]) -> Result<SpecArgs, String> {
+    let mut spec_file: Option<String> = None;
+    let mut workload: Option<String> = None;
+    let mut scheme: Option<Scheme> = None;
+    let mut runs: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut lib_seed: Option<u64> = None;
+    let mut switch: Option<String> = None;
+    let mut rounding: Option<String> = None;
+    let mut policy: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_steps: Option<u64> = None;
+    let mut jobs: Option<usize> = None;
+    let mut cache_model = false;
+    let mut scaled = false;
+    let mut trace = false;
+    let mut corpus_dir: Option<String> = None;
+    let mut rest = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = || -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--spec" => spec_file = Some(value()?),
+            "--workload" => workload = Some(value()?),
+            "--scheme" => {
+                let v = value()?;
+                scheme = Some(Scheme::parse(&v).ok_or_else(|| format!("unknown scheme {v:?}"))?);
+            }
+            "--scaled" => scaled = true,
+            "--trace" => trace = true,
+            "--cache-model" => cache_model = true,
+            "--runs" => runs = Some(parse_num(flag, &value()?)?),
+            "--seed" => seed = Some(parse_num(flag, &value()?)?),
+            "--lib-seed" => lib_seed = Some(parse_num(flag, &value()?)?),
+            "--switch" => switch = Some(value()?),
+            "--rounding" => rounding = Some(value()?),
+            "--policy" => policy = Some(value()?),
+            "--deadline-ms" => deadline_ms = Some(parse_num(flag, &value()?)?),
+            "--max-steps" => max_steps = Some(parse_num(flag, &value()?)?),
+            "--jobs" => jobs = Some(parse_num(flag, &value()?)?),
+            "--corpus" => corpus_dir = Some(value()?),
+            other => rest.push(other.to_owned()),
+        }
+        i += 1;
+    }
+
+    let mut spec = match &spec_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read spec file {path}: {e}"))?;
+            CampaignSpec::from_json(text.trim())
+                .map_err(|e| format!("invalid spec file {path}: {e}"))?
+        }
+        None => CampaignSpec::new("", scheme.unwrap_or(Scheme::HwInc)),
+    };
+    if spec_file.is_some() {
+        if let Some(s) = scheme {
+            spec.scheme = s;
+        }
+    }
+    if let Some(w) = workload {
+        spec.workload = w;
+    }
+    if let Some(n) = runs {
+        spec.runs = n;
+    }
+    if let Some(s) = seed {
+        spec.base_seed = s;
+    }
+    if let Some(s) = lib_seed {
+        spec.lib_seed = s;
+    }
+    if let Some(tok) = &switch {
+        spec.switch = parse_switch(tok).map_err(|e| format!("--switch: {e}"))?;
+    }
+    if let Some(tok) = &rounding {
+        spec.rounding = parse_rounding(tok).map_err(|e| format!("--rounding: {e}"))?;
+    }
+    if let Some(ms) = deadline_ms {
+        spec.deadline_ms = Some(ms);
+    }
+    if let Some(n) = max_steps {
+        spec.max_steps = n;
+    }
+    if let Some(n) = jobs {
+        spec.jobs = Some(n);
+    }
+    if cache_model {
+        spec.cache_model = true;
+    }
+    if let Some(name) = &policy {
+        spec.policy = resolve_policy(name, spec.runs)?;
+    }
+
+    let corpus = match corpus_dir {
+        Some(dir) => Some(Arc::new(
+            CorpusStore::open(&dir).map_err(|e| format!("cannot open corpus at {dir}: {e}"))?,
+        )),
+        None => None,
+    };
+
+    Ok(SpecArgs {
+        spec,
+        scaled,
+        trace,
+        corpus,
+        rest,
+    })
+}
+
+/// Resolves a `--policy` name against the campaign's final run count
+/// (the skip budget is half the campaign, as the harness has always
+/// done).
+///
+/// # Errors
+///
+/// Unknown policy names.
+pub fn resolve_policy(name: &str, runs: usize) -> Result<FailurePolicy, String> {
+    match name {
+        "abort" => Ok(FailurePolicy::Abort),
+        "skip" => Ok(FailurePolicy::Skip {
+            max_failures: runs.div_ceil(2),
+        }),
+        "retry" => Ok(FailurePolicy::Retry {
+            max_retries: 2,
+            reseed: true,
+        }),
+        "retry-same" => Ok(FailurePolicy::Retry {
+            max_retries: 2,
+            reseed: false,
+        }),
+        other => Err(format!(
+            "unknown policy {other:?} (expected abort, skip, retry, or retry-same)"
+        )),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, text: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: not a number: {text:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsim::SwitchPolicy;
+
+    fn parse(args: &[&str]) -> SpecArgs {
+        parse_spec(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn defaults_and_aliases_agree_with_the_old_flags() {
+        let sa = parse(&[]);
+        assert_eq!(sa.spec, CampaignSpec::new("", Scheme::HwInc));
+        assert!(!sa.scaled && !sa.trace && sa.corpus.is_none() && sa.rest.is_empty());
+
+        let sa = parse(&[
+            "--scaled",
+            "--runs",
+            "8",
+            "--seed",
+            "7",
+            "--jobs",
+            "3",
+            "--trace",
+            "--cache-model",
+        ]);
+        assert!(sa.scaled && sa.trace);
+        assert_eq!(sa.spec.runs, 8);
+        assert_eq!(sa.spec.base_seed, 7);
+        assert_eq!(sa.spec.jobs, Some(3));
+        assert!(sa.spec.cache_model);
+    }
+
+    #[test]
+    fn policy_budget_uses_the_final_run_count_either_order() {
+        let a = parse(&["--policy", "skip", "--runs", "9"]);
+        let b = parse(&["--runs", "9", "--policy", "skip"]);
+        assert_eq!(a.spec.policy, FailurePolicy::Skip { max_failures: 5 });
+        assert_eq!(a.spec.policy, b.spec.policy);
+    }
+
+    #[test]
+    fn scheme_switch_and_rounding_tokens_parse() {
+        let sa = parse(&[
+            "--scheme",
+            "sw-tr",
+            "--switch",
+            "every-nth:4",
+            "--rounding",
+            "mask-mantissa:12",
+        ]);
+        assert_eq!(sa.spec.scheme, Scheme::SwTr);
+        assert_eq!(sa.spec.switch, SwitchPolicy::EveryNth(4));
+        assert!(sa.spec.rounding.is_some());
+    }
+
+    #[test]
+    fn unknown_arguments_pass_through_in_order() {
+        let sa = parse(&[
+            "record",
+            "--app",
+            "canneal",
+            "--runs",
+            "4",
+            "--require-hits",
+        ]);
+        assert_eq!(sa.rest, ["record", "--app", "canneal", "--require-hits"]);
+        assert_eq!(sa.spec.runs, 4);
+    }
+
+    #[test]
+    fn spec_file_round_trips_and_flags_override_it() {
+        let dir = std::env::temp_dir().join(format!("icd-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.spec.json");
+        let spec = CampaignSpec::new("canneal:scaled", Scheme::HwInc).with_runs(8);
+        std::fs::write(&path, spec.to_json()).unwrap();
+
+        let path_s = path.to_string_lossy().into_owned();
+        let sa = parse(&["--spec", &path_s]);
+        assert_eq!(sa.spec, spec);
+
+        let sa = parse(&["--spec", &path_s, "--runs", "2"]);
+        assert_eq!(sa.spec.workload, "canneal:scaled");
+        assert_eq!(sa.spec.runs, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn malformed_input_names_the_flag() {
+        let err = |args: &[&str]| {
+            parse_spec(&args.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>()).unwrap_err()
+        };
+        assert!(err(&["--runs", "many"]).contains("--runs"));
+        assert!(err(&["--runs"]).contains("needs a value"));
+        assert!(err(&["--scheme", "quantum"]).contains("unknown scheme"));
+        assert!(err(&["--policy", "hope"]).contains("unknown policy"));
+        assert!(err(&["--spec", "/no/such/file.json"]).contains("cannot read"));
+    }
+}

@@ -21,11 +21,12 @@ use std::fmt::Write as _;
 
 use adhash::FpRound;
 use instantcheck::{
-    characterize, geometric_mean, measure_overhead, Characterization, CheckerConfig, FailurePolicy,
-    IgnoreSpec, Scheme,
+    characterize, geometric_mean, measure_overhead, CampaignSpec, Characterization, CheckerConfig,
+    FailurePolicy, IgnoreSpec, Scheme,
 };
 use instantcheck_workloads::AppSpec;
 
+pub mod cli;
 pub mod json;
 pub mod timing;
 
@@ -40,6 +41,10 @@ pub struct HarnessOpts {
     pub runs: usize,
     /// Base seed.
     pub seed: u64,
+    /// Checking scheme (the harness default is HW-InstantCheck, as in
+    /// the paper's determinism experiments; the software schemes agree
+    /// on all verdicts).
+    pub scheme: Scheme,
     /// What a campaign does when one of its runs fails.
     pub policy: FailurePolicy,
     /// Record per-campaign event traces under `results/`.
@@ -63,6 +68,7 @@ impl Default for HarnessOpts {
             scaled: false,
             runs: 30,
             seed: 1,
+            scheme: Scheme::HwInc,
             policy: FailurePolicy::Abort,
             trace: false,
             cache_model: false,
@@ -73,86 +79,42 @@ impl Default for HarnessOpts {
 }
 
 impl HarnessOpts {
-    /// Parses `--scaled`, `--runs N`, `--seed N`, `--jobs N`,
-    /// `--policy P`, `--trace`, `--cache-model`, and `--corpus DIR`
-    /// from `std::env::args`. Policies:
-    /// `abort` (default), `skip` (skip failed runs, up to half the
-    /// campaign), `retry` (2 retries per run, fresh seed each),
-    /// `retry-same` (2 retries, same seed).
+    /// Parses the shared spec flags (see [`cli::parse_spec`]) from
+    /// `std::env::args`: `--scaled`, `--runs N`, `--seed N`,
+    /// `--scheme S`, `--jobs N`, `--policy P` (`abort`/`skip`/
+    /// `retry`/`retry-same`), `--trace`, `--cache-model`,
+    /// `--corpus DIR`, `--spec FILE`, and the rest of the spec fields.
+    /// Unknown arguments are reported and ignored; malformed values
+    /// exit with status 2.
     pub fn from_args() -> Self {
-        let mut opts = HarnessOpts::default();
-        let args: Vec<String> = std::env::args().collect();
-        let mut policy_arg: Option<String> = None;
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--scaled" => opts.scaled = true,
-                "--trace" => opts.trace = true,
-                "--cache-model" => opts.cache_model = true,
-                "--runs" => {
-                    i += 1;
-                    opts.runs = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or(opts.runs);
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match cli::parse_spec(&args) {
+            Ok(sa) => {
+                for other in &sa.rest {
+                    eprintln!("ignoring unknown argument {other}");
                 }
-                "--seed" => {
-                    i += 1;
-                    opts.seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or(opts.seed);
-                }
-                "--jobs" => {
-                    i += 1;
-                    opts.jobs = args.get(i).and_then(|s| s.parse().ok()).or(opts.jobs);
-                }
-                "--policy" => {
-                    i += 1;
-                    policy_arg = args.get(i).cloned();
-                }
-                "--corpus" => {
-                    i += 1;
-                    let dir = args.get(i).cloned().unwrap_or_else(|| {
-                        eprintln!("--corpus needs a directory argument");
-                        std::process::exit(2);
-                    });
-                    match corpus::CorpusStore::open(&dir) {
-                        Ok(store) => opts.corpus = Some(std::sync::Arc::new(store)),
-                        Err(e) => {
-                            eprintln!("cannot open corpus at {dir}: {e}");
-                            std::process::exit(2);
-                        }
-                    }
-                }
-                other => eprintln!("ignoring unknown argument {other}"),
+                HarnessOpts::from_spec_args(&sa)
             }
-            i += 1;
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
         }
-        // Resolved after the loop so `--policy skip --runs N` and
-        // `--runs N --policy skip` agree on the failure budget.
-        match policy_arg.as_deref() {
-            None | Some("abort") => opts.policy = FailurePolicy::Abort,
-            Some("skip") => {
-                opts.policy = FailurePolicy::Skip {
-                    max_failures: opts.runs.div_ceil(2),
-                };
-            }
-            Some("retry") => {
-                opts.policy = FailurePolicy::Retry {
-                    max_retries: 2,
-                    reseed: true,
-                };
-            }
-            Some("retry-same") => {
-                opts.policy = FailurePolicy::Retry {
-                    max_retries: 2,
-                    reseed: false,
-                };
-            }
-            Some(other) => eprintln!("ignoring unknown policy {other:?}"),
+    }
+
+    /// Builds harness options from a parsed spec command line.
+    pub fn from_spec_args(sa: &cli::SpecArgs) -> Self {
+        HarnessOpts {
+            scaled: sa.scaled,
+            runs: sa.spec.runs,
+            seed: sa.spec.base_seed,
+            scheme: sa.spec.scheme,
+            policy: sa.spec.policy,
+            trace: sa.trace,
+            cache_model: sa.spec.cache_model,
+            jobs: sa.spec.jobs,
+            corpus: sa.corpus.clone(),
         }
-        opts
     }
 
     /// The workload registry for the chosen scale.
@@ -173,21 +135,32 @@ impl HarnessOpts {
         }
     }
 
-    /// The checker template (scheme fixed to HW-InstantCheck, as in the
-    /// paper's determinism experiments; the software schemes agree on
-    /// all verdicts).
-    pub fn template(&self) -> CheckerConfig {
-        let mut cfg = CheckerConfig::new(Scheme::HwInc)
+    /// The campaign template as a spec, workload unset — the
+    /// table/figure binaries stamp per-app ids via
+    /// [`spec_for`](Self::spec_for).
+    pub fn base_spec(&self) -> CampaignSpec {
+        let mut spec = CampaignSpec::new("", self.scheme)
             .with_runs(self.runs)
             .with_base_seed(self.seed)
             .with_policy(self.policy);
-        if self.cache_model {
-            cfg = cfg.with_cache_model();
-        }
-        if let Some(jobs) = self.jobs {
-            cfg = cfg.with_jobs(jobs);
-        }
-        cfg
+        spec.cache_model = self.cache_model;
+        spec.jobs = self.jobs;
+        spec
+    }
+
+    /// The campaign spec for one registered app —
+    /// [`base_spec`](Self::base_spec) stamped with the app's
+    /// [`workload_id`](Self::workload_id). This is exactly what the
+    /// `icd` orchestrator would run for the same flags.
+    pub fn spec_for(&self, app_name: &str) -> CampaignSpec {
+        let mut spec = self.base_spec();
+        spec.workload = self.workload_id(app_name);
+        spec
+    }
+
+    /// The checker template, built from [`base_spec`](Self::base_spec).
+    pub fn template(&self) -> CheckerConfig {
+        CheckerConfig::from_spec(&self.base_spec())
     }
 
     /// A fresh in-memory trace sink for one campaign, when `--trace`
@@ -506,7 +479,10 @@ pub fn table2_row(app: &AppSpec, opts: &HarnessOpts, reporter: &Reporter) -> Opt
     if let Some(s) = &sink {
         cfg = cfg.with_sink(std::sync::Arc::clone(s) as _);
     }
-    let report = match instantcheck::Checker::new(cfg).check(move || build()) {
+    let report = match instantcheck::Checker::new(cfg)
+        .expect("valid config")
+        .check(move || build())
+    {
         Ok(r) => r,
         Err(e) => return log_and_skip(app, "campaign", &e),
     };
@@ -590,7 +566,10 @@ pub fn distributions(
     if let Some(s) = &sink {
         cfg = cfg.with_sink(std::sync::Arc::clone(s) as _);
     }
-    let report = match instantcheck::Checker::new(cfg).check(move || build()) {
+    let report = match instantcheck::Checker::new(cfg)
+        .expect("valid config")
+        .check(move || build())
+    {
         Ok(r) => r,
         Err(e) => return log_and_skip(app, "campaign", &e),
     };
@@ -666,11 +645,13 @@ pub fn campaign_bench(
     // One untimed serial campaign validates the workload (a campaign
     // that aborts is not worth timing) and pins the reference report.
     let build = std::sync::Arc::clone(&app.build);
-    let reference =
-        match instantcheck::Checker::new(opts.template().with_jobs(1)).check(move || build()) {
-            Ok(r) => r,
-            Err(e) => return log_and_skip(app, "campaign", &e),
-        };
+    let reference = match instantcheck::Checker::new(opts.template().with_jobs(1))
+        .expect("valid config")
+        .check(move || build())
+    {
+        Ok(r) => r,
+        Err(e) => return log_and_skip(app, "campaign", &e),
+    };
     let mut measured = Vec::new();
     for &jobs in jobs_axis {
         reporter.progress(&format!(
@@ -683,6 +664,7 @@ pub fn campaign_bench(
         let samples = timing::time_reps(reps, || {
             last = Some(
                 instantcheck::Checker::new(cfg.clone())
+                    .expect("valid config")
                     .check(|| build())
                     .expect("campaign validated above"),
             );

@@ -68,7 +68,7 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
 
 /// Times `reps` executions of `f` and returns each repetition's wall
 /// time in milliseconds — for macro measurements (whole checking
-/// campaigns) where [`bench`]'s calibrated nanosecond loop would be
+/// campaigns) where [`bench()`]'s calibrated nanosecond loop would be
 /// overkill.
 pub fn time_reps<T>(reps: usize, mut f: impl FnMut() -> T) -> Vec<f64> {
     (0..reps)

@@ -142,18 +142,8 @@ impl RunKey {
     /// The encoding version rides along as its own field, so bumping
     /// [`RUN_KEY_VERSION`] invalidates old entries by key mismatch.
     pub fn tokens(&self) -> Vec<(&'static str, String)> {
-        let switch = match self.switch {
-            SwitchPolicy::SyncOnly => "sync-only".to_owned(),
-            SwitchPolicy::EveryAccess => "every-access".to_owned(),
-            SwitchPolicy::EveryNth(n) => format!("every-nth:{n}"),
-        };
-        let rounding = match self.rounding {
-            None => "none".to_owned(),
-            Some(FpRound::BitExact) => "bit-exact".to_owned(),
-            Some(FpRound::MaskMantissa { bits }) => format!("mask-mantissa:{bits}"),
-            Some(FpRound::FloorDecimal { digits }) => format!("floor-decimal:{digits}"),
-            Some(FpRound::NearestDecimal { digits }) => format!("nearest-decimal:{digits}"),
-        };
+        let switch = crate::spec::switch_token(self.switch);
+        let rounding = crate::spec::rounding_token(self.rounding);
         vec![
             ("version", RUN_KEY_VERSION.to_string()),
             ("workload", self.workload.clone()),
@@ -264,8 +254,8 @@ pub trait RunCache: fmt::Debug + Send + Sync {
 /// let cfg = CheckerConfig::new(Scheme::HwInc)
 ///     .with_runs(4)
 ///     .with_run_cache(cache.clone(), "g-plus-t");
-/// let cold = Checker::new(cfg.clone()).check(source).unwrap();
-/// let warm = Checker::new(cfg).check(source).unwrap();
+/// let cold = Checker::new(cfg.clone()).expect("valid config").check(source).unwrap();
+/// let warm = Checker::new(cfg).expect("valid config").check(source).unwrap();
 /// assert_eq!(cold, warm);
 /// assert_eq!(cache.hits(), 4);
 /// ```

@@ -167,6 +167,11 @@ impl Characterization {
 /// Propagates any [`SimError`] from the underlying runs that the
 /// template's failure policy does not absorb (under the default abort
 /// policy, that is every error).
+///
+/// # Panics
+///
+/// When the template is invalid (`runs == 0`) — validate it with
+/// [`Checker::new`] first if it comes from untrusted input.
 pub fn characterize(
     subject: &Subject,
     template: &CheckerConfig,
@@ -175,7 +180,9 @@ pub fn characterize(
         let mut cfg = template.clone();
         cfg.rounding = rounding;
         cfg.ignore = ignore;
-        Checker::new(cfg).check(&subject.source)
+        Checker::new(cfg)
+            .expect("characterize template must be a valid config")
+            .check(&subject.source)
     };
 
     let bit_exact = stage(None, IgnoreSpec::new())?;

@@ -10,11 +10,36 @@ use mhm::CacheStats;
 use obs::{BufferSink, Event, EventSink, MemorySink, Registry, CONTROL_TRACK};
 use tsim::{AllocLog, FaultPlan, Program, RunConfig, SimError, SwitchPolicy};
 
-use crate::cache::{fault_plan_token, CachedRun, RunCache, RunKey};
+use crate::cache::{CachedRun, RunCache, RunKey};
 use crate::ignore::IgnoreSpec;
 use crate::policy::{retry_seed, FailurePolicy, RunFailure, RunOutcome};
 use crate::report::CheckReport;
 use crate::scheme::{CheckMonitor, CheckpointRecord, Scheme};
+use crate::spec::CampaignSpec;
+
+/// A configuration the checker refuses to run.
+///
+/// Raised by [`Checker::new`] so misconfiguration surfaces at
+/// construction, as a typed error, instead of as a panic deep inside
+/// `check()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `runs == 0`: a campaign must compare at least one run.
+    ZeroRuns,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroRuns => {
+                write!(f, "campaign must have at least one run (runs == 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// The hash sequence one run produced: one state hash per checkpoint,
 /// plus the output-stream digest.
@@ -131,6 +156,72 @@ pub struct CheckerConfig {
 }
 
 impl CheckerConfig {
+    /// The canonical entry point: a config carrying everything a
+    /// [`CampaignSpec`] pins. Runtime resources (sink, registry, cache)
+    /// are not part of a spec — attach them afterwards with the usual
+    /// builders; [`with_run_cache`](CheckerConfig::with_run_cache)
+    /// conventionally reuses the spec's workload id.
+    ///
+    /// [`workload`](CheckerConfig::workload) is set from the spec when
+    /// the spec names one (non-empty), so cache keys derive from the
+    /// same identity the spec serializes.
+    pub fn from_spec(spec: &CampaignSpec) -> Self {
+        let mut cfg = CheckerConfig::new(spec.scheme);
+        cfg.runs = spec.runs;
+        cfg.base_seed = spec.base_seed;
+        cfg.rounding = spec.rounding;
+        cfg.ignore = spec.ignore.clone();
+        cfg.switch = spec.switch;
+        cfg.lib_seed = spec.lib_seed;
+        cfg.max_steps = spec.max_steps;
+        cfg.policy = spec.policy;
+        cfg.deadline = spec.deadline();
+        cfg.fault_plans = spec.fault_plans.clone();
+        cfg.jobs = spec.jobs;
+        cfg.cache_model = spec.cache_model;
+        if !spec.workload.is_empty() {
+            cfg.workload = Some(spec.workload.clone());
+        }
+        cfg
+    }
+
+    /// The inverse of [`from_spec`](CheckerConfig::from_spec): the spec
+    /// this config instantiates. Runtime resources (sink, registry,
+    /// cache) are dropped — they are attachments, not campaign
+    /// identity. Returns `None` when the config has no
+    /// [`workload`](CheckerConfig::workload) identity, or when its
+    /// deadline does not survive millisecond precision — a spec must
+    /// name both faithfully or not exist.
+    pub fn to_spec(&self) -> Option<CampaignSpec> {
+        let workload = self.workload.clone()?;
+        let deadline_ms = match self.deadline {
+            None => None,
+            Some(d) => {
+                let ms = u64::try_from(d.as_millis()).ok()?;
+                if Duration::from_millis(ms) != d {
+                    return None;
+                }
+                Some(ms)
+            }
+        };
+        Some(CampaignSpec {
+            workload,
+            scheme: self.scheme,
+            runs: self.runs,
+            base_seed: self.base_seed,
+            lib_seed: self.lib_seed,
+            switch: self.switch,
+            rounding: self.rounding,
+            ignore: self.ignore.clone(),
+            policy: self.policy,
+            deadline_ms,
+            max_steps: self.max_steps,
+            jobs: self.jobs,
+            cache_model: self.cache_model,
+            fault_plans: self.fault_plans.clone(),
+        })
+    }
+
     /// A default campaign: 30 runs, sync-only switching, bit-exact
     /// hashing, nothing ignored, abort on the first failed run.
     pub fn new(scheme: Scheme) -> Self {
@@ -239,7 +330,12 @@ impl CheckerConfig {
         self
     }
 
-    /// Sets the campaign's worker-thread count (`0` is treated as `1`).
+    /// Sets the campaign's worker-thread count.
+    ///
+    /// `0` is accepted and clamped to `1` by
+    /// [`effective_jobs`](CheckerConfig::effective_jobs) — documented
+    /// behavior, so scripted sweeps (`--jobs $N` with `N=0`) degrade to
+    /// the serial executor instead of erroring.
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = Some(jobs);
@@ -257,7 +353,8 @@ impl CheckerConfig {
 
     /// The worker count a campaign will actually use: the configured
     /// [`jobs`](CheckerConfig::jobs), defaulting to the machine's
-    /// available parallelism, and never less than one.
+    /// available parallelism, and clamped to never be less than one —
+    /// `with_jobs(0)` runs the serial executor, it does not error.
     #[must_use]
     pub fn effective_jobs(&self) -> usize {
         self.jobs
@@ -471,7 +568,7 @@ type SlotCell = Mutex<Option<(SlotRun, Option<Arc<BufferSink>>)>>;
 ///     b.build()
 /// };
 /// let cfg = CheckerConfig::new(Scheme::HwInc).with_runs(4);
-/// let report = Checker::new(cfg).check(source).unwrap();
+/// let report = Checker::new(cfg).unwrap().check(source).unwrap();
 /// assert!(report.is_deterministic());
 /// assert_eq!(report.runs, 4);
 /// ```
@@ -481,9 +578,29 @@ pub struct Checker {
 }
 
 impl Checker {
-    /// Creates a checker.
-    pub fn new(config: CheckerConfig) -> Self {
-        Checker { config }
+    /// Creates a checker, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroRuns`] when `config.runs == 0` — rejected
+    /// here, with a typed error, instead of panicking deep in
+    /// [`check`](Checker::check).
+    pub fn new(config: CheckerConfig) -> Result<Self, ConfigError> {
+        if config.runs == 0 {
+            return Err(ConfigError::ZeroRuns);
+        }
+        Ok(Checker { config })
+    }
+
+    /// The canonical spec entry point: a checker configured exactly as
+    /// the [`CampaignSpec`] describes
+    /// (via [`CheckerConfig::from_spec`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`new`](Checker::new).
+    pub fn from_spec(spec: &CampaignSpec) -> Result<Self, ConfigError> {
+        Checker::new(CheckerConfig::from_spec(spec))
     }
 
     /// The configuration in use.
@@ -528,28 +645,14 @@ impl Checker {
 
     /// The cache key for one attempt, when a cache is configured (both
     /// [`CheckerConfig::cache`] and [`CheckerConfig::workload`] set).
+    /// Derived from the config's [`CampaignSpec`] rendering
+    /// ([`CheckerConfig::to_spec`] → [`CampaignSpec::run_key`]) so the
+    /// checker and a serialized spec provably address the same corpus
+    /// entries.
     fn run_key(&self, slot: usize, seed: u64, alloc_seed: Option<u64>) -> Option<RunKey> {
-        let cfg = &self.config;
-        cfg.cache.as_ref()?;
-        let workload = cfg.workload.clone()?;
-        let fault_token = cfg
-            .fault_plans
-            .iter()
-            .find(|(s, _)| *s == slot)
-            .map_or(0, |(_, plan)| fault_plan_token(plan));
-        Some(RunKey {
-            workload,
-            scheme: cfg.scheme,
-            seed,
-            lib_seed: cfg.lib_seed,
-            switch: cfg.switch,
-            max_steps: cfg.max_steps,
-            rounding: cfg.rounding,
-            ignore_token: cfg.ignore.cache_token(),
-            fault_token,
-            cache_model: cfg.cache_model,
-            alloc_seed,
-        })
+        self.config.cache.as_ref()?;
+        let spec = self.config.to_spec()?;
+        Some(spec.run_key(slot, seed, alloc_seed))
     }
 
     /// Shared tail of a completed attempt, live or cache-satisfied:
@@ -1136,6 +1239,7 @@ mod tests {
     fn commutative_sum_is_deterministic_under_all_schemes() {
         for scheme in [Scheme::HwInc, Scheme::SwInc, Scheme::SwTr] {
             let report = Checker::new(CheckerConfig::new(scheme).with_runs(10))
+                .expect("valid config")
                 .check(racy_unordered_sum)
                 .unwrap();
             assert!(report.is_deterministic(), "{scheme:?}");
@@ -1148,6 +1252,7 @@ mod tests {
     fn last_writer_wins_is_nondeterministic_under_all_schemes() {
         for scheme in [Scheme::HwInc, Scheme::SwInc, Scheme::SwTr] {
             let report = Checker::new(CheckerConfig::new(scheme).with_runs(10))
+                .expect("valid config")
                 .check(order_dependent)
                 .unwrap();
             assert!(!report.is_deterministic(), "{scheme:?}");
@@ -1161,6 +1266,7 @@ mod tests {
     fn schemes_agree_on_the_verdict_per_checkpoint() {
         let verdicts = |scheme| {
             let report = Checker::new(CheckerConfig::new(scheme).with_runs(8))
+                .expect("valid config")
                 .check(order_dependent)
                 .unwrap();
             (0..report.aligned_checkpoints)
@@ -1176,7 +1282,8 @@ mod tests {
 
     #[test]
     fn early_stop_halts_at_first_difference() {
-        let checker = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(30));
+        let checker =
+            Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(30)).expect("valid config");
         let (report, used) = checker.check_stopping_early(order_dependent).unwrap();
         assert!(!report.is_deterministic());
         assert!(used < 30, "should stop well before 30 runs (used {used})");
@@ -1185,7 +1292,8 @@ mod tests {
 
     #[test]
     fn early_stop_runs_everything_when_deterministic() {
-        let checker = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(6));
+        let checker =
+            Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(6)).expect("valid config");
         let (report, used) = checker.check_stopping_early(racy_unordered_sum).unwrap();
         assert!(report.is_deterministic());
         assert_eq!(used, 6);
@@ -1214,7 +1322,7 @@ mod tests {
         assert_eq!(cfg.fault_plans.len(), 1);
         assert_eq!(cfg.jobs, Some(3));
         assert_eq!(cfg.effective_jobs(), 3);
-        let checker = Checker::new(cfg);
+        let checker = Checker::new(cfg).expect("valid config");
         assert_eq!(checker.config().runs, 5);
     }
 
@@ -1224,9 +1332,64 @@ mod tests {
         assert_eq!(cfg.effective_jobs(), 1);
         // And the campaign still runs (on the serial path).
         let report = Checker::new(cfg.with_runs(3))
+            .expect("valid config")
             .check(racy_unordered_sum)
             .unwrap();
         assert!(report.is_deterministic());
+    }
+
+    #[test]
+    fn zero_runs_is_rejected_at_construction() {
+        let err = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(0))
+            .expect_err("runs == 0 must not construct");
+        assert_eq!(err, ConfigError::ZeroRuns);
+        assert!(err.to_string().contains("at least one run"), "{err}");
+    }
+
+    #[test]
+    fn config_round_trips_through_spec() {
+        let mut cfg = CheckerConfig::new(Scheme::SwInc)
+            .with_runs(5)
+            .with_base_seed(9)
+            .with_lib_seed(3)
+            .with_switch(SwitchPolicy::EveryNth(4))
+            .with_rounding(FpRound::default())
+            .with_ignore(IgnoreSpec::new().ignore_global("x"))
+            .with_policy(FailurePolicy::Skip { max_failures: 2 })
+            .with_deadline(Duration::from_millis(1500))
+            .with_fault_in_run(1, FaultPlan::new(7))
+            .with_jobs(3)
+            .with_cache_model();
+        cfg.workload = Some("w:scaled".into());
+        let spec = cfg.to_spec().expect("workload is set");
+        let back = CheckerConfig::from_spec(&spec);
+        let again = back.to_spec().expect("still has a workload");
+        assert_eq!(spec, again, "spec ↔ config round-trip is stable");
+        assert_eq!(back.runs, cfg.runs);
+        assert_eq!(back.deadline, cfg.deadline);
+        assert_eq!(back.fault_plans, cfg.fault_plans);
+
+        // No workload identity → no spec (nothing to key a corpus by).
+        assert!(CheckerConfig::new(Scheme::HwInc).to_spec().is_none());
+        // Sub-millisecond deadlines don't survive the ms encoding.
+        let mut odd = cfg;
+        odd.deadline = Some(Duration::from_micros(1500));
+        assert!(odd.to_spec().is_none());
+    }
+
+    #[test]
+    fn checker_from_spec_checks_like_a_hand_built_config() {
+        let spec = CampaignSpec::new("racy-sum", Scheme::HwInc).with_runs(4);
+        let via_spec = Checker::from_spec(&spec)
+            .expect("valid spec")
+            .check(racy_unordered_sum)
+            .unwrap();
+        let by_hand = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(4))
+            .expect("valid config")
+            .check(racy_unordered_sum)
+            .unwrap();
+        assert_eq!(via_spec, by_hand);
+        assert!(Checker::from_spec(&spec.with_runs(0)).is_err());
     }
 
     #[test]
@@ -1236,7 +1399,10 @@ mod tests {
                 let cfg = CheckerConfig::new(Scheme::HwInc)
                     .with_runs(8)
                     .with_jobs(jobs);
-                Checker::new(cfg).check(source).unwrap()
+                Checker::new(cfg)
+                    .expect("valid config")
+                    .check(source)
+                    .unwrap()
             };
             let serial = report_at(1);
             assert_eq!(serial, report_at(4));
@@ -1250,6 +1416,7 @@ mod tests {
                 .with_runs(30)
                 .with_jobs(jobs);
             Checker::new(cfg)
+                .expect("valid config")
                 .check_stopping_early(order_dependent)
                 .unwrap()
         };
@@ -1267,7 +1434,10 @@ mod tests {
                 .with_runs(6)
                 .with_jobs(jobs)
                 .with_fault_in_run(2, plan.clone());
-            Checker::new(cfg).check(alloc_heavy).unwrap_err()
+            Checker::new(cfg)
+                .expect("valid config")
+                .check(alloc_heavy)
+                .unwrap_err()
         };
         assert_eq!(at(1).kind(), at(4).kind());
     }
@@ -1281,7 +1451,10 @@ mod tests {
             .with_sink(sink.clone())
             .with_registry(reg.clone())
             .with_cache_model();
-        let report = Checker::new(cfg).check(racy_unordered_sum).unwrap();
+        let report = Checker::new(cfg)
+            .expect("valid config")
+            .check(racy_unordered_sum)
+            .unwrap();
         let cache = report.cache.expect("cache model was on");
         assert_eq!(cache.mhm_read_misses, 0, "write-allocate claim (§3.1)");
         assert!(cache.hits + cache.misses > 0);
@@ -1318,7 +1491,10 @@ mod tests {
         let cfg = CheckerConfig::new(Scheme::HwInc)
             .with_runs(10)
             .with_sink(sink.clone());
-        let report = Checker::new(cfg).check(order_dependent).unwrap();
+        let report = Checker::new(cfg)
+            .expect("valid config")
+            .check(order_dependent)
+            .unwrap();
         assert!(!report.is_deterministic());
         let divs: Vec<_> = sink
             .events()
@@ -1361,7 +1537,10 @@ mod tests {
         let cfg = CheckerConfig::new(Scheme::HwInc)
             .with_runs(6)
             .with_fault_in_run(2, plan);
-        let err = Checker::new(cfg).check(alloc_heavy).unwrap_err();
+        let err = Checker::new(cfg)
+            .expect("valid config")
+            .check(alloc_heavy)
+            .unwrap_err();
         assert_eq!(err.kind(), tsim::SimErrorKind::AllocFailed);
     }
 
@@ -1390,7 +1569,10 @@ mod tests {
             .with_runs(6)
             .with_policy(FailurePolicy::Skip { max_failures: 3 })
             .with_fault_in_run(2, plan);
-        let report = Checker::new(cfg).check(alloc_heavy).unwrap();
+        let report = Checker::new(cfg)
+            .expect("valid config")
+            .check(alloc_heavy)
+            .unwrap();
         assert_eq!(report.runs, 5, "five of six runs completed");
         assert_eq!(report.failures.len(), 1);
         let f = &report.failures[0];
@@ -1411,7 +1593,10 @@ mod tests {
             .with_policy(FailurePolicy::Skip { max_failures: 1 })
             .with_fault_in_run(1, plan(1))
             .with_fault_in_run(3, plan(2));
-        let err = Checker::new(cfg).check(alloc_heavy).unwrap_err();
+        let err = Checker::new(cfg)
+            .expect("valid config")
+            .check(alloc_heavy)
+            .unwrap_err();
         assert_eq!(err.kind(), tsim::SimErrorKind::AllocFailed);
     }
 
@@ -1430,7 +1615,10 @@ mod tests {
                     .with_registry(reg.clone())
                     .with_cache_model()
                     .with_run_cache(cache.clone(), "racy_unordered_sum");
-                let report = Checker::new(cfg).check(racy_unordered_sum).unwrap();
+                let report = Checker::new(cfg)
+                    .expect("valid config")
+                    .check(racy_unordered_sum)
+                    .unwrap();
                 (report, sink.to_jsonl(), reg.snapshot())
             };
             let cold = campaign();
@@ -1453,7 +1641,10 @@ mod tests {
                 .with_runs(8)
                 .with_jobs(jobs)
                 .with_run_cache(cache.clone(), "order_dependent");
-            Checker::new(cfg).check(order_dependent).unwrap()
+            Checker::new(cfg)
+                .expect("valid config")
+                .check(order_dependent)
+                .unwrap()
         };
         let cold = at(1);
         let stored = cache.len();
@@ -1474,10 +1665,14 @@ mod tests {
                 .with_run_cache(cache.clone(), "racy_unordered_sum")
         };
         // Populate without a sink: entries have no stored trace.
-        let untraced = Checker::new(base()).check(racy_unordered_sum).unwrap();
+        let untraced = Checker::new(base())
+            .expect("valid config")
+            .check(racy_unordered_sum)
+            .unwrap();
         // A tracing campaign must not replay those entries.
         let sink = Arc::new(obs::MemorySink::new());
         let traced = Checker::new(base().with_sink(sink.clone()))
+            .expect("valid config")
             .check(racy_unordered_sum)
             .unwrap();
         assert_eq!(untraced, traced);
@@ -1491,6 +1686,7 @@ mod tests {
         let reference = sink.to_jsonl();
         let sink2 = Arc::new(obs::MemorySink::new());
         let replayed = Checker::new(base().with_sink(sink2.clone()))
+            .expect("valid config")
             .check(racy_unordered_sum)
             .unwrap();
         assert_eq!(traced, replayed);
@@ -1510,9 +1706,15 @@ mod tests {
             .with_policy(FailurePolicy::Skip { max_failures: 3 })
             .with_fault_in_run(2, plan)
             .with_run_cache(cache.clone(), "alloc_heavy");
-        let cold = Checker::new(cfg.clone()).check(alloc_heavy).unwrap();
+        let cold = Checker::new(cfg.clone())
+            .expect("valid config")
+            .check(alloc_heavy)
+            .unwrap();
         assert_eq!(cache.len(), 5, "only completed runs are stored");
-        let warm = Checker::new(cfg).check(alloc_heavy).unwrap();
+        let warm = Checker::new(cfg)
+            .expect("valid config")
+            .check(alloc_heavy)
+            .unwrap();
         assert_eq!(cold, warm);
         assert_eq!(warm.failures.len(), 1, "the failure recomputed");
         assert_eq!(cache.hits(), 5);
@@ -1528,7 +1730,10 @@ mod tests {
                 .with_jobs(1)
                 .with_base_seed(base_seed)
                 .with_run_cache(cache.clone(), "racy_unordered_sum");
-            Checker::new(cfg).check(racy_unordered_sum).unwrap()
+            Checker::new(cfg)
+                .expect("valid config")
+                .check(racy_unordered_sum)
+                .unwrap()
         };
         run(Scheme::HwInc, 1);
         let after_first = cache.len();
@@ -1551,7 +1756,7 @@ mod tests {
                 reseed: false,
             })
             .with_fault_in_run(1, plan);
-        let checker = Checker::new(cfg.clone());
+        let checker = Checker::new(cfg.clone()).expect("valid config");
         let err = checker.check(alloc_heavy).unwrap_err();
         assert_eq!(err.kind(), tsim::SimErrorKind::AllocFailed);
         let outcomes = checker.collect_outcomes(&alloc_heavy);

@@ -26,8 +26,8 @@ use tsim::{Addr, StateView, ValKind};
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IgnoreSpec {
-    globals: Vec<(String, Option<(usize, usize)>)>,
-    sites: Vec<(String, Option<Vec<usize>>)>,
+    pub(crate) globals: Vec<(String, Option<(usize, usize)>)>,
+    pub(crate) sites: Vec<(String, Option<Vec<usize>>)>,
 }
 
 impl IgnoreSpec {

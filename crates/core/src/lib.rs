@@ -56,6 +56,7 @@
 //! };
 //!
 //! let report = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(10))
+//!     .expect("valid config")
 //!     .check(source)
 //!     .expect("runs complete");
 //! assert!(report.is_deterministic());
@@ -74,10 +75,11 @@ mod overhead;
 mod policy;
 mod report;
 mod scheme;
+mod spec;
 
 pub use cache::{fault_plan_token, CachedRun, MemoryRunCache, RunCache, RunKey, RUN_KEY_VERSION};
 pub use characterize::{characterize, Characterization, DetClass, Subject};
-pub use checker::{Checker, CheckerConfig, RunHashes};
+pub use checker::{Checker, CheckerConfig, ConfigError, RunHashes};
 pub use ignore::IgnoreSpec;
 pub use iohash::OutputHasher;
 pub use localize::{localize, DiffOrigin, DiffSite, Localization};
@@ -85,3 +87,6 @@ pub use overhead::{geometric_mean, measure_overhead, OverheadReport};
 pub use policy::{retry_seed, FailurePolicy, RunFailure, RunOutcome};
 pub use report::{CheckReport, CheckpointVerdict, Distribution};
 pub use scheme::{CheckMonitor, CheckpointRecord, Scheme};
+pub use spec::{
+    parse_rounding, parse_switch, rounding_token, switch_token, CampaignSpec, SPEC_VERSION,
+};

@@ -62,7 +62,7 @@ use crate::checker::RunHashes;
 ///     .with_runs(6)
 ///     .with_policy(FailurePolicy::Skip { max_failures: 2 })
 ///     .with_fault_in_run(2, plan);
-/// let report = Checker::new(cfg).check(source).unwrap();
+/// let report = Checker::new(cfg).expect("valid config").check(source).unwrap();
 /// assert_eq!(report.runs, 5, "five of six runs completed");
 /// assert_eq!(report.failures.len(), 1);
 /// assert!(report.is_deterministic(), "an alloc fault is not a determinism bug");

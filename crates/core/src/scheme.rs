@@ -90,6 +90,25 @@ impl Scheme {
             _ => None,
         }
     }
+
+    /// Lenient variant of [`from_name`](Scheme::from_name) for
+    /// command-line flags: case-insensitive, accepting separators
+    /// (`hw-inc`, `sw_tr`). Persisted records should use the strict
+    /// [`from_name`](Scheme::from_name).
+    pub fn parse(text: &str) -> Option<Scheme> {
+        let folded: String = text
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        match folded.as_str() {
+            "native" => Some(Scheme::Native),
+            "hwinc" => Some(Scheme::HwInc),
+            "swinc" => Some(Scheme::SwInc),
+            "swtr" => Some(Scheme::SwTr),
+            _ => None,
+        }
+    }
 }
 
 /// One checkpoint's recorded state hash.

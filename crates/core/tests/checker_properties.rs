@@ -94,6 +94,7 @@ fn commuting_programs_are_always_deterministic() {
         for scheme in [Scheme::HwInc, Scheme::SwInc, Scheme::SwTr] {
             let bodies = bodies.clone();
             let report = Checker::new(CheckerConfig::new(scheme).with_runs(6))
+                .expect("valid config")
                 .check(move || build(&bodies, false))
                 .unwrap();
             assert!(report.is_deterministic(), "{scheme:?}");
@@ -111,6 +112,7 @@ fn order_sensitive_snapshot_is_caught() {
     check("order_sensitive_snapshot_is_caught", 12, |g| {
         let bodies = gen_bodies(g);
         let report = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(16))
+            .expect("valid config")
             .check(move || build(&bodies, true))
             .unwrap();
         assert!(!report.is_deterministic());
@@ -127,6 +129,7 @@ fn schemes_agree_on_arbitrary_programs() {
         let profile = |scheme| {
             let bodies = bodies.clone();
             let report = Checker::new(CheckerConfig::new(scheme).with_runs(6))
+                .expect("valid config")
                 .check(move || build(&bodies, true))
                 .unwrap();
             report

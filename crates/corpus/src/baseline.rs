@@ -43,7 +43,7 @@ use crate::entry::kind_token;
 ///     b.build()
 /// };
 ///
-/// let checker = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(4));
+/// let checker = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(4)).expect("valid config");
 /// let runs = checker.collect_runs(&source).unwrap();
 /// let report = CheckReport::from_runs(&runs);
 /// let baseline = CampaignBaseline::capture(

@@ -49,11 +49,11 @@
 //! let cfg = CheckerConfig::new(Scheme::HwInc)
 //!     .with_runs(4)
 //!     .with_run_cache(store.clone(), "g-plus-t:full");
-//! let cold = Checker::new(cfg.clone()).check(source).unwrap();
+//! let cold = Checker::new(cfg.clone()).expect("valid config").check(source).unwrap();
 //! assert_eq!(store.run_count(), 4);
 //!
 //! // Warm campaign — even in a fresh process — replays from disk.
-//! let warm = Checker::new(cfg).check(source).unwrap();
+//! let warm = Checker::new(cfg).expect("valid config").check(source).unwrap();
 //! assert_eq!(cold, warm);
 //! assert_eq!(store.hits(), 4);
 //! # std::fs::remove_dir_all(&dir).unwrap();
@@ -66,6 +66,7 @@ mod baseline;
 mod entry;
 mod fingerprint;
 mod store;
+mod striped;
 
 pub use baseline::{CampaignBaseline, Drift};
 pub use entry::{
@@ -73,3 +74,4 @@ pub use entry::{
 };
 pub use fingerprint::{fingerprint_fields, fingerprint_key};
 pub use store::CorpusStore;
+pub use striped::{StripedCache, DEFAULT_STRIPES};

@@ -1,0 +1,233 @@
+//! Striped concurrent access to a shared run cache.
+//!
+//! When many campaigns run at once against one [`RunCache`] — the
+//! `icd` orchestrator's whole point — a single lock (or the raw disk
+//! store) becomes the serialization point. [`StripedCache`] wraps any
+//! inner cache with `N` independently-locked in-memory stripes, chosen
+//! by the key's fingerprint, so concurrent campaigns contend only when
+//! they touch keys that land on the same stripe (cf. the shared
+//! hash-table designs used for multi-core reachability). Reads that hit
+//! a stripe's memo never reach the inner cache; misses fall through
+//! *outside* the stripe lock, so slow inner lookups (disk I/O) never
+//! block other stripes or even other keys of the same stripe.
+//!
+//! Correctness note: a stripe memo is a pure pass-through cache of the
+//! inner store's contents. Determinism never depends on hitting the
+//! memo — a miss just re-asks the inner cache — so the wrapper is
+//! transparent to the checker's warm-equals-cold contract.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use instantcheck::{CachedRun, RunCache, RunKey};
+use obs::Registry;
+
+use crate::fingerprint::fingerprint_key;
+
+/// Default stripe count: enough that a handful of concurrent campaigns
+/// rarely collide, small enough to stay cheap.
+pub const DEFAULT_STRIPES: usize = 16;
+
+/// One lock's worth of the memo.
+type Stripe = Mutex<HashMap<String, CachedRun>>;
+
+/// A striped in-memory memo in front of a shared [`RunCache`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use corpus::StripedCache;
+/// use instantcheck::MemoryRunCache;
+///
+/// let inner = Arc::new(MemoryRunCache::new());
+/// let striped = StripedCache::new(inner, 8, None);
+/// assert_eq!(striped.stripes(), 8);
+/// ```
+#[derive(Debug)]
+pub struct StripedCache {
+    inner: Arc<dyn RunCache>,
+    stripes: Vec<Stripe>,
+    registry: Option<Arc<Registry>>,
+}
+
+impl StripedCache {
+    /// Wraps `inner` behind `stripes` locks (`0` is clamped to `1`).
+    /// When `registry` is given, the wrapper counts
+    /// `corpus.stripe.memo_hits`, `corpus.stripe.memo_misses`, and
+    /// `corpus.stripe.contended` (lock acquisitions that had to wait).
+    pub fn new(inner: Arc<dyn RunCache>, stripes: usize, registry: Option<Arc<Registry>>) -> Self {
+        let n = stripes.max(1);
+        StripedCache {
+            inner,
+            stripes: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            registry,
+        }
+    }
+
+    /// The wrapped cache with the default stripe count.
+    pub fn with_default_stripes(inner: Arc<dyn RunCache>, registry: Option<Arc<Registry>>) -> Self {
+        StripedCache::new(inner, DEFAULT_STRIPES, registry)
+    }
+
+    /// Number of stripes.
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    fn count(&self, name: &str) {
+        if let Some(reg) = &self.registry {
+            reg.add(name, 1);
+        }
+    }
+
+    /// Locks the stripe for `key`, counting contention when the lock
+    /// was not immediately available.
+    fn lock_stripe(&self, key: &RunKey) -> MutexGuard<'_, HashMap<String, CachedRun>> {
+        let idx = (fingerprint_key(key) % self.stripes.len() as u128) as usize;
+        let stripe = &self.stripes[idx];
+        match stripe.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.count("corpus.stripe.contended");
+                stripe.lock().unwrap()
+            }
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+        }
+    }
+}
+
+impl RunCache for StripedCache {
+    fn lookup(&self, key: &RunKey) -> Option<CachedRun> {
+        let canonical = key.canonical();
+        if let Some(hit) = self.lock_stripe(key).get(&canonical).cloned() {
+            self.count("corpus.stripe.memo_hits");
+            return Some(hit);
+        }
+        self.count("corpus.stripe.memo_misses");
+        // Fall through to the inner cache with no stripe lock held, so
+        // disk I/O never serializes unrelated lookups.
+        let fetched = self.inner.lookup(key)?;
+        self.lock_stripe(key).insert(canonical, fetched.clone());
+        Some(fetched)
+    }
+
+    fn store(&self, key: &RunKey, run: &CachedRun) {
+        // Write-through: the inner store stays the source of truth, the
+        // memo serves it back without I/O.
+        self.inner.store(key, run);
+        self.lock_stripe(key).insert(key.canonical(), run.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instantcheck::{MemoryRunCache, RunHashes, Scheme};
+    use tsim::SwitchPolicy;
+
+    fn key(seed: u64) -> RunKey {
+        RunKey {
+            workload: "w".into(),
+            scheme: Scheme::HwInc,
+            seed,
+            lib_seed: 0xfeed,
+            switch: SwitchPolicy::SyncOnly,
+            max_steps: 1000,
+            rounding: None,
+            ignore_token: 0,
+            fault_token: 0,
+            cache_model: false,
+            alloc_seed: None,
+        }
+    }
+
+    fn run(digest: u64) -> CachedRun {
+        CachedRun {
+            hashes: RunHashes {
+                checkpoints: Vec::new(),
+                output_digest: digest,
+                extra_instr: 0,
+                stores: 0,
+                hash_updates: 0,
+                cache: None,
+            },
+            steps: 1,
+            native_instr: 1,
+            zero_fill_instr: 0,
+            alloc_log: None,
+            sim_trace: None,
+        }
+    }
+
+    #[test]
+    fn memo_serves_repeat_lookups_without_the_inner_cache() {
+        let inner = Arc::new(MemoryRunCache::new());
+        let reg = Arc::new(Registry::new());
+        let striped = StripedCache::new(inner.clone(), 4, Some(reg.clone()));
+        let k = key(7);
+        striped.store(&k, &run(42));
+        assert_eq!(inner.len(), 1, "write-through reaches the inner store");
+        for _ in 0..3 {
+            assert_eq!(striped.lookup(&k).unwrap().hashes.output_digest, 42);
+        }
+        assert_eq!(inner.hits() + inner.misses(), 0, "memo absorbed every read");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("corpus.stripe.memo_hits"), Some(&3));
+    }
+
+    #[test]
+    fn misses_fall_through_and_populate_the_memo() {
+        let inner = Arc::new(MemoryRunCache::new());
+        let k = key(1);
+        inner.store(&k, &run(9));
+        let reg = Arc::new(Registry::new());
+        let striped = StripedCache::new(inner.clone(), 4, Some(reg.clone()));
+        assert_eq!(striped.lookup(&k).unwrap().hashes.output_digest, 9);
+        assert_eq!(inner.hits(), 1, "first read fell through");
+        assert_eq!(striped.lookup(&k).unwrap().hashes.output_digest, 9);
+        assert_eq!(inner.hits(), 1, "second read came from the memo");
+        assert!(striped.lookup(&key(2)).is_none(), "absent keys stay absent");
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("corpus.stripe.memo_misses"), Some(&2));
+    }
+
+    #[test]
+    fn zero_stripes_is_clamped() {
+        let striped = StripedCache::new(Arc::new(MemoryRunCache::new()), 0, None);
+        assert_eq!(striped.stripes(), 1);
+        let k = key(3);
+        striped.store(&k, &run(1));
+        assert!(striped.lookup(&k).is_some());
+    }
+
+    #[test]
+    fn concurrent_campaign_traffic_keeps_every_value() {
+        let inner = Arc::new(MemoryRunCache::new());
+        let striped = Arc::new(StripedCache::with_default_stripes(inner, None));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let striped = Arc::clone(&striped);
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        let k = key(t * 1000 + i);
+                        striped.store(&k, &run(t * 1000 + i));
+                        assert_eq!(
+                            striped.lookup(&k).unwrap().hashes.output_digest,
+                            t * 1000 + i
+                        );
+                    }
+                });
+            }
+        });
+        for t in 0..4u64 {
+            for i in 0..50u64 {
+                let k = key(t * 1000 + i);
+                assert_eq!(
+                    striped.lookup(&k).unwrap().hashes.output_digest,
+                    t * 1000 + i
+                );
+            }
+        }
+    }
+}

@@ -1,15 +1,21 @@
 //! Property tests of the corpus entry format: encode/decode identity,
-//! fingerprint stability under field reordering, and a quarantine
-//! classification per corruption class.
+//! fingerprint stability under field reordering, a quarantine
+//! classification per corruption class — plus the campaign-spec codec
+//! the same fingerprints key off: `CampaignSpec` → JSON →
+//! `CampaignSpec` is the identity, and each run-content field moves
+//! the derived `RunKey` fingerprint while campaign-shape fields
+//! (runs, policy, deadline, jobs) deliberately do not.
 
 use std::sync::Arc;
 
 use adhash::{FpRound, HashSum};
-use corpus::{decode_entry, encode_entry, fingerprint_fields, Corruption};
-use instantcheck::{CachedRun, CheckpointRecord, RunHashes, RunKey, Scheme};
+use corpus::{decode_entry, encode_entry, fingerprint_fields, fingerprint_key, Corruption};
+use instantcheck::{
+    CachedRun, CampaignSpec, CheckpointRecord, FailurePolicy, IgnoreSpec, RunHashes, RunKey, Scheme,
+};
 use minicheck::{check, Gen};
 use obs::Event;
-use tsim::{AllocLog, BarrierId, CheckpointKind, SwitchPolicy};
+use tsim::{AllocLog, BarrierId, CheckpointKind, FaultPlan, SwitchPolicy, Trigger, FAULT_KINDS};
 
 /// A workload id exercising the escaper: spaces, percent signs, tabs,
 /// and plain alphanumerics.
@@ -222,6 +228,182 @@ fn every_corruption_class_is_detected_and_classified() {
                     "junk body classified as malformed"
                 );
             }
+        }
+    });
+}
+
+fn gen_switch(g: &mut Gen) -> SwitchPolicy {
+    match g.usize_in(0, 3) {
+        0 => SwitchPolicy::SyncOnly,
+        1 => SwitchPolicy::EveryAccess,
+        _ => SwitchPolicy::EveryNth(g.u64_in(1, 9) as u32),
+    }
+}
+
+fn gen_rounding(g: &mut Gen) -> Option<FpRound> {
+    match g.usize_in(0, 5) {
+        0 => None,
+        1 => Some(FpRound::BitExact),
+        2 => Some(FpRound::MaskMantissa {
+            bits: g.u64_in(1, 52) as u32,
+        }),
+        3 => Some(FpRound::FloorDecimal {
+            digits: g.u64_in(0, 9) as u32,
+        }),
+        _ => Some(FpRound::NearestDecimal {
+            digits: g.u64_in(0, 9) as u32,
+        }),
+    }
+}
+
+fn gen_spec(g: &mut Gen) -> CampaignSpec {
+    let scheme = *g.pick(&[Scheme::Native, Scheme::HwInc, Scheme::SwInc, Scheme::SwTr]);
+    let mut spec = CampaignSpec::new(gen_workload(g), scheme);
+    spec.runs = g.usize_in(1, 64);
+    spec.base_seed = g.u64();
+    spec.lib_seed = g.u64();
+    spec.switch = gen_switch(g);
+    spec.rounding = gen_rounding(g);
+    if g.bool() {
+        spec.ignore = IgnoreSpec::new()
+            .ignore_global(gen_workload(g))
+            .ignore_site_offsets(gen_workload(g), g.vec_of(0, 4, |g| g.usize_in(0, 64)));
+    }
+    spec.policy = match g.usize_in(0, 3) {
+        0 => FailurePolicy::Abort,
+        1 => FailurePolicy::Skip {
+            max_failures: g.usize_in(0, 32),
+        },
+        _ => FailurePolicy::Retry {
+            max_retries: g.usize_in(0, 5),
+            reseed: g.bool(),
+        },
+    };
+    spec.deadline_ms = g.bool().then(|| g.u64_in(1, 1 << 32));
+    spec.max_steps = g.u64_in(1, 1 << 40);
+    spec.jobs = g.bool().then(|| g.usize_in(1, 16));
+    spec.cache_model = g.bool();
+    // Fault plans on run slots ≥ 1 only: the fingerprint test below
+    // mutates slot 0 and must know it starts fault-free.
+    spec.fault_plans = g.vec_of(0, 3, |g| {
+        let mut plan = FaultPlan::new(g.u64());
+        plan = plan.with(
+            *g.pick(&FAULT_KINDS),
+            match g.usize_in(0, 3) {
+                0 => Trigger::Never,
+                1 => Trigger::Nth(g.u64_in(0, 100)),
+                _ => Trigger::Rate {
+                    num: g.u64_in(1, 4),
+                    denom: g.u64_in(4, 64),
+                },
+            },
+        );
+        (g.usize_in(1, 8), plan)
+    });
+    spec
+}
+
+#[test]
+fn spec_json_round_trip_is_the_identity() {
+    check("spec_json_round_trip", 160, |g: &mut Gen| {
+        let spec = gen_spec(g);
+        let json = spec.to_json();
+        let back = CampaignSpec::from_json(&json)
+            .unwrap_or_else(|why| panic!("fresh spec failed to parse: {why}\n{json}"));
+        assert_eq!(back, spec, "decode is the identity");
+        assert_eq!(back.to_json(), json, "re-encode is byte-stable");
+    });
+}
+
+#[test]
+fn each_run_content_field_moves_the_fingerprint_and_shape_fields_do_not() {
+    check("spec_field_fingerprints", 128, |g: &mut Gen| {
+        let spec = gen_spec(g);
+        let fp = |s: &CampaignSpec| fingerprint_key(&s.run_key(0, s.base_seed, None));
+        let base = fp(&spec);
+
+        // Every run-content field: a single-field mutation moves the
+        // derived run-key fingerprint.
+        let mut moved: Vec<(&str, CampaignSpec)> = Vec::new();
+        let mut m = spec.clone();
+        m.workload.push('!');
+        moved.push(("workload", m));
+        let mut m = spec.clone();
+        m.scheme = match m.scheme {
+            Scheme::Native => Scheme::HwInc,
+            Scheme::HwInc => Scheme::SwInc,
+            Scheme::SwInc => Scheme::SwTr,
+            Scheme::SwTr => Scheme::Native,
+        };
+        moved.push(("scheme", m));
+        let mut m = spec.clone();
+        m.base_seed = m.base_seed.wrapping_add(1);
+        moved.push(("base_seed", m));
+        let mut m = spec.clone();
+        m.lib_seed = m.lib_seed.wrapping_add(1);
+        moved.push(("lib_seed", m));
+        let mut m = spec.clone();
+        m.switch = match m.switch {
+            SwitchPolicy::SyncOnly => SwitchPolicy::EveryAccess,
+            SwitchPolicy::EveryAccess => SwitchPolicy::EveryNth(2),
+            SwitchPolicy::EveryNth(_) => SwitchPolicy::SyncOnly,
+        };
+        moved.push(("switch", m));
+        let mut m = spec.clone();
+        m.rounding = match m.rounding {
+            None => Some(FpRound::BitExact),
+            Some(_) => None,
+        };
+        moved.push(("rounding", m));
+        let mut m = spec.clone();
+        m.ignore = m.ignore.ignore_global("added-by-mutation");
+        moved.push(("ignore", m));
+        let mut m = spec.clone();
+        m.max_steps += 1;
+        moved.push(("max_steps", m));
+        let mut m = spec.clone();
+        m.cache_model = !m.cache_model;
+        moved.push(("cache_model", m));
+        let mut m = spec.clone();
+        m.fault_plans
+            .push((0, FaultPlan::new(7).with(FAULT_KINDS[0], Trigger::Nth(3))));
+        moved.push(("fault_plans", m));
+        for (field, mutated) in &moved {
+            assert_ne!(base, fp(mutated), "mutating {field} must move the key");
+        }
+
+        // Campaign-shape fields describe how many runs to do and what
+        // to do when one fails — not what a run computes — so they are
+        // deliberately outside the key: a recorded corpus stays warm
+        // when only the campaign shape changes.
+        let mut same: Vec<(&str, CampaignSpec)> = Vec::new();
+        let mut m = spec.clone();
+        m.runs += 1;
+        same.push(("runs", m));
+        let mut m = spec.clone();
+        m.policy = match m.policy {
+            FailurePolicy::Abort => FailurePolicy::Skip { max_failures: 3 },
+            _ => FailurePolicy::Abort,
+        };
+        same.push(("policy", m));
+        let mut m = spec.clone();
+        m.deadline_ms = match m.deadline_ms {
+            None => Some(1000),
+            Some(_) => None,
+        };
+        same.push(("deadline_ms", m));
+        let mut m = spec.clone();
+        m.jobs = match m.jobs {
+            None => Some(4),
+            Some(_) => None,
+        };
+        same.push(("jobs", m));
+        for (field, mutated) in &same {
+            assert_eq!(
+                base,
+                fp(mutated),
+                "{field} is campaign shape, not run content"
+            );
         }
     });
 }

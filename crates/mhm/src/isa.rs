@@ -2,7 +2,7 @@
 //! a core against its MHM unit and memory.
 //!
 //! This module gives the ISA an executable semantics: an [`Instruction`]
-//! stream mutates an [`MhmCore`](crate::MhmCore) plus a memory bus. The
+//! stream mutates an [`MhmCore`] plus a memory bus. The
 //! determinism checker in the `instantcheck` crate uses the same unit
 //! through its direct methods; this module exists so the ISA itself is a
 //! tested, documented artifact (and is what a kernel/VMM would emit for

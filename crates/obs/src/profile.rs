@@ -8,7 +8,7 @@
 //! |--------------|---------|------|
 //! | `campaign`   | Instant | `scheme`, `runs`, `base_seed` |
 //! | `run`        | Begin   | `run`, `seed`, `attempt`, `scheme` |
-//! | `run`        | End     | `ok`, `steps`, `native_instr`, `hash_instr`, `zero_fill_instr`, `stores`, `hash_updates`, `checkpoints`, [`error`], [`l1_hits`, `l1_misses`, `mhm_reads`, `mhm_read_misses`] |
+//! | `run`        | End     | `ok`, `steps`, `native_instr`, `hash_instr`, `zero_fill_instr`, `stores`, `hash_updates`, `checkpoints`, optionally `error` and `l1_hits`, `l1_misses`, `mhm_reads`, `mhm_read_misses` |
 //! | `sched`      | Instant | `tid` |
 //! | `checkpoint` | Instant | `seq`, `kind` |
 //! | `fault`      | Instant | `kind` |

@@ -1,0 +1,276 @@
+//! `sched` — the InstantCheck multi-campaign orchestrator.
+//!
+//! The paper's workflow is "run many checking campaigns and compare
+//! hashes"; everything below this crate runs exactly one campaign per
+//! call. `sched` turns that into a *service*: an [`Orchestrator`]
+//! accepts batches of [`Submission`]s (each one a serializable
+//! [`CampaignSpec`]), runs them on a bounded worker pool with
+//! per-campaign job budgets, and multiplexes one shared run corpus
+//! behind striped locking ([`corpus::StripedCache`]) so concurrent
+//! campaigns never serialize on the cache.
+//!
+//! Two contracts, both enforced by tests:
+//!
+//! * **Determinism under orchestration.** A campaign's report and
+//!   trace bytes are identical whether it runs alone or under the
+//!   orchestrator at any width. Everything wall-clock-dependent (queue
+//!   waits, retry backoff, stripe contention) lives in metrics, never
+//!   in artifacts; results are keyed and ordered by submission
+//!   sequence, not completion order.
+//! * **Graceful degradation.** The queue is bounded: submissions past
+//!   the bound are *shed* with an explicit
+//!   [`Disposition::Shed`] outcome (never a hang, never a panic) and
+//!   appear in both the metrics snapshot (`icd.shed`) and the drain
+//!   output. Per-campaign deadlines reuse the checker's
+//!   `FailurePolicy`/`SimError::Deadline` machinery, and transient
+//!   deadline failures retry with exponential backoff.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use instantcheck::{CampaignSpec, Scheme};
+//! use sched::{Orchestrator, OrchestratorConfig, ProgramSource, Submission};
+//! use tsim::{ProgramBuilder, ValKind};
+//!
+//! // A resolver maps workload ids to program builders.
+//! let resolver = Arc::new(|workload: &str| {
+//!     (workload == "g-plus-t").then(|| -> ProgramSource {
+//!         Arc::new(|| {
+//!             let mut b = ProgramBuilder::new(2);
+//!             let g = b.global("G", ValKind::U64, 1);
+//!             let lock = b.mutex();
+//!             for t in 0..2u64 {
+//!                 b.thread(move |ctx| {
+//!                     ctx.lock(lock);
+//!                     let v = ctx.load(g.at(0));
+//!                     ctx.store(g.at(0), v + t + 1);
+//!                     ctx.unlock(lock);
+//!                 });
+//!             }
+//!             b.build()
+//!         })
+//!     })
+//! });
+//!
+//! let mut icd = Orchestrator::new(OrchestratorConfig::default(), resolver, None);
+//! let spec = CampaignSpec::new("g-plus-t", Scheme::HwInc).with_runs(4);
+//! icd.submit(Submission::new("demo", spec));
+//! let results = icd.drain();
+//! assert_eq!(results.len(), 1);
+//! assert!(results[0].report_json.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod orchestrator;
+mod queue;
+
+pub use instantcheck::CampaignSpec;
+pub use orchestrator::{
+    CampaignResult, CampaignStatus, Disposition, Orchestrator, OrchestratorConfig, ProgramSource,
+    Resolver, ShedReason, Submission,
+};
+
+/// Queue priority: higher pops first; ties run in submission order.
+pub type Priority = i64;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use instantcheck::{MemoryRunCache, Scheme};
+    use tsim::{ProgramBuilder, ValKind};
+
+    use super::*;
+
+    fn resolver() -> Resolver {
+        Arc::new(|workload: &str| {
+            (workload == "racy-sum").then(|| -> ProgramSource {
+                Arc::new(|| {
+                    let mut b = ProgramBuilder::new(2);
+                    let g = b.global("G", ValKind::U64, 1);
+                    let lock = b.mutex();
+                    for t in 0..2u64 {
+                        b.thread(move |ctx| {
+                            ctx.lock(lock);
+                            let v = ctx.load(g.at(0));
+                            ctx.store(g.at(0), v + t + 1);
+                            ctx.unlock(lock);
+                        });
+                    }
+                    b.build()
+                })
+            })
+        })
+    }
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::new("racy-sum", Scheme::HwInc).with_runs(3)
+    }
+
+    #[test]
+    fn overload_sheds_explicitly_and_counts_it() {
+        let config = OrchestratorConfig {
+            queue_capacity: 2,
+            ..OrchestratorConfig::default()
+        };
+        // Workers not started: submissions stay queued, so the shed
+        // boundary is exact and deterministic.
+        let mut icd = Orchestrator::new(config, resolver(), None);
+        let mut dispositions = Vec::new();
+        for i in 0..5 {
+            dispositions.push(icd.submit(Submission::new(format!("c{i}"), spec())));
+        }
+        assert_eq!(
+            dispositions[..2],
+            [Disposition::Enqueued, Disposition::Enqueued]
+        );
+        for d in &dispositions[2..] {
+            assert_eq!(*d, Disposition::Shed(ShedReason::QueueFull));
+        }
+        assert_eq!(icd.queue_depth(), 2);
+        let snap = icd.registry().snapshot();
+        assert_eq!(snap.counters.get("icd.submitted"), Some(&5));
+        assert_eq!(snap.counters.get("icd.shed"), Some(&3));
+        assert_eq!(snap.counters.get("icd.shed.queue-full"), Some(&3));
+
+        // Drain still runs the two accepted campaigns and reports all
+        // five submissions, in order.
+        let results = icd.drain();
+        assert_eq!(results.len(), 5);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.seq, i);
+            assert_eq!(r.id, format!("c{i}"));
+        }
+        assert!(results[..2]
+            .iter()
+            .all(|r| r.status == CampaignStatus::Completed));
+        assert!(results[2..].iter().all(|r| {
+            r.status == CampaignStatus::Shed && r.shed == Some(ShedReason::QueueFull)
+        }));
+    }
+
+    #[test]
+    fn unknown_workload_is_invalid_not_a_panic() {
+        let mut icd = Orchestrator::new(OrchestratorConfig::default(), resolver(), None);
+        let mut bad = spec();
+        bad.workload = "no-such-app".into();
+        icd.submit(Submission::new("bad", bad));
+        icd.submit(Submission::new("zero", spec().with_runs(0)));
+        let results = icd.drain();
+        assert_eq!(results[0].status, CampaignStatus::Invalid);
+        assert!(results[0].error.as_deref().unwrap().contains("no-such-app"));
+        assert_eq!(results[1].status, CampaignStatus::Invalid);
+        assert!(results[1]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("at least one run"));
+    }
+
+    #[test]
+    fn report_bytes_match_a_solo_campaign_at_any_width() {
+        // The solo path: same spec, run directly through the checker.
+        let solo = {
+            let spec = spec();
+            let runs = instantcheck::Checker::from_spec(&spec)
+                .unwrap()
+                .collect_runs(&|| {
+                    let source = resolver()("racy-sum").unwrap();
+                    source()
+                })
+                .unwrap();
+            let report = instantcheck::CheckReport::from_runs(&runs);
+            corpus::CampaignBaseline::capture(
+                "c3",
+                &spec.workload,
+                spec.scheme,
+                spec.base_seed,
+                &runs[0],
+                &report,
+            )
+            .to_json()
+        };
+        for width in [1, 2, 4] {
+            let config = OrchestratorConfig {
+                width,
+                trace: true,
+                ..OrchestratorConfig::default()
+            };
+            let cache = Arc::new(MemoryRunCache::new());
+            let mut icd = Orchestrator::new(config, resolver(), Some(cache));
+            for i in 0..6 {
+                icd.submit(Submission::new(format!("c{i}"), spec()));
+            }
+            icd.start();
+            let results = icd.drain();
+            assert_eq!(results.len(), 6);
+            for r in &results {
+                assert_eq!(r.status, CampaignStatus::Completed, "{:?}", r.error);
+            }
+            assert_eq!(
+                results[3].report_json.as_deref().unwrap(),
+                solo,
+                "width {width}: orchestrated bytes == solo bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn priorities_run_first_but_results_stay_in_submission_order() {
+        let mut icd = Orchestrator::new(
+            OrchestratorConfig {
+                width: 1,
+                ..OrchestratorConfig::default()
+            },
+            resolver(),
+            None,
+        );
+        icd.submit(Submission::new("low", spec()));
+        icd.submit(Submission::new("high", spec()).with_priority(10));
+        let results = icd.drain();
+        assert_eq!(results[0].id, "low");
+        assert_eq!(results[1].id, "high");
+        assert!(results
+            .iter()
+            .all(|r| r.status == CampaignStatus::Completed));
+    }
+
+    #[test]
+    fn batch_trace_is_a_pure_function_of_the_results() {
+        let mut icd = Orchestrator::new(OrchestratorConfig::default(), resolver(), None);
+        icd.submit(Submission::new("a", spec()));
+        icd.submit(Submission::new("b", spec().with_runs(0)));
+        let results = icd.drain();
+        let trace = obs::events_to_jsonl(&Orchestrator::batch_trace(&results));
+        let again = obs::events_to_jsonl(&Orchestrator::batch_trace(&results));
+        assert_eq!(trace, again);
+        assert!(trace.contains("icd.campaign"));
+        assert!(trace.contains("invalid"));
+    }
+
+    #[test]
+    fn summary_json_is_deterministic_and_labeled() {
+        let mut icd = Orchestrator::new(
+            OrchestratorConfig {
+                queue_capacity: 1,
+                ..OrchestratorConfig::default()
+            },
+            resolver(),
+            None,
+        );
+        icd.submit(Submission::new("kept", spec()));
+        icd.submit(Submission::new("dropped", spec()));
+        let results = icd.drain();
+        assert_eq!(
+            results[1].summary_json(),
+            "{\"id\":\"dropped\",\"seq\":1,\"status\":\"shed\",\"attempts\":0,\
+             \"shed\":\"queue-full\",\"error\":null}"
+        );
+        assert!(results[0]
+            .summary_json()
+            .contains("\"status\":\"completed\""));
+    }
+}

@@ -1,0 +1,527 @@
+//! The campaign orchestrator: accepts [`Submission`]s, runs them on a
+//! bounded worker pool, and returns per-campaign results whose bytes do
+//! not depend on the pool width.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use corpus::{CampaignBaseline, StripedCache};
+use instantcheck::{CheckReport, Checker, CheckerConfig, RunCache};
+use obs::{Event, MemorySink, Registry, CONTROL_TRACK};
+use tsim::{Program, SimErrorKind};
+
+use crate::queue::{PushError, QueueEntry, WorkQueue};
+use crate::{CampaignSpec, Priority};
+
+/// A closure that builds one fresh copy of a workload's program.
+pub type ProgramSource = Arc<dyn Fn() -> Program + Send + Sync>;
+
+/// Maps a [`CampaignSpec::workload`] id to its program source. Returns
+/// `None` for unknown workloads — the campaign fails with
+/// [`CampaignStatus::Invalid`] instead of panicking a worker.
+pub type Resolver = Arc<dyn Fn(&str) -> Option<ProgramSource> + Send + Sync>;
+
+/// One campaign submission: a spec plus scheduling identity.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Caller-chosen campaign id — names the result and its artifacts.
+    pub id: String,
+    /// Queue priority: higher pops first; ties run in submission order.
+    pub priority: Priority,
+    /// What to run.
+    pub spec: CampaignSpec,
+}
+
+impl Submission {
+    /// A default-priority submission.
+    pub fn new(id: impl Into<String>, spec: CampaignSpec) -> Self {
+        Submission {
+            id: id.into(),
+            priority: 0,
+            spec,
+        }
+    }
+
+    /// Sets the priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Why a submission was refused instead of enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was at capacity — the graceful-degradation
+    /// outcome under overload.
+    QueueFull,
+    /// The orchestrator was already draining.
+    Draining,
+}
+
+impl ShedReason {
+    /// Stable label used in result JSON and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::Draining => "draining",
+        }
+    }
+}
+
+/// What [`Orchestrator::submit`] did with a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Accepted; a worker will run it and `drain` will report it.
+    Enqueued,
+    /// Refused; `drain` reports it as [`CampaignStatus::Shed`].
+    Shed(ShedReason),
+}
+
+/// Terminal state of one submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignStatus {
+    /// The campaign ran to completion and produced a report artifact.
+    Completed,
+    /// The campaign ran but its failure policy gave up (or it produced
+    /// no completed runs to report on).
+    Failed,
+    /// The submission could not be run at all: unknown workload or a
+    /// spec the checker rejects (e.g. zero runs).
+    Invalid,
+    /// The submission was refused at the queue.
+    Shed,
+}
+
+impl CampaignStatus {
+    /// Stable label used in result JSON and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            CampaignStatus::Completed => "completed",
+            CampaignStatus::Failed => "failed",
+            CampaignStatus::Invalid => "invalid",
+            CampaignStatus::Shed => "shed",
+        }
+    }
+}
+
+/// The terminal record of one submission.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// The submission's id.
+    pub id: String,
+    /// Submission order (0-based) — the deterministic result ordering.
+    pub seq: usize,
+    /// Terminal state.
+    pub status: CampaignStatus,
+    /// The campaign's report artifact — a
+    /// [`CampaignBaseline`](corpus::CampaignBaseline) rendered as
+    /// deterministic JSON — present exactly for completed campaigns.
+    /// Byte-identical to the same spec run alone, at any width.
+    pub report_json: Option<String>,
+    /// The campaign's simulator event trace as JSONL, when the
+    /// orchestrator traces. Step-keyed, so also width-independent.
+    pub trace_jsonl: Option<String>,
+    /// Why the campaign failed or was invalid.
+    pub error: Option<String>,
+    /// Why the campaign was shed, when it was.
+    pub shed: Option<ShedReason>,
+    /// Campaign-level attempts taken (1 + transient retries).
+    pub attempts: u32,
+}
+
+impl CampaignResult {
+    /// One line of deterministic JSON summarizing the result (without
+    /// the artifact bodies) — the orchestrator batch summary format.
+    pub fn summary_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"id\":");
+        obs::json::write_str(&mut out, &self.id);
+        let _ = write!(out, ",\"seq\":{}", self.seq);
+        out.push_str(",\"status\":");
+        obs::json::write_str(&mut out, self.status.label());
+        let _ = write!(out, ",\"attempts\":{}", self.attempts);
+        match &self.shed {
+            Some(reason) => {
+                out.push_str(",\"shed\":");
+                obs::json::write_str(&mut out, reason.label());
+            }
+            None => out.push_str(",\"shed\":null"),
+        }
+        match &self.error {
+            Some(e) => {
+                out.push_str(",\"error\":");
+                obs::json::write_str(&mut out, e);
+            }
+            None => out.push_str(",\"error\":null"),
+        }
+        out.push('}');
+        out
+    }
+
+    fn shed(id: String, seq: usize, reason: ShedReason) -> Self {
+        CampaignResult {
+            id,
+            seq,
+            status: CampaignStatus::Shed,
+            report_json: None,
+            trace_jsonl: None,
+            error: None,
+            shed: Some(reason),
+            attempts: 0,
+        }
+    }
+}
+
+/// Orchestrator tuning.
+#[derive(Debug, Clone)]
+pub struct OrchestratorConfig {
+    /// Concurrent campaigns (worker threads). The determinism contract:
+    /// per-campaign artifact bytes are identical at any width.
+    pub width: usize,
+    /// Bound of the submission queue; submissions past it shed.
+    pub queue_capacity: usize,
+    /// Per-campaign job budget: a campaign's effective `jobs` is
+    /// `min(spec.jobs (or the budget), budget)`, clamped to ≥ 1, so a
+    /// single greedy spec cannot monopolize the box.
+    pub job_budget: usize,
+    /// Campaign-level retries for *transient* failures (a run deadline
+    /// exhausting the spec's own failure policy). Structural failures
+    /// (deadlock, panic, step limit) are not retried — they are
+    /// deterministic and would fail again.
+    pub retries: u32,
+    /// Base backoff between campaign retries; attempt `n` sleeps
+    /// `backoff * 2^n`.
+    pub backoff: Duration,
+    /// Stripe count of the shared-corpus wrapper.
+    pub stripes: usize,
+    /// Record per-campaign simulator event traces.
+    pub trace: bool,
+    /// Deadline applied to specs that do not carry their own.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        OrchestratorConfig {
+            width: 2,
+            queue_capacity: 64,
+            job_budget: 2,
+            retries: 2,
+            backoff: Duration::from_millis(10),
+            stripes: corpus::DEFAULT_STRIPES,
+            trace: false,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// State shared between the submit side and the workers.
+struct Shared {
+    queue: WorkQueue<Job>,
+    results: Mutex<BTreeMap<usize, CampaignResult>>,
+    registry: Arc<Registry>,
+    resolver: Resolver,
+    cache: Option<Arc<StripedCache>>,
+    config: OrchestratorConfig,
+    draining: AtomicBool,
+}
+
+/// One accepted submission riding the queue.
+struct Job {
+    id: String,
+    spec: CampaignSpec,
+    enqueued_at: Instant,
+}
+
+/// The multi-campaign orchestrator.
+///
+/// Lifecycle: [`new`](Orchestrator::new) →
+/// [`submit`](Orchestrator::submit) any number of times (workers start
+/// lazily on [`start`](Orchestrator::start), or at drain) →
+/// [`drain`](Orchestrator::drain), which closes intake, finishes every
+/// accepted campaign, and returns one [`CampaignResult`] per submission
+/// in submission order — shed submissions included, so the batch output
+/// always covers the batch input.
+pub struct Orchestrator {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    submitted: usize,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator. Workers do not start until
+    /// [`start`](Orchestrator::start) (or [`drain`](Orchestrator::drain))
+    /// — submissions before that just queue, which is also how the
+    /// overload path is tested deterministically.
+    ///
+    /// `cache` is the shared run corpus (typically a
+    /// [`CorpusStore`](corpus::CorpusStore)); the orchestrator wraps it
+    /// in a [`StripedCache`] so concurrent campaigns do not serialize
+    /// on it.
+    pub fn new(
+        config: OrchestratorConfig,
+        resolver: Resolver,
+        cache: Option<Arc<dyn RunCache>>,
+    ) -> Self {
+        let registry = Arc::new(Registry::new());
+        let cache = cache.map(|inner| {
+            Arc::new(StripedCache::new(
+                inner,
+                config.stripes,
+                Some(Arc::clone(&registry)),
+            ))
+        });
+        Orchestrator {
+            shared: Arc::new(Shared {
+                queue: WorkQueue::new(config.queue_capacity),
+                results: Mutex::new(BTreeMap::new()),
+                registry,
+                resolver,
+                cache,
+                config,
+                draining: AtomicBool::new(false),
+            }),
+            workers: Vec::new(),
+            submitted: 0,
+        }
+    }
+
+    /// The orchestrator's metrics registry (`icd.*`, `checker.*`,
+    /// `corpus.stripe.*`).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
+    /// Submissions seen so far (enqueued + shed).
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Campaigns queued but not yet claimed by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Offers one submission. Never blocks: the queue either accepts it
+    /// or the submission is shed with an explicit reason, recorded in
+    /// both the metrics and the eventual drain output.
+    pub fn submit(&mut self, submission: Submission) -> Disposition {
+        let seq = self.submitted;
+        self.submitted += 1;
+        let reg = &self.shared.registry;
+        reg.add("icd.submitted", 1);
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return self.shed(submission.id, seq, ShedReason::Draining);
+        }
+        let entry = QueueEntry {
+            priority: submission.priority,
+            seq,
+            payload: Job {
+                id: submission.id.clone(),
+                spec: submission.spec,
+                enqueued_at: Instant::now(),
+            },
+        };
+        match self.shared.queue.push(entry) {
+            Ok(depth) => {
+                reg.add("icd.enqueued", 1);
+                reg.histogram("icd.queue_depth").record(depth as u64);
+                Disposition::Enqueued
+            }
+            Err(PushError::Full) => self.shed(submission.id, seq, ShedReason::QueueFull),
+            Err(PushError::Closed) => self.shed(submission.id, seq, ShedReason::Draining),
+        }
+    }
+
+    fn shed(&self, id: String, seq: usize, reason: ShedReason) -> Disposition {
+        self.shared.registry.add("icd.shed", 1);
+        self.shared
+            .registry
+            .add(&format!("icd.shed.{}", reason.label()), 1);
+        self.shared
+            .results
+            .lock()
+            .unwrap()
+            .insert(seq, CampaignResult::shed(id, seq, reason));
+        Disposition::Shed(reason)
+    }
+
+    /// Starts the worker pool (idempotent).
+    pub fn start(&mut self) {
+        if !self.workers.is_empty() {
+            return;
+        }
+        for _ in 0..self.shared.config.width.max(1) {
+            let shared = Arc::clone(&self.shared);
+            self.workers.push(std::thread::spawn(move || {
+                while let Some(entry) = shared.queue.pop() {
+                    let result = run_campaign(&shared, entry.seq, entry.payload);
+                    shared.results.lock().unwrap().insert(entry.seq, result);
+                }
+            }));
+        }
+    }
+
+    /// Closes intake, finishes every accepted campaign, joins the
+    /// workers, and returns all results in submission order. Late
+    /// `submit` calls on a draining orchestrator shed with
+    /// [`ShedReason::Draining`].
+    pub fn drain(mut self) -> Vec<CampaignResult> {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.start();
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            // A worker that panicked already poisoned nothing we read
+            // (results are inserted whole); surface the panic.
+            worker.join().expect("orchestrator worker panicked");
+        }
+        let results = std::mem::take(&mut *self.shared.results.lock().unwrap());
+        results.into_values().collect()
+    }
+
+    /// The deterministic orchestrator trace for a finished batch: one
+    /// span per result on the control track, keyed by submission seq
+    /// (not wall clock), so equal batches produce byte-equal traces at
+    /// any width.
+    pub fn batch_trace(results: &[CampaignResult]) -> Vec<Event> {
+        let mut events = Vec::with_capacity(results.len() * 2);
+        for r in results {
+            let seq = r.seq as u64;
+            events.push(
+                Event::begin(seq, CONTROL_TRACK, "icd.campaign")
+                    .with_arg("id", r.id.clone())
+                    .with_arg("seq", seq),
+            );
+            let mut end = Event::end(seq, CONTROL_TRACK, "icd.campaign")
+                .with_arg("status", r.status.label())
+                .with_arg("attempts", u64::from(r.attempts));
+            if let Some(reason) = r.shed {
+                end = end.with_arg("shed", reason.label());
+            }
+            events.push(end);
+        }
+        events
+    }
+}
+
+/// Runs one campaign to its terminal result. Never panics on bad input:
+/// unknown workloads and rejected specs become `Invalid` results.
+fn run_campaign(shared: &Shared, seq: usize, job: Job) -> CampaignResult {
+    let reg = &shared.registry;
+    let waited = job.enqueued_at.elapsed();
+    reg.histogram("icd.wait_ms")
+        .record(waited.as_millis() as u64);
+
+    let invalid = |error: String| {
+        reg.add("icd.invalid", 1);
+        CampaignResult {
+            id: job.id.clone(),
+            seq,
+            status: CampaignStatus::Invalid,
+            report_json: None,
+            trace_jsonl: None,
+            error: Some(error),
+            shed: None,
+            attempts: 0,
+        }
+    };
+
+    let Some(source) = (shared.resolver)(&job.spec.workload) else {
+        return invalid(format!("unknown workload {:?}", job.spec.workload));
+    };
+
+    let mut spec = job.spec.clone();
+    if spec.deadline_ms.is_none() {
+        spec.deadline_ms = shared.config.default_deadline_ms;
+    }
+    // Per-campaign job budget on top of the campaign's own executor:
+    // the spec may ask for fewer jobs than the budget, never more.
+    let budget = shared.config.job_budget.max(1);
+    spec.jobs = Some(spec.jobs.unwrap_or(budget).min(budget).max(1));
+
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let mut cfg = CheckerConfig::from_spec(&spec).with_registry(Arc::clone(reg));
+        if let Some(cache) = &shared.cache {
+            cfg = cfg.with_run_cache(Arc::clone(cache) as Arc<dyn RunCache>, &*spec.workload);
+        }
+        let sink = shared.config.trace.then(|| Arc::new(MemorySink::new()));
+        if let Some(sink) = &sink {
+            cfg = cfg.with_sink(Arc::clone(sink) as _);
+        }
+        let checker = match Checker::new(cfg) {
+            Ok(c) => c,
+            Err(e) => return invalid(format!("invalid spec: {e}")),
+        };
+
+        let source = Arc::clone(&source);
+        match checker.collect_runs(&move || source()) {
+            Ok(runs) if runs.is_empty() => {
+                reg.add("icd.failed", 1);
+                return CampaignResult {
+                    id: job.id,
+                    seq,
+                    status: CampaignStatus::Failed,
+                    report_json: None,
+                    trace_jsonl: sink.map(|s| s.to_jsonl()),
+                    error: Some("no run completed".to_owned()),
+                    shed: None,
+                    attempts,
+                };
+            }
+            Ok(runs) => {
+                let report = CheckReport::from_runs(&runs);
+                let artifact = CampaignBaseline::capture(
+                    &job.id,
+                    &spec.workload,
+                    spec.scheme,
+                    spec.base_seed,
+                    &runs[0],
+                    &report,
+                );
+                reg.add("icd.completed", 1);
+                return CampaignResult {
+                    id: job.id,
+                    seq,
+                    status: CampaignStatus::Completed,
+                    report_json: Some(artifact.to_json()),
+                    trace_jsonl: sink.map(|s| s.to_jsonl()),
+                    error: None,
+                    shed: None,
+                    attempts,
+                };
+            }
+            Err(e) => {
+                // Only wall-clock deadlines are transient at the
+                // orchestrator level: a loaded box can starve a run
+                // past its watchdog, and backing off gives the next
+                // attempt a quieter machine. Everything else is a
+                // deterministic property of the spec.
+                let transient = e.kind() == SimErrorKind::Deadline;
+                if transient && attempts <= shared.config.retries {
+                    reg.add("icd.retries", 1);
+                    let backoff = shared.config.backoff * 2u32.saturating_pow(attempts - 1);
+                    std::thread::sleep(backoff);
+                    continue;
+                }
+                reg.add("icd.failed", 1);
+                return CampaignResult {
+                    id: job.id,
+                    seq,
+                    status: CampaignStatus::Failed,
+                    report_json: None,
+                    trace_jsonl: None,
+                    error: Some(e.to_string()),
+                    shed: None,
+                    attempts,
+                };
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The orchestrator's bounded priority work queue.
+//!
+//! A classic Mutex+Condvar monitor around a [`BinaryHeap`]: higher
+//! priority pops first, ties break by submission order, and pushing
+//! past the bound *fails* instead of blocking — the caller turns that
+//! into an explicit shed outcome, which is the whole load-shedding
+//! contract. `pop` blocks until an item arrives or the queue is closed
+//! *and* empty, so workers drain everything accepted before exiting.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// One queued item: an opaque payload ordered by `(priority desc,
+/// seq asc)`.
+#[derive(Debug)]
+pub(crate) struct QueueEntry<T> {
+    pub priority: i64,
+    pub seq: usize,
+    pub payload: T,
+}
+
+impl<T> PartialEq for QueueEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl<T> Eq for QueueEntry<T> {}
+
+impl<T> Ord for QueueEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: higher priority wins; among equals,
+        // the *earlier* submission (lower seq) wins.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for QueueEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    heap: BinaryHeap<QueueEntry<T>>,
+    closed: bool,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue is at capacity.
+    Full,
+    /// The queue has been closed (orchestrator draining).
+    Closed,
+}
+
+/// A bounded, closable priority queue.
+#[derive(Debug)]
+pub(crate) struct WorkQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> WorkQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        WorkQueue {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().heap.len()
+    }
+
+    /// Accepts the entry, or refuses it without blocking.
+    pub fn push(&self, entry: QueueEntry<T>) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.heap.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.heap.push(entry);
+        let depth = inner.heap.len();
+        drop(inner);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Takes the highest-priority entry, blocking while the queue is
+    /// open and empty. `None` means closed-and-drained: the worker
+    /// should exit.
+    pub fn pop(&self) -> Option<QueueEntry<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(entry) = inner.heap.pop() {
+                return Some(entry);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes intake. Already-queued entries still pop; blocked workers
+    /// wake up to drain or exit.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_priority_then_submission_order() {
+        let q: WorkQueue<&str> = WorkQueue::new(10);
+        for (priority, seq, payload) in [
+            (0, 0, "first-low"),
+            (5, 1, "high"),
+            (0, 2, "second-low"),
+            (5, 3, "late-high"),
+        ] {
+            q.push(QueueEntry {
+                priority,
+                seq,
+                payload,
+            })
+            .unwrap();
+        }
+        q.close();
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, ["high", "late-high", "first-low", "second-low"]);
+    }
+
+    #[test]
+    fn bound_refuses_and_close_refuses() {
+        let q: WorkQueue<u32> = WorkQueue::new(2);
+        let entry = |seq| QueueEntry {
+            priority: 0,
+            seq,
+            payload: 1u32,
+        };
+        assert_eq!(q.push(entry(0)), Ok(1));
+        assert_eq!(q.push(entry(1)), Ok(2));
+        assert_eq!(q.push(entry(2)).unwrap_err(), PushError::Full);
+        assert_eq!(q.depth(), 2);
+        q.close();
+        assert_eq!(q.push(entry(3)).unwrap_err(), PushError::Closed);
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn blocked_workers_wake_on_close() {
+        let q: std::sync::Arc<WorkQueue<u32>> = std::sync::Arc::new(WorkQueue::new(4));
+        let waiter = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(waiter.join().unwrap().is_none());
+    }
+}

@@ -35,7 +35,7 @@ use detrand::splitmix64;
 
 use crate::types::ThreadId;
 
-/// The kinds of injectable fault. See the [module docs](self) for what
+/// The kinds of injectable fault. See the module docs above for what
 /// each one does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultKind {

@@ -165,6 +165,7 @@ mod tests {
                 .with_runs(10)
                 .with_rounding(FpRound::default()),
         )
+        .expect("valid config")
         .check(move || build())
         .unwrap();
         assert!(!report.is_deterministic());

@@ -137,6 +137,7 @@ mod tests {
         let spec = spec_scaled();
         let build = Arc::clone(&spec.build);
         let report = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(10))
+            .expect("valid config")
             .check(move || build())
             .unwrap();
         assert!(!report.is_deterministic());

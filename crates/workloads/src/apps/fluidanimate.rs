@@ -193,6 +193,7 @@ mod tests {
         let spec = spec_scaled();
         let build = Arc::clone(&spec.build);
         let exact = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(8))
+            .expect("valid config")
             .check(move || build())
             .unwrap();
         assert!(!exact.is_deterministic(), "border-cell ulp noise expected");
@@ -203,6 +204,7 @@ mod tests {
                 .with_runs(8)
                 .with_rounding(FpRound::default()),
         )
+        .expect("valid config")
         .check(move || build())
         .unwrap();
         assert!(rounded.is_deterministic());

@@ -211,7 +211,10 @@ mod tests {
         if ignore {
             cfg = cfg.with_ignore(spec.ignore.clone());
         }
-        Checker::new(cfg).check(move || build()).unwrap()
+        Checker::new(cfg)
+            .expect("valid config")
+            .check(move || build())
+            .unwrap()
     }
 
     #[test]

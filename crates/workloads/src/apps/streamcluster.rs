@@ -183,6 +183,7 @@ mod tests {
     fn campaign(spec: &AppSpec, runs: usize) -> instantcheck::CheckReport {
         let build = Arc::clone(&spec.build);
         Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(runs))
+            .expect("valid config")
             .check(move || build())
             .unwrap()
     }

@@ -347,7 +347,10 @@ mod tests {
         if round {
             cfg = cfg.with_rounding(FpRound::default());
         }
-        Checker::new(cfg).check(move || build()).unwrap()
+        Checker::new(cfg)
+            .expect("valid config")
+            .check(move || build())
+            .unwrap()
     }
 
     #[test]

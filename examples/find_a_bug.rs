@@ -18,7 +18,8 @@ use instantcheck_workloads::apps::streamcluster;
 fn main() {
     let buggy = streamcluster::spec_buggy_scaled();
     let fixed = streamcluster::spec_fixed_scaled();
-    let checker = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(12));
+    let checker =
+        Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(12)).expect("valid config");
 
     // Step 1-2: check the original (buggy) code.
     let build = std::sync::Arc::clone(&buggy.build);
@@ -46,6 +47,7 @@ fn main() {
                 .with_runs(2)
                 .with_base_seed(s),
         )
+        .expect("valid config")
         .check(move || build())
         .expect("runs complete");
         if !probe.distributions[bad as usize].is_deterministic() {

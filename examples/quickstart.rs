@@ -45,7 +45,8 @@ fn main() {
     // Run each program 20 times under random serialized schedules,
     // hashing the memory state at every checkpoint with the modeled
     // MHM hardware (HW-InstantCheck_Inc).
-    let checker = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(20));
+    let checker =
+        Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(20)).expect("valid config");
 
     let report = checker.check(figure1).expect("runs complete");
     println!("figure1 (G += L under a lock):");

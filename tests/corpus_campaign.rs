@@ -74,7 +74,10 @@ fn observed_campaign(
     let cfg = config(store, jobs)
         .with_sink(sink.clone())
         .with_registry(reg.clone());
-    let report = Checker::new(cfg).check(commuting_sum).expect("completes");
+    let report = Checker::new(cfg)
+        .expect("valid config")
+        .check(commuting_sum)
+        .expect("completes");
     (report, sink.to_jsonl(), reg.snapshot())
 }
 
@@ -172,6 +175,7 @@ fn a_cached_lookup_never_trusts_a_tampered_hash() {
     let dir = tempdir("tamper");
     let store = Arc::new(CorpusStore::open(&dir).unwrap());
     let cold = Checker::new(config(&store, 1))
+        .expect("valid config")
         .check(commuting_sum)
         .unwrap();
     assert!(cold.is_deterministic());
@@ -183,6 +187,7 @@ fn a_cached_lookup_never_trusts_a_tampered_hash() {
     }
     let warm_store = Arc::new(CorpusStore::open(&dir).unwrap());
     let warm = Checker::new(config(&warm_store, 1))
+        .expect("valid config")
         .check(commuting_sum)
         .unwrap();
     assert_eq!(cold, warm, "tampered entries recompute to the truth");
@@ -196,6 +201,7 @@ fn perturbed_baseline_is_flagged_as_drift() {
     let dir = tempdir("baseline");
     let store = Arc::new(CorpusStore::open(&dir).unwrap());
     let runs = Checker::new(config(&store, 1))
+        .expect("valid config")
         .collect_runs(&commuting_sum)
         .unwrap();
     let report = CheckReport::from_runs(&runs);
@@ -229,6 +235,7 @@ fn perturbed_baseline_is_flagged_as_drift() {
     // A genuinely different campaign (nondeterministic workload) drifts
     // on the summary verdicts too.
     let ndet_runs = Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(6))
+        .expect("valid config")
         .collect_runs(&last_writer)
         .unwrap();
     let ndet_report = CheckReport::from_runs(&ndet_runs);
@@ -250,7 +257,10 @@ fn corpus_store_and_memory_cache_agree() {
         let cfg = CheckerConfig::new(Scheme::HwInc)
             .with_runs(4)
             .with_run_cache(cache, "commuting_sum");
-        Checker::new(cfg).check(commuting_sum).unwrap()
+        Checker::new(cfg)
+            .expect("valid config")
+            .check(commuting_sum)
+            .unwrap()
     };
     let a = run(disk.clone());
     let b = run(memory.clone());

@@ -36,6 +36,7 @@ fn campaign(policy: FailurePolicy) -> Checker {
             .with_base_seed(BASE_SEED)
             .with_policy(policy),
     )
+    .expect("valid config")
 }
 
 #[test]
@@ -131,6 +132,7 @@ fn recovery_marks_only_its_own_slots_failures() {
                 reseed: true,
             }),
     )
+    .expect("valid config")
     .check(kernel)
     .expect("reseeded retries recover both slots");
     assert_eq!(report.runs, runs, "both deadlocked slots were refilled");
@@ -230,6 +232,7 @@ fn skipping_a_faulted_run_equals_the_clean_campaign_minus_that_run() {
             .with_runs(runs)
             .with_base_seed(base);
         let clean = Checker::new(cfg.clone())
+            .expect("valid config")
             .collect_runs(&alloc_kernel)
             .expect("clean campaign completes");
 
@@ -238,6 +241,7 @@ fn skipping_a_faulted_run_equals_the_clean_campaign_minus_that_run() {
             cfg.with_policy(FailurePolicy::Skip { max_failures: 1 })
                 .with_fault_in_run(k, fault),
         )
+        .expect("valid config")
         .collect_runs(&alloc_kernel)
         .expect("one fault is within the skip budget");
 

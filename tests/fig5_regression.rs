@@ -23,6 +23,7 @@ fn campaign() -> (Vec<instantcheck::RunHashes>, CheckReport) {
         .with_runs(8)
         .with_base_seed(1);
     let runs = Checker::new(cfg)
+        .expect("valid config")
         .collect_runs(&move || build())
         .expect("campaign completes");
     let report = CheckReport::from_runs(&runs);

@@ -25,6 +25,7 @@ fn figure1() -> Program {
 fn externally_deterministic_under_every_scheme() {
     for scheme in [Scheme::HwInc, Scheme::SwInc, Scheme::SwTr] {
         let report = Checker::new(CheckerConfig::new(scheme).with_runs(15))
+            .expect("valid config")
             .check(figure1)
             .unwrap();
         assert!(report.is_deterministic(), "{scheme:?}");

@@ -1,0 +1,168 @@
+//! The orchestrator's two contracts, end to end over real workloads:
+//!
+//! * **Determinism under orchestration** — a 10-campaign batch produces
+//!   byte-identical per-campaign report and trace artifacts whether
+//!   each spec runs alone through the checker or under `icd` at widths
+//!   1, 2, and 4, against both a cold and a warm shared corpus.
+//! * **Graceful degradation** — submitting more campaigns than the
+//!   queue bound yields explicit shed outcomes (never a hang or a
+//!   panic), the shed submissions still appear in the drain output in
+//!   submission order, and the shed counts land in the metrics
+//!   snapshot.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use corpus::CorpusStore;
+use instantcheck::{CampaignSpec, CheckReport, Checker, CheckerConfig, RunCache, Scheme};
+use obs::MemorySink;
+use sched::{
+    CampaignStatus, Disposition, Orchestrator, OrchestratorConfig, ProgramSource, Resolver,
+    ShedReason, Submission,
+};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icd-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The same workload-id resolver the `icd` binary uses.
+fn resolver() -> Resolver {
+    Arc::new(|workload: &str| -> Option<ProgramSource> {
+        let (app, scale) = workload.split_once(':')?;
+        let scaled = match scale {
+            "scaled" => true,
+            "full" => false,
+            _ => return None,
+        };
+        instantcheck_workloads::by_name(app, scaled).map(|a| a.build)
+    })
+}
+
+/// Ten campaigns: five scaled apps at two seeds each.
+fn batch() -> Vec<Submission> {
+    let apps = ["fft", "lu", "radix", "canneal", "blackscholes"];
+    let mut subs = Vec::new();
+    for seed in [1u64, 2] {
+        for app in apps {
+            let spec = CampaignSpec::new(format!("{app}:scaled"), Scheme::HwInc)
+                .with_runs(3)
+                .with_base_seed(seed);
+            subs.push(Submission::new(format!("{app}-s{seed}"), spec));
+        }
+    }
+    subs
+}
+
+/// The solo reference: the spec run directly through the checker, no
+/// orchestrator, no corpus — `(report_json, trace_jsonl)`.
+fn solo_artifacts(sub: &Submission) -> (String, String) {
+    let sink = Arc::new(MemorySink::new());
+    let cfg = CheckerConfig::from_spec(&sub.spec).with_sink(Arc::clone(&sink) as _);
+    let source = resolver()(&sub.spec.workload).expect("registered workload");
+    let runs = Checker::new(cfg)
+        .expect("valid spec")
+        .collect_runs(&move || source())
+        .expect("campaign completes");
+    let report = CheckReport::from_runs(&runs);
+    let baseline = corpus::CampaignBaseline::capture(
+        &sub.id,
+        &sub.spec.workload,
+        sub.spec.scheme,
+        sub.spec.base_seed,
+        &runs[0],
+        &report,
+    );
+    (baseline.to_json(), sink.to_jsonl())
+}
+
+#[test]
+fn batch_artifacts_are_byte_identical_at_widths_1_2_4_cold_and_warm() {
+    let subs = batch();
+    let reference: Vec<(String, String)> = subs.iter().map(solo_artifacts).collect();
+
+    let dir = tempdir("det");
+    // Width 1 runs against a cold corpus; widths 2 and 4 (and the
+    // final width-1 pass) replay warm from the same store.
+    for (pass, width) in [(0usize, 1usize), (1, 2), (2, 4), (3, 1)] {
+        let store = Arc::new(CorpusStore::open(&dir).expect("corpus opens"));
+        let config = OrchestratorConfig {
+            width,
+            trace: true,
+            ..OrchestratorConfig::default()
+        };
+        let mut icd = Orchestrator::new(config, resolver(), Some(store as Arc<dyn RunCache>));
+        icd.start();
+        for sub in subs.clone() {
+            assert_eq!(icd.submit(sub), Disposition::Enqueued);
+        }
+        let results = icd.drain();
+        assert_eq!(results.len(), subs.len());
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.seq, i, "results in submission order");
+            assert_eq!(r.id, subs[i].id);
+            assert_eq!(
+                r.status,
+                CampaignStatus::Completed,
+                "pass {pass} width {width} {}: {:?}",
+                r.id,
+                r.error
+            );
+            assert_eq!(
+                r.report_json.as_deref(),
+                Some(reference[i].0.as_str()),
+                "pass {pass} width {width} {}: report bytes == solo bytes",
+                r.id
+            );
+            assert_eq!(
+                r.trace_jsonl.as_deref(),
+                Some(reference[i].1.as_str()),
+                "pass {pass} width {width} {}: trace bytes == solo bytes",
+                r.id
+            );
+        }
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_sheds_explicitly_and_surfaces_in_metrics() {
+    let subs = batch();
+    let config = OrchestratorConfig {
+        width: 2,
+        queue_capacity: 4,
+        ..OrchestratorConfig::default()
+    };
+    // Workers deliberately not started: every submission past the
+    // queue bound must shed, deterministically.
+    let mut icd = Orchestrator::new(config, resolver(), None);
+    let dispositions: Vec<Disposition> = subs.into_iter().map(|s| icd.submit(s)).collect();
+    assert!(dispositions[..4]
+        .iter()
+        .all(|d| *d == Disposition::Enqueued));
+    assert!(dispositions[4..]
+        .iter()
+        .all(|d| *d == Disposition::Shed(ShedReason::QueueFull)));
+
+    let snap = icd.registry().snapshot();
+    assert_eq!(snap.counters.get("icd.submitted"), Some(&10));
+    assert_eq!(snap.counters.get("icd.enqueued"), Some(&4));
+    assert_eq!(snap.counters.get("icd.shed"), Some(&6));
+    assert_eq!(snap.counters.get("icd.shed.queue-full"), Some(&6));
+
+    // Drain still finishes the accepted four and reports all ten, in
+    // order, with explicit terminal states.
+    let results = icd.drain();
+    assert_eq!(results.len(), 10);
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.seq, i);
+        if i < 4 {
+            assert_eq!(r.status, CampaignStatus::Completed, "{:?}", r.error);
+        } else {
+            assert_eq!(r.status, CampaignStatus::Shed);
+            assert_eq!(r.shed, Some(ShedReason::QueueFull));
+        }
+    }
+}

@@ -53,6 +53,7 @@ fn observed(cfg: CheckerConfig, source: fn() -> Program) -> (CheckReport, String
     let sink = Arc::new(MemorySink::new());
     let reg = Arc::new(Registry::new());
     let report = Checker::new(cfg.with_sink(sink.clone()).with_registry(reg.clone()))
+        .expect("valid config")
         .check(source)
         .expect("campaign completes");
     (report, events_to_jsonl(&sink.events()), reg.snapshot())
@@ -80,9 +81,15 @@ fn worker_count_is_invisible_across_schemes_and_workloads() {
                 assert_eq!(m1, m, "metrics (jobs={jobs})");
             }
         } else {
-            let r1 = Checker::new(cfg().with_jobs(1)).check(source).unwrap();
+            let r1 = Checker::new(cfg().with_jobs(1))
+                .expect("valid config")
+                .check(source)
+                .unwrap();
             for jobs in [2, 8] {
-                let r = Checker::new(cfg().with_jobs(jobs)).check(source).unwrap();
+                let r = Checker::new(cfg().with_jobs(jobs))
+                    .expect("valid config")
+                    .check(source)
+                    .unwrap();
                 assert_eq!(r1, r, "report (jobs={jobs})");
             }
         }
@@ -98,6 +105,7 @@ fn early_stop_truncates_at_the_same_run_for_all_worker_counts() {
             .with_jobs(jobs)
             .with_sink(sink.clone());
         let (report, used) = Checker::new(cfg)
+            .expect("valid config")
             .check_stopping_early(last_writer)
             .expect("campaign completes");
         (report, used, events_to_jsonl(&sink.events()))
@@ -126,13 +134,19 @@ fn retried_campaign_reduces_identically() {
             })
     };
     let kernel = || stress::lock_order_hazard(32);
-    let serial = Checker::new(cfg().with_jobs(1)).check(kernel).unwrap();
+    let serial = Checker::new(cfg().with_jobs(1))
+        .expect("valid config")
+        .check(kernel)
+        .unwrap();
     assert!(
         serial.failures.iter().all(|f| f.recovered),
         "the deadlocked slot recovers"
     );
     assert!(!serial.failures.is_empty());
-    let parallel = Checker::new(cfg().with_jobs(4)).check(kernel).unwrap();
+    let parallel = Checker::new(cfg().with_jobs(4))
+        .expect("valid config")
+        .check(kernel)
+        .unwrap();
     assert_eq!(serial, parallel, "failures and hashes reduce identically");
 }
 
@@ -169,7 +183,10 @@ fn exhausted_skip_budget_fails_with_the_serial_error() {
             .with_policy(FailurePolicy::Skip { max_failures: 1 })
             .with_fault_in_run(1, plan(1))
             .with_fault_in_run(3, plan(2));
-        Checker::new(cfg).check(alloc_kernel).unwrap_err()
+        Checker::new(cfg)
+            .expect("valid config")
+            .check(alloc_kernel)
+            .unwrap_err()
     };
     let serial = at(1);
     for jobs in [2, 8] {
@@ -186,7 +203,10 @@ fn within_budget_skips_reduce_identically() {
             .with_jobs(jobs)
             .with_policy(FailurePolicy::Skip { max_failures: 2 })
             .with_fault_in_run(2, plan.clone());
-        Checker::new(cfg).check(alloc_kernel).unwrap()
+        Checker::new(cfg)
+            .expect("valid config")
+            .check(alloc_kernel)
+            .unwrap()
     };
     let serial = at(1);
     assert_eq!(serial.failures.len(), 1);

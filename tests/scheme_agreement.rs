@@ -14,7 +14,10 @@ fn verdict_profile(name: &str, scheme: Scheme, rounding: bool) -> (Vec<Vec<usize
         cfg = cfg.with_rounding(FpRound::default());
     }
     cfg = cfg.with_ignore(app.ignore.clone());
-    let report = Checker::new(cfg).check(move || build()).unwrap();
+    let report = Checker::new(cfg)
+        .expect("valid config")
+        .check(move || build())
+        .unwrap();
     (
         report
             .distributions

@@ -14,7 +14,10 @@ fn campaign(app: &AppSpec, runs: usize) -> instantcheck::CheckReport {
     if app.uses_fp {
         cfg = cfg.with_rounding(FpRound::default());
     }
-    Checker::new(cfg).check(move || build()).unwrap()
+    Checker::new(cfg)
+        .expect("valid config")
+        .check(move || build())
+        .unwrap()
 }
 
 #[test]

@@ -10,6 +10,7 @@ use instantcheck_workloads::apps::streamcluster;
 fn campaign(spec: &instantcheck_workloads::AppSpec, runs: usize) -> instantcheck::CheckReport {
     let build = std::sync::Arc::clone(&spec.build);
     Checker::new(CheckerConfig::new(Scheme::HwInc).with_runs(runs))
+        .expect("valid config")
         .check(move || build())
         .unwrap()
 }

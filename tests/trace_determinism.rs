@@ -53,7 +53,10 @@ fn traced_campaign_jobs(source: fn() -> Program, base_seed: u64, jobs: usize) ->
         .with_cache_model()
         .with_jobs(jobs)
         .with_sink(sink.clone());
-    Checker::new(cfg).check(source).expect("campaign completes");
+    Checker::new(cfg)
+        .expect("valid config")
+        .check(source)
+        .expect("campaign completes");
     sink.events()
 }
 
