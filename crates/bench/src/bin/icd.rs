@@ -5,51 +5,79 @@
 //! bounded worker pool over the registered workloads, multiplexes an
 //! optional shared run corpus behind striped locking, and writes one
 //! deterministic artifact per campaign. Under load it degrades
-//! gracefully — submissions past the queue bound are *shed* with an
-//! explicit outcome instead of blocking or dying — and on end of input
-//! it drains: every accepted campaign finishes before the process
-//! exits.
+//! gracefully — submissions past the queue bound (or past a tenant's
+//! quota) are *shed* with an explicit outcome instead of blocking or
+//! dying — and on shutdown it drains: every accepted campaign finishes
+//! before the process exits.
 //!
 //! ```text
 //! icd [--width N] [--queue-cap N] [--budget N] [--retries N]
 //!     [--backoff-ms N] [--deadline-ms N] [--stripes N] [--trace]
+//!     [--tenant-quota N] [--idle-timeout-ms N] [--max-bad-lines N]
 //!     [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH]
+//! icd --connect PATH [--batch FILE|-]        # client mode
 //! ```
 //!
 //! Submissions are read, in order, from `--batch FILE` (`-` for
-//! stdin), then from `--socket PATH` (a unix listener; clients get a
-//! one-line disposition reply per submission, and a literal `drain`
-//! line shuts intake down), then — when neither was given — from
-//! stdin. Each line is either a bare `CampaignSpec` (the exact JSON
-//! `--spec` files use; the id defaults to `c<seq>`) or a wrapper
-//! `{"id": "...", "priority": N, "spec": {...}}`. Blank lines and
-//! `#` comments are skipped.
+//! stdin), then served from `--socket PATH`, then — when neither was
+//! given — from stdin. Each line is either a bare `CampaignSpec` (the
+//! exact JSON `--spec` files use; the id defaults to `c<seq>`) or a
+//! wrapper `{"id": "...", "priority": N, "tenant": "...",
+//! "spec": {...}}`. Blank lines and `#` comments are skipped.
 //!
-//! Artifacts land under `--out` (default `results/icd`): per-campaign
-//! `<id>.report.json` (byte-identical to the same spec run alone, at
-//! any `--width`) and optional `<id>.trace.jsonl`, plus the batch
-//! summary `batch.jsonl` (one result line per submission, in
-//! submission order), the deterministic batch span trace
+//! With `--socket`, `icd` is a **multi-client daemon**: a threaded
+//! accept loop gives every connection its own handler with
+//! per-connection fault isolation — one client's I/O error, mid-line
+//! disconnect, idle stall (`--idle-timeout-ms`), or malformed-line
+//! flood (`--max-bad-lines`) drops *that* client, counted in metrics,
+//! while the daemon keeps serving. Each submission line gets a
+//! one-line disposition reply; a literal `status` line returns a live
+//! JSON snapshot (queue depth, in-flight, per-tenant accepted/shed,
+//! registry counters); a literal `drain` line — or SIGTERM/SIGINT —
+//! stops intake, answers `{"draining":true}` to connected clients,
+//! drains the orchestrator, and removes the socket file on every exit
+//! path. Binding refuses to clobber a *live* daemon's socket (a probe
+//! connect must fail before a stale file is removed).
+//!
+//! With `--connect`, `icd` is the matching client: it forwards each
+//! input line to the daemon, prints one reply line per request, and —
+//! when the input ends in an unterminated fragment — sends the bytes
+//! and disconnects mid-line, which the daemon must shrug off.
+//!
+//! Artifacts land under `--out` (default `results/icd`), each written
+//! atomically (tmp + rename): per-campaign `<id>.report.json`
+//! (byte-identical to the same spec run alone, at any `--width` and
+//! any client interleaving) and optional `<id>.trace.jsonl`, plus the
+//! batch summary `batch.jsonl` (one result line per submission, in
+//! submission-sequence order), the deterministic batch span trace
 //! `batch.trace.jsonl`, and the wall-clock side of the story in
-//! `metrics.json` (queue depth, wait times, shed counts, corpus
-//! stripe contention — everything that is *allowed* to vary run to
-//! run).
+//! `metrics.json` (queue depth, wait times, shed counts, connection
+//! counts, corpus stripe contention — everything that is *allowed* to
+//! vary run to run).
 //!
 //! Exit status: 0 when every submission completed, 1 when any
 //! campaign failed, was invalid, was shed, or a submission line did
-//! not parse, 2 on usage or I/O errors.
+//! not parse, 2 on usage or I/O errors (including refusing to clobber
+//! a live daemon's socket).
 
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::{BufRead, BufReader, ErrorKind, Read as _, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use instantcheck::{CampaignSpec, RunCache};
 use obs::json::{parse, Value};
 use sched::{
     CampaignStatus, Disposition, Orchestrator, OrchestratorConfig, ProgramSource, Resolver,
-    Submission,
+    Service, Submission,
 };
+
+/// How often blocked connection reads wake up to check the drain flag
+/// and the idle clock.
+const TICK: Duration = Duration::from_millis(50);
 
 struct IcdCli {
     config: OrchestratorConfig,
@@ -57,13 +85,34 @@ struct IcdCli {
     out: String,
     batch: Option<String>,
     socket: Option<String>,
+    connect: Option<String>,
+    daemon: DaemonOpts,
+}
+
+#[derive(Clone)]
+struct DaemonOpts {
+    /// Disconnect a client that has sent nothing for this long.
+    idle_timeout: Duration,
+    /// Disconnect a client after this many malformed lines.
+    max_bad_lines: usize,
+}
+
+impl Default for DaemonOpts {
+    fn default() -> Self {
+        DaemonOpts {
+            idle_timeout: Duration::from_millis(30_000),
+            max_bad_lines: 100,
+        }
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: icd [--width N] [--queue-cap N] [--budget N] [--retries N] \
          [--backoff-ms N] [--deadline-ms N] [--stripes N] [--trace] \
-         [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH]"
+         [--tenant-quota N] [--idle-timeout-ms N] [--max-bad-lines N] \
+         [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH]\n\
+         \x20      icd --connect PATH [--batch FILE|-]"
     );
     std::process::exit(2);
 }
@@ -76,6 +125,8 @@ fn parse_cli() -> IcdCli {
         out: "results/icd".to_owned(),
         batch: None,
         socket: None,
+        connect: None,
+        daemon: DaemonOpts::default(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -93,6 +144,11 @@ fn parse_cli() -> IcdCli {
             "--deadline-ms" => cli.config.default_deadline_ms = Some(num(&mut i)),
             "--stripes" => cli.config.stripes = num(&mut i) as usize,
             "--trace" => cli.config.trace = true,
+            "--tenant-quota" => cli.config.tenant_quota = Some(num(&mut i)),
+            "--idle-timeout-ms" => {
+                cli.daemon.idle_timeout = Duration::from_millis(num(&mut i).max(1));
+            }
+            "--max-bad-lines" => cli.daemon.max_bad_lines = num(&mut i) as usize,
             "--corpus" => {
                 let dir = value(&mut i);
                 match corpus::CorpusStore::open(&dir) {
@@ -106,6 +162,7 @@ fn parse_cli() -> IcdCli {
             "--out" => cli.out = value(&mut i),
             "--batch" => cli.batch = Some(value(&mut i)),
             "--socket" => cli.socket = Some(value(&mut i)),
+            "--connect" => cli.connect = Some(value(&mut i)),
             other => {
                 eprintln!("unknown argument {other}");
                 usage();
@@ -130,16 +187,19 @@ fn resolver() -> Resolver {
     })
 }
 
-/// One submission line: a bare spec, or `{"id", "priority", "spec"}`.
-fn parse_submission(line: &str, seq: usize) -> Result<Submission, String> {
+/// One submission line: a bare spec, or `{"id", "priority", "tenant",
+/// "spec"}`. An absent id is left empty — the service fills in
+/// `c<seq>` under its intake lock, so concurrent clients cannot race
+/// the default.
+fn parse_submission(line: &str) -> Result<Submission, String> {
     let v = parse(line)?;
-    let (spec_value, id, priority) = match v.get("spec") {
+    let (spec_value, id, priority, tenant) = match v.get("spec") {
         Some(spec) => {
             let id = v
                 .get("id")
                 .and_then(Value::as_str)
                 .map(str::to_owned)
-                .unwrap_or_else(|| format!("c{seq}"));
+                .unwrap_or_default();
             let priority = match v.get("priority") {
                 None | Some(Value::Null) => 0,
                 Some(Value::Num(raw)) => {
@@ -147,12 +207,19 @@ fn parse_submission(line: &str, seq: usize) -> Result<Submission, String> {
                 }
                 Some(_) => return Err("priority must be a number".to_owned()),
             };
-            (spec, id, priority)
+            let tenant = match v.get("tenant") {
+                None | Some(Value::Null) => None,
+                Some(Value::Str(t)) => Some(t.clone()),
+                Some(_) => return Err("tenant must be a string".to_owned()),
+            };
+            (spec, id, priority, tenant)
         }
-        None => (&v, format!("c{seq}"), 0),
+        None => (&v, String::new(), 0, None),
     };
     let spec = CampaignSpec::from_value(spec_value)?;
-    Ok(Submission::new(id, spec).with_priority(priority))
+    let mut sub = Submission::new(id, spec).with_priority(priority);
+    sub.tenant = tenant;
+    Ok(sub)
 }
 
 fn disposition_json(id: &str, d: Disposition) -> String {
@@ -169,84 +236,372 @@ fn disposition_json(id: &str, d: Disposition) -> String {
     out
 }
 
-/// Submits every submission line of one reader; returns the number of
-/// lines that failed to parse.
-fn intake(
-    reader: impl BufRead,
-    icd: &mut Orchestrator,
-    mut reply: Option<&mut dyn std::io::Write>,
-) -> std::io::Result<usize> {
-    let mut bad = 0;
+fn error_json(message: &str) -> String {
+    let mut out = String::from("{\"error\":");
+    obs::json::write_str(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// Submits every submission line of one reader (the single-client
+/// batch/stdin path); counts parse failures in `icd.bad_lines`.
+fn intake(reader: impl BufRead, svc: &Service) -> std::io::Result<()> {
     for line in reader.lines() {
         let line = line?;
         let text = line.trim();
         if text.is_empty() || text.starts_with('#') {
             continue;
         }
-        match parse_submission(text, icd.submitted()) {
+        match parse_submission(text) {
             Ok(sub) => {
-                let id = sub.id.clone();
-                let d = icd.submit(sub);
+                let (id, d) = svc.submit(sub);
                 if let Disposition::Shed(reason) = d {
                     eprintln!("icd: shed {id:?} ({})", reason.label());
                 }
-                if let Some(out) = reply.as_deref_mut() {
-                    writeln!(out, "{}", disposition_json(&id, d))?;
+            }
+            Err(e) => {
+                svc.registry().add("icd.bad_lines", 1);
+                eprintln!("icd: bad submission line: {e}");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The flag-based signal hook: SIGTERM/SIGINT set an atomic the accept
+/// loop polls, turning an operator kill into a graceful drain. Uses
+/// the libc `signal` entry point the Rust runtime already links — no
+/// external crates.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a single atomic store, nothing else.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// Installs the handler for SIGTERM and SIGINT (idempotent).
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    /// Whether a shutdown signal has arrived.
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
+/// Removes the socket path on drop, so the file disappears on every
+/// exit path — normal drain, signal, or panic unwind.
+struct SocketGuard {
+    path: Option<PathBuf>,
+}
+
+impl SocketGuard {
+    fn new(path: &str) -> Self {
+        SocketGuard {
+            path: Some(PathBuf::from(path)),
+        }
+    }
+
+    fn remove(&mut self) {
+        if let Some(path) = self.path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        self.remove();
+    }
+}
+
+/// Binds the daemon socket, refusing to clobber a *live* daemon: if
+/// the path exists and a probe connect succeeds, someone is serving it
+/// and we bail out; only a dead (connection-refused) leftover is
+/// removed and re-bound.
+fn bind_socket(path: &str) -> std::io::Result<UnixListener> {
+    if Path::new(path).exists() {
+        match UnixStream::connect(path) {
+            Ok(_) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::AddrInUse,
+                    format!("{path}: a live daemon is already listening"),
+                ));
+            }
+            Err(_) => {
+                // Stale socket from a dead process — safe to reclaim.
+                std::fs::remove_file(path)?;
+            }
+        }
+    }
+    UnixListener::bind(path)
+}
+
+/// Why one client connection ended; each variant maps to a metric so
+/// operators can see *how* clients leave.
+enum ConnClose {
+    /// Clean end of stream after a final newline.
+    Eof,
+    /// The client vanished mid-line; the partial line is dropped.
+    PartialEof,
+    /// No bytes for `--idle-timeout-ms`.
+    IdleTimeout,
+    /// The daemon is draining; the client was told.
+    Draining,
+    /// Too many malformed lines; the client was disconnected.
+    Kicked,
+    /// A transport error on this connection only.
+    Error(std::io::Error),
+}
+
+/// Serves one client connection until it ends. All failure modes stay
+/// on this connection: returning `ConnClose` never unwinds into the
+/// accept loop.
+fn serve_connection(stream: UnixStream, svc: &Service, opts: &DaemonOpts) -> ConnClose {
+    if let Err(e) = stream.set_read_timeout(Some(TICK)) {
+        return ConnClose::Error(e);
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => return ConnClose::Error(e),
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut bad_lines = 0usize;
+    let mut idle = Duration::ZERO;
+    loop {
+        buf.clear();
+        // Accumulate one full line, surviving read timeouts: each tick
+        // checks the drain flag and the idle clock, so a stalled client
+        // cannot pin this handler forever.
+        loop {
+            let before = buf.len();
+            match reader.read_until(b'\n', &mut buf) {
+                Ok(0) => {
+                    return if buf.is_empty() {
+                        ConnClose::Eof
+                    } else {
+                        ConnClose::PartialEof
+                    };
+                }
+                Ok(_) if buf.last() == Some(&b'\n') => break,
+                // `read_until` returns early only at the delimiter or
+                // EOF; data without a trailing newline means the
+                // stream ended mid-line.
+                Ok(_) => return ConnClose::PartialEof,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if svc.is_draining() {
+                        let _ = writeln!(writer, "{{\"draining\":true}}");
+                        return ConnClose::Draining;
+                    }
+                    if buf.len() == before {
+                        idle += TICK;
+                        if idle >= opts.idle_timeout {
+                            let _ = writeln!(writer, "{}", error_json("idle timeout"));
+                            return ConnClose::IdleTimeout;
+                        }
+                    } else {
+                        idle = Duration::ZERO;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return ConnClose::Error(e),
+            }
+        }
+        idle = Duration::ZERO;
+        let line = String::from_utf8_lossy(&buf);
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let reply = match text {
+            "status" => svc.status_json(),
+            "drain" => {
+                svc.begin_drain();
+                "{\"draining\":true}".to_owned()
+            }
+            _ => match parse_submission(text) {
+                Ok(sub) => {
+                    let (id, d) = svc.submit(sub);
+                    disposition_json(&id, d)
+                }
+                Err(e) => {
+                    bad_lines += 1;
+                    svc.registry().add("icd.bad_lines", 1);
+                    error_json(&e)
+                }
+            },
+        };
+        if let Err(e) = writeln!(writer, "{reply}") {
+            return ConnClose::Error(e);
+        }
+        if text == "drain" {
+            return ConnClose::Draining;
+        }
+        if bad_lines >= opts.max_bad_lines {
+            let _ = writeln!(writer, "{}", error_json("too many malformed lines"));
+            return ConnClose::Kicked;
+        }
+    }
+}
+
+/// One handler thread per connection: serve it, then fold its fate
+/// into the metrics. Nothing a client does propagates past here.
+fn handle_client(stream: UnixStream, svc: &Arc<Service>, opts: &DaemonOpts, conn: u64) {
+    let reg = Arc::clone(svc.registry());
+    let close = serve_connection(stream, svc, opts);
+    let label = match close {
+        ConnClose::Eof => "eof",
+        ConnClose::PartialEof => "partial",
+        ConnClose::IdleTimeout => "idle-timeout",
+        ConnClose::Draining => "draining",
+        ConnClose::Kicked => "kicked",
+        ConnClose::Error(e) => {
+            eprintln!("icd: connection {conn}: {e}");
+            "error"
+        }
+    };
+    reg.add("icd.conn.closed", 1);
+    reg.add(&format!("icd.conn.closed.{label}"), 1);
+}
+
+/// The daemon accept loop: non-blocking accept so SIGTERM/SIGINT and
+/// socket-initiated drains are noticed within one tick, one handler
+/// thread per connection, and per-connection fault isolation — accept
+/// errors are counted and served around, never fatal.
+fn serve_daemon(path: &str, svc: &Arc<Service>, opts: &DaemonOpts) -> std::io::Result<()> {
+    signals::install();
+    let listener = bind_socket(path)?;
+    let mut guard = SocketGuard::new(path);
+    listener.set_nonblocking(true)?;
+    eprintln!("icd: serving {path} (lines: submissions, `status`, `drain`; SIGTERM/SIGINT drain)");
+    let reg = Arc::clone(svc.registry());
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_conn = 0u64;
+    while !signals::requested() && !svc.is_draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                reg.add("icd.conn.opened", 1);
+                let svc = Arc::clone(svc);
+                let opts = opts.clone();
+                let conn = next_conn;
+                next_conn += 1;
+                handlers.push(std::thread::spawn(move || {
+                    handle_client(stream, &svc, &opts, conn);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(TICK),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => {
+                reg.add("icd.conn.accept_errors", 1);
+                eprintln!("icd: accept failed: {e}");
+                std::thread::sleep(TICK);
+            }
+        }
+    }
+    if signals::requested() {
+        svc.begin_drain();
+        eprintln!("icd: shutdown signal received, draining");
+    }
+    // Unlink before joining the handlers so new connects fail fast
+    // instead of queueing in a backlog nobody will ever accept.
+    drop(listener);
+    guard.remove();
+    for h in handlers {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// Client mode: forward each input line to a daemon, print one reply
+/// line per request. A final unterminated fragment is sent as raw
+/// bytes followed by a disconnect — the deliberate mid-line-drop probe
+/// the daemon-mode tests and CI use.
+fn run_client(path: &str, batch: Option<&str>) -> ExitCode {
+    let mut input = Vec::new();
+    let read = match batch {
+        Some("-") | None => std::io::stdin().lock().read_to_end(&mut input),
+        Some(file) => std::fs::File::open(file).and_then(|mut f| f.read_to_end(&mut input)),
+    };
+    if let Err(e) = read {
+        eprintln!("icd: cannot read input: {e}");
+        return ExitCode::from(2);
+    }
+    let stream = match UnixStream::connect(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("icd: cannot connect to {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("icd: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut degraded = false;
+    let mut rest: &[u8] = &input;
+    while let Some(nl) = rest.iter().position(|&b| b == b'\n') {
+        let (line, tail) = rest.split_at(nl + 1);
+        rest = tail;
+        let text = String::from_utf8_lossy(&line[..nl]);
+        let text = text.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let io: std::io::Result<String> = (|| {
+            writer.write_all(text.as_bytes())?;
+            writer.write_all(b"\n")?;
+            let mut reply = String::new();
+            reader.read_line(&mut reply)?;
+            Ok(reply)
+        })();
+        match io {
+            Ok(reply) => {
+                let reply = reply.trim_end();
+                println!("{reply}");
+                if reply.contains("\"error\"") || reply.contains("\"shed\"") {
+                    degraded = true;
                 }
             }
             Err(e) => {
-                bad += 1;
-                eprintln!("icd: bad submission line: {e}");
-                if let Some(out) = reply.as_deref_mut() {
-                    writeln!(out, "{{\"error\":{}}}", {
-                        let mut s = String::new();
-                        obs::json::write_str(&mut s, &e);
-                        s
-                    })?;
-                }
+                eprintln!("icd: connection lost: {e}");
+                return ExitCode::from(2);
             }
         }
     }
-    Ok(bad)
-}
-
-/// Serves the unix socket until a client sends a literal `drain` line.
-fn serve_socket(path: &str, icd: &mut Orchestrator) -> std::io::Result<usize> {
-    let _ = std::fs::remove_file(path);
-    let listener = std::os::unix::net::UnixListener::bind(path)?;
-    eprintln!("icd: listening on {path} (send `drain` to shut down)");
-    let mut bad = 0;
-    'accept: for stream in listener.incoming() {
-        let stream = stream?;
-        let mut writer = stream.try_clone()?;
-        let reader = BufReader::new(stream);
-        for line in reader.lines() {
-            let line = line?;
-            let text = line.trim();
-            if text.is_empty() || text.starts_with('#') {
-                continue;
-            }
-            if text == "drain" {
-                writeln!(writer, "{{\"draining\":true}}")?;
-                break 'accept;
-            }
-            match parse_submission(text, icd.submitted()) {
-                Ok(sub) => {
-                    let id = sub.id.clone();
-                    let d = icd.submit(sub);
-                    writeln!(writer, "{}", disposition_json(&id, d))?;
-                }
-                Err(e) => {
-                    bad += 1;
-                    let mut s = String::new();
-                    obs::json::write_str(&mut s, &e);
-                    writeln!(writer, "{{\"error\":{s}}}")?;
-                }
-            }
-        }
+    if !rest.is_empty() {
+        // Unterminated fragment: send it and hang up mid-line.
+        let _ = writer.write_all(rest);
+        let _ = writer.flush();
+        eprintln!(
+            "icd: sent {} unterminated byte(s) and disconnected",
+            rest.len()
+        );
     }
-    let _ = std::fs::remove_file(path);
-    Ok(bad)
+    if degraded {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// A campaign id as a safe artifact file stem.
@@ -264,6 +619,9 @@ fn file_stem(id: &str) -> String {
 
 fn main() -> ExitCode {
     let cli = parse_cli();
+    if let Some(path) = &cli.connect {
+        return run_client(path, cli.batch.as_deref());
+    }
     let out_dir = std::path::PathBuf::from(&cli.out);
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create {}: {e}", out_dir.display());
@@ -271,23 +629,25 @@ fn main() -> ExitCode {
     }
 
     let cache = cli.corpus.clone().map(|s| s as Arc<dyn RunCache>);
-    let mut icd = Orchestrator::new(cli.config.clone(), resolver(), cache);
-    icd.start();
+    let svc = Arc::new(Service::new(Orchestrator::new(
+        cli.config.clone(),
+        resolver(),
+        cache,
+    )));
 
-    let mut bad_lines = 0;
     let io_result: std::io::Result<()> = (|| {
         if let Some(batch) = &cli.batch {
             if batch == "-" {
-                bad_lines += intake(std::io::stdin().lock(), &mut icd, None)?;
+                intake(std::io::stdin().lock(), &svc)?;
             } else {
                 let file = std::fs::File::open(batch)?;
-                bad_lines += intake(BufReader::new(file), &mut icd, None)?;
+                intake(BufReader::new(file), &svc)?;
             }
         }
         if let Some(path) = &cli.socket {
-            bad_lines += serve_socket(path, &mut icd)?;
+            serve_daemon(path, &svc, &cli.daemon)?;
         } else if cli.batch.is_none() {
-            bad_lines += intake(std::io::stdin().lock(), &mut icd, None)?;
+            intake(std::io::stdin().lock(), &svc)?;
         }
         Ok(())
     })();
@@ -296,10 +656,11 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    eprintln!("icd: draining {} submission(s)…", icd.submitted());
-    let registry = Arc::clone(icd.registry());
-    let results = icd.drain();
+    eprintln!("icd: draining {} submission(s)…", svc.submitted());
+    let registry = Arc::clone(svc.registry());
+    let results = svc.drain();
 
+    let bad_lines = registry.counter("icd.bad_lines").get();
     let mut failed = bad_lines > 0;
     let mut summary = String::new();
     for r in &results {
@@ -352,10 +713,21 @@ fn main() -> ExitCode {
     }
 }
 
+/// Writes one artifact atomically (tmp + rename in the target
+/// directory), so a crash mid-write can never leave a truncated file
+/// that a later byte-compare reads as drift.
 fn write_artifact(path: &std::path::Path, contents: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
-        eprintln!("could not write {}: {e}", path.display());
-    } else {
-        eprintln!("wrote {}", path.display());
+    let result = (|| -> std::io::Result<()> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp-{}", std::process::id()));
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, contents)?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
+    })();
+    match result {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }

@@ -66,12 +66,14 @@
 
 mod orchestrator;
 mod queue;
+mod service;
 
 pub use instantcheck::CampaignSpec;
 pub use orchestrator::{
     CampaignResult, CampaignStatus, Disposition, Orchestrator, OrchestratorConfig, ProgramSource,
-    Resolver, ShedReason, Submission,
+    Resolver, ShedReason, Submission, TenantStats, DEFAULT_TENANT,
 };
+pub use service::Service;
 
 /// Queue priority: higher pops first; ties run in submission order.
 pub type Priority = i64;
@@ -239,6 +241,116 @@ mod tests {
     }
 
     #[test]
+    fn tenant_quota_sheds_explicitly_per_tenant() {
+        let config = OrchestratorConfig {
+            tenant_quota: Some(2),
+            ..OrchestratorConfig::default()
+        };
+        let mut icd = Orchestrator::new(config, resolver(), None);
+        for i in 0..4 {
+            let d = icd.submit(Submission::new(format!("a{i}"), spec()).with_tenant("alice"));
+            if i < 2 {
+                assert_eq!(d, Disposition::Enqueued);
+            } else {
+                assert_eq!(d, Disposition::Shed(ShedReason::QuotaExceeded));
+            }
+        }
+        // One tenant's exhaustion never affects another's budget.
+        assert_eq!(
+            icd.submit(Submission::new("b0", spec()).with_tenant("bob")),
+            Disposition::Enqueued
+        );
+        assert_eq!(
+            icd.tenant_stats()["alice"],
+            TenantStats {
+                accepted: 2,
+                shed: 2
+            }
+        );
+        assert_eq!(icd.tenant_stats()["bob"].accepted, 1);
+        let snap = icd.registry().snapshot();
+        assert_eq!(snap.counters.get("icd.tenant.alice.accepted"), Some(&2));
+        assert_eq!(snap.counters.get("icd.tenant.alice.shed"), Some(&2));
+        assert_eq!(snap.counters.get("icd.shed.quota-exceeded"), Some(&2));
+        let results = icd.drain();
+        assert_eq!(results.len(), 5);
+        assert_eq!(results[2].status, CampaignStatus::Shed);
+        assert_eq!(results[2].shed, Some(ShedReason::QuotaExceeded));
+        assert_eq!(results[2].tenant, "alice");
+        assert!(results[..2]
+            .iter()
+            .all(|r| r.status == CampaignStatus::Completed));
+    }
+
+    #[test]
+    fn empty_submission_id_defaults_to_seq() {
+        let mut icd = Orchestrator::new(OrchestratorConfig::default(), resolver(), None);
+        icd.submit(Submission::new("", spec()));
+        icd.submit(Submission::new("named", spec()));
+        icd.submit(Submission::new("", spec()));
+        let results = icd.drain();
+        let ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["c0", "named", "c2"]);
+    }
+
+    #[test]
+    fn service_is_share_safe_and_drains_once() {
+        let svc = Arc::new(Service::new(Orchestrator::new(
+            OrchestratorConfig::default(),
+            resolver(),
+            None,
+        )));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..3 {
+                    let sub =
+                        Submission::new(format!("t{t}-{i}"), spec()).with_tenant(format!("t{t}"));
+                    assert_eq!(svc.submit(sub).1, Disposition::Enqueued);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let status = obs::json::parse(&svc.status_json()).unwrap();
+        assert_eq!(status.get("draining"), Some(&obs::json::Value::Bool(false)));
+        assert_eq!(status.get("submitted").unwrap().as_u64(), Some(12));
+        assert_eq!(
+            status
+                .get("tenants")
+                .unwrap()
+                .get("t0")
+                .unwrap()
+                .get("accepted")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+
+        let results = svc.drain();
+        assert_eq!(results.len(), 12);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.seq, i, "results stay in submission order");
+            assert_eq!(r.status, CampaignStatus::Completed, "{:?}", r.error);
+        }
+        let mut ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12, "every submission reported exactly once");
+
+        assert!(svc.is_draining());
+        assert!(svc.drain().is_empty(), "second drain is empty");
+        assert_eq!(
+            svc.submit(Submission::new("late", spec())).1,
+            Disposition::Shed(ShedReason::Draining)
+        );
+        let status = obs::json::parse(&svc.status_json()).unwrap();
+        assert_eq!(status.get("draining"), Some(&obs::json::Value::Bool(true)));
+    }
+
+    #[test]
     fn batch_trace_is_a_pure_function_of_the_results() {
         let mut icd = Orchestrator::new(OrchestratorConfig::default(), resolver(), None);
         icd.submit(Submission::new("a", spec()));
@@ -266,8 +378,8 @@ mod tests {
         let results = icd.drain();
         assert_eq!(
             results[1].summary_json(),
-            "{\"id\":\"dropped\",\"seq\":1,\"status\":\"shed\",\"attempts\":0,\
-             \"shed\":\"queue-full\",\"error\":null}"
+            "{\"id\":\"dropped\",\"tenant\":\"anon\",\"seq\":1,\"status\":\"shed\",\
+             \"attempts\":0,\"shed\":\"queue-full\",\"error\":null}"
         );
         assert!(results[0]
             .summary_json()

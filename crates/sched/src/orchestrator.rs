@@ -3,7 +3,7 @@
 //! not depend on the pool width.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -24,13 +24,22 @@ pub type ProgramSource = Arc<dyn Fn() -> Program + Send + Sync>;
 /// [`CampaignStatus::Invalid`] instead of panicking a worker.
 pub type Resolver = Arc<dyn Fn(&str) -> Option<ProgramSource> + Send + Sync>;
 
+/// The tenant label used for submissions that do not name one.
+pub const DEFAULT_TENANT: &str = "anon";
+
 /// One campaign submission: a spec plus scheduling identity.
 #[derive(Debug, Clone)]
 pub struct Submission {
     /// Caller-chosen campaign id — names the result and its artifacts.
+    /// An empty id is replaced with `c<seq>` at submit time, so callers
+    /// that cannot know the sequence up front (concurrent daemon
+    /// clients) still get stable, collision-free defaults.
     pub id: String,
     /// Queue priority: higher pops first; ties run in submission order.
     pub priority: Priority,
+    /// The submitting tenant, for quota accounting and per-tenant
+    /// metrics; `None` is accounted under [`DEFAULT_TENANT`].
+    pub tenant: Option<String>,
     /// What to run.
     pub spec: CampaignSpec,
 }
@@ -41,6 +50,7 @@ impl Submission {
         Submission {
             id: id.into(),
             priority: 0,
+            tenant: None,
             spec,
         }
     }
@@ -49,6 +59,13 @@ impl Submission {
     #[must_use]
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Sets the tenant label.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
         self
     }
 }
@@ -61,6 +78,8 @@ pub enum ShedReason {
     QueueFull,
     /// The orchestrator was already draining.
     Draining,
+    /// The submitting tenant exhausted its submission quota.
+    QuotaExceeded,
 }
 
 impl ShedReason {
@@ -69,6 +88,7 @@ impl ShedReason {
         match self {
             ShedReason::QueueFull => "queue-full",
             ShedReason::Draining => "draining",
+            ShedReason::QuotaExceeded => "quota-exceeded",
         }
     }
 }
@@ -114,6 +134,8 @@ impl CampaignStatus {
 pub struct CampaignResult {
     /// The submission's id.
     pub id: String,
+    /// The tenant the submission was accounted under.
+    pub tenant: String,
     /// Submission order (0-based) — the deterministic result ordering.
     pub seq: usize,
     /// Terminal state.
@@ -141,6 +163,8 @@ impl CampaignResult {
         use std::fmt::Write as _;
         let mut out = String::from("{\"id\":");
         obs::json::write_str(&mut out, &self.id);
+        out.push_str(",\"tenant\":");
+        obs::json::write_str(&mut out, &self.tenant);
         let _ = write!(out, ",\"seq\":{}", self.seq);
         out.push_str(",\"status\":");
         obs::json::write_str(&mut out, self.status.label());
@@ -163,9 +187,10 @@ impl CampaignResult {
         out
     }
 
-    fn shed(id: String, seq: usize, reason: ShedReason) -> Self {
+    fn shed(id: String, tenant: String, seq: usize, reason: ShedReason) -> Self {
         CampaignResult {
             id,
+            tenant,
             seq,
             status: CampaignStatus::Shed,
             report_json: None,
@@ -175,6 +200,15 @@ impl CampaignResult {
             attempts: 0,
         }
     }
+}
+
+/// Per-tenant submission accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Submissions enqueued for this tenant.
+    pub accepted: u64,
+    /// Submissions refused for this tenant (any [`ShedReason`]).
+    pub shed: u64,
 }
 
 /// Orchestrator tuning.
@@ -203,6 +237,12 @@ pub struct OrchestratorConfig {
     pub trace: bool,
     /// Deadline applied to specs that do not carry their own.
     pub default_deadline_ms: Option<u64>,
+    /// Per-tenant submission budget: once a tenant has had this many
+    /// submissions *accepted*, further ones shed with
+    /// [`ShedReason::QuotaExceeded`]. `None` disables quotas. The
+    /// budget counts accepted submissions only, so a tenant cannot be
+    /// starved by its own shed/invalid lines.
+    pub tenant_quota: Option<u64>,
 }
 
 impl Default for OrchestratorConfig {
@@ -216,6 +256,7 @@ impl Default for OrchestratorConfig {
             stripes: corpus::DEFAULT_STRIPES,
             trace: false,
             default_deadline_ms: None,
+            tenant_quota: None,
         }
     }
 }
@@ -229,11 +270,13 @@ struct Shared {
     cache: Option<Arc<StripedCache>>,
     config: OrchestratorConfig,
     draining: AtomicBool,
+    in_flight: AtomicUsize,
 }
 
 /// One accepted submission riding the queue.
 struct Job {
     id: String,
+    tenant: String,
     spec: CampaignSpec,
     enqueued_at: Instant,
 }
@@ -251,6 +294,7 @@ pub struct Orchestrator {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     submitted: usize,
+    tenants: BTreeMap<String, TenantStats>,
 }
 
 impl Orchestrator {
@@ -285,9 +329,11 @@ impl Orchestrator {
                 cache,
                 config,
                 draining: AtomicBool::new(false),
+                in_flight: AtomicUsize::new(0),
             }),
             workers: Vec::new(),
             submitted: 0,
+            tenants: BTreeMap::new(),
         }
     }
 
@@ -307,22 +353,49 @@ impl Orchestrator {
         self.shared.queue.depth()
     }
 
+    /// Campaigns currently being run by a worker.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Per-tenant accepted/shed counts so far, keyed by tenant label.
+    pub fn tenant_stats(&self) -> &BTreeMap<String, TenantStats> {
+        &self.tenants
+    }
+
     /// Offers one submission. Never blocks: the queue either accepts it
     /// or the submission is shed with an explicit reason, recorded in
-    /// both the metrics and the eventual drain output.
+    /// both the metrics and the eventual drain output. An empty
+    /// submission id is replaced with `c<seq>`.
     pub fn submit(&mut self, submission: Submission) -> Disposition {
         let seq = self.submitted;
         self.submitted += 1;
+        let tenant = submission
+            .tenant
+            .clone()
+            .unwrap_or_else(|| DEFAULT_TENANT.to_owned());
+        let id = if submission.id.is_empty() {
+            format!("c{seq}")
+        } else {
+            submission.id.clone()
+        };
         let reg = &self.shared.registry;
         reg.add("icd.submitted", 1);
         if self.shared.draining.load(Ordering::SeqCst) {
-            return self.shed(submission.id, seq, ShedReason::Draining);
+            return self.shed(id, tenant, seq, ShedReason::Draining);
+        }
+        if let Some(quota) = self.shared.config.tenant_quota {
+            let accepted = self.tenants.get(&tenant).map_or(0, |t| t.accepted);
+            if accepted >= quota {
+                return self.shed(id, tenant, seq, ShedReason::QuotaExceeded);
+            }
         }
         let entry = QueueEntry {
             priority: submission.priority,
             seq,
             payload: Job {
-                id: submission.id.clone(),
+                id: id.clone(),
+                tenant: tenant.clone(),
                 spec: submission.spec,
                 enqueued_at: Instant::now(),
             },
@@ -330,24 +403,30 @@ impl Orchestrator {
         match self.shared.queue.push(entry) {
             Ok(depth) => {
                 reg.add("icd.enqueued", 1);
+                reg.add(&format!("icd.tenant.{tenant}.accepted"), 1);
                 reg.histogram("icd.queue_depth").record(depth as u64);
+                self.tenants.entry(tenant).or_default().accepted += 1;
                 Disposition::Enqueued
             }
-            Err(PushError::Full) => self.shed(submission.id, seq, ShedReason::QueueFull),
-            Err(PushError::Closed) => self.shed(submission.id, seq, ShedReason::Draining),
+            Err(PushError::Full) => self.shed(id, tenant, seq, ShedReason::QueueFull),
+            Err(PushError::Closed) => self.shed(id, tenant, seq, ShedReason::Draining),
         }
     }
 
-    fn shed(&self, id: String, seq: usize, reason: ShedReason) -> Disposition {
+    fn shed(&mut self, id: String, tenant: String, seq: usize, reason: ShedReason) -> Disposition {
         self.shared.registry.add("icd.shed", 1);
         self.shared
             .registry
             .add(&format!("icd.shed.{}", reason.label()), 1);
         self.shared
+            .registry
+            .add(&format!("icd.tenant.{tenant}.shed"), 1);
+        self.tenants.entry(tenant.clone()).or_default().shed += 1;
+        self.shared
             .results
             .lock()
             .unwrap()
-            .insert(seq, CampaignResult::shed(id, seq, reason));
+            .insert(seq, CampaignResult::shed(id, tenant, seq, reason));
         Disposition::Shed(reason)
     }
 
@@ -360,8 +439,10 @@ impl Orchestrator {
             let shared = Arc::clone(&self.shared);
             self.workers.push(std::thread::spawn(move || {
                 while let Some(entry) = shared.queue.pop() {
+                    shared.in_flight.fetch_add(1, Ordering::SeqCst);
                     let result = run_campaign(&shared, entry.seq, entry.payload);
                     shared.results.lock().unwrap().insert(entry.seq, result);
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                 }
             }));
         }
@@ -421,6 +502,7 @@ fn run_campaign(shared: &Shared, seq: usize, job: Job) -> CampaignResult {
         reg.add("icd.invalid", 1);
         CampaignResult {
             id: job.id.clone(),
+            tenant: job.tenant.clone(),
             seq,
             status: CampaignStatus::Invalid,
             report_json: None,
@@ -466,6 +548,7 @@ fn run_campaign(shared: &Shared, seq: usize, job: Job) -> CampaignResult {
                 reg.add("icd.failed", 1);
                 return CampaignResult {
                     id: job.id,
+                    tenant: job.tenant,
                     seq,
                     status: CampaignStatus::Failed,
                     report_json: None,
@@ -488,6 +571,7 @@ fn run_campaign(shared: &Shared, seq: usize, job: Job) -> CampaignResult {
                 reg.add("icd.completed", 1);
                 return CampaignResult {
                     id: job.id,
+                    tenant: job.tenant,
                     seq,
                     status: CampaignStatus::Completed,
                     report_json: Some(artifact.to_json()),
@@ -513,6 +597,7 @@ fn run_campaign(shared: &Shared, seq: usize, job: Job) -> CampaignResult {
                 reg.add("icd.failed", 1);
                 return CampaignResult {
                     id: job.id,
+                    tenant: job.tenant,
                     seq,
                     status: CampaignStatus::Failed,
                     report_json: None,

@@ -1,0 +1,207 @@
+//! A share-safe front end for the orchestrator: the daemon-facing
+//! [`Service`].
+//!
+//! [`Orchestrator`] is deliberately single-owner (`submit` takes `&mut
+//! self`, `drain` consumes `self`) so its accounting needs no internal
+//! locks. A daemon serving many concurrent client connections needs the
+//! opposite shape: one shared handle that any handler thread can submit
+//! through, poll for status, and ask to drain — exactly once — while
+//! late arrivals get an explicit answer instead of a hang or a panic.
+//! [`Service`] is that adapter: a mutex around `Option<Orchestrator>`
+//! plus a drain latch.
+//!
+//! Concurrency contract: the mutex serializes *intake* (submission
+//! sequence assignment and quota accounting), never campaign
+//! *execution* — workers run on the orchestrator's own pool and only
+//! touch the lock-free results map and registry. `drain` takes the
+//! orchestrator out of the mutex and blocks outside it, so `status_json`
+//! and `submit` stay responsive (answering "draining") for the whole
+//! drain.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use obs::Registry;
+
+use crate::orchestrator::TenantStats;
+use crate::{CampaignResult, Disposition, Orchestrator, ShedReason, Submission};
+
+/// The intake-side numbers a status reply reports, frozen at drain
+/// time so `status` keeps answering while the drain runs.
+#[derive(Debug, Clone, Default)]
+struct StatusCore {
+    submitted: usize,
+    queue_depth: usize,
+    in_flight: usize,
+    tenants: BTreeMap<String, TenantStats>,
+}
+
+struct Inner {
+    orch: Option<Orchestrator>,
+    /// Last observed intake state; authoritative once `orch` is taken.
+    frozen: StatusCore,
+}
+
+/// A thread-safe, drain-once wrapper around one [`Orchestrator`].
+///
+/// Handler threads share a `Arc<Service>`; each call locks intake just
+/// long enough to assign a sequence number. After
+/// [`begin_drain`](Service::begin_drain) (or the first
+/// [`drain`](Service::drain)), further submissions shed with
+/// [`ShedReason::Draining`] and [`status_json`](Service::status_json)
+/// reports `"draining":true`.
+pub struct Service {
+    inner: Mutex<Inner>,
+    draining: AtomicBool,
+    registry: Arc<Registry>,
+}
+
+impl Service {
+    /// Wraps an orchestrator, starting its worker pool.
+    pub fn new(mut orch: Orchestrator) -> Self {
+        orch.start();
+        let registry = Arc::clone(orch.registry());
+        Service {
+            inner: Mutex::new(Inner {
+                orch: Some(orch),
+                frozen: StatusCore::default(),
+            }),
+            draining: AtomicBool::new(false),
+            registry,
+        }
+    }
+
+    /// The orchestrator's metrics registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Offers one submission on behalf of a connection handler,
+    /// returning the (possibly defaulted) campaign id alongside the
+    /// disposition so the caller can echo it back to the client. Never
+    /// blocks on campaign execution — only on intake serialization.
+    /// After drain has begun the submission sheds with
+    /// [`ShedReason::Draining`] (and, once the orchestrator is taken,
+    /// is no longer part of the batch result set — the client's
+    /// disposition reply is its only record).
+    pub fn submit(&self, mut submission: Submission) -> (String, Disposition) {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.orch.as_mut() {
+            Some(orch) => {
+                if submission.id.is_empty() {
+                    submission.id = format!("c{}", orch.submitted());
+                }
+                let id = submission.id.clone();
+                (id, orch.submit(submission))
+            }
+            None => (submission.id, Disposition::Shed(ShedReason::Draining)),
+        }
+    }
+
+    /// Submissions seen so far (enqueued + shed).
+    pub fn submitted(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        match &inner.orch {
+            Some(orch) => orch.submitted(),
+            None => inner.frozen.submitted,
+        }
+    }
+
+    /// Whether drain has been requested (or completed).
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests drain; returns `true` for the first caller. Intake
+    /// stays nominally open until [`drain`](Service::drain) runs, but
+    /// callers are expected to stop submitting once this flips.
+    pub fn begin_drain(&self) -> bool {
+        !self.draining.swap(true, Ordering::SeqCst)
+    }
+
+    /// Campaigns queued but not yet claimed by a worker.
+    pub fn queue_depth(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        match &inner.orch {
+            Some(orch) => orch.queue_depth(),
+            None => inner.frozen.queue_depth,
+        }
+    }
+
+    /// Closes intake, finishes every accepted campaign, and returns
+    /// all results in submission order. Idempotent: the first caller
+    /// gets the batch, later callers get an empty vec. The blocking
+    /// wait happens *outside* the intake lock, so `submit` and
+    /// `status_json` keep answering (as draining) throughout.
+    pub fn drain(&self) -> Vec<CampaignResult> {
+        self.draining.store(true, Ordering::SeqCst);
+        let orch = {
+            let mut inner = self.inner.lock().unwrap();
+            if let Some(orch) = &inner.orch {
+                inner.frozen = StatusCore {
+                    submitted: orch.submitted(),
+                    queue_depth: orch.queue_depth(),
+                    in_flight: orch.in_flight(),
+                    tenants: orch.tenant_stats().clone(),
+                };
+            }
+            inner.orch.take()
+        };
+        match orch {
+            Some(orch) => orch.drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A deterministic-schema status snapshot as one line of JSON:
+    /// sorted keys, stable field set —
+    /// `{"draining":…,"submitted":…,"queue_depth":…,"in_flight":…,
+    /// "tenants":{…},"counters":{…}}`. The *values* are live (queue
+    /// depth, counters) and therefore wall-clock-dependent; status is
+    /// an operator endpoint, never an artifact.
+    pub fn status_json(&self) -> String {
+        use std::fmt::Write as _;
+        let core = {
+            let inner = self.inner.lock().unwrap();
+            match &inner.orch {
+                Some(orch) => StatusCore {
+                    submitted: orch.submitted(),
+                    queue_depth: orch.queue_depth(),
+                    in_flight: orch.in_flight(),
+                    tenants: orch.tenant_stats().clone(),
+                },
+                None => inner.frozen.clone(),
+            }
+        };
+        let mut out = String::from("{\"draining\":");
+        out.push_str(if self.is_draining() { "true" } else { "false" });
+        let _ = write!(
+            out,
+            ",\"submitted\":{},\"queue_depth\":{},\"in_flight\":{}",
+            core.submitted, core.queue_depth, core.in_flight
+        );
+        out.push_str(",\"tenants\":{");
+        for (i, (name, stats)) in core.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            obs::json::write_str(&mut out, name);
+            let _ = write!(
+                out,
+                ":{{\"accepted\":{},\"shed\":{}}}",
+                stats.accepted, stats.shed
+            );
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, value)) in self.registry.snapshot().counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            obs::json::write_str(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("}}");
+        out
+    }
+}

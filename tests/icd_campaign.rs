@@ -10,6 +10,7 @@
 //!   submission order, and the shed counts land in the metrics
 //!   snapshot.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -19,7 +20,7 @@ use instantcheck::{CampaignSpec, CheckReport, Checker, CheckerConfig, RunCache, 
 use obs::MemorySink;
 use sched::{
     CampaignStatus, Disposition, Orchestrator, OrchestratorConfig, ProgramSource, Resolver,
-    ShedReason, Submission,
+    Service, ShedReason, Submission,
 };
 
 fn tempdir(tag: &str) -> PathBuf {
@@ -125,6 +126,113 @@ fn batch_artifacts_are_byte_identical_at_widths_1_2_4_cold_and_warm() {
         }
     }
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// The daemon-shaped contract at the library level: N concurrent
+/// "clients" (threads) interleaving submissions through one shared
+/// [`Service`] must produce per-campaign artifacts byte-identical to
+/// solo runs — arrival order across connections is allowed to vary
+/// (submission `seq` is arrival-ordered), but artifact bytes, keyed by
+/// campaign id, are not.
+#[test]
+fn concurrent_clients_produce_solo_identical_artifacts() {
+    let subs = batch();
+    let reference: BTreeMap<String, (String, String)> = subs
+        .iter()
+        .map(|s| (s.id.clone(), solo_artifacts(s)))
+        .collect();
+
+    let config = OrchestratorConfig {
+        width: 2,
+        trace: true,
+        ..OrchestratorConfig::default()
+    };
+    let svc = Arc::new(Service::new(Orchestrator::new(config, resolver(), None)));
+    let mut clients = Vec::new();
+    for (client, chunk) in subs.chunks(3).enumerate() {
+        let svc = Arc::clone(&svc);
+        let chunk = chunk.to_vec();
+        clients.push(std::thread::spawn(move || {
+            for sub in chunk {
+                let sub = sub.with_tenant(format!("client{client}"));
+                assert_eq!(svc.submit(sub).1, Disposition::Enqueued);
+            }
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+    let results = svc.drain();
+    assert_eq!(results.len(), subs.len());
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(r.seq, i, "results stay in submission order");
+        assert_eq!(
+            r.status,
+            CampaignStatus::Completed,
+            "{}: {:?}",
+            r.id,
+            r.error
+        );
+        let (report, trace) = &reference[&r.id];
+        assert_eq!(
+            r.report_json.as_deref(),
+            Some(report.as_str()),
+            "{}: report bytes == solo bytes under interleaved clients",
+            r.id
+        );
+        assert_eq!(
+            r.trace_jsonl.as_deref(),
+            Some(trace.as_str()),
+            "{}: trace bytes == solo bytes under interleaved clients",
+            r.id
+        );
+    }
+}
+
+/// Quota-exceeded submissions get an explicit disposition, and the
+/// accepted subset's artifacts still match solo bytes — one tenant
+/// exhausting its budget cannot perturb anyone's results.
+#[test]
+fn quota_exceeded_sheds_but_accepted_subset_matches_solo_bytes() {
+    let subs = batch();
+    let config = OrchestratorConfig {
+        tenant_quota: Some(2),
+        ..OrchestratorConfig::default()
+    };
+    let svc = Service::new(Orchestrator::new(config, resolver(), None));
+    // The first five submissions come from a greedy tenant with a
+    // budget of two; the rest are spread over well-behaved tenants.
+    for (i, sub) in subs.iter().cloned().enumerate() {
+        let tenant = if i < 5 {
+            "greedy".to_owned()
+        } else {
+            format!("t{i}")
+        };
+        let (_, d) = svc.submit(sub.with_tenant(tenant));
+        if (2..5).contains(&i) {
+            assert_eq!(d, Disposition::Shed(ShedReason::QuotaExceeded), "sub {i}");
+        } else {
+            assert_eq!(d, Disposition::Enqueued, "sub {i}");
+        }
+    }
+    let results = svc.drain();
+    assert_eq!(results.len(), subs.len());
+    for (i, r) in results.iter().enumerate() {
+        if (2..5).contains(&i) {
+            assert_eq!(r.status, CampaignStatus::Shed);
+            assert_eq!(r.shed, Some(ShedReason::QuotaExceeded));
+            assert_eq!(r.tenant, "greedy");
+        } else {
+            assert_eq!(r.status, CampaignStatus::Completed, "{:?}", r.error);
+            let (report, _) = solo_artifacts(&subs[i]);
+            assert_eq!(
+                r.report_json.as_deref(),
+                Some(report.as_str()),
+                "{}: accepted subset bytes == solo bytes",
+                r.id
+            );
+        }
+    }
 }
 
 #[test]
