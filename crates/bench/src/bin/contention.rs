@@ -1,0 +1,221 @@
+//! Contention sweep for the shared-corpus coordination points.
+//!
+//! Runs the same canneal campaign batch through the orchestrator at
+//! `--jobs 1/2/4` (worker width and per-campaign fan-out together) over
+//! one shared in-memory corpus, then reads the wall-clock telemetry
+//! plane: queue dwell quantiles, stripe-lock wait quantiles, and the
+//! per-stripe contention totals. Writes
+//! `results/BENCH_contention.json` — the evidence base for the
+//! "contention table" section of EXPERIMENTS.md.
+//!
+//! The deterministic artifacts are checked as a side effect: every
+//! point re-runs the identical batch, and any cross-width divergence in
+//! campaign reports would be a determinism bug, so the sweep asserts
+//! the per-campaign summaries agree across the axis.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use corpus::STRIPE_WAIT_HISTOGRAM;
+use instantcheck::{MemoryRunCache, Scheme};
+use instantcheck_bench::json::{write_field, ToJson};
+use instantcheck_bench::Reporter;
+use instantcheck_workloads as workloads;
+use obs::telemetry::TelemetrySnapshot;
+use sched::{
+    CampaignSpec, Orchestrator, OrchestratorConfig, ProgramSource, Resolver, Submission,
+    QUEUE_DWELL_HISTOGRAM,
+};
+
+/// Worker width / per-campaign jobs sweep axis.
+const JOBS_AXIS: [usize; 3] = [1, 2, 4];
+/// Campaigns per sweep point (distinct base seeds, shared workload —
+/// the worst case for stripe contention: every campaign hits the same
+/// corpus keys' stripes).
+const CAMPAIGNS: usize = 6;
+/// Runs per campaign.
+const RUNS: usize = 6;
+/// Stripes listed in the per-point contention table.
+const TOP_STRIPES: usize = 4;
+
+/// One hot stripe: index plus its tallies.
+struct StripeRow {
+    stripe: usize,
+    contended: u64,
+    wait_ns: u64,
+}
+
+impl ToJson for StripeRow {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        write_field(out, &mut first, "stripe", &self.stripe);
+        write_field(out, &mut first, "contended", &self.contended);
+        write_field(out, &mut first, "wait_ns", &self.wait_ns);
+        out.push('}');
+    }
+}
+
+/// One sweep point: wall-clock totals and quantiles at one width.
+struct ContentionRow {
+    jobs: usize,
+    campaigns: usize,
+    elapsed_ms: f64,
+    dwell_count: u64,
+    dwell_p50_ns: u64,
+    dwell_p95_ns: u64,
+    dwell_p99_ns: u64,
+    stripe_wait_count: u64,
+    stripe_wait_p99_ns: u64,
+    stripes: usize,
+    contended_total: u64,
+    wait_ns_total: u64,
+    top_stripes: Vec<StripeRow>,
+}
+
+impl ToJson for ContentionRow {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        let mut first = true;
+        write_field(out, &mut first, "jobs", &self.jobs);
+        write_field(out, &mut first, "campaigns", &self.campaigns);
+        write_field(out, &mut first, "elapsed_ms", &self.elapsed_ms);
+        write_field(out, &mut first, "dwell_count", &self.dwell_count);
+        write_field(out, &mut first, "dwell_p50_ns", &self.dwell_p50_ns);
+        write_field(out, &mut first, "dwell_p95_ns", &self.dwell_p95_ns);
+        write_field(out, &mut first, "dwell_p99_ns", &self.dwell_p99_ns);
+        write_field(
+            out,
+            &mut first,
+            "stripe_wait_count",
+            &self.stripe_wait_count,
+        );
+        write_field(
+            out,
+            &mut first,
+            "stripe_wait_p99_ns",
+            &self.stripe_wait_p99_ns,
+        );
+        write_field(out, &mut first, "stripes", &self.stripes);
+        write_field(out, &mut first, "contended_total", &self.contended_total);
+        write_field(out, &mut first, "wait_ns_total", &self.wait_ns_total);
+        write_field(out, &mut first, "top_stripes", &self.top_stripes);
+        out.push('}');
+    }
+}
+
+fn resolver() -> Resolver {
+    Arc::new(|workload: &str| -> Option<ProgramSource> {
+        let (app, scale) = workload.split_once(':')?;
+        let scaled = match scale {
+            "scaled" => true,
+            "full" => false,
+            _ => return None,
+        };
+        workloads::by_name(app, scaled).map(|a| a.build)
+    })
+}
+
+/// The canneal batch for one sweep point: same specs every time, only
+/// `jobs` varies.
+fn batch(jobs: usize) -> Vec<Submission> {
+    (0..CAMPAIGNS)
+        .map(|i| {
+            let mut spec = CampaignSpec::new("canneal:scaled", Scheme::HwInc)
+                .with_runs(RUNS)
+                .with_base_seed(1 + i as u64);
+            spec.jobs = Some(jobs);
+            Submission::new(format!("c{i}"), spec)
+        })
+        .collect()
+}
+
+/// Histogram quantiles (count, p50, p95, p99) by name, zeros when the
+/// series was never observed.
+fn quantiles(snap: &TelemetrySnapshot, name: &str) -> (u64, u64, u64, u64) {
+    match snap.histograms.get(name) {
+        Some(h) => (h.count, h.p50(), h.p95(), h.p99()),
+        None => (0, 0, 0, 0),
+    }
+}
+
+fn main() {
+    let r = Reporter::new("contention");
+    let mut rows = Vec::new();
+    let mut baseline: Option<Vec<String>> = None;
+    for jobs in JOBS_AXIS {
+        r.progress(&format!("  sweeping canneal at jobs={jobs}…"));
+        let config = OrchestratorConfig {
+            width: jobs,
+            job_budget: jobs.max(1),
+            ..OrchestratorConfig::default()
+        };
+        let cache: Arc<dyn instantcheck::RunCache> = Arc::new(MemoryRunCache::new());
+        let mut orch = Orchestrator::new(config, resolver(), Some(cache));
+        let telemetry = Arc::clone(orch.telemetry());
+        let cache_handle = orch.striped_cache().cloned();
+        orch.start();
+        let t0 = Instant::now();
+        for submission in batch(jobs) {
+            orch.submit(submission);
+        }
+        let results = orch.drain();
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Determinism cross-check: the campaign summaries must agree
+        // across the whole width axis.
+        let summaries: Vec<String> = results.iter().map(|c| c.summary_json()).collect();
+        match &baseline {
+            Some(expect) => assert_eq!(
+                expect, &summaries,
+                "campaign summaries diverged at jobs={jobs}"
+            ),
+            None => baseline = Some(summaries),
+        }
+
+        let snap = telemetry.snapshot();
+        let (dwell_count, dwell_p50_ns, dwell_p95_ns, dwell_p99_ns) =
+            quantiles(&snap, QUEUE_DWELL_HISTOGRAM);
+        let (stripe_wait_count, _, _, stripe_wait_p99_ns) = quantiles(&snap, STRIPE_WAIT_HISTOGRAM);
+        let stats = cache_handle
+            .as_ref()
+            .map(|c| c.stripe_stats())
+            .unwrap_or_default();
+        let contended_total: u64 = stats.iter().map(|s| s.contended).sum();
+        let wait_ns_total: u64 = stats.iter().map(|s| s.wait_ns).sum();
+        let mut top: Vec<StripeRow> = stats
+            .iter()
+            .enumerate()
+            .map(|(stripe, s)| StripeRow {
+                stripe,
+                contended: s.contended,
+                wait_ns: s.wait_ns,
+            })
+            .collect();
+        top.sort_by(|a, b| b.wait_ns.cmp(&a.wait_ns).then(a.stripe.cmp(&b.stripe)));
+        top.truncate(TOP_STRIPES);
+
+        r.line(format!(
+            "jobs={jobs}: {CAMPAIGNS} campaigns in {elapsed_ms:.1}ms, \
+             dwell p95<= {dwell_p95_ns}ns over {dwell_count}, \
+             stripe waits {stripe_wait_count} ({contended_total} contended, \
+             {wait_ns_total}ns total)"
+        ));
+        rows.push(ContentionRow {
+            jobs,
+            campaigns: results.len(),
+            elapsed_ms,
+            dwell_count,
+            dwell_p50_ns,
+            dwell_p95_ns,
+            dwell_p99_ns,
+            stripe_wait_count,
+            stripe_wait_p99_ns,
+            stripes: stats.len(),
+            contended_total,
+            wait_ns_total,
+            top_stripes: top,
+        });
+    }
+    instantcheck_bench::write_json("BENCH_contention", &rows);
+}

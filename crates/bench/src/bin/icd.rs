@@ -15,6 +15,7 @@
 //!     [--backoff-ms N] [--deadline-ms N] [--stripes N] [--trace]
 //!     [--tenant-quota N] [--idle-timeout-ms N] [--max-bad-lines N]
 //!     [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH]
+//!     [--http ADDR] [--heartbeat-ms N]
 //! icd --connect PATH [--batch FILE|-]        # client mode
 //! ```
 //!
@@ -44,6 +45,20 @@
 //! when the input ends in an unterminated fragment — sends the bytes
 //! and disconnects mid-line, which the daemon must shrug off.
 //!
+//! With `--http ADDR` (e.g. `127.0.0.1:9090`), the daemon additionally
+//! serves a read-only wall-clock **telemetry plane** over plain
+//! HTTP/1.1: `GET /status` (the status snapshot), `GET /metrics`
+//! (Prometheus text exposition v0.0.4, including the
+//! `icd_stripe_wait_seconds` and `icd_queue_dwell_seconds` wait
+//! histograms), and `GET /profile` (full telemetry snapshot with
+//! worker lanes plus the per-stripe contention table, consumable by
+//! `icprof --profile`). The listener reuses the socket path's
+//! per-connection fault-isolation discipline and keeps answering
+//! during drain. `--heartbeat-ms N` appends one telemetry snapshot
+//! line per interval to `<out>/heartbeat.jsonl` for post-mortems.
+//! Telemetry is strictly a side-channel: with all of it enabled, the
+//! deterministic artifacts below are byte-identical to a solo run.
+//!
 //! Artifacts land under `--out` (default `results/icd`), each written
 //! atomically (tmp + rename): per-campaign `<id>.report.json`
 //! (byte-identical to the same spec run alone, at any `--width` and
@@ -51,9 +66,9 @@
 //! batch summary `batch.jsonl` (one result line per submission, in
 //! submission-sequence order), the deterministic batch span trace
 //! `batch.trace.jsonl`, and the wall-clock side of the story in
-//! `metrics.json` (queue depth, wait times, shed counts, connection
-//! counts, corpus stripe contention — everything that is *allowed* to
-//! vary run to run).
+//! `metrics.json` (shed counts, connection counts — everything that is
+//! *allowed* to vary run to run) and `profile.json` (the `/profile`
+//! body: wait histograms, worker lanes, stripe contention).
 //!
 //! Exit status: 0 when every submission completed, 1 when any
 //! campaign failed, was invalid, was shed, or a submission line did
@@ -70,9 +85,10 @@ use std::time::Duration;
 
 use instantcheck::{CampaignSpec, RunCache};
 use obs::json::{parse, Value};
+use obs::Heartbeat;
 use sched::{
-    CampaignStatus, Disposition, Orchestrator, OrchestratorConfig, ProgramSource, Resolver,
-    Service, Submission,
+    CampaignStatus, Disposition, HttpOptions, HttpServer, Orchestrator, OrchestratorConfig,
+    ProgramSource, Resolver, Service, Submission,
 };
 
 /// How often blocked connection reads wake up to check the drain flag
@@ -87,6 +103,10 @@ struct IcdCli {
     socket: Option<String>,
     connect: Option<String>,
     daemon: DaemonOpts,
+    /// Address of the read-only HTTP telemetry plane, when enabled.
+    http: Option<String>,
+    /// Heartbeat snapshot interval, when enabled.
+    heartbeat: Option<Duration>,
 }
 
 #[derive(Clone)]
@@ -111,7 +131,8 @@ fn usage() -> ! {
         "usage: icd [--width N] [--queue-cap N] [--budget N] [--retries N] \
          [--backoff-ms N] [--deadline-ms N] [--stripes N] [--trace] \
          [--tenant-quota N] [--idle-timeout-ms N] [--max-bad-lines N] \
-         [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH]\n\
+         [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH] \
+         [--http ADDR] [--heartbeat-ms N]\n\
          \x20      icd --connect PATH [--batch FILE|-]"
     );
     std::process::exit(2);
@@ -127,6 +148,8 @@ fn parse_cli() -> IcdCli {
         socket: None,
         connect: None,
         daemon: DaemonOpts::default(),
+        http: None,
+        heartbeat: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -163,6 +186,10 @@ fn parse_cli() -> IcdCli {
             "--batch" => cli.batch = Some(value(&mut i)),
             "--socket" => cli.socket = Some(value(&mut i)),
             "--connect" => cli.connect = Some(value(&mut i)),
+            "--http" => cli.http = Some(value(&mut i)),
+            "--heartbeat-ms" => {
+                cli.heartbeat = Some(Duration::from_millis(num(&mut i).max(1)));
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 usage();
@@ -635,6 +662,40 @@ fn main() -> ExitCode {
         cache,
     )));
 
+    // The wall-clock telemetry plane: read-only, so it starts before
+    // intake and keeps serving through the drain.
+    let mut http_server = match &cli.http {
+        Some(addr) => {
+            match HttpServer::bind(addr.as_str(), Arc::clone(&svc), HttpOptions::default()) {
+                Ok(server) => {
+                    eprintln!(
+                        "icd: telemetry on http://{} (/status /metrics /profile)",
+                        server.local_addr()
+                    );
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("icd: cannot bind http {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+    let mut heartbeat = match cli.heartbeat {
+        Some(interval) => {
+            let path = out_dir.join("heartbeat.jsonl");
+            match Heartbeat::start(Arc::clone(svc.telemetry()), path.clone(), interval) {
+                Ok(hb) => Some(hb),
+                Err(e) => {
+                    eprintln!("icd: cannot start heartbeat at {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
     let io_result: std::io::Result<()> = (|| {
         if let Some(batch) = &cli.batch {
             if batch == "-" {
@@ -688,6 +749,16 @@ fn main() -> ExitCode {
         &out_dir.join("metrics.json"),
         &registry.snapshot().to_json(),
     );
+    // The wall-clock story (queue dwell, stripe waits, worker lanes);
+    // same body `/profile` serves. Written before the HTTP listener
+    // stops so a final scrape and the artifact agree on schema.
+    write_artifact(&out_dir.join("profile.json"), &svc.profile_json());
+    if let Some(hb) = &mut heartbeat {
+        hb.stop();
+    }
+    if let Some(server) = &mut http_server {
+        server.shutdown();
+    }
 
     let completed = results
         .iter()

@@ -4,18 +4,149 @@
 //! rates, the fault/failure timeline, divergences — and optionally
 //! exports Chrome trace-event JSON for `chrome://tracing` / Perfetto.
 //!
+//! With `--profile FILE` (the daemon's `profile.json` artifact or a
+//! saved `GET /profile` body) it additionally prints the wall-clock
+//! side: wait-histogram quantiles (queue dwell, stripe waits, worker
+//! busy/idle) and the contention table — top stripes by total lock
+//! wait. When `--chrome` is also given, per-worker lanes from the
+//! profile ride along in the export as their own process, so the
+//! simulated-step tracks and the wall-clock worker timeline land in
+//! one Perfetto view.
+//!
 //! Usage:
 //!
 //! ```text
 //! icprof results/fig5-canneal.trace.jsonl [--chrome out.json]
+//! icprof [trace.jsonl] --profile results/icd/profile.json [--chrome out.json]
 //! ```
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
+
+use obs::telemetry::TelemetrySnapshot;
+
+/// Stripes shown in the contention table.
+const TOP_STRIPES: usize = 8;
+
+fn seconds(ns: u64) -> String {
+    format!("{:.6}s", ns as f64 / 1e9)
+}
+
+/// Renders the wall-clock profile: histogram quantiles, gauges,
+/// counters, and the contention table.
+fn render_profile(v: &obs::json::Value) -> Result<String, String> {
+    // Accept both the `/profile` body ({"telemetry":…,"stripes":…})
+    // and a bare telemetry snapshot (a heartbeat line).
+    let telemetry_value = v.get("telemetry").unwrap_or(v);
+    let snap = TelemetrySnapshot::from_json(telemetry_value)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "== wall-clock telemetry ==");
+    let _ = writeln!(out, "uptime: {}", seconds(snap.uptime_ns));
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "\nwait/latency histograms (wall clock):");
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+            "name", "count", "p50<=", "p95<=", "p99<="
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+                name,
+                h.count,
+                seconds(h.p50()),
+                seconds(h.p95()),
+                seconds(h.p99()),
+            );
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "\ngauges:");
+        for (name, value) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<28} {value}");
+        }
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "\ncounters:");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name:<28} {value}");
+        }
+    }
+
+    // The contention table: top stripes by total wait, the evidence
+    // base for deciding whether the striped cache serializes work.
+    if let Some(obs::json::Value::Arr(stripes)) = v.get("stripes") {
+        let mut rows: Vec<(u64, u64, u64)> = Vec::new();
+        for s in stripes {
+            rows.push((
+                s.get("stripe")
+                    .and_then(obs::json::Value::as_u64)
+                    .unwrap_or(0),
+                s.get("contended")
+                    .and_then(obs::json::Value::as_u64)
+                    .unwrap_or(0),
+                s.get("wait_ns")
+                    .and_then(obs::json::Value::as_u64)
+                    .unwrap_or(0),
+            ));
+        }
+        let total_wait: u64 = rows.iter().map(|r| r.2).sum();
+        let total_contended: u64 = rows.iter().map(|r| r.1).sum();
+        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        let _ = writeln!(
+            out,
+            "\n== contention table (top {} of {} stripes by total wait) ==",
+            TOP_STRIPES.min(rows.len()),
+            rows.len()
+        );
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>10} {:>14} {:>7}",
+            "stripe", "contended", "wait", "share"
+        );
+        for (stripe, contended, wait_ns) in rows.iter().take(TOP_STRIPES) {
+            let share = if total_wait == 0 {
+                0.0
+            } else {
+                100.0 * *wait_ns as f64 / total_wait as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>10} {:>14} {:>6.1}%",
+                stripe,
+                contended,
+                seconds(*wait_ns),
+                share
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  total: {total_contended} contended acquisition(s), {} waiting",
+            seconds(total_wait)
+        );
+    }
+    if !snap.lanes.is_empty() || snap.dropped_lanes > 0 {
+        let _ = writeln!(
+            out,
+            "\nworker lanes: {} span(s) retained, {} dropped",
+            snap.lanes.len(),
+            snap.dropped_lanes
+        );
+    }
+    Ok(out)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: icprof [trace.jsonl] [--profile profile.json] [--chrome out.json]");
+    ExitCode::FAILURE
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let mut trace_path: Option<String> = None;
     let mut chrome_out: Option<String> = None;
+    let mut profile_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,11 +160,23 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--profile" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => profile_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--profile requires a profile.json path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: icprof <trace.jsonl> [--chrome out.json]");
+                usage();
                 return ExitCode::SUCCESS;
             }
-            other if trace_path.is_none() => trace_path = Some(other.to_owned()),
+            other if trace_path.is_none() && !other.starts_with('-') => {
+                trace_path = Some(other.to_owned());
+            }
             other => {
                 eprintln!("unexpected argument {other}");
                 return ExitCode::FAILURE;
@@ -41,28 +184,52 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
-    let Some(path) = trace_path else {
-        eprintln!("usage: icprof <trace.jsonl> [--chrome out.json]");
-        return ExitCode::FAILURE;
-    };
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("could not read {path}: {e}");
-            return ExitCode::FAILURE;
+    if trace_path.is_none() && profile_path.is_none() {
+        return usage();
+    }
+
+    let mut events = Vec::new();
+    if let Some(path) = &trace_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("could not read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        events = match obs::parse_jsonl(&text) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("could not parse {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let profile = obs::CampaignProfile::from_events(&events);
+        print!("{}", profile.render());
+    }
+
+    let mut lanes = Vec::new();
+    if let Some(path) = &profile_path {
+        let rendered = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| obs::json::parse(&text))
+            .and_then(|v| {
+                let telemetry_value = v.get("telemetry").cloned().unwrap_or_else(|| v.clone());
+                let snap = TelemetrySnapshot::from_json(&telemetry_value)?;
+                lanes = snap.lanes.clone();
+                render_profile(&v)
+            });
+        match rendered {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("could not read profile {path}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
-    let events = match obs::parse_jsonl(&text) {
-        Ok(ev) => ev,
-        Err(e) => {
-            eprintln!("could not parse {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let profile = obs::CampaignProfile::from_events(&events);
-    print!("{}", profile.render());
+    }
+
     if let Some(out) = chrome_out {
-        if let Err(e) = std::fs::write(&out, obs::chrome_trace(&events)) {
+        if let Err(e) = std::fs::write(&out, obs::chrome_lanes(&events, &lanes)) {
             eprintln!("could not write {out}: {e}");
             return ExitCode::FAILURE;
         }

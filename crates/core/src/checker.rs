@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use adhash::FpRound;
 use mhm::CacheStats;
-use obs::{BufferSink, Event, EventSink, MemorySink, Registry, CONTROL_TRACK};
+use obs::{BufferSink, Event, EventSink, MemorySink, Registry, Telemetry, CONTROL_TRACK};
 use tsim::{AllocLog, FaultPlan, Program, RunConfig, SimError, SwitchPolicy};
 
 use crate::cache::{CachedRun, RunCache, RunKey};
@@ -153,6 +153,11 @@ pub struct CheckerConfig {
     /// programs (same structure *and* parameters); the checker trusts
     /// the caller on this.
     pub workload: Option<String>,
+    /// Wall-clock telemetry side-channel: per-worker busy/idle span
+    /// attribution for the parallel executor. Strictly observational —
+    /// it never alters slot dispatch, events, outcomes, or anything
+    /// else on the deterministic artifact path. `None` records nothing.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl CheckerConfig {
@@ -243,6 +248,7 @@ impl CheckerConfig {
             jobs: None,
             cache: None,
             workload: None,
+            telemetry: None,
         }
     }
 
@@ -320,6 +326,17 @@ impl CheckerConfig {
     #[must_use]
     pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Attaches a wall-clock telemetry plane. Parallel campaign workers
+    /// record per-slot busy spans (lane `chk.w<i>`, detail = slot
+    /// index) and busy/idle histograms (`checker.slot.busy`,
+    /// `checker.slot.idle`) into it; nothing recorded here reaches the
+    /// deterministic report, trace, or metrics.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -1058,27 +1075,49 @@ impl Checker {
         let ctl = CancelCtl::new();
         let results: Vec<SlotCell> = (0..runs).map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
-            for _ in 0..jobs.min(runs - next_slot) {
-                scope.spawn(|| loop {
-                    if ctl.cancelled() {
-                        break;
+            for w in 0..jobs.min(runs - next_slot) {
+                let (next, ctl, failed, results, reference) =
+                    (&next, &ctl, &failed, &results, &reference);
+                // Wall-clock side-channel only: spans and busy/idle
+                // histograms are recorded *after* each slot completes,
+                // so dispatch order and slot results cannot depend on
+                // whether telemetry is attached.
+                let telemetry = cfg.telemetry.as_deref();
+                scope.spawn(move || {
+                    let mut idle_from = telemetry.map(|t| t.now_ns());
+                    loop {
+                        if ctl.cancelled() {
+                            break;
+                        }
+                        let slot = next.fetch_add(1, Ordering::SeqCst);
+                        if slot >= runs {
+                            break;
+                        }
+                        let start = telemetry.map(|t| t.now_ns());
+                        let buffer = sink.map(|_| Arc::new(BufferSink::new()));
+                        let slot_sink = buffer.clone().map(|b| b as Arc<dyn EventSink>);
+                        let slot_run = self.run_slot(
+                            source,
+                            slot,
+                            Some((alloc_log, alloc_seed)),
+                            Some(reference),
+                            slot_sink.as_ref(),
+                            Some(ctl),
+                        );
+                        self.flag_decisive(ctl, failed, slot, &slot_run, stop_early);
+                        *results[slot].lock().unwrap() = Some((slot_run, buffer));
+                        if let (Some(t), Some(start)) = (telemetry, start) {
+                            let end = t.now_ns();
+                            t.histogram("checker.slot.busy")
+                                .record(end.saturating_sub(start));
+                            if let Some(since) = idle_from {
+                                t.histogram("checker.slot.idle")
+                                    .record(start.saturating_sub(since));
+                            }
+                            t.lane_span(format!("chk.w{w}"), "slot", start, end, slot as u64);
+                            idle_from = Some(end);
+                        }
                     }
-                    let slot = next.fetch_add(1, Ordering::SeqCst);
-                    if slot >= runs {
-                        break;
-                    }
-                    let buffer = sink.map(|_| Arc::new(BufferSink::new()));
-                    let slot_sink = buffer.clone().map(|b| b as Arc<dyn EventSink>);
-                    let slot_run = self.run_slot(
-                        source,
-                        slot,
-                        Some((alloc_log, alloc_seed)),
-                        Some(&reference),
-                        slot_sink.as_ref(),
-                        Some(&ctl),
-                    );
-                    self.flag_decisive(&ctl, &failed, slot, &slot_run, stop_early);
-                    *results[slot].lock().unwrap() = Some((slot_run, buffer));
                 });
             }
         });
@@ -1424,6 +1463,44 @@ mod tests {
         let (parallel_report, parallel_used) = at(6);
         assert_eq!(serial_used, parallel_used);
         assert_eq!(serial_report, parallel_report);
+    }
+
+    #[test]
+    fn telemetry_side_channel_leaves_artifacts_untouched() {
+        let at = |telemetry: Option<Arc<Telemetry>>| {
+            let sink = Arc::new(obs::MemorySink::new());
+            let reg = Arc::new(Registry::new());
+            let mut cfg = CheckerConfig::new(Scheme::HwInc)
+                .with_runs(8)
+                .with_jobs(4)
+                .with_sink(sink.clone())
+                .with_registry(reg.clone());
+            if let Some(t) = telemetry {
+                cfg = cfg.with_telemetry(t);
+            }
+            let report = Checker::new(cfg)
+                .expect("valid config")
+                .check(racy_unordered_sum)
+                .unwrap();
+            (report, sink.to_jsonl(), reg.snapshot())
+        };
+        let telemetry = Arc::new(Telemetry::new());
+        let instrumented = at(Some(telemetry.clone()));
+        let bare = at(None);
+        assert_eq!(instrumented.0, bare.0, "report unchanged by telemetry");
+        assert_eq!(instrumented.1, bare.1, "trace bytes unchanged by telemetry");
+        assert_eq!(instrumented.2, bare.2, "metrics unchanged by telemetry");
+
+        let snap = telemetry.snapshot();
+        assert!(
+            snap.histograms["checker.slot.busy"].count >= 1,
+            "fanned-out slots recorded busy time"
+        );
+        assert!(
+            snap.lanes.iter().any(|s| s.lane.starts_with("chk.w")),
+            "worker lanes attributed their slots"
+        );
+        assert!(snap.lanes.iter().all(|s| s.end_ns >= s.start_ns));
     }
 
     #[test]

@@ -74,4 +74,4 @@ pub use entry::{
 };
 pub use fingerprint::{fingerprint_fields, fingerprint_key};
 pub use store::CorpusStore;
-pub use striped::{StripedCache, DEFAULT_STRIPES};
+pub use striped::{StripeStats, StripedCache, DEFAULT_STRIPES, STRIPE_WAIT_HISTOGRAM};

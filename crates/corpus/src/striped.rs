@@ -17,10 +17,12 @@
 //! transparent to the checker's warm-equals-cold contract.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 use instantcheck::{CachedRun, RunCache, RunKey};
-use obs::Registry;
+use obs::{Registry, Telemetry};
 
 use crate::fingerprint::fingerprint_key;
 
@@ -28,8 +30,31 @@ use crate::fingerprint::fingerprint_key;
 /// rarely collide, small enough to stay cheap.
 pub const DEFAULT_STRIPES: usize = 16;
 
+/// Telemetry histogram fed with per-acquisition stripe lock waits.
+pub const STRIPE_WAIT_HISTOGRAM: &str = "icd.stripe.wait";
+
 /// One lock's worth of the memo.
 type Stripe = Mutex<HashMap<String, CachedRun>>;
+
+/// Wall-clock contention tally for one stripe. Strictly a telemetry
+/// artifact: the values depend on thread interleaving and never feed
+/// back into lookups or the deterministic metrics registry.
+#[derive(Debug, Default)]
+struct StripeWait {
+    contended: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
+/// Read-only view of one stripe's contention tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeStats {
+    /// Lock acquisitions that found the stripe held.
+    pub contended: u64,
+    /// Total wall-clock nanoseconds spent acquiring this stripe's lock
+    /// (every acquisition, so uncontended traffic contributes a few
+    /// tens of nanoseconds each and contention dominates the total).
+    pub wait_ns: u64,
+}
 
 /// A striped in-memory memo in front of a shared [`RunCache`].
 ///
@@ -48,7 +73,9 @@ type Stripe = Mutex<HashMap<String, CachedRun>>;
 pub struct StripedCache {
     inner: Arc<dyn RunCache>,
     stripes: Vec<Stripe>,
+    waits: Vec<StripeWait>,
     registry: Option<Arc<Registry>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl StripedCache {
@@ -61,8 +88,21 @@ impl StripedCache {
         StripedCache {
             inner,
             stripes: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            waits: (0..n).map(|_| StripeWait::default()).collect(),
             registry,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a wall-clock telemetry plane: each stripe lock
+    /// acquisition records its wait into the [`STRIPE_WAIT_HISTOGRAM`]
+    /// and the per-stripe tallies. The histogram is pre-registered so
+    /// `/metrics` exports it even before the first acquisition.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        telemetry.histogram(STRIPE_WAIT_HISTOGRAM);
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The wrapped cache with the default stripe count.
@@ -75,6 +115,19 @@ impl StripedCache {
         self.stripes.len()
     }
 
+    /// Per-stripe wall-clock contention tallies, indexed by stripe.
+    /// Telemetry only — the values vary run to run and must never be
+    /// folded into deterministic artifacts.
+    pub fn stripe_stats(&self) -> Vec<StripeStats> {
+        self.waits
+            .iter()
+            .map(|w| StripeStats {
+                contended: w.contended.load(Ordering::Relaxed),
+                wait_ns: w.wait_ns.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
     fn count(&self, name: &str) {
         if let Some(reg) = &self.registry {
             reg.add(name, 1);
@@ -82,18 +135,42 @@ impl StripedCache {
     }
 
     /// Locks the stripe for `key`, counting contention when the lock
-    /// was not immediately available.
+    /// was not immediately available and measuring the wall-clock
+    /// acquisition wait into the telemetry side-channel. Every
+    /// acquisition is measured (the uncontended fast path takes tens of
+    /// nanoseconds and lands in the histogram's low buckets), so the
+    /// wait histogram always has samples under cache traffic and
+    /// contention shows up as a fat tail rather than a separate series.
     fn lock_stripe(&self, key: &RunKey) -> MutexGuard<'_, HashMap<String, CachedRun>> {
         let idx = (fingerprint_key(key) % self.stripes.len() as u128) as usize;
         let stripe = &self.stripes[idx];
-        match stripe.try_lock() {
-            Ok(guard) => guard,
+        let start = Instant::now();
+        let (guard, contended) = match stripe.try_lock() {
+            Ok(guard) => (guard, false),
             Err(std::sync::TryLockError::WouldBlock) => {
                 self.count("corpus.stripe.contended");
-                stripe.lock().unwrap()
+                (stripe.lock().unwrap(), true)
             }
-            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::Poisoned(p)) => (p.into_inner(), false),
+        };
+        let wait = start.elapsed();
+        if contended {
+            self.waits[idx].contended.fetch_add(1, Ordering::Relaxed);
         }
+        self.waits[idx]
+            .wait_ns
+            .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.record_wait(STRIPE_WAIT_HISTOGRAM, wait);
+        }
+        guard
+    }
+
+    /// Test hook: holds stripe `idx`'s lock directly so contention can
+    /// be forced deterministically.
+    #[cfg(test)]
+    fn lock_raw(&self, idx: usize) -> MutexGuard<'_, HashMap<String, CachedRun>> {
+        self.stripes[idx].lock().unwrap()
     }
 }
 
@@ -199,6 +276,40 @@ mod tests {
         let k = key(3);
         striped.store(&k, &run(1));
         assert!(striped.lookup(&k).is_some());
+    }
+
+    #[test]
+    fn contended_acquisitions_record_wall_clock_waits() {
+        let inner = Arc::new(MemoryRunCache::new());
+        let reg = Arc::new(Registry::new());
+        let telemetry = Arc::new(Telemetry::new());
+        // One stripe: every key maps to it, so holding the raw lock
+        // forces the store below onto the contended path.
+        let striped = Arc::new(
+            StripedCache::new(inner, 1, Some(reg.clone())).with_telemetry(telemetry.clone()),
+        );
+        let guard = striped.lock_raw(0);
+        let waiter = {
+            let striped = Arc::clone(&striped);
+            std::thread::spawn(move || striped.store(&key(11), &run(11)))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(guard);
+        waiter.join().unwrap();
+
+        let stats = striped.stripe_stats();
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].contended >= 1, "the blocked store was counted");
+        assert!(stats[0].wait_ns > 0, "the wait was measured");
+        let snap = telemetry.snapshot();
+        let h = &snap.histograms[STRIPE_WAIT_HISTOGRAM];
+        assert!(h.count >= 1, "the wait landed in the telemetry histogram");
+        assert!(h.p99() > 0);
+        // The deterministic registry saw only the event count, never
+        // the wall-clock duration.
+        let det = reg.snapshot();
+        assert_eq!(det.counters.get("corpus.stripe.contended"), Some(&1));
+        assert!(!det.histograms.contains_key(STRIPE_WAIT_HISTOGRAM));
     }
 
     #[test]

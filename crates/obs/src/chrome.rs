@@ -5,9 +5,11 @@
 //! simulated step count interpreted as microseconds. The output is
 //! deterministic for a deterministic input trace.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::json;
+use crate::telemetry::LaneSpan;
 use crate::trace::{ArgValue, Event, Phase, CONTROL_TRACK};
 
 /// `tid` used for campaign-level control events in the Chrome output
@@ -88,6 +90,66 @@ pub fn chrome_trace(events: &[Event]) -> String {
     out
 }
 
+/// `pid` used for wall-clock worker lanes, far above any run index so
+/// the lanes group separately from simulated-step tracks.
+const LANES_PID: u64 = 1_000_000;
+
+/// Converts a trace plus wall-clock worker [`LaneSpan`]s to Chrome
+/// trace-event JSON.
+///
+/// The deterministic events render exactly as [`chrome_trace`]; the
+/// lanes are appended as `ph:"X"` complete events under their own
+/// process (`pid` 1000000), one `tid` per distinct lane name in
+/// sorted order, with `ts`/`dur` in microseconds of wall clock. The
+/// two time bases (simulated steps vs wall clock) are deliberately not
+/// aligned — the lanes answer "who was busy when", not "at which step".
+pub fn chrome_lanes(events: &[Event], lanes: &[LaneSpan]) -> String {
+    let mut out = chrome_trace(events);
+    if lanes.is_empty() {
+        return out;
+    }
+    // Reopen the traceEvents array; with no deterministic events the
+    // array is empty and the first appended element takes no comma.
+    let tail = "],\"displayTimeUnit\":\"ms\"}";
+    out.truncate(out.len() - tail.len());
+    let mut first = events.is_empty();
+    let mut sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+    let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
+    for span in lanes {
+        let next = tids.len() as u64;
+        tids.entry(span.lane.as_str()).or_insert(next);
+    }
+    for (lane, tid) in &tids {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{LANES_PID},\"tid\":{tid},\"args\":{{\"name\":"
+        );
+        json::write_str(&mut out, lane);
+        out.push_str("}}");
+    }
+    for span in lanes {
+        let tid = tids[span.lane.as_str()];
+        let ts = span.start_ns / 1_000;
+        let dur = span.end_ns.saturating_sub(span.start_ns).max(1_000) / 1_000;
+        sep(&mut out);
+        out.push_str("{\"name\":");
+        json::write_str(&mut out, &span.name);
+        let _ = write!(
+            out,
+            ",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":{LANES_PID},\"tid\":{tid},\"args\":{{\"detail\":{}}}}}",
+            span.detail
+        );
+    }
+    out.push_str(tail);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +198,76 @@ mod tests {
     fn deterministic_output() {
         let events = vec![Event::instant(1, 0, "checkpoint").with_arg("seq", 0u64)];
         assert_eq!(chrome_trace(&events), chrome_trace(&events));
+    }
+
+    #[test]
+    fn lanes_append_complete_events_in_their_own_process() {
+        let events = vec![Event::instant(1, 0, "checkpoint").with_arg("seq", 0u64)];
+        let lanes = vec![
+            LaneSpan {
+                lane: "icd.w0".into(),
+                name: "campaign".into(),
+                start_ns: 2_000_000,
+                end_ns: 5_000_000,
+                detail: 3,
+            },
+            LaneSpan {
+                lane: "icd.w1".into(),
+                name: "idle".into(),
+                start_ns: 0,
+                end_ns: 1_000_000,
+                detail: 0,
+            },
+        ];
+        let text = chrome_lanes(&events, &lanes);
+        let v = json::parse(&text).unwrap();
+        let arr = match v.get("traceEvents").unwrap() {
+            json::Value::Arr(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        };
+        // 1 trace event + 2 thread_name metadata + 2 lane spans.
+        assert_eq!(arr.len(), 5);
+        let span = arr
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .expect("a complete event");
+        assert_eq!(span.get("pid").unwrap().as_u64(), Some(LANES_PID));
+        let names: Vec<_> = arr
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .to_owned()
+            })
+            .collect();
+        assert_eq!(names, ["icd.w0", "icd.w1"], "one tid per lane, sorted");
+        // Without lanes the output is plain chrome_trace.
+        assert_eq!(chrome_lanes(&events, &[]), chrome_trace(&events));
+    }
+
+    #[test]
+    fn lanes_without_events_parse() {
+        // A profile-only export has lanes but no deterministic trace;
+        // the array must not open with a stray comma.
+        let lanes = vec![LaneSpan {
+            lane: "icd.w0".into(),
+            name: "campaign".into(),
+            start_ns: 0,
+            end_ns: 2_000_000,
+            detail: 1,
+        }];
+        let text = chrome_lanes(&[], &lanes);
+        let v = json::parse(&text).unwrap();
+        let arr = match v.get("traceEvents").unwrap() {
+            json::Value::Arr(a) => a,
+            other => panic!("expected array, got {other:?}"),
+        };
+        // 1 thread_name metadata + 1 lane span.
+        assert_eq!(arr.len(), 2);
     }
 }

@@ -16,6 +16,11 @@
 //! analysis behind `icprof`) and [`chrome::chrome_trace`]
 //! (`chrome://tracing` export).
 //!
+//! A third facility, [`telemetry`], is the deliberate opposite of the
+//! first two: a **wall-clock side-channel** (lock-wait histograms,
+//! gauges, worker lane spans, heartbeat JSONL) that never enters the
+//! deterministic artifacts.
+//!
 //! The default sink is [`NoopSink`]; emitters check
 //! [`EventSink::enabled`] before building events, so observability off
 //! means near-zero overhead.
@@ -27,11 +32,13 @@ pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod telemetry;
 pub mod trace;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_lanes, chrome_trace};
 pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry, Snapshot};
 pub use profile::{CacheCounters, CampaignProfile, Divergence, RunProfile};
+pub use telemetry::{prometheus_text, Gauge, Heartbeat, LaneSpan, Telemetry, TelemetrySnapshot};
 pub use trace::{
     events_to_jsonl, parse_jsonl, ArgValue, BufferSink, Event, EventSink, MemorySink, Name,
     NoopSink, Phase, CONTROL_TRACK,

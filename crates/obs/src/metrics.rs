@@ -122,6 +122,27 @@ impl HistogramSnapshot {
         u64::MAX
     }
 
+    /// Upper bound of the bucket containing the median (p50); 0 if
+    /// empty. Like all log2-bucket quantiles this is an *upper bound*
+    /// on the true quantile, never an interpolation — the bound is
+    /// exact when every observation in the decisive bucket shares a
+    /// bit length.
+    pub fn p50(&self) -> u64 {
+        self.quantile_bound(0.50)
+    }
+
+    /// Upper bound of the bucket containing the 95th percentile; 0 if
+    /// empty.
+    pub fn p95(&self) -> u64 {
+        self.quantile_bound(0.95)
+    }
+
+    /// Upper bound of the bucket containing the 99th percentile; 0 if
+    /// empty.
+    pub fn p99(&self) -> u64 {
+        self.quantile_bound(0.99)
+    }
+
     /// Bucket-wise difference vs an earlier snapshot (saturating).
     pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
         HistogramSnapshot {
@@ -333,6 +354,58 @@ mod tests {
         assert!(s.quantile_bound(1.0) >= 1000);
         let empty = Histogram::default().snapshot();
         assert_eq!(empty.quantile_bound(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_pin_bucket_boundaries() {
+        // 100 observations of exactly 1000 (bit length 10 → bucket 10,
+        // upper bound 2^10 - 1 = 1023): every quantile reports the
+        // bucket's upper bound, not an interpolation.
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 1023);
+        assert_eq!(s.p95(), 1023);
+        assert_eq!(s.p99(), 1023);
+
+        // 95 small + 5 large: p50 stays in the small bucket, p95 is
+        // exactly at the boundary (ceil(0.95 * 100) = 95 ≤ 95 seen in
+        // the small bucket), p99 lands in the large bucket.
+        let h = Histogram::default();
+        for _ in 0..95 {
+            h.record(1); // bucket 1, bound 1
+        }
+        for _ in 0..5 {
+            h.record(1 << 20); // bucket 21, bound 2^21 - 1
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 1);
+        assert_eq!(s.p95(), 1, "boundary target counts the earlier bucket");
+        assert_eq!(s.p99(), (1u64 << 21) - 1);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p95(), 0);
+        assert_eq!(s.p99(), 0);
+    }
+
+    #[test]
+    fn quantiles_of_zero_valued_observations_stay_zero() {
+        // Value 0 lands in bucket 0 whose bound is 0 — quantiles of an
+        // all-zero histogram must not report bucket 1's bound.
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
     }
 
     #[test]

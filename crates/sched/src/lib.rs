@@ -64,14 +64,16 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod http;
 mod orchestrator;
 mod queue;
 mod service;
 
+pub use http::{HttpOptions, HttpServer, METRICS_CONTENT_TYPE};
 pub use instantcheck::CampaignSpec;
 pub use orchestrator::{
     CampaignResult, CampaignStatus, Disposition, Orchestrator, OrchestratorConfig, ProgramSource,
-    Resolver, ShedReason, Submission, TenantStats, DEFAULT_TENANT,
+    Resolver, ShedReason, Submission, TenantStats, DEFAULT_TENANT, QUEUE_DWELL_HISTOGRAM,
 };
 pub use service::Service;
 

@@ -8,9 +8,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use corpus::{CampaignBaseline, StripedCache};
+use corpus::{CampaignBaseline, StripeStats, StripedCache};
 use instantcheck::{CheckReport, Checker, CheckerConfig, RunCache};
-use obs::{Event, MemorySink, Registry, CONTROL_TRACK};
+use obs::{Event, MemorySink, Registry, Telemetry, CONTROL_TRACK};
 use tsim::{Program, SimErrorKind};
 
 use crate::queue::{PushError, QueueEntry, WorkQueue};
@@ -261,11 +261,18 @@ impl Default for OrchestratorConfig {
     }
 }
 
+/// Telemetry histogram fed with enqueue→dequeue queue dwell times.
+pub const QUEUE_DWELL_HISTOGRAM: &str = "icd.queue.dwell";
+
 /// State shared between the submit side and the workers.
 struct Shared {
     queue: WorkQueue<Job>,
     results: Mutex<BTreeMap<usize, CampaignResult>>,
     registry: Arc<Registry>,
+    /// Wall-clock side-channel (queue dwell, worker lanes, stripe
+    /// waits). Strictly observational: nothing recorded here reaches
+    /// the deterministic results, registry, or traces.
+    telemetry: Arc<Telemetry>,
     resolver: Resolver,
     cache: Option<Arc<StripedCache>>,
     config: OrchestratorConfig,
@@ -313,18 +320,23 @@ impl Orchestrator {
         cache: Option<Arc<dyn RunCache>>,
     ) -> Self {
         let registry = Arc::new(Registry::new());
+        let telemetry = Arc::new(Telemetry::new());
+        // Pre-register the always-exported wait series so `/metrics`
+        // shows them (at zero) from the first scrape.
+        telemetry.histogram(QUEUE_DWELL_HISTOGRAM);
+        telemetry.histogram(corpus::STRIPE_WAIT_HISTOGRAM);
         let cache = cache.map(|inner| {
-            Arc::new(StripedCache::new(
-                inner,
-                config.stripes,
-                Some(Arc::clone(&registry)),
-            ))
+            Arc::new(
+                StripedCache::new(inner, config.stripes, Some(Arc::clone(&registry)))
+                    .with_telemetry(Arc::clone(&telemetry)),
+            )
         });
         Orchestrator {
             shared: Arc::new(Shared {
                 queue: WorkQueue::new(config.queue_capacity),
                 results: Mutex::new(BTreeMap::new()),
                 registry,
+                telemetry,
                 resolver,
                 cache,
                 config,
@@ -341,6 +353,26 @@ impl Orchestrator {
     /// `corpus.stripe.*`).
     pub fn registry(&self) -> &Arc<Registry> {
         &self.shared.registry
+    }
+
+    /// The orchestrator's wall-clock telemetry plane: queue dwell
+    /// ([`QUEUE_DWELL_HISTOGRAM`]), stripe waits
+    /// ([`corpus::STRIPE_WAIT_HISTOGRAM`]), worker busy/idle, lanes.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
+    }
+
+    /// Per-stripe contention tallies of the shared-corpus wrapper;
+    /// `None` when the orchestrator runs without a corpus.
+    pub fn stripe_stats(&self) -> Option<Vec<StripeStats>> {
+        self.shared.cache.as_ref().map(|c| c.stripe_stats())
+    }
+
+    /// The shared-corpus wrapper itself, when one is attached — lets a
+    /// daemon front end keep reading stripe tallies after `drain` has
+    /// consumed the orchestrator.
+    pub fn striped_cache(&self) -> Option<&Arc<StripedCache>> {
+        self.shared.cache.as_ref()
     }
 
     /// Submissions seen so far (enqueued + shed).
@@ -404,7 +436,12 @@ impl Orchestrator {
             Ok(depth) => {
                 reg.add("icd.enqueued", 1);
                 reg.add(&format!("icd.tenant.{tenant}.accepted"), 1);
-                reg.histogram("icd.queue_depth").record(depth as u64);
+                // Depth is wall-clock state (it depends on worker
+                // timing), so it lives on the telemetry plane.
+                let t = &self.shared.telemetry;
+                t.gauge("icd.queue.depth").set(depth as u64);
+                t.histogram("icd.queue.depth.at-enqueue")
+                    .record(depth as u64);
                 self.tenants.entry(tenant).or_default().accepted += 1;
                 Disposition::Enqueued
             }
@@ -435,14 +472,31 @@ impl Orchestrator {
         if !self.workers.is_empty() {
             return;
         }
-        for _ in 0..self.shared.config.width.max(1) {
+        for w in 0..self.shared.config.width.max(1) {
             let shared = Arc::clone(&self.shared);
             self.workers.push(std::thread::spawn(move || {
+                let lane = format!("icd.w{w}");
+                let mut idle_from = shared.telemetry.now_ns();
                 while let Some(entry) = shared.queue.pop() {
+                    let t = &shared.telemetry;
+                    let start = t.now_ns();
+                    t.histogram("icd.worker.idle")
+                        .record(start.saturating_sub(idle_from));
+                    t.gauge("icd.queue.depth").set(shared.queue.depth() as u64);
                     shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    t.gauge("icd.in_flight")
+                        .set(shared.in_flight.load(Ordering::SeqCst) as u64);
                     let result = run_campaign(&shared, entry.seq, entry.payload);
                     shared.results.lock().unwrap().insert(entry.seq, result);
                     shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    let t = &shared.telemetry;
+                    t.gauge("icd.in_flight")
+                        .set(shared.in_flight.load(Ordering::SeqCst) as u64);
+                    let end = t.now_ns();
+                    t.histogram("icd.worker.busy")
+                        .record(end.saturating_sub(start));
+                    t.lane_span(lane.clone(), "campaign", start, end, entry.seq as u64);
+                    idle_from = end;
                 }
             }));
         }
@@ -494,9 +548,11 @@ impl Orchestrator {
 /// unknown workloads and rejected specs become `Invalid` results.
 fn run_campaign(shared: &Shared, seq: usize, job: Job) -> CampaignResult {
     let reg = &shared.registry;
-    let waited = job.enqueued_at.elapsed();
-    reg.histogram("icd.wait_ms")
-        .record(waited.as_millis() as u64);
+    // Enqueue→dequeue dwell is pure wall clock: telemetry, never the
+    // deterministic registry.
+    shared
+        .telemetry
+        .record_wait(QUEUE_DWELL_HISTOGRAM, job.enqueued_at.elapsed());
 
     let invalid = |error: String| {
         reg.add("icd.invalid", 1);
@@ -529,7 +585,9 @@ fn run_campaign(shared: &Shared, seq: usize, job: Job) -> CampaignResult {
     let mut attempts = 0u32;
     loop {
         attempts += 1;
-        let mut cfg = CheckerConfig::from_spec(&spec).with_registry(Arc::clone(reg));
+        let mut cfg = CheckerConfig::from_spec(&spec)
+            .with_registry(Arc::clone(reg))
+            .with_telemetry(Arc::clone(&shared.telemetry));
         if let Some(cache) = &shared.cache {
             cfg = cfg.with_run_cache(Arc::clone(cache) as Arc<dyn RunCache>, &*spec.workload);
         }

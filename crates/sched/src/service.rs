@@ -19,10 +19,12 @@
 //! drain.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use obs::Registry;
+use corpus::{StripeStats, StripedCache};
+use obs::{Registry, Telemetry};
 
 use crate::orchestrator::TenantStats;
 use crate::{CampaignResult, Disposition, Orchestrator, ShedReason, Submission};
@@ -55,6 +57,10 @@ pub struct Service {
     inner: Mutex<Inner>,
     draining: AtomicBool,
     registry: Arc<Registry>,
+    telemetry: Arc<Telemetry>,
+    /// Kept outside the intake mutex (and past drain) so `/metrics`
+    /// and `/profile` can read stripe tallies without blocking intake.
+    cache: Option<Arc<StripedCache>>,
 }
 
 impl Service {
@@ -62,6 +68,8 @@ impl Service {
     pub fn new(mut orch: Orchestrator) -> Self {
         orch.start();
         let registry = Arc::clone(orch.registry());
+        let telemetry = Arc::clone(orch.telemetry());
+        let cache = orch.striped_cache().cloned();
         Service {
             inner: Mutex::new(Inner {
                 orch: Some(orch),
@@ -69,12 +77,25 @@ impl Service {
             }),
             draining: AtomicBool::new(false),
             registry,
+            telemetry,
+            cache,
         }
     }
 
     /// The orchestrator's metrics registry.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The orchestrator's wall-clock telemetry plane.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Per-stripe contention tallies of the shared corpus; `None`
+    /// without a corpus. Usable during and after drain.
+    pub fn stripe_stats(&self) -> Option<Vec<StripeStats>> {
+        self.cache.as_ref().map(|c| c.stripe_stats())
     }
 
     /// Offers one submission on behalf of a connection handler,
@@ -157,11 +178,11 @@ impl Service {
     /// A deterministic-schema status snapshot as one line of JSON:
     /// sorted keys, stable field set —
     /// `{"draining":…,"submitted":…,"queue_depth":…,"in_flight":…,
-    /// "tenants":{…},"counters":{…}}`. The *values* are live (queue
-    /// depth, counters) and therefore wall-clock-dependent; status is
-    /// an operator endpoint, never an artifact.
+    /// "tenants":{…},"corpus":{…}|null,"counters":{…}}`. The *values*
+    /// are live (queue depth, counters, stripe tallies) and therefore
+    /// wall-clock-dependent; status is an operator endpoint, never an
+    /// artifact.
     pub fn status_json(&self) -> String {
-        use std::fmt::Write as _;
         let core = {
             let inner = self.inner.lock().unwrap();
             match &inner.orch {
@@ -193,7 +214,20 @@ impl Service {
                 stats.accepted, stats.shed
             );
         }
-        out.push_str("},\"counters\":{");
+        out.push_str("},\"corpus\":");
+        match self.stripe_stats() {
+            Some(stats) => {
+                let contended: u64 = stats.iter().map(|s| s.contended).sum();
+                let wait_ns: u64 = stats.iter().map(|s| s.wait_ns).sum();
+                let _ = write!(
+                    out,
+                    "{{\"stripes\":{},\"contended\":{contended},\"wait_ns\":{wait_ns}}}",
+                    stats.len()
+                );
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"counters\":{");
         for (i, (name, value)) in self.registry.snapshot().counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -202,6 +236,66 @@ impl Service {
             let _ = write!(out, ":{value}");
         }
         out.push_str("}}");
+        out
+    }
+
+    /// Prometheus text exposition (v0.0.4) of the telemetry plane plus
+    /// the deterministic registry — the `/metrics` body. Per-stripe
+    /// tallies export as `icd_stripe_contended_total{stripe="i"}` /
+    /// `icd_stripe_wait_ns_total{stripe="i"}` series appended to the
+    /// shared exposition.
+    pub fn metrics_text(&self) -> String {
+        let mut out =
+            obs::prometheus_text(Some(&self.registry.snapshot()), &self.telemetry.snapshot());
+        if let Some(stats) = self.stripe_stats() {
+            out.push_str("# TYPE icd_stripe_contended_total counter\n");
+            for (i, s) in stats.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "icd_stripe_contended_total{{stripe=\"{i}\"}} {}",
+                    s.contended
+                );
+            }
+            out.push_str("# TYPE icd_stripe_wait_ns_total counter\n");
+            for (i, s) in stats.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "icd_stripe_wait_ns_total{{stripe=\"{i}\"}} {}",
+                    s.wait_ns
+                );
+            }
+        }
+        out
+    }
+
+    /// The `/profile` body: the full telemetry snapshot (histograms
+    /// with p50/p95/p99, worker lanes) plus the per-stripe contention
+    /// table, as one JSON object —
+    /// `{"telemetry":{…},"stripes":[{"stripe":…,"contended":…,
+    /// "wait_ns":…},…]|null}`. Wall-clock throughout; never an
+    /// artifact.
+    pub fn profile_json(&self) -> String {
+        let mut out = String::from("{\"telemetry\":");
+        out.push_str(&self.telemetry.snapshot().to_json());
+        out.push_str(",\"stripes\":");
+        match self.stripe_stats() {
+            Some(stats) => {
+                out.push('[');
+                for (i, s) in stats.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"stripe\":{i},\"contended\":{},\"wait_ns\":{}}}",
+                        s.contended, s.wait_ns
+                    );
+                }
+                out.push(']');
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
         out
     }
 }

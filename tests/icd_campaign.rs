@@ -19,8 +19,8 @@ use corpus::CorpusStore;
 use instantcheck::{CampaignSpec, CheckReport, Checker, CheckerConfig, RunCache, Scheme};
 use obs::MemorySink;
 use sched::{
-    CampaignStatus, Disposition, Orchestrator, OrchestratorConfig, ProgramSource, Resolver,
-    Service, ShedReason, Submission,
+    CampaignStatus, Disposition, HttpOptions, HttpServer, Orchestrator, OrchestratorConfig,
+    ProgramSource, Resolver, Service, ShedReason, Submission,
 };
 
 fn tempdir(tag: &str) -> PathBuf {
@@ -187,6 +187,118 @@ fn concurrent_clients_produce_solo_identical_artifacts() {
             r.id
         );
     }
+}
+
+/// The telemetry plane is strictly observational: with the HTTP
+/// listener bound and a client scraping `/status`, `/metrics`, and
+/// `/profile` the whole time the batch runs, per-campaign artifacts
+/// stay byte-identical to solo runs at widths 1, 2, and 4 (cold then
+/// warm corpus). The test also pins that the wait histograms really
+/// observed samples — queue dwell and stripe waits — so the
+/// "telemetry changed nothing" result is not vacuous.
+#[test]
+fn live_scraping_telemetry_leaves_artifacts_byte_identical() {
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        let _ = stream.write_all(format!("GET {path} HTTP/1.1\r\n\r\n").as_bytes());
+        let mut reply = Vec::new();
+        let _ = stream.read_to_end(&mut reply);
+        String::from_utf8_lossy(&reply).into_owned()
+    }
+
+    let subs = batch();
+    let reference: Vec<(String, String)> = subs.iter().map(solo_artifacts).collect();
+
+    let dir = tempdir("telemetry");
+    for width in [1usize, 2, 4] {
+        let store = Arc::new(CorpusStore::open(&dir).expect("corpus opens"));
+        let config = OrchestratorConfig {
+            width,
+            trace: true,
+            ..OrchestratorConfig::default()
+        };
+        let svc = Arc::new(Service::new(Orchestrator::new(
+            config,
+            resolver(),
+            Some(store as Arc<dyn RunCache>),
+        )));
+        let mut server = HttpServer::bind("127.0.0.1:0", Arc::clone(&svc), HttpOptions::default())
+            .expect("binds an ephemeral port");
+        let addr = server.local_addr();
+
+        // The scraper hammers every endpoint until the drain is done.
+        let stop = Arc::new(AtomicBool::new(false));
+        let scraper = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0usize;
+                while !stop.load(Ordering::SeqCst) {
+                    for path in ["/status", "/metrics", "/profile"] {
+                        let reply = get(addr, path);
+                        assert!(
+                            reply.starts_with("HTTP/1.1 200 "),
+                            "{path} under load: {}",
+                            reply.lines().next().unwrap_or("")
+                        );
+                        scrapes += 1;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                scrapes
+            })
+        };
+
+        for sub in subs.clone() {
+            assert_eq!(svc.submit(sub).1, Disposition::Enqueued);
+        }
+        let results = svc.drain();
+        stop.store(true, Ordering::SeqCst);
+        let scrapes = scraper.join().unwrap();
+        assert!(scrapes > 0, "the scraper actually ran");
+
+        assert_eq!(results.len(), subs.len());
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(
+                r.status,
+                CampaignStatus::Completed,
+                "{}: {:?}",
+                r.id,
+                r.error
+            );
+            assert_eq!(
+                r.report_json.as_deref(),
+                Some(reference[i].0.as_str()),
+                "width {width} {}: report bytes == solo bytes while scraped",
+                r.id
+            );
+            assert_eq!(
+                r.trace_jsonl.as_deref(),
+                Some(reference[i].1.as_str()),
+                "width {width} {}: trace bytes == solo bytes while scraped",
+                r.id
+            );
+        }
+
+        // The side channel really recorded: dwell once per campaign,
+        // stripe waits on every corpus acquisition.
+        let snap = svc.telemetry().snapshot();
+        let dwell = &snap.histograms[sched::QUEUE_DWELL_HISTOGRAM];
+        assert_eq!(dwell.count, subs.len() as u64, "one dwell per campaign");
+        let waits = &snap.histograms[corpus::STRIPE_WAIT_HISTOGRAM];
+        assert!(waits.count > 0, "stripe acquisitions were timed");
+
+        // And /metrics — served past drain — exposes both series with
+        // their observed sample counts.
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.contains("icd_queue_dwell_seconds_count 10"));
+        assert!(metrics.contains("icd_stripe_wait_seconds_count"));
+        server.shutdown();
+    }
+    let _ = fs::remove_dir_all(&dir);
 }
 
 /// Quota-exceeded submissions get an explicit disposition, and the
