@@ -1,0 +1,315 @@
+//! Batched accumulation of incremental hash deltas.
+//!
+//! The per-store hot path of the incremental schemes applies one fused
+//! [`hash_delta`](LocationHasher::hash_delta) per monitored store, folding
+//! it immediately into a single running sum — every delta serializes
+//! through that one accumulator. Because the group is commutative, the
+//! deltas of a whole basic block (or scheduling quantum) may instead be
+//! buffered and folded four at a time into independent accumulators, the
+//! same chunked idiom [`hash_full_state`](crate::hash_full_state) uses for
+//! traversal hashing. The sum is bit-identical by the group laws; only the
+//! fold order changes.
+//!
+//! [`DeltaBatch`] is the buffering accumulator; [`hash_delta_run`] is the
+//! fused variant for contiguous address runs (block frees, zero-fills)
+//! where the addresses need not be materialized per entry.
+
+use crate::group::HashSum;
+use crate::hasher::LocationHasher;
+
+/// Default capacity (in buffered store deltas) of a [`DeltaBatch`].
+///
+/// Sized to a scheduling quantum's worth of stores: large enough that the
+/// 4-lane fold runs mostly on full chunks, small enough that the buffer
+/// stays in L1.
+pub const DELTA_BATCH_CAPACITY: usize = 64;
+
+/// A bounded buffer of store deltas `(addr, old, new)` folded lazily.
+///
+/// Push each monitored store; when the batch [`is_full`](DeltaBatch::is_full)
+/// (or at any point a current sum is needed — a checkpoint, a context
+/// switch), [`flush`](DeltaBatch::flush) folds the buffered deltas through
+/// four independent lanes and returns their combined [`HashSum`], emptying
+/// the batch. The commutative group guarantees the result is bit-identical
+/// to folding each delta eagerly, at every flush boundary.
+///
+/// # Example
+///
+/// ```
+/// use adhash::{DeltaBatch, HashSum, IncHasher, Mix64Hasher};
+///
+/// let h = Mix64Hasher::default();
+/// let mut batch = DeltaBatch::new();
+/// let mut serial = IncHasher::new(h);
+/// let mut batched = HashSum::ZERO;
+///
+/// for i in 0..100u64 {
+///     serial.on_write(0x1000 + i, 0, i);
+///     if batch.is_full() {
+///         batched = batched.combine(batch.flush(&h));
+///     }
+///     batch.push(0x1000 + i, 0, i);
+/// }
+/// batched = batched.combine(batch.flush(&h));
+/// assert_eq!(batched, serial.sum());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBatch {
+    entries: Vec<(u64, u64, u64)>,
+}
+
+impl DeltaBatch {
+    /// Creates an empty batch with the default capacity.
+    pub fn new() -> Self {
+        DeltaBatch {
+            entries: Vec::with_capacity(DELTA_BATCH_CAPACITY),
+        }
+    }
+
+    /// Buffers the delta of a write of `new` over `old` at `addr`.
+    ///
+    /// The caller is expected to [`flush`](DeltaBatch::flush) when
+    /// [`is_full`](DeltaBatch::is_full) reports `true`; pushing past the
+    /// nominal capacity is not an error (the buffer grows), it merely
+    /// defeats the purpose of the bound.
+    #[inline]
+    pub fn push(&mut self, addr: u64, old: u64, new: u64) {
+        self.entries.push((addr, old, new));
+    }
+
+    /// Returns `true` once the batch holds [`DELTA_BATCH_CAPACITY`]
+    /// entries and should be flushed.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= DELTA_BATCH_CAPACITY
+    }
+
+    /// Returns `true` if no deltas are buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of buffered deltas.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Folds all buffered deltas into one [`HashSum`] and empties the
+    /// batch (the allocation is retained for reuse).
+    ///
+    /// Full chunks of four go to independent lane accumulators so the
+    /// per-delta multiply chains overlap instead of serializing through
+    /// one running sum; the trailing partial chunk folds serially. By
+    /// commutativity the result equals the strict left fold bit for bit.
+    pub fn flush<H: LocationHasher>(&mut self, hasher: &H) -> HashSum {
+        let mut lanes = [HashSum::ZERO; 4];
+        let mut chunks = self.entries.chunks_exact(4);
+        for chunk in &mut chunks {
+            for (lane, &(addr, old, new)) in lanes.iter_mut().zip(chunk) {
+                *lane = lane.combine(hasher.hash_delta(addr, old, new));
+            }
+        }
+        let mut sum: HashSum = lanes.into_iter().sum();
+        for &(addr, old, new) in chunks.remainder() {
+            sum = sum.combine(hasher.hash_delta(addr, old, new));
+        }
+        self.entries.clear();
+        sum
+    }
+}
+
+/// Folds the deltas of a contiguous run of word writes in one pass.
+///
+/// `pairs[i]` is the `(old, new)` pair written at word address `base + i`.
+/// This is the fused multi-store primitive for operations that touch a
+/// whole block at once — freeing a heap block (every word's contribution
+/// is cancelled), zero-filling an allocation — without materializing the
+/// address of every entry. Folds four lanes wide like
+/// [`DeltaBatch::flush`]; the result is bit-identical to folding
+/// [`hash_delta`](LocationHasher::hash_delta) per word.
+///
+/// # Example
+///
+/// ```
+/// use adhash::{hash_delta_run, HashSum, LocationHasher, Mix64Hasher};
+///
+/// let h = Mix64Hasher::default();
+/// let pairs = [(7u64, 0u64), (9, 0), (11, 0)];
+/// let run = hash_delta_run(&h, 0x2000, &pairs);
+/// let serial = pairs
+///     .iter()
+///     .enumerate()
+///     .fold(HashSum::ZERO, |acc, (i, &(old, new))| {
+///         acc.combine(h.hash_delta(0x2000 + i as u64, old, new))
+///     });
+/// assert_eq!(run, serial);
+/// ```
+pub fn hash_delta_run<H: LocationHasher>(hasher: &H, base: u64, pairs: &[(u64, u64)]) -> HashSum {
+    let mut lanes = [HashSum::ZERO; 4];
+    let mut chunks = pairs.chunks_exact(4);
+    let mut i: u64 = 0;
+    for chunk in &mut chunks {
+        for (lane, &(old, new)) in lanes.iter_mut().zip(chunk) {
+            *lane = lane.combine(hasher.hash_delta(base.wrapping_add(i), old, new));
+            i += 1;
+        }
+    }
+    let mut sum: HashSum = lanes.into_iter().sum();
+    for &(old, new) in chunks.remainder() {
+        sum = sum.combine(hasher.hash_delta(base.wrapping_add(i), old, new));
+        i += 1;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hasher::Mix64Hasher;
+    use crate::incremental::IncHasher;
+
+    fn h() -> Mix64Hasher {
+        Mix64Hasher::default()
+    }
+
+    /// A tiny deterministic LCG for the randomized interleaving tests.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    #[test]
+    fn batched_fold_matches_serial_at_every_flush_boundary() {
+        // Mirror of `chunked_traversal_matches_serial_fold_at_every_length`
+        // for the incremental path: for every buffered length covering two
+        // full batches plus every partial-chunk shape, the flush-boundary
+        // placement must be invisible.
+        for len in 0..=(2 * DELTA_BATCH_CAPACITY + 1) {
+            let mut serial = IncHasher::new(h());
+            let mut batch = DeltaBatch::new();
+            let mut batched = HashSum::ZERO;
+            for i in 0..len as u64 {
+                let (addr, old, new) = (0x1000 + i * 8, i * 31, i * 31 + 7);
+                serial.on_write(addr, old, new);
+                if batch.is_full() {
+                    batched = batched.combine(batch.flush(&h()));
+                }
+                batch.push(addr, old, new);
+            }
+            batched = batched.combine(batch.flush(&h()));
+            assert_eq!(batched, serial.sum(), "len {len}");
+            assert!(batch.is_empty());
+        }
+    }
+
+    #[test]
+    fn flush_of_empty_batch_is_identity() {
+        let mut batch = DeltaBatch::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        assert!(batch.flush(&h()).is_zero());
+    }
+
+    #[test]
+    fn randomized_interleavings_of_writes_frees_save_restore() {
+        // Drive a serial IncHasher and a batched accumulator through the
+        // same randomized operation stream — writes, frees (cancel to
+        // zero, as the engine models deallocation), and save/restore of
+        // the running sum — flushing at arbitrary points. Bit-for-bit
+        // identity must hold at every save and at the end.
+        for seed in 1..=8u64 {
+            let mut rng = Lcg(seed);
+            let mut serial = IncHasher::new(h());
+            let mut batch = DeltaBatch::new();
+            let mut batched = HashSum::ZERO;
+            // Shadow memory so frees cancel the true current value.
+            let words = 32u64;
+            let mut mem = vec![0u64; words as usize];
+            let mut saved: Option<(HashSum, HashSum)> = None;
+
+            for _ in 0..4096 {
+                let op = rng.next() % 16;
+                let w = rng.next() % words;
+                let addr = 0x4000 + w;
+                match op {
+                    0..=11 => {
+                        // write
+                        let new = rng.next();
+                        let old = std::mem::replace(&mut mem[w as usize], new);
+                        serial.on_write(addr, old, new);
+                        if batch.is_full() {
+                            batched = batched.combine(batch.flush(&h()));
+                        }
+                        batch.push(addr, old, new);
+                    }
+                    12 | 13 => {
+                        // free: drop the word's contribution back to zero
+                        let old = std::mem::replace(&mut mem[w as usize], 0);
+                        serial.remove_location(addr, old);
+                        serial.add_location(addr, 0);
+                        if batch.is_full() {
+                            batched = batched.combine(batch.flush(&h()));
+                        }
+                        batch.push(addr, old, 0);
+                    }
+                    14 => {
+                        // save: both paths snapshot their sum (the batch
+                        // must drain first — a snapshot is a sum use).
+                        batched = batched.combine(batch.flush(&h()));
+                        assert_eq!(batched, serial.sum(), "seed {seed} at save");
+                        saved = Some((serial.sum(), batched));
+                    }
+                    _ => {
+                        // restore, if something was saved
+                        if let Some((s, b)) = saved {
+                            serial.set_sum(s);
+                            batch.flush(&h()); // discard buffered deltas
+                            batched = b;
+                            // Shadow memory no longer matches the restored
+                            // hash; re-seed it as all zeroes plus nothing,
+                            // i.e. keep going — identity only requires both
+                            // paths to see the same stream, which they do.
+                        }
+                    }
+                }
+            }
+            batched = batched.combine(batch.flush(&h()));
+            assert_eq!(batched, serial.sum(), "seed {seed} at end");
+        }
+    }
+
+    #[test]
+    fn delta_run_matches_per_word_fold_at_every_length() {
+        for len in 0..=17u64 {
+            let pairs: Vec<(u64, u64)> = (0..len).map(|i| (i * 13 + 5, i * 29 + 1)).collect();
+            let base = 0x1000_0000u64;
+            let serial = pairs
+                .iter()
+                .enumerate()
+                .fold(HashSum::ZERO, |acc, (i, &(old, new))| {
+                    acc.combine(h().hash_delta(base + i as u64, old, new))
+                });
+            assert_eq!(hash_delta_run(&h(), base, &pairs), serial, "len {len}");
+        }
+    }
+
+    #[test]
+    fn delta_run_equals_batch_flush_of_same_deltas() {
+        let base = 0x2000u64;
+        let pairs: Vec<(u64, u64)> = (0..50u64).map(|i| (i, i ^ 0x5a5a)).collect();
+        let mut batch = DeltaBatch::new();
+        for (i, &(old, new)) in pairs.iter().enumerate() {
+            batch.push(base + i as u64, old, new);
+        }
+        assert_eq!(batch.flush(&h()), hash_delta_run(&h(), base, &pairs));
+    }
+}

@@ -5,7 +5,8 @@ use std::collections::HashSet;
 use adhash::{hash_full_state, FpRound, HashSum, LocationHasher, Mix64Hasher};
 use mhm::{CacheStats, L1Cache, MhmCore};
 use tsim::{
-    Addr, BlockInfo, CheckpointInfo, CheckpointKind, Monitor, StateView, ThreadId, ValKind,
+    Addr, BlockInfo, CheckpointInfo, CheckpointKind, EngineHashes, FastPathSpec, Monitor,
+    StateView, ThreadId, ValKind,
 };
 
 use crate::checker::RunHashes;
@@ -144,6 +145,10 @@ pub struct CheckMonitor {
     hash_updates: u64,
     /// Per-thread L1 models, when the cache model is enabled.
     caches: Option<Vec<L1Cache>>,
+    /// Engine fast-path counters already folded into this monitor's
+    /// accounting (see [`CheckMonitor::apply_engine_deltas`]).
+    engine_stores_applied: u64,
+    engine_freed_applied: u64,
 }
 
 impl CheckMonitor {
@@ -165,6 +170,8 @@ impl CheckMonitor {
             stores_seen: 0,
             hash_updates: 0,
             caches: None,
+            engine_stores_applied: 0,
+            engine_freed_applied: 0,
         }
     }
 
@@ -233,14 +240,55 @@ impl CheckMonitor {
         }
     }
 
+    /// Folds the engine fast path's cumulative counters into this
+    /// monitor's per-store accounting, by differencing against what was
+    /// already applied at the previous checkpoint.
+    ///
+    /// When the engine handles the store datapath (see
+    /// [`Monitor::fast_path`]), `on_store`/`on_free` never fire for
+    /// simulated-thread accesses; this reconstructs exactly what those
+    /// callbacks would have accumulated — store counts, hash-update
+    /// counts, and the Figure 6 instruction charges — so the run's
+    /// [`RunHashes`] are byte-identical either way.
+    fn apply_engine_deltas(&mut self, eh: &EngineHashes<'_>) {
+        let d_stores = eh.stores - self.engine_stores_applied;
+        let d_freed = eh.freed_words - self.engine_freed_applied;
+        self.engine_stores_applied = eh.stores;
+        self.engine_freed_applied = eh.freed_words;
+        self.stores_seen += d_stores;
+        if self.scheme.is_incremental() {
+            self.hash_updates += 2 * d_stores + 2 * d_freed;
+            if self.scheme == Scheme::SwInc {
+                self.extra_instr += SW_INC_INSTR_PER_STORE * d_stores;
+            }
+            let per_word = match self.scheme {
+                Scheme::HwInc => HW_INSTR_PER_EXCLUDED_WORD,
+                _ => SW_INSTR_PER_EXCLUDED_WORD,
+            };
+            self.extra_instr += per_word * d_freed;
+        }
+    }
+
     /// The incremental schemes' checkpoint hash: the modular sum of the
     /// per-thread hashes, with the ignore-set's current contributions
     /// cancelled (computed fresh per checkpoint, without mutating the
     /// thread hashes).
+    ///
+    /// Under the engine fast path the per-thread sums are split between
+    /// `cores` (setup-phase stores, delivered via `on_store`) and the
+    /// engine's own accumulators; commutativity makes their union the
+    /// same state hash regardless of the split.
     fn incremental_hash(&mut self, view: &StateView<'_>) -> HashSum {
         let mut sum: HashSum = self.cores.iter().map(MhmCore::th).sum();
-        // Combining the THs is a rare software loop.
-        self.extra_instr += self.cores.len() as u64;
+        // Combining the THs is a rare software loop; one "unit" per
+        // per-thread hash register, matching the dyn path's lazily grown
+        // core set.
+        let mut units = self.cores.len() as u64;
+        if let Some(eh) = view.engine_hashes() {
+            sum = sum.combine(eh.sums.iter().copied().sum());
+            units = units.max(eh.sums.len() as u64);
+        }
+        self.extra_instr += units;
         if !self.ignore.is_empty() {
             let ignored = self.ignore.resolve(view);
             let per_word = match self.scheme {
@@ -355,8 +403,7 @@ impl Monitor for CheckMonitor {
             let kind = block.kind_at(i);
             let is_fp = kind == ValKind::F64 && rounding.is_some();
             let addr = block.base.offset(i as u64).raw();
-            core.minus_hash(addr, value, is_fp);
-            core.plus_hash(addr, 0, is_fp);
+            core.free_word(addr, value, is_fp);
         }
     }
 
@@ -369,6 +416,11 @@ impl Monitor for CheckMonitor {
     }
 
     fn on_checkpoint(&mut self, info: &CheckpointInfo, view: &StateView<'_>) {
+        if let Some(eh) = view.engine_hashes() {
+            // Checkpoints (including the guaranteed final `End`) are the
+            // reconciliation points for the engine fast path.
+            self.apply_engine_deltas(&eh);
+        }
         let hash = match self.scheme {
             Scheme::Native => HashSum::ZERO,
             Scheme::HwInc | Scheme::SwInc => self.incremental_hash(view),
@@ -382,6 +434,17 @@ impl Monitor for CheckMonitor {
 
     fn extra_instructions(&self) -> u64 {
         self.extra_instr
+    }
+
+    fn fast_path(&self) -> Option<FastPathSpec> {
+        if self.caches.is_some() {
+            // The L1/MHM cache model needs every access callback.
+            return None;
+        }
+        Some(FastPathSpec {
+            hashing: self.scheme.is_incremental(),
+            rounding: self.rounding,
+        })
     }
 }
 

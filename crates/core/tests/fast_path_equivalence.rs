@@ -1,0 +1,190 @@
+//! Fast-path ≡ dyn-path equivalence.
+//!
+//! `CheckMonitor` claims the engine's monomorphic store datapath
+//! ([`tsim::Monitor::fast_path`]), which skips per-access virtual
+//! dispatch and folds stores through the batched engine hasher. These
+//! tests drive the *same* monitor through the dynamic dispatch path by
+//! wrapping it in a shim whose `fast_path()` stays `None`, and assert
+//! that every observable of the run — checkpoint hash sequence, output
+//! digest, store/hash-update/extra-instruction accounting, and the
+//! scheduler decision log — is bit-identical between the two paths.
+
+use adhash::FpRound;
+use instantcheck::{CheckMonitor, IgnoreSpec, Scheme};
+use tsim::{
+    Addr, BlockInfo, CheckpointInfo, Monitor, Program, ProgramBuilder, RunConfig, StateView,
+    ThreadId, TypeTag, ValKind,
+};
+
+/// Delegates every callback to the wrapped [`CheckMonitor`] but keeps
+/// the default `fast_path() -> None`, forcing the engine onto per-access
+/// virtual dispatch.
+struct DynShim(CheckMonitor);
+
+impl Monitor for DynShim {
+    fn on_store(&mut self, tid: ThreadId, addr: Addr, old: u64, new: u64, kind: ValKind) {
+        self.0.on_store(tid, addr, old, new, kind);
+    }
+    fn on_load(&mut self, tid: ThreadId, addr: Addr, value: u64, kind: ValKind) {
+        self.0.on_load(tid, addr, value, kind);
+    }
+    fn on_alloc(&mut self, tid: ThreadId, block: &BlockInfo) {
+        self.0.on_alloc(tid, block);
+    }
+    fn on_free(&mut self, tid: ThreadId, block: &BlockInfo, contents: &[u64]) {
+        self.0.on_free(tid, block, contents);
+    }
+    fn on_output(&mut self, tid: ThreadId, bytes: &[u8]) {
+        self.0.on_output(tid, bytes);
+    }
+    fn on_checkpoint(&mut self, info: &CheckpointInfo, view: &StateView<'_>) {
+        self.0.on_checkpoint(info, view);
+    }
+    fn extra_instructions(&self) -> u64 {
+        self.0.extra_instructions()
+    }
+}
+
+/// A workload that exercises everything the fast path touches: setup
+/// stores, integer and FP store sweeps, `fetch_add`, locks, barriers
+/// (checkpoints), heap alloc/write/free (hash cancellation), output,
+/// and a manual checkpoint per thread.
+fn program() -> Program {
+    const NTHREADS: usize = 3;
+    let mut b = ProgramBuilder::new(NTHREADS);
+    let grid = b.global("grid", ValKind::U64, 32);
+    let field = b.global("field", ValKind::F64, 8);
+    let counter = b.global("counter", ValKind::U64, 1);
+    let bar = b.barrier();
+    let lock = b.mutex();
+    b.setup(move |s| {
+        for i in 0..32 {
+            s.store(grid.at(i), (i as u64) * 3 + 1);
+        }
+        for i in 0..8 {
+            s.store_f64(field.at(i), 0.5 * i as f64);
+        }
+    });
+    for t in 0..NTHREADS {
+        b.thread(move |ctx| {
+            let tid = t as u64;
+            // Integer store sweep over a striped range, with a shared
+            // atomic bump and a barrier per step.
+            for step in 0..4u64 {
+                for i in 0..32 {
+                    if i % NTHREADS == t {
+                        let v = ctx.load(grid.at(i));
+                        let v = v.wrapping_mul(6364136223846793005).wrapping_add(tid + step);
+                        ctx.store(grid.at(i), v);
+                    }
+                }
+                ctx.fetch_add(counter.at(0), 1);
+                ctx.barrier(bar);
+            }
+            // FP stores with sub-rounding noise: both paths must agree
+            // whether or not rounding is configured.
+            for i in 0..8 {
+                if i % NTHREADS == t {
+                    let v = ctx.load_f64(field.at(i));
+                    ctx.store_f64(field.at(i), v + 0.1 + tid as f64 * 1e-12);
+                }
+            }
+            ctx.barrier(bar);
+            // Heap churn: the freed block's contribution must cancel
+            // out of the running hash identically on both paths.
+            let buf = ctx.malloc("scratch", TypeTag::u64s(), 6 + t);
+            for i in 0..(6 + t) as u64 {
+                ctx.store(buf.offset(i), tid * 100 + i);
+            }
+            ctx.work(5);
+            ctx.free(buf);
+            // Locked update plus output bytes.
+            ctx.lock(lock);
+            let v = ctx.load(counter.at(0));
+            ctx.store(counter.at(0), v + 1);
+            ctx.unlock(lock);
+            ctx.write_output(&[b'0' + t as u8]);
+            ctx.barrier(bar);
+            ctx.checkpoint("done");
+        });
+    }
+    b.build()
+}
+
+/// Runs the workload twice with the same seed — once with the monitor's
+/// fast-path claim honored, once through the `DynShim` — and asserts
+/// every observable matches.
+fn assert_paths_agree(scheme: Scheme, rounding: Option<FpRound>, ignore: IgnoreSpec, seed: u64) {
+    let config = RunConfig::random(seed);
+
+    let fast = program()
+        .run_with(&config, CheckMonitor::new(scheme, rounding, ignore.clone()))
+        .expect("fast-path run failed");
+    let slow = program()
+        .run_with(
+            &config,
+            DynShim(CheckMonitor::new(scheme, rounding, ignore)),
+        )
+        .expect("dyn-path run failed");
+
+    // The fast-path claim must not perturb scheduling.
+    assert_eq!(
+        fast.decisions, slow.decisions,
+        "{scheme:?}: decisions diverged"
+    );
+    assert_eq!(fast.steps, slow.steps, "{scheme:?}: step counts diverged");
+    assert_eq!(fast.output, slow.output, "{scheme:?}: output diverged");
+    assert_eq!(
+        fast.checkpoints, slow.checkpoints,
+        "{scheme:?}: checkpoint counts diverged"
+    );
+
+    let f = fast.monitor.into_hashes();
+    let s = slow.monitor.0.into_hashes();
+    assert_eq!(
+        f.checkpoints, s.checkpoints,
+        "{scheme:?}: checkpoint hashes diverged"
+    );
+    assert_eq!(
+        f.output_digest, s.output_digest,
+        "{scheme:?}: output digest diverged"
+    );
+    assert_eq!(f.stores, s.stores, "{scheme:?}: store counts diverged");
+    assert_eq!(
+        f.hash_updates, s.hash_updates,
+        "{scheme:?}: hash-update counts diverged"
+    );
+    assert_eq!(
+        f.extra_instr, s.extra_instr,
+        "{scheme:?}: extra-instruction model diverged"
+    );
+}
+
+#[test]
+fn all_schemes_agree_bit_exact() {
+    for scheme in [Scheme::Native, Scheme::HwInc, Scheme::SwInc, Scheme::SwTr] {
+        for seed in [7, 1234] {
+            assert_paths_agree(scheme, None, IgnoreSpec::new(), seed);
+        }
+    }
+}
+
+#[test]
+fn incremental_schemes_agree_with_fp_rounding() {
+    for scheme in [Scheme::HwInc, Scheme::SwInc] {
+        assert_paths_agree(scheme, Some(FpRound::default()), IgnoreSpec::new(), 99);
+        assert_paths_agree(
+            scheme,
+            Some(FpRound::MaskMantissa { bits: 20 }),
+            IgnoreSpec::new(),
+            99,
+        );
+    }
+}
+
+#[test]
+fn ignore_set_resolves_identically_on_both_paths() {
+    let ignore = IgnoreSpec::new().ignore_global("counter");
+    assert_paths_agree(Scheme::SwInc, None, ignore.clone(), 31);
+    assert_paths_agree(Scheme::SwTr, None, ignore, 31);
+}

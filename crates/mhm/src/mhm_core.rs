@@ -156,6 +156,17 @@ impl MhmCore {
         self.th.add_location(addr, v);
     }
 
+    /// Drops a freed word's contribution back to the zero baseline:
+    /// the fused equivalent of `minus_hash(addr, value)` followed by
+    /// `plus_hash(addr, 0)`, applied as one write delta so the address
+    /// mixing is shared between the two terms. Bit-identical to the pair
+    /// by the commutative group laws.
+    pub fn free_word(&mut self, addr: u64, value: u64, is_fp: bool) {
+        let old = self.round_off(value, is_fp);
+        let new = self.round_off(0, is_fp);
+        self.th.on_write(addr, old, new);
+    }
+
     /// Resets the TH register to zero (run start).
     pub fn reset(&mut self) {
         self.th.reset();

@@ -6,20 +6,38 @@
 //! fully determined by the scheduler's decisions. Threads hand the token
 //! over at scheduling points (synchronization operations, and data
 //! accesses when the [`SwitchPolicy`](crate::SwitchPolicy) says so).
+//!
+//! # Ownership transfer
+//!
+//! The machine state ([`Central`]) lives in a `Mutex<Option<Box<Central>>>`
+//! only *between* turns. When a thread is granted the token it moves the
+//! box out of the mutex into its own [`ThreadCtx`]; every data access then
+//! runs directly on the owned state with no lock or atomic traffic beyond
+//! one relaxed load of the abort flag. The box goes back into the mutex
+//! only at a scheduling point whose pick lands on a *different* thread —
+//! so a phase in which one thread holds the token (and in particular any
+//! single-threaded run) executes its entire access stream without touching
+//! the mutex or a condvar at all. This is what makes the store hot path
+//! allocation- and lock-free.
 
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread;
 use std::time::Instant;
+
+use adhash::{hash_delta_run, DeltaBatch, FpRound, HashSum, Mix64Hasher};
 
 use crate::alloc::{AllocLog, Allocator, BlockInfo};
 use crate::error::SimError;
 use crate::faults::{FaultKind, FaultPlan, FaultRecord, FaultState};
 use crate::libcalls::{LibCalls, LibLog};
 use crate::mem::Memory;
-use crate::monitor::{CheckpointInfo, CheckpointKind, Monitor, StateView};
+use crate::monitor::{
+    CheckpointInfo, CheckpointKind, EngineHashes, FastPathSpec, Monitor, StateView,
+};
 use crate::program::{GlobalDecl, Program, RunConfig};
 use crate::sched::{Scheduler, SwitchPolicy};
 use crate::trace::{Trace, TraceOp};
@@ -106,6 +124,91 @@ struct SemState {
     count: u64,
 }
 
+/// Per-thread run state, kept in one contiguous arena (`Central::threads`)
+/// instead of parallel `Vec`s so a scheduling point touches one cache line
+/// per thread and run construction performs one allocation for all of it.
+#[derive(Debug, Clone)]
+struct ThreadSlot {
+    state: TState,
+    instr: u64,
+    access_count: u64,
+}
+
+/// Engine-side store datapath for monitors that claim a
+/// [`FastPathSpec`]: replaces the per-store virtual dispatch with
+/// monomorphic batched incremental hashing (folded four lanes wide at
+/// flush, see [`DeltaBatch`]).
+struct HotState {
+    hashing: bool,
+    rounding: Option<FpRound>,
+    hasher: Mix64Hasher,
+    /// Deltas buffered since the last flush; all belong to `batch_tid`.
+    batch: DeltaBatch,
+    batch_tid: ThreadId,
+    /// Per-thread incremental sums, grown lazily to the highest storing
+    /// thread id (mirrors the lazy per-core growth of the dyn-path
+    /// checker, which the cost model observes).
+    sums: Vec<HashSum>,
+    stores: u64,
+    freed_words: u64,
+    /// Reusable `(old, new)` buffer for whole-block frees.
+    free_scratch: Vec<(u64, u64)>,
+}
+
+impl HotState {
+    fn new(spec: FastPathSpec) -> Self {
+        HotState {
+            hashing: spec.hashing,
+            rounding: spec.rounding,
+            hasher: Mix64Hasher::default(),
+            batch: DeltaBatch::new(),
+            batch_tid: 0,
+            sums: Vec::new(),
+            stores: 0,
+            freed_words: 0,
+            free_scratch: Vec::new(),
+        }
+    }
+
+    /// Rounds a word iff it is an FP store and rounding is configured —
+    /// exactly `MhmCore::round_off` semantics, so the fast path hashes
+    /// bit-identically to the dyn-path checker.
+    #[inline]
+    fn round(&self, bits: u64, kind: ValKind) -> u64 {
+        match (kind, self.rounding) {
+            (ValKind::F64, Some(r)) => r.apply_bits(bits),
+            _ => bits,
+        }
+    }
+
+    /// Folds the buffered deltas into `batch_tid`'s sum.
+    fn flush_batch(&mut self) {
+        if !self.batch.is_empty() {
+            let sum = self.batch.flush(&self.hasher);
+            let tid = self.batch_tid;
+            if self.sums.len() <= tid {
+                self.sums.resize(tid + 1, HashSum::ZERO);
+            }
+            self.sums[tid] = self.sums[tid].combine(sum);
+        }
+    }
+
+    /// The per-store hot path: count, round, and buffer one delta.
+    #[inline]
+    fn on_store(&mut self, tid: ThreadId, addr: Addr, old: u64, new: u64, kind: ValKind) {
+        self.stores += 1;
+        if !self.hashing {
+            return;
+        }
+        if self.batch_tid != tid || self.batch.is_full() {
+            self.flush_batch();
+            self.batch_tid = tid;
+        }
+        self.batch
+            .push(addr.raw(), self.round(old, kind), self.round(new, kind));
+    }
+}
+
 /// All mutable machine state, protected by one mutex.
 struct Central {
     mem: Memory,
@@ -115,12 +218,12 @@ struct Central {
     rwlocks: Vec<RwState>,
     sems: Vec<SemState>,
     barriers: Vec<BarrierState>,
-    states: Vec<TState>,
+    threads: Vec<ThreadSlot>,
     active: Option<ThreadId>,
     scheduler: Box<dyn Scheduler + Send>,
     switch: SwitchPolicy,
     monitor: Box<dyn AnyMonitor + Send>,
-    instr: Vec<u64>,
+    hot: Option<HotState>,
     zero_fill_instr: u64,
     charge_zero_fill: bool,
     lib: LibCalls,
@@ -133,13 +236,15 @@ struct Central {
     faults: Option<FaultState>,
     deadline_at: Option<Instant>,
     deadline_ms: u64,
-    access_count: Vec<u64>,
     cp_seq: u64,
     cp_decision_index: Vec<usize>,
     error: Option<SimError>,
     finished: usize,
     nthreads: usize,
     sink: Option<Arc<dyn obs::EventSink>>,
+    /// Reusable runnable-set buffer for scheduling points (no per-point
+    /// allocation).
+    sched_scratch: Vec<ThreadId>,
 }
 
 impl Central {
@@ -190,24 +295,31 @@ impl Central {
             globals,
             alloc,
             monitor,
+            hot,
             ..
         } = self;
-        let view = StateView::new(mem, globals, alloc.table());
+        let mut view = StateView::new(mem, globals, alloc.table());
+        if let Some(h) = hot.as_mut() {
+            // Checkpoints are flush boundaries: drain the delta batch so
+            // the per-thread sums are exact, then expose them.
+            h.flush_batch();
+        }
+        if let Some(h) = hot.as_ref() {
+            view = view.with_engine(EngineHashes {
+                sums: &h.sums,
+                stores: h.stores,
+                freed_words: h.freed_words,
+            });
+        }
         monitor
             .as_monitor()
             .on_checkpoint(&CheckpointInfo { seq, kind }, &view);
     }
 
-    fn runnable(&self) -> Vec<ThreadId> {
-        (0..self.nthreads)
-            .filter(|&t| self.states[t] == TState::Ready)
-            .collect()
-    }
-
     fn deadlock_detail(&self) -> String {
         let mut parts = Vec::new();
-        for (t, s) in self.states.iter().enumerate() {
-            let what = match s {
+        for (t, slot) in self.threads.iter().enumerate() {
+            let what = match &slot.state {
                 TState::Ready => continue,
                 TState::BlockedLock(l) => format!("thread {t} waits on lock {}", l.index()),
                 TState::BlockedBarrier(b) => {
@@ -238,23 +350,55 @@ impl Central {
 }
 
 struct Shared {
-    mu: Mutex<Central>,
-    cv: Condvar,
+    /// The machine-state cell: `Some` while the state is parked between
+    /// turns, `None` while the running thread owns it (see the module
+    /// docs on ownership transfer).
+    mu: Mutex<Option<Box<Central>>>,
+    /// One condvar per simulated thread: a thread only ever waits on its
+    /// own, so handing the token over wakes exactly the picked thread
+    /// instead of stampeding every waiter (and the coordinator) through
+    /// a futex herd at every scheduling point.
+    cvs: Vec<Condvar>,
+    /// The run coordinator's condvar: signalled on completion and errors,
+    /// never on routine token handoffs.
+    coord: Condvar,
+    /// Set by the coordinator when the deadline fires while a thread owns
+    /// the machine state: that thread cannot be reached through the cell,
+    /// so it polls this flag (one relaxed load) on every instrumented
+    /// call and aborts at the next one.
+    abort: AtomicBool,
 }
 
-fn lock_central(shared: &Shared) -> MutexGuard<'_, Central> {
+impl Shared {
+    /// Wakes every waiter — error paths only.
+    fn wake_all(&self) {
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+        self.coord.notify_all();
+    }
+}
+
+fn lock_cell(shared: &Shared) -> MutexGuard<'_, Option<Box<Central>>> {
     shared.mu.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Picks the next thread to run (or detects completion/deadlock).
-/// Expects `central.active == None`.
+/// Picks the next thread to run (or detects completion/deadlock) and
+/// returns the pick. Expects `c.active == None`. The caller is
+/// responsible for waking the picked thread (after parking the machine
+/// state back in the cell, so the wakeup cannot be missed).
 ///
 /// `avoid` excludes a thread from consideration when at least one other
 /// thread is runnable — used by the forced-preemption backstop so that a
 /// thread spinning on plain loads cannot be handed the token straight
 /// back regardless of the scheduler policy.
-fn schedule_next_avoiding(c: &mut Central, cv: &Condvar, avoid: Option<ThreadId>) {
-    let mut runnable = c.runnable();
+///
+/// A `None` return means no thread is runnable: either every thread
+/// finished, or the run deadlocked (recorded in `c.error`).
+fn schedule_next_core(c: &mut Central, avoid: Option<ThreadId>) -> Option<ThreadId> {
+    let mut runnable = std::mem::take(&mut c.sched_scratch);
+    runnable.clear();
+    runnable.extend((0..c.nthreads).filter(|&t| c.threads[t].state == TState::Ready));
     if let Some(avoid) = avoid {
         if runnable.len() > 1 {
             runnable.retain(|&t| t != avoid);
@@ -266,6 +410,8 @@ fn schedule_next_avoiding(c: &mut Central, cv: &Condvar, avoid: Option<ThreadId>
                 detail: c.deadlock_detail(),
             });
         }
+        c.sched_scratch = runnable;
+        None
     } else {
         let idx = c.scheduler.pick(&runnable, c.step).min(runnable.len() - 1);
         let next = runnable[idx];
@@ -279,12 +425,23 @@ fn schedule_next_avoiding(c: &mut Central, cv: &Condvar, avoid: Option<ThreadId>
                 .with_arg("tid", next as u32)
                 .with_arg("runnable", runnable.len())
         });
+        c.sched_scratch = runnable;
+        Some(next)
     }
-    cv.notify_all();
 }
 
-fn schedule_next(c: &mut Central, cv: &Condvar) {
-    schedule_next_avoiding(c, cv, None)
+/// Registers a wake operation with the fault plan; `true` means an
+/// injected [`FaultKind::WakeDrop`] swallows this wake (the classic
+/// lost-wakeup bug — the woken state change simply does not happen).
+fn wake_dropped(c: &mut Central, tid: ThreadId) -> bool {
+    let dropped = match &mut c.faults {
+        Some(f) => f.fire(FaultKind::WakeDrop, tid).is_some(),
+        None => false,
+    };
+    if dropped {
+        c.obs_fault(tid, FaultKind::WakeDrop);
+    }
+    dropped
 }
 
 /// The per-thread instrumented API that workload bodies are written
@@ -300,12 +457,26 @@ fn schedule_next(c: &mut Central, cv: &Condvar) {
 pub struct ThreadCtx {
     tid: ThreadId,
     shared: Arc<Shared>,
+    /// The machine state, owned while this thread holds the token
+    /// (`None` while parked in the cell or owned by another thread).
+    owned: Option<Box<Central>>,
 }
 
 impl std::fmt::Debug for ThreadCtx {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadCtx").field("tid", &self.tid).finish()
     }
+}
+
+/// What to do after the scheduler pick at a scheduling point.
+enum After {
+    /// The pick landed back on the caller: keep ownership and continue.
+    KeepRunning,
+    /// Hand the machine state to the picked thread (or, on `None`, park
+    /// it and wake everyone — the core recorded a deadlock error).
+    Handoff(Option<ThreadId>),
+    /// Abort the run with this error.
+    Fail(SimError),
 }
 
 impl ThreadCtx {
@@ -316,141 +487,233 @@ impl ThreadCtx {
 
     /// Number of threads in the program.
     pub fn nthreads(&self) -> usize {
-        lock_central(&self.shared).nthreads
+        self.shared.cvs.len()
     }
 
-    fn guard(&self) -> MutexGuard<'_, Central> {
-        let c = lock_central(&self.shared);
-        if c.error.is_some() {
-            drop(c);
-            panic::panic_any(SimAbort);
+    /// The owned machine state — the entire hot-path "guard": one relaxed
+    /// load of the abort flag and one `Option` branch, no lock.
+    #[inline]
+    fn central(&mut self) -> &mut Central {
+        if self.shared.abort.load(Ordering::Relaxed) {
+            self.abort_slow();
         }
-        debug_assert_eq!(c.active, Some(self.tid), "token protocol violated");
-        c
+        self.owned.as_deref_mut().expect("token protocol violated")
     }
 
-    fn fail(&self, mut c: MutexGuard<'_, Central>, err: SimError) -> ! {
-        if c.error.is_none() {
-            c.error = Some(err);
+    /// The deadline fired while we owned the machine state: record the
+    /// error, park the state, and unwind.
+    #[cold]
+    fn abort_slow(&mut self) -> ! {
+        if let Some(c) = self.owned.as_deref_mut() {
+            if c.error.is_none() {
+                c.error = Some(SimError::Deadline {
+                    limit_ms: c.deadline_ms,
+                });
+            }
         }
-        self.shared.cv.notify_all();
-        drop(c);
+        if let Some(boxed) = self.owned.take() {
+            *lock_cell(&self.shared) = Some(boxed);
+        }
+        self.shared.wake_all();
         panic::panic_any(SimAbort)
     }
 
-    /// Blocks until this thread is scheduled again (or the run aborts).
-    fn wait_for_turn<'a>(&self, mut c: MutexGuard<'a, Central>) -> MutexGuard<'a, Central> {
+    #[cold]
+    fn fail(&mut self, err: SimError) -> ! {
+        match self.owned.take() {
+            Some(mut boxed) => {
+                if boxed.error.is_none() {
+                    boxed.error = Some(err);
+                }
+                *lock_cell(&self.shared) = Some(boxed);
+            }
+            None => {
+                let mut cell = lock_cell(&self.shared);
+                if let Some(c) = cell.as_deref_mut() {
+                    if c.error.is_none() {
+                        c.error = Some(err);
+                    }
+                }
+            }
+        }
+        self.shared.wake_all();
+        panic::panic_any(SimAbort)
+    }
+
+    /// Blocks until this thread is scheduled again (or the run aborts),
+    /// then takes ownership of the machine state. Waits on this thread's
+    /// own condvar: nobody else ever sleeps there.
+    fn wait_for_turn_locked(&mut self, mut cell: MutexGuard<'_, Option<Box<Central>>>) {
         loop {
-            if c.error.is_some() {
-                drop(c);
-                panic::panic_any(SimAbort);
+            match cell.as_deref() {
+                Some(c) => {
+                    if c.error.is_some() {
+                        drop(cell);
+                        panic::panic_any(SimAbort);
+                    }
+                    if c.active == Some(self.tid) && c.threads[self.tid].state == TState::Ready {
+                        self.owned = cell.take();
+                        return;
+                    }
+                }
+                None => {
+                    // Another thread owns the state. If the run is being
+                    // torn down it may never come back to the cell (the
+                    // owner could be stuck), so honor the abort flag.
+                    if self.shared.abort.load(Ordering::Relaxed) {
+                        drop(cell);
+                        panic::panic_any(SimAbort);
+                    }
+                }
             }
-            if c.active == Some(self.tid) && c.states[self.tid] == TState::Ready {
-                return c;
-            }
-            c = self
-                .shared
-                .cv
-                .wait(c)
+            cell = self.shared.cvs[self.tid]
+                .wait(cell)
                 .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// A scheduling point: record our new state, give up the token, let
-    /// the scheduler pick, and wait until it is our turn again.
-    fn reschedule<'a>(
-        &self,
-        c: MutexGuard<'a, Central>,
-        new_state: TState,
-    ) -> MutexGuard<'a, Central> {
-        self.reschedule_avoiding(c, new_state, false)
+    /// the scheduler pick, and wait until it is our turn again. When the
+    /// pick lands back on us the whole operation stays on the owned state
+    /// — no mutex, no condvar.
+    fn reschedule(&mut self, new_state: TState) {
+        self.reschedule_avoiding(new_state, false)
     }
 
-    fn reschedule_avoiding<'a>(
-        &self,
-        mut c: MutexGuard<'a, Central>,
-        new_state: TState,
-        avoid_self: bool,
-    ) -> MutexGuard<'a, Central> {
-        c.step += 1;
-        if c.step > c.max_steps && c.error.is_none() {
-            let limit = c.max_steps;
-            self.fail(c, SimError::StepLimit { limit });
-        }
-        if let Some(at) = c.deadline_at {
-            // The watchdog: every scheduling point checks the wall
-            // clock, so even a spin livelock over plain loads (which
-            // reaches here via the forced-preemption backstop) is
-            // caught without waiting for the much larger step limit.
-            if Instant::now() >= at && c.error.is_none() {
-                let limit_ms = c.deadline_ms;
-                self.fail(c, SimError::Deadline { limit_ms });
+    fn reschedule_avoiding(&mut self, new_state: TState, avoid_self: bool) {
+        let tid = self.tid;
+        let after = {
+            let c = self.owned.as_deref_mut().expect("token protocol violated");
+            c.step += 1;
+            if c.step > c.max_steps && c.error.is_none() {
+                After::Fail(SimError::StepLimit { limit: c.max_steps })
+            } else if c
+                .deadline_at
+                // The watchdog: every scheduling point checks the wall
+                // clock, so even a spin livelock over plain loads (which
+                // reaches here via the forced-preemption backstop) is
+                // caught without waiting for the much larger step limit.
+                .is_some_and(|at| Instant::now() >= at && c.error.is_none())
+            {
+                After::Fail(SimError::Deadline {
+                    limit_ms: c.deadline_ms,
+                })
+            } else {
+                c.threads[tid].state = new_state;
+                c.active = None;
+                let picked = schedule_next_core(c, avoid_self.then_some(tid));
+                if picked == Some(tid) {
+                    After::KeepRunning
+                } else {
+                    After::Handoff(picked)
+                }
+            }
+        };
+        match after {
+            After::KeepRunning => {}
+            After::Fail(err) => self.fail(err),
+            After::Handoff(picked) => {
+                let boxed = self.owned.take().expect("token protocol violated");
+                let shared = Arc::clone(&self.shared);
+                let mut cell = lock_cell(&shared);
+                *cell = Some(boxed);
+                match picked {
+                    Some(next) => shared.cvs[next].notify_one(),
+                    // No runnable thread: the core recorded a deadlock
+                    // (the caller is not finished), so wake everyone.
+                    None => shared.wake_all(),
+                }
+                self.wait_for_turn_locked(cell);
             }
         }
-        c.states[self.tid] = new_state;
-        c.active = None;
-        let avoid = avoid_self.then_some(self.tid);
-        schedule_next_avoiding(&mut c, &self.shared.cv, avoid);
-        self.wait_for_turn(c)
     }
 
-    fn access_preempt(&self, mut c: MutexGuard<'_, Central>) {
+    #[inline]
+    fn access_preempt(&mut self) {
         let tid = self.tid;
-        c.access_count[tid] += 1;
-        let count = c.access_count[tid];
-        let forced = count.is_multiple_of(FORCED_PREEMPT_EVERY);
+        let (forced, policy) = {
+            let c = self.owned.as_deref_mut().expect("token protocol violated");
+            let slot = &mut c.threads[tid];
+            slot.access_count += 1;
+            let count = slot.access_count;
+            let forced = count.is_multiple_of(FORCED_PREEMPT_EVERY);
+            (forced, !forced && c.switch.preempt_on_access(count))
+        };
         if forced {
-            let c = self.reschedule_avoiding(c, TState::Ready, true);
-            drop(c);
-        } else if c.switch.preempt_on_access(count) {
-            let c = self.reschedule(c, TState::Ready);
-            drop(c);
+            self.reschedule_avoiding(TState::Ready, true);
+        } else if policy {
+            self.reschedule(TState::Ready);
         }
     }
 
     // ---- data accesses -------------------------------------------------
 
     fn load_kind(&mut self, addr: Addr, kind: ValKind) -> u64 {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_ACCESS;
-        let Some(value) = c.mem.read(addr) else {
-            self.fail(c, SimError::BadAddress { tid, addr });
+        let value = {
+            let c = self.central();
+            c.threads[tid].instr += COST_ACCESS;
+            match c.mem.read(addr) {
+                Some(value) => {
+                    if c.hot.is_none() {
+                        // A fast-path claim covers loads too (a claiming
+                        // monitor's `on_load` is a no-op), so the dispatch
+                        // is skipped entirely.
+                        c.monitor.as_monitor().on_load(tid, addr, value, kind);
+                    }
+                    c.trace_push(tid, TraceOp::Load(addr));
+                    Some(value)
+                }
+                None => None,
+            }
         };
-        c.monitor.as_monitor().on_load(tid, addr, value, kind);
-        c.trace_push(tid, TraceOp::Load(addr));
-        self.access_preempt(c);
+        let Some(value) = value else {
+            self.fail(SimError::BadAddress { tid, addr });
+        };
+        self.access_preempt();
         value
     }
 
     fn store_kind(&mut self, addr: Addr, mut value: u64, kind: ValKind) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_ACCESS;
-        if let Some(f) = &mut c.faults {
-            // Data corruption: the value actually written (and seen by
-            // both memory and the monitor) has one bit flipped.
-            if let Some(e) = f.fire(FaultKind::BitFlip, tid) {
-                value ^= 1 << (e % 64);
-                c.obs_fault(tid, FaultKind::BitFlip);
+        let ok = {
+            let c = self.central();
+            c.threads[tid].instr += COST_ACCESS;
+            if let Some(f) = &mut c.faults {
+                // Data corruption: the value actually written (and seen by
+                // both memory and the monitor) has one bit flipped.
+                if let Some(e) = f.fire(FaultKind::BitFlip, tid) {
+                    value ^= 1 << (e % 64);
+                    c.obs_fault(tid, FaultKind::BitFlip);
+                }
             }
-        }
-        let Some(mut old) = c.mem.write(addr, value) else {
-            self.fail(c, SimError::BadAddress { tid, addr });
+            match c.mem.write(addr, value) {
+                Some(mut old) => {
+                    if let Some(f) = &mut c.faults {
+                        // The §4.1 SW-Inc hazard: the monitor's read of the
+                        // old value races the store and observes a wrong
+                        // (stale) word, so it subtracts the wrong term from
+                        // the hash. Memory itself is untouched — only the
+                        // monitor is lied to.
+                        if let Some(e) = f.fire(FaultKind::StaleRead, tid) {
+                            old ^= 1 << (e % 64);
+                            c.obs_fault(tid, FaultKind::StaleRead);
+                        }
+                    }
+                    match &mut c.hot {
+                        Some(hot) => hot.on_store(tid, addr, old, value, kind),
+                        None => c.monitor.as_monitor().on_store(tid, addr, old, value, kind),
+                    }
+                    c.trace_push(tid, TraceOp::Store(addr));
+                    true
+                }
+                None => false,
+            }
         };
-        if let Some(f) = &mut c.faults {
-            // The §4.1 SW-Inc hazard: the monitor's read of the old
-            // value races the store and observes a wrong (stale) word,
-            // so it subtracts the wrong term from the hash. Memory
-            // itself is untouched — only the monitor is lied to.
-            if let Some(e) = f.fire(FaultKind::StaleRead, tid) {
-                old ^= 1 << (e % 64);
-                c.obs_fault(tid, FaultKind::StaleRead);
-            }
+        if !ok {
+            self.fail(SimError::BadAddress { tid, addr });
         }
-        c.monitor.as_monitor().on_store(tid, addr, old, value, kind);
-        c.trace_push(tid, TraceOp::Store(addr));
-        self.access_preempt(c);
+        self.access_preempt();
     }
 
     /// Loads an integer/pointer word.
@@ -477,41 +740,64 @@ impl ThreadCtx {
     /// Atomic fetch-add on an integer word; returns the previous value.
     /// A synchronization (scheduling) point.
     pub fn fetch_add(&mut self, addr: Addr, delta: u64) -> u64 {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += 2 * COST_ACCESS;
-        let Some(old) = c.mem.read(addr) else {
-            self.fail(c, SimError::BadAddress { tid, addr });
+        let old = {
+            let c = self.central();
+            c.threads[tid].instr += 2 * COST_ACCESS;
+            match c.mem.read(addr) {
+                Some(old) => {
+                    let new = old.wrapping_add(delta);
+                    c.mem.write(addr, new);
+                    match &mut c.hot {
+                        Some(hot) => hot.on_store(tid, addr, old, new, ValKind::U64),
+                        None => c
+                            .monitor
+                            .as_monitor()
+                            .on_store(tid, addr, old, new, ValKind::U64),
+                    }
+                    c.trace_push(tid, TraceOp::Rmw(addr));
+                    Some(old)
+                }
+                None => None,
+            }
         };
-        let new = old.wrapping_add(delta);
-        c.mem.write(addr, new);
-        c.monitor
-            .as_monitor()
-            .on_store(tid, addr, old, new, ValKind::U64);
-        c.trace_push(tid, TraceOp::Rmw(addr));
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        let Some(old) = old else {
+            self.fail(SimError::BadAddress { tid, addr });
+        };
+        self.reschedule(TState::Ready);
         old
     }
 
     /// Atomic compare-and-swap; returns the previous value (the swap
     /// happened iff it equals `expected`). A scheduling point.
     pub fn compare_and_swap(&mut self, addr: Addr, expected: u64, new: u64) -> u64 {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += 2 * COST_ACCESS;
-        let Some(old) = c.mem.read(addr) else {
-            self.fail(c, SimError::BadAddress { tid, addr });
+        let old = {
+            let c = self.central();
+            c.threads[tid].instr += 2 * COST_ACCESS;
+            match c.mem.read(addr) {
+                Some(old) => {
+                    if old == expected {
+                        c.mem.write(addr, new);
+                        match &mut c.hot {
+                            Some(hot) => hot.on_store(tid, addr, old, new, ValKind::U64),
+                            None => {
+                                c.monitor
+                                    .as_monitor()
+                                    .on_store(tid, addr, old, new, ValKind::U64)
+                            }
+                        }
+                    }
+                    c.trace_push(tid, TraceOp::Rmw(addr));
+                    Some(old)
+                }
+                None => None,
+            }
         };
-        if old == expected {
-            c.mem.write(addr, new);
-            c.monitor
-                .as_monitor()
-                .on_store(tid, addr, old, new, ValKind::U64);
-        }
-        c.trace_push(tid, TraceOp::Rmw(addr));
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        let Some(old) = old else {
+            self.fail(SimError::BadAddress { tid, addr });
+        };
+        self.reschedule(TState::Ready);
         old
     }
 
@@ -522,87 +808,87 @@ impl ThreadCtx {
     /// The simulated mutexes are non-reentrant; re-acquiring aborts the
     /// run with [`SimError::RelockHeld`].
     pub fn lock(&mut self, l: LockId) {
+        enum LockOutcome {
+            Acquired,
+            Blocked,
+            Relock,
+        }
         loop {
-            let mut c = self.guard();
             let tid = self.tid;
-            c.instr[tid] += COST_SYNC;
-            match c.locks[l.0].held_by {
-                None => {
-                    c.locks[l.0].held_by = Some(tid);
-                    c.trace_push(tid, TraceOp::Lock(l));
-                    let c = self.reschedule(c, TState::Ready);
-                    drop(c);
+            let outcome = {
+                let c = self.central();
+                c.threads[tid].instr += COST_SYNC;
+                match c.locks[l.0].held_by {
+                    None => {
+                        c.locks[l.0].held_by = Some(tid);
+                        c.trace_push(tid, TraceOp::Lock(l));
+                        LockOutcome::Acquired
+                    }
+                    Some(holder) if holder == tid => LockOutcome::Relock,
+                    Some(_) => LockOutcome::Blocked,
+                }
+            };
+            match outcome {
+                LockOutcome::Acquired => {
+                    self.reschedule(TState::Ready);
                     return;
                 }
-                Some(holder) if holder == tid => {
-                    self.fail(c, SimError::RelockHeld { tid, lock: l });
-                }
-                Some(_) => {
-                    let c = self.reschedule(c, TState::BlockedLock(l));
-                    drop(c);
-                }
+                LockOutcome::Blocked => self.reschedule(TState::BlockedLock(l)),
+                LockOutcome::Relock => self.fail(SimError::RelockHeld { tid, lock: l }),
             }
         }
     }
 
     /// Releases a mutex this thread holds.
     pub fn unlock(&mut self, l: LockId) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_SYNC;
-        if c.locks[l.0].held_by != Some(tid) {
-            self.fail(c, SimError::UnlockNotHeld { tid, lock: l });
-        }
-        c.locks[l.0].held_by = None;
-        if !self.wake_dropped(&mut c) {
-            for t in 0..c.nthreads {
-                if c.states[t] == TState::BlockedLock(l) {
-                    c.states[t] = TState::Ready;
+        let ok = {
+            let c = self.central();
+            c.threads[tid].instr += COST_SYNC;
+            if c.locks[l.0].held_by == Some(tid) {
+                c.locks[l.0].held_by = None;
+                if !wake_dropped(c, tid) {
+                    for t in 0..c.nthreads {
+                        if c.threads[t].state == TState::BlockedLock(l) {
+                            c.threads[t].state = TState::Ready;
+                        }
+                    }
                 }
+                c.trace_push(tid, TraceOp::Unlock(l));
+                true
+            } else {
+                false
             }
-        }
-        c.trace_push(tid, TraceOp::Unlock(l));
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
-    }
-
-    /// Registers a wake operation with the fault plan; `true` means an
-    /// injected [`FaultKind::WakeDrop`] swallows this wake (the classic
-    /// lost-wakeup bug — the woken state change simply does not happen).
-    fn wake_dropped(&self, c: &mut Central) -> bool {
-        let tid = self.tid;
-        let dropped = match &mut c.faults {
-            Some(f) => f.fire(FaultKind::WakeDrop, tid).is_some(),
-            None => false,
         };
-        if dropped {
-            c.obs_fault(tid, FaultKind::WakeDrop);
+        if !ok {
+            self.fail(SimError::UnlockNotHeld { tid, lock: l });
         }
-        dropped
+        self.reschedule(TState::Ready);
     }
 
     /// Arrives at a pthread-style barrier; blocks until all parties have
     /// arrived. The last arrival fires a determinism checkpoint — the
     /// paper checks at every dynamic `pthread_barrier_wait`.
     pub fn barrier(&mut self, b: BarrierId) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_SYNC;
-        c.trace_push(tid, TraceOp::BarrierArrive(b));
-        c.barriers[b.0].arrived.push(tid);
-        if c.barriers[b.0].arrived.len() == c.barriers[b.0].parties {
-            let arrived = std::mem::take(&mut c.barriers[b.0].arrived);
-            for &t in &arrived {
-                c.states[t] = TState::Ready;
+        let state = {
+            let c = self.central();
+            c.threads[tid].instr += COST_SYNC;
+            c.trace_push(tid, TraceOp::BarrierArrive(b));
+            c.barriers[b.0].arrived.push(tid);
+            if c.barriers[b.0].arrived.len() == c.barriers[b.0].parties {
+                let arrived = std::mem::take(&mut c.barriers[b.0].arrived);
+                for &t in &arrived {
+                    c.threads[t].state = TState::Ready;
+                }
+                c.trace_push(tid, TraceOp::BarrierRelease(b));
+                c.fire_checkpoint(tid, CheckpointKind::Barrier(b));
+                TState::Ready
+            } else {
+                TState::BlockedBarrier(b)
             }
-            c.trace_push(tid, TraceOp::BarrierRelease(b));
-            c.fire_checkpoint(tid, CheckpointKind::Barrier(b));
-            let c = self.reschedule(c, TState::Ready);
-            drop(c);
-        } else {
-            let c = self.reschedule(c, TState::BlockedBarrier(b));
-            drop(c);
-        }
+        };
+        self.reschedule(state);
     }
 
     /// Waits on a condition variable, releasing `l` while waiting and
@@ -611,61 +897,70 @@ impl ThreadCtx {
     /// Spurious wakeups are possible (as with pthreads): always call in a
     /// predicate loop.
     pub fn cond_wait(&mut self, cond: CondId, l: LockId) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_SYNC;
-        if c.locks[l.0].held_by != Some(tid) {
-            self.fail(c, SimError::UnlockNotHeld { tid, lock: l });
-        }
-        c.locks[l.0].held_by = None;
-        for t in 0..c.nthreads {
-            if c.states[t] == TState::BlockedLock(l) {
-                c.states[t] = TState::Ready;
+        let ok = {
+            let c = self.central();
+            c.threads[tid].instr += COST_SYNC;
+            if c.locks[l.0].held_by == Some(tid) {
+                c.locks[l.0].held_by = None;
+                for t in 0..c.nthreads {
+                    if c.threads[t].state == TState::BlockedLock(l) {
+                        c.threads[t].state = TState::Ready;
+                    }
+                }
+                c.trace_push(tid, TraceOp::CondWait(cond, l));
+                true
+            } else {
+                false
             }
+        };
+        if !ok {
+            self.fail(SimError::UnlockNotHeld { tid, lock: l });
         }
-        c.trace_push(tid, TraceOp::CondWait(cond, l));
-        let c = self.reschedule(c, TState::BlockedCond(cond));
-        drop(c);
+        self.reschedule(TState::BlockedCond(cond));
         self.lock(l);
     }
 
     /// Wakes one thread waiting on `cond` (the lowest-id waiter).
     pub fn cond_signal(&mut self, cond: CondId) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_SYNC;
-        if !self.wake_dropped(&mut c) {
-            if let Some(t) = (0..c.nthreads).find(|&t| c.states[t] == TState::BlockedCond(cond)) {
-                c.states[t] = TState::Ready;
+        {
+            let c = self.central();
+            c.threads[tid].instr += COST_SYNC;
+            if !wake_dropped(c, tid) {
+                if let Some(t) =
+                    (0..c.nthreads).find(|&t| c.threads[t].state == TState::BlockedCond(cond))
+                {
+                    c.threads[t].state = TState::Ready;
+                }
             }
+            c.trace_push(tid, TraceOp::CondSignal(cond));
         }
-        c.trace_push(tid, TraceOp::CondSignal(cond));
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        self.reschedule(TState::Ready);
     }
 
     /// Wakes every thread waiting on `cond`.
     pub fn cond_broadcast(&mut self, cond: CondId) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_SYNC;
-        if !self.wake_dropped(&mut c) {
-            for t in 0..c.nthreads {
-                if c.states[t] == TState::BlockedCond(cond) {
-                    c.states[t] = TState::Ready;
+        {
+            let c = self.central();
+            c.threads[tid].instr += COST_SYNC;
+            if !wake_dropped(c, tid) {
+                for t in 0..c.nthreads {
+                    if c.threads[t].state == TState::BlockedCond(cond) {
+                        c.threads[t].state = TState::Ready;
+                    }
                 }
             }
+            c.trace_push(tid, TraceOp::CondBroadcast(cond));
         }
-        c.trace_push(tid, TraceOp::CondBroadcast(cond));
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        self.reschedule(TState::Ready);
     }
 
     /// Voluntarily yields the token (a scheduling point with no effect).
     pub fn sched_yield(&mut self) {
-        let c = self.guard();
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        let _ = self.central();
+        self.reschedule(TState::Ready);
     }
 
     // ---- reader-writer locks and semaphores ------------------------------
@@ -674,131 +969,156 @@ impl ThreadCtx {
     /// a writer holds it.
     pub fn read_lock(&mut self, l: RwLockId) {
         loop {
-            let mut c = self.guard();
             let tid = self.tid;
-            c.instr[tid] += COST_SYNC;
-            if c.rwlocks[l.0].writer.is_none() {
-                c.rwlocks[l.0].readers.push(tid);
-                c.trace_push(tid, TraceOp::RwReadLock(l));
-                let c = self.reschedule(c, TState::Ready);
-                drop(c);
+            let acquired = {
+                let c = self.central();
+                c.threads[tid].instr += COST_SYNC;
+                if c.rwlocks[l.0].writer.is_none() {
+                    c.rwlocks[l.0].readers.push(tid);
+                    c.trace_push(tid, TraceOp::RwReadLock(l));
+                    true
+                } else {
+                    false
+                }
+            };
+            if acquired {
+                self.reschedule(TState::Ready);
                 return;
             }
-            let c = self.reschedule(c, TState::BlockedRwRead(l));
-            drop(c);
+            self.reschedule(TState::BlockedRwRead(l));
         }
     }
 
     /// Releases a shared (read) hold.
     pub fn read_unlock(&mut self, l: RwLockId) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_SYNC;
-        let Some(pos) = c.rwlocks[l.0].readers.iter().position(|&t| t == tid) else {
-            self.fail(
-                c,
-                SimError::RwUnlockNotHeld {
-                    tid,
-                    rwlock: l.0,
-                    write: false,
-                },
-            );
-        };
-        c.rwlocks[l.0].readers.swap_remove(pos);
-        if c.rwlocks[l.0].readers.is_empty() {
-            // A waiting writer may proceed.
-            for t in 0..c.nthreads {
-                if c.states[t] == TState::BlockedRwWrite(l) {
-                    c.states[t] = TState::Ready;
+        let ok = {
+            let c = self.central();
+            c.threads[tid].instr += COST_SYNC;
+            match c.rwlocks[l.0].readers.iter().position(|&t| t == tid) {
+                Some(pos) => {
+                    c.rwlocks[l.0].readers.swap_remove(pos);
+                    if c.rwlocks[l.0].readers.is_empty() {
+                        // A waiting writer may proceed.
+                        for t in 0..c.nthreads {
+                            if c.threads[t].state == TState::BlockedRwWrite(l) {
+                                c.threads[t].state = TState::Ready;
+                            }
+                        }
+                    }
+                    c.trace_push(tid, TraceOp::RwReadUnlock(l));
+                    true
                 }
+                None => false,
             }
+        };
+        if !ok {
+            self.fail(SimError::RwUnlockNotHeld {
+                tid,
+                rwlock: l.0,
+                write: false,
+            });
         }
-        c.trace_push(tid, TraceOp::RwReadUnlock(l));
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        self.reschedule(TState::Ready);
     }
 
     /// Acquires a reader-writer lock in exclusive (write) mode; blocks
     /// while any reader or another writer holds it.
     pub fn write_lock(&mut self, l: RwLockId) {
         loop {
-            let mut c = self.guard();
             let tid = self.tid;
-            c.instr[tid] += COST_SYNC;
-            let st = &mut c.rwlocks[l.0];
-            if st.writer.is_none() && st.readers.is_empty() {
-                st.writer = Some(tid);
-                c.trace_push(tid, TraceOp::RwWriteLock(l));
-                let c = self.reschedule(c, TState::Ready);
-                drop(c);
+            let acquired = {
+                let c = self.central();
+                c.threads[tid].instr += COST_SYNC;
+                let st = &mut c.rwlocks[l.0];
+                if st.writer.is_none() && st.readers.is_empty() {
+                    st.writer = Some(tid);
+                    c.trace_push(tid, TraceOp::RwWriteLock(l));
+                    true
+                } else {
+                    false
+                }
+            };
+            if acquired {
+                self.reschedule(TState::Ready);
                 return;
             }
-            let c = self.reschedule(c, TState::BlockedRwWrite(l));
-            drop(c);
+            self.reschedule(TState::BlockedRwWrite(l));
         }
     }
 
     /// Releases an exclusive (write) hold.
     pub fn write_unlock(&mut self, l: RwLockId) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_SYNC;
-        if c.rwlocks[l.0].writer != Some(tid) {
-            self.fail(
-                c,
-                SimError::RwUnlockNotHeld {
-                    tid,
-                    rwlock: l.0,
-                    write: true,
-                },
-            );
-        }
-        c.rwlocks[l.0].writer = None;
-        for t in 0..c.nthreads {
-            if c.states[t] == TState::BlockedRwRead(l) || c.states[t] == TState::BlockedRwWrite(l) {
-                c.states[t] = TState::Ready;
+        let ok = {
+            let c = self.central();
+            c.threads[tid].instr += COST_SYNC;
+            if c.rwlocks[l.0].writer == Some(tid) {
+                c.rwlocks[l.0].writer = None;
+                for t in 0..c.nthreads {
+                    if c.threads[t].state == TState::BlockedRwRead(l)
+                        || c.threads[t].state == TState::BlockedRwWrite(l)
+                    {
+                        c.threads[t].state = TState::Ready;
+                    }
+                }
+                c.trace_push(tid, TraceOp::RwWriteUnlock(l));
+                true
+            } else {
+                false
             }
+        };
+        if !ok {
+            self.fail(SimError::RwUnlockNotHeld {
+                tid,
+                rwlock: l.0,
+                write: true,
+            });
         }
-        c.trace_push(tid, TraceOp::RwWriteUnlock(l));
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        self.reschedule(TState::Ready);
     }
 
     /// Semaphore wait (P): blocks until the count is positive, then
     /// decrements it.
     pub fn sem_wait(&mut self, sem: SemId) {
         loop {
-            let mut c = self.guard();
             let tid = self.tid;
-            c.instr[tid] += COST_SYNC;
-            if c.sems[sem.0].count > 0 {
-                c.sems[sem.0].count -= 1;
-                c.trace_push(tid, TraceOp::SemWait(sem));
-                let c = self.reschedule(c, TState::Ready);
-                drop(c);
+            let acquired = {
+                let c = self.central();
+                c.threads[tid].instr += COST_SYNC;
+                if c.sems[sem.0].count > 0 {
+                    c.sems[sem.0].count -= 1;
+                    c.trace_push(tid, TraceOp::SemWait(sem));
+                    true
+                } else {
+                    false
+                }
+            };
+            if acquired {
+                self.reschedule(TState::Ready);
                 return;
             }
-            let c = self.reschedule(c, TState::BlockedSem(sem));
-            drop(c);
+            self.reschedule(TState::BlockedSem(sem));
         }
     }
 
     /// Semaphore post (V): increments the count and wakes waiters.
     pub fn sem_post(&mut self, sem: SemId) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_SYNC;
-        c.sems[sem.0].count += 1;
-        if !self.wake_dropped(&mut c) {
-            for t in 0..c.nthreads {
-                if c.states[t] == TState::BlockedSem(sem) {
-                    c.states[t] = TState::Ready;
+        {
+            let c = self.central();
+            c.threads[tid].instr += COST_SYNC;
+            c.sems[sem.0].count += 1;
+            if !wake_dropped(c, tid) {
+                for t in 0..c.nthreads {
+                    if c.threads[t].state == TState::BlockedSem(sem) {
+                        c.threads[t].state = TState::Ready;
+                    }
                 }
             }
+            c.trace_push(tid, TraceOp::SemPost(sem));
         }
-        c.trace_push(tid, TraceOp::SemPost(sem));
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        self.reschedule(TState::Ready);
     }
 
     // ---- heap ------------------------------------------------------------
@@ -807,35 +1127,45 @@ impl ThreadCtx {
     /// per-word type layout `tag`. A scheduling point (the allocator is
     /// shared state).
     pub fn malloc(&mut self, site: &'static str, tag: TypeTag, len: usize) -> Addr {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_MALLOC;
-        if let Some(f) = &mut c.faults {
-            if f.fire(FaultKind::AllocFail, tid).is_some() {
+        let alloc_failed = {
+            let c = self.central();
+            c.threads[tid].instr += COST_MALLOC;
+            let failed = match &mut c.faults {
+                Some(f) => f.fire(FaultKind::AllocFail, tid).is_some(),
+                None => false,
+            };
+            if failed {
                 c.obs_fault(tid, FaultKind::AllocFail);
-                self.fail(c, SimError::AllocFailed { tid, site });
             }
+            failed
+        };
+        if alloc_failed {
+            self.fail(SimError::AllocFailed { tid, site });
         }
-        let base = c.alloc.alloc(tid, site, tag, len);
-        let high = c.alloc.high_water();
-        c.mem.grow_heap(high);
-        let len = c.alloc.table()[&base.0].len;
-        for i in 0..len {
-            c.mem.write(base.offset(i as u64), 0);
-        }
-        if c.charge_zero_fill {
-            c.zero_fill_instr += len as u64;
-        }
-        let block = c.alloc.table()[&base.0].clone();
-        c.monitor.as_monitor().on_alloc(tid, &block);
-        c.trace_push(tid, TraceOp::Alloc { base, len });
-        c.obs_emit(|step| {
-            obs::Event::instant(step, tid as u32, "alloc")
-                .with_arg("base", base.0)
-                .with_arg("words", len)
-        });
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        let base = {
+            let c = self.central();
+            let base = c.alloc.alloc(tid, site, tag, len);
+            let high = c.alloc.high_water();
+            c.mem.grow_heap(high);
+            let len = c.alloc.table()[&base.0].len;
+            for i in 0..len {
+                c.mem.write(base.offset(i as u64), 0);
+            }
+            if c.charge_zero_fill {
+                c.zero_fill_instr += len as u64;
+            }
+            let block = c.alloc.table()[&base.0].clone();
+            c.monitor.as_monitor().on_alloc(tid, &block);
+            c.trace_push(tid, TraceOp::Alloc { base, len });
+            c.obs_emit(|step| {
+                obs::Event::instant(step, tid as u32, "alloc")
+                    .with_arg("base", base.0)
+                    .with_arg("words", len)
+            });
+            base
+        };
+        self.reschedule(TState::Ready);
         base
     }
 
@@ -843,18 +1173,54 @@ impl ThreadCtx {
     /// [`SimError::BadFree`] if `addr` is not the base of a live block.
     /// A scheduling point.
     pub fn free(&mut self, addr: Addr) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_FREE;
-        let Some(block) = c.alloc.free(addr) else {
-            self.fail(c, SimError::BadFree { tid, addr });
+        let block = {
+            let c = self.central();
+            c.threads[tid].instr += COST_FREE;
+            c.alloc.free(addr)
         };
-        let contents: Vec<u64> = block.iter().map(|a| c.mem.read(a).unwrap_or(0)).collect();
-        c.monitor.as_monitor().on_free(tid, &block, &contents);
-        c.trace_push(tid, TraceOp::Free { base: addr });
-        c.obs_emit(|step| obs::Event::instant(step, tid as u32, "free").with_arg("base", addr.0));
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        let Some(block) = block else {
+            self.fail(SimError::BadFree { tid, addr });
+        };
+        let central = self.central();
+        match &mut central.hot {
+            Some(hot) => {
+                hot.freed_words += block.len as u64;
+                if hot.hashing {
+                    // The freed block leaves the live state: cancel every
+                    // word's contribution (delta current → 0, rounded as
+                    // the dyn-path checker would) via one fused run over
+                    // the block's contiguous words.
+                    hot.flush_batch();
+                    if hot.sums.len() <= tid {
+                        hot.sums.resize(tid + 1, HashSum::ZERO);
+                    }
+                    let mut pairs = std::mem::take(&mut hot.free_scratch);
+                    pairs.clear();
+                    for i in 0..block.len {
+                        let a = block.base.offset(i as u64);
+                        let cur = central.mem.read(a).unwrap_or(0);
+                        let kind = block.kind_at(i);
+                        pairs.push((hot.round(cur, kind), hot.round(0, kind)));
+                    }
+                    let delta = hash_delta_run(&hot.hasher, block.base.raw(), &pairs);
+                    hot.sums[tid] = hot.sums[tid].combine(delta);
+                    hot.free_scratch = pairs;
+                }
+            }
+            None => {
+                let contents: Vec<u64> = block
+                    .iter()
+                    .map(|a| central.mem.read(a).unwrap_or(0))
+                    .collect();
+                central.monitor.as_monitor().on_free(tid, &block, &contents);
+            }
+        }
+        central.trace_push(tid, TraceOp::Free { base: addr });
+        central.obs_emit(|step| {
+            obs::Event::instant(step, tid as u32, "free").with_arg("base", addr.0)
+        });
+        self.reschedule(TState::Ready);
     }
 
     // ---- library calls, output, accounting -------------------------------
@@ -862,78 +1228,80 @@ impl ThreadCtx {
     /// Simulated nondeterministic `rand()` (controlled by the run's
     /// library seed / replay log).
     pub fn rand_u64(&mut self) -> u64 {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_LIB;
+        let c = self.central();
+        c.threads[tid].instr += COST_LIB;
         let v = c.lib.rand_u64(tid);
-        self.lib_perturb(&mut c, v)
+        lib_perturb(c, tid, v)
     }
 
     /// Simulated `gettimeofday()` (controlled like [`rand_u64`]).
     ///
     /// [`rand_u64`]: ThreadCtx::rand_u64
     pub fn gettimeofday(&mut self) -> u64 {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_LIB;
+        let c = self.central();
+        c.threads[tid].instr += COST_LIB;
         let v = c.lib.gettimeofday(tid);
-        self.lib_perturb(&mut c, v)
-    }
-
-    /// Applies an injected [`FaultKind::LibPerturb`] fault to a library
-    /// call's result (environment nondeterminism beyond the seeded
-    /// stream, e.g. an NTP step under `gettimeofday`).
-    fn lib_perturb(&self, c: &mut Central, v: u64) -> u64 {
-        let tid = self.tid;
-        let perturbed = match &mut c.faults {
-            Some(f) => f.fire(FaultKind::LibPerturb, tid),
-            None => None,
-        };
-        match perturbed {
-            Some(e) => {
-                c.obs_fault(tid, FaultKind::LibPerturb);
-                v ^ e
-            }
-            None => v,
-        }
+        lib_perturb(c, tid, v)
     }
 
     /// Appends bytes to the program's output stream (the simulated
     /// `write()`); a scheduling point.
     pub fn write_output(&mut self, bytes: &[u8]) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_SYNC + bytes.len() as u64 / 8;
-        c.output.extend_from_slice(bytes);
-        c.monitor.as_monitor().on_output(tid, bytes);
-        c.trace_push(tid, TraceOp::Output { len: bytes.len() });
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        {
+            let c = self.central();
+            c.threads[tid].instr += COST_SYNC + bytes.len() as u64 / 8;
+            c.output.extend_from_slice(bytes);
+            c.monitor.as_monitor().on_output(tid, bytes);
+            c.trace_push(tid, TraceOp::Output { len: bytes.len() });
+        }
+        self.reschedule(TState::Ready);
     }
 
     /// Accounts `n` instructions of thread-local computation (work that
     /// does not touch shared memory).
+    #[inline]
     pub fn work(&mut self, n: u64) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += n;
+        let c = self.central();
+        c.threads[tid].instr += n;
     }
 
     /// Fires a manual determinism checkpoint (the paper's
     /// programmer-specified checking points). A scheduling point.
     pub fn checkpoint(&mut self, label: &'static str) {
-        let mut c = self.guard();
         let tid = self.tid;
-        c.instr[tid] += COST_SYNC;
-        c.fire_checkpoint(tid, CheckpointKind::Manual(label));
-        let c = self.reschedule(c, TState::Ready);
-        drop(c);
+        {
+            let c = self.central();
+            c.threads[tid].instr += COST_SYNC;
+            c.fire_checkpoint(tid, CheckpointKind::Manual(label));
+        }
+        self.reschedule(TState::Ready);
     }
 
-    fn wait_first_turn(&self) {
-        let c = lock_central(&self.shared);
-        let c = self.wait_for_turn(c);
-        drop(c);
+    fn wait_first_turn(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let cell = lock_cell(&shared);
+        self.wait_for_turn_locked(cell);
+    }
+}
+
+/// Applies an injected [`FaultKind::LibPerturb`] fault to a library
+/// call's result (environment nondeterminism beyond the seeded
+/// stream, e.g. an NTP step under `gettimeofday`).
+fn lib_perturb(c: &mut Central, tid: ThreadId, v: u64) -> u64 {
+    let perturbed = match &mut c.faults {
+        Some(f) => f.fire(FaultKind::LibPerturb, tid),
+        None => None,
+    };
+    match perturbed {
+        Some(e) => {
+            c.obs_fault(tid, FaultKind::LibPerturb);
+            v ^ e
+        }
+        None => v,
     }
 }
 
@@ -958,7 +1326,7 @@ impl SetupCtx<'_> {
     ///
     /// Panics if `addr` is unmapped (setup bugs are programming errors).
     pub fn store(&mut self, addr: Addr, value: u64) {
-        self.c.instr[0] += COST_ACCESS;
+        self.c.threads[0].instr += COST_ACCESS;
         let old = self
             .c
             .mem
@@ -976,7 +1344,7 @@ impl SetupCtx<'_> {
     ///
     /// Panics if `addr` is unmapped.
     pub fn store_f64(&mut self, addr: Addr, value: f64) {
-        self.c.instr[0] += COST_ACCESS;
+        self.c.threads[0].instr += COST_ACCESS;
         let old = self
             .c
             .mem
@@ -1003,7 +1371,7 @@ impl SetupCtx<'_> {
     /// Allocates `len` zero-filled words (setup allocations model the
     /// input data of the program).
     pub fn malloc(&mut self, site: &'static str, tag: TypeTag, len: usize) -> Addr {
-        self.c.instr[0] += COST_MALLOC;
+        self.c.threads[0].instr += COST_MALLOC;
         let base = self.c.alloc.alloc(0, site, tag, len);
         let high = self.c.alloc.high_water();
         self.c.mem.grow_heap(high);
@@ -1122,35 +1490,59 @@ fn payload_message(payload: &(dyn Any + Send)) -> String {
 }
 
 fn thread_main(shared: Arc<Shared>, tid: ThreadId, body: Box<dyn FnOnce(&mut ThreadCtx) + Send>) {
-    let ctx_shared = shared.clone();
-    let result = panic::catch_unwind(AssertUnwindSafe(move || {
-        let mut ctx = ThreadCtx {
-            tid,
-            shared: ctx_shared,
-        };
+    let mut ctx = ThreadCtx {
+        tid,
+        shared: shared.clone(),
+        owned: None,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| {
         ctx.wait_first_turn();
         body(&mut ctx);
     }));
-    let mut c = lock_central(&shared);
-    if let Err(payload) = result {
-        if !payload.is::<SimAbort>() && c.error.is_none() {
-            c.error = Some(SimError::ThreadPanic {
-                tid,
-                message: payload_message(payload.as_ref()),
-            });
+    // Park the machine state if we still own it (normal completion, or a
+    // panic out of the workload body — both happen while holding the
+    // token). If we unwound from a wait instead, the state is either in
+    // the cell already or owned by another thread.
+    let owned = ctx.owned.take();
+    let mut cell = lock_cell(&shared);
+    if let Some(boxed) = owned {
+        *cell = Some(boxed);
+    }
+    // When the cell is empty the machine state is owned by another
+    // (still running) thread; we can only be here unwinding from an
+    // abort, whose error that owner records. Nothing to update.
+    if let Some(c) = cell.as_deref_mut() {
+        if let Err(payload) = &result {
+            if !payload.is::<SimAbort>() && c.error.is_none() {
+                c.error = Some(SimError::ThreadPanic {
+                    tid,
+                    message: payload_message(payload.as_ref()),
+                });
+            }
         }
-    }
-    if c.states[tid] != TState::Finished {
-        c.states[tid] = TState::Finished;
-        c.finished += 1;
-    }
-    if c.active == Some(tid) {
-        c.active = None;
-    }
-    if c.error.is_none() && c.active.is_none() {
-        schedule_next(&mut c, &shared.cv);
-    } else {
-        shared.cv.notify_all();
+        if c.threads[tid].state != TState::Finished {
+            c.threads[tid].state = TState::Finished;
+            c.finished += 1;
+        }
+        if c.active == Some(tid) {
+            c.active = None;
+        }
+        if c.error.is_none() && c.active.is_none() {
+            match schedule_next_core(c, None) {
+                Some(next) => shared.cvs[next].notify_one(),
+                None => {
+                    if c.error.is_some() {
+                        shared.wake_all();
+                    } else {
+                        // All threads finished: only the coordinator
+                        // cares.
+                        shared.coord.notify_all();
+                    }
+                }
+            }
+        } else {
+            shared.wake_all();
+        }
     }
 }
 
@@ -1164,6 +1556,9 @@ pub(crate) fn run<M: Monitor + 'static>(
     let nthreads = prog.nthreads;
     let mut scheduler = config.scheduler.build();
     scheduler.init(nthreads);
+
+    // Consult the monitor's fast-path claim once, before it is boxed.
+    let hot = monitor.fast_path().map(HotState::new);
 
     let mut central = Central {
         mem: Memory::new(prog.global_words),
@@ -1180,12 +1575,19 @@ pub(crate) fn run<M: Monitor + 'static>(
                 arrived: Vec::new(),
             })
             .collect(),
-        states: vec![TState::Ready; nthreads],
+        threads: vec![
+            ThreadSlot {
+                state: TState::Ready,
+                instr: 0,
+                access_count: 0,
+            };
+            nthreads
+        ],
         active: None,
         scheduler,
         switch: config.switch,
         monitor: Box::new(monitor),
-        instr: vec![0; nthreads],
+        hot,
         zero_fill_instr: 0,
         charge_zero_fill: config.charge_zero_fill,
         lib: LibCalls::new(nthreads, config.lib_seed, config.lib_replay.clone()),
@@ -1202,7 +1604,6 @@ pub(crate) fn run<M: Monitor + 'static>(
             .map(FaultState::new),
         deadline_at: config.deadline.map(|d| Instant::now() + d),
         deadline_ms: config.deadline.map_or(0, |d| d.as_millis() as u64),
-        access_count: vec![0; nthreads],
         cp_seq: 0,
         cp_decision_index: Vec::new(),
         error: None,
@@ -1211,6 +1612,7 @@ pub(crate) fn run<M: Monitor + 'static>(
         // Drop disabled sinks up front so every emission site reduces
         // to a `None` check.
         sink: config.sink.clone().filter(|s| s.enabled()),
+        sched_scratch: Vec::with_capacity(nthreads),
     };
 
     if let Some(setup) = prog.setup {
@@ -1218,9 +1620,13 @@ pub(crate) fn run<M: Monitor + 'static>(
         setup(&mut sctx);
     }
 
+    let deadline_ms = central.deadline_ms;
+    let deadline_at = central.deadline_at;
     let shared = Arc::new(Shared {
-        mu: Mutex::new(central),
-        cv: Condvar::new(),
+        mu: Mutex::new(Some(Box::new(central))),
+        cvs: (0..nthreads).map(|_| Condvar::new()).collect(),
+        coord: Condvar::new(),
+        abort: AtomicBool::new(false),
     });
 
     let handles: Vec<_> = prog
@@ -1237,32 +1643,54 @@ pub(crate) fn run<M: Monitor + 'static>(
         .collect();
 
     {
-        let mut c = lock_central(&shared);
-        schedule_next(&mut c, &shared.cv);
-        while c.finished < nthreads && c.error.is_none() {
-            match c.deadline_at {
+        let mut cell = lock_cell(&shared);
+        if let Some(next) = schedule_next_core(
+            cell.as_deref_mut().expect("machine state present at start"),
+            None,
+        ) {
+            shared.cvs[next].notify_one();
+        }
+        loop {
+            // While a thread owns the machine state the coordinator
+            // cannot inspect it; completion and errors always end with
+            // the state parked back in the cell plus a wakeup.
+            if let Some(c) = cell.as_deref() {
+                if c.finished >= nthreads || c.error.is_some() {
+                    break;
+                }
+            }
+            match deadline_at {
                 // With a watchdog configured, the coordinator wakes at
                 // the deadline even if no simulated thread reaches a
                 // scheduling point (e.g. one thread stuck in a pure
-                // `work` loop): it posts the error, and the stuck
-                // thread unwinds at its next instrumented call.
+                // `work` loop): it posts the error (or raises the abort
+                // flag when the state is owned by the stuck thread, which
+                // then unwinds at its next instrumented call).
                 Some(at) => {
                     let now = Instant::now();
                     if now >= at {
-                        c.error = Some(SimError::Deadline {
-                            limit_ms: c.deadline_ms,
-                        });
-                        shared.cv.notify_all();
+                        shared.abort.store(true, Ordering::SeqCst);
+                        if let Some(c) = cell.as_deref_mut() {
+                            if c.error.is_none() {
+                                c.error = Some(SimError::Deadline {
+                                    limit_ms: deadline_ms,
+                                });
+                            }
+                        }
+                        shared.wake_all();
                         break;
                     }
-                    c = shared
-                        .cv
-                        .wait_timeout(c, at - now)
+                    cell = shared
+                        .coord
+                        .wait_timeout(cell, at - now)
                         .unwrap_or_else(PoisonError::into_inner)
                         .0;
                 }
                 None => {
-                    c = shared.cv.wait(c).unwrap_or_else(PoisonError::into_inner);
+                    cell = shared
+                        .coord
+                        .wait(cell)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
@@ -1273,10 +1701,11 @@ pub(crate) fn run<M: Monitor + 'static>(
 
     let shared =
         Arc::try_unwrap(shared).unwrap_or_else(|_| unreachable!("all simulated threads joined"));
-    let mut central = shared
+    let mut central = *shared
         .mu
         .into_inner()
-        .unwrap_or_else(PoisonError::into_inner);
+        .unwrap_or_else(PoisonError::into_inner)
+        .expect("machine state parked after all threads joined");
 
     if let Some(err) = central.error.take() {
         return Err(err);
@@ -1295,7 +1724,7 @@ pub(crate) fn run<M: Monitor + 'static>(
 
     Ok(RunOutcome {
         monitor: *monitor,
-        instr: central.instr,
+        instr: central.threads.iter().map(|s| s.instr).collect(),
         zero_fill_instr: central.zero_fill_instr,
         output: central.output,
         decisions: central.decisions,

@@ -68,7 +68,9 @@ pub use error::{SimError, SimErrorKind};
 pub use faults::{FaultKind, FaultPlan, FaultRecord, Trigger, FAULT_KINDS};
 pub use libcalls::LibLog;
 pub use mem::{Memory, GLOBALS_BASE, HEAP_BASE};
-pub use monitor::{CheckpointInfo, CheckpointKind, Monitor, NullMonitor, StateView};
+pub use monitor::{
+    CheckpointInfo, CheckpointKind, EngineHashes, FastPathSpec, Monitor, NullMonitor, StateView,
+};
 pub use program::{GlobalDecl, Program, ProgramBuilder, RunConfig};
 pub use sched::{
     PctScheduler, RandomScheduler, RoundRobinScheduler, Scheduler, SchedulerKind,

@@ -47,40 +47,44 @@ impl Memory {
         self.globals.len()
     }
 
-    fn slot(&self, addr: Addr) -> Option<usize> {
+    /// Resolves `addr` to its backing word in one segment branch.
+    #[inline]
+    fn slot(&self, addr: Addr) -> Option<&u64> {
         let a = addr.0;
         if a >= HEAP_BASE {
-            let i = (a - HEAP_BASE) as usize;
-            (i < self.heap.len()).then_some(i)
+            self.heap.get((a - HEAP_BASE) as usize)
         } else if a >= GLOBALS_BASE {
-            let i = (a - GLOBALS_BASE) as usize;
-            (i < self.globals.len()).then_some(i)
+            self.globals.get((a - GLOBALS_BASE) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Mutable variant of [`slot`](Memory::slot): one segment branch,
+    /// one bounds check, and the caller gets the word itself.
+    #[inline]
+    fn slot_mut(&mut self, addr: Addr) -> Option<&mut u64> {
+        let a = addr.0;
+        if a >= HEAP_BASE {
+            self.heap.get_mut((a - HEAP_BASE) as usize)
+        } else if a >= GLOBALS_BASE {
+            self.globals.get_mut((a - GLOBALS_BASE) as usize)
         } else {
             None
         }
     }
 
     /// Reads the word at `addr`, or `None` if unmapped.
+    #[inline]
     pub fn read(&self, addr: Addr) -> Option<u64> {
-        self.slot(addr).map(|i| {
-            if addr.0 >= HEAP_BASE {
-                self.heap[i]
-            } else {
-                self.globals[i]
-            }
-        })
+        self.slot(addr).copied()
     }
 
     /// Writes `value` at `addr`, returning the previous value, or `None`
     /// if unmapped (in which case nothing is written).
+    #[inline]
     pub fn write(&mut self, addr: Addr, value: u64) -> Option<u64> {
-        let i = self.slot(addr)?;
-        let slot = if addr.0 >= HEAP_BASE {
-            &mut self.heap[i]
-        } else {
-            &mut self.globals[i]
-        };
-        Some(std::mem::replace(slot, value))
+        Some(std::mem::replace(self.slot_mut(addr)?, value))
     }
 }
 

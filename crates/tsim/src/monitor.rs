@@ -2,10 +2,52 @@
 
 use std::collections::BTreeMap;
 
+use adhash::{FpRound, HashSum};
+
 use crate::alloc::BlockInfo;
 use crate::mem::Memory;
 use crate::program::GlobalDecl;
 use crate::types::{Addr, BarrierId, ThreadId, ValKind};
+
+/// A monitor's claim that the engine may handle its store/load datapath
+/// itself (see [`Monitor::fast_path`]).
+///
+/// A claiming monitor stops receiving `on_store`/`on_load`/`on_free`
+/// callbacks for accesses performed by simulated threads. Instead the
+/// engine maintains per-thread incremental hash sums with the default
+/// [`adhash::Mix64Hasher`] (when `hashing` is set), batched and folded
+/// four lanes wide, and hands the results to the monitor at every
+/// checkpoint via [`StateView::engine_hashes`]. Setup-phase accesses and
+/// every other callback (`on_alloc`, `on_output`, `on_checkpoint`) are
+/// delivered as usual.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FastPathSpec {
+    /// Maintain per-thread incremental hash sums over the stores. When
+    /// `false` the engine only counts (the *Native* configuration).
+    pub hashing: bool,
+    /// Round off FP stores (both old and new value) with this mode before
+    /// hashing, exactly as the `mhm` crate's `MhmCore` would. `None`
+    /// hashes FP bits
+    /// exactly.
+    pub rounding: Option<FpRound>,
+}
+
+/// The engine-side accumulation handed to a fast-path monitor at each
+/// checkpoint (via [`StateView::engine_hashes`]).
+///
+/// All counters are cumulative over the run so far; a monitor reconciles
+/// by differencing against the previous checkpoint's values.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineHashes<'a> {
+    /// Per-thread incremental hash sums (index = thread id). All zeros
+    /// when the fast path ran with `hashing: false`.
+    pub sums: &'a [HashSum],
+    /// Total monitored stores performed by simulated threads so far.
+    pub stores: u64,
+    /// Total words of freed heap blocks whose contribution the engine
+    /// cancelled out of the sums so far.
+    pub freed_words: u64,
+}
 
 /// Why a determinism checkpoint fired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,6 +83,7 @@ pub struct StateView<'a> {
     mem: &'a Memory,
     globals: &'a [GlobalDecl],
     blocks: &'a BTreeMap<u64, BlockInfo>,
+    engine: Option<EngineHashes<'a>>,
 }
 
 impl<'a> StateView<'a> {
@@ -53,7 +96,19 @@ impl<'a> StateView<'a> {
             mem,
             globals,
             blocks,
+            engine: None,
         }
+    }
+
+    pub(crate) fn with_engine(mut self, engine: EngineHashes<'a>) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// The engine-side hash accumulation, present iff the run's monitor
+    /// claimed the store datapath via [`Monitor::fast_path`].
+    pub fn engine_hashes(&self) -> Option<EngineHashes<'a>> {
+        self.engine
     }
 
     /// Reads one word, or `None` if the address is unmapped.
@@ -77,8 +132,7 @@ impl<'a> StateView<'a> {
     }
 
     /// The live heap blocks allocated at `site`.
-    pub fn blocks_at_site(&self, site: &str) -> impl Iterator<Item = &BlockInfo> + '_ {
-        let site = site.to_owned();
+    pub fn blocks_at_site<'s>(&'s self, site: &'s str) -> impl Iterator<Item = &'a BlockInfo> + 's {
         self.blocks.values().filter(move |b| b.site == site)
     }
 
@@ -148,13 +202,38 @@ pub trait Monitor: Send {
     fn extra_instructions(&self) -> u64 {
         0
     }
+
+    /// Opt this monitor into the engine's monomorphic store datapath.
+    ///
+    /// Returning `Some(spec)` promises that `on_store`, `on_load` and
+    /// `on_free` for simulated-thread accesses are redundant with the
+    /// engine maintaining per-thread incremental hash sums per `spec`
+    /// (delivered at checkpoints through [`StateView::engine_hashes`]).
+    /// The engine then skips the virtual dispatch on every access — the
+    /// hot path of the whole simulator. Monitors that need per-access
+    /// callbacks (recorders, cache models) keep the default `None`.
+    ///
+    /// The claim is consulted once at run start; it must not change over
+    /// the monitor's lifetime.
+    fn fast_path(&self) -> Option<FastPathSpec> {
+        None
+    }
 }
 
 /// A monitor that observes nothing — the *Native* configuration.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NullMonitor;
 
-impl Monitor for NullMonitor {}
+impl Monitor for NullMonitor {
+    fn fast_path(&self) -> Option<FastPathSpec> {
+        // Nothing to observe: let the engine count stores and skip both
+        // the dispatch and the hashing.
+        Some(FastPathSpec {
+            hashing: false,
+            rounding: None,
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {
