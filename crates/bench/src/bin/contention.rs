@@ -3,8 +3,9 @@
 //! Runs the same canneal campaign batch through the orchestrator at
 //! `--jobs 1/2/4` (worker width and per-campaign fan-out together) over
 //! one shared in-memory corpus, then reads the wall-clock telemetry
-//! plane: queue dwell quantiles, stripe-lock wait quantiles, and the
-//! per-stripe contention totals. Writes
+//! plane: queue dwell quantiles, shared-cache acquire/wait quantiles,
+//! and the cache contention tallies (probe lengths, CAS retries,
+//! in-flight waits, occupancy). Writes
 //! `results/BENCH_contention.json` — the evidence base for the
 //! "contention table" section of EXPERIMENTS.md.
 //!
@@ -16,7 +17,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use corpus::STRIPE_WAIT_HISTOGRAM;
+use corpus::{CACHE_ACQUIRE_HISTOGRAM, CACHE_WAIT_HISTOGRAM};
 use instantcheck::{MemoryRunCache, Scheme};
 use instantcheck_bench::json::{write_field, ToJson};
 use instantcheck_bench::Reporter;
@@ -30,31 +31,11 @@ use sched::{
 /// Worker width / per-campaign jobs sweep axis.
 const JOBS_AXIS: [usize; 3] = [1, 2, 4];
 /// Campaigns per sweep point (distinct base seeds, shared workload —
-/// the worst case for stripe contention: every campaign hits the same
-/// corpus keys' stripes).
+/// the worst case for cache contention: every campaign's keys land in
+/// the same region of the shared arena).
 const CAMPAIGNS: usize = 6;
 /// Runs per campaign.
 const RUNS: usize = 6;
-/// Stripes listed in the per-point contention table.
-const TOP_STRIPES: usize = 4;
-
-/// One hot stripe: index plus its tallies.
-struct StripeRow {
-    stripe: usize,
-    contended: u64,
-    wait_ns: u64,
-}
-
-impl ToJson for StripeRow {
-    fn write_json(&self, out: &mut String) {
-        out.push('{');
-        let mut first = true;
-        write_field(out, &mut first, "stripe", &self.stripe);
-        write_field(out, &mut first, "contended", &self.contended);
-        write_field(out, &mut first, "wait_ns", &self.wait_ns);
-        out.push('}');
-    }
-}
 
 /// One sweep point: wall-clock totals and quantiles at one width.
 struct ContentionRow {
@@ -65,12 +46,18 @@ struct ContentionRow {
     dwell_p50_ns: u64,
     dwell_p95_ns: u64,
     dwell_p99_ns: u64,
-    stripe_wait_count: u64,
-    stripe_wait_p99_ns: u64,
-    stripes: usize,
-    contended_total: u64,
-    wait_ns_total: u64,
-    top_stripes: Vec<StripeRow>,
+    acquire_count: u64,
+    acquire_p99_ns: u64,
+    cache_wait_count: u64,
+    cache_wait_p99_ns: u64,
+    capacity: usize,
+    published: u64,
+    probes: u64,
+    probe_steps: u64,
+    cas_retries: u64,
+    waits: u64,
+    wait_ns: u64,
+    arena_full: u64,
 }
 
 impl ToJson for ContentionRow {
@@ -84,22 +71,23 @@ impl ToJson for ContentionRow {
         write_field(out, &mut first, "dwell_p50_ns", &self.dwell_p50_ns);
         write_field(out, &mut first, "dwell_p95_ns", &self.dwell_p95_ns);
         write_field(out, &mut first, "dwell_p99_ns", &self.dwell_p99_ns);
+        write_field(out, &mut first, "acquire_count", &self.acquire_count);
+        write_field(out, &mut first, "acquire_p99_ns", &self.acquire_p99_ns);
+        write_field(out, &mut first, "cache_wait_count", &self.cache_wait_count);
         write_field(
             out,
             &mut first,
-            "stripe_wait_count",
-            &self.stripe_wait_count,
+            "cache_wait_p99_ns",
+            &self.cache_wait_p99_ns,
         );
-        write_field(
-            out,
-            &mut first,
-            "stripe_wait_p99_ns",
-            &self.stripe_wait_p99_ns,
-        );
-        write_field(out, &mut first, "stripes", &self.stripes);
-        write_field(out, &mut first, "contended_total", &self.contended_total);
-        write_field(out, &mut first, "wait_ns_total", &self.wait_ns_total);
-        write_field(out, &mut first, "top_stripes", &self.top_stripes);
+        write_field(out, &mut first, "capacity", &self.capacity);
+        write_field(out, &mut first, "published", &self.published);
+        write_field(out, &mut first, "probes", &self.probes);
+        write_field(out, &mut first, "probe_steps", &self.probe_steps);
+        write_field(out, &mut first, "cas_retries", &self.cas_retries);
+        write_field(out, &mut first, "waits", &self.waits);
+        write_field(out, &mut first, "wait_ns", &self.wait_ns);
+        write_field(out, &mut first, "arena_full", &self.arena_full);
         out.push('}');
     }
 }
@@ -153,7 +141,7 @@ fn main() {
         let cache: Arc<dyn instantcheck::RunCache> = Arc::new(MemoryRunCache::new());
         let mut orch = Orchestrator::new(config, resolver(), Some(cache));
         let telemetry = Arc::clone(orch.telemetry());
-        let cache_handle = orch.striped_cache().cloned();
+        let cache_handle = orch.shared_cache().cloned();
         orch.start();
         let t0 = Instant::now();
         for submission in batch(jobs) {
@@ -176,31 +164,37 @@ fn main() {
         let snap = telemetry.snapshot();
         let (dwell_count, dwell_p50_ns, dwell_p95_ns, dwell_p99_ns) =
             quantiles(&snap, QUEUE_DWELL_HISTOGRAM);
-        let (stripe_wait_count, _, _, stripe_wait_p99_ns) = quantiles(&snap, STRIPE_WAIT_HISTOGRAM);
-        let stats = cache_handle
-            .as_ref()
-            .map(|c| c.stripe_stats())
-            .unwrap_or_default();
-        let contended_total: u64 = stats.iter().map(|s| s.contended).sum();
-        let wait_ns_total: u64 = stats.iter().map(|s| s.wait_ns).sum();
-        let mut top: Vec<StripeRow> = stats
-            .iter()
-            .enumerate()
-            .map(|(stripe, s)| StripeRow {
-                stripe,
-                contended: s.contended,
-                wait_ns: s.wait_ns,
-            })
-            .collect();
-        top.sort_by(|a, b| b.wait_ns.cmp(&a.wait_ns).then(a.stripe.cmp(&b.stripe)));
-        top.truncate(TOP_STRIPES);
+        let (acquire_count, _, _, acquire_p99_ns) = quantiles(&snap, CACHE_ACQUIRE_HISTOGRAM);
+        let (cache_wait_count, _, _, cache_wait_p99_ns) = quantiles(&snap, CACHE_WAIT_HISTOGRAM);
+        let stats = cache_handle.as_ref().map(|c| c.stats());
+        let mean_probe = stats.map_or(0.0, |s| {
+            if s.probes == 0 {
+                0.0
+            } else {
+                s.probe_steps as f64 / s.probes as f64
+            }
+        });
 
         r.line(format!(
             "jobs={jobs}: {CAMPAIGNS} campaigns in {elapsed_ms:.1}ms, \
              dwell p95<= {dwell_p95_ns}ns over {dwell_count}, \
-             stripe waits {stripe_wait_count} ({contended_total} contended, \
-             {wait_ns_total}ns total)"
+             {acquire_count} cache acquire(s) (mean probe {mean_probe:.2}, \
+             {} CAS retries, {} in-flight waits)",
+            stats.map_or(0, |s| s.cas_retries),
+            stats.map_or(0, |s| s.waits),
         ));
+        let s = stats.unwrap_or(corpus::SharedCacheStats {
+            capacity: 0,
+            published: 0,
+            in_flight: 0,
+            abandoned: 0,
+            probes: 0,
+            probe_steps: 0,
+            cas_retries: 0,
+            waits: 0,
+            wait_ns: 0,
+            arena_full: 0,
+        });
         rows.push(ContentionRow {
             jobs,
             campaigns: results.len(),
@@ -209,12 +203,18 @@ fn main() {
             dwell_p50_ns,
             dwell_p95_ns,
             dwell_p99_ns,
-            stripe_wait_count,
-            stripe_wait_p99_ns,
-            stripes: stats.len(),
-            contended_total,
-            wait_ns_total,
-            top_stripes: top,
+            acquire_count,
+            acquire_p99_ns,
+            cache_wait_count,
+            cache_wait_p99_ns,
+            capacity: s.capacity,
+            published: s.published,
+            probes: s.probes,
+            probe_steps: s.probe_steps,
+            cas_retries: s.cas_retries,
+            waits: s.waits,
+            wait_ns: s.wait_ns,
+            arena_full: s.arena_full,
         });
     }
     instantcheck_bench::write_json("BENCH_contention", &rows);

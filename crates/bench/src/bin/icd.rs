@@ -3,7 +3,8 @@
 //! A long-running front end for the `sched` orchestrator: it accepts
 //! batches of campaign submissions as JSON lines, runs them on a
 //! bounded worker pool over the registered workloads, multiplexes an
-//! optional shared run corpus behind striped locking, and writes one
+//! optional shared run corpus behind a lock-free shared run cache, and
+//! writes one
 //! deterministic artifact per campaign. Under load it degrades
 //! gracefully — submissions past the queue bound (or past a tenant's
 //! quota) are *shed* with an explicit outcome instead of blocking or
@@ -12,7 +13,7 @@
 //!
 //! ```text
 //! icd [--width N] [--queue-cap N] [--budget N] [--retries N]
-//!     [--backoff-ms N] [--deadline-ms N] [--stripes N] [--trace]
+//!     [--backoff-ms N] [--deadline-ms N] [--cache-slots N] [--trace]
 //!     [--tenant-quota N] [--idle-timeout-ms N] [--max-bad-lines N]
 //!     [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH]
 //!     [--http ADDR] [--heartbeat-ms N]
@@ -49,10 +50,11 @@
 //! serves a read-only wall-clock **telemetry plane** over plain
 //! HTTP/1.1: `GET /status` (the status snapshot), `GET /metrics`
 //! (Prometheus text exposition v0.0.4, including the
-//! `icd_stripe_wait_seconds` and `icd_queue_dwell_seconds` wait
-//! histograms), and `GET /profile` (full telemetry snapshot with
-//! worker lanes plus the per-stripe contention table, consumable by
-//! `icprof --profile`). The listener reuses the socket path's
+//! `icd_cache_acquire_seconds`, `icd_cache_wait_seconds`, and
+//! `icd_queue_dwell_seconds` wait histograms plus `icd_cache_*`
+//! contention counters), and `GET /profile` (full telemetry snapshot
+//! with worker lanes plus the shared-cache contention table,
+//! consumable by `icprof --profile`). The listener reuses the socket path's
 //! per-connection fault-isolation discipline and keeps answering
 //! during drain. `--heartbeat-ms N` appends one telemetry snapshot
 //! line per interval to `<out>/heartbeat.jsonl` for post-mortems.
@@ -68,7 +70,7 @@
 //! `batch.trace.jsonl`, and the wall-clock side of the story in
 //! `metrics.json` (shed counts, connection counts — everything that is
 //! *allowed* to vary run to run) and `profile.json` (the `/profile`
-//! body: wait histograms, worker lanes, stripe contention).
+//! body: wait histograms, worker lanes, cache contention).
 //!
 //! Exit status: 0 when every submission completed, 1 when any
 //! campaign failed, was invalid, was shed, or a submission line did
@@ -129,7 +131,7 @@ impl Default for DaemonOpts {
 fn usage() -> ! {
     eprintln!(
         "usage: icd [--width N] [--queue-cap N] [--budget N] [--retries N] \
-         [--backoff-ms N] [--deadline-ms N] [--stripes N] [--trace] \
+         [--backoff-ms N] [--deadline-ms N] [--cache-slots N] [--trace] \
          [--tenant-quota N] [--idle-timeout-ms N] [--max-bad-lines N] \
          [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH] \
          [--http ADDR] [--heartbeat-ms N]\n\
@@ -165,7 +167,7 @@ fn parse_cli() -> IcdCli {
             "--retries" => cli.config.retries = num(&mut i) as u32,
             "--backoff-ms" => cli.config.backoff = Duration::from_millis(num(&mut i)),
             "--deadline-ms" => cli.config.default_deadline_ms = Some(num(&mut i)),
-            "--stripes" => cli.config.stripes = num(&mut i) as usize,
+            "--cache-slots" => cli.config.cache_capacity = num(&mut i) as usize,
             "--trace" => cli.config.trace = true,
             "--tenant-quota" => cli.config.tenant_quota = Some(num(&mut i)),
             "--idle-timeout-ms" => {
@@ -749,7 +751,7 @@ fn main() -> ExitCode {
         &out_dir.join("metrics.json"),
         &registry.snapshot().to_json(),
     );
-    // The wall-clock story (queue dwell, stripe waits, worker lanes);
+    // The wall-clock story (queue dwell, cache waits, worker lanes);
     // same body `/profile` serves. Written before the HTTP listener
     // stops so a final scrape and the artifact agree on schema.
     write_artifact(&out_dir.join("profile.json"), &svc.profile_json());

@@ -6,9 +6,10 @@
 //!
 //! With `--profile FILE` (the daemon's `profile.json` artifact or a
 //! saved `GET /profile` body) it additionally prints the wall-clock
-//! side: wait-histogram quantiles (queue dwell, stripe waits, worker
-//! busy/idle) and the contention table — top stripes by total lock
-//! wait. When `--chrome` is also given, per-worker lanes from the
+//! side: wait-histogram quantiles (queue dwell, cache acquire/wait,
+//! worker busy/idle) and the shared-cache contention table — probe
+//! lengths, CAS retries, in-flight waits, arena occupancy. When
+//! `--chrome` is also given, per-worker lanes from the
 //! profile ride along in the export as their own process, so the
 //! simulated-step tracks and the wall-clock worker timeline land in
 //! one Perfetto view.
@@ -25,9 +26,6 @@ use std::process::ExitCode;
 
 use obs::telemetry::TelemetrySnapshot;
 
-/// Stripes shown in the contention table.
-const TOP_STRIPES: usize = 8;
-
 fn seconds(ns: u64) -> String {
     format!("{:.6}s", ns as f64 / 1e9)
 }
@@ -35,7 +33,7 @@ fn seconds(ns: u64) -> String {
 /// Renders the wall-clock profile: histogram quantiles, gauges,
 /// counters, and the contention table.
 fn render_profile(v: &obs::json::Value) -> Result<String, String> {
-    // Accept both the `/profile` body ({"telemetry":…,"stripes":…})
+    // Accept both the `/profile` body ({"telemetry":…,"cache":…})
     // and a bare telemetry snapshot (a heartbeat line).
     let telemetry_value = v.get("telemetry").unwrap_or(v);
     let snap = TelemetrySnapshot::from_json(telemetry_value)?;
@@ -74,57 +72,44 @@ fn render_profile(v: &obs::json::Value) -> Result<String, String> {
         }
     }
 
-    // The contention table: top stripes by total wait, the evidence
-    // base for deciding whether the striped cache serializes work.
-    if let Some(obs::json::Value::Arr(stripes)) = v.get("stripes") {
-        let mut rows: Vec<(u64, u64, u64)> = Vec::new();
-        for s in stripes {
-            rows.push((
-                s.get("stripe")
-                    .and_then(obs::json::Value::as_u64)
-                    .unwrap_or(0),
-                s.get("contended")
-                    .and_then(obs::json::Value::as_u64)
-                    .unwrap_or(0),
-                s.get("wait_ns")
-                    .and_then(obs::json::Value::as_u64)
-                    .unwrap_or(0),
-            ));
-        }
-        let total_wait: u64 = rows.iter().map(|r| r.2).sum();
-        let total_contended: u64 = rows.iter().map(|r| r.1).sum();
-        rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    // The shared-cache contention table: the evidence base for deciding
+    // whether the lock-free run cache scales — long probes, CAS-retry
+    // storms, or heavy in-flight waiting all show up here.
+    if let Some(cache @ obs::json::Value::Obj(_)) = v.get("cache") {
+        let field =
+            |k: &str| -> u64 { cache.get(k).and_then(obs::json::Value::as_u64).unwrap_or(0) };
+        let (probes, steps) = (field("probes"), field("probe_steps"));
+        let mean_probe = if probes == 0 {
+            0.0
+        } else {
+            steps as f64 / probes as f64
+        };
+        let _ = writeln!(out, "\n== shared run cache ==");
         let _ = writeln!(
             out,
-            "\n== contention table (top {} of {} stripes by total wait) ==",
-            TOP_STRIPES.min(rows.len()),
-            rows.len()
+            "  occupancy: {} published / {} in-flight / {} abandoned of {} slots",
+            field("published"),
+            field("in_flight"),
+            field("abandoned"),
+            field("capacity")
         );
         let _ = writeln!(
             out,
-            "  {:<8} {:>10} {:>14} {:>7}",
-            "stripe", "contended", "wait", "share"
+            "  probes: {probes} sequence(s), mean length {mean_probe:.2} slot(s)"
         );
-        for (stripe, contended, wait_ns) in rows.iter().take(TOP_STRIPES) {
-            let share = if total_wait == 0 {
-                0.0
+        let _ = writeln!(
+            out,
+            "  contention: {} CAS retr{}, {} in-flight wait(s) totalling {}",
+            field("cas_retries"),
+            if field("cas_retries") == 1 {
+                "y"
             } else {
-                100.0 * *wait_ns as f64 / total_wait as f64
-            };
-            let _ = writeln!(
-                out,
-                "  {:<8} {:>10} {:>14} {:>6.1}%",
-                stripe,
-                contended,
-                seconds(*wait_ns),
-                share
-            );
-        }
-        let _ = writeln!(
-            out,
-            "  total: {total_contended} contended acquisition(s), {} waiting",
-            seconds(total_wait)
+                "ies"
+            },
+            field("waits"),
+            seconds(field("wait_ns"))
         );
+        let _ = writeln!(out, "  arena-full fallbacks: {}", field("arena_full"));
     }
     if !snap.lanes.is_empty() || snap.dropped_lanes > 0 {
         let _ = writeln!(

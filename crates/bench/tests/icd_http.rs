@@ -12,7 +12,7 @@
 //!   a silent drop); the next well-formed scrape succeeds.
 //! * **Valid exposition** — `/metrics` is parseable Prometheus text
 //!   (v0.0.4) and the wait histograms (`icd_queue_dwell_seconds`,
-//!   `icd_stripe_wait_seconds`) carry observed samples.
+//!   `icd_cache_acquire_seconds`) carry observed samples.
 //! * **Drain visibility** — the plane answers during a SIGTERM drain,
 //!   reporting `"draining":true`.
 
@@ -329,7 +329,9 @@ fn http_plane_is_observational_and_fault_isolated() {
         batch.len() as u64,
         "one dwell observation per campaign"
     );
-    assert!(body.contains("icd_stripe_wait_seconds"));
+    // Pre-registered even without a corpus attached; the cache
+    // counter series themselves only export when a cache exists.
+    assert!(body.contains("icd_cache_acquire_seconds"));
     assert!(body.contains("icd_http_requests_total"));
     assert!(body.contains("icd_http_closed_bad_request_total 1"));
     assert!(body.contains("icd_http_closed_too_large_total 1"));

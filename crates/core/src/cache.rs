@@ -208,18 +208,74 @@ pub struct CachedRun {
     pub sim_trace: Option<Vec<Event>>,
 }
 
+/// What a claim-aware cache told an attempt to do.
+///
+/// Returned by [`RunCache::begin`]. `Hit` carries a published outcome;
+/// `Compute` tells the caller to simulate the run itself. When
+/// `claimed` is `true` the cache has recorded the attempt as
+/// *in-flight* — concurrent attempts on the same key will wait for this
+/// one instead of recomputing — and the caller **must** resolve the
+/// claim with exactly one of [`RunCache::store`] (on completion) or
+/// [`RunCache::abandon`] (on failure or unwind).
+#[derive(Debug)]
+pub enum CacheLease {
+    /// A trustworthy published outcome; replay it.
+    Hit(Arc<CachedRun>),
+    /// No outcome yet; the caller computes the run.
+    Compute {
+        /// Whether the cache tracks this attempt as in-flight (and so
+        /// must be released via `store` or `abandon`).
+        claimed: bool,
+    },
+}
+
 /// A store of completed run outcomes keyed by [`RunKey`].
 ///
 /// Implementations must be infallible at the API level: corruption or
 /// I/O trouble is an implementation concern (quarantine, recompute) and
 /// surfaces as a `None` lookup, never as a trusted-but-wrong hit.
+///
+/// Outcomes travel as `Arc<CachedRun>` so publication is a pointer
+/// swap: a hit never deep-copies the hash sequence or a recorded event
+/// trace, and a concurrent cache can publish an entry to other workers
+/// with a single atomic store.
+///
+/// The optional claim protocol ([`begin`](RunCache::begin) /
+/// [`abandon`](RunCache::abandon)) lets a cache deduplicate *in-flight*
+/// work: when two workers race the same key, one computes and the other
+/// waits for the published result. The default implementations degrade
+/// to plain `lookup` with no claim tracking, so simple caches need not
+/// implement them.
 pub trait RunCache: fmt::Debug + Send + Sync {
     /// Returns the recorded outcome for `key`, if one is stored and
     /// trustworthy.
-    fn lookup(&self, key: &RunKey) -> Option<CachedRun>;
+    fn lookup(&self, key: &RunKey) -> Option<Arc<CachedRun>>;
 
-    /// Records the outcome of a completed run under `key`.
-    fn store(&self, key: &RunKey, run: &CachedRun);
+    /// Records the outcome of a completed run under `key`, releasing
+    /// the caller's claim on the key if it held one.
+    fn store(&self, key: &RunKey, run: &Arc<CachedRun>);
+
+    /// Claim-aware lookup: returns the published outcome, or tells the
+    /// caller to compute it — possibly registering the attempt as
+    /// in-flight so concurrent attempts on `key` wait instead of
+    /// duplicating the work. The default is a plain [`lookup`]
+    /// (`lookup`): hits map to [`CacheLease::Hit`], misses to an
+    /// unclaimed [`CacheLease::Compute`].
+    ///
+    /// [`lookup`]: RunCache::lookup
+    fn begin(&self, key: &RunKey) -> CacheLease {
+        match self.lookup(key) {
+            Some(hit) => CacheLease::Hit(hit),
+            None => CacheLease::Compute { claimed: false },
+        }
+    }
+
+    /// Releases a claim issued by [`begin`](RunCache::begin) without
+    /// publishing an outcome (the attempt failed or was abandoned), so
+    /// waiting attempts wake up and compute the run themselves. A no-op
+    /// for caches without claim tracking, and for keys the caller does
+    /// not hold a claim on.
+    fn abandon(&self, _key: &RunKey) {}
 }
 
 /// A process-local, in-memory [`RunCache`].
@@ -261,7 +317,7 @@ pub trait RunCache: fmt::Debug + Send + Sync {
 /// ```
 #[derive(Debug, Default)]
 pub struct MemoryRunCache {
-    entries: Mutex<HashMap<String, CachedRun>>,
+    entries: Mutex<HashMap<String, Arc<CachedRun>>>,
     hits: std::sync::atomic::AtomicU64,
     misses: std::sync::atomic::AtomicU64,
 }
@@ -294,7 +350,7 @@ impl MemoryRunCache {
 }
 
 impl RunCache for MemoryRunCache {
-    fn lookup(&self, key: &RunKey) -> Option<CachedRun> {
+    fn lookup(&self, key: &RunKey) -> Option<Arc<CachedRun>> {
         let hit = self.entries.lock().unwrap().get(&key.canonical()).cloned();
         let counter = if hit.is_some() {
             &self.hits
@@ -305,11 +361,11 @@ impl RunCache for MemoryRunCache {
         hit
     }
 
-    fn store(&self, key: &RunKey, run: &CachedRun) {
+    fn store(&self, key: &RunKey, run: &Arc<CachedRun>) {
         self.entries
             .lock()
             .unwrap()
-            .insert(key.canonical(), run.clone());
+            .insert(key.canonical(), Arc::clone(run));
     }
 }
 
@@ -402,7 +458,7 @@ mod tests {
         let key = sample_key();
         assert!(cache.lookup(&key).is_none());
         assert_eq!(cache.misses(), 1);
-        cache.store(&key, &sample_run());
+        cache.store(&key, &Arc::new(sample_run()));
         let hit = cache.lookup(&key).expect("stored");
         assert_eq!(hit.hashes.output_digest, 5);
         assert_eq!(cache.hits(), 1);

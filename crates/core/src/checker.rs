@@ -10,7 +10,7 @@ use mhm::CacheStats;
 use obs::{BufferSink, Event, EventSink, MemorySink, Registry, Telemetry, CONTROL_TRACK};
 use tsim::{AllocLog, FaultPlan, Program, RunConfig, SimError, SwitchPolicy};
 
-use crate::cache::{CachedRun, RunCache, RunKey};
+use crate::cache::{CacheLease, CachedRun, RunCache, RunKey};
 use crate::ignore::IgnoreSpec;
 use crate::policy::{retry_seed, FailurePolicy, RunFailure, RunOutcome};
 use crate::report::CheckReport;
@@ -424,6 +424,43 @@ impl SlotRun {
     }
 }
 
+/// RAII resolution of an in-flight cache claim ([`RunCache::begin`]
+/// returned `Compute { claimed: true }`): unless released after a
+/// successful publish, dropping the guard abandons the claim. Because
+/// the drop runs on *every* exit from the attempt — failure, retry
+/// with a fresh key, early break, or panic unwind — a worker can never
+/// leave other workers waiting on a claim nobody will resolve.
+struct ClaimGuard<'a> {
+    held: Option<(&'a dyn RunCache, &'a RunKey)>,
+}
+
+impl<'a> ClaimGuard<'a> {
+    /// No claim to resolve.
+    fn none() -> Self {
+        ClaimGuard { held: None }
+    }
+
+    /// Guards a claim on `key` issued by `cache`.
+    fn held(cache: &'a dyn RunCache, key: &'a RunKey) -> Self {
+        ClaimGuard {
+            held: Some((cache, key)),
+        }
+    }
+
+    /// Disarms the guard after the claim was resolved by a `store`.
+    fn release(&mut self) {
+        self.held = None;
+    }
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((cache, key)) = self.held.take() {
+            cache.abandon(key);
+        }
+    }
+}
+
 /// Cross-worker cancellation: a flag plus the lowest slot index whose
 /// result decides the campaign (a divergence under `stop_early`, or a
 /// failure the policy gives up on). Workers stop taking new slots once
@@ -778,14 +815,21 @@ impl Checker {
                 _ => cfg.base_seed + slot as u64,
             };
             let key = self.run_key(slot, seed, alloc_seed);
+            // Claim-aware lookup: a hit replays; a claimed miss makes
+            // this attempt the key's single computer (concurrent
+            // attempts on the same key wait for the publication instead
+            // of re-simulating). The guard abandons the claim on every
+            // non-publishing exit — failure, retry, or unwind — so
+            // waiters can never deadlock on a vanished claimant.
+            let mut claim = ClaimGuard::none();
             if let (Some(k), Some(cache)) = (&key, cfg.cache.as_deref()) {
-                if let Some(hit) = cache.lookup(k) {
+                match cache.begin(k) {
                     // A tracing campaign can only use an entry that
                     // recorded its simulator events — replaying a
                     // traceless entry would drop part of the trace, so
                     // such an entry counts as a miss and the attempt
                     // recomputes (and re-stores, now with its trace).
-                    if sink.is_none() || hit.sim_trace.is_some() {
+                    CacheLease::Hit(hit) if sink.is_none() || hit.sim_trace.is_some() => {
                         if let Some(sink) = sink {
                             sink.record(
                                 Event::begin(0, CONTROL_TRACK, "run")
@@ -802,7 +846,7 @@ impl Checker {
                         self.complete_attempt(
                             slot,
                             seed,
-                            hit.hashes,
+                            hit.hashes.clone(),
                             hit.steps,
                             hit.native_instr,
                             hit.zero_fill_instr,
@@ -812,6 +856,12 @@ impl Checker {
                             &mut diverged,
                         );
                         break;
+                    }
+                    CacheLease::Hit(_) => {}
+                    CacheLease::Compute { claimed } => {
+                        if claimed {
+                            claim = ClaimGuard::held(cache, k);
+                        }
                     }
                 }
             }
@@ -861,7 +911,7 @@ impl Checker {
                     if let (Some(k), Some(cache)) = (&key, cfg.cache.as_deref()) {
                         cache.store(
                             k,
-                            &CachedRun {
+                            &Arc::new(CachedRun {
                                 hashes: hashes.clone(),
                                 steps,
                                 native_instr,
@@ -876,8 +926,14 @@ impl Checker {
                                     None
                                 },
                                 sim_trace,
-                            },
+                            }),
                         );
+                        // The store published the claim; the guard's
+                        // abandon would now be a no-op, but release it
+                        // anyway so the invariant (exactly one of
+                        // store/abandon resolves a claim) holds by
+                        // construction, not by state-machine accident.
+                        claim.release();
                     }
                     self.complete_attempt(
                         slot,

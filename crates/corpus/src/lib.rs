@@ -17,6 +17,11 @@
 //!   hashes and summary verdicts as a JSON artifact; a later campaign
 //!   is compared against it and any change surfaces as a [`Drift`],
 //!   localized to the first divergent checkpoint.
+//! * [`SharedCache`] is a lock-free in-memory memo in front of any
+//!   [`RunCache`](instantcheck::RunCache): a fixed-arena open-addressing
+//!   table with CAS slot claiming and in-flight claim tracking, so
+//!   concurrent campaign workers share discovered runs without taking a
+//!   lock and never compute the same run twice.
 //! * [`fingerprint_fields`] is the order-independent fingerprint both
 //!   of the above are addressed by.
 //!
@@ -65,13 +70,16 @@
 mod baseline;
 mod entry;
 mod fingerprint;
+mod shared;
 mod store;
-mod striped;
 
 pub use baseline::{CampaignBaseline, Drift};
 pub use entry::{
     decode_entry, encode_entry, kind_token, parse_kind, Corruption, FORMAT_VERSION, MAGIC,
 };
 pub use fingerprint::{fingerprint_fields, fingerprint_key};
+pub use shared::{
+    SharedCache, SharedCacheStats, CACHE_ACQUIRE_HISTOGRAM, CACHE_WAIT_HISTOGRAM,
+    DEFAULT_CACHE_CAPACITY,
+};
 pub use store::CorpusStore;
-pub use striped::{StripeStats, StripedCache, DEFAULT_STRIPES, STRIPE_WAIT_HISTOGRAM};

@@ -185,7 +185,7 @@ impl CorpusStore {
 }
 
 impl RunCache for CorpusStore {
-    fn lookup(&self, key: &RunKey) -> Option<CachedRun> {
+    fn lookup(&self, key: &RunKey) -> Option<Arc<CachedRun>> {
         let path = self.run_path(key);
         let text = match fs::read_to_string(&path) {
             Ok(text) => text,
@@ -208,7 +208,7 @@ impl RunCache for CorpusStore {
                     .collect();
                 if tokens == expected {
                     self.registry.add("corpus.hits", 1);
-                    Some(run)
+                    Some(Arc::new(run))
                 } else {
                     self.quarantine(
                         &path,
@@ -226,7 +226,7 @@ impl RunCache for CorpusStore {
         }
     }
 
-    fn store(&self, key: &RunKey, run: &CachedRun) {
+    fn store(&self, key: &RunKey, run: &Arc<CachedRun>) {
         let text = encode_entry(key, run);
         let path = self.run_path(key);
         let tmp = self.root.join("runs").join(format!(
@@ -309,7 +309,7 @@ mod tests {
         let key = sample_key(1);
         assert!(store.lookup(&key).is_none());
         assert_eq!(store.misses(), 1);
-        store.store(&key, &sample_run());
+        store.store(&key, &Arc::new(sample_run()));
         assert_eq!(store.stores(), 1);
         assert_eq!(store.run_count(), 1);
         let hit = store.lookup(&key).expect("stored entry readable");
@@ -326,7 +326,7 @@ mod tests {
         let dir = tempdir("quarantine");
         let store = CorpusStore::open(&dir).unwrap();
         let key = sample_key(2);
-        store.store(&key, &sample_run());
+        store.store(&key, &Arc::new(sample_run()));
         let path = store.run_path(&key);
         let mut bytes = fs::read(&path).unwrap();
         // Flip one body byte: checksum failure.
@@ -342,7 +342,7 @@ mod tests {
             "quarantine holds the bad file"
         );
         // The address is free again: a re-store works and reads back.
-        store.store(&key, &sample_run());
+        store.store(&key, &Arc::new(sample_run()));
         assert!(store.lookup(&key).is_some());
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -363,7 +363,7 @@ mod tests {
         let store = CorpusStore::open(&dir).unwrap();
         let a = sample_key(3);
         let b = sample_key(4);
-        store.store(&a, &sample_run());
+        store.store(&a, &Arc::new(sample_run()));
         // Copy a's (internally consistent) entry to b's address; the
         // fingerprint check inside decode flags it as corruption.
         fs::copy(store.run_path(&a), store.run_path(&b)).unwrap();

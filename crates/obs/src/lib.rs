@@ -26,7 +26,7 @@
 //! means near-zero overhead.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chrome;
 pub mod json;

@@ -126,6 +126,25 @@ pub const DEFAULT_LANE_CAP: usize = 16_384;
 /// The wall-clock telemetry registry. Cheap to share (`Arc`) and cheap
 /// to record into: histogram/gauge/counter handles are atomics, the
 /// lane log takes a short mutex per span.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use obs::Telemetry;
+///
+/// let t = Telemetry::new();
+/// t.counter("icd.http.requests").inc();
+/// t.gauge("icd.queue.depth").set(3);
+/// t.record_wait("icd.cache.wait", Duration::from_micros(120));
+/// let snap = t.snapshot();
+/// assert_eq!(snap.counters["icd.http.requests"], 1);
+/// assert_eq!(snap.histograms["icd.cache.wait"].count, 1);
+/// // The snapshot renders as the `/profile` JSON body and as
+/// // Prometheus text exposition for `/metrics`.
+/// let text = obs::prometheus_text(None, &snap);
+/// assert!(text.contains("icd_cache_wait_seconds_count 1"));
+/// ```
 #[derive(Debug)]
 pub struct Telemetry {
     epoch: Instant,
@@ -199,8 +218,8 @@ impl Telemetry {
 
     /// The (nanosecond-valued) histogram named `name`, created empty if
     /// absent. Creating without recording is how always-exported series
-    /// (e.g. `icd.stripe.wait`) are pre-registered so `/metrics` shows
-    /// them even before the first contended lock.
+    /// (e.g. `icd.cache.wait`) are pre-registered so `/metrics` shows
+    /// them even before the first contended acquisition.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
         if let Some(h) = self.histograms.read().unwrap().get(name) {
             return Arc::clone(h);
@@ -474,7 +493,7 @@ fn write_prom_histogram(
 /// telemetry and registry counters get the `_total` suffix; registry
 /// histograms (unitless simulated quantities) keep raw-value bounds;
 /// gauges export as-is. Dotted names flatten to underscores
-/// (`icd.stripe.wait` → `icd_stripe_wait_seconds`).
+/// (`icd.cache.wait` → `icd_cache_wait_seconds`).
 pub fn prometheus_text(registry: Option<&Snapshot>, telemetry: &TelemetrySnapshot) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -633,7 +652,7 @@ mod tests {
         let t = Telemetry::new();
         t.counter("icd.http.requests").add(3);
         t.gauge("icd.queue.depth").set(4);
-        t.record_wait("icd.stripe.wait", Duration::from_nanos(1500));
+        t.record_wait("icd.cache.wait", Duration::from_nanos(1500));
         t.lane_span("icd.w0", "campaign", 10, 90, 7);
         let snap = t.snapshot();
         let text = snap.to_json();
@@ -669,7 +688,7 @@ mod tests {
     #[test]
     fn prometheus_exposition_is_well_formed() {
         let t = Telemetry::new();
-        t.histogram("icd.stripe.wait"); // pre-registered, zero samples
+        t.histogram("icd.cache.wait"); // pre-registered, zero samples
         t.record_wait("icd.queue.dwell", Duration::from_nanos(3));
         t.record_wait("icd.queue.dwell", Duration::from_micros(100));
         t.gauge("icd.queue.depth").set(2);
@@ -683,8 +702,8 @@ mod tests {
         assert!(text.contains("icd_queue_dwell_seconds_count 2"));
         assert!(text.contains("icd_queue_dwell_seconds_bucket{le=\"+Inf\"} 2"));
         assert!(
-            text.contains("# TYPE icd_stripe_wait_seconds histogram")
-                && text.contains("icd_stripe_wait_seconds_count 0"),
+            text.contains("# TYPE icd_cache_wait_seconds histogram")
+                && text.contains("icd_cache_wait_seconds_count 0"),
             "pre-registered histograms export with zero samples"
         );
         assert!(text.contains("# TYPE icd_queue_depth gauge\nicd_queue_depth 2"));
@@ -713,7 +732,7 @@ mod tests {
 
     #[test]
     fn prom_names_flatten_dots() {
-        assert_eq!(prom_name("icd.stripe.wait"), "icd_stripe_wait");
+        assert_eq!(prom_name("icd.cache.wait"), "icd_cache_wait");
         assert_eq!(prom_name("icd.tenant.a-b.shed"), "icd_tenant_a_b_shed");
     }
 }

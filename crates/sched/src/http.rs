@@ -7,7 +7,7 @@
 //! * `GET /metrics` — Prometheus text exposition v0.0.4 of the
 //!   telemetry plane plus the deterministic registry.
 //! * `GET /profile` — the full telemetry snapshot (histograms with
-//!   quantiles, worker lanes) and the per-stripe contention table
+//!   quantiles, worker lanes) and the shared-cache contention table
 //!   (JSON), consumable by `icprof --profile`.
 //!
 //! Fault isolation mirrors the daemon's Unix-socket discipline: one
@@ -362,19 +362,20 @@ mod tests {
         let body = status.split("\r\n\r\n").nth(1).unwrap();
         let v = obs::json::parse(body).expect("status body is JSON");
         assert_eq!(v.get("submitted").unwrap().as_u64(), Some(1));
-        assert!(v.get("corpus").unwrap().get("stripes").is_some());
+        assert!(v.get("corpus").unwrap().get("cache_capacity").is_some());
 
         let metrics = get(addr, "/metrics");
         assert!(metrics.contains(&format!("Content-Type: {METRICS_CONTENT_TYPE}")));
         assert!(metrics.contains("# TYPE icd_queue_dwell_seconds histogram"));
-        assert!(metrics.contains("# TYPE icd_stripe_wait_seconds histogram"));
+        assert!(metrics.contains("# TYPE icd_cache_acquire_seconds histogram"));
+        assert!(metrics.contains("# TYPE icd_cache_cas_retries_total counter"));
         assert!(metrics.contains("icd_http_requests_total"));
 
         let profile = get(addr, "/profile");
         let body = profile.split("\r\n\r\n").nth(1).unwrap();
         let v = obs::json::parse(body).expect("profile body is JSON");
         assert!(v.get("telemetry").unwrap().get("histograms").is_some());
-        assert!(matches!(v.get("stripes"), Some(obs::json::Value::Arr(_))));
+        assert!(matches!(v.get("cache"), Some(obs::json::Value::Obj(_))));
     }
 
     #[test]

@@ -6,15 +6,16 @@
 //! accepts batches of [`Submission`]s (each one a serializable
 //! [`CampaignSpec`]), runs them on a bounded worker pool with
 //! per-campaign job budgets, and multiplexes one shared run corpus
-//! behind striped locking ([`corpus::StripedCache`]) so concurrent
-//! campaigns never serialize on the cache.
+//! behind a lock-free shared run cache ([`corpus::SharedCache`]) so
+//! concurrent campaigns never serialize on the cache and never compute
+//! the same run twice.
 //!
 //! Two contracts, both enforced by tests:
 //!
 //! * **Determinism under orchestration.** A campaign's report and
 //!   trace bytes are identical whether it runs alone or under the
 //!   orchestrator at any width. Everything wall-clock-dependent (queue
-//!   waits, retry backoff, stripe contention) lives in metrics, never
+//!   waits, retry backoff, cache contention) lives in metrics, never
 //!   in artifacts; results are keyed and ordered by submission
 //!   sequence, not completion order.
 //! * **Graceful degradation.** The queue is bounded: submissions past

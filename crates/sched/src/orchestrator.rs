@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use corpus::{CampaignBaseline, StripeStats, StripedCache};
+use corpus::{CampaignBaseline, SharedCache, SharedCacheStats};
 use instantcheck::{CheckReport, Checker, CheckerConfig, RunCache};
 use obs::{Event, MemorySink, Registry, Telemetry, CONTROL_TRACK};
 use tsim::{Program, SimErrorKind};
@@ -231,8 +231,9 @@ pub struct OrchestratorConfig {
     /// Base backoff between campaign retries; attempt `n` sleeps
     /// `backoff * 2^n`.
     pub backoff: Duration,
-    /// Stripe count of the shared-corpus wrapper.
-    pub stripes: usize,
+    /// Slot capacity of the lock-free shared run cache (rounded up to
+    /// a power of two).
+    pub cache_capacity: usize,
     /// Record per-campaign simulator event traces.
     pub trace: bool,
     /// Deadline applied to specs that do not carry their own.
@@ -253,7 +254,7 @@ impl Default for OrchestratorConfig {
             job_budget: 2,
             retries: 2,
             backoff: Duration::from_millis(10),
-            stripes: corpus::DEFAULT_STRIPES,
+            cache_capacity: corpus::DEFAULT_CACHE_CAPACITY,
             trace: false,
             default_deadline_ms: None,
             tenant_quota: None,
@@ -269,12 +270,12 @@ struct Shared {
     queue: WorkQueue<Job>,
     results: Mutex<BTreeMap<usize, CampaignResult>>,
     registry: Arc<Registry>,
-    /// Wall-clock side-channel (queue dwell, worker lanes, stripe
-    /// waits). Strictly observational: nothing recorded here reaches
-    /// the deterministic results, registry, or traces.
+    /// Wall-clock side-channel (queue dwell, worker lanes, cache
+    /// acquire/wait times). Strictly observational: nothing recorded
+    /// here reaches the deterministic results, registry, or traces.
     telemetry: Arc<Telemetry>,
     resolver: Resolver,
-    cache: Option<Arc<StripedCache>>,
+    cache: Option<Arc<SharedCache>>,
     config: OrchestratorConfig,
     draining: AtomicBool,
     in_flight: AtomicUsize,
@@ -311,9 +312,10 @@ impl Orchestrator {
     /// overload path is tested deterministically.
     ///
     /// `cache` is the shared run corpus (typically a
-    /// [`CorpusStore`](corpus::CorpusStore)); the orchestrator wraps it
-    /// in a [`StripedCache`] so concurrent campaigns do not serialize
-    /// on it.
+    /// [`CorpusStore`](corpus::CorpusStore)); the orchestrator puts a
+    /// lock-free [`SharedCache`] in front of it so concurrent campaigns
+    /// share discovered runs without serializing, and never compute the
+    /// same run twice.
     pub fn new(
         config: OrchestratorConfig,
         resolver: Resolver,
@@ -324,10 +326,11 @@ impl Orchestrator {
         // Pre-register the always-exported wait series so `/metrics`
         // shows them (at zero) from the first scrape.
         telemetry.histogram(QUEUE_DWELL_HISTOGRAM);
-        telemetry.histogram(corpus::STRIPE_WAIT_HISTOGRAM);
+        telemetry.histogram(corpus::CACHE_ACQUIRE_HISTOGRAM);
+        telemetry.histogram(corpus::CACHE_WAIT_HISTOGRAM);
         let cache = cache.map(|inner| {
             Arc::new(
-                StripedCache::new(inner, config.stripes, Some(Arc::clone(&registry)))
+                SharedCache::new(inner, config.cache_capacity, Some(Arc::clone(&registry)))
                     .with_telemetry(Arc::clone(&telemetry)),
             )
         });
@@ -350,28 +353,29 @@ impl Orchestrator {
     }
 
     /// The orchestrator's metrics registry (`icd.*`, `checker.*`,
-    /// `corpus.stripe.*`).
+    /// `corpus.cache.*`).
     pub fn registry(&self) -> &Arc<Registry> {
         &self.shared.registry
     }
 
     /// The orchestrator's wall-clock telemetry plane: queue dwell
-    /// ([`QUEUE_DWELL_HISTOGRAM`]), stripe waits
-    /// ([`corpus::STRIPE_WAIT_HISTOGRAM`]), worker busy/idle, lanes.
+    /// ([`QUEUE_DWELL_HISTOGRAM`]), cache acquisitions and in-flight
+    /// waits ([`corpus::CACHE_ACQUIRE_HISTOGRAM`],
+    /// [`corpus::CACHE_WAIT_HISTOGRAM`]), worker busy/idle, lanes.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.shared.telemetry
     }
 
-    /// Per-stripe contention tallies of the shared-corpus wrapper;
+    /// Contention and occupancy tallies of the shared run cache;
     /// `None` when the orchestrator runs without a corpus.
-    pub fn stripe_stats(&self) -> Option<Vec<StripeStats>> {
-        self.shared.cache.as_ref().map(|c| c.stripe_stats())
+    pub fn cache_stats(&self) -> Option<SharedCacheStats> {
+        self.shared.cache.as_ref().map(|c| c.stats())
     }
 
-    /// The shared-corpus wrapper itself, when one is attached — lets a
-    /// daemon front end keep reading stripe tallies after `drain` has
-    /// consumed the orchestrator.
-    pub fn striped_cache(&self) -> Option<&Arc<StripedCache>> {
+    /// The shared run cache itself, when one is attached — lets a
+    /// daemon front end keep reading contention tallies after `drain`
+    /// has consumed the orchestrator.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedCache>> {
         self.shared.cache.as_ref()
     }
 

@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use corpus::{StripeStats, StripedCache};
+use corpus::{SharedCache, SharedCacheStats};
 use obs::{Registry, Telemetry};
 
 use crate::orchestrator::TenantStats;
@@ -53,14 +53,42 @@ struct Inner {
 /// [`drain`](Service::drain)), further submissions shed with
 /// [`ShedReason::Draining`] and [`status_json`](Service::status_json)
 /// reports `"draining":true`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use instantcheck::{CampaignSpec, Scheme};
+/// use sched::{Orchestrator, OrchestratorConfig, ProgramSource, Service, Submission};
+/// use tsim::{ProgramBuilder, ValKind};
+///
+/// let resolver = Arc::new(|workload: &str| {
+///     (workload == "counter").then(|| -> ProgramSource {
+///         Arc::new(|| {
+///             let mut b = ProgramBuilder::new(1);
+///             let g = b.global("G", ValKind::U64, 1);
+///             b.thread(move |ctx| ctx.store(g.at(0), 7));
+///             b.build()
+///         })
+///     })
+/// });
+/// let orch = Orchestrator::new(OrchestratorConfig::default(), resolver, None);
+/// let svc = Arc::new(Service::new(orch));
+/// let spec = CampaignSpec::new("counter", Scheme::HwInc).with_runs(2);
+/// let (id, _) = svc.submit(Submission::new("demo", spec));
+/// assert_eq!(id, "demo");
+/// let results = svc.drain();
+/// assert_eq!(results.len(), 1);
+/// assert!(results[0].report_json.is_some());
+/// ```
 pub struct Service {
     inner: Mutex<Inner>,
     draining: AtomicBool,
     registry: Arc<Registry>,
     telemetry: Arc<Telemetry>,
     /// Kept outside the intake mutex (and past drain) so `/metrics`
-    /// and `/profile` can read stripe tallies without blocking intake.
-    cache: Option<Arc<StripedCache>>,
+    /// and `/profile` can read cache tallies without blocking intake.
+    cache: Option<Arc<SharedCache>>,
 }
 
 impl Service {
@@ -69,7 +97,7 @@ impl Service {
         orch.start();
         let registry = Arc::clone(orch.registry());
         let telemetry = Arc::clone(orch.telemetry());
-        let cache = orch.striped_cache().cloned();
+        let cache = orch.shared_cache().cloned();
         Service {
             inner: Mutex::new(Inner {
                 orch: Some(orch),
@@ -92,10 +120,10 @@ impl Service {
         &self.telemetry
     }
 
-    /// Per-stripe contention tallies of the shared corpus; `None`
-    /// without a corpus. Usable during and after drain.
-    pub fn stripe_stats(&self) -> Option<Vec<StripeStats>> {
-        self.cache.as_ref().map(|c| c.stripe_stats())
+    /// Contention and occupancy tallies of the shared run cache;
+    /// `None` without a corpus. Usable during and after drain.
+    pub fn cache_stats(&self) -> Option<SharedCacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
     }
 
     /// Offers one submission on behalf of a connection handler,
@@ -179,7 +207,7 @@ impl Service {
     /// sorted keys, stable field set —
     /// `{"draining":…,"submitted":…,"queue_depth":…,"in_flight":…,
     /// "tenants":{…},"corpus":{…}|null,"counters":{…}}`. The *values*
-    /// are live (queue depth, counters, stripe tallies) and therefore
+    /// are live (queue depth, counters, cache tallies) and therefore
     /// wall-clock-dependent; status is an operator endpoint, never an
     /// artifact.
     pub fn status_json(&self) -> String {
@@ -215,14 +243,13 @@ impl Service {
             );
         }
         out.push_str("},\"corpus\":");
-        match self.stripe_stats() {
-            Some(stats) => {
-                let contended: u64 = stats.iter().map(|s| s.contended).sum();
-                let wait_ns: u64 = stats.iter().map(|s| s.wait_ns).sum();
+        match self.cache_stats() {
+            Some(s) => {
                 let _ = write!(
                     out,
-                    "{{\"stripes\":{},\"contended\":{contended},\"wait_ns\":{wait_ns}}}",
-                    stats.len()
+                    "{{\"cache_capacity\":{},\"published\":{},\"in_flight\":{},\
+                     \"cas_retries\":{},\"waits\":{},\"wait_ns\":{}}}",
+                    s.capacity, s.published, s.in_flight, s.cas_retries, s.waits, s.wait_ns
                 );
             }
             None => out.push_str("null"),
@@ -240,58 +267,66 @@ impl Service {
     }
 
     /// Prometheus text exposition (v0.0.4) of the telemetry plane plus
-    /// the deterministic registry — the `/metrics` body. Per-stripe
-    /// tallies export as `icd_stripe_contended_total{stripe="i"}` /
-    /// `icd_stripe_wait_ns_total{stripe="i"}` series appended to the
+    /// the deterministic registry — the `/metrics` body. Shared-cache
+    /// contention tallies export as `icd_cache_*_total` counters
+    /// (probes, probe steps, CAS retries, in-flight waits, arena-full
+    /// fallbacks) and `icd_cache_*` occupancy gauges appended to the
     /// shared exposition.
     pub fn metrics_text(&self) -> String {
         let mut out =
             obs::prometheus_text(Some(&self.registry.snapshot()), &self.telemetry.snapshot());
-        if let Some(stats) = self.stripe_stats() {
-            out.push_str("# TYPE icd_stripe_contended_total counter\n");
-            for (i, s) in stats.iter().enumerate() {
-                let _ = writeln!(
-                    out,
-                    "icd_stripe_contended_total{{stripe=\"{i}\"}} {}",
-                    s.contended
-                );
+        if let Some(s) = self.cache_stats() {
+            for (name, value) in [
+                ("icd_cache_probes_total", s.probes),
+                ("icd_cache_probe_steps_total", s.probe_steps),
+                ("icd_cache_cas_retries_total", s.cas_retries),
+                ("icd_cache_waits_total", s.waits),
+                ("icd_cache_wait_ns_total", s.wait_ns),
+                ("icd_cache_arena_full_total", s.arena_full),
+            ] {
+                let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
             }
-            out.push_str("# TYPE icd_stripe_wait_ns_total counter\n");
-            for (i, s) in stats.iter().enumerate() {
-                let _ = writeln!(
-                    out,
-                    "icd_stripe_wait_ns_total{{stripe=\"{i}\"}} {}",
-                    s.wait_ns
-                );
+            for (name, value) in [
+                ("icd_cache_capacity_slots", s.capacity as u64),
+                ("icd_cache_published_slots", s.published),
+                ("icd_cache_in_flight_slots", s.in_flight),
+                ("icd_cache_abandoned_slots", s.abandoned),
+            ] {
+                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
             }
         }
         out
     }
 
     /// The `/profile` body: the full telemetry snapshot (histograms
-    /// with p50/p95/p99, worker lanes) plus the per-stripe contention
+    /// with p50/p95/p99, worker lanes) plus the shared-cache contention
     /// table, as one JSON object —
-    /// `{"telemetry":{…},"stripes":[{"stripe":…,"contended":…,
-    /// "wait_ns":…},…]|null}`. Wall-clock throughout; never an
-    /// artifact.
+    /// `{"telemetry":{…},"cache":{"capacity":…,"published":…,
+    /// "in_flight":…,"abandoned":…,"probes":…,"probe_steps":…,
+    /// "cas_retries":…,"waits":…,"wait_ns":…,"arena_full":…}|null}`.
+    /// Wall-clock throughout; never an artifact.
     pub fn profile_json(&self) -> String {
         let mut out = String::from("{\"telemetry\":");
         out.push_str(&self.telemetry.snapshot().to_json());
-        out.push_str(",\"stripes\":");
-        match self.stripe_stats() {
-            Some(stats) => {
-                out.push('[');
-                for (i, s) in stats.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    let _ = write!(
-                        out,
-                        "{{\"stripe\":{i},\"contended\":{},\"wait_ns\":{}}}",
-                        s.contended, s.wait_ns
-                    );
-                }
-                out.push(']');
+        out.push_str(",\"cache\":");
+        match self.cache_stats() {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"capacity\":{},\"published\":{},\"in_flight\":{},\"abandoned\":{},\
+                     \"probes\":{},\"probe_steps\":{},\"cas_retries\":{},\"waits\":{},\
+                     \"wait_ns\":{},\"arena_full\":{}}}",
+                    s.capacity,
+                    s.published,
+                    s.in_flight,
+                    s.abandoned,
+                    s.probes,
+                    s.probe_steps,
+                    s.cas_retries,
+                    s.waits,
+                    s.wait_ns,
+                    s.arena_full
+                );
             }
             None => out.push_str("null"),
         }

@@ -194,7 +194,7 @@ fn concurrent_clients_produce_solo_identical_artifacts() {
 /// `/profile` the whole time the batch runs, per-campaign artifacts
 /// stay byte-identical to solo runs at widths 1, 2, and 4 (cold then
 /// warm corpus). The test also pins that the wait histograms really
-/// observed samples — queue dwell and stripe waits — so the
+/// observed samples — queue dwell and cache acquisitions — so the
 /// "telemetry changed nothing" result is not vacuous.
 #[test]
 fn live_scraping_telemetry_leaves_artifacts_byte_identical() {
@@ -284,18 +284,19 @@ fn live_scraping_telemetry_leaves_artifacts_byte_identical() {
         }
 
         // The side channel really recorded: dwell once per campaign,
-        // stripe waits on every corpus acquisition.
+        // a cache acquisition timing on every corpus acquisition.
         let snap = svc.telemetry().snapshot();
         let dwell = &snap.histograms[sched::QUEUE_DWELL_HISTOGRAM];
         assert_eq!(dwell.count, subs.len() as u64, "one dwell per campaign");
-        let waits = &snap.histograms[corpus::STRIPE_WAIT_HISTOGRAM];
-        assert!(waits.count > 0, "stripe acquisitions were timed");
+        let acquires = &snap.histograms[corpus::CACHE_ACQUIRE_HISTOGRAM];
+        assert!(acquires.count > 0, "cache acquisitions were timed");
 
         // And /metrics — served past drain — exposes both series with
         // their observed sample counts.
         let metrics = get(addr, "/metrics");
         assert!(metrics.contains("icd_queue_dwell_seconds_count 10"));
-        assert!(metrics.contains("icd_stripe_wait_seconds_count"));
+        assert!(metrics.contains("icd_cache_acquire_seconds_count"));
+        assert!(metrics.contains("icd_cache_probes_total"));
         server.shutdown();
     }
     let _ = fs::remove_dir_all(&dir);
