@@ -17,8 +17,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use corpus::{CACHE_ACQUIRE_HISTOGRAM, CACHE_WAIT_HISTOGRAM};
-use instantcheck::{MemoryRunCache, Scheme};
+use corpus::{Corpus, CorpusOptions, CACHE_ACQUIRE_HISTOGRAM, CACHE_WAIT_HISTOGRAM};
+use instantcheck::Scheme;
 use instantcheck_bench::json::{write_field, ToJson};
 use instantcheck_bench::Reporter;
 use instantcheck_workloads as workloads;
@@ -138,10 +138,10 @@ fn main() {
             job_budget: jobs.max(1),
             ..OrchestratorConfig::default()
         };
-        let cache: Arc<dyn instantcheck::RunCache> = Arc::new(MemoryRunCache::new());
-        let mut orch = Orchestrator::new(config, resolver(), Some(cache));
+        let corpus = Arc::new(Corpus::open(CorpusOptions::ephemeral()).expect("ephemeral corpus"));
+        let mut orch = Orchestrator::new(config, resolver(), Some(corpus));
         let telemetry = Arc::clone(orch.telemetry());
-        let cache_handle = orch.shared_cache().cloned();
+        let cache_handle = orch.corpus().cloned();
         orch.start();
         let t0 = Instant::now();
         for submission in batch(jobs) {
@@ -166,7 +166,7 @@ fn main() {
             quantiles(&snap, QUEUE_DWELL_HISTOGRAM);
         let (acquire_count, _, _, acquire_p99_ns) = quantiles(&snap, CACHE_ACQUIRE_HISTOGRAM);
         let (cache_wait_count, _, _, cache_wait_p99_ns) = quantiles(&snap, CACHE_WAIT_HISTOGRAM);
-        let stats = cache_handle.as_ref().map(|c| c.stats());
+        let stats = cache_handle.as_ref().map(|c| c.cache_stats());
         let mean_probe = stats.map_or(0.0, |s| {
             if s.probes == 0 {
                 0.0

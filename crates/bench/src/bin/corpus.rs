@@ -20,13 +20,17 @@
 //! warm path actually engaged).
 //!
 //! Campaign shape comes from the shared spec flags (`bench::cli`), so
-//! `--runs`/`--seed`/`--jobs`/`--scheme`/`--spec FILE` mean exactly
-//! what they mean to every other harness binary and to `icd`.
+//! `--runs`/`--seed`/`--jobs`/`--scheme`/`--spec FILE` — and the
+//! storage flags `--corpus-dir`/`--corpus-segment-bytes`/
+//! `--corpus-max-bytes`/`--corpus-cache-slots` — mean exactly what
+//! they mean to every other harness binary and to `icd`. `--dir DIR`
+//! is this binary's historic alias for `--corpus-dir DIR`; without
+//! either, the store lives at `results/corpus`.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use corpus::{CampaignBaseline, CorpusStore};
+use corpus::{CampaignBaseline, Corpus, CorpusOptions};
 use instantcheck::{CampaignSpec, CheckReport, Checker, CheckerConfig};
 use instantcheck_bench::cli;
 use instantcheck_workloads::AppSpec;
@@ -35,7 +39,7 @@ struct Cli {
     command: String,
     app: String,
     scaled: bool,
-    dir: String,
+    corpus: Arc<Corpus>,
     require_hits: bool,
     spec: CampaignSpec,
 }
@@ -56,7 +60,7 @@ fn parse_cli() -> Cli {
     });
     let mut command = String::new();
     let mut app = String::new();
-    let mut dir = "results/corpus".to_owned();
+    let mut dir: Option<String> = None;
     let mut require_hits = false;
     let mut i = 0;
     while i < sa.rest.len() {
@@ -67,7 +71,7 @@ fn parse_cli() -> Cli {
         match sa.rest[i].as_str() {
             "record" | "check" if command.is_empty() => command = sa.rest[i].clone(),
             "--app" => app = value(&mut i),
-            "--dir" => dir = value(&mut i),
+            "--dir" => dir = Some(value(&mut i)),
             "--require-hits" => require_hits = true,
             other => {
                 eprintln!("unknown argument {other}");
@@ -81,11 +85,41 @@ fn parse_cli() -> Cli {
     }
     let mut spec = sa.spec;
     spec.workload = format!("{app}:{}", if sa.scaled { "scaled" } else { "full" });
+    // `--dir` (this binary's historic spelling) overrides the shared
+    // `--corpus-dir`; absent both, the store defaults to
+    // `results/corpus`. All three routes land in the same
+    // `CorpusOptions`, so sizing flags apply regardless of spelling.
+    let corpus = match (&dir, &sa.corpus) {
+        (None, Some(corpus)) => Arc::clone(corpus),
+        _ => {
+            let chosen = dir
+                .or_else(|| spec.corpus_dir.clone())
+                .unwrap_or_else(|| "results/corpus".to_owned());
+            let mut options = CorpusOptions::at(&chosen);
+            if let Some(n) = spec.corpus_segment_bytes {
+                options = options.segment_bytes(n);
+            }
+            if let Some(n) = spec.corpus_max_bytes {
+                options = options.max_bytes(n);
+            }
+            if let Some(n) = spec.corpus_cache_slots {
+                options = options.cache_slots(n as usize);
+            }
+            match options.open() {
+                Ok(c) => Arc::new(c),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    spec.corpus_dir = corpus.dir().map(|p| p.to_string_lossy().into_owned());
     Cli {
         command,
         app,
         scaled: sa.scaled,
-        dir,
+        corpus,
         require_hits,
         spec,
     }
@@ -104,13 +138,9 @@ fn baseline_name(cli: &Cli) -> String {
     )
 }
 
-fn campaign(
-    cli: &Cli,
-    app: &AppSpec,
-    store: &Arc<CorpusStore>,
-) -> (Vec<instantcheck::RunHashes>, CheckReport) {
+fn campaign(cli: &Cli, app: &AppSpec) -> (Vec<instantcheck::RunHashes>, CheckReport) {
     let cfg = CheckerConfig::from_spec(&cli.spec)
-        .with_run_cache(Arc::clone(store) as _, &cli.spec.workload);
+        .with_run_cache(Arc::clone(&cli.corpus) as _, &cli.spec.workload);
     let build = Arc::clone(&app.build);
     let runs = Checker::new(cfg)
         .unwrap_or_else(|e| {
@@ -132,15 +162,12 @@ fn main() -> ExitCode {
         eprintln!("unknown app {:?} at this scale", cli.app);
         return ExitCode::from(2);
     };
-    let store = match CorpusStore::open(&cli.dir) {
-        Ok(s) => Arc::new(s),
-        Err(e) => {
-            eprintln!("cannot open corpus at {}: {e}", cli.dir);
-            return ExitCode::from(2);
-        }
-    };
+    let store = &cli.corpus;
+    let baselines = store
+        .baselines_dir()
+        .expect("corpus opened with a directory");
     let name = baseline_name(&cli);
-    let (runs, report) = campaign(&cli, &app, &store);
+    let (runs, report) = campaign(&cli, &app);
     eprintln!(
         "{}: {} runs, corpus {} hits / {} misses / {} stores / {} quarantined",
         cli.app,
@@ -160,7 +187,7 @@ fn main() -> ExitCode {
             &runs[0],
             &report,
         );
-        if let Err(e) = baseline.save(store.baselines_dir()) {
+        if let Err(e) = baseline.save(&baselines) {
             eprintln!("cannot save baseline {name}: {e}");
             return ExitCode::from(2);
         }
@@ -174,12 +201,12 @@ fn main() -> ExitCode {
     }
 
     // check
-    let baseline = match CampaignBaseline::load(store.baselines_dir(), &name) {
+    let baseline = match CampaignBaseline::load(&baselines, &name) {
         Ok(b) => b,
         Err(e) => {
             eprintln!(
                 "no baseline {name} in {}: {e} (run `corpus record` first)",
-                cli.dir
+                baselines.display()
             );
             return ExitCode::from(2);
         }

@@ -13,12 +13,22 @@
 //!
 //! ```text
 //! icd [--width N] [--queue-cap N] [--budget N] [--retries N]
-//!     [--backoff-ms N] [--deadline-ms N] [--cache-slots N] [--trace]
+//!     [--backoff-ms N] [--deadline-ms N] [--trace]
 //!     [--tenant-quota N] [--idle-timeout-ms N] [--max-bad-lines N]
-//!     [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH]
+//!     [--corpus-dir DIR] [--corpus-segment-bytes N]
+//!     [--corpus-max-bytes N] [--corpus-cache-slots N]
+//!     [--out DIR] [--batch FILE|-] [--socket PATH]
 //!     [--http ADDR] [--heartbeat-ms N]
 //! icd --connect PATH [--batch FILE|-]        # client mode
 //! ```
+//!
+//! Storage is one knob set: `--corpus-dir` opens (or creates) a
+//! log-structured run corpus through `corpus::Corpus::open`, with
+//! `--corpus-segment-bytes` / `--corpus-max-bytes` /
+//! `--corpus-cache-slots` sizing its segments, total footprint, and
+//! in-memory memo cache. The pre-namespacing spellings `--corpus DIR`
+//! and `--cache-slots N` keep working as hidden aliases of
+//! `--corpus-dir` and `--corpus-cache-slots`.
 //!
 //! Submissions are read, in order, from `--batch FILE` (`-` for
 //! stdin), then served from `--socket PATH`, then — when neither was
@@ -52,7 +62,8 @@
 //! (Prometheus text exposition v0.0.4, including the
 //! `icd_cache_acquire_seconds`, `icd_cache_wait_seconds`, and
 //! `icd_queue_dwell_seconds` wait histograms plus `icd_cache_*`
-//! contention counters), and `GET /profile` (full telemetry snapshot
+//! contention counters and, with a corpus attached, `icd_corpus_*`
+//! log-structure gauges), and `GET /profile` (full telemetry snapshot
 //! with worker lanes plus the shared-cache contention table,
 //! consumable by `icprof --profile`). The listener reuses the socket path's
 //! per-connection fault-isolation discipline and keeps answering
@@ -85,7 +96,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use instantcheck::{CampaignSpec, RunCache};
+use corpus::{Corpus, CorpusOptions};
+use instantcheck::CampaignSpec;
 use obs::json::{parse, Value};
 use obs::Heartbeat;
 use sched::{
@@ -99,7 +111,10 @@ const TICK: Duration = Duration::from_millis(50);
 
 struct IcdCli {
     config: OrchestratorConfig,
-    corpus: Option<Arc<corpus::CorpusStore>>,
+    corpus_dir: Option<String>,
+    corpus_segment_bytes: Option<u64>,
+    corpus_max_bytes: Option<u64>,
+    corpus_cache_slots: Option<u64>,
     out: String,
     batch: Option<String>,
     socket: Option<String>,
@@ -131,9 +146,10 @@ impl Default for DaemonOpts {
 fn usage() -> ! {
     eprintln!(
         "usage: icd [--width N] [--queue-cap N] [--budget N] [--retries N] \
-         [--backoff-ms N] [--deadline-ms N] [--cache-slots N] [--trace] \
+         [--backoff-ms N] [--deadline-ms N] [--trace] \
          [--tenant-quota N] [--idle-timeout-ms N] [--max-bad-lines N] \
-         [--corpus DIR] [--out DIR] [--batch FILE|-] [--socket PATH] \
+         [--corpus-dir DIR] [--corpus-segment-bytes N] [--corpus-max-bytes N] \
+         [--corpus-cache-slots N] [--out DIR] [--batch FILE|-] [--socket PATH] \
          [--http ADDR] [--heartbeat-ms N]\n\
          \x20      icd --connect PATH [--batch FILE|-]"
     );
@@ -144,7 +160,10 @@ fn parse_cli() -> IcdCli {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cli = IcdCli {
         config: OrchestratorConfig::default(),
-        corpus: None,
+        corpus_dir: None,
+        corpus_segment_bytes: None,
+        corpus_max_bytes: None,
+        corpus_cache_slots: None,
         out: "results/icd".to_owned(),
         batch: None,
         socket: None,
@@ -167,22 +186,19 @@ fn parse_cli() -> IcdCli {
             "--retries" => cli.config.retries = num(&mut i) as u32,
             "--backoff-ms" => cli.config.backoff = Duration::from_millis(num(&mut i)),
             "--deadline-ms" => cli.config.default_deadline_ms = Some(num(&mut i)),
-            "--cache-slots" => cli.config.cache_capacity = num(&mut i) as usize,
             "--trace" => cli.config.trace = true,
             "--tenant-quota" => cli.config.tenant_quota = Some(num(&mut i)),
             "--idle-timeout-ms" => {
                 cli.daemon.idle_timeout = Duration::from_millis(num(&mut i).max(1));
             }
             "--max-bad-lines" => cli.daemon.max_bad_lines = num(&mut i) as usize,
-            "--corpus" => {
-                let dir = value(&mut i);
-                match corpus::CorpusStore::open(&dir) {
-                    Ok(store) => cli.corpus = Some(Arc::new(store)),
-                    Err(e) => {
-                        eprintln!("cannot open corpus at {dir}: {e}");
-                        std::process::exit(2);
-                    }
-                }
+            // `--corpus` and `--cache-slots` predate the namespaced
+            // storage flags; both spellings feed the same options.
+            "--corpus-dir" | "--corpus" => cli.corpus_dir = Some(value(&mut i)),
+            "--corpus-segment-bytes" => cli.corpus_segment_bytes = Some(num(&mut i)),
+            "--corpus-max-bytes" => cli.corpus_max_bytes = Some(num(&mut i)),
+            "--corpus-cache-slots" | "--cache-slots" => {
+                cli.corpus_cache_slots = Some(num(&mut i));
             }
             "--out" => cli.out = value(&mut i),
             "--batch" => cli.batch = Some(value(&mut i)),
@@ -657,11 +673,32 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let cache = cli.corpus.clone().map(|s| s as Arc<dyn RunCache>);
+    let corpus: Option<Arc<Corpus>> = match &cli.corpus_dir {
+        Some(dir) => {
+            let mut options = CorpusOptions::at(dir);
+            if let Some(n) = cli.corpus_segment_bytes {
+                options = options.segment_bytes(n);
+            }
+            if let Some(n) = cli.corpus_max_bytes {
+                options = options.max_bytes(n);
+            }
+            if let Some(n) = cli.corpus_cache_slots {
+                options = options.cache_slots(n as usize);
+            }
+            match options.open() {
+                Ok(corpus) => Some(Arc::new(corpus)),
+                Err(e) => {
+                    eprintln!("icd: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
     let svc = Arc::new(Service::new(Orchestrator::new(
         cli.config.clone(),
         resolver(),
-        cache,
+        corpus.clone(),
     )));
 
     // The wall-clock telemetry plane: read-only, so it starts before
@@ -771,13 +808,20 @@ fn main() -> ExitCode {
         results.len(),
         results.iter().filter(|r| r.shed.is_some()).count(),
     );
-    if let Some(store) = &cli.corpus {
+    if let Some(corpus) = &corpus {
         eprintln!(
             "icd: corpus {} hits / {} misses / {} stores",
-            store.hits(),
-            store.misses(),
-            store.stores()
+            corpus.hits(),
+            corpus.misses(),
+            corpus.stores()
         );
+        if let Some(s) = corpus.log_stats() {
+            eprintln!(
+                "icd: corpus {} segment(s), {} live record(s), {} live / {} garbage byte(s), \
+                 {} compaction(s)",
+                s.segments, s.live_records, s.live_bytes, s.garbage_bytes, s.compactions
+            );
+        }
     }
     if failed {
         ExitCode::FAILURE

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use corpus::CorpusStore;
+use corpus::{Corpus, CorpusOptions};
 use instantcheck::{parse_rounding, parse_switch, CampaignSpec, FailurePolicy, Scheme};
 
 /// The parsed spec-level command line of a harness binary.
@@ -20,14 +20,18 @@ use instantcheck::{parse_rounding, parse_switch, CampaignSpec, FailurePolicy, Sc
 pub struct SpecArgs {
     /// The campaign template. Its `workload` is empty unless `--spec`
     /// supplied one — the table/figure binaries stamp the per-app
-    /// workload id themselves.
+    /// workload id themselves. Corpus placement flags are echoed into
+    /// the spec's shape-only `corpus_*` fields, so a recorded spec
+    /// documents the storage it ran against without moving any run key.
     pub spec: CampaignSpec,
     /// `--scaled`: use miniature workloads.
     pub scaled: bool,
     /// `--trace`: record per-campaign event traces.
     pub trace: bool,
-    /// `--corpus DIR`, already opened.
-    pub corpus: Option<Arc<CorpusStore>>,
+    /// The corpus named by `--corpus-dir` (or the historic `--corpus`
+    /// alias), already opened through [`Corpus::open`] with the sizing
+    /// flags applied.
+    pub corpus: Option<Arc<Corpus>>,
     /// Arguments this parser did not recognize, in order — binaries
     /// with extra flags (subcommands, `--dir`, …) consume these.
     pub rest: Vec<String>,
@@ -40,7 +44,9 @@ pub struct SpecArgs {
 /// `--lib-seed N`, `--switch TOKEN`, `--rounding TOKEN`, `--policy P`
 /// (`abort`/`skip`/`retry`/`retry-same`), `--deadline-ms N`,
 /// `--max-steps N`, `--jobs N`, `--cache-model`, `--trace`,
-/// `--corpus DIR`. Anything else lands in [`SpecArgs::rest`].
+/// `--corpus-dir DIR`, `--corpus-segment-bytes N`,
+/// `--corpus-max-bytes N`, `--corpus-cache-slots N` (and the historic
+/// `--corpus DIR` alias). Anything else lands in [`SpecArgs::rest`].
 /// (`--workload` matters for spec authoring; the table/figure binaries
 /// overwrite it per app.)
 ///
@@ -69,6 +75,9 @@ pub fn parse_spec(args: &[String]) -> Result<SpecArgs, String> {
     let mut scaled = false;
     let mut trace = false;
     let mut corpus_dir: Option<String> = None;
+    let mut corpus_segment_bytes: Option<u64> = None;
+    let mut corpus_max_bytes: Option<u64> = None;
+    let mut corpus_cache_slots: Option<u64> = None;
     let mut rest = Vec::new();
 
     let mut i = 0;
@@ -99,7 +108,12 @@ pub fn parse_spec(args: &[String]) -> Result<SpecArgs, String> {
             "--deadline-ms" => deadline_ms = Some(parse_num(flag, &value()?)?),
             "--max-steps" => max_steps = Some(parse_num(flag, &value()?)?),
             "--jobs" => jobs = Some(parse_num(flag, &value()?)?),
-            "--corpus" => corpus_dir = Some(value()?),
+            // `--corpus` predates the namespaced storage flags; both
+            // spellings feed the same `CorpusOptions`.
+            "--corpus-dir" | "--corpus" => corpus_dir = Some(value()?),
+            "--corpus-segment-bytes" => corpus_segment_bytes = Some(parse_num(flag, &value()?)?),
+            "--corpus-max-bytes" => corpus_max_bytes = Some(parse_num(flag, &value()?)?),
+            "--corpus-cache-slots" => corpus_cache_slots = Some(parse_num(flag, &value()?)?),
             other => rest.push(other.to_owned()),
         }
         i += 1;
@@ -153,10 +167,35 @@ pub fn parse_spec(args: &[String]) -> Result<SpecArgs, String> {
         spec.policy = resolve_policy(name, spec.runs)?;
     }
 
-    let corpus = match corpus_dir {
-        Some(dir) => Some(Arc::new(
-            CorpusStore::open(&dir).map_err(|e| format!("cannot open corpus at {dir}: {e}"))?,
-        )),
+    // Storage placement: flags override what the spec file carried,
+    // and whatever wins is echoed back into the spec's shape-only
+    // fields (never the run key).
+    if let Some(dir) = corpus_dir {
+        spec.corpus_dir = Some(dir);
+    }
+    if let Some(n) = corpus_segment_bytes {
+        spec.corpus_segment_bytes = Some(n);
+    }
+    if let Some(n) = corpus_max_bytes {
+        spec.corpus_max_bytes = Some(n);
+    }
+    if let Some(n) = corpus_cache_slots {
+        spec.corpus_cache_slots = Some(n);
+    }
+    let corpus = match &spec.corpus_dir {
+        Some(dir) => {
+            let mut options = CorpusOptions::at(dir);
+            if let Some(n) = spec.corpus_segment_bytes {
+                options = options.segment_bytes(n);
+            }
+            if let Some(n) = spec.corpus_max_bytes {
+                options = options.max_bytes(n);
+            }
+            if let Some(n) = spec.corpus_cache_slots {
+                options = options.cache_slots(n as usize);
+            }
+            Some(Arc::new(options.open().map_err(|e| e.to_string())?))
+        }
         None => None,
     };
 
@@ -286,6 +325,42 @@ mod tests {
         let sa = parse(&["--spec", &path_s, "--runs", "2"]);
         assert_eq!(sa.spec.workload, "canneal:scaled");
         assert_eq!(sa.spec.runs, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corpus_flags_open_the_store_and_land_in_the_spec_shape() {
+        let dir = std::env::temp_dir().join(format!("icd-cli-corpus-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_string_lossy().into_owned();
+
+        let sa = parse(&[
+            "--corpus-dir",
+            &dir_s,
+            "--corpus-segment-bytes",
+            "65536",
+            "--corpus-max-bytes",
+            "1048576",
+            "--corpus-cache-slots",
+            "128",
+        ]);
+        assert_eq!(sa.spec.corpus_dir.as_deref(), Some(dir_s.as_str()));
+        assert_eq!(sa.spec.corpus_segment_bytes, Some(65536));
+        assert_eq!(sa.spec.corpus_max_bytes, Some(1048576));
+        assert_eq!(sa.spec.corpus_cache_slots, Some(128));
+        let corpus = sa.corpus.expect("corpus opened");
+        assert_eq!(corpus.dir(), Some(dir.as_path()));
+        assert_eq!(corpus.cache_capacity(), 128);
+
+        // The pre-namespacing spelling keeps working, via the same path.
+        let sa = parse(&["--corpus", &dir_s]);
+        assert_eq!(sa.spec.corpus_dir.as_deref(), Some(dir_s.as_str()));
+        assert!(sa.corpus.is_some());
+
+        // The run key ignores storage placement entirely.
+        let keyed = parse(&["--corpus", &dir_s]).spec.run_key(0, 1, None);
+        let bare = parse(&[]).spec.run_key(0, 1, None);
+        assert_eq!(keyed.canonical(), bare.canonical());
         std::fs::remove_dir_all(&dir).ok();
     }
 

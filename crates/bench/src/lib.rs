@@ -54,12 +54,13 @@ pub struct HarnessOpts {
     /// Worker threads per campaign (`None` = the machine's available
     /// parallelism; the report is identical either way).
     pub jobs: Option<usize>,
-    /// Persistent run corpus (`--corpus DIR`): completed runs are
-    /// looked up in, and recorded to, the store, so repeated harness
-    /// invocations replay instead of re-simulating. Warm campaigns
-    /// produce byte-identical reports (the determinism verdicts cannot
-    /// drift with cache state), so tables and figures are unaffected.
-    pub corpus: Option<std::sync::Arc<corpus::CorpusStore>>,
+    /// Persistent run corpus (`--corpus-dir DIR`, historically
+    /// `--corpus DIR`): completed runs are looked up in, and recorded
+    /// to, the log-structured store, so repeated harness invocations
+    /// replay instead of re-simulating. Warm campaigns produce
+    /// byte-identical reports (the determinism verdicts cannot drift
+    /// with cache state), so tables and figures are unaffected.
+    pub corpus: Option<std::sync::Arc<corpus::Corpus>>,
 }
 
 impl Default for HarnessOpts {
@@ -178,12 +179,12 @@ impl HarnessOpts {
         format!("{app_name}:{}", if self.scaled { "scaled" } else { "full" })
     }
 
-    /// Attaches the `--corpus` store (when present) to a campaign
+    /// Attaches the `--corpus-dir` store (when present) to a campaign
     /// config, keyed by the app's [`workload_id`](Self::workload_id).
     pub fn with_corpus(&self, cfg: CheckerConfig, app_name: &str) -> CheckerConfig {
         match &self.corpus {
-            Some(store) => cfg.with_run_cache(
-                std::sync::Arc::clone(store) as _,
+            Some(corpus) => cfg.with_run_cache(
+                std::sync::Arc::clone(corpus) as _,
                 self.workload_id(app_name),
             ),
             None => cfg,

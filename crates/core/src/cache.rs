@@ -20,8 +20,9 @@
 //! * [`MemoryRunCache`] (here) — a process-local warm cache, useful for
 //!   repeated campaigns over the same workload within one process and
 //!   as the reference implementation for tests.
-//! * `corpus::CorpusStore` (the `corpus` crate) — a versioned,
-//!   content-addressed on-disk store with corruption quarantine, the
+//! * `corpus::Corpus` (the `corpus` crate) — the unified storage
+//!   facade: a log-structured, crash-safe on-disk store with
+//!   corruption quarantine behind a lock-free warm cache, the
 //!   persistent cross-process/cross-PR corpus.
 //!
 //! # What is cached
@@ -39,6 +40,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::{Arc, Mutex};
 
 use adhash::FpRound;
@@ -132,6 +134,45 @@ pub struct RunKey {
     pub alloc_seed: Option<u64>,
 }
 
+/// A fixed-capacity stack string for one rendered key token. Writes
+/// past the capacity fail the `fmt::Write` contract instead of
+/// allocating; capacities are sized to each field's maximum rendering.
+struct TokenBuf<const N: usize> {
+    bytes: [u8; N],
+    len: usize,
+}
+
+impl<const N: usize> TokenBuf<N> {
+    fn new() -> Self {
+        TokenBuf {
+            bytes: [0; N],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, s: &str) {
+        let _ = self.write_str(s);
+    }
+
+    fn as_str(&self) -> &str {
+        // Only whole `str`s are ever copied in, so the prefix is valid
+        // UTF-8 by construction.
+        std::str::from_utf8(&self.bytes[..self.len]).unwrap_or_default()
+    }
+}
+
+impl<const N: usize> fmt::Write for TokenBuf<N> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        let end = self.len + s.len();
+        if end > N {
+            return Err(fmt::Error);
+        }
+        self.bytes[self.len..end].copy_from_slice(s.as_bytes());
+        self.len = end;
+        Ok(())
+    }
+}
+
 impl RunKey {
     /// The key as canonical `(label, value)` fields.
     ///
@@ -142,28 +183,75 @@ impl RunKey {
     /// The encoding version rides along as its own field, so bumping
     /// [`RUN_KEY_VERSION`] invalidates old entries by key mismatch.
     pub fn tokens(&self) -> Vec<(&'static str, String)> {
-        let switch = crate::spec::switch_token(self.switch);
-        let rounding = crate::spec::rounding_token(self.rounding);
-        vec![
-            ("version", RUN_KEY_VERSION.to_string()),
-            ("workload", self.workload.clone()),
-            ("scheme", self.scheme.name().to_owned()),
-            ("seed", self.seed.to_string()),
-            ("lib_seed", self.lib_seed.to_string()),
-            ("switch", switch),
-            ("max_steps", self.max_steps.to_string()),
-            ("rounding", rounding),
-            ("ignore", format!("{:016x}", self.ignore_token)),
-            ("faults", format!("{:016x}", self.fault_token)),
-            ("cache_model", u64::from(self.cache_model).to_string()),
-            (
-                "alloc_seed",
-                match self.alloc_seed {
-                    None => "log".to_owned(),
-                    Some(s) => s.to_string(),
-                },
-            ),
-        ]
+        self.with_tokens(|fields| {
+            fields
+                .iter()
+                .map(|(label, value)| (*label, (*value).to_owned()))
+                .collect()
+        })
+    }
+
+    /// [`tokens`](RunKey::tokens) as borrowed `(label, value)` pairs on
+    /// the stack — same labels, same values, same order, no per-field
+    /// allocation. This is the form the corpus lookup path consumes on
+    /// every cache probe, where the owned vector would be pure
+    /// overhead.
+    pub fn with_tokens<R>(&self, f: impl FnOnce(&[(&'static str, &str)]) -> R) -> R {
+        let mut version = TokenBuf::<10>::new();
+        let _ = write!(version, "{RUN_KEY_VERSION}");
+        let mut seed = TokenBuf::<20>::new();
+        let _ = write!(seed, "{}", self.seed);
+        let mut lib_seed = TokenBuf::<20>::new();
+        let _ = write!(lib_seed, "{}", self.lib_seed);
+        let mut switch = TokenBuf::<32>::new();
+        match self.switch {
+            SwitchPolicy::SyncOnly => switch.push("sync-only"),
+            SwitchPolicy::EveryAccess => switch.push("every-access"),
+            SwitchPolicy::EveryNth(n) => {
+                let _ = write!(switch, "every-nth:{n}");
+            }
+        }
+        let mut max_steps = TokenBuf::<20>::new();
+        let _ = write!(max_steps, "{}", self.max_steps);
+        let mut rounding = TokenBuf::<32>::new();
+        match self.rounding {
+            None => rounding.push("none"),
+            Some(FpRound::BitExact) => rounding.push("bit-exact"),
+            Some(FpRound::MaskMantissa { bits }) => {
+                let _ = write!(rounding, "mask-mantissa:{bits}");
+            }
+            Some(FpRound::FloorDecimal { digits }) => {
+                let _ = write!(rounding, "floor-decimal:{digits}");
+            }
+            Some(FpRound::NearestDecimal { digits }) => {
+                let _ = write!(rounding, "nearest-decimal:{digits}");
+            }
+        }
+        let mut ignore = TokenBuf::<16>::new();
+        let _ = write!(ignore, "{:016x}", self.ignore_token);
+        let mut faults = TokenBuf::<16>::new();
+        let _ = write!(faults, "{:016x}", self.fault_token);
+        let mut alloc_seed = TokenBuf::<20>::new();
+        match self.alloc_seed {
+            None => alloc_seed.push("log"),
+            Some(s) => {
+                let _ = write!(alloc_seed, "{s}");
+            }
+        }
+        f(&[
+            ("version", version.as_str()),
+            ("workload", &self.workload),
+            ("scheme", self.scheme.name()),
+            ("seed", seed.as_str()),
+            ("lib_seed", lib_seed.as_str()),
+            ("switch", switch.as_str()),
+            ("max_steps", max_steps.as_str()),
+            ("rounding", rounding.as_str()),
+            ("ignore", ignore.as_str()),
+            ("faults", faults.as_str()),
+            ("cache_model", if self.cache_model { "1" } else { "0" }),
+            ("alloc_seed", alloc_seed.as_str()),
+        ])
     }
 
     /// A canonical single-string rendering of [`tokens`](RunKey::tokens)
@@ -404,6 +492,44 @@ mod tests {
             zero_fill_instr: 0,
             alloc_log: None,
             sim_trace: None,
+        }
+    }
+
+    #[test]
+    fn with_tokens_renders_exactly_like_the_token_helpers() {
+        // The stack rendering duplicates switch_token/rounding_token's
+        // formats; this pins them together across every parametric
+        // variant so the fingerprint can never drift from the spec
+        // tokens.
+        let mut key = sample_key();
+        key.workload = "canneal:full".into();
+        key.seed = u64::MAX;
+        key.lib_seed = 0;
+        key.switch = SwitchPolicy::EveryNth(12345);
+        key.max_steps = 42;
+        key.rounding = Some(FpRound::NearestDecimal { digits: 6 });
+        key.ignore_token = 0xdead_beef;
+        key.fault_token = u64::MAX;
+        key.cache_model = true;
+        key.alloc_seed = Some(u64::MAX);
+        for key in [sample_key(), key] {
+            let owned = key.tokens();
+            key.with_tokens(|borrowed| {
+                assert_eq!(owned.len(), borrowed.len());
+                for ((ol, ov), (bl, bv)) in owned.iter().zip(borrowed) {
+                    assert_eq!((ol, ov.as_str()), (bl, *bv));
+                }
+            });
+            assert_eq!(
+                owned[5].1,
+                crate::spec::switch_token(key.switch),
+                "switch rendering drifted"
+            );
+            assert_eq!(
+                owned[7].1,
+                crate::spec::rounding_token(key.rounding),
+                "rounding rendering drifted"
+            );
         }
     }
 

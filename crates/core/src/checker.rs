@@ -224,6 +224,10 @@ impl CheckerConfig {
             jobs: self.jobs,
             cache_model: self.cache_model,
             fault_plans: self.fault_plans.clone(),
+            corpus_dir: None,
+            corpus_segment_bytes: None,
+            corpus_max_bytes: None,
+            corpus_cache_slots: None,
         })
     }
 

@@ -105,6 +105,16 @@ pub struct CampaignSpec {
     pub cache_model: bool,
     /// Fault-injection plans applied to specific run slots.
     pub fault_plans: Vec<(usize, FaultPlan)>,
+    /// Corpus directory the campaign was recorded against (`None` =
+    /// unspecified). Shape-only: storage placement never enters a
+    /// [`run_key`](CampaignSpec::run_key).
+    pub corpus_dir: Option<String>,
+    /// Target segment size of that corpus, in bytes (shape-only).
+    pub corpus_segment_bytes: Option<u64>,
+    /// Size bound of that corpus, in bytes (shape-only).
+    pub corpus_max_bytes: Option<u64>,
+    /// Memo-cache slots layered over that corpus (shape-only).
+    pub corpus_cache_slots: Option<u64>,
 }
 
 /// Stable token for a [`SwitchPolicy`] — shared by spec JSON,
@@ -282,6 +292,10 @@ impl CampaignSpec {
             jobs: None,
             cache_model: false,
             fault_plans: Vec::new(),
+            corpus_dir: None,
+            corpus_segment_bytes: None,
+            corpus_max_bytes: None,
+            corpus_cache_slots: None,
         }
     }
 
@@ -447,7 +461,24 @@ impl CampaignSpec {
             }
             out.push_str("]}");
         }
-        out.push_str("]}");
+        out.push(']');
+        // Shape-only corpus placement fields are emitted only when set,
+        // so specs written before they existed keep serializing to the
+        // exact bytes they were committed with.
+        if let Some(dir) = &self.corpus_dir {
+            out.push_str(",\"corpus_dir\":");
+            write_str(&mut out, dir);
+        }
+        if let Some(n) = self.corpus_segment_bytes {
+            let _ = write!(out, ",\"corpus_segment_bytes\":{n}");
+        }
+        if let Some(n) = self.corpus_max_bytes {
+            let _ = write!(out, ",\"corpus_max_bytes\":{n}");
+        }
+        if let Some(n) = self.corpus_cache_slots {
+            let _ = write!(out, ",\"corpus_cache_slots\":{n}");
+        }
+        out.push('}');
         out
     }
 
@@ -486,6 +517,15 @@ impl CampaignSpec {
                     .as_u64()
                     .map(Some)
                     .ok_or_else(|| format!("bad numeric field {name:?}")),
+            }
+        };
+        let opt_str_field = |name: &str| -> Result<Option<String>, String> {
+            match v.get(name) {
+                None | Some(Value::Null) => Ok(None),
+                Some(val) => val
+                    .as_str()
+                    .map(|s| Some(s.to_owned()))
+                    .ok_or_else(|| format!("bad string field {name:?}")),
             }
         };
         let version = u64_field("version")?;
@@ -614,6 +654,10 @@ impl CampaignSpec {
             jobs: opt_u64_field("jobs")?.map(|n| n as usize),
             cache_model,
             fault_plans,
+            corpus_dir: opt_str_field("corpus_dir")?,
+            corpus_segment_bytes: opt_u64_field("corpus_segment_bytes")?,
+            corpus_max_bytes: opt_u64_field("corpus_max_bytes")?,
+            corpus_cache_slots: opt_u64_field("corpus_cache_slots")?,
         })
     }
 }
@@ -650,6 +694,10 @@ mod tests {
                     .with(FaultKind::AllocFail, Trigger::Nth(0))
                     .with(FaultKind::BitFlip, Trigger::Rate { num: 1, denom: 50 }),
             )],
+            corpus_dir: Some("results/corpus".into()),
+            corpus_segment_bytes: Some(1 << 23),
+            corpus_max_bytes: Some(1 << 30),
+            corpus_cache_slots: Some(1 << 14),
         }
     }
 
@@ -747,7 +795,22 @@ mod tests {
         reshaped.policy = FailurePolicy::Abort;
         reshaped.deadline_ms = None;
         reshaped.jobs = None;
+        reshaped.corpus_dir = None;
+        reshaped.corpus_segment_bytes = None;
+        reshaped.corpus_max_bytes = None;
+        reshaped.corpus_cache_slots = None;
         assert_eq!(reshaped.run_key(0, 1, None).canonical(), key);
+    }
+
+    #[test]
+    fn specs_without_corpus_fields_serialize_as_before_them() {
+        // Committed spec files predate the corpus placement fields;
+        // an all-`None` spec must keep producing the exact bytes those
+        // files hold, and parsing them must keep working.
+        let spec = CampaignSpec::new("w", Scheme::HwInc);
+        let line = spec.to_json();
+        assert!(!line.contains("corpus"), "{line}");
+        assert_eq!(CampaignSpec::from_json(&line).expect("parses"), spec);
     }
 
     #[test]

@@ -121,6 +121,9 @@ fn esc(s: &str) -> String {
 
 /// Inverse of [`esc`].
 fn unesc(s: &str) -> Result<String, Corruption> {
+    if !s.contains('%') {
+        return Ok(s.to_owned());
+    }
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -258,16 +261,10 @@ fn field_u64(parts: &mut std::str::SplitWhitespace<'_>, name: &str) -> Result<u6
         .map_err(|_| malformed(format!("bad {name} value {value:?}")))
 }
 
-/// Deserializes one entry, verifying magic, version, length, and
-/// checksum before touching any field. Returns the stored key tokens
-/// (for the caller to match against the key it looked up) and the run.
-///
-/// # Errors
-///
-/// A [`Corruption`] describing the first problem found; the caller
-/// quarantines the file and recomputes the run.
-pub fn decode_entry(text: &str) -> Result<(Vec<(String, String)>, CachedRun), Corruption> {
-    // Header: four lines, verified strictly before the body is parsed.
+/// Verifies the four header lines — magic, version, fingerprint,
+/// length, checksum — and returns the declared fingerprint plus the
+/// body slice. The single checksum pass over the body happens here.
+fn parse_header(text: &str) -> Result<(u128, &str), Corruption> {
     let mut header_end = 0usize;
     for _ in 0..4 {
         match text[header_end..].find('\n') {
@@ -310,6 +307,57 @@ pub fn decode_entry(text: &str) -> Result<(Vec<(String, String)>, CachedRun), Co
     if fnv64(body.as_bytes()) != sum {
         return Err(Corruption::BadChecksum);
     }
+    Ok((fp_declared, body))
+}
+
+/// Compares an escaped stored value against a plain expected one
+/// without allocating: equivalent to `esc(plain) == escaped`, which
+/// (because [`esc`] is injective and [`encode_entry`] is the only
+/// writer, always emitting canonical escapes) is equivalent to
+/// `unesc(escaped)? == plain`.
+fn esc_eq(escaped: &str, plain: &str) -> bool {
+    let hx = |n: u8| -> u8 {
+        if n < 10 {
+            b'0' + n
+        } else {
+            b'a' + (n - 10)
+        }
+    };
+    let mut e = escaped.bytes();
+    for c in plain.chars() {
+        match c {
+            '%' | ' ' | '\n' | '\r' | '\t' => {
+                let code = c as u8;
+                if e.next() != Some(b'%')
+                    || e.next() != Some(hx(code >> 4))
+                    || e.next() != Some(hx(code & 0xf))
+                {
+                    return false;
+                }
+            }
+            c => {
+                let mut buf = [0u8; 4];
+                for &b in c.encode_utf8(&mut buf).as_bytes() {
+                    if e.next() != Some(b) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    e.next().is_none()
+}
+
+/// Deserializes one entry, verifying magic, version, length, and
+/// checksum before touching any field. Returns the stored key tokens
+/// (for the caller to match against the key it looked up) and the run.
+///
+/// # Errors
+///
+/// A [`Corruption`] describing the first problem found; the caller
+/// quarantines the file and recomputes the run.
+pub fn decode_entry(text: &str) -> Result<(Vec<(String, String)>, CachedRun), Corruption> {
+    let (fp_declared, body) = parse_header(text)?;
 
     // Body: key tokens, run record, hashes, then the optional sections.
     let mut lines = body.lines();
@@ -333,6 +381,86 @@ pub fn decode_entry(text: &str) -> Result<(Vec<(String, String)>, CachedRun), Co
         return Err(malformed("entry has no key tokens"));
     }
 
+    let run = parse_sections(pending, lines)?;
+
+    // The declared fingerprint must match the stored tokens — a file
+    // renamed over another entry's address is corruption, not a hit.
+    let fields: Vec<(&str, &str)> = tokens
+        .iter()
+        .map(|(l, v)| (l.as_str(), v.as_str()))
+        .collect();
+    if crate::fingerprint::fingerprint_fields(&fields) != fp_declared {
+        return Err(malformed("declared fingerprint does not match key tokens"));
+    }
+
+    Ok((tokens, run))
+}
+
+/// The log engine's hot lookup path: decodes one entry *and* verifies
+/// it is the record for `(fp, expected)` in a single pass, with no
+/// owned-token allocation. Token comparison against the requested
+/// key's canonical tokens is strictly stronger than
+/// [`decode_entry`]'s fingerprint recomputation (it is the preimage
+/// check the fingerprint only approximates), so this path skips the
+/// recomputation.
+///
+/// # Errors
+///
+/// Any structural [`Corruption`] first; a structurally valid entry
+/// whose stored key differs from `expected` (a fingerprint collision,
+/// or a record compacted to the wrong address) is
+/// [`Corruption::Malformed`], never a hit.
+pub(crate) fn decode_entry_for(
+    text: &str,
+    fp: u128,
+    expected: &[(&'static str, &str)],
+) -> Result<CachedRun, Corruption> {
+    let (fp_declared, body) = parse_header(text)?;
+    if fp_declared != fp {
+        return Err(malformed("stored entry does not match its address"));
+    }
+
+    let mut lines = body.lines();
+    let mut matched = 0usize;
+    let mut mismatch = false;
+    let mut pending: Option<&str> = None;
+    for line in lines.by_ref() {
+        match line.strip_prefix("key ") {
+            Some(rest) => {
+                let (label, value) = rest
+                    .split_once('=')
+                    .ok_or_else(|| malformed(format!("bad key line {line:?}")))?;
+                match expected.get(matched) {
+                    Some((el, ev)) if *el == label && esc_eq(value, ev) => matched += 1,
+                    _ => mismatch = true,
+                }
+            }
+            None => {
+                pending = Some(line);
+                break;
+            }
+        }
+    }
+    if matched == 0 && !mismatch {
+        return Err(malformed("entry has no key tokens"));
+    }
+
+    // Structural damage outranks a key mismatch, exactly as in the
+    // two-pass path (decode first, compare after).
+    let run = parse_sections(pending, lines)?;
+    if mismatch || matched != expected.len() {
+        return Err(malformed("stored key does not match its address"));
+    }
+    Ok(run)
+}
+
+/// Parses everything after the key tokens — the run record, hashes,
+/// and the optional l1/checkpoint/alloclog/trace sections — consuming
+/// the remaining body lines.
+fn parse_sections(
+    pending: Option<&str>,
+    mut lines: std::str::Lines<'_>,
+) -> Result<CachedRun, Corruption> {
     let run_line = pending.ok_or_else(|| malformed("missing run line"))?;
     let mut parts = run_line
         .strip_prefix("run ")
@@ -355,7 +483,9 @@ pub fn decode_entry(text: &str) -> Result<(Vec<(String, String)>, CachedRun), Co
     let hash_updates = field_u64(&mut parts, "hashup")?;
 
     let mut cache = None;
-    let mut checkpoints: Vec<CheckpointRecord> = Vec::new();
+    // Typical runs carry a handful of checkpoints; one reservation
+    // keeps the common case to a single allocation.
+    let mut checkpoints: Vec<CheckpointRecord> = Vec::with_capacity(8);
     let mut alloc_log: Option<Arc<AllocLog>> = None;
     let mut sim_trace = None;
     let mut next = lines.next();
@@ -431,34 +561,21 @@ pub fn decode_entry(text: &str) -> Result<(Vec<(String, String)>, CachedRun), Co
         return Err(malformed(format!("unexpected trailing line {line:?}")));
     }
 
-    // The declared fingerprint must match the stored tokens — a file
-    // renamed over another entry's address is corruption, not a hit.
-    let fields: Vec<(&str, &str)> = tokens
-        .iter()
-        .map(|(l, v)| (l.as_str(), v.as_str()))
-        .collect();
-    if crate::fingerprint::fingerprint_fields(&fields) != fp_declared {
-        return Err(malformed("declared fingerprint does not match key tokens"));
-    }
-
-    Ok((
-        tokens,
-        CachedRun {
-            hashes: RunHashes {
-                checkpoints,
-                output_digest,
-                extra_instr,
-                stores,
-                hash_updates,
-                cache,
-            },
-            steps,
-            native_instr,
-            zero_fill_instr,
-            alloc_log,
-            sim_trace,
+    Ok(CachedRun {
+        hashes: RunHashes {
+            checkpoints,
+            output_digest,
+            extra_instr,
+            stores,
+            hash_updates,
+            cache,
         },
-    ))
+        steps,
+        native_instr,
+        zero_fill_instr,
+        alloc_log,
+        sim_trace,
+    })
 }
 
 /// Builds the `mhm` counter struct without naming its crate in our
@@ -483,6 +600,26 @@ mod tests {
         }
         assert!(unesc("%zz").is_err());
         assert!(unesc("%2").is_err());
+    }
+
+    #[test]
+    fn esc_eq_agrees_with_escaping() {
+        for s in [
+            "plain",
+            "with space",
+            "pct%20",
+            "tab\tnl\n",
+            "%%",
+            "",
+            "ünïcode",
+        ] {
+            assert!(esc_eq(&esc(s), s), "esc_eq rejects esc({s:?})");
+        }
+        assert!(!esc_eq("plain", "plaiN"));
+        assert!(!esc_eq("plain", "plain "));
+        assert!(!esc_eq("plain%20", "plain"));
+        assert!(!esc_eq("a%20b", "a b c"));
+        assert!(!esc_eq("a b", "a b"), "unescaped space never matches");
     }
 
     #[test]

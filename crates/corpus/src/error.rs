@@ -1,0 +1,131 @@
+//! The unified corpus error surface.
+//!
+//! Every fallible corpus operation reports a [`CorpusError`]. The enum
+//! is `#[non_exhaustive]` so later engine work (new corruption classes,
+//! new storage phases) can add variants without breaking callers, and
+//! each variant names the phase that failed — open, append, index,
+//! quarantine — so a caller can distinguish "the store is unusable"
+//! from "one record was bad".
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use crate::entry::Corruption;
+
+/// Any error a corpus operation can report.
+///
+/// Replaces the previous per-module error types (`io::Error` with
+/// stringly kinds from `Store::open`, ad-hoc strings elsewhere) with
+/// one typed surface. [`From<io::Error>`] is kept so existing `?`
+/// call sites migrate mechanically.
+#[non_exhaustive]
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The store could not be opened: directories or the format marker
+    /// could not be created or read.
+    Open {
+        /// The corpus root that failed to open.
+        dir: PathBuf,
+        /// The underlying I/O failure.
+        source: io::Error,
+    },
+    /// The directory holds a corpus of a different on-disk format.
+    /// An incompatible store — including a PR-4 `icorpus` one-file-
+    /// per-run store — is refused outright, never silently misread or
+    /// migrated in place.
+    FormatMismatch {
+        /// The corpus root with the foreign marker.
+        dir: PathBuf,
+        /// The marker found on disk (trimmed).
+        found: String,
+        /// The marker this build reads and writes.
+        expected: String,
+    },
+    /// Appending a record to the active segment failed.
+    Append(io::Error),
+    /// Scanning segments to (re)build the in-memory index failed.
+    Index(io::Error),
+    /// A corrupt record could not be moved into quarantine.
+    Quarantine {
+        /// The corruption class of the record being quarantined.
+        class: Corruption,
+        /// The underlying I/O failure.
+        source: io::Error,
+    },
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorpusError::Open { dir, source } => {
+                write!(f, "cannot open corpus at {}: {source}", dir.display())
+            }
+            CorpusError::FormatMismatch {
+                dir,
+                found,
+                expected,
+            } => write!(
+                f,
+                "corpus at {} has format {found:?}, this build reads {expected:?}",
+                dir.display()
+            ),
+            CorpusError::Append(e) => write!(f, "corpus append failed: {e}"),
+            CorpusError::Index(e) => write!(f, "corpus index build failed: {e}"),
+            CorpusError::Quarantine { class, source } => {
+                write!(f, "cannot quarantine {} record: {source}", class.label())
+            }
+            CorpusError::Io(e) => write!(f, "corpus i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusError::Open { source, .. } | CorpusError::Quarantine { source, .. } => {
+                Some(source)
+            }
+            CorpusError::Append(e) | CorpusError::Index(e) | CorpusError::Io(e) => Some(e),
+            CorpusError::FormatMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CorpusError {
+    fn from(e: io::Error) -> CorpusError {
+        CorpusError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_phase() {
+        let e = CorpusError::Open {
+            dir: PathBuf::from("/nowhere"),
+            source: io::Error::new(io::ErrorKind::PermissionDenied, "denied"),
+        };
+        assert!(e.to_string().contains("cannot open corpus at /nowhere"));
+        let e = CorpusError::FormatMismatch {
+            dir: PathBuf::from("/x"),
+            found: "icorpus 1".into(),
+            expected: "icseg 1".into(),
+        };
+        assert!(e.to_string().contains("icorpus 1"));
+        assert!(e.to_string().contains("icseg 1"));
+    }
+
+    #[test]
+    fn io_errors_convert_mechanically() {
+        fn fallible() -> Result<(), CorpusError> {
+            Err(io::Error::other("boom"))?;
+            Ok(())
+        }
+        assert!(matches!(fallible(), Err(CorpusError::Io(_))));
+    }
+}

@@ -17,8 +17,10 @@ const LO_SEED: u64 = 0xc0f_9a5e_0000_0001;
 /// the two halves never cancel together).
 const HI_SEED: u64 = 0x5ee_dbee_f000_0002;
 
-/// Plain FNV-1a — the entry body checksum.
-pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+/// Plain FNV-1a — the checksum of entry bodies and record frames.
+/// Public so offline tooling (and tests) can re-frame or audit segment
+/// records without linking the whole engine.
+pub fn fnv64(bytes: &[u8]) -> u64 {
     fnv64_seeded(0, bytes)
 }
 
@@ -65,14 +67,11 @@ pub fn fingerprint_fields(fields: &[(&str, &str)]) -> u128 {
 
 /// The fingerprint a [`RunKey`] is stored under: its canonical
 /// [`tokens`](RunKey::tokens) (which include the key-encoding version),
-/// fingerprinted order-independently.
+/// fingerprinted order-independently. Uses the key's stack-rendered
+/// token form ([`RunKey::with_tokens`]), so fingerprinting allocates
+/// nothing.
 pub fn fingerprint_key(key: &RunKey) -> u128 {
-    let tokens = key.tokens();
-    let fields: Vec<(&str, &str)> = tokens
-        .iter()
-        .map(|(label, value)| (*label, value.as_str()))
-        .collect();
-    fingerprint_fields(&fields)
+    key.with_tokens(fingerprint_fields)
 }
 
 #[cfg(test)]

@@ -1,0 +1,387 @@
+//! The in-memory fingerprint index over the segment log, and the
+//! mutable log state (`LogInner`) every write path goes through.
+//!
+//! The index is rebuilt by scanning the segments on first use — the
+//! log itself is the only durable structure; there is no on-disk index
+//! to corrupt. The rebuild applies two rules:
+//!
+//! * **Later wins.** Records are scanned in `(segment id, offset)`
+//!   order and a later record for a fingerprint supersedes an earlier
+//!   one, whose bytes become garbage in their segment. This is what
+//!   makes compaction crash-safe: a crash after copying live records
+//!   but before deleting the source segment leaves duplicates that the
+//!   next rebuild resolves identically.
+//! * **Torn tails truncate.** A crash mid-append can only damage the
+//!   tail of the active segment; the structural scan finds the first
+//!   unparseable byte, the torn bytes are preserved for quarantine,
+//!   and the file is truncated back to its last whole record. Records
+//!   before the tear are untouched.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::segment::{
+    open_name, parse_segment_name, scan_segment, sealed_name, ScannedRecord, SEGMENT_MAGIC,
+};
+
+/// Environment variable arming a seeded crash point, for crash-recovery
+/// tests: `ICSEG_CRASH=<point>[:<n>]` aborts the process at the n-th
+/// (default first) hit of the named point. Points: `append` (a torn
+/// half-record write), `seal-pre` (before the seal rename), `seal-post`
+/// (after the rename, before the next active segment exists), and
+/// `compact` (after live records are rewritten, before the source
+/// segment is deleted).
+pub const CRASH_ENV: &str = "ICSEG_CRASH";
+
+/// Seeded fault points, parsed once from [`CRASH_ENV`]. Inert (two
+/// relaxed atomic loads) unless the variable is set.
+#[derive(Debug)]
+pub(crate) struct CrashPoints {
+    point: Option<(String, u64)>,
+    hits: AtomicU64,
+}
+
+impl CrashPoints {
+    pub(crate) fn from_env() -> CrashPoints {
+        let point = std::env::var(CRASH_ENV)
+            .ok()
+            .map(|v| match v.split_once(':') {
+                Some((name, n)) => (name.to_owned(), n.parse().unwrap_or(1).max(1)),
+                None => (v, 1),
+            });
+        CrashPoints {
+            point,
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the named point fires now (its configured hit count was
+    /// just reached). The caller performs the seeded damage and aborts.
+    pub(crate) fn fires(&self, name: &str) -> bool {
+        match &self.point {
+            Some((p, n)) if p == name => self.hits.fetch_add(1, Ordering::Relaxed) + 1 == *n,
+            _ => false,
+        }
+    }
+}
+
+/// Where a live record lives.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RecordLoc {
+    /// Segment id.
+    pub seg: u64,
+    /// Payload byte offset within the segment.
+    pub payload_offset: u64,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Whole-record length (frame + payload), for garbage accounting.
+    pub record_len: u64,
+}
+
+/// One segment's open handle and byte accounting.
+#[derive(Debug)]
+pub(crate) struct SegmentInfo {
+    /// Shared read handle; also the write handle of the active segment.
+    pub file: Arc<File>,
+    /// Sealed segments are immutable; exactly one segment is not.
+    pub sealed: bool,
+    /// Current byte length.
+    pub len: u64,
+    /// Bytes of live (indexed) records.
+    pub live_bytes: u64,
+    /// Bytes of superseded or quarantined records.
+    pub garbage_bytes: u64,
+    /// Count of live records.
+    pub live_records: u64,
+}
+
+/// A torn tail preserved from a scan, for quarantine by the caller.
+#[derive(Debug)]
+pub(crate) struct TornTail {
+    /// The segment the tail was cut from.
+    pub seg: u64,
+    /// Offset the tear started at.
+    pub offset: u64,
+    /// The unparseable bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// What a rebuild found, beyond the index itself.
+#[derive(Debug, Default)]
+pub(crate) struct BuildReport {
+    /// Torn tails cut from segments (normally at most one, on the
+    /// active segment, after a crash).
+    pub torn: Vec<TornTail>,
+    /// Live records indexed.
+    pub records: u64,
+}
+
+/// The mutable log state: fingerprint index, segment table, and the
+/// active segment every append goes to. All mutation happens behind
+/// the store's mutex; reads clone the `Arc<File>` handle and leave.
+#[derive(Debug)]
+pub(crate) struct LogInner {
+    segments_dir: PathBuf,
+    /// fingerprint → live record location.
+    pub map: HashMap<u128, RecordLoc>,
+    /// Segment table in id (= age) order.
+    pub segments: BTreeMap<u64, SegmentInfo>,
+    /// Id of the active segment.
+    pub active: u64,
+    /// Segments sealed by this instance.
+    pub sealed_count: u64,
+}
+
+impl LogInner {
+    /// Scans `segments_dir` and rebuilds the index. Creates the first
+    /// active segment if the log is empty; truncates torn tails and
+    /// reports them for quarantine.
+    pub(crate) fn open(segments_dir: &Path) -> io::Result<(LogInner, BuildReport)> {
+        let mut found: Vec<(u64, bool)> = Vec::new();
+        for entry in fs::read_dir(segments_dir)? {
+            let entry = entry?;
+            if let Some(parsed) = entry.file_name().to_str().and_then(parse_segment_name) {
+                found.push(parsed);
+            }
+        }
+        found.sort_unstable();
+
+        let mut inner = LogInner {
+            segments_dir: segments_dir.to_path_buf(),
+            map: HashMap::new(),
+            segments: BTreeMap::new(),
+            active: 0,
+            sealed_count: 0,
+        };
+        let mut report = BuildReport::default();
+
+        for &(id, sealed) in &found {
+            let name = if sealed {
+                sealed_name(id)
+            } else {
+                open_name(id)
+            };
+            let path = segments_dir.join(name);
+            let bytes = fs::read(&path)?;
+            let scan = scan_segment(&bytes);
+            if scan.torn {
+                report.torn.push(TornTail {
+                    seg: id,
+                    offset: scan.valid_len,
+                    bytes: bytes[scan.valid_len as usize..].to_vec(),
+                });
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(scan.valid_len)?;
+            }
+            // A stale `.open` segment older than the newest one (a
+            // crash window between seal and next-active creation never
+            // leaves this, but be safe) is sealed on sight.
+            let is_last = id == found.last().expect("nonempty").0;
+            let (path, sealed) = if !sealed && !is_last {
+                let sealed_path = segments_dir.join(sealed_name(id));
+                fs::rename(&path, &sealed_path)?;
+                (sealed_path, true)
+            } else {
+                (path, sealed)
+            };
+            let file = if sealed {
+                File::open(&path)?
+            } else {
+                OpenOptions::new().read(true).write(true).open(&path)?
+            };
+            let mut info = SegmentInfo {
+                file: Arc::new(file),
+                sealed,
+                len: scan.valid_len,
+                live_bytes: 0,
+                garbage_bytes: 0,
+                live_records: 0,
+            };
+            for rec in &scan.records {
+                index_record(&mut inner.map, &mut inner.segments, &mut info, id, rec);
+            }
+            inner.segments.insert(id, info);
+            if !sealed {
+                inner.active = id;
+            }
+        }
+        report.records = inner.map.len() as u64;
+
+        if inner.active == 0 {
+            let id = inner.segments.keys().next_back().copied().unwrap_or(0) + 1;
+            inner.create_active(id)?;
+        }
+        Ok((inner, report))
+    }
+
+    fn create_active(&mut self, id: u64) -> io::Result<()> {
+        let path = self.segments_dir.join(open_name(id));
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        self.segments.insert(
+            id,
+            SegmentInfo {
+                file: Arc::new(file),
+                sealed: false,
+                len: 0,
+                live_bytes: 0,
+                garbage_bytes: 0,
+                live_records: 0,
+            },
+        );
+        self.active = id;
+        Ok(())
+    }
+
+    /// Seals the active segment (atomic rename `.open` → `.icseg`) and
+    /// starts the next one. `crash` arms the seeded `seal-pre` /
+    /// `seal-post` fault points.
+    pub(crate) fn seal_active(&mut self, crash: &CrashPoints) -> io::Result<()> {
+        let id = self.active;
+        if crash.fires("seal-pre") {
+            std::process::abort();
+        }
+        let from = self.segments_dir.join(open_name(id));
+        let to = self.segments_dir.join(sealed_name(id));
+        fs::rename(&from, &to)?;
+        if let Some(info) = self.segments.get_mut(&id) {
+            info.sealed = true;
+            // Reopen read-only so the sealed handle can never write.
+            info.file = Arc::new(File::open(&to)?);
+        }
+        self.sealed_count += 1;
+        if crash.fires("seal-post") {
+            std::process::abort();
+        }
+        self.create_active(id + 1)
+    }
+
+    /// Appends one framed record to the active segment, sealing first
+    /// when the append would overflow `segment_bytes`. Updates the
+    /// index; a superseded older record becomes garbage in its segment.
+    /// `crash` arms the seeded `append` fault point (a torn
+    /// half-record write followed by abort).
+    pub(crate) fn append(
+        &mut self,
+        fp: u128,
+        record: &[u8],
+        segment_bytes: u64,
+        crash: &CrashPoints,
+    ) -> io::Result<()> {
+        let active_len = self.segments[&self.active].len;
+        if active_len > 0 && active_len + record.len() as u64 > segment_bytes {
+            self.seal_active(crash)?;
+        }
+        let info = self.segments.get_mut(&self.active).expect("active exists");
+        if crash.fires("append") {
+            let half = record.len() / 2;
+            let _ = info.file.write_all_at(&record[..half], info.len);
+            let _ = info.file.sync_data();
+            std::process::abort();
+        }
+        info.file.write_all_at(record, info.len)?;
+        let scan = scan_segment(record);
+        let rec = scan.records.first().expect("caller frames the record");
+        let rec = ScannedRecord {
+            record_offset: info.len + rec.record_offset,
+            payload_offset: info.len + rec.payload_offset,
+            ..*rec
+        };
+        debug_assert_eq!(rec.fp, fp);
+        info.len += record.len() as u64;
+        let id = self.active;
+        let mut info = self.segments.remove(&id).expect("active exists");
+        index_record(&mut self.map, &mut self.segments, &mut info, id, &rec);
+        self.segments.insert(id, info);
+        Ok(())
+    }
+
+    /// Looks a fingerprint up, returning a cloned file handle plus the
+    /// record location so the read can happen outside the store lock.
+    pub(crate) fn locate(&self, fp: u128) -> Option<(Arc<File>, RecordLoc)> {
+        let loc = self.map.get(&fp)?;
+        let info = self.segments.get(&loc.seg)?;
+        Some((Arc::clone(&info.file), *loc))
+    }
+
+    /// Drops a fingerprint from the index (quarantined or untrusted
+    /// record); its bytes become garbage in their segment.
+    pub(crate) fn mark_dead(&mut self, fp: u128) {
+        if let Some(loc) = self.map.remove(&fp) {
+            if let Some(info) = self.segments.get_mut(&loc.seg) {
+                info.live_bytes -= loc.record_len;
+                info.live_records -= 1;
+                info.garbage_bytes += loc.record_len;
+            }
+        }
+    }
+
+    /// Live record count.
+    pub(crate) fn live_records(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total bytes across all segments.
+    pub(crate) fn total_bytes(&self) -> u64 {
+        self.segments.values().map(|s| s.len).sum()
+    }
+
+    /// Deletes a segment outright (eviction, or compaction source
+    /// cleanup). Live records still indexed in it are dropped.
+    pub(crate) fn remove_segment(&mut self, id: u64) -> io::Result<u64> {
+        let Some(info) = self.segments.remove(&id) else {
+            return Ok(0);
+        };
+        let name = if info.sealed {
+            sealed_name(id)
+        } else {
+            open_name(id)
+        };
+        fs::remove_file(self.segments_dir.join(name))?;
+        let dropped = info.live_records;
+        self.map.retain(|_, loc| loc.seg != id);
+        Ok(dropped)
+    }
+}
+
+/// Indexes one scanned record of segment `id`, superseding any earlier
+/// record with the same fingerprint ("later wins").
+fn index_record(
+    map: &mut HashMap<u128, RecordLoc>,
+    segments: &mut BTreeMap<u64, SegmentInfo>,
+    info: &mut SegmentInfo,
+    id: u64,
+    rec: &ScannedRecord,
+) {
+    let loc = RecordLoc {
+        seg: id,
+        payload_offset: rec.payload_offset,
+        payload_len: rec.payload_len,
+        record_len: rec.record_len,
+    };
+    if let Some(old) = map.insert(rec.fp, loc) {
+        let old_info = if old.seg == id {
+            &mut *info
+        } else {
+            segments.get_mut(&old.seg).expect("superseded segment")
+        };
+        old_info.live_bytes -= old.record_len;
+        old_info.live_records -= 1;
+        old_info.garbage_bytes += old.record_len;
+    }
+    info.live_bytes += rec.record_len;
+    info.live_records += 1;
+}
+
+/// `format` marker contents of an `icseg` store.
+pub(crate) fn format_marker() -> String {
+    format!("{SEGMENT_MAGIC} {}\n", crate::segment::SEGMENT_VERSION)
+}

@@ -1,35 +1,40 @@
-//! `corpus` — a persistent campaign corpus for InstantCheck.
+//! `corpus` — a persistent, log-structured campaign corpus for
+//! InstantCheck.
 //!
 //! The checker distills every run of a determinism campaign into a
 //! small, durable witness: its per-checkpoint State Hashes plus a
-//! handful of counters. This crate makes those witnesses *persistent*:
+//! handful of counters. This crate makes those witnesses *persistent*
+//! and *shared*, behind one front door:
 //!
-//! * [`CorpusStore`] is a versioned, content-addressed on-disk
-//!   [`RunCache`](instantcheck::RunCache). Each completed run is filed
-//!   under the 128-bit fingerprint of its
-//!   [`RunKey`](instantcheck::RunKey) — everything that determines the
-//!   run's hashes — so a warm campaign replays recorded outcomes
-//!   through the checker's normal reduction path and produces reports,
-//!   traces, and metrics byte-identical to a cold one. Damaged entries
-//!   (bad magic, wrong version, truncation, checksum mismatch,
-//!   malformed fields) are quarantined and recomputed, never trusted.
+//! * [`Corpus`] is the storage facade every consumer constructs —
+//!   [`Corpus::open`] with a [`CorpusOptions`] builder yields a
+//!   [`RunCache`] that layers the lock-free
+//!   in-memory [`SharedCache`] memo over the on-disk log engine.
+//!   There is no other way to assemble corpus storage; `sched`, `icd`,
+//!   and every bench binary construct it the same way.
+//! * On disk, completed runs live in an **append-only segment log**
+//!   (`icseg-v1`): each record is framed by its 128-bit
+//!   [`RunKey`] fingerprint, length, and FNV
+//!   checksum, segments seal by atomic rename, the fingerprint index
+//!   is rebuilt by scanning on first use (torn tails from crashed
+//!   appends truncate away), inline compaction rewrites live records
+//!   out of the most-garbage segment, and an optional size bound
+//!   evicts whole segments oldest-first. Damaged records (bad magic,
+//!   wrong version, truncation, checksum mismatch, malformed fields)
+//!   are quarantined and recomputed, never trusted — and never poison
+//!   their neighbors.
 //! * [`CampaignBaseline`] freezes a known-good campaign's reference
 //!   hashes and summary verdicts as a JSON artifact; a later campaign
 //!   is compared against it and any change surfaces as a [`Drift`],
 //!   localized to the first divergent checkpoint.
-//! * [`SharedCache`] is a lock-free in-memory memo in front of any
-//!   [`RunCache`](instantcheck::RunCache): a fixed-arena open-addressing
-//!   table with CAS slot claiming and in-flight claim tracking, so
-//!   concurrent campaign workers share discovered runs without taking a
-//!   lock and never compute the same run twice.
-//! * [`fingerprint_fields`] is the order-independent fingerprint both
-//!   of the above are addressed by.
+//! * [`fingerprint_fields`] is the order-independent fingerprint all
+//!   records and memo slots are addressed by.
 //!
 //! # Quick start
 //!
 //! ```
 //! use std::sync::Arc;
-//! use corpus::CorpusStore;
+//! use corpus::{Corpus, CorpusOptions};
 //! use instantcheck::{Checker, CheckerConfig, Scheme};
 //! use tsim::{ProgramBuilder, ValKind};
 //!
@@ -49,18 +54,24 @@
 //!     b.build()
 //! };
 //!
-//! // Cold campaign: every run simulates, outcomes land on disk.
-//! let store = Arc::new(CorpusStore::open(&dir).unwrap());
+//! // Cold campaign: every run simulates, outcomes land in the log.
+//! let corpus = Arc::new(Corpus::open(CorpusOptions::at(&dir)).unwrap());
 //! let cfg = CheckerConfig::new(Scheme::HwInc)
 //!     .with_runs(4)
-//!     .with_run_cache(store.clone(), "g-plus-t:full");
-//! let cold = Checker::new(cfg.clone()).expect("valid config").check(source).unwrap();
-//! assert_eq!(store.run_count(), 4);
+//!     .with_run_cache(corpus.clone(), "g-plus-t:full");
+//! let cold = Checker::new(cfg).expect("valid config").check(source).unwrap();
+//! assert_eq!(corpus.run_count(), 4);
+//! assert_eq!(corpus.stores(), 4);
 //!
-//! // Warm campaign — even in a fresh process — replays from disk.
+//! // Warm campaign — a fresh instance, as in a fresh process —
+//! // replays every run from disk, byte-identically.
+//! let warm_corpus = Arc::new(Corpus::open(CorpusOptions::at(&dir)).unwrap());
+//! let cfg = CheckerConfig::new(Scheme::HwInc)
+//!     .with_runs(4)
+//!     .with_run_cache(warm_corpus.clone(), "g-plus-t:full");
 //! let warm = Checker::new(cfg).expect("valid config").check(source).unwrap();
 //! assert_eq!(cold, warm);
-//! assert_eq!(store.hits(), 4);
+//! assert_eq!(warm_corpus.hits(), 4);
 //! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
@@ -68,18 +79,334 @@
 #![deny(missing_docs)]
 
 mod baseline;
+mod compact;
 mod entry;
+mod error;
 mod fingerprint;
+mod index;
+mod segment;
 mod shared;
 mod store;
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use instantcheck::{CacheLease, CachedRun, MemoryRunCache, RunCache, RunKey};
+use obs::{Registry, Snapshot, Telemetry};
 
 pub use baseline::{CampaignBaseline, Drift};
 pub use entry::{
     decode_entry, encode_entry, kind_token, parse_kind, Corruption, FORMAT_VERSION, MAGIC,
 };
-pub use fingerprint::{fingerprint_fields, fingerprint_key};
+pub use error::CorpusError;
+pub use fingerprint::{fingerprint_fields, fingerprint_key, fnv64};
+pub use index::CRASH_ENV;
+pub use segment::{DEFAULT_SEGMENT_BYTES, SEGMENT_MAGIC, SEGMENT_VERSION};
 pub use shared::{
     SharedCache, SharedCacheStats, CACHE_ACQUIRE_HISTOGRAM, CACHE_WAIT_HISTOGRAM,
     DEFAULT_CACHE_CAPACITY,
 };
-pub use store::CorpusStore;
+pub use store::{LogStats, CORPUS_COMPACT_HISTOGRAM, CORPUS_OPEN_HISTOGRAM};
+
+use store::LogStore;
+
+/// How to open a [`Corpus`]: where it lives and how it is shaped.
+///
+/// A builder with two entry points — [`at`](CorpusOptions::at) for the
+/// normal durable, directory-backed store and
+/// [`ephemeral`](CorpusOptions::ephemeral) for a process-local
+/// in-memory corpus (benchmarks, tests, cache-only orchestration).
+/// Everything else has a sensible default.
+#[derive(Debug, Clone)]
+pub struct CorpusOptions {
+    dir: Option<PathBuf>,
+    segment_bytes: u64,
+    max_bytes: Option<u64>,
+    cache_slots: usize,
+    registry: Option<Arc<Registry>>,
+    telemetry: Option<Arc<Telemetry>>,
+}
+
+impl CorpusOptions {
+    /// Options for a durable corpus rooted at `dir` (created if
+    /// missing).
+    pub fn at(dir: impl Into<PathBuf>) -> CorpusOptions {
+        CorpusOptions {
+            dir: Some(dir.into()),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            max_bytes: None,
+            cache_slots: DEFAULT_CACHE_CAPACITY,
+            registry: None,
+            telemetry: None,
+        }
+    }
+
+    /// Options for an ephemeral, in-memory corpus: same facade, same
+    /// memo layer, nothing on disk and nothing to clean up.
+    pub fn ephemeral() -> CorpusOptions {
+        CorpusOptions {
+            dir: None,
+            ..CorpusOptions::at("")
+        }
+    }
+
+    /// Size bound of the active segment before it seals (default 8
+    /// MiB; floors at 4 KiB).
+    #[must_use]
+    pub fn segment_bytes(mut self, bytes: u64) -> CorpusOptions {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// Total size bound of the log. When exceeded, whole segments are
+    /// evicted oldest-first (default: unbounded).
+    #[must_use]
+    pub fn max_bytes(mut self, bytes: u64) -> CorpusOptions {
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// In-memory memo arena capacity in slots (default
+    /// [`DEFAULT_CACHE_CAPACITY`]; rounded up to a power of two).
+    #[must_use]
+    pub fn cache_slots(mut self, slots: usize) -> CorpusOptions {
+        self.cache_slots = slots;
+        self
+    }
+
+    /// Deterministic registry the memo layer counts
+    /// `corpus.cache.memo_hits`/`memo_misses` into. Can also be bound
+    /// after opening, via [`Corpus::bind_observers`].
+    #[must_use]
+    pub fn registry(mut self, registry: Arc<Registry>) -> CorpusOptions {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Wall-clock telemetry plane for acquire/wait, index-build, and
+    /// compaction histograms. Can also be bound after opening, via
+    /// [`Corpus::bind_observers`].
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Arc<Telemetry>) -> CorpusOptions {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Opens the corpus — sugar for [`Corpus::open`].
+    pub fn open(self) -> Result<Corpus, CorpusError> {
+        Corpus::open(self)
+    }
+}
+
+/// The storage backend behind the facade.
+#[derive(Debug)]
+enum Backend {
+    /// The durable log-structured engine.
+    Log(Arc<LogStore>),
+    /// A process-local in-memory store with the same counter surface.
+    Memory(Arc<MemoryBackend>),
+}
+
+/// In-memory backend: a [`MemoryRunCache`] that counts the same
+/// `corpus.*` registry series the log engine does, so the facade's
+/// accessors mean the same thing either way.
+#[derive(Debug)]
+struct MemoryBackend {
+    cache: MemoryRunCache,
+    registry: Arc<Registry>,
+}
+
+impl RunCache for MemoryBackend {
+    fn lookup(&self, key: &RunKey) -> Option<Arc<CachedRun>> {
+        let hit = self.cache.lookup(key);
+        self.registry.add(
+            if hit.is_some() {
+                "corpus.hits"
+            } else {
+                "corpus.misses"
+            },
+            1,
+        );
+        hit
+    }
+
+    fn store(&self, key: &RunKey, run: &Arc<CachedRun>) {
+        self.cache.store(key, run);
+        self.registry.add("corpus.stores", 1);
+    }
+}
+
+/// The unified corpus: a lock-free [`SharedCache`] memo layered over a
+/// storage backend, constructed exclusively through
+/// [`Corpus::open`]. Implements [`RunCache`], so it plugs straight
+/// into
+/// [`CheckerConfig::with_run_cache`](instantcheck::CheckerConfig::with_run_cache)
+/// and the orchestrator.
+///
+/// See the [crate docs](crate) for a cold/warm round-trip example.
+#[derive(Debug)]
+pub struct Corpus {
+    backend: Backend,
+    cache: SharedCache,
+    registry: Arc<Registry>,
+}
+
+impl Corpus {
+    /// Opens a corpus as described by `options`.
+    ///
+    /// # Errors
+    ///
+    /// A [`CorpusError`] when the directory cannot be prepared
+    /// ([`CorpusError::Open`]) or holds a store of a different on-disk
+    /// format ([`CorpusError::FormatMismatch`]) — including a PR-4
+    /// `icorpus` one-file-per-run store, which is refused, never
+    /// silently misread.
+    pub fn open(options: CorpusOptions) -> Result<Corpus, CorpusError> {
+        let (backend, registry, inner): (Backend, Arc<Registry>, Arc<dyn RunCache>) =
+            match &options.dir {
+                Some(dir) => {
+                    let log = Arc::new(LogStore::open(
+                        dir,
+                        options.segment_bytes,
+                        options.max_bytes,
+                    )?);
+                    if let Some(t) = &options.telemetry {
+                        log.bind_telemetry(t);
+                    }
+                    let registry = Arc::clone(log.registry());
+                    (Backend::Log(Arc::clone(&log)), registry, log)
+                }
+                None => {
+                    let registry = Arc::new(Registry::new());
+                    let mem = Arc::new(MemoryBackend {
+                        cache: MemoryRunCache::new(),
+                        registry: Arc::clone(&registry),
+                    });
+                    (Backend::Memory(Arc::clone(&mem)), registry, mem)
+                }
+            };
+        let cache = SharedCache::new(inner, options.cache_slots, options.registry);
+        if let Some(t) = &options.telemetry {
+            cache.bind_telemetry(t);
+        }
+        Ok(Corpus {
+            backend,
+            cache,
+            registry,
+        })
+    }
+
+    /// Late-binds the deterministic registry and wall-clock telemetry
+    /// planes — how the orchestrator attaches its own observers to a
+    /// corpus the caller opened first. First binding of each wins.
+    pub fn bind_observers(&self, registry: &Arc<Registry>, telemetry: &Arc<Telemetry>) {
+        self.cache.bind_registry(registry);
+        self.cache.bind_telemetry(telemetry);
+        if let Backend::Log(log) = &self.backend {
+            log.bind_telemetry(telemetry);
+        }
+    }
+
+    /// The corpus root directory; `None` for an ephemeral corpus.
+    pub fn dir(&self) -> Option<&Path> {
+        match &self.backend {
+            Backend::Log(log) => Some(log.root()),
+            Backend::Memory(_) => None,
+        }
+    }
+
+    /// The baselines directory (see [`CampaignBaseline`]); `None` for
+    /// an ephemeral corpus.
+    pub fn baselines_dir(&self) -> Option<PathBuf> {
+        self.dir().map(|d| d.join("baselines"))
+    }
+
+    /// The store's private metrics registry. Counters: `corpus.hits`,
+    /// `corpus.misses`, `corpus.stores`, `corpus.quarantined` (plus
+    /// `corpus.quarantined.<class>` per [`Corruption::label`]),
+    /// `corpus.compactions`, and `corpus.evicted`. Kept separate from
+    /// any campaign registry so warm and cold campaigns report
+    /// identical campaign metrics.
+    pub fn metrics(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    /// Lookups satisfied from the backend so far (this instance).
+    pub fn hits(&self) -> u64 {
+        self.registry.counter("corpus.hits").get()
+    }
+
+    /// Lookups that found no trustworthy record.
+    pub fn misses(&self) -> u64 {
+        self.registry.counter("corpus.misses").get()
+    }
+
+    /// Records written by this instance.
+    pub fn stores(&self) -> u64 {
+        self.registry.counter("corpus.stores").get()
+    }
+
+    /// Records quarantined by this instance.
+    pub fn quarantined(&self) -> u64 {
+        self.registry.counter("corpus.quarantined").get()
+    }
+
+    /// Live records in the store.
+    pub fn run_count(&self) -> usize {
+        match &self.backend {
+            Backend::Log(log) => log.run_count(),
+            Backend::Memory(mem) => mem.cache.len(),
+        }
+    }
+
+    /// Memo arena capacity in slots.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// A point-in-time snapshot of the memo layer's contention stats.
+    pub fn cache_stats(&self) -> SharedCacheStats {
+        self.cache.stats()
+    }
+
+    /// A point-in-time snapshot of the log engine; `None` for an
+    /// ephemeral corpus.
+    pub fn log_stats(&self) -> Option<LogStats> {
+        match &self.backend {
+            Backend::Log(log) => Some(log.log_stats()),
+            Backend::Memory(_) => None,
+        }
+    }
+}
+
+impl RunCache for Corpus {
+    fn lookup(&self, key: &RunKey) -> Option<Arc<CachedRun>> {
+        // The facade owns the layering, so the key's canonical tokens
+        // are stack-rendered exactly once and serve the memo probe,
+        // the log index probe, and the stored-key comparison alike.
+        key.with_tokens(|tokens| {
+            let fp = fingerprint_fields(tokens);
+            if let Some(hit) = self.cache.memo_probe(fp) {
+                return Some(hit);
+            }
+            let fetched = match &self.backend {
+                Backend::Log(log) => log.lookup_prepared(fp, tokens)?,
+                Backend::Memory(mem) => mem.lookup(key)?,
+            };
+            self.cache.memo_warm(fp, &fetched);
+            Some(fetched)
+        })
+    }
+
+    fn store(&self, key: &RunKey, run: &Arc<CachedRun>) {
+        self.cache.store(key, run)
+    }
+
+    fn begin(&self, key: &RunKey) -> CacheLease {
+        self.cache.begin(key)
+    }
+
+    fn abandon(&self, key: &RunKey) {
+        self.cache.abandon(key)
+    }
+}

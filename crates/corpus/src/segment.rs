@@ -1,0 +1,254 @@
+//! `icseg-v1` — the on-disk framing of log segments.
+//!
+//! A corpus is a sequence of append-only *segment* files. Each segment
+//! holds framed records:
+//!
+//! ```text
+//! rec <fp:032x> <len> <sum:016x>\n
+//! <len bytes of payload>
+//! ```
+//!
+//! where `fp` is the record's 128-bit [`RunKey`](instantcheck::RunKey)
+//! fingerprint, `len` the exact payload byte count, and `sum` the
+//! FNV-1a checksum of the payload bytes. The payload is a complete
+//! `icorpus-v1` entry ([`encode_entry`](crate::encode_entry)), so every
+//! record carries its own magic, version, and content checksum in
+//! addition to the frame — the frame is what makes the log scannable
+//! and the tail truncatable; the payload is what makes a record
+//! trustworthy.
+//!
+//! Exactly one segment per store is *active* (`seg-NNNNNNNN.open`) and
+//! appended in place; full segments are *sealed* by an atomic rename to
+//! `seg-NNNNNNNN.icseg` and never written again. A crash can therefore
+//! damage at most the tail of the active segment, and
+//! [`scan_segment`] finds exactly where the damage starts: the scan
+//! validates frame structure and payload bounds, stops at the first
+//! byte that cannot be a record frame, and reports the valid prefix
+//! length so the opener can truncate the torn tail away. Frame payload
+//! checksums are deliberately *not* verified during the scan — content
+//! integrity is checked on every read through the payload's own
+//! `icorpus-v1` header (checksum, length, fingerprint, and a
+//! field-for-field key comparison), where a bad record quarantines
+//! individually instead of poisoning the records behind it. The frame
+//! `sum` exists for the scan's structural validation and offline
+//! tooling; the entry's own checksum is what reads trust.
+
+use crate::fingerprint::fnv64;
+
+/// Magic token of the segment format (the `format` marker reads
+/// `icseg 1`).
+pub const SEGMENT_MAGIC: &str = "icseg";
+
+/// Version of the segment format. Bumped on any change to the frame
+/// encoding; a store of a different version is refused at open.
+pub const SEGMENT_VERSION: u32 = 1;
+
+/// Default size bound of the active segment: once an append would grow
+/// it past this many bytes it is sealed and a new one started. Sized so
+/// a realistic campaign's records (a few KiB each) pack thousands per
+/// segment while compaction still has usefully small units to rewrite.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// The longest frame line we accept: `rec ` + 32 hex + space + 20
+/// decimal digits + space + 16 hex + newline, with slack.
+const MAX_FRAME_LINE: usize = 96;
+
+/// One record frame as scanned from a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ScannedRecord {
+    /// The record's key fingerprint.
+    pub fp: u128,
+    /// Byte offset of the whole record (frame line) in the segment.
+    pub record_offset: u64,
+    /// Total record length: frame line plus payload.
+    pub record_len: u64,
+    /// Byte offset of the payload in the segment.
+    pub payload_offset: u64,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Declared FNV-1a checksum of the payload.
+    pub sum: u64,
+}
+
+/// The result of structurally scanning one segment's bytes.
+#[derive(Debug)]
+pub(crate) struct SegmentScan {
+    /// Every structurally valid record, in file order.
+    pub records: Vec<ScannedRecord>,
+    /// Length of the valid prefix. Equal to the input length when the
+    /// segment is clean; shorter when a torn tail follows.
+    pub valid_len: u64,
+    /// Bytes past `valid_len` that cannot be parsed as records — the
+    /// torn tail of a crashed append, preserved for quarantine.
+    pub torn: bool,
+}
+
+/// File name of a sealed segment.
+pub(crate) fn sealed_name(id: u64) -> String {
+    format!("seg-{id:08}.{SEGMENT_MAGIC}")
+}
+
+/// File name of the active (append-in-place) segment.
+pub(crate) fn open_name(id: u64) -> String {
+    format!("seg-{id:08}.open")
+}
+
+/// Parses a segment file name into `(id, sealed)`.
+pub(crate) fn parse_segment_name(name: &str) -> Option<(u64, bool)> {
+    let rest = name.strip_prefix("seg-")?;
+    if let Some(id) = rest
+        .strip_suffix(".icseg")
+        .and_then(|d| d.parse::<u64>().ok())
+    {
+        return Some((id, true));
+    }
+    if let Some(id) = rest
+        .strip_suffix(".open")
+        .and_then(|d| d.parse::<u64>().ok())
+    {
+        return Some((id, false));
+    }
+    None
+}
+
+/// Encodes one framed record: frame line plus payload, ready to append.
+pub(crate) fn encode_record(fp: u128, payload: &[u8]) -> Vec<u8> {
+    let frame = format!("rec {fp:032x} {} {:016x}\n", payload.len(), fnv64(payload));
+    let mut out = Vec::with_capacity(frame.len() + payload.len());
+    out.extend_from_slice(frame.as_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses one frame line (without the newline). Strict: exactly four
+/// space-separated tokens, fixed-width hex fields.
+fn parse_frame(line: &[u8]) -> Option<(u128, u32, u64)> {
+    let line = std::str::from_utf8(line).ok()?;
+    let mut parts = line.split(' ');
+    if parts.next()? != "rec" {
+        return None;
+    }
+    let fp_hex = parts.next()?;
+    let len_dec = parts.next()?;
+    let sum_hex = parts.next()?;
+    if parts.next().is_some() || fp_hex.len() != 32 || sum_hex.len() != 16 {
+        return None;
+    }
+    let fp = u128::from_str_radix(fp_hex, 16).ok()?;
+    let len = len_dec.parse::<u32>().ok()?;
+    let sum = u64::from_str_radix(sum_hex, 16).ok()?;
+    Some((fp, len, sum))
+}
+
+/// Structurally scans `bytes` as a segment: parses frame lines, bounds-
+/// checks payloads, and stops at the first byte that cannot start a
+/// record. Does not verify payload checksums (see the module docs).
+pub(crate) fn scan_segment(bytes: &[u8]) -> SegmentScan {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let window = &bytes[offset..bytes.len().min(offset + MAX_FRAME_LINE)];
+        let Some(nl) = window.iter().position(|&b| b == b'\n') else {
+            break; // no frame line terminator in range: torn tail
+        };
+        let Some((fp, len, sum)) = parse_frame(&window[..nl]) else {
+            break; // unparseable frame: torn tail
+        };
+        let payload_offset = offset + nl + 1;
+        let end = payload_offset + len as usize;
+        if end > bytes.len() {
+            break; // payload cut short: torn tail
+        }
+        records.push(ScannedRecord {
+            fp,
+            record_offset: offset as u64,
+            record_len: (end - offset) as u64,
+            payload_offset: payload_offset as u64,
+            payload_len: len,
+            sum,
+        });
+        offset = end;
+    }
+    SegmentScan {
+        records,
+        valid_len: offset as u64,
+        torn: offset < bytes.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FNV-1a checksum of a payload, as a frame's `sum` declares it.
+    fn payload_sum(payload: &[u8]) -> u64 {
+        fnv64(payload)
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(sealed_name(7), "seg-00000007.icseg");
+        assert_eq!(open_name(12), "seg-00000012.open");
+        assert_eq!(parse_segment_name("seg-00000007.icseg"), Some((7, true)));
+        assert_eq!(parse_segment_name("seg-00000012.open"), Some((12, false)));
+        assert_eq!(parse_segment_name("seg-xx.icseg"), None);
+        assert_eq!(parse_segment_name("other"), None);
+        assert_eq!(parse_segment_name("seg-1.tmp"), None);
+    }
+
+    #[test]
+    fn scan_round_trips_multiple_records() {
+        let mut bytes = Vec::new();
+        let payloads: Vec<Vec<u8>> = vec![b"alpha\n".to_vec(), b"beta longer\n".to_vec()];
+        for (i, p) in payloads.iter().enumerate() {
+            bytes.extend_from_slice(&encode_record(i as u128 + 1, p));
+        }
+        let scan = scan_segment(&bytes);
+        assert_eq!(scan.records.len(), 2);
+        assert!(!scan.torn);
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        for (i, (rec, p)) in scan.records.iter().zip(&payloads).enumerate() {
+            assert_eq!(rec.fp, i as u128 + 1);
+            assert_eq!(rec.payload_len as usize, p.len());
+            assert_eq!(rec.sum, payload_sum(p));
+            let got = &bytes[rec.payload_offset as usize..][..rec.payload_len as usize];
+            assert_eq!(got, &p[..]);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_cut_at_the_last_whole_record() {
+        let mut bytes = encode_record(1, b"whole record\n");
+        let keep = bytes.len() as u64;
+        let second = encode_record(2, b"this one is torn\n");
+        bytes.extend_from_slice(&second[..second.len() - 5]);
+        let scan = scan_segment(&bytes);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, keep);
+        assert!(scan.torn);
+    }
+
+    #[test]
+    fn garbage_frame_stops_the_scan() {
+        let mut bytes = encode_record(1, b"ok\n");
+        let keep = bytes.len() as u64;
+        bytes.extend_from_slice(b"not a frame line at all\n plus junk");
+        let scan = scan_segment(&bytes);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, keep);
+        assert!(scan.torn);
+    }
+
+    #[test]
+    fn scan_does_not_verify_payload_sums() {
+        // A bit-flipped payload still scans (content checks happen at
+        // read time so one bad record cannot poison its successors).
+        let mut bytes = encode_record(1, b"payload a\n");
+        let flip = bytes.len() - 2;
+        bytes[flip] ^= 1;
+        bytes.extend_from_slice(&encode_record(2, b"payload b\n"));
+        let scan = scan_segment(&bytes);
+        assert_eq!(scan.records.len(), 2);
+        assert!(!scan.torn);
+    }
+}

@@ -208,8 +208,12 @@ pub struct SharedCache {
     /// Slots ever moved off `EMPTY`; gates the insertion cap.
     occupied: AtomicUsize,
     tallies: Tallies,
-    registry: Option<Arc<Registry>>,
-    telemetry: Option<Arc<Telemetry>>,
+    /// Deterministic memo counters; bindable once, at construction or
+    /// later (an orchestrator attaches its registry after the owning
+    /// [`Corpus`](crate::Corpus) was opened).
+    registry: OnceLock<Arc<Registry>>,
+    /// Wall-clock telemetry plane; bindable once, like `registry`.
+    telemetry: OnceLock<Arc<Telemetry>>,
     /// Park/wake pair for in-flight waits. Waiting is the rare path
     /// (two workers racing one key); probes and publications never
     /// touch this lock.
@@ -239,17 +243,21 @@ impl SharedCache {
     /// claim protocol computes every distinct key at most once.
     pub fn new(inner: Arc<dyn RunCache>, capacity: usize, registry: Option<Arc<Registry>>) -> Self {
         let capacity = capacity.next_power_of_two().max(8);
-        SharedCache {
+        let cache = SharedCache {
             inner,
             slots: (0..capacity).map(|_| Slot::new()).collect(),
             mask: capacity - 1,
             occupied: AtomicUsize::new(0),
             tallies: Tallies::default(),
-            registry,
-            telemetry: None,
+            registry: OnceLock::new(),
+            telemetry: OnceLock::new(),
             park: Mutex::new(()),
             wake: Condvar::new(),
+        };
+        if let Some(registry) = registry {
+            cache.bind_registry(&registry);
         }
+        cache
     }
 
     /// The arena with the default capacity.
@@ -266,11 +274,27 @@ impl SharedCache {
     /// Both are pre-registered so `/metrics` exports them (at zero)
     /// before the first acquisition.
     #[must_use]
-    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+    pub fn with_telemetry(self, telemetry: Arc<Telemetry>) -> Self {
+        self.bind_telemetry(&telemetry);
+        self
+    }
+
+    /// Late-binds the deterministic memo-counter registry (see
+    /// [`new`](SharedCache::new)). The first binding wins; later calls
+    /// are no-ops, so an orchestrator can attach its registry to a
+    /// cache that was constructed elsewhere.
+    pub fn bind_registry(&self, registry: &Arc<Registry>) {
+        let _ = self.registry.set(Arc::clone(registry));
+    }
+
+    /// Late-binds the wall-clock telemetry plane (see
+    /// [`with_telemetry`](SharedCache::with_telemetry)). First binding
+    /// wins. Both histograms are pre-registered so `/metrics` exports
+    /// them (at zero) before the first acquisition.
+    pub fn bind_telemetry(&self, telemetry: &Arc<Telemetry>) {
         telemetry.histogram(CACHE_ACQUIRE_HISTOGRAM);
         telemetry.histogram(CACHE_WAIT_HISTOGRAM);
-        self.telemetry = Some(telemetry);
-        self
+        let _ = self.telemetry.set(Arc::clone(telemetry));
     }
 
     /// Fixed arena capacity in slots.
@@ -306,7 +330,7 @@ impl SharedCache {
     }
 
     fn count(&self, name: &str) {
-        if let Some(reg) = &self.registry {
+        if let Some(reg) = self.registry.get() {
             reg.add(name, 1);
         }
     }
@@ -332,7 +356,7 @@ impl SharedCache {
         self.tallies
             .wait_ns
             .fetch_add(wait.as_nanos() as u64, Ordering::Relaxed);
-        if let Some(t) = &self.telemetry {
+        if let Some(t) = self.telemetry.get() {
             t.record_wait(CACHE_WAIT_HISTOGRAM, wait);
         }
     }
@@ -478,20 +502,13 @@ impl SharedCache {
         }
     }
 
-    /// Records the acquire duration of one `begin` into telemetry.
-    fn record_acquire(&self, start: Instant) {
-        if let Some(t) = &self.telemetry {
-            t.record_wait(CACHE_ACQUIRE_HISTOGRAM, start.elapsed());
-        }
-    }
-}
-
-impl RunCache for SharedCache {
-    fn lookup(&self, key: &RunKey) -> Option<Arc<CachedRun>> {
-        let fp = fingerprint_key(key);
+    /// A non-claiming memo probe by precomputed fingerprint — the
+    /// [`Corpus`](crate::Corpus) facade's hot path, which computes the
+    /// key's tokens and fingerprint exactly once and hands them to
+    /// each layer. Counting matches [`RunCache::lookup`]: a published
+    /// slot is a memo hit, anything else a memo miss.
+    pub(crate) fn memo_probe(&self, fp: u128) -> Option<Arc<CachedRun>> {
         let (lo, hi) = (fp as u64, (fp >> 64) as u64);
-        // Non-claiming, non-waiting probe: a plain lookup has no claim
-        // discipline, so an in-flight key just reads as a miss.
         match self.probe(lo, hi, false, false) {
             Found::Slot(slot, PUBLISHED) => {
                 self.count("corpus.cache.memo_hits");
@@ -499,14 +516,41 @@ impl RunCache for SharedCache {
             }
             _ => {
                 self.count("corpus.cache.memo_misses");
-                let fetched = self.inner.lookup(key)?;
-                // Warm the arena so the next lookup stays in memory.
-                if let Found::Claimed(slot) = self.probe(lo, hi, true, false) {
-                    self.publish(slot, &fetched);
-                }
-                Some(fetched)
+                None
             }
         }
+    }
+
+    /// Warms the arena with a run the backend just served, so the next
+    /// lookup of `fp` stays in memory — the publish half of the
+    /// miss-fallthrough in [`RunCache::lookup`].
+    pub(crate) fn memo_warm(&self, fp: u128, run: &Arc<CachedRun>) {
+        let (lo, hi) = (fp as u64, (fp >> 64) as u64);
+        if let Found::Claimed(slot) = self.probe(lo, hi, true, false) {
+            self.publish(slot, run);
+        }
+    }
+
+    /// Records the acquire duration of one `begin` into telemetry.
+    fn record_acquire(&self, start: Instant) {
+        if let Some(t) = self.telemetry.get() {
+            t.record_wait(CACHE_ACQUIRE_HISTOGRAM, start.elapsed());
+        }
+    }
+}
+
+impl RunCache for SharedCache {
+    fn lookup(&self, key: &RunKey) -> Option<Arc<CachedRun>> {
+        // Non-claiming, non-waiting probe: a plain lookup has no claim
+        // discipline, so an in-flight key just reads as a miss.
+        let fp = fingerprint_key(key);
+        if let Some(hit) = self.memo_probe(fp) {
+            return Some(hit);
+        }
+        let fetched = self.inner.lookup(key)?;
+        // Warm the arena so the next lookup stays in memory.
+        self.memo_warm(fp, &fetched);
+        Some(fetched)
     }
 
     fn store(&self, key: &RunKey, run: &Arc<CachedRun>) {

@@ -321,7 +321,9 @@ mod tests {
         Arc::new(Service::new(Orchestrator::new(
             OrchestratorConfig::default(),
             resolver,
-            Some(Arc::new(instantcheck::MemoryRunCache::new())),
+            Some(Arc::new(
+                corpus::Corpus::open(corpus::CorpusOptions::ephemeral()).unwrap(),
+            )),
         )))
     }
 

@@ -5,10 +5,10 @@
 //! call. `sched` turns that into a *service*: an [`Orchestrator`]
 //! accepts batches of [`Submission`]s (each one a serializable
 //! [`CampaignSpec`]), runs them on a bounded worker pool with
-//! per-campaign job budgets, and multiplexes one shared run corpus
-//! behind a lock-free shared run cache ([`corpus::SharedCache`]) so
-//! concurrent campaigns never serialize on the cache and never compute
-//! the same run twice.
+//! per-campaign job budgets, and multiplexes one shared
+//! [`corpus::Corpus`] — a log-structured run store behind a lock-free
+//! memo cache — so concurrent campaigns never serialize on storage and
+//! never compute the same run twice.
 //!
 //! Two contracts, both enforced by tests:
 //!
@@ -85,7 +85,8 @@ pub type Priority = i64;
 mod tests {
     use std::sync::Arc;
 
-    use instantcheck::{MemoryRunCache, Scheme};
+    use corpus::{Corpus, CorpusOptions};
+    use instantcheck::Scheme;
     use tsim::{ProgramBuilder, ValKind};
 
     use super::*;
@@ -204,8 +205,8 @@ mod tests {
                 trace: true,
                 ..OrchestratorConfig::default()
             };
-            let cache = Arc::new(MemoryRunCache::new());
-            let mut icd = Orchestrator::new(config, resolver(), Some(cache));
+            let corpus = Arc::new(Corpus::open(CorpusOptions::ephemeral()).unwrap());
+            let mut icd = Orchestrator::new(config, resolver(), Some(corpus));
             for i in 0..6 {
                 icd.submit(Submission::new(format!("c{i}"), spec()));
             }

@@ -8,7 +8,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use corpus::{CampaignBaseline, SharedCache, SharedCacheStats};
+use corpus::{CampaignBaseline, Corpus, SharedCacheStats};
 use instantcheck::{CheckReport, Checker, CheckerConfig, RunCache};
 use obs::{Event, MemorySink, Registry, Telemetry, CONTROL_TRACK};
 use tsim::{Program, SimErrorKind};
@@ -231,9 +231,6 @@ pub struct OrchestratorConfig {
     /// Base backoff between campaign retries; attempt `n` sleeps
     /// `backoff * 2^n`.
     pub backoff: Duration,
-    /// Slot capacity of the lock-free shared run cache (rounded up to
-    /// a power of two).
-    pub cache_capacity: usize,
     /// Record per-campaign simulator event traces.
     pub trace: bool,
     /// Deadline applied to specs that do not carry their own.
@@ -254,7 +251,6 @@ impl Default for OrchestratorConfig {
             job_budget: 2,
             retries: 2,
             backoff: Duration::from_millis(10),
-            cache_capacity: corpus::DEFAULT_CACHE_CAPACITY,
             trace: false,
             default_deadline_ms: None,
             tenant_quota: None,
@@ -275,7 +271,7 @@ struct Shared {
     /// here reaches the deterministic results, registry, or traces.
     telemetry: Arc<Telemetry>,
     resolver: Resolver,
-    cache: Option<Arc<SharedCache>>,
+    corpus: Option<Arc<Corpus>>,
     config: OrchestratorConfig,
     draining: AtomicBool,
     in_flight: AtomicUsize,
@@ -311,15 +307,17 @@ impl Orchestrator {
     /// — submissions before that just queue, which is also how the
     /// overload path is tested deterministically.
     ///
-    /// `cache` is the shared run corpus (typically a
-    /// [`CorpusStore`](corpus::CorpusStore)); the orchestrator puts a
-    /// lock-free [`SharedCache`] in front of it so concurrent campaigns
-    /// share discovered runs without serializing, and never compute the
-    /// same run twice.
+    /// `corpus` is the shared run store, built by the caller through
+    /// [`Corpus::open`](corpus::Corpus::open). The orchestrator binds
+    /// its own metrics registry and telemetry plane to it, so the
+    /// corpus's memo-cache contention and compaction waits surface on
+    /// the daemon's `/metrics` alongside the queue series. Concurrent
+    /// campaigns share discovered runs through the corpus's lock-free
+    /// front cache and never compute the same run twice.
     pub fn new(
         config: OrchestratorConfig,
         resolver: Resolver,
-        cache: Option<Arc<dyn RunCache>>,
+        corpus: Option<Arc<Corpus>>,
     ) -> Self {
         let registry = Arc::new(Registry::new());
         let telemetry = Arc::new(Telemetry::new());
@@ -328,12 +326,9 @@ impl Orchestrator {
         telemetry.histogram(QUEUE_DWELL_HISTOGRAM);
         telemetry.histogram(corpus::CACHE_ACQUIRE_HISTOGRAM);
         telemetry.histogram(corpus::CACHE_WAIT_HISTOGRAM);
-        let cache = cache.map(|inner| {
-            Arc::new(
-                SharedCache::new(inner, config.cache_capacity, Some(Arc::clone(&registry)))
-                    .with_telemetry(Arc::clone(&telemetry)),
-            )
-        });
+        if let Some(corpus) = &corpus {
+            corpus.bind_observers(&registry, &telemetry);
+        }
         Orchestrator {
             shared: Arc::new(Shared {
                 queue: WorkQueue::new(config.queue_capacity),
@@ -341,7 +336,7 @@ impl Orchestrator {
                 registry,
                 telemetry,
                 resolver,
-                cache,
+                corpus,
                 config,
                 draining: AtomicBool::new(false),
                 in_flight: AtomicUsize::new(0),
@@ -366,17 +361,17 @@ impl Orchestrator {
         &self.shared.telemetry
     }
 
-    /// Contention and occupancy tallies of the shared run cache;
+    /// Contention and occupancy tallies of the corpus's memo cache;
     /// `None` when the orchestrator runs without a corpus.
     pub fn cache_stats(&self) -> Option<SharedCacheStats> {
-        self.shared.cache.as_ref().map(|c| c.stats())
+        self.shared.corpus.as_ref().map(|c| c.cache_stats())
     }
 
-    /// The shared run cache itself, when one is attached — lets a
-    /// daemon front end keep reading contention tallies after `drain`
-    /// has consumed the orchestrator.
-    pub fn shared_cache(&self) -> Option<&Arc<SharedCache>> {
-        self.shared.cache.as_ref()
+    /// The attached corpus itself, when one is — lets a daemon front
+    /// end keep reading contention tallies and log-structure gauges
+    /// after `drain` has consumed the orchestrator.
+    pub fn corpus(&self) -> Option<&Arc<Corpus>> {
+        self.shared.corpus.as_ref()
     }
 
     /// Submissions seen so far (enqueued + shed).
@@ -592,8 +587,8 @@ fn run_campaign(shared: &Shared, seq: usize, job: Job) -> CampaignResult {
         let mut cfg = CheckerConfig::from_spec(&spec)
             .with_registry(Arc::clone(reg))
             .with_telemetry(Arc::clone(&shared.telemetry));
-        if let Some(cache) = &shared.cache {
-            cfg = cfg.with_run_cache(Arc::clone(cache) as Arc<dyn RunCache>, &*spec.workload);
+        if let Some(corpus) = &shared.corpus {
+            cfg = cfg.with_run_cache(Arc::clone(corpus) as Arc<dyn RunCache>, &*spec.workload);
         }
         let sink = shared.config.trace.then(|| Arc::new(MemorySink::new()));
         if let Some(sink) = &sink {

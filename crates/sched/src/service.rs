@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use corpus::{SharedCache, SharedCacheStats};
+use corpus::{Corpus, LogStats, SharedCacheStats};
 use obs::{Registry, Telemetry};
 
 use crate::orchestrator::TenantStats;
@@ -87,8 +87,9 @@ pub struct Service {
     registry: Arc<Registry>,
     telemetry: Arc<Telemetry>,
     /// Kept outside the intake mutex (and past drain) so `/metrics`
-    /// and `/profile` can read cache tallies without blocking intake.
-    cache: Option<Arc<SharedCache>>,
+    /// and `/profile` can read cache tallies and log-structure gauges
+    /// without blocking intake.
+    corpus: Option<Arc<Corpus>>,
 }
 
 impl Service {
@@ -97,7 +98,7 @@ impl Service {
         orch.start();
         let registry = Arc::clone(orch.registry());
         let telemetry = Arc::clone(orch.telemetry());
-        let cache = orch.shared_cache().cloned();
+        let corpus = orch.corpus().cloned();
         Service {
             inner: Mutex::new(Inner {
                 orch: Some(orch),
@@ -106,7 +107,7 @@ impl Service {
             draining: AtomicBool::new(false),
             registry,
             telemetry,
-            cache,
+            corpus,
         }
     }
 
@@ -120,10 +121,17 @@ impl Service {
         &self.telemetry
     }
 
-    /// Contention and occupancy tallies of the shared run cache;
+    /// Contention and occupancy tallies of the corpus's memo cache;
     /// `None` without a corpus. Usable during and after drain.
     pub fn cache_stats(&self) -> Option<SharedCacheStats> {
-        self.cache.as_ref().map(|c| c.stats())
+        self.corpus.as_ref().map(|c| c.cache_stats())
+    }
+
+    /// Log-structure tallies of the corpus (segments, live/garbage
+    /// bytes, compactions); `None` without a corpus or when the corpus
+    /// is ephemeral. Usable during and after drain.
+    pub fn log_stats(&self) -> Option<LogStats> {
+        self.corpus.as_ref().and_then(|c| c.log_stats())
     }
 
     /// Offers one submission on behalf of a connection handler,
@@ -248,9 +256,27 @@ impl Service {
                 let _ = write!(
                     out,
                     "{{\"cache_capacity\":{},\"published\":{},\"in_flight\":{},\
-                     \"cas_retries\":{},\"waits\":{},\"wait_ns\":{}}}",
+                     \"cas_retries\":{},\"waits\":{},\"wait_ns\":{}",
                     s.capacity, s.published, s.in_flight, s.cas_retries, s.waits, s.wait_ns
                 );
+                out.push_str(",\"log\":");
+                match self.log_stats() {
+                    Some(l) => {
+                        let _ = write!(
+                            out,
+                            "{{\"segments\":{},\"live_records\":{},\"live_bytes\":{},\
+                             \"garbage_bytes\":{},\"total_bytes\":{},\"compactions\":{}}}",
+                            l.segments,
+                            l.live_records,
+                            l.live_bytes,
+                            l.garbage_bytes,
+                            l.total_bytes,
+                            l.compactions
+                        );
+                    }
+                    None => out.push_str("null"),
+                }
+                out.push('}');
             }
             None => out.push_str("null"),
         }
@@ -270,8 +296,9 @@ impl Service {
     /// the deterministic registry — the `/metrics` body. Shared-cache
     /// contention tallies export as `icd_cache_*_total` counters
     /// (probes, probe steps, CAS retries, in-flight waits, arena-full
-    /// fallbacks) and `icd_cache_*` occupancy gauges appended to the
-    /// shared exposition.
+    /// fallbacks) and `icd_cache_*` occupancy gauges; a log-structured
+    /// corpus additionally exports `icd_corpus_*` series (segments,
+    /// live/garbage bytes, compaction and eviction totals).
     pub fn metrics_text(&self) -> String {
         let mut out =
             obs::prometheus_text(Some(&self.registry.snapshot()), &self.telemetry.snapshot());
@@ -291,6 +318,25 @@ impl Service {
                 ("icd_cache_published_slots", s.published),
                 ("icd_cache_in_flight_slots", s.in_flight),
                 ("icd_cache_abandoned_slots", s.abandoned),
+            ] {
+                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+            }
+        }
+        if let Some(s) = self.log_stats() {
+            for (name, value) in [
+                ("icd_corpus_compactions_total", s.compactions),
+                ("icd_corpus_compacted_records_total", s.compacted_records),
+                ("icd_corpus_evicted_records_total", s.evicted_records),
+            ] {
+                let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+            }
+            for (name, value) in [
+                ("icd_corpus_segments", s.segments),
+                ("icd_corpus_live_records", s.live_records),
+                ("icd_corpus_live_bytes", s.live_bytes),
+                ("icd_corpus_garbage_bytes", s.garbage_bytes),
+                ("icd_corpus_total_bytes", s.total_bytes),
+                ("icd_corpus_open_ns", s.open_ns),
             ] {
                 let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
             }

@@ -1,13 +1,13 @@
 //! The persistent corpus, checked end to end through the checker: warm
 //! campaigns replayed from disk are byte-identical to cold ones at any
-//! worker count, corrupt entries are quarantined and recomputed (never
+//! worker count, corrupt records are quarantined and recomputed (never
 //! trusted), and recorded baselines flag perturbation as drift.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use corpus::{CampaignBaseline, CorpusStore, Drift};
+use corpus::{CampaignBaseline, Corpus, CorpusOptions, Drift};
 use instantcheck::{CheckReport, Checker, CheckerConfig, RunCache, Scheme};
 use obs::{MemorySink, Registry};
 use tsim::{Program, ProgramBuilder, ValKind};
@@ -16,6 +16,10 @@ fn tempdir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("corpus-it-{tag}-{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     dir
+}
+
+fn open(dir: &PathBuf) -> Arc<Corpus> {
+    Arc::new(Corpus::open(CorpusOptions::at(dir)).unwrap())
 }
 
 /// Deterministic, with a barrier checkpoint, heap traffic (exercising
@@ -55,7 +59,7 @@ fn last_writer() -> Program {
     b.build()
 }
 
-fn config(store: &Arc<CorpusStore>, jobs: usize) -> CheckerConfig {
+fn config(store: &Arc<Corpus>, jobs: usize) -> CheckerConfig {
     CheckerConfig::new(Scheme::HwInc)
         .with_runs(6)
         .with_jobs(jobs)
@@ -65,10 +69,7 @@ fn config(store: &Arc<CorpusStore>, jobs: usize) -> CheckerConfig {
 
 /// Runs one fully-instrumented campaign and returns every observable
 /// surface: report, serialized trace, and metrics snapshot.
-fn observed_campaign(
-    store: &Arc<CorpusStore>,
-    jobs: usize,
-) -> (CheckReport, String, obs::Snapshot) {
+fn observed_campaign(store: &Arc<Corpus>, jobs: usize) -> (CheckReport, String, obs::Snapshot) {
     let sink = Arc::new(MemorySink::new());
     let reg = Arc::new(Registry::new());
     let cfg = config(store, jobs)
@@ -81,18 +82,69 @@ fn observed_campaign(
     (report, sink.to_jsonl(), reg.snapshot())
 }
 
+/// One framed record of a segment file, split for in-place mutation.
+struct RawRecord {
+    fp: u128,
+    payload: Vec<u8>,
+}
+
+/// Reads every record of every segment under `dir`, in log order. The
+/// frame grammar is `rec <fp:032x> <len> <sum:016x>\n<payload>`.
+fn read_records(dir: &Path) -> (PathBuf, Vec<RawRecord>) {
+    let mut segs: Vec<PathBuf> = fs::read_dir(dir.join("segments"))
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    segs.sort();
+    assert_eq!(segs.len(), 1, "the small campaign fits one segment");
+    let bytes = fs::read(&segs[0]).unwrap();
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let nl = bytes[offset..].iter().position(|&b| b == b'\n').unwrap();
+        let frame = std::str::from_utf8(&bytes[offset..offset + nl]).unwrap();
+        let mut parts = frame.split(' ');
+        assert_eq!(parts.next(), Some("rec"));
+        let fp = u128::from_str_radix(parts.next().unwrap(), 16).unwrap();
+        let len: usize = parts.next().unwrap().parse().unwrap();
+        let payload_at = offset + nl + 1;
+        records.push(RawRecord {
+            fp,
+            payload: bytes[payload_at..payload_at + len].to_vec(),
+        });
+        offset = payload_at + len;
+    }
+    (segs[0].clone(), records)
+}
+
+/// Rewrites a segment from (possibly mutated) records, re-framing each
+/// payload so the file stays structurally scannable — read-time content
+/// checks, not the scan, must be what rejects a damaged payload.
+fn write_records(path: &PathBuf, records: &[RawRecord]) {
+    let mut bytes = Vec::new();
+    for rec in records {
+        let sum = corpus::fnv64(&rec.payload);
+        bytes.extend_from_slice(
+            format!("rec {:032x} {} {:016x}\n", rec.fp, rec.payload.len(), sum).as_bytes(),
+        );
+        bytes.extend_from_slice(&rec.payload);
+    }
+    fs::write(path, bytes).unwrap();
+}
+
 #[test]
 fn warm_disk_campaign_is_byte_identical_to_cold() {
     for jobs in [1usize, 8] {
         let dir = tempdir(&format!("warmcold-{jobs}"));
-        let cold_store = Arc::new(CorpusStore::open(&dir).unwrap());
+        let cold_store = open(&dir);
         let cold = observed_campaign(&cold_store, jobs);
         assert_eq!(cold_store.hits(), 0, "jobs={jobs}: first campaign is cold");
         assert_eq!(cold_store.run_count(), 6, "jobs={jobs}: all runs stored");
 
-        // A fresh store instance over the same directory models a fresh
+        // A fresh corpus over the same directory models a fresh
         // process: everything must replay from disk.
-        let warm_store = Arc::new(CorpusStore::open(&dir).unwrap());
+        let warm_store = open(&dir);
         let warm = observed_campaign(&warm_store, jobs);
         assert_eq!(cold.0, warm.0, "jobs={jobs}: report");
         assert_eq!(cold.1, warm.1, "jobs={jobs}: trace bytes");
@@ -111,40 +163,38 @@ fn warm_disk_campaign_is_byte_identical_to_cold() {
 }
 
 #[test]
-fn corrupt_entries_are_quarantined_and_recomputed() {
+fn corrupt_records_are_quarantined_and_recomputed() {
     let dir = tempdir("corrupt");
-    let store = Arc::new(CorpusStore::open(&dir).unwrap());
+    let store = open(&dir);
     let cold = observed_campaign(&store, 1);
+    drop(store);
 
-    // Corrupt one stored entry per class: truncate one file, flip a
-    // byte of another, and stamp a third with a future version.
-    let mut entries: Vec<PathBuf> = fs::read_dir(dir.join("runs"))
-        .unwrap()
-        .flatten()
-        .map(|e| e.path())
-        .collect();
-    entries.sort();
-    assert_eq!(entries.len(), 6);
-    let text = fs::read_to_string(&entries[0]).unwrap();
-    fs::write(&entries[0], &text[..text.len() / 2]).unwrap();
-    let mut bytes = fs::read(&entries[1]).unwrap();
-    let last = bytes.len() - 2;
-    bytes[last] ^= 0x40;
-    fs::write(&entries[1], &bytes).unwrap();
-    let text = fs::read_to_string(&entries[2]).unwrap();
-    fs::write(&entries[2], text.replacen("icorpus 1", "icorpus 7", 1)).unwrap();
+    // Corrupt one stored record per read-time class: truncate one
+    // payload against its own declared length, flip a body byte of
+    // another, and stamp a third with a future entry version. Each
+    // record is re-framed so the segment still scans — the entry's own
+    // header, not the frame, is what must reject it.
+    let (seg, mut records) = read_records(&dir);
+    assert_eq!(records.len(), 6);
+    let half = records[0].payload.len() / 2;
+    records[0].payload.truncate(half);
+    let last = records[1].payload.len() - 2;
+    records[1].payload[last] ^= 0x40;
+    let text = String::from_utf8(records[2].payload.clone()).unwrap();
+    records[2].payload = text.replacen("icorpus 1", "icorpus 7", 1).into_bytes();
+    write_records(&seg, &records);
 
-    let warm_store = Arc::new(CorpusStore::open(&dir).unwrap());
+    let warm_store = open(&dir);
     let warm = observed_campaign(&warm_store, 1);
     assert_eq!(cold.0, warm.0, "report survives corruption");
     assert_eq!(cold.1, warm.1, "trace survives corruption");
     assert_eq!(cold.2, warm.2, "metrics survive corruption");
-    assert_eq!(warm_store.hits(), 3, "intact entries replay");
-    assert_eq!(warm_store.quarantined(), 3, "corrupt entries quarantined");
+    assert_eq!(warm_store.hits(), 3, "intact records replay");
+    assert_eq!(warm_store.quarantined(), 3, "corrupt records quarantined");
     assert_eq!(
         warm_store.stores(),
         3,
-        "corrupt entries recomputed and re-stored"
+        "corrupt records recomputed and re-stored"
     );
     assert_eq!(
         fs::read_dir(dir.join("quarantine")).unwrap().count(),
@@ -159,9 +209,12 @@ fn corrupt_entries_are_quarantined_and_recomputed() {
             "one {class} quarantine"
         );
     }
+    drop(warm_store);
 
-    // The repaired corpus is fully warm again.
-    let healed = Arc::new(CorpusStore::open(&dir).unwrap());
+    // The repaired corpus is fully warm again: the re-appended records
+    // are later in the log than the corrupt ones, so the rebuild's
+    // later-wins rule resolves every fingerprint to a good record.
+    let healed = open(&dir);
     let again = observed_campaign(&healed, 1);
     assert_eq!(cold.0, again.0);
     assert_eq!(healed.hits(), 6);
@@ -170,27 +223,30 @@ fn corrupt_entries_are_quarantined_and_recomputed() {
 
 #[test]
 fn a_cached_lookup_never_trusts_a_tampered_hash() {
-    // Flip a checkpoint-hash *and* fix nothing else: the checksum
-    // rejects the file, so the campaign verdict cannot be poisoned.
+    // Flip a checkpoint-hash *and* fix nothing else: the entry checksum
+    // rejects the record, so the campaign verdict cannot be poisoned.
     let dir = tempdir("tamper");
-    let store = Arc::new(CorpusStore::open(&dir).unwrap());
+    let store = open(&dir);
     let cold = Checker::new(config(&store, 1))
         .expect("valid config")
         .check(commuting_sum)
         .unwrap();
     assert!(cold.is_deterministic());
+    drop(store);
 
-    for entry in fs::read_dir(dir.join("runs")).unwrap().flatten() {
-        let text = fs::read_to_string(entry.path()).unwrap();
-        let tampered = text.replacen("cp b:0 ", "cp b:0 f", 1);
-        fs::write(entry.path(), tampered).unwrap();
+    let (seg, mut records) = read_records(&dir);
+    for rec in &mut records {
+        let text = String::from_utf8(rec.payload.clone()).unwrap();
+        rec.payload = text.replacen("cp b:0 ", "cp b:0 f", 1).into_bytes();
     }
-    let warm_store = Arc::new(CorpusStore::open(&dir).unwrap());
+    write_records(&seg, &records);
+
+    let warm_store = open(&dir);
     let warm = Checker::new(config(&warm_store, 1))
         .expect("valid config")
         .check(commuting_sum)
         .unwrap();
-    assert_eq!(cold, warm, "tampered entries recompute to the truth");
+    assert_eq!(cold, warm, "tampered records recompute to the truth");
     assert!(warm.is_deterministic(), "no forged nondeterminism verdict");
     assert_eq!(warm_store.quarantined(), 6);
     fs::remove_dir_all(&dir).unwrap();
@@ -199,7 +255,8 @@ fn a_cached_lookup_never_trusts_a_tampered_hash() {
 #[test]
 fn perturbed_baseline_is_flagged_as_drift() {
     let dir = tempdir("baseline");
-    let store = Arc::new(CorpusStore::open(&dir).unwrap());
+    let store = open(&dir);
+    let baselines = store.baselines_dir().expect("on-disk corpus");
     let runs = Checker::new(config(&store, 1))
         .expect("valid config")
         .collect_runs(&commuting_sum)
@@ -213,10 +270,10 @@ fn perturbed_baseline_is_flagged_as_drift() {
         &runs[0],
         &report,
     );
-    baseline.save(store.baselines_dir()).unwrap();
+    baseline.save(&baselines).unwrap();
 
     // Round-tripped and compared against the same campaign: no drift.
-    let loaded = CampaignBaseline::load(store.baselines_dir(), "commuting-sum").unwrap();
+    let loaded = CampaignBaseline::load(&baselines, "commuting-sum").unwrap();
     assert_eq!(loaded, baseline);
     assert!(loaded.compare(&runs[0], &report).is_empty());
 
@@ -247,11 +304,13 @@ fn perturbed_baseline_is_flagged_as_drift() {
 }
 
 #[test]
-fn corpus_store_and_memory_cache_agree() {
-    // The on-disk store and the in-memory reference implementation are
-    // interchangeable RunCache impls: same campaign, same results.
+fn disk_ephemeral_and_memory_caches_agree() {
+    // The log-backed corpus, the ephemeral corpus, and the in-memory
+    // reference implementation are interchangeable RunCache impls:
+    // same campaign, same results.
     let dir = tempdir("parity");
-    let disk = Arc::new(CorpusStore::open(&dir).unwrap());
+    let disk = open(&dir);
+    let ephemeral = Arc::new(Corpus::open(CorpusOptions::ephemeral()).unwrap());
     let memory = Arc::new(instantcheck::MemoryRunCache::new());
     let run = |cache: Arc<dyn RunCache>| {
         let cfg = CheckerConfig::new(Scheme::HwInc)
@@ -264,12 +323,19 @@ fn corpus_store_and_memory_cache_agree() {
     };
     let a = run(disk.clone());
     let b = run(memory.clone());
+    let c = run(ephemeral.clone());
     assert_eq!(a, b);
-    // Warm reruns on both also agree.
+    assert_eq!(a, c);
+    // Warm reruns on all three also agree.
     let a2 = run(disk);
     let b2 = run(memory.clone());
+    let c2 = run(ephemeral.clone());
     assert_eq!(a2, b2);
+    assert_eq!(a2, c2);
     assert_eq!(a, a2);
     assert_eq!(memory.hits(), 4);
+    // On the same instance, warm lookups are satisfied by the memo
+    // arena before reaching the backend — the runs are still all there.
+    assert_eq!(ephemeral.run_count(), 4);
     fs::remove_dir_all(&dir).unwrap();
 }

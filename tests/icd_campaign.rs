@@ -15,8 +15,8 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use corpus::CorpusStore;
-use instantcheck::{CampaignSpec, CheckReport, Checker, CheckerConfig, RunCache, Scheme};
+use corpus::{Corpus, CorpusOptions};
+use instantcheck::{CampaignSpec, CheckReport, Checker, CheckerConfig, Scheme};
 use obs::MemorySink;
 use sched::{
     CampaignStatus, Disposition, HttpOptions, HttpServer, Orchestrator, OrchestratorConfig,
@@ -88,13 +88,13 @@ fn batch_artifacts_are_byte_identical_at_widths_1_2_4_cold_and_warm() {
     // Width 1 runs against a cold corpus; widths 2 and 4 (and the
     // final width-1 pass) replay warm from the same store.
     for (pass, width) in [(0usize, 1usize), (1, 2), (2, 4), (3, 1)] {
-        let store = Arc::new(CorpusStore::open(&dir).expect("corpus opens"));
+        let store = Arc::new(Corpus::open(CorpusOptions::at(&dir)).expect("corpus opens"));
         let config = OrchestratorConfig {
             width,
             trace: true,
             ..OrchestratorConfig::default()
         };
-        let mut icd = Orchestrator::new(config, resolver(), Some(store as Arc<dyn RunCache>));
+        let mut icd = Orchestrator::new(config, resolver(), Some(store));
         icd.start();
         for sub in subs.clone() {
             assert_eq!(icd.submit(sub), Disposition::Enqueued);
@@ -215,7 +215,7 @@ fn live_scraping_telemetry_leaves_artifacts_byte_identical() {
 
     let dir = tempdir("telemetry");
     for width in [1usize, 2, 4] {
-        let store = Arc::new(CorpusStore::open(&dir).expect("corpus opens"));
+        let store = Arc::new(Corpus::open(CorpusOptions::at(&dir)).expect("corpus opens"));
         let config = OrchestratorConfig {
             width,
             trace: true,
@@ -224,7 +224,7 @@ fn live_scraping_telemetry_leaves_artifacts_byte_identical() {
         let svc = Arc::new(Service::new(Orchestrator::new(
             config,
             resolver(),
-            Some(store as Arc<dyn RunCache>),
+            Some(store),
         )));
         let mut server = HttpServer::bind("127.0.0.1:0", Arc::clone(&svc), HttpOptions::default())
             .expect("binds an ephemeral port");
